@@ -1,0 +1,1 @@
+//! Host crate for the workspace examples (`/examples`) and integration tests (`/tests`); see `Cargo.toml` for the target wiring.

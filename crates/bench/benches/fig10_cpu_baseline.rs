@@ -1,0 +1,24 @@
+//! Criterion bench of the Fig. 10 CPU baseline (push-relabel) over the
+//! dense and sparse R-MAT sweeps — the measured side of the speedup claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ohmflow_bench::fig10_instance;
+use ohmflow_maxflow::{push_relabel, PushRelabelVariant};
+
+fn bench_push_relabel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_push_relabel");
+    group.sample_size(10);
+    for &n in &[256usize, 384, 512] {
+        for dense in [false, true] {
+            let g = fig10_instance(n, dense, n as u64);
+            let label = if dense { "dense" } else { "sparse" };
+            group.bench_with_input(BenchmarkId::new(label, n), &g, |b, g| {
+                b.iter(|| push_relabel(g, PushRelabelVariant::HighestLabel).value)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_relabel);
+criterion_main!(benches);

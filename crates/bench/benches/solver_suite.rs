@@ -1,0 +1,29 @@
+//! Criterion bench across the solver suite: the three CPU algorithms and
+//! the analog substrate's quasi-static solve (the simulated-hardware cost,
+//! not the hardware's own convergence time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow_bench::fig10_instance;
+use ohmflow_maxflow::{dinic, edmonds_karp, push_relabel, PushRelabelVariant};
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = fig10_instance(256, false, 256);
+    let mut group = c.benchmark_group("solvers_rmat256_sparse");
+    group.sample_size(10);
+    group.bench_function("edmonds_karp", |b| b.iter(|| edmonds_karp(&g).value));
+    group.bench_function("dinic", |b| b.iter(|| dinic(&g).value));
+    group.bench_function("push_relabel_hl", |b| {
+        b.iter(|| push_relabel(&g, PushRelabelVariant::HighestLabel).value)
+    });
+    let mut cfg = AnalogConfig::ideal();
+    cfg.params.v_flow = 800.0;
+    let solver = AnalogMaxFlow::new(cfg);
+    group.bench_function("analog_quasi_static_sim", |b| {
+        b.iter(|| solver.solve(&g).expect("solve").value)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! §6.2 study: clustered island architectures — 1-D vs 2-D routing and
+//! the area advantage over a monolithic crossbar, across graph sparsity.
+
+use ohmflow::clustered::ClusteredArchitecture;
+use ohmflow_graph::rmat::RmatConfig;
+
+fn main() {
+    println!("# §6.2 clustered architectures vs monolithic crossbar");
+    println!("vertices,density,routed_edges,peak_1d,peak_2d,area_advantage_2d");
+    for (n, dense) in [(96usize, false), (96, true), (192, false)] {
+        let cfg = if dense { RmatConfig::dense(n, 3) } else { RmatConfig::sparse(n, 3) };
+        let g = cfg.generate().expect("instance");
+        let islands = 4;
+        let per = n / islands + n / (2 * islands);
+        let a1 = ClusteredArchitecture::one_dimensional(islands, per, usize::MAX);
+        let a2 = ClusteredArchitecture::two_dimensional(2, 2, per, usize::MAX);
+        let m1 = a1.map_graph(&g).expect("1-D map");
+        let m2 = a2.map_graph(&g).expect("2-D map");
+        println!(
+            "{},{},{},{},{},{:.2}",
+            n,
+            if dense { "dense" } else { "sparse" },
+            m2.routed_edges.len(),
+            m1.peak_track_usage,
+            m2.peak_track_usage,
+            a2.area_advantage(&g, &m2)
+        );
+    }
+    println!("# expectation: 2-D peak per-segment load <= 1-D total; area advantage > 1 for sparse");
+}

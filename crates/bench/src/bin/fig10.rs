@@ -1,0 +1,44 @@
+//! Regenerates Fig. 10 (a: dense, b: sparse): convergence time of the
+//! substrate at 10 and 50 GHz GBW, push-relabel CPU time, and relative
+//! error, versus the number of vertices.
+//!
+//! Usage: `cargo run --release -p ohmflow-bench --bin fig10 -- [dense|sparse]`
+//! Set `OHMFLOW_FULL=1` for the paper's full 256..960 sweep.
+
+use ohmflow::builder::CapacityMapping;
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, SolveMode};
+use ohmflow_bench::{active_sizes, fig10_instance, time_push_relabel};
+use ohmflow_maxflow::edmonds_karp;
+
+fn main() {
+    let dense = std::env::args().nth(1).map(|a| a == "dense").unwrap_or(false);
+    let label = if dense { "dense (|E| ∝ |V|²)" } else { "sparse (|E| ∝ |V|)" };
+    println!("# Fig. 10{}: {label} R-MAT graphs", if dense { "a" } else { "b" });
+    println!("vertices,edges,conv_10GHz_s,conv_50GHz_s,push_relabel_s,rel_error_pct,speedup_10GHz");
+
+    for n in active_sizes() {
+        let g = fig10_instance(n, dense, n as u64);
+        let exact = edmonds_karp(&g).value as f64;
+        let (cpu_s, _) = time_push_relabel(&g, 3);
+
+        let mut conv = [0.0f64; 2];
+        let mut value = 0.0;
+        for (i, gbw) in [10e9, 50e9].iter().enumerate() {
+            let mut cfg = AnalogConfig::evaluation(*gbw);
+            cfg.params.v_flow = 50.0; // paper-style fixed drive headroom
+            let tau = cfg.params.opamp.time_constant();
+            cfg.mode = SolveMode::Transient { window: Some(tau * (30.0 + 0.1 * n as f64)), dt: None };
+            cfg.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
+            let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("analog solve");
+            conv[i] = sol.convergence_time.unwrap_or(f64::NAN);
+            value = sol.value;
+        }
+        let rel_err = (value - exact).abs() / exact.max(1.0) * 100.0;
+        println!(
+            "{},{},{:.4e},{:.4e},{:.4e},{:.2},{:.0}",
+            n, g.edge_count(), conv[0], conv[1], cpu_s, rel_err, cpu_s / conv[0]
+        );
+    }
+    println!("# paper shape: substrate 150-1500x faster than CPU at 10 GHz; 50 GHz ~5x faster still;");
+    println!("# relative error <= 8% (avg 3.7% dense / 5.4% sparse)");
+}

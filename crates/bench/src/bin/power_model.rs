@@ -1,0 +1,32 @@
+//! Regenerates the §5.2 power/energy analysis: edges supported per power
+//! budget and the energy-efficiency comparison against the CPU baseline.
+
+use ohmflow::power::{EnergyComparison, PowerModel};
+use ohmflow_bench::{fig10_instance, time_push_relabel};
+
+fn main() {
+    let m = PowerModel::paper();
+    println!("§5.2 analytical power model (P_amp = {} µW)", m.p_amp * 1e6);
+    println!("power budget (W)   max active edges   [paper]");
+    println!("       5.0          {:>10}        [~1e4]", m.max_edges(5.0));
+    println!("     150.0          {:>10}        [3e5]", m.max_edges(150.0));
+
+    println!("\nenergy per solve (substrate @ measured conv time vs CPU @ 100 W):");
+    println!("vertices,edges,substrate_mW,substrate_nJ,cpu_mJ,efficiency_factor");
+    for n in [256usize, 512] {
+        let g = fig10_instance(n, false, n as u64);
+        let (cpu_s, _) = time_push_relabel(&g, 3);
+        // Representative convergence time from the Fig. 10 experiment scale.
+        let conv_s = 2e-6;
+        let cmp = EnergyComparison::new(&m, &g, conv_s, cpu_s, 100.0);
+        println!(
+            "{},{},{:.2},{:.2},{:.4},{:.0}",
+            n,
+            g.edge_count(),
+            m.power_for(&g) * 1e3,
+            cmp.substrate_joules * 1e9,
+            cmp.cpu_joules * 1e3,
+            cmp.efficiency_factor
+        );
+    }
+}

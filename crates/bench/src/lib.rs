@@ -1,0 +1,74 @@
+//! Shared helpers for the benchmark harness: workload sweeps and wall-clock
+//! timing of the CPU baseline. Each paper table/figure has a dedicated
+//! binary (see `src/bin/`), indexed in `DESIGN.md`.
+
+use std::time::Instant;
+
+use ohmflow_graph::rmat::RmatConfig;
+use ohmflow_graph::FlowNetwork;
+use ohmflow_maxflow::{push_relabel, PushRelabelVariant};
+
+/// The paper's Fig. 10 vertex sweep: 256 to 960 in steps of 64.
+pub fn fig10_sizes() -> Vec<usize> {
+    (0..12).map(|i| 256 + 64 * i).collect()
+}
+
+/// A reduced sweep for quick runs (`OHMFLOW_FULL=1` enables the full one).
+pub fn active_sizes() -> Vec<usize> {
+    if std::env::var("OHMFLOW_FULL").is_ok() {
+        fig10_sizes()
+    } else {
+        vec![256, 320, 384, 448]
+    }
+}
+
+/// Generates the dense or sparse R-MAT instance of Fig. 10.
+///
+/// Capacities are drawn from `1..=100` (the paper does not state its
+/// range; with capacities `<= N = 20` the quantization would be exact and
+/// the error series degenerate).
+pub fn fig10_instance(vertices: usize, dense: bool, seed: u64) -> FlowNetwork {
+    let mut cfg = if dense {
+        RmatConfig::dense(vertices, seed)
+    } else {
+        RmatConfig::sparse(vertices, seed)
+    };
+    cfg.max_capacity = 100;
+    cfg.generate().expect("rmat instance")
+}
+
+/// Times the push-relabel CPU baseline (median of `reps` runs), returning
+/// `(seconds, flow value)`.
+pub fn time_push_relabel(g: &FlowNetwork, reps: usize) -> (f64, i64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut value = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = push_relabel(g, PushRelabelVariant::HighestLabel);
+        times.push(t0.elapsed().as_secs_f64());
+        value = r.value;
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    (times[times.len() / 2], value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper_axis() {
+        let sizes = fig10_sizes();
+        assert_eq!(sizes.first(), Some(&256));
+        assert_eq!(sizes.last(), Some(&960));
+        assert_eq!(sizes.len(), 12);
+    }
+
+    #[test]
+    fn timing_returns_positive_duration() {
+        let g = fig10_instance(64, false, 1);
+        let (secs, value) = time_push_relabel(&g, 3);
+        assert!(secs > 0.0);
+        assert!(value > 0);
+    }
+}

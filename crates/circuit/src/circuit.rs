@@ -1,0 +1,468 @@
+use std::collections::HashMap;
+
+use crate::element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
+use crate::error::CircuitError;
+use crate::ids::{ElementId, NodeId};
+use crate::source::SourceValue;
+
+/// A circuit netlist under construction.
+///
+/// Nodes are created with [`Circuit::node`] (optionally named); devices are
+/// added with the typed constructors, each returning an [`ElementId`] handle
+/// that can later be used to retune the device (memristor programming,
+/// resistance tuning) or probe its branch current.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_circuit::{Circuit, SourceValue};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.voltage_source(a, Circuit::GROUND, SourceValue::dc(1.0));
+/// ckt.resistor(a, Circuit::GROUND, 1e3);
+/// assert_eq!(ckt.node_count(), 2); // ground + a
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    /// Node names, index = NodeId.0 (entry 0 is ground).
+    node_names: Vec<String>,
+    name_index: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground (reference) node, implicitly present in every circuit.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["gnd".to_owned()],
+            name_index: HashMap::new(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Creates or retrieves a named node.
+    ///
+    /// Calling `node` twice with the same name returns the same [`NodeId`],
+    /// which makes incremental netlist construction convenient.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.name_index.get(&name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.clone());
+        self.name_index.insert(name, id);
+        id
+    }
+
+    /// Creates an anonymous node.
+    pub fn anon_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(format!("_anon{}", id.0));
+        id
+    }
+
+    /// Name of a node (ground is `"gnd"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Looks a node up by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "gnd" {
+            return Some(Self::GROUND);
+        }
+        self.name_index.get(name).copied()
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Iterator over every node id, ground first.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(NodeId)
+    }
+
+    /// Iterator over every element id, insertion order.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        (0..self.elements.len()).map(ElementId)
+    }
+
+    /// Read-only element list.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Element by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        let id = ElementId(self.elements.len());
+        self.elements.push(e);
+        id
+    }
+
+    /// Adds a resistor. Negative resistance is allowed (the substrate's
+    /// conservation circuits use ideal negative resistors); zero is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resistance == 0.0` or is not finite.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, resistance: f64) -> ElementId {
+        assert!(
+            resistance != 0.0 && resistance.is_finite(),
+            "resistance must be nonzero and finite, got {resistance}"
+        );
+        self.push(Element::Resistor { a, b, resistance })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance <= 0.0` or is not finite.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, capacitance: f64) -> ElementId {
+        assert!(
+            capacitance > 0.0 && capacitance.is_finite(),
+            "capacitance must be positive and finite, got {capacitance}"
+        );
+        self.push(Element::Capacitor { a, b, capacitance })
+    }
+
+    /// Adds an independent voltage source (`V(pos) − V(neg) = value(t)`).
+    pub fn voltage_source(&mut self, pos: NodeId, neg: NodeId, value: SourceValue) -> ElementId {
+        self.push(Element::VoltageSource { pos, neg, value })
+    }
+
+    /// Adds an independent current source pushing `value(t)` amps into `pos`.
+    pub fn current_source(&mut self, pos: NodeId, neg: NodeId, value: SourceValue) -> ElementId {
+        self.push(Element::CurrentSource { pos, neg, value })
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    pub fn vcvs(
+        &mut self,
+        out_pos: NodeId,
+        out_neg: NodeId,
+        ctrl_pos: NodeId,
+        ctrl_neg: NodeId,
+        gain: f64,
+    ) -> ElementId {
+        self.push(Element::Vcvs {
+            out_pos,
+            out_neg,
+            ctrl_pos,
+            ctrl_neg,
+            gain,
+        })
+    }
+
+    /// Adds a PWL diode conducting from `anode` to `cathode`.
+    pub fn diode(&mut self, anode: NodeId, cathode: NodeId, model: DiodeModel) -> ElementId {
+        self.push(Element::Diode {
+            anode,
+            cathode,
+            model,
+        })
+    }
+
+    /// Adds a single-pole op-amp (output referenced to ground).
+    pub fn opamp(&mut self, inp: NodeId, inn: NodeId, out: NodeId, model: OpAmpModel) -> ElementId {
+        self.push(Element::OpAmp {
+            inp,
+            inn,
+            out,
+            model,
+        })
+    }
+
+    /// Adds a grounded negative resistor with first-order settling dynamics
+    /// (exact `−magnitude` Ω in DC; `τ`-lagged current injection in
+    /// transient — the behavioural model of an op-amp NIC).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `magnitude > 0` and `tau >= 0` and both are finite.
+    pub fn negative_resistor_dyn(&mut self, a: NodeId, magnitude: f64, tau: f64) -> ElementId {
+        assert!(
+            magnitude > 0.0 && magnitude.is_finite(),
+            "negative-resistor magnitude must be positive and finite, got {magnitude}"
+        );
+        assert!(tau >= 0.0 && tau.is_finite(), "tau must be nonnegative, got {tau}");
+        self.push(Element::NegativeResistorDyn { a, magnitude, tau })
+    }
+
+    /// Adds a behavioural memristor in the given initial state.
+    pub fn memristor(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        model: MemristorModel,
+        state: MemristorState,
+    ) -> ElementId {
+        self.push(Element::Memristor {
+            a,
+            b,
+            model,
+            state,
+            tuned_lrs: None,
+        })
+    }
+
+    /// Changes a resistor's resistance in place (used by tuning studies).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a resistor;
+    /// [`CircuitError::InvalidParameter`] for zero/non-finite values.
+    pub fn set_resistance(&mut self, id: ElementId, resistance: f64) -> Result<(), CircuitError> {
+        if resistance == 0.0 || !resistance.is_finite() {
+            return Err(CircuitError::InvalidParameter {
+                what: format!("resistance {resistance}"),
+            });
+        }
+        match self.elements.get_mut(id.0) {
+            Some(Element::Resistor { resistance: r, .. }) => {
+                *r = resistance;
+                Ok(())
+            }
+            _ => Err(CircuitError::WrongElementKind {
+                expected: "resistor",
+            }),
+        }
+    }
+
+    /// Changes a voltage source's waveform in place.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a voltage source.
+    pub fn set_source_value(
+        &mut self,
+        id: ElementId,
+        value: SourceValue,
+    ) -> Result<(), CircuitError> {
+        match self.elements.get_mut(id.0) {
+            Some(Element::VoltageSource { value: v, .. }) => {
+                *v = value;
+                Ok(())
+            }
+            Some(Element::CurrentSource { value: v, .. }) => {
+                *v = value;
+                Ok(())
+            }
+            _ => Err(CircuitError::WrongElementKind { expected: "source" }),
+        }
+    }
+
+    /// Sets a memristor's resistance state directly (bypassing the
+    /// threshold-programming model; the crossbar's §3.1 pulse protocol lives
+    /// in the `ohmflow` core crate and calls [`Circuit::program_memristor`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a memristor.
+    pub fn set_memristor_state(
+        &mut self,
+        id: ElementId,
+        state: MemristorState,
+    ) -> Result<(), CircuitError> {
+        match self.elements.get_mut(id.0) {
+            Some(Element::Memristor { state: s, .. }) => {
+                *s = state;
+                Ok(())
+            }
+            _ => Err(CircuitError::WrongElementKind {
+                expected: "memristor",
+            }),
+        }
+    }
+
+    /// Applies a programming pulse of `volts` across a memristor
+    /// (terminal `a` minus terminal `b`). Positive pulses at or above the
+    /// threshold set LRS; negative pulses at or below `-threshold` reset to
+    /// HRS; sub-threshold pulses are ignored — matching the behaviour relied
+    /// on by the row-by-row crossbar programming protocol of §3.1.
+    ///
+    /// Returns the resulting state.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a memristor.
+    pub fn program_memristor(
+        &mut self,
+        id: ElementId,
+        volts: f64,
+    ) -> Result<MemristorState, CircuitError> {
+        match self.elements.get_mut(id.0) {
+            Some(Element::Memristor { state, model, .. }) => {
+                if volts >= model.v_threshold {
+                    *state = MemristorState::Lrs;
+                } else if volts <= -model.v_threshold {
+                    *state = MemristorState::Hrs;
+                }
+                Ok(*state)
+            }
+            _ => Err(CircuitError::WrongElementKind {
+                expected: "memristor",
+            }),
+        }
+    }
+
+    /// Fine-tunes a memristor's LRS resistance (§4.3.2). Pass `None` to
+    /// clear the tuning override.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a memristor;
+    /// [`CircuitError::InvalidParameter`] for non-positive values.
+    pub fn tune_memristor(
+        &mut self,
+        id: ElementId,
+        lrs_resistance: Option<f64>,
+    ) -> Result<(), CircuitError> {
+        if let Some(r) = lrs_resistance {
+            if r <= 0.0 || !r.is_finite() {
+                return Err(CircuitError::InvalidParameter {
+                    what: format!("tuned LRS resistance {r}"),
+                });
+            }
+        }
+        match self.elements.get_mut(id.0) {
+            Some(Element::Memristor { tuned_lrs, .. }) => {
+                *tuned_lrs = lrs_resistance;
+                Ok(())
+            }
+            _ => Err(CircuitError::WrongElementKind {
+                expected: "memristor",
+            }),
+        }
+    }
+
+    /// Memristor state of element `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a memristor.
+    pub fn memristor_state(&self, id: ElementId) -> Result<MemristorState, CircuitError> {
+        match self.elements.get(id.0) {
+            Some(Element::Memristor { state, .. }) => Ok(*state),
+            _ => Err(CircuitError::WrongElementKind {
+                expected: "memristor",
+            }),
+        }
+    }
+
+    /// Element ids of all diodes, in element order.
+    pub fn diode_ids(&self) -> Vec<ElementId> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, Element::Diode { .. }).then_some(ElementId(i)))
+            .collect()
+    }
+
+    /// Number of diodes (each contributes one binary conduction state).
+    pub fn diode_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Diode { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_nodes_are_deduplicated() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        let b = ckt.node("b");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(ckt.node_count(), 3);
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("gnd"), Some(Circuit::GROUND));
+        assert_eq!(ckt.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn memristor_programming_protocol() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.memristor(a, Circuit::GROUND, MemristorModel::table1(), MemristorState::Hrs);
+        // Sub-threshold pulse: no change.
+        assert_eq!(ckt.program_memristor(m, 1.0).unwrap(), MemristorState::Hrs);
+        // Set pulse.
+        assert_eq!(ckt.program_memristor(m, 2.0).unwrap(), MemristorState::Lrs);
+        // Half-selected cell (threshold/2): must not disturb.
+        assert_eq!(ckt.program_memristor(m, -0.75).unwrap(), MemristorState::Lrs);
+        // Reset pulse.
+        assert_eq!(ckt.program_memristor(m, -2.0).unwrap(), MemristorState::Hrs);
+    }
+
+    #[test]
+    fn tuning_validation() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.memristor(a, Circuit::GROUND, MemristorModel::table1(), MemristorState::Lrs);
+        assert!(ckt.tune_memristor(m, Some(-1.0)).is_err());
+        ckt.tune_memristor(m, Some(9_500.0)).unwrap();
+        assert_eq!(ckt.element(m).memristance(), Some(9_500.0));
+        ckt.tune_memristor(m, None).unwrap();
+        assert_eq!(ckt.element(m).memristance(), Some(10e3));
+    }
+
+    #[test]
+    fn wrong_element_kind_errors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor(a, Circuit::GROUND, 1.0);
+        assert!(matches!(
+            ckt.program_memristor(r, 2.0),
+            Err(CircuitError::WrongElementKind { .. })
+        ));
+        assert!(ckt.set_resistance(r, 2.0).is_ok());
+        assert!(ckt.set_resistance(r, 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be nonzero")]
+    fn zero_resistor_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, 0.0);
+    }
+
+    #[test]
+    fn negative_resistance_is_allowed() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, -5e3);
+        assert_eq!(ckt.element_count(), 1);
+    }
+}

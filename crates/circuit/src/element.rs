@@ -1,0 +1,362 @@
+use crate::ids::NodeId;
+use crate::source::SourceValue;
+
+/// Piecewise-linear diode model.
+///
+/// The substrate's clamping diodes are treated as ideal switches with a
+/// small on-resistance and a large off-resistance; the optional forward
+/// drop `v_on` models the real turn-on voltage which, per §2.1 of the
+/// paper, is compensated by adjusting the clamp voltage sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Series resistance when conducting (Ω).
+    pub r_on: f64,
+    /// Leakage resistance when blocking (Ω).
+    pub r_off: f64,
+    /// Forward voltage drop (V); `0.0` for an ideal diode.
+    pub v_on: f64,
+}
+
+impl DiodeModel {
+    /// Ideal switch diode: 10 mΩ on, 1 GΩ off, no forward drop. (A literal
+    /// 0 Ω switch makes the PWL complementarity iteration chatter at clamp
+    /// boundaries; 10 mΩ keeps the clamp voltage error below 10⁻⁴ of the
+    /// substrate's signal levels.)
+    pub fn ideal() -> Self {
+        DiodeModel {
+            r_on: 1e-2,
+            r_off: 1e9,
+            v_on: 0.0,
+        }
+    }
+
+    /// Silicon-like diode with a 0.7 V drop (used in non-ideality studies).
+    pub fn silicon() -> Self {
+        DiodeModel {
+            r_on: 1.0,
+            r_off: 1e9,
+            v_on: 0.7,
+        }
+    }
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel::ideal()
+    }
+}
+
+/// Single-pole operational-amplifier macromodel.
+///
+/// DC behaviour is a finite-gain VCVS (`V_out = A · (V⁺ − V⁻)`); transient
+/// behaviour adds the dominant pole so the closed-loop settling speed is set
+/// by the gain–bandwidth product, matching Table 1 of the paper:
+///
+/// `τ · dV_out/dt = A · (V⁺ − V⁻) − V_out`, with `τ = A / (2π · GBW)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAmpModel {
+    /// Open-loop DC gain `A` (dimensionless). Table 1 uses `1e4`.
+    pub gain: f64,
+    /// Gain–bandwidth product in Hz. Table 1 sweeps 10–50 GHz.
+    pub gbw_hz: f64,
+    /// Output saturation rails `(low, high)` in volts.
+    pub rails: (f64, f64),
+    /// Output resistance (Ω); a small nonzero value keeps MNA well posed
+    /// when the output drives another source-like branch.
+    pub r_out: f64,
+}
+
+impl OpAmpModel {
+    /// The paper's Table 1 op-amp: gain 1e4, GBW 10 GHz, ±100 V rails
+    /// (effectively unsaturated for the voltage levels involved).
+    pub fn table1() -> Self {
+        OpAmpModel {
+            gain: 1e4,
+            gbw_hz: 10e9,
+            rails: (-100.0, 100.0),
+            r_out: 0.0,
+        }
+    }
+
+    /// Same as [`OpAmpModel::table1`] but with the given GBW in Hz.
+    pub fn with_gbw(gbw_hz: f64) -> Self {
+        OpAmpModel {
+            gbw_hz,
+            ..OpAmpModel::table1()
+        }
+    }
+
+    /// Dominant-pole time constant `τ = A / (2π · GBW)` in seconds.
+    pub fn time_constant(&self) -> f64 {
+        self.gain / (2.0 * std::f64::consts::PI * self.gbw_hz)
+    }
+}
+
+impl Default for OpAmpModel {
+    fn default() -> Self {
+        OpAmpModel::table1()
+    }
+}
+
+/// Resistance states of a behavioural memristor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemristorState {
+    /// High-resistance state: the crossbar switch is *open*.
+    #[default]
+    Hrs,
+    /// Low-resistance state: the switch is *closed* and acts as the
+    /// resistor `r` of the substrate.
+    Lrs,
+}
+
+/// Behavioural memristor model (threshold-switching, per §3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemristorModel {
+    /// LRS memristance (Ω). Table 1: 10 kΩ.
+    pub r_lrs: f64,
+    /// HRS memristance (Ω). Table 1: 1 MΩ.
+    pub r_hrs: f64,
+    /// Programming threshold voltage (V): pulses with magnitude at or above
+    /// this switch the state; anything below leaves it untouched.
+    pub v_threshold: f64,
+}
+
+impl MemristorModel {
+    /// Table 1 memristor: LRS 10 kΩ, HRS 1 MΩ, 1.5 V threshold (typical of
+    /// the cited literature).
+    pub fn table1() -> Self {
+        MemristorModel {
+            r_lrs: 10e3,
+            r_hrs: 1e6,
+            v_threshold: 1.5,
+        }
+    }
+
+    /// Resistance in a given state.
+    pub fn resistance(&self, state: MemristorState) -> f64 {
+        match state {
+            MemristorState::Hrs => self.r_hrs,
+            MemristorState::Lrs => self.r_lrs,
+        }
+    }
+}
+
+impl Default for MemristorModel {
+    fn default() -> Self {
+        MemristorModel::table1()
+    }
+}
+
+/// A device instance in a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Element {
+    /// Linear resistor between `a` and `b`; `resistance` may be *negative*
+    /// (the substrate's constraint circuits rely on negative resistors).
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in Ω (nonzero, possibly negative).
+        resistance: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (positive).
+        capacitance: f64,
+    },
+    /// Independent voltage source: `V(pos) − V(neg) = value(t)`.
+    VoltageSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source waveform.
+        value: SourceValue,
+    },
+    /// Independent current source driving `value(t)` amps from `neg`
+    /// through the source into `pos` (i.e. into the `pos` node).
+    CurrentSource {
+        /// Terminal receiving the current.
+        pos: NodeId,
+        /// Terminal sourcing the current.
+        neg: NodeId,
+        /// Source waveform.
+        value: SourceValue,
+    },
+    /// Voltage-controlled voltage source:
+    /// `V(out_pos) − V(out_neg) = gain · (V(ctrl_pos) − V(ctrl_neg))`.
+    Vcvs {
+        /// Output positive terminal.
+        out_pos: NodeId,
+        /// Output negative terminal.
+        out_neg: NodeId,
+        /// Control positive terminal.
+        ctrl_pos: NodeId,
+        /// Control negative terminal.
+        ctrl_neg: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Piecewise-linear diode conducting from `anode` to `cathode`.
+    Diode {
+        /// Anode.
+        anode: NodeId,
+        /// Cathode.
+        cathode: NodeId,
+        /// PWL model parameters.
+        model: DiodeModel,
+    },
+    /// Single-pole op-amp; output referenced to ground.
+    OpAmp {
+        /// Non-inverting input.
+        inp: NodeId,
+        /// Inverting input.
+        inn: NodeId,
+        /// Output node.
+        out: NodeId,
+        /// Macromodel parameters.
+        model: OpAmpModel,
+    },
+    /// Grounded negative resistor with first-order settling dynamics.
+    ///
+    /// DC behaviour is an exact `−magnitude` resistance; in transient the
+    /// injected current follows `τ · di/dt = −V(a)/magnitude − i`, modelling
+    /// an op-amp negative-impedance converter whose loop settles at the
+    /// amplifier's dominant-pole time constant. This is what makes the
+    /// substrate's constraint enforcement *slower* than the parasitic RC —
+    /// the two-time-scale structure that keeps the indefinite network
+    /// dynamically stable (see the `ohmflow` DESIGN notes).
+    NegativeResistorDyn {
+        /// Grounded terminal.
+        a: NodeId,
+        /// Magnitude of the negative resistance (Ω, positive number).
+        magnitude: f64,
+        /// Settling time constant (seconds).
+        tau: f64,
+    },
+    /// Behavioural memristor between `a` and `b`.
+    Memristor {
+        /// First terminal (programming "row" side).
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Model parameters.
+        model: MemristorModel,
+        /// Current resistance state.
+        state: MemristorState,
+        /// Fine-tuned resistance override (Ω) applied when in LRS; `None`
+        /// uses `model.r_lrs`. Supports §4.3.2 post-fabrication tuning.
+        tuned_lrs: Option<f64>,
+    },
+}
+
+impl Element {
+    /// The two "primary" terminals of the element (output terminals for
+    /// controlled sources). Useful for connectivity checks.
+    pub fn terminals(&self) -> (NodeId, NodeId) {
+        match self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Memristor { a, b, .. } => (*a, *b),
+            Element::VoltageSource { pos, neg, .. } | Element::CurrentSource { pos, neg, .. } => {
+                (*pos, *neg)
+            }
+            Element::Vcvs { out_pos, out_neg, .. } => (*out_pos, *out_neg),
+            Element::NegativeResistorDyn { a, .. } => (*a, NodeId::GROUND),
+            Element::Diode { anode, cathode, .. } => (*anode, *cathode),
+            Element::OpAmp { out, .. } => (*out, NodeId::GROUND),
+        }
+    }
+
+    /// `true` if the element introduces a branch-current unknown in MNA.
+    pub fn has_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. }
+                | Element::Vcvs { .. }
+                | Element::OpAmp { .. }
+                | Element::NegativeResistorDyn { .. }
+        )
+    }
+
+    /// Effective resistance of a memristor element in its present state.
+    ///
+    /// Returns `None` for other element kinds.
+    pub fn memristance(&self) -> Option<f64> {
+        match self {
+            Element::Memristor {
+                model,
+                state,
+                tuned_lrs,
+                ..
+            } => Some(match state {
+                MemristorState::Lrs => tuned_lrs.unwrap_or(model.r_lrs),
+                MemristorState::Hrs => model.r_hrs,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opamp_time_constant() {
+        let m = OpAmpModel::table1();
+        // tau = 1e4 / (2*pi*1e10) ≈ 1.59e-7
+        assert!((m.time_constant() - 1.5915e-7).abs() < 1e-10);
+        let fast = OpAmpModel::with_gbw(50e9);
+        assert!(fast.time_constant() < m.time_constant());
+    }
+
+    #[test]
+    fn memristor_state_resistance() {
+        let m = MemristorModel::table1();
+        assert_eq!(m.resistance(MemristorState::Lrs), 10e3);
+        assert_eq!(m.resistance(MemristorState::Hrs), 1e6);
+    }
+
+    #[test]
+    fn memristance_respects_tuning() {
+        let e = Element::Memristor {
+            a: NodeId(1),
+            b: NodeId(2),
+            model: MemristorModel::table1(),
+            state: MemristorState::Lrs,
+            tuned_lrs: Some(9_900.0),
+        };
+        assert_eq!(e.memristance(), Some(9_900.0));
+        let e_hrs = Element::Memristor {
+            a: NodeId(1),
+            b: NodeId(2),
+            model: MemristorModel::table1(),
+            state: MemristorState::Hrs,
+            tuned_lrs: Some(9_900.0),
+        };
+        assert_eq!(e_hrs.memristance(), Some(1e6), "tuning only affects LRS");
+    }
+
+    #[test]
+    fn branch_current_classification() {
+        let r = Element::Resistor {
+            a: NodeId(1),
+            b: NodeId(0),
+            resistance: 1.0,
+        };
+        assert!(!r.has_branch_current());
+        let v = Element::VoltageSource {
+            pos: NodeId(1),
+            neg: NodeId(0),
+            value: SourceValue::dc(1.0),
+        };
+        assert!(v.has_branch_current());
+    }
+}

@@ -1,0 +1,273 @@
+use std::collections::HashMap;
+
+use crate::ids::{ElementId, NodeId};
+
+/// A recorded time-series view over one signal of a [`WaveformSet`].
+///
+/// The time axis is shared by every signal in the set.
+#[derive(Debug, Clone, Copy)]
+pub struct Waveform<'a> {
+    times: &'a [f64],
+    values: &'a [f64],
+}
+
+impl<'a> Waveform<'a> {
+    /// Builds a waveform view over external slices — used to analyse
+    /// *derived* series (e.g. a flow value computed from several node
+    /// voltages) with the same settle-time machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_slices(times: &'a [f64], values: &'a [f64]) -> Self {
+        assert_eq!(times.len(), values.len(), "waveform slices must align");
+        Waveform { times, values }
+    }
+
+    /// Sample times (seconds).
+    pub fn times(&self) -> &'a [f64] {
+        self.times
+    }
+
+    /// Sample values, aligned with [`Waveform::times`].
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Last recorded value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("waveform is empty")
+    }
+
+    /// Linearly interpolated value at time `t`, clamped to the recorded
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty waveform.
+    pub fn value_at(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "waveform is empty");
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return self.last_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.times.partition_point(|&x| x < t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// Settling time per the paper's §5.1 definition: the earliest time `T`
+    /// such that the signal stays within `frac` (relative) of its **final**
+    /// value for all recorded samples at or after `T`.
+    ///
+    /// The comparison uses `|v − v_final| ≤ frac · max(|v_final|, floor)`
+    /// where `floor` guards signals settling to zero.
+    ///
+    /// Returns `None` if even the last sample violates the band (cannot
+    /// happen with `frac > 0`) or the waveform is empty.
+    pub fn settle_time(&self, frac: f64) -> Option<f64> {
+        self.settle_time_with_floor(frac, 1e-12)
+    }
+
+    /// [`Waveform::settle_time`] with an explicit absolute floor.
+    pub fn settle_time_with_floor(&self, frac: f64, floor: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let target = self.last_value();
+        let band = frac * target.abs().max(floor);
+        // Walk backwards: find the last sample outside the band.
+        let mut settle_idx = 0;
+        for i in (0..self.values.len()).rev() {
+            if (self.values[i] - target).abs() > band {
+                settle_idx = i + 1;
+                break;
+            }
+        }
+        self.times.get(settle_idx).copied()
+    }
+
+    /// Iterator over `(time, value)` samples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + 'a {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+/// All signals recorded by a transient analysis, sharing one time axis.
+#[derive(Debug, Clone, Default)]
+pub struct WaveformSet {
+    times: Vec<f64>,
+    node_index: HashMap<NodeId, usize>,
+    current_index: HashMap<ElementId, usize>,
+    data: Vec<Vec<f64>>,
+}
+
+impl WaveformSet {
+    /// Creates an empty set recording the given node voltages and element
+    /// branch currents. Public so reduced-order models outside this crate
+    /// can assemble waveform sets with the same analysis API.
+    pub fn new(nodes: &[NodeId], currents: &[ElementId]) -> Self {
+        let mut set = WaveformSet::default();
+        for &n in nodes {
+            let idx = set.data.len();
+            set.node_index.insert(n, idx);
+            set.data.push(Vec::new());
+        }
+        for &c in currents {
+            let idx = set.data.len();
+            set.current_index.insert(c, idx);
+            set.data.push(Vec::new());
+        }
+        set
+    }
+
+    /// Appends one sample: `values` must hold the node columns (in the
+    /// order given to [`WaveformSet::new`]) followed by the current columns.
+    pub fn push_sample(&mut self, t: f64, values: &[f64]) {
+        debug_assert_eq!(values.len(), self.data.len());
+        self.times.push(t);
+        for (col, v) in self.data.iter_mut().zip(values) {
+            col.push(*v);
+        }
+    }
+
+    pub(crate) fn node_columns(&self) -> Vec<(NodeId, usize)> {
+        let mut v: Vec<_> = self.node_index.iter().map(|(&n, &i)| (n, i)).collect();
+        v.sort_by_key(|&(_, i)| i);
+        v
+    }
+
+    pub(crate) fn current_columns(&self) -> Vec<(ElementId, usize)> {
+        let mut v: Vec<_> = self.current_index.iter().map(|(&e, &i)| (e, i)).collect();
+        v.sort_by_key(|&(_, i)| i);
+        v
+    }
+
+    /// Shared time axis (seconds).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage waveform of `node`, if it was probed.
+    pub fn voltage(&self, node: NodeId) -> Option<Waveform<'_>> {
+        self.node_index.get(&node).map(|&i| Waveform {
+            times: &self.times,
+            values: &self.data[i],
+        })
+    }
+
+    /// Branch-current waveform of `element` (current from the positive
+    /// terminal *into* the element), if it was probed.
+    pub fn branch_current(&self, element: ElementId) -> Option<Waveform<'_>> {
+        self.current_index.get(&element).map(|&i| Waveform {
+            times: &self.times,
+            values: &self.data[i],
+        })
+    }
+
+    /// Source-current waveform of `element` (current delivered out of the
+    /// positive terminal), materialized as an owned vector.
+    pub fn source_current_values(&self, element: ElementId) -> Option<Vec<f64>> {
+        self.branch_current(element)
+            .map(|w| w.values().iter().map(|v| -v).collect())
+    }
+
+    /// Probed nodes.
+    pub fn probed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_index.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_set(times: Vec<f64>, values: Vec<f64>) -> WaveformSet {
+        let mut set = WaveformSet::new(&[NodeId(1)], &[]);
+        for (t, v) in times.iter().zip(&values) {
+            set.push_sample(*t, &[*v]);
+        }
+        set
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let set = make_set(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0]);
+        let w = set.voltage(NodeId(1)).unwrap();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 5.0);
+        assert_eq!(w.value_at(5.0), 10.0);
+        assert_eq!(w.last_value(), 10.0);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn settle_time_finds_band_entry() {
+        // Exponential-ish: 0, 5, 9, 9.9, 9.99, 10
+        let set = make_set(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0.0, 5.0, 9.0, 9.9, 9.99, 10.0],
+        );
+        let w = set.voltage(NodeId(1)).unwrap();
+        // 1% band around 10: |v-10| <= 0.1 → first sample inside is 9.9? No:
+        // |9.9-10|=0.1 <= 0.1 → t=3.
+        let ts = w.settle_time(0.01).unwrap();
+        assert_eq!(ts, 3.0);
+        // 0.1% band: |9.99-10|=0.01 <= 0.01 → t=4.
+        assert_eq!(w.settle_time(0.001).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn settle_time_monotone_signal_settling_to_zero() {
+        let set = make_set(vec![0.0, 1.0, 2.0], vec![1.0, 1e-3, 0.0]);
+        let w = set.voltage(NodeId(1)).unwrap();
+        // Final value 0: floor kicks in, only the last sample is within.
+        assert_eq!(w.settle_time(0.001).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn constant_signal_settles_immediately() {
+        let set = make_set(vec![0.0, 1.0], vec![2.0, 2.0]);
+        let w = set.voltage(NodeId(1)).unwrap();
+        assert_eq!(w.settle_time(0.001).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn missing_probe_is_none() {
+        let set = make_set(vec![0.0], vec![1.0]);
+        assert!(set.voltage(NodeId(9)).is_none());
+        assert!(set.branch_current(ElementId(0)).is_none());
+    }
+}

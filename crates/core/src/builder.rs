@@ -1,0 +1,487 @@
+//! Direct-mapped construction of the max-flow circuit (§2 of the paper).
+//!
+//! For every edge there is a circuit node whose steady-state voltage is the
+//! flow on that edge:
+//!
+//! * **capacity widget** (Fig. 1): two clamp diodes and a (shared,
+//!   quantized) voltage source enforce `0 ≤ V(x) ≤ Q(c)`,
+//! * **conservation widget** (Fig. 2): per interior vertex, each incoming
+//!   edge gets a voltage-negation sub-circuit (two `r` resistors into a
+//!   node `P` terminated by `−r/2`), all incident edges connect through `r`
+//!   resistors to the vertex node `n_v`, which is terminated by
+//!   `−R = −r/(j+k)` — KCL then forces `Σ V(in) = Σ V(out)`,
+//! * **objective widget** (Fig. 3): `V_flow` drives every source-adjacent
+//!   edge node through an `r` resistor; Eq. (7a) recovers the flow value
+//!   from the source current.
+//!
+//! Negative resistors are realized either as ideal negative-conductance
+//! elements or as op-amp negative-impedance converters (Fig. 9a), whose
+//! finite gain-bandwidth product gives the substrate its §5.1 convergence
+//! dynamics.
+
+use ohmflow_circuit::{Circuit, ElementId, NodeId, SourceValue};
+
+use ohmflow_graph::FlowNetwork;
+
+use crate::params::SubstrateParams;
+use crate::quantize::{ExactScaling, Quantizer};
+use crate::AnalogError;
+
+/// How edge capacities become clamp voltages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityMapping {
+    /// One (deduplicated) exact voltage per capacity value — the §2
+    /// idealization.
+    Exact,
+    /// §4.1 quantization onto `levels` shared levels spanning `[0, V_dd]`.
+    Quantized {
+        /// Number of voltage levels `N`.
+        levels: u32,
+    },
+}
+
+/// How the substrate's negative resistors are realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NegativeResistorImpl {
+    /// Ideal negative-conductance elements. Exact in DC; **dynamically
+    /// unstable** under transient analysis with parasitic capacitance (the
+    /// constraint nodes have zero net self-conductance), so use this for
+    /// quasi-static solves only.
+    Ideal,
+    /// Behavioural op-amp NIC (default): exact `−R` in DC, first-order
+    /// settling at the op-amp's dominant-pole time constant
+    /// `τ = A/(2π·GBW)` in transient. This slow constraint enforcement is
+    /// the two-time-scale structure that keeps the network stable and gives
+    /// the §5.1 GBW-dependent convergence times.
+    #[default]
+    Dynamic,
+    /// Literal op-amp negative-impedance converter per Fig. 9a (three
+    /// resistors + op-amp with positive feedback). Retained for the
+    /// ablation study that demonstrates NIC latch-up — a grounded NIC
+    /// loaded with an impedance at or above its magnitude is not
+    /// open-circuit stable, which is exactly the substrate's regime.
+    OpAmp,
+}
+
+/// Shape of the `V_flow` drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Drive {
+    /// Step from 0 to `V_flow` at `t = 0` (the §5.1 experiment).
+    Step,
+    /// Constant `V_flow` (DC / quasi-static studies).
+    Dc,
+    /// Linear ramp from 0 to `V_flow` over the given duration (the §6.5
+    /// slow-varying analysis).
+    Ramp {
+        /// Ramp duration in seconds.
+        duration: f64,
+    },
+}
+
+/// Build options for [`build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildOptions {
+    /// Capacity→voltage mapping.
+    pub capacity_mapping: CapacityMapping,
+    /// Negative-resistor realization.
+    pub negative_resistor: NegativeResistorImpl,
+    /// Add the §5.1 parasitic capacitance to every circuit net.
+    pub parasitics: bool,
+    /// `V_flow` drive shape.
+    pub drive: Drive,
+    /// Relative over-sizing `δ` of every negative-resistance magnitude:
+    /// the realized value is `−R(1+δ)`.
+    ///
+    /// `None` applies the paper's own finite-gain formula (§4.2),
+    /// `R_eff = −(1 + (1/A)(R0/R_target))·R_target` with `R0 = r`, which
+    /// over-sizes each NIC by `δ = r/(A·R_target)`. This tiny margin is
+    /// **essential**: it leaves a small positive net conductance at every
+    /// constraint node — with exact values the conservation sub-circuits
+    /// have zero damping and the transient diverges. `Some(0.0)` reproduces
+    /// that ideal-but-unstable case for the ablation study.
+    pub nic_margin: Option<f64>,
+    /// Leak conductance at every constraint node (`P` and `n_v`), expressed
+    /// as a fraction `ε` of the unit conductance `1/r`: a resistor `r/ε` to
+    /// ground is added in parallel with each negative resistor.
+    ///
+    /// The exact Fig. 2 widgets are *pure integrators* of constraint
+    /// violation (their node conductances sum to zero); cascaded pure
+    /// integrators with the op-amp lag ring without bound. A small leak
+    /// turns each into a stable slow pole — the classic "leaky multiplier"
+    /// of analog LP solvers (Kennedy & Chua, the paper's ref.\ 24) — at the
+    /// cost of an `O(ε)` constraint softening that adds to the solution
+    /// error. `0.0` disables the leak (quasi-static solves don't need it).
+    pub constraint_leak: f64,
+}
+
+impl BuildOptions {
+    /// Ideal steady-state configuration: exact capacities, ideal negative
+    /// resistors, no parasitics, DC drive.
+    pub fn ideal() -> Self {
+        BuildOptions {
+            capacity_mapping: CapacityMapping::Exact,
+            negative_resistor: NegativeResistorImpl::Ideal,
+            parasitics: false,
+            drive: Drive::Dc,
+            nic_margin: Some(0.0),
+            constraint_leak: 0.0,
+        }
+    }
+
+    /// The §5.1 evaluation configuration: quantized levels (Table 1's
+    /// `N = 20` comes from `params` at build time), op-amp NICs,
+    /// parasitics, step drive.
+    pub fn evaluation(params: &SubstrateParams) -> Self {
+        BuildOptions {
+            capacity_mapping: CapacityMapping::Quantized {
+                levels: params.voltage_levels,
+            },
+            negative_resistor: NegativeResistorImpl::Dynamic,
+            parasitics: true,
+            drive: Drive::Step,
+            nic_margin: Some(0.0),
+            constraint_leak: 0.0,
+        }
+    }
+}
+
+/// Structural statistics of a built substrate circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildStats {
+    /// Circuit nodes (including ground).
+    pub nodes: usize,
+    /// Total elements.
+    pub elements: usize,
+    /// Clamp diodes.
+    pub diodes: usize,
+    /// Realized op-amps (0 with ideal negative resistors).
+    pub opamps: usize,
+    /// Negative resistors (ideal or NIC), `= |E'| + |V'|` where the primes
+    /// count negation widgets and conservation stars actually built.
+    pub negative_resistors: usize,
+    /// Independent voltage sources (V_flow + capacity levels).
+    pub sources: usize,
+}
+
+/// A max-flow instance mapped onto the analog substrate.
+#[derive(Debug, Clone)]
+pub struct SubstrateCircuit {
+    circuit: Circuit,
+    edge_nodes: Vec<NodeId>,
+    /// Per edge: (lower clamp diode, upper clamp diode) element ids.
+    clamp_diodes: Vec<(ElementId, ElementId)>,
+    vflow: ElementId,
+    vflow_value: f64,
+    /// Volts per unit flow: `V_dd / C`.
+    volts_per_flow: f64,
+    /// Clamp voltage per edge after capacity mapping.
+    clamp_volts: Vec<f64>,
+    /// Edge ids leaving the source.
+    source_out: Vec<usize>,
+    /// Edge ids entering the source (counted negatively in the value).
+    source_in: Vec<usize>,
+    stats: BuildStats,
+}
+
+/// Builds the direct-mapped circuit of `g` (Figs. 1–3).
+///
+/// # Errors
+///
+/// [`AnalogError::InvalidConfig`] for degenerate options (e.g. a ramp of
+/// non-positive duration) and [`AnalogError::Graph`] style issues coming
+/// from an edge-less graph.
+pub fn build(
+    g: &FlowNetwork,
+    params: &SubstrateParams,
+    opts: &BuildOptions,
+) -> Result<SubstrateCircuit, AnalogError> {
+    if g.edge_count() == 0 {
+        return Err(AnalogError::InvalidConfig {
+            what: "graph has no edges".to_owned(),
+        });
+    }
+    if let Drive::Ramp { duration } = opts.drive {
+        if !(duration > 0.0) {
+            return Err(AnalogError::InvalidConfig {
+                what: format!("ramp duration {duration}"),
+            });
+        }
+    }
+
+    let c_max = g.max_capacity() as f64;
+    let exact = ExactScaling::new(params.v_dd, c_max);
+    let quantizer = match opts.capacity_mapping {
+        CapacityMapping::Exact => None,
+        CapacityMapping::Quantized { levels } => {
+            Some(Quantizer::new(levels, params.v_dd, c_max))
+        }
+    };
+    let clamp_volts: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| match &quantizer {
+            None => exact.to_volts(e.capacity as f64),
+            Some(q) => q.quantize(e.capacity as f64),
+        })
+        .collect();
+
+    let mut ckt = Circuit::new();
+    let r = params.r_unit;
+    let mut stats = BuildStats::default();
+
+    // V_flow drive.
+    let vflow_node = ckt.node("vflow");
+    let drive_wave = match opts.drive {
+        Drive::Step => SourceValue::step(0.0, params.v_flow, 0.0),
+        Drive::Dc => SourceValue::dc(params.v_flow),
+        Drive::Ramp { duration } => SourceValue::ramp(0.0, 0.0, duration, params.v_flow),
+    };
+    let vflow = ckt.voltage_source(vflow_node, Circuit::GROUND, drive_wave);
+    stats.sources += 1;
+
+    // Shared capacity-level sources (one per distinct clamp voltage).
+    let mut level_nodes: Vec<(u64, NodeId)> = Vec::new();
+    let mut level_node = |ckt: &mut Circuit, stats: &mut BuildStats, volts: f64| -> NodeId {
+        let key = volts.to_bits();
+        if let Some(&(_, node)) = level_nodes.iter().find(|&&(k, _)| k == key) {
+            return node;
+        }
+        let node = ckt.node(format!("lvl_{volts:.6}"));
+        ckt.voltage_source(node, Circuit::GROUND, SourceValue::dc(volts));
+        stats.sources += 1;
+        level_nodes.push((key, node));
+        node
+    };
+
+    // Edge nodes + capacity widgets (Fig. 1).
+    //
+    // Edges *into the source* or *out of the sink* can only carry
+    // circulation: they never contribute to the net flow, but the drive
+    // (which maximizes the *gross* outflow of `s`) would happily route
+    // flow in circles through them. The classical reduction deletes them;
+    // in circuit terms their edge node is tied to ground (flow 0), which
+    // keeps edge-id indexing and the incident conservation widgets
+    // consistent.
+    let mut edge_nodes = Vec::with_capacity(g.edge_count());
+    let mut clamp_diodes = Vec::with_capacity(g.edge_count());
+    for (k, e) in g.edges().iter().enumerate() {
+        if e.to == g.source() || e.from == g.sink() {
+            edge_nodes.push(Circuit::GROUND);
+            clamp_diodes.push((ElementId::invalid(), ElementId::invalid()));
+            continue;
+        }
+        let x = ckt.node(format!("x{k}"));
+        edge_nodes.push(x);
+        // Lower clamp: diode from ground to x turns on when V(x) < 0.
+        let lo = ckt.diode(Circuit::GROUND, x, params.diode);
+        // Upper clamp: diode from x to the level source turns on when
+        // V(x) > Q(c). The §2.1 footnote's turn-on compensation: *lower*
+        // the clamp source by v_on so the conducting drop pins the node at
+        // exactly Q(c).
+        let lvl = level_node(&mut ckt, &mut stats, clamp_volts[k] - params.diode.v_on);
+        let hi = ckt.diode(x, lvl, params.diode);
+        clamp_diodes.push((lo, hi));
+        stats.diodes += 2;
+    }
+
+    // Negative-resistor factory. The realized magnitude carries the §4.2
+    // finite-gain margin (see `BuildOptions::nic_margin`).
+    let margin_for = |magnitude: f64| match opts.nic_margin {
+        Some(d) => d,
+        None => params.r_unit / (params.opamp.gain * magnitude),
+    };
+    let leak = opts.constraint_leak;
+    let neg_resistor =
+        |ckt: &mut Circuit, stats: &mut BuildStats, node: NodeId, magnitude: f64, tag: String| {
+            stats.negative_resistors += 1;
+            if leak > 0.0 {
+                ckt.resistor(node, Circuit::GROUND, r / leak);
+            }
+            let magnitude = magnitude * (1.0 + margin_for(magnitude));
+            match opts.negative_resistor {
+                NegativeResistorImpl::Ideal => {
+                    ckt.resistor(node, Circuit::GROUND, -magnitude);
+                }
+                NegativeResistorImpl::Dynamic => {
+                    ckt.negative_resistor_dyn(node, magnitude, params.opamp.time_constant());
+                }
+                NegativeResistorImpl::OpAmp => {
+                    // Grounded NIC (Fig. 9a): opamp + R_target feedback to the
+                    // non-inverting input, R0/R0 divider to the inverting one.
+                    let out = ckt.node(format!("nic_o_{tag}"));
+                    let inv = ckt.node(format!("nic_b_{tag}"));
+                    ckt.opamp(node, inv, out, params.opamp);
+                    ckt.resistor(out, node, magnitude);
+                    ckt.resistor(out, inv, r);
+                    ckt.resistor(inv, Circuit::GROUND, r);
+                    stats.opamps += 1;
+                }
+            }
+        };
+
+    // Objective widget (Fig. 3): V_flow through r to each source-out edge.
+    let source_out: Vec<usize> = g.out_edges(g.source()).map(|e| e.0).collect();
+    let source_in: Vec<usize> = g.in_edges(g.source()).map(|e| e.0).collect();
+    for &k in &source_out {
+        ckt.resistor(vflow_node, edge_nodes[k], r);
+    }
+
+    // Conservation widgets (Fig. 2) for interior vertices. Edges whose
+    // node was grounded (circulation edges, see above) carry exactly zero
+    // flow and are excluded: including them would build negation/star
+    // sub-circuits entirely anchored at ground, which are singular.
+    for v in 0..g.vertex_count() {
+        if v == g.source() || v == g.sink() {
+            continue;
+        }
+        let out_live: Vec<usize> = g
+            .out_edges(v)
+            .map(|e| e.0)
+            .filter(|&k| !edge_nodes[k].is_ground())
+            .collect();
+        let in_live: Vec<usize> = g
+            .in_edges(v)
+            .map(|e| e.0)
+            .filter(|&k| !edge_nodes[k].is_ground())
+            .collect();
+        let n_incident = out_live.len() + in_live.len();
+        if n_incident == 0 {
+            continue;
+        }
+        let nv = ckt.node(format!("n{v}"));
+        for &k in &out_live {
+            ckt.resistor(edge_nodes[k], nv, r);
+        }
+        for &k in &in_live {
+            // Negation sub-circuit: x → P ← x⁻, with −r/2 at P.
+            let p = ckt.node(format!("p{k}"));
+            let xneg = ckt.node(format!("xn{k}"));
+            ckt.resistor(edge_nodes[k], p, r);
+            ckt.resistor(xneg, p, r);
+            neg_resistor(&mut ckt, &mut stats, p, r / 2.0, format!("neg{k}"));
+            ckt.resistor(xneg, nv, r);
+        }
+        neg_resistor(
+            &mut ckt,
+            &mut stats,
+            nv,
+            r / n_incident as f64,
+            format!("star{v}"),
+        );
+    }
+
+    // Parasitic capacitance on every net (§5.1 adds 20 fF per net).
+    if opts.parasitics && params.parasitic_cap > 0.0 {
+        let nets: Vec<NodeId> = ckt.node_ids().filter(|n| !n.is_ground()).collect();
+        for n in nets {
+            ckt.capacitor(n, Circuit::GROUND, params.parasitic_cap);
+        }
+    }
+
+    stats.nodes = ckt.node_count();
+    stats.elements = ckt.element_count();
+
+    Ok(SubstrateCircuit {
+        circuit: ckt,
+        edge_nodes,
+        clamp_diodes,
+        vflow,
+        vflow_value: params.v_flow,
+        volts_per_flow: params.v_dd / c_max,
+        clamp_volts,
+        source_out,
+        source_in,
+        stats,
+    })
+}
+
+impl SubstrateCircuit {
+    /// The underlying netlist.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Mutable access (used by non-ideality injection and tuning).
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
+
+    /// Circuit node carrying the flow of edge `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn edge_node(&self, k: usize) -> NodeId {
+        self.edge_nodes[k]
+    }
+
+    /// All edge nodes, edge-id order.
+    pub fn edge_nodes(&self) -> &[NodeId] {
+        &self.edge_nodes
+    }
+
+    /// Per-edge clamp diodes `(lower, upper)`, edge-id order.
+    pub fn clamp_diodes(&self) -> &[(ElementId, ElementId)] {
+        &self.clamp_diodes
+    }
+
+    /// The `V_flow` source element (probe its current for Eq. 7a).
+    pub fn vflow_source(&self) -> ElementId {
+        self.vflow
+    }
+
+    /// The configured `V_flow` drive level (volts).
+    pub fn vflow_value(&self) -> f64 {
+        self.vflow_value
+    }
+
+    /// Volts per unit of flow (`V_dd / C`).
+    pub fn volts_per_flow(&self) -> f64 {
+        self.volts_per_flow
+    }
+
+    /// Clamp voltage of edge `k` after capacity mapping.
+    pub fn clamp_volts(&self, k: usize) -> f64 {
+        self.clamp_volts[k]
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Converts per-edge node voltages into flow units.
+    pub fn edge_flows(&self, voltage_of: impl Fn(NodeId) -> f64) -> Vec<f64> {
+        self.edge_nodes
+            .iter()
+            .map(|&n| voltage_of(n) / self.volts_per_flow)
+            .collect()
+    }
+
+    /// Flow value `|f|` (flow units) from node voltages: net flow out of
+    /// the source vertex.
+    pub fn flow_value(&self, voltage_of: impl Fn(NodeId) -> f64) -> f64 {
+        let volts: f64 = self
+            .source_out
+            .iter()
+            .map(|&k| voltage_of(self.edge_nodes[k]))
+            .sum::<f64>()
+            - self
+                .source_in
+                .iter()
+                .map(|&k| voltage_of(self.edge_nodes[k]))
+                .sum::<f64>();
+        volts / self.volts_per_flow
+    }
+
+    /// Eq. (7a) readout: recovers `Σ V(x_i)` over the source-adjacent edges
+    /// from the measured `I_flow`, then converts to flow units. This is the
+    /// measurement the physical substrate performs (§3.2): it only needs
+    /// the current through `V_flow`, not the internal node voltages.
+    pub fn flow_value_from_current(&self, i_flow: f64, r_unit: f64) -> f64 {
+        let t = self.source_out.len() as f64;
+        let sum_v = t * self.vflow_value - r_unit * i_flow;
+        let inflow: f64 = 0.0; // the physical readout cannot see s-inbound edges
+        (sum_v - inflow) / self.volts_per_flow
+    }
+}

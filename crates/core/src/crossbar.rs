@@ -1,0 +1,258 @@
+//! §3 reconfigurable crossbar: an `n × n` array of memristor-switched
+//! circuit widgets that physically encodes the adjacency matrix, plus the
+//! §3.1 row-by-row pulse-programming protocol.
+
+use ohmflow_circuit::MemristorState;
+use ohmflow_graph::FlowNetwork;
+
+use crate::params::SubstrateParams;
+use crate::AnalogError;
+
+/// Report of one §3.1 programming pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgrammingReport {
+    /// Programming cycles consumed — always `n` (one per row).
+    pub cycles: usize,
+    /// Cells driven to LRS (edges present).
+    pub set_pulses: usize,
+    /// Cells left/reset to HRS.
+    pub reset_pulses: usize,
+    /// Half-selected cells that saw a sub-threshold disturb voltage.
+    pub half_selected: usize,
+}
+
+/// The reconfigurable crossbar substrate.
+///
+/// Cell `(i, j)` holds the memristor switch of the circuit widget for the
+/// potential edge `i → j`; LRS = edge present (the memristor doubles as the
+/// unit resistor `r`), HRS = absent. Row 0 doubles as the objective row
+/// (Fig. 6): switch `(s, i)` connects `V_flow` to edge `(s, i)`.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow::crossbar::Crossbar;
+/// use ohmflow::SubstrateParams;
+/// use ohmflow_graph::generators::fig5a;
+///
+/// # fn main() -> Result<(), ohmflow::AnalogError> {
+/// let mut xbar = Crossbar::new(&SubstrateParams::table1(), 8)?;
+/// let report = xbar.program(&fig5a())?;
+/// assert_eq!(report.cycles, 8);
+/// assert_eq!(xbar.active_cells(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    n: usize,
+    params: SubstrateParams,
+    /// Row-major cell states.
+    cells: Vec<MemristorState>,
+    /// Programming voltages: `(v_low, v_high)` with
+    /// `v_high − v_low ≥ threshold` selecting a cell.
+    v_low: f64,
+    v_high: f64,
+}
+
+impl Crossbar {
+    /// Creates an all-HRS crossbar of side `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidConfig`] if `n == 0` or the programming
+    /// voltages implied by the memristor threshold are degenerate.
+    pub fn new(params: &SubstrateParams, n: usize) -> Result<Self, AnalogError> {
+        if n == 0 {
+            return Err(AnalogError::InvalidConfig {
+                what: "crossbar dimension 0".to_owned(),
+            });
+        }
+        let vt = params.memristor.v_threshold;
+        if !(vt > 0.0) {
+            return Err(AnalogError::InvalidConfig {
+                what: format!("memristor threshold {vt}"),
+            });
+        }
+        Ok(Crossbar {
+            n,
+            params: params.clone(),
+            cells: vec![MemristorState::Hrs; n * n],
+            // Select with ±(2/3)·V_t on each line: selected cell sees
+            // (4/3)·V_t ≥ V_t, half-selected cells see (2/3)·V_t < V_t.
+            v_low: -(2.0 / 3.0) * vt,
+            v_high: (2.0 / 3.0) * vt,
+        })
+    }
+
+    /// Table 1 crossbar: 1000 × 1000.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Crossbar::new`].
+    pub fn table1() -> Result<Self, AnalogError> {
+        let p = SubstrateParams::table1();
+        let n = p.crossbar_dim;
+        Crossbar::new(&p, n)
+    }
+
+    /// Side length `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// State of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> MemristorState {
+        self.cells[row * self.n + col]
+    }
+
+    /// Number of LRS (active) cells.
+    pub fn active_cells(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|&&c| c == MemristorState::Lrs)
+            .count()
+    }
+
+    /// Fraction of the crossbar used by the programmed graph — the §6.2
+    /// motivation: sparse graphs leave a mesh mostly idle.
+    pub fn utilization(&self) -> f64 {
+        self.active_cells() as f64 / (self.n * self.n) as f64
+    }
+
+    /// Programs the crossbar to encode `g` using the §3.1 protocol: `n`
+    /// cycles, one per row; in cycle `i` the row line is driven to
+    /// `V_low` and every column whose cell must become LRS to `V_high`
+    /// (cell voltage `V_high − V_low` ≥ threshold), all other lines held at
+    /// 0 V so unselected and half-selected cells are not disturbed.
+    ///
+    /// Cells whose desired state is HRS but currently sit in LRS receive a
+    /// reset pulse of the opposite polarity in a second sub-phase of the
+    /// same row cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::CrossbarTooSmall`] if the graph has more vertices
+    /// than crossbar rows.
+    pub fn program(&mut self, g: &FlowNetwork) -> Result<ProgrammingReport, AnalogError> {
+        let nv = g.vertex_count();
+        if nv > self.n {
+            return Err(AnalogError::CrossbarTooSmall {
+                required: nv,
+                available: self.n,
+            });
+        }
+        // Desired adjacency (parallel edges share one switch; their widgets
+        // share the cell, capacities are still distinct voltage levels).
+        let mut want = vec![false; self.n * self.n];
+        for e in g.edges() {
+            want[e.from * self.n + e.to] = true;
+        }
+
+        let vt = self.params.memristor.v_threshold;
+        let mut report = ProgrammingReport {
+            cycles: self.n,
+            set_pulses: 0,
+            reset_pulses: 0,
+            half_selected: 0,
+        };
+        for row in 0..self.n {
+            for col in 0..self.n {
+                let idx = row * self.n + col;
+                let cell = &mut self.cells[idx];
+                if want[idx] {
+                    // Selected for SET: sees v_high − v_low.
+                    let v = self.v_high - self.v_low;
+                    debug_assert!(v >= vt);
+                    *cell = MemristorState::Lrs;
+                    report.set_pulses += 1;
+                } else if *cell == MemristorState::Lrs {
+                    // Needs RESET: opposite-polarity full-select pulse.
+                    *cell = MemristorState::Hrs;
+                    report.reset_pulses += 1;
+                } else {
+                    // Half-selected or unselected: sees at most
+                    // max(|v_low|, |v_high|) < threshold — undisturbed.
+                    let disturb = self.v_high.abs().max(self.v_low.abs());
+                    debug_assert!(disturb < vt);
+                    report.half_selected += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Verifies that the crossbar state matches a graph's adjacency.
+    pub fn encodes(&self, g: &FlowNetwork) -> bool {
+        if g.vertex_count() > self.n {
+            return false;
+        }
+        let mut want = vec![false; self.n * self.n];
+        for e in g.edges() {
+            want[e.from * self.n + e.to] = true;
+        }
+        self.cells
+            .iter()
+            .zip(&want)
+            .all(|(&c, &w)| (c == MemristorState::Lrs) == w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohmflow_graph::generators;
+    use ohmflow_graph::rmat::RmatConfig;
+
+    #[test]
+    fn program_and_verify_fig5a() {
+        let mut xb = Crossbar::new(&SubstrateParams::table1(), 8).unwrap();
+        let g = generators::fig5a();
+        let rep = xb.program(&g).unwrap();
+        assert_eq!(rep.cycles, 8);
+        assert_eq!(rep.set_pulses, 5);
+        assert_eq!(rep.reset_pulses, 0);
+        assert!(xb.encodes(&g));
+        assert_eq!(xb.cell(0, 1), MemristorState::Lrs);
+        assert_eq!(xb.cell(1, 0), MemristorState::Hrs);
+    }
+
+    #[test]
+    fn reprogramming_resets_stale_cells() {
+        let mut xb = Crossbar::new(&SubstrateParams::table1(), 8).unwrap();
+        xb.program(&generators::fig5a()).unwrap();
+        let g2 = generators::path(&[1, 2, 3]).unwrap();
+        let rep = xb.program(&g2).unwrap();
+        assert!(rep.reset_pulses > 0, "stale fig5a cells must reset");
+        assert!(xb.encodes(&g2));
+        assert!(!xb.encodes(&generators::fig5a()));
+    }
+
+    #[test]
+    fn too_small_crossbar_rejected() {
+        let mut xb = Crossbar::new(&SubstrateParams::table1(), 3).unwrap();
+        let g = generators::fig5a(); // 5 vertices
+        assert!(matches!(
+            xb.program(&g),
+            Err(AnalogError::CrossbarTooSmall { required: 5, available: 3 })
+        ));
+    }
+
+    #[test]
+    fn utilization_reflects_sparsity() {
+        let mut xb = Crossbar::new(&SubstrateParams::table1(), 64).unwrap();
+        let g = RmatConfig::sparse(64, 1).generate().unwrap();
+        xb.program(&g).unwrap();
+        let u = xb.utilization();
+        assert!(u > 0.0 && u < 0.2, "sparse graph utilization {u}");
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(Crossbar::new(&SubstrateParams::table1(), 0).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use ohmflow_circuit::CircuitError;
+use ohmflow_graph::GraphError;
+
+/// Errors produced by the analog max-flow substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// The underlying circuit simulation failed.
+    Circuit(CircuitError),
+    /// The input graph is invalid or does not fit the substrate.
+    Graph(GraphError),
+    /// The graph does not fit the configured crossbar dimensions.
+    CrossbarTooSmall {
+        /// Vertices required by the graph (+1 row for the objective).
+        required: usize,
+        /// Crossbar side length.
+        available: usize,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The simulated circuit never settled within the simulation window.
+    NotConverged {
+        /// Simulated window (seconds).
+        t_stop: f64,
+    },
+    /// The §4.3.2 tuning loop failed to reach its target precision.
+    TuningFailed {
+        /// Residual voltage error after the iteration budget.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
+            AnalogError::Graph(e) => write!(f, "invalid graph: {e}"),
+            AnalogError::CrossbarTooSmall { required, available } => write!(
+                f,
+                "graph needs a {required}x{required} crossbar but only {available}x{available} is available"
+            ),
+            AnalogError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            AnalogError::NotConverged { t_stop } => {
+                write!(f, "circuit did not settle within {t_stop:.3e}s")
+            }
+            AnalogError::TuningFailed { residual } => {
+                write!(f, "resistance tuning failed (residual {residual:.3e}V)")
+            }
+        }
+    }
+}
+
+impl Error for AnalogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalogError::Circuit(e) => Some(e),
+            AnalogError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for AnalogError {
+    fn from(e: CircuitError) -> Self {
+        AnalogError::Circuit(e)
+    }
+}
+
+impl From<GraphError> for AnalogError {
+    fn from(e: GraphError) -> Self {
+        AnalogError::Graph(e)
+    }
+}

@@ -1,0 +1,63 @@
+//! `ohmflow` — a reproduction of *"A Reconfigurable Analog Substrate for
+//! Highly Efficient Maximum Flow Computation"* (Gai Liu & Zhiru Zhang,
+//! DAC 2015, extended report).
+//!
+//! The paper maps max-flow instances onto an analog circuit whose
+//! steady-state node voltages *are* the optimal flow assignment: diode
+//! clamps enforce edge capacities (§2.1), negative-resistor star networks
+//! enforce flow conservation by KCL (§2.2), and a drive source `V_flow`
+//! pushes the flow value to its maximum (§2.3). A memristor crossbar makes
+//! the substrate reconfigurable (§3).
+//!
+//! This crate is the top of the workspace:
+//!
+//! * [`params`] — Table 1 design parameters,
+//! * [`quantize`] — §4.1 voltage-level quantization,
+//! * [`builder`] — direct-mapped graph → circuit construction (§2),
+//! * [`solver`] — the [`AnalogMaxFlow`] facade: configure, simulate
+//!   (transient or quasi-static), read out flows and convergence time,
+//! * [`crossbar`] — the reconfigurable memristor crossbar with the §3.1
+//!   row-by-row programming protocol,
+//! * [`nonideal`] — §4.2/§4.3 non-ideality injection (finite op-amp gain,
+//!   resistor tolerance vs. matched-ratio tolerance, parasitics),
+//! * [`tuning`] — §4.3.2 post-fabrication memristance tuning,
+//! * [`power`] — §5.2 analytical power/energy model,
+//! * [`mincut`] — §6.3 dual (min-cut) formulation,
+//! * [`decompose`] — §6.4 dual decomposition for large graphs,
+//! * [`clustered`] — §6.2 clustered island-style architectures,
+//! * [`dynamics`] — §6.5 quasi-static trajectory studies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+//! use ohmflow_graph::generators::fig5a;
+//!
+//! # fn main() -> Result<(), ohmflow::AnalogError> {
+//! let g = fig5a();
+//! let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
+//! let solution = solver.solve(&g)?;
+//! assert!((solution.value - 2.0).abs() < 0.05); // exact max flow is 2
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod builder;
+pub mod clustered;
+pub mod crossbar;
+pub mod decompose;
+pub mod dynamics;
+mod error;
+pub mod mincut;
+pub mod nonideal;
+pub mod params;
+pub mod power;
+pub mod quantize;
+pub mod solver;
+pub mod tuning;
+
+pub use error::AnalogError;
+pub use params::SubstrateParams;
+pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution};

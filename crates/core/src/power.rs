@@ -1,0 +1,136 @@
+//! §5.2 analytical power and energy model.
+//!
+//! The op-amps dominate: one per edge (negation widget) plus one per vertex
+//! (conservation star), so `P ≈ (|E| + |V|) · P_amp`. Resistor dissipation
+//! can be scaled away (§4.3.1 shows only resistance *ratios* matter), and
+//! absent edges are power-gated.
+
+use ohmflow_graph::FlowNetwork;
+
+/// The §5.2 power model.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow::power::PowerModel;
+///
+/// let m = PowerModel::paper();
+/// // 5 W embedded budget → ~10⁴ active edges (§5.2).
+/// assert_eq!(m.max_edges(5.0), 10_000);
+/// // 150 W server budget → 3×10⁵ edges.
+/// assert_eq!(m.max_edges(150.0), 300_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Average op-amp power (W). §5.2: 1 V supply × 500 µA = 500 µW.
+    pub p_amp: f64,
+}
+
+impl PowerModel {
+    /// The paper's 32 nm assumption: `P_amp = 500 µW`.
+    pub fn paper() -> Self {
+        PowerModel { p_amp: 500e-6 }
+    }
+
+    /// Substrate power for a graph with `|V|` vertices and `|E|` edges:
+    /// `(|E| + |V|) · P_amp`.
+    pub fn power(&self, vertices: usize, edges: usize) -> f64 {
+        (vertices + edges) as f64 * self.p_amp
+    }
+
+    /// Substrate power for a specific graph.
+    pub fn power_for(&self, g: &FlowNetwork) -> f64 {
+        self.power(g.vertex_count(), g.edge_count())
+    }
+
+    /// Maximum number of active edges under a power budget, assuming
+    /// `|V| ≪ |E|` (the §5.2 approximation).
+    pub fn max_edges(&self, budget_watts: f64) -> usize {
+        (budget_watts / self.p_amp) as usize
+    }
+
+    /// Energy for one solve: `P · t_convergence` (joules).
+    pub fn energy(&self, vertices: usize, edges: usize, convergence_time: f64) -> f64 {
+        self.power(vertices, edges) * convergence_time
+    }
+}
+
+/// Energy-efficiency comparison against a CPU baseline (§5.2's closing
+/// argument: comparable power, 150–1500× faster ⇒ 2–3 orders of magnitude
+/// better energy per solve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// Substrate energy per solve (J).
+    pub substrate_joules: f64,
+    /// CPU energy per solve (J).
+    pub cpu_joules: f64,
+    /// `cpu_joules / substrate_joules`.
+    pub efficiency_factor: f64,
+}
+
+impl EnergyComparison {
+    /// Compares a substrate solve against a CPU solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration or power is not positive.
+    pub fn new(
+        model: &PowerModel,
+        g: &FlowNetwork,
+        substrate_seconds: f64,
+        cpu_seconds: f64,
+        cpu_watts: f64,
+    ) -> Self {
+        assert!(
+            substrate_seconds > 0.0 && cpu_seconds > 0.0 && cpu_watts > 0.0,
+            "durations and power must be positive"
+        );
+        let substrate_joules = model.power_for(g) * substrate_seconds;
+        let cpu_joules = cpu_watts * cpu_seconds;
+        EnergyComparison {
+            substrate_joules,
+            cpu_joules,
+            efficiency_factor: cpu_joules / substrate_joules,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohmflow_graph::generators;
+
+    #[test]
+    fn paper_budgets() {
+        let m = PowerModel::paper();
+        assert_eq!(m.max_edges(5.0), 10_000);
+        assert_eq!(m.max_edges(150.0), 300_000);
+    }
+
+    #[test]
+    fn power_scales_with_graph() {
+        let m = PowerModel::paper();
+        let g = generators::fig5a();
+        // 5 vertices + 5 edges = 10 op-amps → 5 mW.
+        assert!((m.power_for(&g) - 5e-3).abs() < 1e-12);
+        assert!(m.power(0, 0) == 0.0);
+    }
+
+    #[test]
+    fn energy_comparison_factor() {
+        let m = PowerModel::paper();
+        let g = generators::fig5a();
+        // Substrate: 5 mW × 1 µs = 5 nJ. CPU: 100 W × 1 ms = 0.1 J.
+        let cmp = EnergyComparison::new(&m, &g, 1e-6, 1e-3, 100.0);
+        assert!((cmp.substrate_joules - 5e-9).abs() < 1e-15);
+        assert!((cmp.efficiency_factor - 2e7).abs() / 2e7 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cpu_time_panics() {
+        let m = PowerModel::paper();
+        let g = generators::fig5a();
+        let _ = EnergyComparison::new(&m, &g, 1e-6, 0.0, 100.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! §4.1 voltage-level quantization.
+//!
+//! One voltage source per *level* (not per edge) keeps the substrate
+//! practical: edge capacities are mapped onto `N` uniform levels in
+//! `[0, V_dd]`, and the circuit solution is mapped back to `[0, C]`.
+//!
+//! The paper's Eq. for `Q` is written with a floor, but its own Fig. 8
+//! values (capacity 1 of 3 → 0.35 V = 7/20, capacity 2 of 3 → 0.65 V =
+//! 13/20) are produced by *rounding to the nearest level*; both modes are
+//! offered, with [`Rounding::Nearest`] as the default that reproduces
+//! Fig. 8 exactly.
+
+/// Rounding mode of the quantization function `Q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Round to the nearest level (reproduces Fig. 8).
+    #[default]
+    Nearest,
+    /// Floor, as the text of §4.1 literally states.
+    Floor,
+}
+
+/// The quantization scheme `Q : [0, C] → {k/N · V_dd}`.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow::quantize::Quantizer;
+///
+/// // Fig. 8: N = 20, Vdd = 1 V, C = 3.
+/// let q = Quantizer::new(20, 1.0, 3.0);
+/// assert!((q.quantize(2.0) - 0.65).abs() < 1e-12);
+/// assert!((q.quantize(1.0) - 0.35).abs() < 1e-12);
+/// assert!((q.quantize(3.0) - 1.00).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    n_levels: u32,
+    v_dd: f64,
+    c_max: f64,
+    rounding: Rounding,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with `n_levels` levels spanning `[0, v_dd]` for
+    /// capacities up to `c_max`, rounding to the nearest level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_levels == 0`, `v_dd <= 0` or `c_max <= 0`.
+    pub fn new(n_levels: u32, v_dd: f64, c_max: f64) -> Self {
+        Self::with_rounding(n_levels, v_dd, c_max, Rounding::Nearest)
+    }
+
+    /// [`Quantizer::new`] with an explicit [`Rounding`] mode.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Quantizer::new`].
+    pub fn with_rounding(n_levels: u32, v_dd: f64, c_max: f64, rounding: Rounding) -> Self {
+        assert!(n_levels > 0, "need at least one level");
+        assert!(v_dd > 0.0 && c_max > 0.0, "v_dd and c_max must be positive");
+        Quantizer {
+            n_levels,
+            v_dd,
+            c_max,
+            rounding,
+        }
+    }
+
+    /// Number of levels `N`.
+    pub fn levels(&self) -> u32 {
+        self.n_levels
+    }
+
+    /// Supply voltage `V_dd`.
+    pub fn v_dd(&self) -> f64 {
+        self.v_dd
+    }
+
+    /// Largest representable capacity `C`.
+    pub fn c_max(&self) -> f64 {
+        self.c_max
+    }
+
+    /// The level index a capacity maps to (clamped to `1..=N`; a positive
+    /// capacity never quantizes to zero because that would delete the edge).
+    pub fn level_index(&self, capacity: f64) -> u32 {
+        let raw = capacity / self.c_max * self.n_levels as f64;
+        let k = match self.rounding {
+            Rounding::Nearest => raw.round(),
+            Rounding::Floor => raw.floor(),
+        };
+        (k as i64).clamp(1, self.n_levels as i64) as u32
+    }
+
+    /// Voltage of level `k`: `k/N · V_dd`.
+    pub fn level_voltage(&self, k: u32) -> f64 {
+        k as f64 / self.n_levels as f64 * self.v_dd
+    }
+
+    /// Quantized clamp voltage for a capacity: `Q(capacity)`.
+    pub fn quantize(&self, capacity: f64) -> f64 {
+        self.level_voltage(self.level_index(capacity))
+    }
+
+    /// Maps a circuit voltage back into flow units: `Ỹ = Y · C / V_dd`.
+    pub fn dequantize(&self, volts: f64) -> f64 {
+        volts * self.c_max / self.v_dd
+    }
+
+    /// Worst-case per-edge quantization error `e = C / N` (flow units);
+    /// halved under nearest rounding.
+    pub fn worst_case_error(&self) -> f64 {
+        let step = self.c_max / self.n_levels as f64;
+        match self.rounding {
+            Rounding::Nearest => step / 2.0,
+            Rounding::Floor => step,
+        }
+    }
+}
+
+/// An exact (non-quantized) capacity→voltage mapping: the "one distinct
+/// voltage source per edge" idealization of §2, normalized so the largest
+/// capacity maps to `V_dd`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactScaling {
+    /// Supply voltage.
+    pub v_dd: f64,
+    /// Largest capacity.
+    pub c_max: f64,
+}
+
+impl ExactScaling {
+    /// Creates the scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn new(v_dd: f64, c_max: f64) -> Self {
+        assert!(v_dd > 0.0 && c_max > 0.0, "v_dd and c_max must be positive");
+        ExactScaling { v_dd, c_max }
+    }
+
+    /// Clamp voltage of a capacity.
+    pub fn to_volts(&self, capacity: f64) -> f64 {
+        capacity / self.c_max * self.v_dd
+    }
+
+    /// Flow value of a circuit voltage.
+    pub fn to_flow(&self, volts: f64) -> f64 {
+        volts * self.c_max / self.v_dd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_levels_reproduced() {
+        let q = Quantizer::new(20, 1.0, 3.0);
+        assert_eq!(q.level_index(3.0), 20);
+        assert_eq!(q.level_index(2.0), 13); // 13.33 → 13 → 0.65 V
+        assert_eq!(q.level_index(1.0), 7); // 6.67 → 7 → 0.35 V
+        assert!((q.quantize(2.0) - 0.65).abs() < 1e-12);
+        assert!((q.quantize(1.0) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_mode_matches_text_formula() {
+        let q = Quantizer::with_rounding(20, 1.0, 3.0, Rounding::Floor);
+        assert_eq!(q.level_index(2.0), 13);
+        assert_eq!(q.level_index(1.0), 6); // floor(6.67)
+        assert!((q.quantize(1.0) - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_capacity_never_vanishes() {
+        let q = Quantizer::with_rounding(10, 1.0, 100.0, Rounding::Floor);
+        // 0.5/100*10 = 0.05 → floor 0, clamped to level 1.
+        assert_eq!(q.level_index(0.5), 1);
+        assert!(q.quantize(0.5) > 0.0);
+    }
+
+    #[test]
+    fn dequantize_inverts_scaling() {
+        let q = Quantizer::new(20, 1.0, 3.0);
+        let v = q.quantize(3.0);
+        assert!((q.dequantize(v) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_error_bound() {
+        let q = Quantizer::with_rounding(20, 1.0, 3.0, Rounding::Floor);
+        assert!((q.worst_case_error() - 0.15).abs() < 1e-12);
+        let qn = Quantizer::new(20, 1.0, 3.0);
+        assert!((qn.worst_case_error() - 0.075).abs() < 1e-12);
+        // Every capacity's round-trip error is within the bound.
+        for c in [0.3, 1.0, 1.49, 2.0, 2.9, 3.0] {
+            let err = (qn.dequantize(qn.quantize(c)) - c).abs();
+            assert!(err <= qn.worst_case_error() + 1e-12, "c={c} err={err}");
+        }
+    }
+
+    #[test]
+    fn more_levels_reduce_error() {
+        let coarse = Quantizer::new(5, 1.0, 3.0);
+        let fine = Quantizer::new(100, 1.0, 3.0);
+        assert!(fine.worst_case_error() < coarse.worst_case_error());
+    }
+
+    #[test]
+    fn exact_scaling_roundtrip() {
+        let s = ExactScaling::new(1.0, 20.0);
+        assert!((s.to_volts(20.0) - 1.0).abs() < 1e-12);
+        assert!((s.to_flow(s.to_volts(7.0)) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let _ = Quantizer::new(0, 1.0, 1.0);
+    }
+}

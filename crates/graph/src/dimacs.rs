@@ -1,0 +1,191 @@
+//! DIMACS maximum-flow format I/O.
+//!
+//! The DIMACS format is the lingua franca of max-flow benchmarks:
+//!
+//! ```text
+//! c comment
+//! p max <n> <m>
+//! n <id> s
+//! n <id> t
+//! a <from> <to> <capacity>
+//! ```
+//!
+//! Vertex ids are 1-based in the file and 0-based in [`FlowNetwork`].
+
+use crate::{FlowNetwork, GraphError};
+
+/// Parses a DIMACS max-flow description.
+///
+/// # Errors
+///
+/// [`GraphError::ParseDimacs`] with a line number for malformed input, and
+/// the usual construction errors for semantically invalid graphs.
+///
+/// # Example
+///
+/// ```
+/// let text = "c tiny\np max 2 1\nn 1 s\nn 2 t\na 1 2 5\n";
+/// let g = ohmflow_graph::dimacs::parse(text)?;
+/// assert_eq!(g.edge_count(), 1);
+/// # Ok::<(), ohmflow_graph::GraphError>(())
+/// ```
+pub fn parse(text: &str) -> Result<FlowNetwork, GraphError> {
+    let mut n: Option<usize> = None;
+    let mut declared_m: Option<usize> = None;
+    let mut source: Option<usize> = None;
+    let mut sink: Option<usize> = None;
+    let mut arcs: Vec<(usize, usize, i64)> = Vec::new();
+
+    let err = |line: usize, message: &str| GraphError::ParseDimacs {
+        line,
+        message: message.to_owned(),
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if parts.next() != Some("max") {
+                    return Err(err(lineno, "expected 'p max <n> <m>'"));
+                }
+                n = Some(
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad vertex count"))?,
+                );
+                declared_m = Some(
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err(lineno, "bad edge count"))?,
+                );
+            }
+            Some("n") => {
+                let id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad node id"))?;
+                match parts.next() {
+                    Some("s") => source = Some(id.checked_sub(1).ok_or_else(|| err(lineno, "1-based ids"))?),
+                    Some("t") => sink = Some(id.checked_sub(1).ok_or_else(|| err(lineno, "1-based ids"))?),
+                    _ => return Err(err(lineno, "node designator must be s or t")),
+                }
+            }
+            Some("a") => {
+                let from: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad arc tail"))?;
+                let to: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad arc head"))?;
+                let cap: i64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad arc capacity"))?;
+                if from == 0 || to == 0 {
+                    return Err(err(lineno, "arc endpoints are 1-based"));
+                }
+                arcs.push((from - 1, to - 1, cap));
+            }
+            _ => return Err(err(lineno, "unknown record")),
+        }
+    }
+
+    let n = n.ok_or_else(|| err(0, "missing problem line"))?;
+    let source = source.ok_or_else(|| err(0, "missing source designator"))?;
+    let sink = sink.ok_or_else(|| err(0, "missing sink designator"))?;
+    let mut g = FlowNetwork::new(n, source, sink)?;
+    for (from, to, cap) in arcs {
+        g.add_edge(from, to, cap)?;
+    }
+    if let Some(m) = declared_m {
+        if m != g.edge_count() {
+            return Err(GraphError::ParseDimacs {
+                line: 0,
+                message: format!("declared {m} arcs, found {}", g.edge_count()),
+            });
+        }
+    }
+    Ok(g)
+}
+
+/// Serializes a network to the DIMACS max-flow format.
+///
+/// ```
+/// let g = ohmflow_graph::generators::fig5a();
+/// let text = ohmflow_graph::dimacs::write(&g);
+/// let round = ohmflow_graph::dimacs::parse(&text)?;
+/// assert_eq!(g, round);
+/// # Ok::<(), ohmflow_graph::GraphError>(())
+/// ```
+pub fn write(g: &FlowNetwork) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "p max {} {}\n",
+        g.vertex_count(),
+        g.edge_count()
+    ));
+    out.push_str(&format!("n {} s\n", g.source() + 1));
+    out.push_str(&format!("n {} t\n", g.sink() + 1));
+    for e in g.edges() {
+        out.push_str(&format!("a {} {} {}\n", e.from + 1, e.to + 1, e.capacity));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_fig5a() {
+        let g = generators::fig5a();
+        let text = write(&g);
+        assert_eq!(parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn parse_with_comments_and_blanks() {
+        let text = "c header\n\np max 3 2\nc mid\nn 1 s\nn 3 t\na 1 2 4\na 2 3 7\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.source(), 0);
+        assert_eq!(g.sink(), 2);
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let text = "p max 2 1\nn 1 s\nn 2 t\na 1 two 5\n";
+        match parse(text) {
+            Err(GraphError::ParseDimacs { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_problem_line() {
+        assert!(matches!(parse("n 1 s\n"), Err(GraphError::ParseDimacs { .. })));
+    }
+
+    #[test]
+    fn arc_count_mismatch_detected() {
+        let text = "p max 2 2\nn 1 s\nn 2 t\na 1 2 5\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn bad_designator_rejected() {
+        let text = "p max 2 1\nn 1 q\nn 2 t\na 1 2 5\n";
+        assert!(parse(text).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex index is out of range.
+    VertexOutOfRange {
+        /// Offending vertex.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An edge capacity is not a positive integer.
+    InvalidCapacity {
+        /// Offending capacity.
+        capacity: i64,
+    },
+    /// Self-loops are not meaningful in a flow network.
+    SelfLoop {
+        /// The vertex looping onto itself.
+        vertex: usize,
+    },
+    /// The graph must have at least two vertices and distinct source/sink.
+    InvalidEndpoints {
+        /// Source vertex.
+        source: usize,
+        /// Sink vertex.
+        sink: usize,
+    },
+    /// A DIMACS file could not be parsed.
+    ParseDimacs {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::InvalidCapacity { capacity } => {
+                write!(f, "edge capacity must be a positive integer, got {capacity}")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::InvalidEndpoints { source, sink } => {
+                write!(f, "invalid source/sink pair ({source}, {sink})")
+            }
+            GraphError::ParseDimacs { line, message } => {
+                write!(f, "DIMACS parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}

@@ -1,0 +1,269 @@
+//! Deterministic graph generators: the paper's worked examples and the
+//! standard topologies used across the test and benchmark suites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FlowNetwork, GraphError};
+
+/// The worked example of Fig. 5a: five vertices `s, n1, n2, n3, t` and five
+/// edges `x1..x5`. Two parallel branches with *mismatched* capacities leave
+/// `n1`: `n1→n2 (2)` continuing as `n2→t (1)`, and `n1→n3 (1)` continuing as
+/// `n3→t (2)`. The exact max-flow value is 2 (each branch bottlenecks at 1),
+/// matching the §2.4 walk-through — `V(x1)` first rises toward 3 V, the
+/// capacity-1 clamps on `x3`/`x4` engage at 1 V, and `x1` settles at 2 V —
+/// and Fig. 8's quantized solution `0.35 + 0.35 = 0.7 V → |f| ≈ 2.1`.
+///
+/// Edge ids follow the paper's numbering (the Fig. 5b widget list
+/// `e_s1, e_13, e_12, e_3t, e_2t`): `x1 = s→n1 (3)`, `x2 = n1→n2 (2)`,
+/// `x3 = n1→n3 (1)`, `x4 = n2→t (1)`, `x5 = n3→t (2)`.
+///
+/// ```
+/// let g = ohmflow_graph::generators::fig5a();
+/// assert_eq!(g.edge_count(), 5);
+/// assert_eq!(g.max_capacity(), 3);
+/// ```
+pub fn fig5a() -> FlowNetwork {
+    let mut g = FlowNetwork::new(5, 0, 4).expect("static example");
+    g.add_edge(0, 1, 3).expect("x1"); // s  → n1
+    g.add_edge(1, 2, 2).expect("x2"); // n1 → n2
+    g.add_edge(1, 3, 1).expect("x3"); // n1 → n3
+    g.add_edge(2, 4, 1).expect("x4"); // n2 → t
+    g.add_edge(3, 4, 2).expect("x5"); // n3 → t
+    g
+}
+
+/// The §6.5 dynamic-behaviour example (Fig. 15a, Eq. 8): `s → n1` with
+/// capacity 4, then `n1 → n2` (capacity 1) and `n1 → n3` (capacity 4), both
+/// re-merging at `t` through effectively unconstrained edges (the paper uses
+/// `+∞`; we use a large finite capacity `big`). Max flow is 4... bounded by
+/// `x1`'s capacity 4 and achieved as `x2 = 1, x3 = 3` at the optimum `B` of
+/// Fig. 15c when the sink-side merge is capacity-limited appropriately.
+///
+/// To match Eq. (8) exactly (`max x1` s.t. `x1 = x2 + x3`, `x1 ≤ 4`,
+/// `x2 ≤ 1`, `x3 ≤ 4`) the two sink edges are given capacity `big`.
+pub fn fig15a(big: i64) -> FlowNetwork {
+    let mut g = FlowNetwork::new(5, 0, 4).expect("static example");
+    g.add_edge(0, 1, 4).expect("x1"); // s  → n1, capacity 4
+    g.add_edge(1, 2, 1).expect("x2"); // n1 → n2, capacity 1
+    g.add_edge(1, 3, 4).expect("x3"); // n1 → n3, capacity 4
+    g.add_edge(2, 4, big).expect("inf edge");
+    g.add_edge(3, 4, big).expect("inf edge");
+    g
+}
+
+/// A simple path `s → v1 → … → t` where edge `i` has capacity `caps[i]`.
+/// Max flow equals `min(caps)`.
+///
+/// # Errors
+///
+/// [`GraphError`] if `caps` is empty or contains non-positive entries.
+pub fn path(caps: &[i64]) -> Result<FlowNetwork, GraphError> {
+    if caps.is_empty() {
+        return Err(GraphError::InvalidEndpoints { source: 0, sink: 0 });
+    }
+    let n = caps.len() + 1;
+    let mut g = FlowNetwork::new(n, 0, n - 1)?;
+    for (i, &c) in caps.iter().enumerate() {
+        g.add_edge(i, i + 1, c)?;
+    }
+    Ok(g)
+}
+
+/// `width` parallel disjoint `s → v_i → t` paths, each of capacity `cap`.
+/// Max flow is `width * cap`. Exercises wide conservation fan-outs.
+///
+/// # Errors
+///
+/// [`GraphError`] for `width == 0` or non-positive capacity.
+pub fn parallel_paths(width: usize, cap: i64) -> Result<FlowNetwork, GraphError> {
+    if width == 0 {
+        return Err(GraphError::InvalidEndpoints { source: 0, sink: 0 });
+    }
+    let n = width + 2;
+    let mut g = FlowNetwork::new(n, 0, n - 1)?;
+    for i in 0..width {
+        g.add_edge(0, 1 + i, cap)?;
+        g.add_edge(1 + i, n - 1, cap)?;
+    }
+    Ok(g)
+}
+
+/// A layered DAG: `layers` layers of `width` vertices, complete bipartite
+/// connections between consecutive layers, random capacities in
+/// `1..=max_cap`. Vision-style max-flow instances (grid cuts) have this
+/// shape.
+///
+/// # Errors
+///
+/// [`GraphError`] for degenerate shapes.
+pub fn layered(
+    layers: usize,
+    width: usize,
+    max_cap: i64,
+    seed: u64,
+) -> Result<FlowNetwork, GraphError> {
+    if layers == 0 || width == 0 || max_cap <= 0 {
+        return Err(GraphError::InvalidEndpoints { source: 0, sink: 0 });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = layers * width + 2;
+    let sink = n - 1;
+    let mut g = FlowNetwork::new(n, 0, sink)?;
+    let vid = |layer: usize, i: usize| 1 + layer * width + i;
+    for i in 0..width {
+        g.add_edge(0, vid(0, i), rng.gen_range(1..=max_cap))?;
+    }
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            for j in 0..width {
+                g.add_edge(vid(l, i), vid(l + 1, j), rng.gen_range(1..=max_cap))?;
+            }
+        }
+    }
+    for i in 0..width {
+        g.add_edge(vid(layers - 1, i), sink, rng.gen_range(1..=max_cap))?;
+    }
+    Ok(g)
+}
+
+/// A 4-connected `rows × cols` grid with a super-source attached to the
+/// left column and a super-sink to the right column — the image-segmentation
+/// workload shape the paper's intro motivates (computer vision, Boykov &
+/// Kolmogorov). Horizontal/vertical neighbour edges are bidirectional (two
+/// opposite directed edges) with random capacities.
+///
+/// # Errors
+///
+/// [`GraphError`] for degenerate shapes.
+pub fn grid(rows: usize, cols: usize, max_cap: i64, seed: u64) -> Result<FlowNetwork, GraphError> {
+    if rows == 0 || cols == 0 || max_cap <= 0 {
+        return Err(GraphError::InvalidEndpoints { source: 0, sink: 0 });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols + 2;
+    let (s, t) = (rows * cols, rows * cols + 1);
+    let mut g = FlowNetwork::new(n, s, t)?;
+    let vid = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let cap1 = rng.gen_range(1..=max_cap);
+                let cap2 = rng.gen_range(1..=max_cap);
+                g.add_edge(vid(r, c), vid(r, c + 1), cap1)?;
+                g.add_edge(vid(r, c + 1), vid(r, c), cap2)?;
+            }
+            if r + 1 < rows {
+                let cap1 = rng.gen_range(1..=max_cap);
+                let cap2 = rng.gen_range(1..=max_cap);
+                g.add_edge(vid(r, c), vid(r + 1, c), cap1)?;
+                g.add_edge(vid(r + 1, c), vid(r, c), cap2)?;
+            }
+        }
+        g.add_edge(s, vid(r, 0), max_cap)?;
+        g.add_edge(vid(r, cols - 1), t, max_cap)?;
+    }
+    Ok(g)
+}
+
+/// Bipartite matching instance: `left` and `right` vertex sets, each left
+/// vertex connected to `degree` random right vertices with unit capacity,
+/// plus unit edges from the source and to the sink. Max flow equals the
+/// maximum bipartite matching size.
+///
+/// # Errors
+///
+/// [`GraphError`] for degenerate shapes.
+pub fn bipartite(
+    left: usize,
+    right: usize,
+    degree: usize,
+    seed: u64,
+) -> Result<FlowNetwork, GraphError> {
+    if left == 0 || right == 0 || degree == 0 {
+        return Err(GraphError::InvalidEndpoints { source: 0, sink: 0 });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = left + right + 2;
+    let (s, t) = (n - 2, n - 1);
+    let mut g = FlowNetwork::new(n, s, t)?;
+    for l in 0..left {
+        g.add_edge(s, l, 1)?;
+        for _ in 0..degree {
+            let r = left + rng.gen_range(0..right);
+            g.add_edge(l, r, 1)?;
+        }
+    }
+    for r in 0..right {
+        g.add_edge(left + r, t, 1)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_shape() {
+        let g = fig5a();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.sink_reachable());
+        // Known optimum: x1 = 2, each branch carries 1.
+        assert_eq!(g.validate_flow(&[2.0, 1.0, 1.0, 1.0, 1.0], 1e-9), Some(2.0));
+    }
+
+    #[test]
+    fn fig15a_shape() {
+        let g = fig15a(1000);
+        assert_eq!(g.edge_count(), 5);
+        // Optimum of Eq. (8): x1 = 4 = x2 + x3 with x2 = 1, x3 = 3.
+        assert_eq!(
+            g.validate_flow(&[4.0, 1.0, 3.0, 1.0, 3.0], 1e-9),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn path_bottleneck() {
+        let g = path(&[5, 2, 9]).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert!(g.validate_flow(&[2.0, 2.0, 2.0], 1e-9).is_some());
+        // Exceeds the capacity-2 bottleneck: infeasible.
+        assert!(g.validate_flow(&[3.0, 3.0, 3.0], 1e-9).is_none());
+        assert!(path(&[]).is_err());
+    }
+
+    #[test]
+    fn parallel_paths_shape() {
+        let g = parallel_paths(4, 3).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.source_capacity(), 12);
+        assert!(parallel_paths(0, 3).is_err());
+    }
+
+    #[test]
+    fn layered_connects_source_to_sink() {
+        let g = layered(3, 4, 7, 1).unwrap();
+        assert!(g.sink_reachable());
+        assert_eq!(g.vertex_count(), 14);
+        // 4 + 2*16 + 4 = 40 edges.
+        assert_eq!(g.edge_count(), 40);
+    }
+
+    #[test]
+    fn grid_is_reachable_and_deterministic() {
+        let g1 = grid(4, 5, 9, 3).unwrap();
+        let g2 = grid(4, 5, 9, 3).unwrap();
+        assert_eq!(g1, g2);
+        assert!(g1.sink_reachable());
+    }
+
+    #[test]
+    fn bipartite_capacities_are_unit() {
+        let g = bipartite(5, 5, 2, 9).unwrap();
+        assert_eq!(g.max_capacity(), 1);
+        assert!(g.sink_reachable());
+    }
+}

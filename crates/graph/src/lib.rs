@@ -1,0 +1,46 @@
+//! Directed flow networks and graph workloads for the `ohmflow` workspace.
+//!
+//! Provides:
+//!
+//! * [`FlowNetwork`] — a directed graph with distinguished source/sink and
+//!   integral edge capacities (the max-flow problem statement of §2 of the
+//!   paper),
+//! * [`rmat`] — the R-MAT recursive generator (Chakrabarti et al., ICDM'04)
+//!   used by the paper's §5.1 evaluation, with the dense (`|E| ∝ |V|²`) and
+//!   sparse (`|E| ∝ |V|`) presets,
+//! * [`generators`] — deterministic test topologies (paths, grids, layered
+//!   DAGs, bipartite matchings) and the paper's worked examples,
+//! * [`dimacs`] — DIMACS max-flow format I/O,
+//! * [`partition`] — vertex partitioning (BFS growing + Kernighan–Lin style
+//!   refinement) used by the clustered-architecture and dual-decomposition
+//!   studies of §6.
+//!
+//! # Example
+//!
+//! ```
+//! use ohmflow_graph::FlowNetwork;
+//!
+//! # fn main() -> Result<(), ohmflow_graph::GraphError> {
+//! // The example of Fig. 5a: s→n1 (3), n1→n2 (2), n1→n3 (1), n2→t (1), n3→t (2).
+//! let mut g = FlowNetwork::new(5, 0, 4)?;
+//! g.add_edge(0, 1, 3)?;
+//! g.add_edge(1, 2, 2)?;
+//! g.add_edge(1, 3, 1)?;
+//! g.add_edge(2, 4, 1)?;
+//! g.add_edge(3, 4, 2)?;
+//! assert_eq!(g.edge_count(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod dimacs;
+mod error;
+pub mod generators;
+mod network;
+pub mod partition;
+pub mod rmat;
+
+pub use error::GraphError;
+pub use network::{Edge, EdgeId, FlowNetwork};

@@ -1,0 +1,322 @@
+use std::fmt;
+
+use crate::GraphError;
+
+/// Identifier of an edge within a [`FlowNetwork`], assigned in insertion
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A directed capacitated edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Tail vertex (`from → to`).
+    pub from: usize,
+    /// Head vertex.
+    pub to: usize,
+    /// Positive integral capacity, per the paper's problem statement.
+    pub capacity: i64,
+}
+
+/// A directed graph with distinguished source and sink and positive
+/// integral edge capacities — the max-flow instance of §2.
+///
+/// Vertices are `0..n`. Parallel edges are allowed (they are distinct
+/// circuit widgets on the substrate); self-loops are rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowNetwork {
+    n: usize,
+    source: usize,
+    sink: usize,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<usize>>, // vertex -> edge indices
+    in_adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// Creates an empty network with `n` vertices.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidEndpoints`] if `source == sink` or either is out
+    /// of range, or `n < 2`.
+    pub fn new(n: usize, source: usize, sink: usize) -> Result<Self, GraphError> {
+        if n < 2 || source == sink || source >= n || sink >= n {
+            return Err(GraphError::InvalidEndpoints { source, sink });
+        }
+        Ok(FlowNetwork {
+            n,
+            source,
+            sink,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        })
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and returns
+    /// its id.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`], [`GraphError::SelfLoop`] or
+    /// [`GraphError::InvalidCapacity`] (capacities must be positive
+    /// integers, per the paper's problem statement).
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) -> Result<EdgeId, GraphError> {
+        if from >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: from, n: self.n });
+        }
+        if to >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: to, n: self.n });
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { vertex: from });
+        }
+        if capacity <= 0 {
+            return Err(GraphError::InvalidCapacity { capacity });
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, to, capacity });
+        self.out_adj[from].push(id.0);
+        self.in_adj[to].push(id.0);
+        Ok(id)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The source vertex `s`.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The sink vertex `t`.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Edge data by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.0]
+    }
+
+    /// All edges, id order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn out_edges(&self, v: usize) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_adj[v].iter().copied().map(EdgeId)
+    }
+
+    /// Ids of edges entering `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_edges(&self, v: usize) -> impl Iterator<Item = EdgeId> + '_ {
+        self.in_adj[v].iter().copied().map(EdgeId)
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_adj[v].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_adj[v].len()
+    }
+
+    /// Largest edge capacity `C` (0 for an edge-less network) — the
+    /// quantization reference of §4.1.
+    pub fn max_capacity(&self) -> i64 {
+        self.edges.iter().map(|e| e.capacity).max().unwrap_or(0)
+    }
+
+    /// Sum of capacities of edges leaving the source — a trivial upper
+    /// bound on the max-flow value.
+    pub fn source_capacity(&self) -> i64 {
+        self.out_adj[self.source]
+            .iter()
+            .map(|&e| self.edges[e].capacity)
+            .sum()
+    }
+
+    /// `true` if the sink is reachable from the source along directed edges.
+    pub fn sink_reachable(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![self.source];
+        seen[self.source] = true;
+        while let Some(v) = stack.pop() {
+            if v == self.sink {
+                return true;
+            }
+            for &e in &self.out_adj[v] {
+                let to = self.edges[e].to;
+                if !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks whether `flows` (edge-id indexed) is a feasible `s–t` flow:
+    /// capacity constraints on every edge and conservation at every interior
+    /// vertex, within tolerance `tol` (useful for the analog solver whose
+    /// flows are real-valued). Returns the flow value if feasible.
+    pub fn validate_flow(&self, flows: &[f64], tol: f64) -> Option<f64> {
+        if flows.len() != self.edges.len() {
+            return None;
+        }
+        for (e, &f) in self.edges.iter().zip(flows) {
+            if f < -tol || f > e.capacity as f64 + tol {
+                return None;
+            }
+        }
+        let mut net = vec![0.0f64; self.n];
+        for (e, &f) in self.edges.iter().zip(flows) {
+            net[e.from] -= f;
+            net[e.to] += f;
+        }
+        for v in 0..self.n {
+            if v != self.source && v != self.sink && net[v].abs() > tol * (1.0 + net[v].abs()) {
+                return None;
+            }
+        }
+        Some(-net[self.source])
+    }
+
+    /// Converts to an equivalent network with `scale`-multiplied capacities
+    /// (used by quantization round-trip tests).
+    pub fn scaled_capacities(&self, scale: i64) -> Result<FlowNetwork, GraphError> {
+        let mut g = FlowNetwork::new(self.n, self.source, self.sink)?;
+        for e in &self.edges {
+            g.add_edge(e.from, e.to, e.capacity * scale)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5a() -> FlowNetwork {
+        let mut g = FlowNetwork::new(5, 0, 4).unwrap();
+        g.add_edge(0, 1, 3).unwrap(); // x1: s  → n1
+        g.add_edge(1, 2, 2).unwrap(); // x2: n1 → n2
+        g.add_edge(1, 3, 1).unwrap(); // x3: n1 → n3
+        g.add_edge(2, 4, 1).unwrap(); // x4: n2 → t
+        g.add_edge(3, 4, 2).unwrap(); // x5: n3 → t
+        g
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let g = fig5a();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.source(), 0);
+        assert_eq!(g.sink(), 4);
+        assert_eq!(g.max_capacity(), 3);
+        assert_eq!(g.source_capacity(), 3);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.in_degree(4), 2);
+        assert!(g.sink_reachable());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = FlowNetwork::new(3, 0, 2).unwrap();
+        assert!(matches!(
+            g.add_edge(0, 5, 1),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        assert!(matches!(g.add_edge(1, 1, 1), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            g.add_edge(0, 1, 0),
+            Err(GraphError::InvalidCapacity { capacity: 0 })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, -3),
+            Err(GraphError::InvalidCapacity { capacity: -3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_endpoints() {
+        assert!(FlowNetwork::new(1, 0, 0).is_err());
+        assert!(FlowNetwork::new(5, 2, 2).is_err());
+        assert!(FlowNetwork::new(5, 7, 1).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = FlowNetwork::new(2, 0, 1).unwrap();
+        let e1 = g.add_edge(0, 1, 1).unwrap();
+        let e2 = g.add_edge(0, 1, 2).unwrap();
+        assert_ne!(e1, e2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn validate_flow_accepts_optimum() {
+        let g = fig5a();
+        // The paper's optimum: x1 = 2, x2 = x3 = x4 = x5 = 1 → |f| = 2.
+        let flows = [2.0, 1.0, 1.0, 1.0, 1.0];
+        let v = g.validate_flow(&flows, 1e-9).expect("feasible");
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_flow_rejects_violations() {
+        let g = fig5a();
+        // Over capacity on edge x4 (cap 1).
+        assert!(g.validate_flow(&[3.0, 2.0, 1.0, 2.0, 1.0], 1e-9).is_none());
+        // Conservation violated at n1.
+        assert!(g.validate_flow(&[2.0, 0.5, 0.5, 0.5, 0.5], 1e-9).is_none());
+        // Wrong length.
+        assert!(g.validate_flow(&[1.0], 1e-9).is_none());
+        // Negative flow.
+        assert!(g.validate_flow(&[-1.0, 0.0, 0.0, 0.0, 0.0], 1e-9).is_none());
+    }
+
+    #[test]
+    fn sink_unreachable_detected() {
+        let mut g = FlowNetwork::new(4, 0, 3).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        assert!(!g.sink_reachable());
+    }
+
+    #[test]
+    fn scaled_capacities() {
+        let g = fig5a().scaled_capacities(10).unwrap();
+        assert_eq!(g.max_capacity(), 30);
+    }
+}

@@ -1,0 +1,340 @@
+//! Vertex partitioning for the clustered-architecture (§6.2) and dual-
+//! decomposition (§6.4) studies.
+//!
+//! Two entry points:
+//!
+//! * [`partition_bfs`] — grows `k` balanced parts by multi-source BFS and
+//!   refines them with a Kernighan–Lin-style boundary pass that reduces the
+//!   number of cut edges,
+//! * [`overlap_partition`] — splits a network into two *overlapping*
+//!   subproblems sharing a vertex separator, the structure required by the
+//!   paper's dual-decomposition formulation.
+
+use crate::FlowNetwork;
+
+/// A `k`-way vertex partition: `assignment[v]` is the part of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Part index per vertex.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub parts: usize,
+}
+
+impl Partition {
+    /// Number of edges whose endpoints lie in different parts.
+    pub fn cut_edges(&self, g: &FlowNetwork) -> usize {
+        g.edges()
+            .iter()
+            .filter(|e| self.assignment[e.from] != self.assignment[e.to])
+            .count()
+    }
+
+    /// Sizes of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+
+    /// Vertices belonging to part `p`.
+    pub fn members(&self, p: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &q)| (q == p).then_some(v))
+            .collect()
+    }
+}
+
+/// Partitions the vertices of `g` into `k` roughly balanced parts.
+///
+/// Seeds are spread with a farthest-point heuristic, parts grow by
+/// synchronous BFS, and a bounded number of boundary-refinement passes
+/// moves vertices whose move strictly reduces the cut while keeping parts
+/// within a 20 % imbalance budget.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > g.vertex_count()`.
+pub fn partition_bfs(g: &FlowNetwork, k: usize) -> Partition {
+    let n = g.vertex_count();
+    assert!(k >= 1 && k <= n, "k must be in 1..=|V|");
+    if k == 1 {
+        return Partition {
+            assignment: vec![0; n],
+            parts: 1,
+        };
+    }
+
+    // Undirected adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        adj[e.from].push(e.to);
+        adj[e.to].push(e.from);
+    }
+
+    // Farthest-point seeding from the source.
+    let bfs_dist = |start: usize, adj: &[Vec<usize>]| {
+        let mut dist = vec![usize::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[start] = 0;
+        q.push_back(start);
+        while let Some(v) = q.pop_front() {
+            for &u in &adj[v] {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    };
+    let mut seeds = vec![g.source()];
+    while seeds.len() < k {
+        // Farthest vertex from all current seeds (unreachable → distance 0
+        // tie-broken by index, still yields a valid seed).
+        let mut best = 0usize;
+        let mut best_d = 0usize;
+        let dists: Vec<Vec<usize>> = seeds.iter().map(|&s| bfs_dist(s, &adj)).collect();
+        for v in 0..n {
+            if seeds.contains(&v) {
+                continue;
+            }
+            let d = dists
+                .iter()
+                .map(|dv| if dv[v] == usize::MAX { n } else { dv[v] })
+                .min()
+                .unwrap_or(0);
+            if d >= best_d {
+                best_d = d;
+                best = v;
+            }
+        }
+        seeds.push(best);
+    }
+
+    // Synchronous multi-source BFS growth with a hard per-part size cap so
+    // a well-connected region cannot swallow the whole graph.
+    let max_size = (n / k) + (n / (5 * k)).max(1); // ~20% imbalance budget
+    let mut assignment = vec![usize::MAX; n];
+    let mut sizes_grow = vec![0usize; k];
+    let mut queue = std::collections::VecDeque::new();
+    for (p, &s) in seeds.iter().enumerate() {
+        assignment[s] = p;
+        sizes_grow[p] += 1;
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        let part = assignment[v];
+        for &u in &adj[v] {
+            if assignment[u] == usize::MAX && sizes_grow[part] < max_size {
+                assignment[u] = part;
+                sizes_grow[part] += 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Unassigned vertices (unreachable, or blocked by full parts): place in
+    // the currently smallest part.
+    for v in 0..n {
+        if assignment[v] == usize::MAX {
+            let p = (0..k).min_by_key(|&p| sizes_grow[p]).expect("k >= 1");
+            assignment[v] = p;
+            sizes_grow[p] += 1;
+        }
+    }
+
+    // KL-style refinement: move boundary vertices that reduce the cut.
+    let mut sizes = vec![0usize; k];
+    for &a in &assignment {
+        sizes[a] += 1;
+    }
+    for _pass in 0..4 {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let cur = assignment[v];
+            if sizes[cur] <= 1 {
+                continue;
+            }
+            // Gain of moving v to each neighbouring part.
+            let mut counts = std::collections::HashMap::new();
+            for &u in &adj[v] {
+                *counts.entry(assignment[u]).or_insert(0usize) += 1;
+            }
+            let here = counts.get(&cur).copied().unwrap_or(0);
+            if let Some((&best_p, &cnt)) = counts
+                .iter()
+                .filter(|&(&p, _)| p != cur && sizes[p] < max_size)
+                .max_by_key(|&(_, &c)| c)
+            {
+                if cnt > here {
+                    assignment[v] = best_p;
+                    sizes[cur] -= 1;
+                    sizes[best_p] += 1;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+
+    Partition {
+        assignment,
+        parts: k,
+    }
+}
+
+/// An overlapping two-way split for dual decomposition (§6.4): parts `M`
+/// and `N` share the separator vertices, and every edge belongs to at least
+/// one side.
+#[derive(Debug, Clone)]
+pub struct OverlapSplit {
+    /// Vertices of subproblem `M` (includes the overlap).
+    pub m_vertices: Vec<usize>,
+    /// Vertices of subproblem `N` (includes the overlap).
+    pub n_vertices: Vec<usize>,
+    /// The shared vertices `M ∩ N`.
+    pub overlap: Vec<usize>,
+}
+
+/// Splits `g` into two overlapping halves around a 2-way
+/// [`partition_bfs`]: each half keeps its own vertices plus every vertex on
+/// the other side that is adjacent to a cut edge (the separator), so the
+/// two subproblems agree on the duplicated boundary variables.
+pub fn overlap_partition(g: &FlowNetwork) -> OverlapSplit {
+    let part = partition_bfs(g, 2);
+    let n = g.vertex_count();
+    let mut in_m = vec![false; n];
+    let mut in_n = vec![false; n];
+    for v in 0..n {
+        if part.assignment[v] == 0 {
+            in_m[v] = true;
+        } else {
+            in_n[v] = true;
+        }
+    }
+    for e in g.edges() {
+        let (pa, pb) = (part.assignment[e.from], part.assignment[e.to]);
+        if pa != pb {
+            // Both endpoints become shared.
+            in_m[e.from] = true;
+            in_m[e.to] = true;
+            in_n[e.from] = true;
+            in_n[e.to] = true;
+        }
+    }
+    let m_vertices: Vec<usize> = (0..n).filter(|&v| in_m[v]).collect();
+    let n_vertices: Vec<usize> = (0..n).filter(|&v| in_n[v]).collect();
+    let overlap: Vec<usize> = (0..n).filter(|&v| in_m[v] && in_n[v]).collect();
+    OverlapSplit {
+        m_vertices,
+        n_vertices,
+        overlap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::rmat::RmatConfig;
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = generators::fig5a();
+        let p = partition_bfs(&g, 1);
+        assert_eq!(p.cut_edges(&g), 0);
+        assert_eq!(p.part_sizes(), vec![5]);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = RmatConfig::sparse(120, 3).generate().unwrap();
+        let p = partition_bfs(&g, 4);
+        assert_eq!(p.assignment.len(), 120);
+        assert!(p.assignment.iter().all(|&a| a < 4));
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 120);
+        assert!(sizes.iter().all(|&s| s > 0), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn refinement_does_not_explode_cut() {
+        // On two cliques joined by one edge, a 2-way partition should cut
+        // very few edges.
+        let mut g = FlowNetwork::new(12, 0, 11).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    g.add_edge(i, j, 1).unwrap();
+                }
+            }
+        }
+        for i in 6..12 {
+            for j in 6..12 {
+                if i != j {
+                    g.add_edge(i, j, 1).unwrap();
+                }
+            }
+        }
+        g.add_edge(2, 8, 1).unwrap();
+        let p = partition_bfs(&g, 2);
+        assert!(p.cut_edges(&g) <= 6, "cut {} too big", p.cut_edges(&g));
+    }
+
+    #[test]
+    fn members_partition_the_vertex_set() {
+        let g = RmatConfig::sparse(60, 5).generate().unwrap();
+        let p = partition_bfs(&g, 3);
+        let total: usize = (0..3).map(|q| p.members(q).len()).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn overlap_split_covers_vertices() {
+        let g = RmatConfig::sparse(80, 9).generate().unwrap();
+        let split = overlap_partition(&g);
+        // Every vertex appears in at least one side.
+        let mut covered = vec![false; 80];
+        for &v in split.m_vertices.iter().chain(&split.n_vertices) {
+            covered[v] = true;
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Overlap is exactly the intersection.
+        for &v in &split.overlap {
+            assert!(split.m_vertices.contains(&v) && split.n_vertices.contains(&v));
+        }
+    }
+
+    #[test]
+    fn overlap_split_nonempty_on_bridged_cliques() {
+        // Two cliques joined by a single bridge edge: the bridge must be cut
+        // by any balanced 2-way partition, so its endpoints are shared.
+        let mut g = FlowNetwork::new(12, 0, 11).unwrap();
+        for base in [0usize, 6] {
+            for i in base..base + 6 {
+                for j in base..base + 6 {
+                    if i != j {
+                        g.add_edge(i, j, 1).unwrap();
+                    }
+                }
+            }
+        }
+        g.add_edge(2, 8, 1).unwrap();
+        let split = overlap_partition(&g);
+        assert!(!split.overlap.is_empty());
+        assert!(split.overlap.contains(&2) || split.overlap.contains(&8));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_parts_panics() {
+        let g = generators::fig5a();
+        let _ = partition_bfs(&g, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for graph construction, generation and I/O.
+
+use proptest::prelude::*;
+
+use ohmflow_graph::partition::{overlap_partition, partition_bfs};
+use ohmflow_graph::rmat::RmatConfig;
+use ohmflow_graph::{dimacs, FlowNetwork};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rmat_instances_are_always_solvable(
+        n in 8usize..96,
+        seed in any::<u64>(),
+        dense in any::<bool>(),
+    ) {
+        let cfg = if dense { RmatConfig::dense(n.max(12), seed) } else { RmatConfig::sparse(n, seed) };
+        let g = cfg.generate().unwrap();
+        prop_assert!(g.sink_reachable());
+        prop_assert!(g.edge_count() > 0);
+        prop_assert!(g.max_capacity() >= 1);
+        prop_assert_ne!(g.source(), g.sink());
+    }
+
+    #[test]
+    fn rmat_is_deterministic(n in 8usize..64, seed in any::<u64>()) {
+        let a = RmatConfig::sparse(n, seed).generate().unwrap();
+        let b = RmatConfig::sparse(n, seed).generate().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partition_is_balanced_within_budget(
+        n in 12usize..80,
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let g = RmatConfig::sparse(n, seed).generate().unwrap();
+        let k = k.min(n);
+        let p = partition_bfs(&g, k);
+        let sizes = p.part_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        // The growth cap guarantees no part exceeds the imbalance budget.
+        let max_size = (n / k) + (n / (5 * k)).max(1);
+        for &s in &sizes {
+            prop_assert!(s <= max_size, "part size {s} > budget {max_size}");
+        }
+    }
+
+    #[test]
+    fn overlap_split_covers_every_vertex(n in 10usize..60, seed in any::<u64>()) {
+        let g = RmatConfig::sparse(n, seed).generate().unwrap();
+        let split = overlap_partition(&g);
+        let mut covered = vec![false; n];
+        for &v in split.m_vertices.iter().chain(&split.n_vertices) {
+            covered[v] = true;
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        // Every edge is interior to at least one side.
+        for e in g.edges() {
+            let in_m = split.m_vertices.binary_search(&e.from).is_ok()
+                && split.m_vertices.binary_search(&e.to).is_ok();
+            let in_n = split.n_vertices.binary_search(&e.from).is_ok()
+                && split.n_vertices.binary_search(&e.to).is_ok();
+            prop_assert!(in_m || in_n);
+        }
+    }
+
+    #[test]
+    fn dimacs_roundtrips_rmat(n in 8usize..40, seed in any::<u64>()) {
+        let g = RmatConfig::sparse(n, seed).generate().unwrap();
+        let text = dimacs::write(&g);
+        prop_assert_eq!(dimacs::parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn validate_flow_accepts_zero_flow(n in 4usize..30, seed in any::<u64>()) {
+        let g = RmatConfig::sparse(n, seed).generate().unwrap();
+        let zeros = vec![0.0; g.edge_count()];
+        prop_assert_eq!(g.validate_flow(&zeros, 1e-12), Some(0.0));
+    }
+
+    #[test]
+    fn scaled_capacities_scale_max_capacity(
+        n in 4usize..24,
+        seed in any::<u64>(),
+        scale in 1i64..50,
+    ) {
+        let g = RmatConfig::sparse(n, seed).generate().unwrap();
+        let s = g.scaled_capacities(scale).unwrap();
+        prop_assert_eq!(s.max_capacity(), g.max_capacity() * scale);
+        prop_assert_eq!(s.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn self_loops_always_rejected(n in 2usize..20, v in 0usize..20) {
+        let mut g = FlowNetwork::new(n.max(v + 1), 0, n.max(v + 1) - 1).unwrap();
+        prop_assert!(g.add_edge(v, v, 1).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::LinalgError;
+
+/// A dense, row-major, `f64` matrix.
+///
+/// Used for small systems (the worked examples of the paper have a handful of
+/// circuit nodes), for reference solutions in tests, and as the fallback when
+/// sparsity does not pay off.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_linalg::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m[(0, 0)] = 1.0;
+/// m[(1, 1)] = 2.0;
+/// assert_eq!(m.mul_vec(&[3.0, 4.0]), vec![3.0, 8.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major nested slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Transposed matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Factors the matrix and solves `A x = b` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices,
+    /// [`LinalgError::DimensionMismatch`] for a wrong-size `b`, and
+    /// [`LinalgError::Singular`] when elimination encounters a zero pivot.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        DenseLu::factor(self)?.solve(b)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Partial-pivoting LU factorization of a [`DenseMatrix`].
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_linalg::{DenseLu, DenseMatrix};
+///
+/// # fn main() -> Result<(), ohmflow_linalg::LinalgError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = DenseLu::factor(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    /// Parity of the permutation; `determinant` needs it.
+    sign: f64,
+}
+
+impl DenseLu {
+    /// Factors `a` as `P A = L U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] if `a` is not square, or
+    /// [`LinalgError::Singular`] if a pivot column is entirely zero.
+    pub fn factor(a: &DenseMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows,
+                cols: a.cols,
+            });
+        }
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let upd = factor * lu[(k, j)];
+                        lu[(i, j)] -= upd;
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.lu.rows;
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply permutation, then forward- and back-substitute.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn solve_3x3_known() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_reports_column() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match DenseLu::factor(&a) {
+            Err(LinalgError::Singular { column }) => assert_eq!(column, 1),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            DenseLu::factor(&a),
+            Err(LinalgError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn determinant_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = DenseLu::factor(&a).unwrap();
+        assert!((lu.determinant() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_conductance_indefinite_system() {
+        // MNA systems with negative resistors are indefinite but solvable.
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, -1.0]]);
+        let x = a.solve(&[3.0, 1.0]).unwrap();
+        let r = a.mul_vec(&x);
+        assert!((r[0] - 3.0).abs() < 1e-12 && (r[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn wrong_rhs_length() {
+        let a = DenseMatrix::identity(2);
+        assert!(matches!(
+            a.solve(&[1.0]),
+            Err(LinalgError::DimensionMismatch { expected: 2, found: 1 })
+        ));
+    }
+}

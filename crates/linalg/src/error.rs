@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix is structurally or numerically singular.
+    ///
+    /// Carries the pivot column at which elimination broke down.
+    Singular {
+        /// Column index where no acceptable pivot was found.
+        column: usize,
+    },
+    /// Operand dimensions do not agree (e.g. solving an `n x n` system with a
+    /// right-hand side of different length).
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        found: usize,
+    },
+    /// The matrix is not square but the operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows} x {cols}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}

@@ -1,0 +1,50 @@
+//! Dense and sparse linear-algebra kernels for the `ohmflow` workspace.
+//!
+//! The circuit simulator ([`ohmflow-circuit`]) assembles modified-nodal-analysis
+//! (MNA) systems whose matrices are large, very sparse, unsymmetric and — because
+//! the analog max-flow substrate contains *negative* resistors — indefinite.
+//! This crate provides everything needed to solve them without external
+//! dependencies:
+//!
+//! * [`DenseMatrix`] with partial-pivoting LU ([`DenseLu`]) for small systems
+//!   and for tests,
+//! * [`TripletMatrix`] (coordinate) assembly and [`CsrMatrix`] / [`CscMatrix`]
+//!   compressed storage,
+//! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting and
+//!   an approximate-minimum-degree fill-reducing ordering,
+//! * iterative refinement and the small vector helpers in [`vecops`].
+//!
+//! # Example
+//!
+//! ```
+//! use ohmflow_linalg::{TripletMatrix, SparseLu};
+//!
+//! # fn main() -> Result<(), ohmflow_linalg::LinalgError> {
+//! let mut a = TripletMatrix::new(2, 2);
+//! a.push(0, 0, 4.0);
+//! a.push(0, 1, 1.0);
+//! a.push(1, 0, 1.0);
+//! a.push(1, 1, 3.0);
+//! let lu = SparseLu::factor(&a.to_csc())?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ohmflow-circuit`]: https://example.com/ohmflow
+
+#![deny(missing_docs)]
+
+mod dense;
+mod error;
+mod ordering;
+mod sparse;
+mod sparse_lu;
+pub mod vecops;
+
+pub use dense::{DenseLu, DenseMatrix};
+pub use error::LinalgError;
+pub use ordering::{min_degree_ordering, reverse_cuthill_mckee};
+pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
+pub use sparse_lu::{ColumnOrdering, SparseLu, SparseLuOptions};

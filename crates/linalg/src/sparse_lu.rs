@@ -1,0 +1,520 @@
+//! Left-looking (Gilbert–Peierls) sparse LU with threshold partial pivoting.
+//!
+//! This is the solver behind every DC operating point and every transient
+//! time step of the circuit simulator. It factors `A(:, q) = Pᵀ L U` where
+//! `q` is a fill-reducing column ordering and `P` is the row permutation
+//! chosen by pivoting. The algorithm follows Gilbert & Peierls (1988): for
+//! each column, a depth-first search over the structure of the already
+//! computed part of `L` predicts the nonzero pattern, and the numeric
+//! update is applied in topological order.
+
+use crate::ordering::{min_degree_ordering, reverse_cuthill_mckee};
+use crate::{CscMatrix, LinalgError};
+
+const NO_PIVOT: usize = usize::MAX;
+
+/// Column-ordering strategy for [`SparseLu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnOrdering {
+    /// Factor in natural column order.
+    Natural,
+    /// Greedy minimum degree on the symmetrized pattern (default).
+    #[default]
+    MinDegree,
+    /// Reverse Cuthill–McKee.
+    Rcm,
+}
+
+/// Options controlling [`SparseLu::factor_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseLuOptions {
+    /// Column ordering strategy.
+    pub ordering: ColumnOrdering,
+    /// Threshold in `(0, 1]` for diagonal-preferring partial pivoting: the
+    /// diagonal entry is accepted as pivot when its magnitude is at least
+    /// `pivot_threshold` times the column maximum. `1.0` forces strict
+    /// partial pivoting.
+    pub pivot_threshold: f64,
+    /// Entries with magnitude at or below this are treated as numerically
+    /// zero when selecting pivots.
+    pub zero_tolerance: f64,
+}
+
+impl Default for SparseLuOptions {
+    fn default() -> Self {
+        SparseLuOptions {
+            ordering: ColumnOrdering::MinDegree,
+            pivot_threshold: 0.1,
+            zero_tolerance: 0.0,
+        }
+    }
+}
+
+/// Sparse LU factorization `A(:, q) = Pᵀ L U`.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_linalg::{SparseLu, TripletMatrix};
+///
+/// # fn main() -> Result<(), ohmflow_linalg::LinalgError> {
+/// let mut t = TripletMatrix::new(3, 3);
+/// t.push(0, 0, 2.0);
+/// t.push(1, 1, -3.0); // indefinite is fine: the substrate has negative resistors
+/// t.push(2, 2, 4.0);
+/// t.push(0, 2, 1.0);
+/// let lu = SparseLu::factor(&t.to_csc())?;
+/// let x = lu.solve(&[5.0, -3.0, 4.0])?;
+/// assert!((x[1] - 1.0).abs() < 1e-12 && (x[2] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Column ordering: column `q[k]` of `A` is eliminated at step `k`.
+    q: Vec<usize>,
+    /// `row_perm[k]` = original row chosen as pivot at step `k`.
+    row_perm: Vec<usize>,
+    /// L stored by columns (unit diagonal implicit); row indices are
+    /// *original* row ids.
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// U stored by columns; row indices are pivot *steps* (`0..k`), the
+    /// diagonal (pivot) stored last in each column segment.
+    u_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Factors `a` with default options.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] if `a` is not square;
+    /// [`LinalgError::Singular`] if a column has no usable pivot.
+    pub fn factor(a: &CscMatrix) -> Result<Self, LinalgError> {
+        Self::factor_with(a, &SparseLuOptions::default())
+    }
+
+    /// Factors `a` with explicit [`SparseLuOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::factor`].
+    pub fn factor_with(a: &CscMatrix, opts: &SparseLuOptions) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.cols();
+        let q = match opts.ordering {
+            ColumnOrdering::Natural => (0..n).collect(),
+            ColumnOrdering::MinDegree => min_degree_ordering(a),
+            ColumnOrdering::Rcm => reverse_cuthill_mckee(a),
+        };
+
+        let mut pinv = vec![NO_PIVOT; n]; // original row -> pivot step
+        let mut row_perm = vec![NO_PIVOT; n]; // pivot step -> original row
+        let mut l_ptr = vec![0usize];
+        let mut l_rows: Vec<usize> = Vec::with_capacity(4 * a.nnz() + n);
+        let mut l_vals: Vec<f64> = Vec::with_capacity(4 * a.nnz() + n);
+        let mut u_ptr = vec![0usize];
+        let mut u_rows: Vec<usize> = Vec::with_capacity(4 * a.nnz() + n);
+        let mut u_vals: Vec<f64> = Vec::with_capacity(4 * a.nnz() + n);
+
+        // Workspaces reused across columns; `stamp` arrays avoid O(n) clears.
+        let mut x = vec![0.0f64; n];
+        let mut pattern: Vec<usize> = Vec::with_capacity(64);
+        let mut row_stamp = vec![usize::MAX; n]; // row in pattern this column?
+        let mut step_stamp = vec![usize::MAX; n]; // step visited by DFS this column?
+        let mut topo: Vec<usize> = Vec::with_capacity(64); // post-order of pivot steps
+        let mut dfs: Vec<(usize, usize)> = Vec::with_capacity(64);
+
+        for k in 0..n {
+            let col = q[k];
+            pattern.clear();
+            topo.clear();
+
+            for (r, v) in a.col(col) {
+                if row_stamp[r] != k {
+                    row_stamp[r] = k;
+                    pattern.push(r);
+                    x[r] = v;
+                } else {
+                    x[r] += v;
+                }
+                let step = pinv[r];
+                if step != NO_PIVOT && step_stamp[step] != k {
+                    // DFS over L's structure starting at `step`.
+                    step_stamp[step] = k;
+                    dfs.push((step, l_ptr[step]));
+                    while let Some(&mut (s, ref mut ptr)) = dfs.last_mut() {
+                        let hi = l_ptr[s + 1];
+                        let mut descended = false;
+                        while *ptr < hi {
+                            let child_row = l_rows[*ptr];
+                            *ptr += 1;
+                            if row_stamp[child_row] != k {
+                                row_stamp[child_row] = k;
+                                pattern.push(child_row);
+                                x[child_row] = 0.0;
+                            }
+                            let child_step = pinv[child_row];
+                            if child_step != NO_PIVOT && step_stamp[child_step] != k {
+                                step_stamp[child_step] = k;
+                                dfs.push((child_step, l_ptr[child_step]));
+                                descended = true;
+                                break;
+                            }
+                        }
+                        if !descended && {
+                            let (s2, p2) = *dfs.last().expect("stack nonempty");
+                            p2 >= l_ptr[s2 + 1]
+                        } {
+                            let (s2, _) = dfs.pop().expect("stack nonempty");
+                            topo.push(s2);
+                        }
+                    }
+                }
+            }
+
+            // Numeric update in topological order (reverse post-order).
+            for &s in topo.iter().rev() {
+                let xval = x[row_perm[s]];
+                if xval != 0.0 {
+                    for idx in l_ptr[s]..l_ptr[s + 1] {
+                        x[l_rows[idx]] -= xval * l_vals[idx];
+                    }
+                }
+            }
+
+            // Pivot selection with threshold preference for the diagonal
+            // (original row id == col), which keeps MNA factorizations
+            // stable without destroying sparsity.
+            let mut max_mag = 0.0f64;
+            let mut max_row = NO_PIVOT;
+            let mut diag_mag = -1.0f64;
+            for &r in &pattern {
+                if pinv[r] == NO_PIVOT {
+                    let mag = x[r].abs();
+                    if mag > max_mag {
+                        max_mag = mag;
+                        max_row = r;
+                    }
+                    if r == col {
+                        diag_mag = mag;
+                    }
+                }
+            }
+            if max_row == NO_PIVOT || max_mag <= opts.zero_tolerance {
+                for &r in &pattern {
+                    x[r] = 0.0;
+                }
+                return Err(LinalgError::Singular { column: col });
+            }
+            let pivot_row =
+                if diag_mag >= opts.pivot_threshold * max_mag && diag_mag > opts.zero_tolerance {
+                    col
+                } else {
+                    max_row
+                };
+            let pivot_val = x[pivot_row];
+            pinv[pivot_row] = k;
+            row_perm[k] = pivot_row;
+
+            // Emit U column (entries at pivotal rows, pivot last) and L
+            // column (non-pivotal rows scaled by the pivot).
+            for &r in &pattern {
+                let step = pinv[r];
+                if step != NO_PIVOT && step != k && x[r] != 0.0 {
+                    u_rows.push(step);
+                    u_vals.push(x[r]);
+                }
+            }
+            u_rows.push(k);
+            u_vals.push(pivot_val);
+            u_ptr.push(u_rows.len());
+
+            for &r in &pattern {
+                if pinv[r] == NO_PIVOT && x[r] != 0.0 {
+                    l_rows.push(r);
+                    l_vals.push(x[r] / pivot_val);
+                }
+            }
+            l_ptr.push(l_rows.len());
+
+            for &r in &pattern {
+                x[r] = 0.0;
+            }
+        }
+
+        Ok(SparseLu {
+            n,
+            q,
+            row_perm,
+            l_ptr,
+            l_rows,
+            l_vals,
+            u_ptr,
+            u_rows,
+            u_vals,
+        })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `b.len()` differs from the
+    /// system dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        // Forward solve L z = P b; z indexed by pivot step.
+        let mut work: Vec<f64> = b.to_vec();
+        let mut z = vec![0.0f64; self.n];
+        for step in 0..self.n {
+            let zk = work[self.row_perm[step]];
+            z[step] = zk;
+            if zk != 0.0 {
+                for idx in self.l_ptr[step]..self.l_ptr[step + 1] {
+                    work[self.l_rows[idx]] -= zk * self.l_vals[idx];
+                }
+            }
+        }
+        // Backward solve U y = z; U columns hold steps, diagonal last.
+        let mut y = z;
+        for step in (0..self.n).rev() {
+            let (lo, hi) = (self.u_ptr[step], self.u_ptr[step + 1]);
+            let yk = y[step] / self.u_vals[hi - 1];
+            y[step] = yk;
+            if yk != 0.0 {
+                for idx in lo..(hi - 1) {
+                    y[self.u_rows[idx]] -= yk * self.u_vals[idx];
+                }
+            }
+        }
+        // Undo the column permutation: x[q[k]] = y[k].
+        let mut xout = vec![0.0f64; self.n];
+        for k in 0..self.n {
+            xout[self.q[k]] = y[k];
+        }
+        Ok(xout)
+    }
+
+    /// Solves `A x = b`, then applies one step of iterative refinement using
+    /// the original matrix `a` to reduce the residual.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::solve`].
+    pub fn solve_refined(&self, a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = self.solve(b)?;
+        let ax = a.mul_vec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let dx = self.solve(&r)?;
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+        Ok(x)
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored entries in `L` and `U` (a fill-in metric).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn solve_dense_reference(t: &TripletMatrix, b: &[f64]) -> Vec<f64> {
+        use crate::DenseMatrix;
+        let csr = t.to_csr();
+        let mut d = DenseMatrix::zeros(csr.rows(), csr.cols());
+        for r in 0..csr.rows() {
+            for (c, v) in csr.row(r) {
+                d[(r, c)] += v;
+            }
+        }
+        d.solve(b).expect("reference solve")
+    }
+
+    #[test]
+    fn diagonal_system() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, -8.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let x = lu.solve(&[2.0, 4.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn matches_dense_reference_on_random_systems() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let n = 2 + (trial % 12);
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                t.push(i, i, rng.gen_range(1.0..4.0) * if rng.gen_bool(0.3) { -1.0 } else { 1.0 });
+            }
+            for _ in 0..(2 * n) {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                t.push(i, j, rng.gen_range(-1.0..1.0) * 0.4);
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let lu = SparseLu::factor(&t.to_csc()).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let xref = solve_dense_reference(&t, &b);
+            for (a, r) in x.iter().zip(&xref) {
+                assert!((a - r).abs() < 1e-8, "trial {trial}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 4.0);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csc()),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        // Empty column.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        assert!(SparseLu::factor(&t.to_csc()).is_err());
+    }
+
+    #[test]
+    fn needs_row_pivoting() {
+        // Zero diagonal forces off-diagonal pivot.
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn all_orderings_agree() {
+        let mut t = TripletMatrix::new(5, 5);
+        for i in 0..5 {
+            t.push(i, i, 3.0);
+        }
+        for i in 0..4 {
+            t.push(i, i + 1, -1.0);
+            t.push(i + 1, i, -1.0);
+        }
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let csc = t.to_csc();
+        let xref = solve_dense_reference(&t, &b);
+        for ord in [ColumnOrdering::Natural, ColumnOrdering::MinDegree, ColumnOrdering::Rcm] {
+            let opts = SparseLuOptions { ordering: ord, ..Default::default() };
+            let x = SparseLu::factor_with(&csc, &opts).unwrap().solve(&b).unwrap();
+            for (a, r) in x.iter().zip(&xref) {
+                assert!((a - r).abs() < 1e-10, "{ord:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_residual() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0000001);
+        let csc = t.to_csc();
+        let lu = SparseLu::factor(&csc).unwrap();
+        let b = [2.0, 2.0000001];
+        let x = lu.solve_refined(&csc, &b).unwrap();
+        let ax = csc.mul_vec(&x);
+        assert!((ax[0] - b[0]).abs() < 1e-9 && (ax[1] - b[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_grid_system() {
+        // 2-D resistor-grid Laplacian + identity: well-conditioned, sparse.
+        let side = 20;
+        let n = side * side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                let me = id(r, c);
+                let mut deg = 1.0; // +1 keeps it nonsingular
+                let mut nbrs = Vec::new();
+                if r > 0 {
+                    nbrs.push(id(r - 1, c));
+                }
+                if r + 1 < side {
+                    nbrs.push(id(r + 1, c));
+                }
+                if c > 0 {
+                    nbrs.push(id(r, c - 1));
+                }
+                if c + 1 < side {
+                    nbrs.push(id(r, c + 1));
+                }
+                for &nb in &nbrs {
+                    t.push(me, nb, -1.0);
+                    deg += 1.0;
+                }
+                t.push(me, me, deg);
+            }
+        }
+        let csc = t.to_csc();
+        let b = vec![1.0; n];
+        let lu = SparseLu::factor(&csc).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = csc.mul_vec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-9);
+        }
+        // Fill-in should stay modest relative to the dense n^2.
+        assert!(lu.factor_nnz() < n * n / 4);
+    }
+
+    #[test]
+    fn dimension_mismatch_on_solve() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(LinalgError::DimensionMismatch { expected: 2, found: 1 })
+        ));
+    }
+}

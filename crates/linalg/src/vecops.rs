@@ -1,0 +1,82 @@
+//! Small dense-vector helpers used throughout the workspace.
+
+/// Euclidean (L2) norm of `v`.
+///
+/// ```
+/// assert_eq!(ohmflow_linalg::vecops::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Maximum-magnitude (L∞) norm of `v`; `0.0` for an empty slice.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Dot product of `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Relative difference `|a - b| / max(1, |a|, |b|)` useful for convergence
+/// checks that behave sensibly near zero.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm2_basic() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert!((norm2(&[1.0, 2.0, 2.0]) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_inf_basic() {
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm_inf(&[-5.0, 2.0]), 5.0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = b;
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn rel_diff_near_zero_is_absolute() {
+        assert!(rel_diff(1e-12, 0.0) < 1e-11);
+        assert!((rel_diff(200.0, 100.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+
+use ohmflow_linalg::{
+    min_degree_ordering, reverse_cuthill_mckee, ColumnOrdering, DenseMatrix, SparseLu,
+    SparseLuOptions, TripletMatrix,
+};
+
+/// A random diagonally-dominant sparse system (always solvable).
+fn arb_system(max_n: usize) -> impl Strategy<Value = (TripletMatrix, Vec<f64>)> {
+    (2..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    t.push(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            // Indefinite but dominant diagonal (negative-resistor style).
+            let sign = if rng.gen_bool(0.25) { -1.0 } else { 1.0 };
+            t.push(i, i, sign * (row_sum + rng.gen_range(1.0..3.0)));
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        (t, b)
+    })
+}
+
+fn dense_reference(t: &TripletMatrix, b: &[f64]) -> Vec<f64> {
+    let csr = t.to_csr();
+    let mut d = DenseMatrix::zeros(csr.rows(), csr.cols());
+    for r in 0..csr.rows() {
+        for (c, v) in csr.row(r) {
+            d[(r, c)] += v;
+        }
+    }
+    d.solve(b).expect("reference solve")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sparse_lu_matches_dense_reference((t, b) in arb_system(24)) {
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let xref = dense_reference(&t, &b);
+        for (a, r) in x.iter().zip(&xref) {
+            prop_assert!((a - r).abs() < 1e-7, "{a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn every_ordering_solves_the_same_system((t, b) in arb_system(16)) {
+        let csc = t.to_csc();
+        let xref = dense_reference(&t, &b);
+        for ordering in [ColumnOrdering::Natural, ColumnOrdering::MinDegree, ColumnOrdering::Rcm] {
+            let opts = SparseLuOptions { ordering, ..Default::default() };
+            let x = SparseLu::factor_with(&csc, &opts).unwrap().solve(&b).unwrap();
+            for (a, r) in x.iter().zip(&xref) {
+                prop_assert!((a - r).abs() < 1e-7, "{ordering:?}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn orderings_are_permutations((t, _b) in arb_system(24)) {
+        let csc = t.to_csc();
+        for perm in [min_degree_ordering(&csc), reverse_cuthill_mckee(&csc)] {
+            let n = csc.cols();
+            let mut seen = vec![false; n];
+            prop_assert_eq!(perm.len(), n);
+            for &p in &perm {
+                prop_assert!(p < n && !seen[p]);
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn csr_csc_matvec_agree((t, b) in arb_system(24)) {
+        let y1 = t.to_csr().mul_vec(&b);
+        let y2 = t.to_csc().mul_vec(&b);
+        for (a, c) in y1.iter().zip(&y2) {
+            prop_assert!((a - c).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+use std::collections::VecDeque;
+
+use ohmflow_graph::FlowNetwork;
+
+use crate::residual::ResidualGraph;
+use crate::FlowResult;
+
+/// Dinitz's blocking-flow algorithm, `O(V² E)` (cited as ref.\ 12 in the
+/// paper's related-work discussion of efficient classical algorithms).
+///
+/// # Example
+///
+/// ```
+/// let g = ohmflow_graph::generators::fig5a();
+/// assert_eq!(ohmflow_maxflow::dinic(&g).value, 2);
+/// ```
+pub fn dinic(g: &FlowNetwork) -> FlowResult {
+    let mut rg = ResidualGraph::new(g);
+    let (s, t) = (rg.source(), rg.sink());
+    let n = rg.vertex_count();
+    let mut value: i64 = 0;
+    let mut level = vec![-1i32; n];
+    let mut it = vec![0usize; n];
+
+    loop {
+        // Build the level graph by BFS.
+        level.fill(-1);
+        level[s] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &a in rg.arcs(v) {
+                let u = rg.head(a);
+                if rg.residual(a) > 0 && level[u] < 0 {
+                    level[u] = level[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        if level[t] < 0 {
+            break;
+        }
+        // Find a blocking flow with iterative DFS.
+        it.fill(0);
+        loop {
+            let pushed = dfs_push(&mut rg, s, t, i64::MAX, &level, &mut it);
+            if pushed == 0 {
+                break;
+            }
+            value += pushed;
+        }
+    }
+
+    FlowResult {
+        value,
+        edge_flows: rg.edge_flows(),
+    }
+}
+
+/// DFS that pushes up to `limit` along level-increasing residual arcs.
+fn dfs_push(
+    rg: &mut ResidualGraph,
+    v: usize,
+    t: usize,
+    limit: i64,
+    level: &[i32],
+    it: &mut [usize],
+) -> i64 {
+    if v == t {
+        return limit;
+    }
+    while it[v] < rg.arcs(v).len() {
+        let a = rg.arcs(v)[it[v]];
+        let u = rg.head(a);
+        if rg.residual(a) > 0 && level[u] == level[v] + 1 {
+            let pushed = dfs_push(rg, u, t, limit.min(rg.residual(a)), level, it);
+            if pushed > 0 {
+                rg.push(a, pushed);
+                return pushed;
+            }
+        }
+        it[v] += 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edmonds_karp;
+    use ohmflow_graph::generators;
+    use ohmflow_graph::rmat::RmatConfig;
+
+    #[test]
+    fn matches_edmonds_karp_on_examples() {
+        for g in [
+            generators::fig5a(),
+            generators::fig15a(100),
+            generators::path(&[3, 1, 7]).unwrap(),
+            generators::parallel_paths(5, 2).unwrap(),
+            generators::layered(3, 3, 5, 2).unwrap(),
+        ] {
+            let d = dinic(&g);
+            assert_eq!(d.value, edmonds_karp(&g).value);
+            assert!(d.is_valid_for(&g));
+        }
+    }
+
+    #[test]
+    fn matches_edmonds_karp_on_rmat() {
+        for seed in 0..8 {
+            let g = RmatConfig::sparse(50, seed).generate().unwrap();
+            let d = dinic(&g);
+            let e = edmonds_karp(&g);
+            assert_eq!(d.value, e.value, "seed {seed}");
+            assert!(d.is_valid_for(&g));
+        }
+    }
+
+    #[test]
+    fn bipartite_matching_value() {
+        // Perfect matching possible on a crown graph shape.
+        let g = generators::bipartite(6, 6, 3, 4).unwrap();
+        let d = dinic(&g);
+        assert!(d.value <= 6);
+        assert_eq!(d.value, edmonds_karp(&g).value);
+    }
+}

@@ -1,0 +1,131 @@
+use std::collections::VecDeque;
+
+use ohmflow_graph::FlowNetwork;
+
+use crate::residual::ResidualGraph;
+use crate::FlowResult;
+
+/// Edmonds–Karp: shortest augmenting paths by BFS, `O(V E²)`.
+///
+/// The simplest of the three solvers; used as the ground-truth oracle in
+/// differential tests because its implementation is the easiest to audit.
+///
+/// # Example
+///
+/// ```
+/// let g = ohmflow_graph::generators::fig5a();
+/// let r = ohmflow_maxflow::edmonds_karp(&g);
+/// assert_eq!(r.value, 2);
+/// assert!(r.is_valid_for(&g));
+/// ```
+pub fn edmonds_karp(g: &FlowNetwork) -> FlowResult {
+    let mut rg = ResidualGraph::new(g);
+    let (s, t) = (rg.source(), rg.sink());
+    let n = rg.vertex_count();
+    let mut value: i64 = 0;
+    let mut pred: Vec<Option<usize>> = vec![None; n]; // arc used to reach v
+
+    loop {
+        // BFS for a shortest residual path.
+        pred.fill(None);
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        let mut found = false;
+        'bfs: while let Some(v) = q.pop_front() {
+            for &a in rg.arcs(v) {
+                let u = rg.head(a);
+                if rg.residual(a) > 0 && pred[u].is_none() && u != s {
+                    pred[u] = Some(a);
+                    if u == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    q.push_back(u);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = i64::MAX;
+        let mut v = t;
+        while v != s {
+            let a = pred[v].expect("path arc");
+            bottleneck = bottleneck.min(rg.residual(a));
+            v = rg.head(ResidualGraph::reverse(a));
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            let a = pred[v].expect("path arc");
+            rg.push(a, bottleneck);
+            v = rg.head(ResidualGraph::reverse(a));
+        }
+        value += bottleneck;
+    }
+
+    FlowResult {
+        value,
+        edge_flows: rg.edge_flows(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohmflow_graph::generators;
+
+    #[test]
+    fn fig5a_value_is_two() {
+        let g = generators::fig5a();
+        let r = edmonds_karp(&g);
+        assert_eq!(r.value, 2);
+        assert!(r.is_valid_for(&g));
+    }
+
+    #[test]
+    fn fig15a_value_is_four() {
+        let g = generators::fig15a(1_000);
+        let r = edmonds_karp(&g);
+        assert_eq!(r.value, 4);
+        assert!(r.is_valid_for(&g));
+    }
+
+    #[test]
+    fn path_flow_is_bottleneck() {
+        let g = generators::path(&[5, 2, 9]).unwrap();
+        assert_eq!(edmonds_karp(&g).value, 2);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let g = generators::parallel_paths(4, 3).unwrap();
+        assert_eq!(edmonds_karp(&g).value, 12);
+    }
+
+    #[test]
+    fn unreachable_sink_gives_zero() {
+        let mut g = FlowNetwork::new(4, 0, 3).unwrap();
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(2, 3, 5).unwrap();
+        let r = edmonds_karp(&g);
+        assert_eq!(r.value, 0);
+        assert!(r.edge_flows.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn backward_augmentation_needed() {
+        // Classic 4-node diamond with a cross edge: optimal flow requires
+        // rerouting through the residual reverse arc.
+        let mut g = FlowNetwork::new(4, 0, 3).unwrap();
+        g.add_edge(0, 1, 1).unwrap();
+        g.add_edge(0, 2, 1).unwrap();
+        g.add_edge(1, 2, 1).unwrap();
+        g.add_edge(1, 3, 1).unwrap();
+        g.add_edge(2, 3, 1).unwrap();
+        let r = edmonds_karp(&g);
+        assert_eq!(r.value, 2);
+        assert!(r.is_valid_for(&g));
+    }
+}

@@ -1,0 +1,66 @@
+//! Classical maximum-flow algorithms: the CPU baselines the paper compares
+//! against (§5.1 uses push-relabel) and the exact oracle the analog
+//! substrate's solutions are validated against.
+//!
+//! Implemented solvers:
+//!
+//! * [`edmonds_karp`] — BFS augmenting paths, `O(V E²)`,
+//! * [`dinic`] — blocking flows on level graphs, `O(V² E)`,
+//! * [`push_relabel`] — Goldberg–Tarjan preflow-push with FIFO or
+//!   highest-label selection, gap heuristic and periodic global relabeling
+//!   (the paper's baseline),
+//! * [`min_cut`] — minimum `s–t` cut extracted from a max-flow residual
+//!   graph (the dual certificate used by the §6.3 study).
+//!
+//! All solvers share the [`FlowResult`] output: the optimal value plus a
+//! per-edge integral flow assignment that always satisfies the capacity and
+//! conservation constraints exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use ohmflow_graph::generators::fig5a;
+//! use ohmflow_maxflow::{dinic, edmonds_karp, push_relabel, PushRelabelVariant};
+//!
+//! let g = fig5a();
+//! assert_eq!(edmonds_karp(&g).value, 2);
+//! assert_eq!(dinic(&g).value, 2);
+//! assert_eq!(push_relabel(&g, PushRelabelVariant::Fifo).value, 2);
+//! ```
+
+#![deny(missing_docs)]
+
+mod dinic_impl;
+mod ek;
+mod mincut;
+mod pr;
+mod residual;
+
+pub use dinic_impl::dinic;
+pub use ek::edmonds_karp;
+pub use mincut::{min_cut, MinCut};
+pub use pr::{push_relabel, PushRelabelVariant};
+pub use residual::ResidualGraph;
+
+use ohmflow_graph::FlowNetwork;
+
+/// Result of a max-flow computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Optimal flow value `|f|`.
+    pub value: i64,
+    /// Flow on each edge, indexed by [`ohmflow_graph::EdgeId`] order.
+    pub edge_flows: Vec<i64>,
+}
+
+impl FlowResult {
+    /// Verifies the stored assignment against `g` (capacity + conservation
+    /// + value consistency). Intended for tests and debugging.
+    pub fn is_valid_for(&self, g: &FlowNetwork) -> bool {
+        let flows: Vec<f64> = self.edge_flows.iter().map(|&f| f as f64).collect();
+        match g.validate_flow(&flows, 1e-9) {
+            Some(v) => (v - self.value as f64).abs() < 1e-9,
+            None => false,
+        }
+    }
+}

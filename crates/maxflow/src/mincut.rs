@@ -1,0 +1,101 @@
+use ohmflow_graph::{EdgeId, FlowNetwork};
+
+use crate::residual::ResidualGraph;
+use crate::{dinic, FlowResult};
+
+/// A minimum `s–t` cut: the dual certificate of a maximum flow
+/// (max-flow/min-cut theorem), used to validate the §6.3 dual-circuit study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinCut {
+    /// Total capacity of the cut — equal to the max-flow value.
+    pub capacity: i64,
+    /// `true` for vertices on the source side.
+    pub source_side: Vec<bool>,
+    /// Edges crossing from the source side to the sink side.
+    pub cut_edges: Vec<EdgeId>,
+}
+
+/// Computes a minimum `s–t` cut of `g` by running [`dinic`] and extracting
+/// the residual reachability certificate.
+///
+/// # Example
+///
+/// ```
+/// let g = ohmflow_graph::generators::fig5a();
+/// let cut = ohmflow_maxflow::min_cut(&g);
+/// assert_eq!(cut.capacity, 2); // equals the max-flow value
+/// ```
+pub fn min_cut(g: &FlowNetwork) -> MinCut {
+    let flow: FlowResult = dinic(g);
+    // Rebuild the residual at optimality to get reachability.
+    let mut rg = ResidualGraph::new(g);
+    for (k, &f) in flow.edge_flows.iter().enumerate() {
+        if f > 0 {
+            rg.push(2 * k, f);
+        }
+    }
+    let source_side = rg.source_side();
+    let mut cut_edges = Vec::new();
+    let mut capacity = 0i64;
+    for (k, e) in g.edges().iter().enumerate() {
+        if source_side[e.from] && !source_side[e.to] {
+            cut_edges.push(EdgeId(k));
+            capacity += e.capacity;
+        }
+    }
+    debug_assert_eq!(capacity, flow.value, "max-flow/min-cut duality");
+    MinCut {
+        capacity,
+        source_side,
+        cut_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edmonds_karp;
+    use ohmflow_graph::generators;
+    use ohmflow_graph::rmat::RmatConfig;
+
+    #[test]
+    fn cut_equals_flow_on_examples() {
+        for g in [
+            generators::fig5a(),
+            generators::fig15a(33),
+            generators::path(&[2, 8]).unwrap(),
+            generators::grid(3, 3, 4, 7).unwrap(),
+        ] {
+            let cut = min_cut(&g);
+            assert_eq!(cut.capacity, edmonds_karp(&g).value);
+            assert!(cut.source_side[g.source()]);
+            assert!(!cut.source_side[g.sink()]);
+        }
+    }
+
+    #[test]
+    fn cut_edges_capacity_sums_to_value() {
+        let g = RmatConfig::sparse(40, 2).generate().unwrap();
+        let cut = min_cut(&g);
+        let sum: i64 = cut.cut_edges.iter().map(|&e| g.edge(e).capacity).sum();
+        assert_eq!(sum, cut.capacity);
+    }
+
+    #[test]
+    fn path_cut_is_bottleneck_edge() {
+        let g = generators::path(&[9, 1, 9]).unwrap();
+        let cut = min_cut(&g);
+        assert_eq!(cut.capacity, 1);
+        assert_eq!(cut.cut_edges.len(), 1);
+        assert_eq!(g.edge(cut.cut_edges[0]).capacity, 1);
+    }
+
+    #[test]
+    fn duality_holds_across_rmat_sweep() {
+        for seed in 0..10 {
+            let g = RmatConfig::sparse(48, 100 + seed).generate().unwrap();
+            let cut = min_cut(&g);
+            assert_eq!(cut.capacity, edmonds_karp(&g).value, "seed {seed}");
+        }
+    }
+}

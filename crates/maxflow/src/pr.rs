@@ -1,0 +1,355 @@
+use std::collections::VecDeque;
+
+use ohmflow_graph::FlowNetwork;
+
+use crate::residual::ResidualGraph;
+use crate::FlowResult;
+
+/// Active-vertex selection rule for [`push_relabel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushRelabelVariant {
+    /// FIFO selection — the classic Goldberg–Tarjan queue discipline.
+    #[default]
+    Fifo,
+    /// Highest-label selection — typically fastest in practice and the
+    /// configuration most "widely used" baselines (e.g. `hi_pr`) employ.
+    HighestLabel,
+}
+
+/// Goldberg–Tarjan push-relabel with the gap heuristic and periodic global
+/// relabeling — the paper's §5.1 CPU baseline.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_maxflow::{push_relabel, PushRelabelVariant};
+///
+/// let g = ohmflow_graph::generators::fig5a();
+/// let r = push_relabel(&g, PushRelabelVariant::HighestLabel);
+/// assert_eq!(r.value, 2);
+/// assert!(r.is_valid_for(&g));
+/// ```
+pub fn push_relabel(g: &FlowNetwork, variant: PushRelabelVariant) -> FlowResult {
+    let mut rg = ResidualGraph::new(g);
+    let (s, t) = (rg.source(), rg.sink());
+    let n = rg.vertex_count();
+
+    let mut excess = vec![0i64; n];
+    let mut label = vec![0usize; n];
+    let mut current_arc = vec![0usize; n];
+    // label frequency for the gap heuristic (labels can reach 2n).
+    let mut label_count = vec![0usize; 2 * n + 1];
+
+    // Global relabel: exact distances to the sink by reverse BFS.
+    let global_relabel = |rg: &ResidualGraph,
+                          label: &mut [usize],
+                          label_count: &mut [usize],
+                          current_arc: &mut [usize]| {
+        label_count.iter_mut().for_each(|c| *c = 0);
+        let unreachable = 2 * n;
+        label.iter_mut().for_each(|l| *l = unreachable);
+        label[t] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(t);
+        while let Some(v) = q.pop_front() {
+            for &a in rg.arcs(v) {
+                // Arc a leaves v; flow could come *into* v along reverse(a),
+                // so u = head(a) can reach t if reverse arc has residual.
+                let u = rg.head(a);
+                if label[u] == unreachable && rg.residual(ResidualGraph::reverse(a)) > 0 {
+                    label[u] = label[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        label[s] = n;
+        for &l in label.iter() {
+            label_count[l.min(2 * n)] += 1;
+        }
+        current_arc.iter_mut().for_each(|c| *c = 0);
+    };
+
+    global_relabel(&rg, &mut label, &mut label_count, &mut current_arc);
+
+    // Saturate source arcs.
+    let source_arcs: Vec<usize> = rg.arcs(s).to_vec();
+    for a in source_arcs {
+        let cap = rg.residual(a);
+        if cap > 0 {
+            let u = rg.head(a);
+            rg.push(a, cap);
+            excess[u] += cap;
+            excess[s] -= cap;
+        }
+    }
+
+    // Active set.
+    let mut fifo: VecDeque<usize> = VecDeque::new();
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
+    let mut highest = 0usize;
+    let mut in_active = vec![false; n];
+    let activate = |v: usize,
+                        label: &[usize],
+                        fifo: &mut VecDeque<usize>,
+                        buckets: &mut Vec<Vec<usize>>,
+                        highest: &mut usize,
+                        in_active: &mut [bool]| {
+        if v == s || v == t || in_active[v] {
+            return;
+        }
+        in_active[v] = true;
+        match variant {
+            PushRelabelVariant::Fifo => fifo.push_back(v),
+            PushRelabelVariant::HighestLabel => {
+                let l = label[v].min(2 * n);
+                buckets[l].push(v);
+                if l > *highest {
+                    *highest = l;
+                }
+            }
+        }
+    };
+    for v in 0..n {
+        if excess[v] > 0 {
+            activate(v, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
+        }
+    }
+
+    let relabel_interval = (n.max(4)) * 2;
+    let mut work_since_relabel = 0usize;
+
+    loop {
+        // Select an active vertex.
+        let v = match variant {
+            PushRelabelVariant::Fifo => match fifo.pop_front() {
+                Some(v) => v,
+                None => break,
+            },
+            PushRelabelVariant::HighestLabel => {
+                let mut found = None;
+                while highest > 0 || !buckets[0].is_empty() {
+                    if let Some(v) = buckets[highest].pop() {
+                        found = Some(v);
+                        break;
+                    }
+                    if highest == 0 {
+                        break;
+                    }
+                    highest -= 1;
+                }
+                match found {
+                    Some(v) => v,
+                    None => break,
+                }
+            }
+        };
+        in_active[v] = false;
+        if excess[v] <= 0 || v == s || v == t {
+            continue;
+        }
+
+        // Discharge v.
+        let mut discharged = false;
+        while excess[v] > 0 {
+            if current_arc[v] >= rg.arcs(v).len() {
+                // Relabel.
+                let old = label[v];
+                let mut min_label = usize::MAX;
+                for &a in rg.arcs(v) {
+                    if rg.residual(a) > 0 {
+                        min_label = min_label.min(label[rg.head(a)]);
+                    }
+                }
+                if min_label == usize::MAX {
+                    // No residual arcs: dead vertex.
+                    break;
+                }
+                let newl = (min_label + 1).min(2 * n);
+                label_count[old] -= 1;
+                label[v] = newl;
+                label_count[newl] += 1;
+                current_arc[v] = 0;
+                work_since_relabel += rg.arcs(v).len();
+
+                // Gap heuristic: if old label became empty, lift everything
+                // above it out of reach.
+                if label_count[old] == 0 && old < n {
+                    for u in 0..n {
+                        if u != s && label[u] > old && label[u] <= n {
+                            label_count[label[u]] -= 1;
+                            label[u] = (n + 1).min(2 * n);
+                            label_count[label[u]] += 1;
+                        }
+                    }
+                }
+                if newl >= 2 * n {
+                    break;
+                }
+                continue;
+            }
+            let a = rg.arcs(v)[current_arc[v]];
+            let u = rg.head(a);
+            if rg.residual(a) > 0 && label[v] == label[u] + 1 {
+                let amount = excess[v].min(rg.residual(a));
+                rg.push(a, amount);
+                excess[v] -= amount;
+                excess[u] += amount;
+                discharged = true;
+                if u != s && u != t {
+                    activate(u, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
+                }
+            } else {
+                current_arc[v] += 1;
+            }
+        }
+        let _ = discharged;
+        if excess[v] > 0 && label[v] < 2 * n {
+            activate(v, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
+        }
+
+        // Periodic global relabel keeps labels sharp on big instances.
+        if work_since_relabel > relabel_interval {
+            work_since_relabel = 0;
+            global_relabel(&rg, &mut label, &mut label_count, &mut current_arc);
+        }
+    }
+
+    // Phase 2: the preflow maximizes excess[t], but interior vertices may
+    // still hold stranded excess (their flow could not reach the sink).
+    // Convert the preflow into a genuine flow by walking each unit of
+    // stranded excess backwards along incoming-flow arcs to the source,
+    // cancelling flow cycles encountered on the way.
+    return_stranded_excess(&mut rg, &mut excess);
+
+    FlowResult {
+        value: excess[t],
+        edge_flows: rg.edge_flows(),
+    }
+}
+
+/// Converts a maximum preflow into a maximum flow (Goldberg–Tarjan phase 2)
+/// by flow decomposition: for every vertex with positive excess, trace
+/// incoming-flow arcs back towards the source and cancel flow along the
+/// path; flow cycles found during the walk are cancelled outright.
+fn return_stranded_excess(rg: &mut ResidualGraph, excess: &mut [i64]) {
+    let n = rg.vertex_count();
+    let (s, t) = (rg.source(), rg.sink());
+    let mut pos = vec![usize::MAX; n];
+
+    for v in 0..n {
+        if v == s || v == t {
+            continue;
+        }
+        'drain: while excess[v] > 0 {
+            // Walk backwards along arcs that carry flow *into* the current
+            // vertex (odd arcs with positive residual are exactly the
+            // reverse arcs of flow-carrying original edges).
+            pos.iter_mut().for_each(|p| *p = usize::MAX);
+            let mut path: Vec<usize> = Vec::new();
+            pos[v] = 0;
+            let mut cur = v;
+            while cur != s {
+                let a = rg
+                    .arcs(cur)
+                    .iter()
+                    .copied()
+                    .find(|&a| a % 2 == 1 && rg.residual(a) > 0)
+                    .expect("positive excess implies incoming flow");
+                let nxt = rg.head(a);
+                if pos[nxt] != usize::MAX {
+                    // Found a flow cycle nxt → … → cur → nxt: cancel it and
+                    // restart the walk (excess is unchanged by the cancel).
+                    let start = pos[nxt];
+                    let cycle: Vec<usize> =
+                        path[start..].iter().copied().chain([a]).collect();
+                    let delta = cycle
+                        .iter()
+                        .map(|&c| rg.residual(c))
+                        .min()
+                        .expect("cycle nonempty");
+                    for &c in &cycle {
+                        rg.push(c, delta);
+                    }
+                    continue 'drain;
+                }
+                path.push(a);
+                pos[nxt] = path.len();
+                cur = nxt;
+            }
+            let delta = path
+                .iter()
+                .map(|&a| rg.residual(a))
+                .min()
+                .unwrap_or(0)
+                .min(excess[v]);
+            debug_assert!(delta > 0, "backward path must carry flow");
+            for &a in &path {
+                rg.push(a, delta);
+            }
+            excess[v] -= delta;
+            excess[s] += delta;
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edmonds_karp;
+    use ohmflow_graph::generators;
+    use ohmflow_graph::rmat::RmatConfig;
+
+    #[test]
+    fn both_variants_match_oracle_on_examples() {
+        for g in [
+            generators::fig5a(),
+            generators::fig15a(50),
+            generators::path(&[4, 4, 1]).unwrap(),
+            generators::parallel_paths(3, 7).unwrap(),
+            generators::layered(4, 3, 9, 5).unwrap(),
+            generators::grid(4, 4, 5, 1).unwrap(),
+        ] {
+            let oracle = edmonds_karp(&g).value;
+            for variant in [PushRelabelVariant::Fifo, PushRelabelVariant::HighestLabel] {
+                let r = push_relabel(&g, variant);
+                assert_eq!(r.value, oracle, "{variant:?}");
+                assert!(r.is_valid_for(&g), "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_rmat_sweep() {
+        for seed in 0..12 {
+            let g = RmatConfig::sparse(60, seed).generate().unwrap();
+            let oracle = edmonds_karp(&g).value;
+            for variant in [PushRelabelVariant::Fifo, PushRelabelVariant::HighestLabel] {
+                let r = push_relabel(&g, variant);
+                assert_eq!(r.value, oracle, "seed {seed} {variant:?}");
+                assert!(r.is_valid_for(&g), "seed {seed} {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_dense_rmat() {
+        for seed in 0..4 {
+            let g = RmatConfig::dense(48, seed).generate().unwrap();
+            let oracle = edmonds_karp(&g).value;
+            assert_eq!(push_relabel(&g, PushRelabelVariant::Fifo).value, oracle);
+            assert_eq!(
+                push_relabel(&g, PushRelabelVariant::HighestLabel).value,
+                oracle
+            );
+        }
+    }
+
+    #[test]
+    fn zero_flow_when_unreachable() {
+        let mut g = FlowNetwork::new(4, 0, 3).unwrap();
+        g.add_edge(0, 1, 5).unwrap();
+        g.add_edge(2, 3, 5).unwrap();
+        assert_eq!(push_relabel(&g, PushRelabelVariant::Fifo).value, 0);
+    }
+}

@@ -1,0 +1,164 @@
+use ohmflow_graph::FlowNetwork;
+
+/// Residual-graph representation shared by every max-flow algorithm.
+///
+/// Each original edge is stored as an arc/reverse-arc pair; arc `2k`
+/// corresponds to original edge `k` and arc `2k + 1` is its residual
+/// reverse. The flow on original edge `k` is the residual capacity of the
+/// reverse arc.
+#[derive(Debug, Clone)]
+pub struct ResidualGraph {
+    n: usize,
+    source: usize,
+    sink: usize,
+    /// Head vertex of each arc.
+    head: Vec<usize>,
+    /// Residual capacity of each arc.
+    cap: Vec<i64>,
+    /// Adjacency: arcs leaving each vertex.
+    adj: Vec<Vec<usize>>,
+}
+
+impl ResidualGraph {
+    /// Builds the residual graph of `g` with zero initial flow.
+    pub fn new(g: &FlowNetwork) -> Self {
+        let n = g.vertex_count();
+        let mut rg = ResidualGraph {
+            n,
+            source: g.source(),
+            sink: g.sink(),
+            head: Vec::with_capacity(2 * g.edge_count()),
+            cap: Vec::with_capacity(2 * g.edge_count()),
+            adj: vec![Vec::new(); n],
+        };
+        for e in g.edges() {
+            let a = rg.head.len();
+            rg.head.push(e.to);
+            rg.cap.push(e.capacity);
+            rg.adj[e.from].push(a);
+            rg.head.push(e.from);
+            rg.cap.push(0);
+            rg.adj[e.to].push(a + 1);
+        }
+        rg
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Source vertex.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Sink vertex.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Number of arcs (2 × original edges).
+    pub fn arc_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Head of arc `a`.
+    #[inline]
+    pub fn head(&self, a: usize) -> usize {
+        self.head[a]
+    }
+
+    /// Residual capacity of arc `a`.
+    #[inline]
+    pub fn residual(&self, a: usize) -> i64 {
+        self.cap[a]
+    }
+
+    /// The reverse arc of `a`.
+    #[inline]
+    pub fn reverse(a: usize) -> usize {
+        a ^ 1
+    }
+
+    /// Arcs leaving `v`.
+    #[inline]
+    pub fn arcs(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Pushes `amount` along arc `a` (decreasing its residual, increasing
+    /// the reverse residual).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `amount` exceeds the residual capacity.
+    #[inline]
+    pub fn push(&mut self, a: usize, amount: i64) {
+        debug_assert!(amount <= self.cap[a], "push exceeds residual");
+        self.cap[a] -= amount;
+        self.cap[a ^ 1] += amount;
+    }
+
+    /// Flow currently assigned to original edge `k` (the reverse arc's
+    /// residual).
+    #[inline]
+    pub fn edge_flow(&self, k: usize) -> i64 {
+        self.cap[2 * k + 1]
+    }
+
+    /// Extracts the per-edge flow vector.
+    pub fn edge_flows(&self) -> Vec<i64> {
+        (0..self.head.len() / 2).map(|k| self.edge_flow(k)).collect()
+    }
+
+    /// Vertices reachable from the source in the residual graph — the
+    /// source side of a minimum cut once a max flow has been computed.
+    pub fn source_side(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![self.source];
+        seen[self.source] = true;
+        while let Some(v) = stack.pop() {
+            for &a in &self.adj[v] {
+                let u = self.head[a];
+                if self.cap[a] > 0 && !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohmflow_graph::generators::fig5a;
+
+    #[test]
+    fn construction_pairs_arcs() {
+        let rg = ResidualGraph::new(&fig5a());
+        assert_eq!(rg.arc_count(), 10);
+        assert_eq!(rg.residual(0), 3); // s→n1 cap 3
+        assert_eq!(rg.residual(1), 0); // reverse starts empty
+        assert_eq!(ResidualGraph::reverse(4), 5);
+        assert_eq!(ResidualGraph::reverse(5), 4);
+    }
+
+    #[test]
+    fn push_moves_capacity() {
+        let mut rg = ResidualGraph::new(&fig5a());
+        rg.push(0, 2);
+        assert_eq!(rg.residual(0), 1);
+        assert_eq!(rg.residual(1), 2);
+        assert_eq!(rg.edge_flow(0), 2);
+        assert_eq!(rg.edge_flows()[0], 2);
+    }
+
+    #[test]
+    fn source_side_with_zero_flow_reaches_everything() {
+        let rg = ResidualGraph::new(&fig5a());
+        assert!(rg.source_side().iter().all(|&r| r));
+    }
+}
