@@ -1,10 +1,14 @@
-//! Criterion bench across the solver suite: the three CPU algorithms and
-//! the analog substrate's quasi-static solve (the simulated-hardware cost,
-//! not the hardware's own convergence time).
+//! Criterion bench across the solver suite: the three CPU algorithms, the
+//! analog substrate's quasi-static solve (the simulated-hardware cost, not
+//! the hardware's own convergence time), the relaxation-transient engines
+//! (incremental frozen-DC session vs. the full-refactor reference — the
+//! headline hot path), and batch-parallel throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::builder::CapacityMapping;
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
 use ohmflow_bench::fig10_instance;
+use ohmflow_graph::generators;
 use ohmflow_maxflow::{dinic, edmonds_karp, push_relabel, PushRelabelVariant};
 
 fn bench_solvers(c: &mut Criterion) {
@@ -25,5 +29,64 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+/// The §5 hot path: the relaxation transient, incremental engine vs. the
+/// seed's full-refactor path (the acceptance target is ≥ 5× on
+/// fig15a(100)).
+fn bench_relaxation_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relaxation_transient");
+    group.sample_size(10);
+    for (graph_label, g) in [
+        ("fig15a100", generators::fig15a(100)),
+        ("fig5a", generators::fig5a()),
+    ] {
+        for (engine_label, engine) in [
+            ("incremental", RelaxationEngine::Incremental),
+            ("full_refactor", RelaxationEngine::FullRefactor),
+        ] {
+            let mut cfg = AnalogConfig::evaluation(10e9);
+            cfg.build.capacity_mapping = CapacityMapping::Exact;
+            cfg.engine = engine;
+            let solver = AnalogMaxFlow::new(cfg);
+            group.bench_function(format!("{graph_label}/{engine_label}"), |b| {
+                b.iter(|| solver.solve(&g).expect("solve").value)
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Batch-parallel throughput: independent instances across all cores.
+fn bench_solve_batch(c: &mut Criterion) {
+    let graphs: Vec<_> = (0..8).map(|s| fig10_instance(96, false, s)).collect();
+    let mut cfg = AnalogConfig::ideal();
+    cfg.params.v_flow = 800.0;
+    let solver = AnalogMaxFlow::new(cfg);
+    let mut group = c.benchmark_group("batch_8x_rmat96");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            graphs
+                .iter()
+                .map(|g| solver.solve(g).expect("solve").value)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("solve_batch_parallel", |b| {
+        b.iter(|| {
+            solver
+                .solve_batch(&graphs)
+                .into_iter()
+                .map(|r| r.expect("solve").value)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_relaxation_engines,
+    bench_solve_batch
+);
 criterion_main!(benches);

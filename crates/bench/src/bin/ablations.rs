@@ -40,27 +40,37 @@ fn main() {
     let fig = fig5a();
     let fig_exact = 2.0;
     for (label, model) in [
-        ("matched (0.1% ratio)", VariationModel::matched as fn(u64) -> VariationModel),
+        (
+            "matched (0.1% ratio)",
+            VariationModel::matched as fn(u64) -> VariationModel,
+        ),
         ("unmatched (3% each)", VariationModel::unmatched),
     ] {
-        let mut worst = 0.0f64;
-        for seed in 0..6 {
-            let mut cfg = AnalogConfig::ideal();
-            cfg.params.v_flow = 8.0;
-            let tau = cfg.params.opamp.time_constant();
-            cfg.mode = SolveMode::Transient { window: Some(60.0 * tau), dt: None };
-            let mut bo = BuildOptions::ideal();
-            bo.drive = Drive::Step;
-            let mut params = SubstrateParams::table1();
-            params.v_flow = 8.0;
-            let mut sc = build(&fig, &params, &bo).expect("build");
-            model(seed).apply(&mut sc);
-            let v = AnalogMaxFlow::new(cfg)
-                .solve_built_transient(&sc, &fig)
-                .expect("solve")
-                .value;
-            worst = worst.max((v - fig_exact).abs() / fig_exact);
-        }
+        let mut cfg = AnalogConfig::ideal();
+        cfg.params.v_flow = 8.0;
+        let tau = cfg.params.opamp.time_constant();
+        cfg.mode = SolveMode::Transient {
+            window: Some(60.0 * tau),
+            dt: None,
+        };
+        let mut bo = BuildOptions::ideal();
+        bo.drive = Drive::Step;
+        let mut params = SubstrateParams::table1();
+        params.v_flow = 8.0;
+        // Build the six perturbed realizations, then solve them on all
+        // cores through the batch API.
+        let scs: Vec<_> = (0..6)
+            .map(|seed| {
+                let mut sc = build(&fig, &params, &bo).expect("build");
+                model(seed).apply(&mut sc);
+                sc
+            })
+            .collect();
+        let worst = AnalogMaxFlow::new(cfg)
+            .solve_built_transient_batch(&scs, &fig)
+            .into_iter()
+            .map(|r| (r.expect("solve").value - fig_exact).abs() / fig_exact)
+            .fold(0.0f64, f64::max);
         println!("{label}: worst rel error {:.2} %", worst * 100.0);
     }
 
@@ -68,7 +78,10 @@ fn main() {
     let mut tc = TuningCircuit::new(10.3e3, 10e3, 5.4e3);
     let before = tc.negation_error().expect("measure");
     let after = tc.tune(1e-3, 16).expect("tune").residual;
-    println!("negation error before {:.3e} V, after tuning {:.3e} V", before, after);
+    println!(
+        "negation error before {:.3e} V, after tuning {:.3e} V",
+        before, after
+    );
 
     println!("\n# Ablation 5 — full-MNA transient of the literal circuit (instability finding)");
     let mut cfg = AnalogConfig::evaluation(10e9);
@@ -76,7 +89,10 @@ fn main() {
     cfg.params.v_flow = 10.0;
     let tau = cfg.params.opamp.time_constant();
     cfg.build.negative_resistor = ohmflow::builder::NegativeResistorImpl::Dynamic;
-    cfg.mode = SolveMode::TransientFullMna { window: 60.0 * tau, dt: tau / 10.0 };
+    cfg.mode = SolveMode::TransientFullMna {
+        window: 60.0 * tau,
+        dt: tau / 10.0,
+    };
     match AnalogMaxFlow::new(cfg).solve(&fig) {
         Ok(sol) => println!(
             "full-MNA value {:.3} (exact 2.0) — spurious clamp-pinned state or blow-up expected",

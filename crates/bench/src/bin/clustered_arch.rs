@@ -8,7 +8,11 @@ fn main() {
     println!("# §6.2 clustered architectures vs monolithic crossbar");
     println!("vertices,density,routed_edges,peak_1d,peak_2d,area_advantage_2d");
     for (n, dense) in [(96usize, false), (96, true), (192, false)] {
-        let cfg = if dense { RmatConfig::dense(n, 3) } else { RmatConfig::sparse(n, 3) };
+        let cfg = if dense {
+            RmatConfig::dense(n, 3)
+        } else {
+            RmatConfig::sparse(n, 3)
+        };
         let g = cfg.generate().expect("instance");
         let islands = 4;
         let per = n / islands + n / (2 * islands);
@@ -26,5 +30,7 @@ fn main() {
             a2.area_advantage(&g, &m2)
         );
     }
-    println!("# expectation: 2-D peak per-segment load <= 1-D total; area advantage > 1 for sparse");
+    println!(
+        "# expectation: 2-D peak per-segment load <= 1-D total; area advantage > 1 for sparse"
+    );
 }

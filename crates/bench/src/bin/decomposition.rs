@@ -43,8 +43,13 @@ fn main() {
         match d.solve(&g, &params) {
             Ok(r) => println!(
                 "{},{},{},{},{},{},{}",
-                g.vertex_count(), r.overlap_size, r.iterations, r.converged,
-                r.cut_value, exact, r.programming_cycles
+                g.vertex_count(),
+                r.overlap_size,
+                r.iterations,
+                r.converged,
+                r.cut_value,
+                exact,
+                r.programming_cycles
             ),
             Err(e) => println!("{},-,-,-,ERR({e}),{},-", g.vertex_count(), exact),
         }

@@ -1,0 +1,73 @@
+//! Microprofile of the incremental frozen-DC engine: where a relaxation
+//! time step spends its nanoseconds, and the session's effort counters.
+//!
+//! Run with: `cargo run --release -p ohmflow-bench --bin engine_profile`
+
+use std::time::Instant;
+
+use ohmflow::builder::{build, BuildOptions, CapacityMapping, Drive, NegativeResistorImpl};
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::SubstrateParams;
+use ohmflow_circuit::FrozenDcSession;
+use ohmflow_graph::generators;
+
+fn main() {
+    let g = generators::fig15a(100);
+    let mut params = SubstrateParams::with_gbw(10e9);
+    params.v_flow = 50.0 * params.v_dd;
+    let mut bo = BuildOptions::evaluation(&params);
+    bo.capacity_mapping = CapacityMapping::Exact;
+    bo.negative_resistor = NegativeResistorImpl::Ideal;
+    bo.parasitics = false;
+    bo.drive = Drive::Step;
+    let sc = build(&g, &params, &bo).expect("build");
+    let ckt = sc.circuit();
+    println!(
+        "fig15a(100): {} nodes, {} elements, {} diodes, {} unknowns-ish",
+        ckt.node_count(),
+        ckt.element_count(),
+        ckt.diode_count(),
+        ckt.node_count() - 1
+    );
+
+    // Raw session throughput: quiescent steps (skip path) and flip steps.
+    let n_diodes = ckt.diode_count();
+    let mut session = FrozenDcSession::new(ckt).expect("session");
+    let off = vec![false; n_diodes];
+    let steps = 20_000;
+    let t0 = Instant::now();
+    for k in 0..steps {
+        session.solve(k as f64 * 1e-9, &off).expect("solve");
+    }
+    let quiescent_ns = t0.elapsed().as_nanos() as f64 / steps as f64;
+
+    let mut on = vec![false; n_diodes];
+    let t0 = Instant::now();
+    for k in 0..steps {
+        on[k % n_diodes] = !on[k % n_diodes];
+        session.solve(k as f64 * 1e-9, &on).expect("solve");
+    }
+    let flip_ns = t0.elapsed().as_nanos() as f64 / steps as f64;
+    println!("session quiescent step : {quiescent_ns:>8.0} ns");
+    println!("session flip step      : {flip_ns:>8.0} ns");
+    println!("session stats          : {:?}", session.stats());
+
+    // End-to-end engine comparison.
+    for (label, engine) in [
+        ("incremental", RelaxationEngine::Incremental),
+        ("full_refactor", RelaxationEngine::FullRefactor),
+    ] {
+        let mut cfg = AnalogConfig::evaluation(10e9);
+        cfg.build.capacity_mapping = CapacityMapping::Exact;
+        cfg.engine = engine;
+        let solver = AnalogMaxFlow::new(cfg);
+        let reps = 50;
+        let t0 = Instant::now();
+        let mut value = 0.0;
+        for _ in 0..reps {
+            value = solver.solve(&g).expect("solve").value;
+        }
+        let per = t0.elapsed().as_micros() as f64 / reps as f64;
+        println!("{label:<14} : {per:>8.1} µs/solve  (value {value:.3})");
+    }
+}

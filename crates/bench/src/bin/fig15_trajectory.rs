@@ -22,8 +22,14 @@ fn main() {
         println!("#   x{} clamps at V_flow = {:.2} V", e + 1, v);
     }
     let f = traj.final_flows();
-    println!("# terminal point: ({:.3}, {:.3}, {:.3})  [paper: B(4, 1, 3)]", f[0], f[1], f[2]);
-    println!("# interior-path property: {}", traj.all_points_feasible(&g, 0.02));
+    println!(
+        "# terminal point: ({:.3}, {:.3}, {:.3})  [paper: B(4, 1, 3)]",
+        f[0], f[1], f[2]
+    );
+    println!(
+        "# interior-path property: {}",
+        traj.all_points_feasible(&g, 0.02)
+    );
     println!("# (paper's breakpoints 9 V / 19 V assume the simplified Fig. 15b");
     println!("#  circuit without sink-side widgets; ordering is what transfers)");
 }

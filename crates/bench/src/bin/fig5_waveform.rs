@@ -14,7 +14,10 @@ fn main() {
     let waves = sol.waveforms.as_ref().expect("waveforms recorded");
 
     println!("# Fig. 5c: node-voltage waveforms, Fig. 5a example");
-    println!("# convergence time: {:.4e} s (paper plots ~1e-8 s scale)", sol.convergence_time.unwrap());
+    println!(
+        "# convergence time: {:.4e} s (paper plots ~1e-8 s scale)",
+        sol.convergence_time.unwrap()
+    );
     println!("time_s,Vx1,Vx2,Vx3,Vx4,Vx5");
     let mut nodes: Vec<_> = waves.probed_nodes().collect();
     nodes.sort_by_key(|n| n.index());

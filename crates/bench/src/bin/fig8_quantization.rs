@@ -17,7 +17,10 @@ fn main() {
     for (k, e) in g.edges().iter().enumerate() {
         println!(
             "  x{}        {}              {:.2}      [{}]",
-            k + 1, e.capacity, q.quantize(e.capacity as f64), paper[k]
+            k + 1,
+            e.capacity,
+            q.quantize(e.capacity as f64),
+            paper[k]
         );
     }
 
@@ -28,7 +31,10 @@ fn main() {
     let volts = sol.value / g.max_capacity() as f64;
     println!("exact solution        : |f| = {exact}        [paper: 2]");
     println!("circuit solution      : {volts:.3} V    [paper: 0.7 V]");
-    println!("approximate solution  : |f| = {:.2}   [paper: 2.1]", sol.value);
+    println!(
+        "approximate solution  : |f| = {:.2}   [paper: 2.1]",
+        sol.value
+    );
     println!(
         "deviation             : {:.1} %      [paper: 5 %]",
         (sol.value - exact as f64).abs() / exact as f64 * 100.0

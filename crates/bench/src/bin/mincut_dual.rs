@@ -16,7 +16,10 @@ fn main() {
         ("fig5a".into(), generators::fig5a()),
         ("path".into(), generators::path(&[9, 1, 9]).unwrap()),
         ("grid4x4".into(), generators::grid(4, 4, 5, 8).unwrap()),
-        ("rmat24".into(), RmatConfig::sparse(24, 3).generate().unwrap()),
+        (
+            "rmat24".into(),
+            RmatConfig::sparse(24, 3).generate().unwrap(),
+        ),
     ];
     for (name, g) in cases {
         let exact = min_cut(&g).capacity;
@@ -27,9 +30,13 @@ fn main() {
         let dual = mesh.solve(&g, 3_000).expect("mesh LP");
         println!(
             "{name},{exact},{},{:.3},{},{}",
-            cut.capacity, dual.objective, dual.rounded_capacity,
+            cut.capacity,
+            dual.objective,
+            dual.rounded_capacity,
             mesh.used_cells(&g)
         );
     }
-    println!("# expectation: analog_cut == exact_cut; mesh rounded cut == exact on these instances");
+    println!(
+        "# expectation: analog_cut == exact_cut; mesh rounded cut == exact on these instances"
+    );
 }

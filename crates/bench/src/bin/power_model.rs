@@ -9,7 +9,10 @@ fn main() {
     println!("§5.2 analytical power model (P_amp = {} µW)", m.p_amp * 1e6);
     println!("power budget (W)   max active edges   [paper]");
     println!("       5.0          {:>10}        [~1e4]", m.max_edges(5.0));
-    println!("     150.0          {:>10}        [3e5]", m.max_edges(150.0));
+    println!(
+        "     150.0          {:>10}        [3e5]",
+        m.max_edges(150.0)
+    );
 
     println!("\nenergy per solve (substrate @ measured conv time vs CPU @ 100 W):");
     println!("vertices,edges,substrate_mW,substrate_nJ,cpu_mJ,efficiency_factor");

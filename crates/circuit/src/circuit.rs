@@ -59,20 +59,28 @@ impl Circuit {
         id
     }
 
-    /// Creates an anonymous node.
+    /// Creates an anonymous node. Anonymous nodes carry no name string and
+    /// no lookup entry, so bulk circuit construction (a substrate builder
+    /// emitting thousands of internal nets) pays no allocation per node;
+    /// [`Circuit::node_name`] renders them as `_{index}`.
     pub fn anon_node(&mut self) -> NodeId {
         let id = NodeId(self.node_names.len());
-        self.node_names.push(format!("_anon{}", id.0));
+        self.node_names.push(String::new());
         id
     }
 
-    /// Name of a node (ground is `"gnd"`).
+    /// Name of a node (ground is `"gnd"`, anonymous nodes are `_{index}`).
     ///
     /// # Panics
     ///
     /// Panics if the id does not belong to this circuit.
-    pub fn node_name(&self, id: NodeId) -> &str {
-        &self.node_names[id.0]
+    pub fn node_name(&self, id: NodeId) -> std::borrow::Cow<'_, str> {
+        let name = &self.node_names[id.0];
+        if name.is_empty() && !id.is_ground() {
+            std::borrow::Cow::Owned(format!("_{}", id.0))
+        } else {
+            std::borrow::Cow::Borrowed(name)
+        }
     }
 
     /// Looks a node up by name.
@@ -209,7 +217,10 @@ impl Circuit {
             magnitude > 0.0 && magnitude.is_finite(),
             "negative-resistor magnitude must be positive and finite, got {magnitude}"
         );
-        assert!(tau >= 0.0 && tau.is_finite(), "tau must be nonnegative, got {tau}");
+        assert!(
+            tau >= 0.0 && tau.is_finite(),
+            "tau must be nonnegative, got {tau}"
+        );
         self.push(Element::NegativeResistorDyn { a, magnitude, tau })
     }
 
@@ -414,13 +425,21 @@ mod tests {
     fn memristor_programming_protocol() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        let m = ckt.memristor(a, Circuit::GROUND, MemristorModel::table1(), MemristorState::Hrs);
+        let m = ckt.memristor(
+            a,
+            Circuit::GROUND,
+            MemristorModel::table1(),
+            MemristorState::Hrs,
+        );
         // Sub-threshold pulse: no change.
         assert_eq!(ckt.program_memristor(m, 1.0).unwrap(), MemristorState::Hrs);
         // Set pulse.
         assert_eq!(ckt.program_memristor(m, 2.0).unwrap(), MemristorState::Lrs);
         // Half-selected cell (threshold/2): must not disturb.
-        assert_eq!(ckt.program_memristor(m, -0.75).unwrap(), MemristorState::Lrs);
+        assert_eq!(
+            ckt.program_memristor(m, -0.75).unwrap(),
+            MemristorState::Lrs
+        );
         // Reset pulse.
         assert_eq!(ckt.program_memristor(m, -2.0).unwrap(), MemristorState::Hrs);
     }
@@ -429,7 +448,12 @@ mod tests {
     fn tuning_validation() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        let m = ckt.memristor(a, Circuit::GROUND, MemristorModel::table1(), MemristorState::Lrs);
+        let m = ckt.memristor(
+            a,
+            Circuit::GROUND,
+            MemristorModel::table1(),
+            MemristorState::Lrs,
+        );
         assert!(ckt.tune_memristor(m, Some(-1.0)).is_err());
         ckt.tune_memristor(m, Some(9_500.0)).unwrap();
         assert_eq!(ckt.element(m).memristance(), Some(9_500.0));

@@ -1,6 +1,7 @@
-use ohmflow_linalg::SparseLu;
+use ohmflow_linalg::{CscMatrix, LowRankUpdate, SparseLu};
 
 use crate::circuit::Circuit;
+use crate::element::Element;
 use crate::error::CircuitError;
 use crate::ids::{ElementId, NodeId};
 use crate::mna::{self, DeviceState, MnaStructure, Solution, StampMode};
@@ -122,7 +123,10 @@ pub fn solve_frozen_dc(
     if !reuse {
         let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
         let lu = SparseLu::factor(&m)?;
-        *cache = Some(FrozenDcCache { states: states.clone(), lu });
+        *cache = Some(FrozenDcCache {
+            states: states.clone(),
+            lu,
+        });
     }
     let lu = &cache.as_ref().expect("cache populated").lu;
     let b = mna::stamp_rhs(ckt, &st, &states, time, StampMode::Dc, None, false);
@@ -137,6 +141,418 @@ pub fn solve_frozen_dc(
 pub struct FrozenDcCache {
     states: Vec<DeviceState>,
     lu: SparseLu,
+}
+
+/// Counters describing how a [`FrozenDcSession`] spent its linear-algebra
+/// budget — the observable behind the incremental engine's speedup claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrozenDcStats {
+    /// Frozen-state solves performed (including reused ones).
+    pub solves: usize,
+    /// Solves answered from the previous operating point because neither
+    /// the clamp configuration nor any source value changed.
+    pub reused_solutions: usize,
+    /// Clamp-diode toggles absorbed as Woodbury rank-1 updates.
+    pub rank1_updates: usize,
+    /// Numeric-only refactorizations (pattern and pivots reused).
+    pub refactorizations: usize,
+    /// Full pivoting factorizations (session start + fallbacks).
+    pub full_factorizations: usize,
+}
+
+/// A persistent frozen-state DC solve engine: the incremental replacement
+/// for calling [`solve_frozen_dc`] in a loop.
+///
+/// The session owns the MNA structure, the base stamp's factorization and
+/// preallocated RHS/solution buffers. Between consecutive
+/// [`FrozenDcSession::solve`] calls only the diode conduction states and
+/// the source evaluation time may change, and the session exploits that:
+///
+/// * **no flips** — the existing factorization solves the new RHS directly;
+/// * **a few flips** — each toggle is a symmetric 1–2 entry conductance
+///   change, absorbed as a Sherman–Morrison–Woodbury rank-1 update
+///   ([`LowRankUpdate`]) against the existing factorization;
+/// * **accumulated rank exceeds the budget, or the periodic hygiene
+///   counter fires** — the matrix is re-stamped and *numerically*
+///   refactored ([`SparseLu::refactor`]), reusing the column ordering,
+///   symbolic pattern and pivot sequence; a fresh pivoting factorization
+///   is the last resort (singular refactor or changed pattern).
+///
+/// The quasi-static relaxation engine of the `ohmflow` core crate runs its
+/// entire transient on one session; see `DESIGN.md` for the lifecycle.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_circuit::{Circuit, DiodeModel, FrozenDcSession, SourceValue};
+///
+/// # fn main() -> Result<(), ohmflow_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let top = ckt.node("top");
+/// let x = ckt.node("x");
+/// ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
+/// ckt.resistor(top, x, 1e3);
+/// ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
+/// let mut session = FrozenDcSession::new(&ckt)?;
+/// session.solve(0.0, &[false])?; // diode frozen off: x floats at 5 V
+/// assert!((session.voltage(x) - 5.0).abs() < 1e-3);
+/// session.solve(0.0, &[true])?; // diode frozen on: x clamps near 0 V
+/// assert!(session.voltage(x).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FrozenDcSession<'c> {
+    ckt: &'c Circuit,
+    st: MnaStructure,
+    /// Element index of each diode, in [`Circuit::diode_ids`] order.
+    diode_elems: Vec<usize>,
+    /// Current logical device states (diodes track the last `solve`).
+    states: Vec<DeviceState>,
+    lu: SparseLu,
+    /// The matrix `lu` factors (kept for iterative-refinement residuals).
+    base_csc: CscMatrix,
+    update: LowRankUpdate,
+    /// Rank budget before the session rebases onto a refactorization.
+    max_rank: usize,
+    /// Solves since the last rebase; a rebase is forced every
+    /// `rebase_period` solves while updates are outstanding (numerical
+    /// hygiene: bounds Woodbury round-off accumulation).
+    solves_since_rebase: usize,
+    rebase_period: usize,
+    /// Instant after which every independent source is constant
+    /// ([`SourceValue::constant_after`]): past it, a step with no diode
+    /// flips provably has the same operating point as the previous one and
+    /// the solve is skipped outright.
+    ///
+    /// [`SourceValue::constant_after`]: crate::SourceValue::constant_after
+    rhs_const_after: f64,
+    /// Time of the last materialized solve (`None` before the first).
+    last_solve_time: Option<f64>,
+    /// The `diode_on` assignment of the previous call; an equal slice
+    /// short-circuits the per-diode flip scan.
+    last_diode_on: Vec<bool>,
+    /// Set when a solve fails partway: state, factorization and cached
+    /// solution may disagree, so the next call rebuilds before solving.
+    poisoned: bool,
+    rhs: Vec<f64>,
+    work: Vec<f64>,
+    x: Vec<f64>,
+    resid: Vec<f64>,
+    dx: Vec<f64>,
+    stats: FrozenDcStats,
+}
+
+impl<'c> FrozenDcSession<'c> {
+    /// Default rank budget before rebase. Each accumulated rank-1 term adds
+    /// one dense axpy per solve, so a handful of outstanding terms stays
+    /// well below the cost of a refactorization.
+    const DEFAULT_MAX_RANK: usize = 12;
+
+    /// Default hygiene period (solves between forced rebases while
+    /// updates are outstanding).
+    const DEFAULT_REBASE_PERIOD: usize = 256;
+
+    /// Builds the structure, stamps the all-diodes-off base matrix and
+    /// factors it.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the base configuration is
+    /// unsolvable (floating nodes, inconsistent source loops).
+    pub fn new(ckt: &'c Circuit) -> Result<Self, CircuitError> {
+        let st = MnaStructure::new(ckt);
+        let states = mna::initial_states(ckt);
+        let diode_elems = ckt
+            .elements()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| matches!(e, Element::Diode { .. }).then_some(i))
+            .collect();
+        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+        let lu = SparseLu::factor(&m)?;
+        let n = st.n_unknowns();
+        let rhs_const_after = ckt
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VoltageSource { value, .. } | Element::CurrentSource { value, .. } => {
+                    Some(value.constant_after())
+                }
+                _ => None,
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(FrozenDcSession {
+            ckt,
+            st,
+            diode_elems,
+            states,
+            lu,
+            base_csc: m,
+            update: LowRankUpdate::new(n),
+            max_rank: Self::DEFAULT_MAX_RANK,
+            solves_since_rebase: 0,
+            rebase_period: Self::DEFAULT_REBASE_PERIOD,
+            rhs_const_after,
+            last_solve_time: None,
+            last_diode_on: Vec::new(),
+            poisoned: false,
+            rhs: Vec::with_capacity(n),
+            work: Vec::with_capacity(n),
+            x: vec![0.0; n],
+            resid: Vec::with_capacity(n),
+            dx: Vec::with_capacity(n),
+            stats: FrozenDcStats {
+                full_factorizations: 1,
+                ..FrozenDcStats::default()
+            },
+        })
+    }
+
+    /// Overrides the rank budget (tests and tuning; `0` forces a rebase on
+    /// every flip, which degenerates to the pure-refactorization engine).
+    pub fn with_max_rank(mut self, max_rank: usize) -> Self {
+        self.max_rank = max_rank;
+        self
+    }
+
+    /// Solves the operating point at `time` with the given frozen diode
+    /// conduction states (indexed by [`Circuit::diode_ids`] order; missing
+    /// entries default to off). Results are read back through
+    /// [`FrozenDcSession::voltage`] / [`FrozenDcSession::branch_current`] /
+    /// [`FrozenDcSession::values`] without allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the frozen configuration is
+    /// unsolvable. A failed call leaves the session *poisoned*: the cached
+    /// operating point is discarded (never served from the quiescent fast
+    /// path) and the next call re-stamps and refactors from scratch before
+    /// solving, so an error followed by a solvable configuration recovers
+    /// cleanly.
+    pub fn solve(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError> {
+        if self.poisoned {
+            // A previous call failed mid-flight: states/factorization/
+            // solution may be mutually inconsistent (a failed refactor
+            // partially overwrites factor values). Apply the requested
+            // states directly and rebuild the factorization from the
+            // stamp, which regenerates every value.
+            for (di, &idx) in self.diode_elems.iter().enumerate() {
+                self.states[idx] = if *diode_on.get(di).unwrap_or(&false) {
+                    DeviceState::On
+                } else {
+                    DeviceState::Off
+                };
+            }
+            self.last_diode_on.clear();
+            self.last_diode_on.extend_from_slice(diode_on);
+            self.rebase()?; // still poisoned if this fails
+            self.poisoned = false;
+        }
+        match self.solve_impl(time, diode_on) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poisoned = true;
+                self.last_solve_time = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn solve_impl(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError> {
+        // Absorb diode flips as rank-1 conductance updates. An unchanged
+        // `diode_on` slice (the common quiescent case) skips the scan.
+        let mut rebase_needed = false;
+        let mut any_flips = false;
+        let unchanged = self.last_solve_time.is_some() && self.last_diode_on == diode_on;
+        for (di, &idx) in self.diode_elems.iter().enumerate() {
+            if unchanged {
+                break;
+            }
+            let want = if *diode_on.get(di).unwrap_or(&false) {
+                DeviceState::On
+            } else {
+                DeviceState::Off
+            };
+            if self.states[idx] == want {
+                continue;
+            }
+            any_flips = true;
+            let Element::Diode {
+                anode,
+                cathode,
+                model,
+            } = &self.ckt.elements()[idx]
+            else {
+                unreachable!("diode_elems holds diode indices");
+            };
+            let (g_on, g_off) = (1.0 / model.r_on, 1.0 / model.r_off);
+            let dg = match want {
+                DeviceState::On => g_on - g_off,
+                _ => g_off - g_on,
+            };
+            self.states[idx] = want;
+            let mut d: Vec<(usize, f64)> = Vec::with_capacity(2);
+            if let Some(u) = anode.unknown() {
+                d.push((u, 1.0));
+            }
+            if let Some(u) = cathode.unknown() {
+                d.push((u, -1.0));
+            }
+            if d.is_empty() || rebase_needed {
+                continue; // both terminals grounded, or already rebasing
+            }
+            let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
+            if self.update.push(&self.lu, &u, &d).is_err() {
+                // Updated matrix not solvable through this base (or the
+                // capacitance matrix went singular): fall back to a rebase
+                // with the remaining flips applied directly to the stamp.
+                rebase_needed = true;
+            } else {
+                self.stats.rank1_updates += 1;
+            }
+        }
+
+        if !unchanged {
+            self.last_diode_on.clear();
+            self.last_diode_on.extend_from_slice(diode_on);
+        }
+        if !any_flips {
+            // The switching cascade paused: consolidate outstanding
+            // rank-1 terms into the factorization once (refactorization
+            // cost), so quiescent stretches run the plain cached-LU path.
+            if !self.update.is_empty() {
+                self.rebase()?;
+            }
+            // Nothing changed at all? Past `rhs_const_after` every source
+            // is constant, so with an unchanged clamp configuration the
+            // operating point is the previous one verbatim — skip the
+            // solve. This is the quiescent-tail fast path a per-call
+            // rebuild can never take.
+            let settled = time >= self.rhs_const_after
+                && self
+                    .last_solve_time
+                    .is_some_and(|tp| tp >= self.rhs_const_after);
+            if settled {
+                self.last_solve_time = Some(time);
+                self.stats.solves += 1;
+                self.stats.reused_solutions += 1;
+                return Ok(());
+            }
+        }
+
+        // The hygiene counter only accrues while rank-1 terms are
+        // outstanding; a long quiescent stretch must not trigger a rebase
+        // on the first flip that follows it.
+        if self.update.is_empty() {
+            self.solves_since_rebase = 0;
+        } else {
+            self.solves_since_rebase += 1;
+        }
+        if rebase_needed
+            || self.update.rank() > self.max_rank
+            || (!self.update.is_empty() && self.solves_since_rebase >= self.rebase_period)
+        {
+            self.rebase()?;
+        }
+
+        mna::stamp_rhs_into(
+            &mut self.rhs,
+            self.ckt,
+            &self.st,
+            &self.states,
+            time,
+            StampMode::Dc,
+            None,
+            false,
+        );
+        if self.solve_linear().is_err() {
+            // Numerical hygiene fallback: rebase and retry once.
+            self.rebase()?;
+            self.solve_linear()?;
+        }
+        self.last_solve_time = Some(time);
+        self.stats.solves += 1;
+        Ok(())
+    }
+
+    /// Solves the stamped system through the Woodbury update, plus one step
+    /// of iterative refinement while rank-1 terms are outstanding: a large
+    /// conductance swing (ideal diodes toggle by ~10 orders of magnitude)
+    /// costs the bare Woodbury formula several digits to cancellation, and
+    /// the refinement buys them back for one extra solve + matvec.
+    fn solve_linear(&mut self) -> Result<(), CircuitError> {
+        self.update
+            .solve_into(&self.lu, &self.rhs, &mut self.work, &mut self.x)?;
+        if self.update.is_empty() {
+            return Ok(());
+        }
+        self.base_csc.mul_vec_into(&self.x, &mut self.resid);
+        self.update.accumulate_matvec(&self.x, &mut self.resid);
+        for (r, b) in self.resid.iter_mut().zip(&self.rhs) {
+            *r = b - *r;
+        }
+        self.update
+            .solve_into(&self.lu, &self.resid, &mut self.work, &mut self.dx)?;
+        for (x, d) in self.x.iter_mut().zip(&self.dx) {
+            *x += d;
+        }
+        Ok(())
+    }
+
+    /// Re-stamps the matrix for the current states and replaces the base
+    /// factorization: numeric-only refactorization when the pattern still
+    /// fits, fresh pivoting factorization otherwise.
+    fn rebase(&mut self) -> Result<(), CircuitError> {
+        let m = mna::stamp_matrix(self.ckt, &self.st, &self.states, StampMode::Dc).to_csc();
+        if self.lu.refactor(&m).is_ok() {
+            self.stats.refactorizations += 1;
+        } else {
+            self.lu = SparseLu::factor(&m)?;
+            self.stats.full_factorizations += 1;
+        }
+        self.base_csc = m;
+        self.update.clear();
+        self.solves_since_rebase = 0;
+        Ok(())
+    }
+
+    /// Voltage of `node` (0 for ground) in the last solved operating point.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        match node.unknown() {
+            Some(u) => self.x[u],
+            None => 0.0,
+        }
+    }
+
+    /// Raw branch current of `id` in the last solved operating point, if
+    /// the element has one.
+    pub fn branch_current(&self, id: ElementId) -> Option<f64> {
+        self.st.branch_unknown(id).map(|u| self.x[u])
+    }
+
+    /// Current delivered by a source-like element out of its positive
+    /// terminal (the negative of [`FrozenDcSession::branch_current`]).
+    pub fn source_current(&self, id: ElementId) -> Option<f64> {
+        self.branch_current(id).map(|i| -i)
+    }
+
+    /// The last solved unknown vector (node voltages then branch currents).
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Copies the last solved operating point into an owned [`DcSolution`].
+    pub fn solution(&self) -> DcSolution {
+        DcSolution {
+            inner: Solution::new(self.x.clone(), self.st.clone()),
+        }
+    }
+
+    /// Linear-algebra effort counters for this session.
+    pub fn stats(&self) -> FrozenDcStats {
+        self.stats
+    }
 }
 
 /// Result of a [`DcAnalysis`].
@@ -253,7 +669,11 @@ mod tests {
         ckt.diode(x, cap, DiodeModel::ideal()); // clamps x <= 2
         ckt.diode(Circuit::GROUND, x, DiodeModel::ideal()); // clamps x >= 0
         let sol = DcAnalysis::new(&ckt).solve().unwrap();
-        assert!((sol.voltage(x) - 2.0).abs() < 1e-2, "v(x)={}", sol.voltage(x));
+        assert!(
+            (sol.voltage(x) - 2.0).abs() < 1e-2,
+            "v(x)={}",
+            sol.voltage(x)
+        );
     }
 
     #[test]
@@ -282,7 +702,11 @@ mod tests {
         ckt.resistor(sum, out, 2e3);
         ckt.opamp(Circuit::GROUND, sum, out, OpAmpModel::table1());
         let sol = DcAnalysis::new(&ckt).solve().unwrap();
-        assert!((sol.voltage(out) + 2.0).abs() < 2e-3, "v={}", sol.voltage(out));
+        assert!(
+            (sol.voltage(out) + 2.0).abs() < 2e-3,
+            "v={}",
+            sol.voltage(out)
+        );
     }
 
     #[test]
@@ -338,6 +762,145 @@ mod tests {
             DcAnalysis::new(&ckt).solve(),
             Err(CircuitError::SingularSystem { .. })
         ));
+    }
+
+    #[test]
+    fn session_matches_legacy_frozen_dc_over_toggle_sequence() {
+        // A clamp ladder: drive → r → x_k with upper and lower clamp diodes
+        // per node, the substrate's capacity-widget shape.
+        let mut ckt = Circuit::new();
+        let drive = ckt.node("drive");
+        ckt.voltage_source(
+            drive,
+            Circuit::GROUND,
+            SourceValue::ramp(0.0, 0.0, 1.0, 6.0),
+        );
+        let mut prev = drive;
+        for k in 0..6 {
+            let x = ckt.node(format!("x{k}"));
+            let cap = ckt.node(format!("cap{k}"));
+            ckt.resistor(prev, x, 1e3);
+            ckt.voltage_source(cap, Circuit::GROUND, SourceValue::dc(1.0 + k as f64 * 0.3));
+            ckt.diode(x, cap, DiodeModel::ideal());
+            ckt.diode(Circuit::GROUND, x, DiodeModel::ideal());
+            prev = x;
+        }
+        let n_diodes = ckt.diode_count();
+
+        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        let mut cache = None;
+        // Deterministic pseudo-random toggle walk with a time-varying RHS.
+        let mut on = vec![false; n_diodes];
+        let mut lcg = 12345u64;
+        for step in 0..200 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let flip = (lcg >> 33) as usize % (n_diodes + 2);
+            if flip < n_diodes {
+                on[flip] = !on[flip];
+            }
+            let t = step as f64 / 200.0;
+            let reference = solve_frozen_dc(&ckt, t, &on, &mut cache).unwrap();
+            session.solve(t, &on).unwrap();
+            for (u, rv) in reference.values().iter().enumerate() {
+                let sv = session.values()[u];
+                assert!(
+                    (sv - rv).abs() < 1e-9 * rv.abs().max(1.0),
+                    "step {step} unknown {u}: session {sv} vs reference {rv}"
+                );
+            }
+        }
+        let stats = session.stats();
+        assert_eq!(stats.solves, 200);
+        assert!(stats.rank1_updates > 0, "no flips exercised: {stats:?}");
+        // The pattern never changes, so (almost) everything beyond the
+        // initial factorization must ride the refactor/update fast paths.
+        assert!(
+            stats.full_factorizations < 10,
+            "fresh factorizations dominate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn session_skips_solves_once_sources_settle() {
+        // Step drive settles at t = 0: identical follow-up calls must be
+        // answered from the cached operating point.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let x = ckt.node("x");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::step(0.0, 5.0, 0.0));
+        ckt.resistor(top, x, 1e3);
+        ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
+        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        for k in 0..50 {
+            session.solve(k as f64 * 1e-9, &[false]).unwrap();
+            assert!((session.voltage(x) - 5.0).abs() < 1e-3);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.solves, 50);
+        assert!(stats.reused_solutions >= 48, "skip path unused: {stats:?}");
+
+        // A flip invalidates the cache exactly once.
+        session.solve(60e-9, &[true]).unwrap();
+        assert!(session.voltage(x).abs() < 1e-3);
+        session.solve(61e-9, &[true]).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.solves, 52);
+        assert!(stats.rank1_updates >= 1);
+    }
+
+    #[test]
+    fn session_recovers_after_failed_solve() {
+        // The negative resistor exactly cancels the conductance at `x`
+        // once the diode conducts, making the on-configuration singular;
+        // the off-configuration is fine.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let x = ckt.node("x");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(1.0));
+        let g_top = 1e-3;
+        ckt.resistor(top, x, 1.0 / g_top);
+        let model = DiodeModel::ideal();
+        ckt.resistor(x, Circuit::GROUND, -1.0 / (1.0 / model.r_on + g_top));
+        ckt.diode(x, Circuit::GROUND, model);
+
+        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        session.solve(0.0, &[false]).unwrap();
+        let v_off = session.voltage(x);
+        assert!(
+            session.solve(1.0, &[true]).is_err(),
+            "on-config is singular"
+        );
+        // After the failure the session must not serve the stale point for
+        // the failed configuration, and must recover once asked for a
+        // solvable one again.
+        session.solve(2.0, &[false]).unwrap();
+        assert!(
+            (session.voltage(x) - v_off).abs() < 1e-9,
+            "recovered solve differs: {} vs {v_off}",
+            session.voltage(x)
+        );
+        let stats = session.stats();
+        assert_eq!(
+            stats.reused_solutions, 0,
+            "stale reuse after error: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn session_zero_rank_budget_still_correct() {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let x = ckt.node("x");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
+        ckt.resistor(top, x, 1e3);
+        ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
+        let mut session = FrozenDcSession::new(&ckt).unwrap().with_max_rank(0);
+        session.solve(0.0, &[true]).unwrap();
+        assert!(session.voltage(x).abs() < 1e-3);
+        session.solve(0.0, &[false]).unwrap();
+        assert!((session.voltage(x) - 5.0).abs() < 1e-3);
     }
 
     #[test]

@@ -267,7 +267,9 @@ impl Element {
             Element::VoltageSource { pos, neg, .. } | Element::CurrentSource { pos, neg, .. } => {
                 (*pos, *neg)
             }
-            Element::Vcvs { out_pos, out_neg, .. } => (*out_pos, *out_neg),
+            Element::Vcvs {
+                out_pos, out_neg, ..
+            } => (*out_pos, *out_neg),
             Element::NegativeResistorDyn { a, .. } => (*a, NodeId::GROUND),
             Element::Diode { anode, cathode, .. } => (*anode, *cathode),
             Element::OpAmp { out, .. } => (*out, NodeId::GROUND),

@@ -51,7 +51,9 @@ mod transient;
 mod waveform;
 
 pub use circuit::Circuit;
-pub use dc::{solve_frozen_dc, DcAnalysis, DcSolution, FrozenDcCache};
+pub use dc::{
+    solve_frozen_dc, DcAnalysis, DcSolution, FrozenDcCache, FrozenDcSession, FrozenDcStats,
+};
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;
 pub use ids::{ElementId, NodeId};

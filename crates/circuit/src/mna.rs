@@ -148,8 +148,6 @@ impl Solution {
     pub fn values(&self) -> &[f64] {
         &self.values
     }
-
-
 }
 
 /// Initial state assignment: diodes off, op-amps linear.
@@ -326,7 +324,25 @@ pub(crate) fn stamp_rhs(
     history: Option<&History>,
     dc_pre_step: bool,
 ) -> Vec<f64> {
-    let mut b = vec![0.0; st.n_unknowns];
+    let mut b = Vec::new();
+    stamp_rhs_into(&mut b, ckt, st, states, time, mode, history, dc_pre_step);
+    b
+}
+
+/// [`stamp_rhs`] into a caller-provided buffer, reusing its allocation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stamp_rhs_into(
+    b: &mut Vec<f64>,
+    ckt: &Circuit,
+    st: &MnaStructure,
+    states: &[DeviceState],
+    time: f64,
+    mode: StampMode,
+    history: Option<&History>,
+    dc_pre_step: bool,
+) {
+    b.clear();
+    b.resize(st.n_unknowns, 0.0);
     let prev_v = |node: NodeId, h: &History| match node.unknown() {
         Some(u) => h.solution[u],
         None => 0.0,
@@ -356,7 +372,11 @@ pub(crate) fn stamp_rhs(
                     b[u] -= j;
                 }
             }
-            Element::Capacitor { a, b: nb, capacitance } => {
+            Element::Capacitor {
+                a,
+                b: nb,
+                capacitance,
+            } => {
                 if let Some(h) = history {
                     match mode {
                         StampMode::BackwardEuler { h: dt } => {
@@ -385,16 +405,14 @@ pub(crate) fn stamp_rhs(
                     }
                 }
             }
-            Element::Diode { model, .. } => {
-                if states[idx] == DeviceState::On && model.v_on != 0.0 {
-                    let g = 1.0 / model.r_on;
-                    let (anode, cathode) = e.terminals();
-                    if let Some(u) = anode.unknown() {
-                        b[u] += g * model.v_on;
-                    }
-                    if let Some(u) = cathode.unknown() {
-                        b[u] -= g * model.v_on;
-                    }
+            Element::Diode { model, .. } if states[idx] == DeviceState::On && model.v_on != 0.0 => {
+                let g = 1.0 / model.r_on;
+                let (anode, cathode) = e.terminals();
+                if let Some(u) = anode.unknown() {
+                    b[u] += g * model.v_on;
+                }
+                if let Some(u) = cathode.unknown() {
+                    b[u] -= g * model.v_on;
                 }
             }
             Element::NegativeResistorDyn { a, magnitude, tau } => {
@@ -417,7 +435,10 @@ pub(crate) fn stamp_rhs(
                 }
             }
             Element::OpAmp {
-                inp, inn, out, model,
+                inp,
+                inn,
+                out,
+                model,
             } => {
                 let row = ib.expect("opamp branch");
                 match states[idx] {
@@ -433,8 +454,8 @@ pub(crate) fn stamp_rhs(
                                 StampMode::Trapezoidal { h: dt } => {
                                     let toh = model.time_constant() / dt;
                                     let vd_prev = prev_v(*inp, h) - prev_v(*inn, h);
-                                    b[row] += (toh - 0.5) * prev_v(*out, h)
-                                        + 0.5 * model.gain * vd_prev;
+                                    b[row] +=
+                                        (toh - 0.5) * prev_v(*out, h) + 0.5 * model.gain * vd_prev;
                                 }
                                 StampMode::Dc => {}
                             }
@@ -445,7 +466,6 @@ pub(crate) fn stamp_rhs(
             _ => {}
         }
     }
-    b
 }
 
 /// Computes the consistent next state of every stateful device from a
@@ -483,14 +503,22 @@ pub(crate) fn next_states_banded(
                     DeviceState::On => vak > model.v_on - band,
                     _ => vak > model.v_on + band,
                 };
-                let new = if want { DeviceState::On } else { DeviceState::Off };
+                let new = if want {
+                    DeviceState::On
+                } else {
+                    DeviceState::Off
+                };
                 if new != result[idx] {
                     result[idx] = new;
                     changes += 1;
                 }
             }
             Element::OpAmp {
-                inp, inn, out, model, ..
+                inp,
+                inn,
+                out,
+                model,
+                ..
             } => {
                 // While linear, saturation is judged on the *actual* output
                 // (the pole keeps it small during transients even when the
@@ -573,7 +601,18 @@ pub(crate) fn solve_pwl(
         let lu_ok = matches!(factor_cache, Some((s, _)) if s == states);
         if !lu_ok {
             let m = stamp_matrix(ckt, st, states, mode).to_csc();
-            let lu = SparseLu::factor(&m)?;
+            // A state flip only changes matrix *values* (a diode swaps
+            // conductance, an op-amp rail swaps a couple of coefficients),
+            // so try the numeric-only refactorization against the cached
+            // symbolic pattern first and fall back to a fresh pivoting
+            // factorization when the pattern moved or a frozen pivot died.
+            let reused = factor_cache
+                .take()
+                .and_then(|(_, mut lu)| lu.refactor(&m).is_ok().then_some(lu));
+            let lu = match reused {
+                Some(lu) => lu,
+                None => SparseLu::factor(&m)?,
+            };
             *factor_cache = Some((states.clone(), lu));
         }
         let lu = &factor_cache.as_ref().expect("cache populated").1;
@@ -594,12 +633,14 @@ pub(crate) fn solve_pwl(
             for (i, (old, new)) in states.iter().zip(&new_states).enumerate() {
                 if old != new {
                     let violation = match &ckt.elements()[i] {
-                        Element::Diode { anode, cathode, model } => {
-                            (volt(*anode) - volt(*cathode) - model.v_on).abs()
-                        }
+                        Element::Diode {
+                            anode,
+                            cathode,
+                            model,
+                        } => (volt(*anode) - volt(*cathode) - model.v_on).abs(),
                         _ => f64::MAX, // op-amp saturation flips take priority
                     };
-                    if best.map_or(true, |(_, v)| violation > v) {
+                    if best.is_none_or(|(_, v)| violation > v) {
                         best = Some((i, violation));
                     }
                 }

@@ -101,6 +101,19 @@ impl SourceValue {
         }
     }
 
+    /// The instant after which [`SourceValue::value_at`] is constant:
+    /// `value_at(a) == value_at(b)` for any `constant_after() <= a <= b`.
+    /// Incremental solvers use this to prove an operating point unchanged
+    /// between time steps without re-evaluating every source.
+    pub fn constant_after(&self) -> f64 {
+        match self {
+            SourceValue::Dc(_) => f64::NEG_INFINITY,
+            SourceValue::Step { at, .. } => *at,
+            SourceValue::Ramp { t1, .. } => *t1,
+            SourceValue::Pwl(points) => points.last().map_or(f64::NEG_INFINITY, |&(t, _)| t),
+        }
+    }
+
     /// Value used for DC operating-point analysis (t = 0⁻, i.e. the value
     /// *before* any step scheduled at `t = 0`).
     pub fn dc_value(&self) -> f64 {

@@ -206,8 +206,7 @@ impl<'c> TransientAnalysis<'c> {
                     history.cap_currents[idx] = match mode {
                         StampMode::BackwardEuler { h } => capacitance / h * (vab_now - vab_prev),
                         StampMode::Trapezoidal { h } => {
-                            2.0 * capacitance / h * (vab_now - vab_prev)
-                                - history.cap_currents[idx]
+                            2.0 * capacitance / h * (vab_now - vab_prev) - history.cap_currents[idx]
                         }
                         StampMode::Dc => 0.0,
                     };
@@ -223,7 +222,8 @@ impl<'c> TransientAnalysis<'c> {
     }
 
     fn record(&self, st: &MnaStructure, waves: &mut WaveformSet, t: f64, x: &[f64]) {
-        let mut sample = Vec::with_capacity(waves.node_columns().len() + waves.current_columns().len());
+        let mut sample =
+            Vec::with_capacity(waves.node_columns().len() + waves.current_columns().len());
         for (node, _) in waves.node_columns() {
             sample.push(node.unknown().map_or(0.0, |u| x[u]));
         }
@@ -272,13 +272,10 @@ mod tests {
         let exact = 1.0 - (-1.0_f64).exp(); // v at t = tau
 
         let (ckt, out) = build();
-        let be = TransientAnalysis::new(
-            &ckt,
-            TransientOptions::to_time(1e-6).with_step(2.5e-8),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let be = TransientAnalysis::new(&ckt, TransientOptions::to_time(1e-6).with_step(2.5e-8))
+            .unwrap()
+            .run()
+            .unwrap();
         let (ckt2, out2) = build();
         let tr = TransientAnalysis::new(
             &ckt2,
@@ -340,7 +337,11 @@ mod tests {
         let drive = ckt.node("drive");
         let x = ckt.node("x");
         let clamp = ckt.node("clamp");
-        ckt.voltage_source(drive, Circuit::GROUND, SourceValue::ramp(0.0, 0.0, 1e-6, 3.0));
+        ckt.voltage_source(
+            drive,
+            Circuit::GROUND,
+            SourceValue::ramp(0.0, 0.0, 1e-6, 3.0),
+        );
         ckt.resistor(drive, x, 1e3);
         ckt.voltage_source(clamp, Circuit::GROUND, SourceValue::dc(1.0));
         ckt.diode(x, clamp, DiodeModel::ideal());
@@ -360,7 +361,9 @@ mod tests {
         let v = ckt.voltage_source(a, Circuit::GROUND, SourceValue::dc(2.0));
         ckt.resistor(a, Circuit::GROUND, 1e3);
         ckt.capacitor(a, Circuit::GROUND, 1e-12);
-        let opts = TransientOptions::to_time(1e-9).with_step(1e-11).probe_current(v);
+        let opts = TransientOptions::to_time(1e-9)
+            .with_step(1e-11)
+            .probe_current(v);
         let waves = TransientAnalysis::new(&ckt, opts).unwrap().run().unwrap();
         let i = waves.source_current_values(v).unwrap();
         assert!((i.last().unwrap() - 2e-3).abs() < 1e-6);

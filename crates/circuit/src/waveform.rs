@@ -143,6 +143,15 @@ impl WaveformSet {
         set
     }
 
+    /// Reserves storage for `samples` additional samples in every column —
+    /// transient loops that know their step count avoid growth reallocs.
+    pub fn reserve(&mut self, samples: usize) {
+        self.times.reserve(samples);
+        for col in &mut self.data {
+            col.reserve(samples);
+        }
+    }
+
     /// Appends one sample: `values` must hold the node columns (in the
     /// order given to [`WaveformSet::new`]) followed by the current columns.
     pub fn push_sample(&mut self, t: f64, values: &[f64]) {

@@ -38,7 +38,7 @@ proptest! {
         let mut last = 1.0f64;
         for n in nodes {
             let v = sol.voltage(n);
-            prop_assert!(v >= -1e-9 && v <= 1.0 + 1e-9, "v={v}");
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "v={v}");
             prop_assert!(v <= last + 1e-9, "not monotone: {v} after {last}");
             last = v;
         }

@@ -201,7 +201,7 @@ pub fn build(
         });
     }
     if let Drive::Ramp { duration } = opts.drive {
-        if !(duration > 0.0) {
+        if duration <= 0.0 || duration.is_nan() {
             return Err(AnalogError::InvalidConfig {
                 what: format!("ramp duration {duration}"),
             });
@@ -212,9 +212,7 @@ pub fn build(
     let exact = ExactScaling::new(params.v_dd, c_max);
     let quantizer = match opts.capacity_mapping {
         CapacityMapping::Exact => None,
-        CapacityMapping::Quantized { levels } => {
-            Some(Quantizer::new(levels, params.v_dd, c_max))
-        }
+        CapacityMapping::Quantized { levels } => Some(Quantizer::new(levels, params.v_dd, c_max)),
     };
     let clamp_volts: Vec<f64> = g
         .edges()
@@ -246,7 +244,7 @@ pub fn build(
         if let Some(&(_, node)) = level_nodes.iter().find(|&&(k, _)| k == key) {
             return node;
         }
-        let node = ckt.node(format!("lvl_{volts:.6}"));
+        let node = ckt.anon_node();
         ckt.voltage_source(node, Circuit::GROUND, SourceValue::dc(volts));
         stats.sources += 1;
         level_nodes.push((key, node));
@@ -270,7 +268,7 @@ pub fn build(
             clamp_diodes.push((ElementId::invalid(), ElementId::invalid()));
             continue;
         }
-        let x = ckt.node(format!("x{k}"));
+        let x = ckt.anon_node();
         edge_nodes.push(x);
         // Lower clamp: diode from ground to x turns on when V(x) < 0.
         let lo = ckt.diode(Circuit::GROUND, x, params.diode);
@@ -291,33 +289,32 @@ pub fn build(
         None => params.r_unit / (params.opamp.gain * magnitude),
     };
     let leak = opts.constraint_leak;
-    let neg_resistor =
-        |ckt: &mut Circuit, stats: &mut BuildStats, node: NodeId, magnitude: f64, tag: String| {
-            stats.negative_resistors += 1;
-            if leak > 0.0 {
-                ckt.resistor(node, Circuit::GROUND, r / leak);
+    let neg_resistor = |ckt: &mut Circuit, stats: &mut BuildStats, node: NodeId, magnitude: f64| {
+        stats.negative_resistors += 1;
+        if leak > 0.0 {
+            ckt.resistor(node, Circuit::GROUND, r / leak);
+        }
+        let magnitude = magnitude * (1.0 + margin_for(magnitude));
+        match opts.negative_resistor {
+            NegativeResistorImpl::Ideal => {
+                ckt.resistor(node, Circuit::GROUND, -magnitude);
             }
-            let magnitude = magnitude * (1.0 + margin_for(magnitude));
-            match opts.negative_resistor {
-                NegativeResistorImpl::Ideal => {
-                    ckt.resistor(node, Circuit::GROUND, -magnitude);
-                }
-                NegativeResistorImpl::Dynamic => {
-                    ckt.negative_resistor_dyn(node, magnitude, params.opamp.time_constant());
-                }
-                NegativeResistorImpl::OpAmp => {
-                    // Grounded NIC (Fig. 9a): opamp + R_target feedback to the
-                    // non-inverting input, R0/R0 divider to the inverting one.
-                    let out = ckt.node(format!("nic_o_{tag}"));
-                    let inv = ckt.node(format!("nic_b_{tag}"));
-                    ckt.opamp(node, inv, out, params.opamp);
-                    ckt.resistor(out, node, magnitude);
-                    ckt.resistor(out, inv, r);
-                    ckt.resistor(inv, Circuit::GROUND, r);
-                    stats.opamps += 1;
-                }
+            NegativeResistorImpl::Dynamic => {
+                ckt.negative_resistor_dyn(node, magnitude, params.opamp.time_constant());
             }
-        };
+            NegativeResistorImpl::OpAmp => {
+                // Grounded NIC (Fig. 9a): opamp + R_target feedback to the
+                // non-inverting input, R0/R0 divider to the inverting one.
+                let out = ckt.anon_node();
+                let inv = ckt.anon_node();
+                ckt.opamp(node, inv, out, params.opamp);
+                ckt.resistor(out, node, magnitude);
+                ckt.resistor(out, inv, r);
+                ckt.resistor(inv, Circuit::GROUND, r);
+                stats.opamps += 1;
+            }
+        }
+    };
 
     // Objective widget (Fig. 3): V_flow through r to each source-out edge.
     let source_out: Vec<usize> = g.out_edges(g.source()).map(|e| e.0).collect();
@@ -348,26 +345,20 @@ pub fn build(
         if n_incident == 0 {
             continue;
         }
-        let nv = ckt.node(format!("n{v}"));
+        let nv = ckt.anon_node();
         for &k in &out_live {
             ckt.resistor(edge_nodes[k], nv, r);
         }
         for &k in &in_live {
             // Negation sub-circuit: x → P ← x⁻, with −r/2 at P.
-            let p = ckt.node(format!("p{k}"));
-            let xneg = ckt.node(format!("xn{k}"));
+            let p = ckt.anon_node();
+            let xneg = ckt.anon_node();
             ckt.resistor(edge_nodes[k], p, r);
             ckt.resistor(xneg, p, r);
-            neg_resistor(&mut ckt, &mut stats, p, r / 2.0, format!("neg{k}"));
+            neg_resistor(&mut ckt, &mut stats, p, r / 2.0);
             ckt.resistor(xneg, nv, r);
         }
-        neg_resistor(
-            &mut ckt,
-            &mut stats,
-            nv,
-            r / n_incident as f64,
-            format!("star{v}"),
-        );
+        neg_resistor(&mut ckt, &mut stats, nv, r / n_incident as f64);
     }
 
     // Parasitic capacitance on every net (§5.1 adds 20 fF per net).
@@ -443,6 +434,20 @@ impl SubstrateCircuit {
     /// Clamp voltage of edge `k` after capacity mapping.
     pub fn clamp_volts(&self, k: usize) -> f64 {
         self.clamp_volts[k]
+    }
+
+    /// Edge ids leaving the source vertex (the edges [`flow_value`]
+    /// sums positively).
+    ///
+    /// [`flow_value`]: SubstrateCircuit::flow_value
+    pub fn source_out_edges(&self) -> &[usize] {
+        &self.source_out
+    }
+
+    /// Edge ids entering the source vertex (counted negatively in the
+    /// flow value).
+    pub fn source_in_edges(&self) -> &[usize] {
+        &self.source_in
     }
 
     /// Build statistics.

@@ -121,7 +121,10 @@ impl ClusteredArchitecture {
         }
         let part = partition_bfs(g, self.islands.min(g.vertex_count()).max(1));
         let sizes = part.part_sizes();
-        if let Some((island, &size)) = sizes.iter().enumerate().find(|&(_, &s)| s > self.island_vertices)
+        if let Some((island, &size)) = sizes
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| s > self.island_vertices)
         {
             let _ = island;
             return Err(AnalogError::CrossbarTooSmall {
@@ -167,12 +170,12 @@ impl ClusteredArchitecture {
                     let (rb, cb) = pos(part.assignment[e.to]);
                     // Route horizontally at row ra, then vertically at col cb.
                     let (c0, c1) = (ca.min(cb), ca.max(cb));
-                    for c in c0..c1 {
-                        h_seg[ra][c] += 1;
+                    for seg in &mut h_seg[ra][c0..c1] {
+                        *seg += 1;
                     }
                     let (r0, r1) = (ra.min(rb), ra.max(rb));
-                    for r in r0..r1 {
-                        v_seg[r][cb] += 1;
+                    for row in &mut v_seg[r0..r1] {
+                        row[cb] += 1;
                     }
                 }
                 let peak = h_seg

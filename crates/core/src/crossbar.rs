@@ -69,7 +69,7 @@ impl Crossbar {
             });
         }
         let vt = params.memristor.v_threshold;
-        if !(vt > 0.0) {
+        if vt <= 0.0 || vt.is_nan() {
             return Err(AnalogError::InvalidConfig {
                 what: format!("memristor threshold {vt}"),
             });
@@ -238,7 +238,10 @@ mod tests {
         let g = generators::fig5a(); // 5 vertices
         assert!(matches!(
             xb.program(&g),
-            Err(AnalogError::CrossbarTooSmall { required: 5, available: 3 })
+            Err(AnalogError::CrossbarTooSmall {
+                required: 5,
+                available: 3
+            })
         ));
     }
 

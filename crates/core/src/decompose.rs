@@ -101,12 +101,7 @@ impl DualDecomposition {
         let mut converged = false;
         let mut iterations = 0;
         let mut programming_cycles = 0;
-        let sub_dim = split
-            .m_vertices
-            .len()
-            .max(split.n_vertices.len())
-            .max(2)
-            + 2;
+        let sub_dim = split.m_vertices.len().max(split.n_vertices.len()).max(2) + 2;
         if sub_dim > substrate.crossbar_dim {
             return Err(AnalogError::CrossbarTooSmall {
                 required: sub_dim,
@@ -302,14 +297,9 @@ mod tests {
         g.add_edge(2, 8, 2).unwrap();
         let d = DualDecomposition::new(DecomposeOptions::default());
         let r = d.solve(&g, &SubstrateParams::table1()).unwrap();
-        assert_eq!(r.cut_value, exact(&g) * 0 + cut_scaled_expect(&g, &r));
         assert!(r.cut_value >= exact(&g), "cut is an upper bound");
         assert_eq!(r.cut_value, exact(&g), "bridge instance must be exact");
         assert!(r.programming_cycles > 0);
-    }
-
-    fn cut_scaled_expect(_g: &FlowNetwork, r: &DecompositionResult) -> i64 {
-        r.cut_value
     }
 
     #[test]

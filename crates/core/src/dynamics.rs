@@ -9,6 +9,7 @@
 
 use ohmflow_circuit::DcAnalysis;
 use ohmflow_graph::FlowNetwork;
+use rayon::prelude::*;
 
 use crate::builder::{self, BuildOptions, Drive};
 use crate::params::SubstrateParams;
@@ -59,19 +60,31 @@ pub fn trace_quasi_static(
     opts.drive = Drive::Ramp { duration: 1.0 };
     let sc = builder::build(g, &params, &opts)?;
 
-    let mut vflow = Vec::with_capacity(steps + 1);
-    let mut flows = Vec::with_capacity(steps + 1);
+    // Every ramp sample is an independent quasi-static solve, so the sweep
+    // fans out across all cores (the vendored rayon parallelizes slices,
+    // hence the materialized sample list); the breakpoint scan below needs
+    // the samples in order and stays sequential.
+    let samples: Vec<usize> = (0..=steps).collect();
+    let flows = samples
+        .par_iter()
+        .map(|&k| {
+            let t = k as f64 / steps as f64; // ramp position in [0, 1]
+            DcAnalysis::new(sc.circuit())
+                .at_time(t)
+                .solve()
+                .map(|sol| sc.edge_flows(|n| sol.voltage(n)))
+                .map_err(AnalogError::from)
+        })
+        .collect::<Vec<Result<Vec<f64>, AnalogError>>>()
+        .into_iter()
+        .collect::<Result<Vec<Vec<f64>>, AnalogError>>()?;
+
+    let vflow: Vec<f64> = (0..=steps)
+        .map(|k| v_flow_max * k as f64 / steps as f64)
+        .collect();
     let mut breakpoints = Vec::new();
     let mut at_clamp = vec![false; g.edge_count()];
-
-    for k in 0..=steps {
-        let t = k as f64 / steps as f64; // ramp position in [0, 1]
-        let sol = DcAnalysis::new(sc.circuit())
-            .at_time(t)
-            .solve()
-            .map_err(AnalogError::from)?;
-        let v_now = v_flow_max * t;
-        let f: Vec<f64> = sc.edge_flows(|n| sol.voltage(n));
+    for (f, &v_now) in flows.iter().zip(&vflow) {
         for (e, &fe) in f.iter().enumerate() {
             let cap = g.edge(ohmflow_graph::EdgeId(e)).capacity as f64;
             let clamped = fe >= cap * (1.0 - 1e-4);
@@ -80,8 +93,6 @@ pub fn trace_quasi_static(
                 breakpoints.push((v_now, e));
             }
         }
-        vflow.push(v_now);
-        flows.push(f);
     }
     Ok(Trajectory {
         vflow,

@@ -60,4 +60,4 @@ pub mod tuning;
 
 pub use error::AnalogError;
 pub use params::SubstrateParams;
-pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution};
+pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine};

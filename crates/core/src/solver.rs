@@ -3,11 +3,15 @@
 //! crossbar" procedure.
 
 use ohmflow_circuit::{
-    solve_frozen_dc, DcAnalysis, TransientAnalysis, TransientOptions, Waveform, WaveformSet,
+    solve_frozen_dc, CircuitError, DcAnalysis, ElementId, FrozenDcCache, FrozenDcSession, NodeId,
+    TransientAnalysis, TransientOptions, Waveform, WaveformSet,
 };
 use ohmflow_graph::FlowNetwork;
+use rayon::prelude::*;
 
-use crate::builder::{self, BuildOptions, BuildStats, Drive, NegativeResistorImpl, SubstrateCircuit};
+use crate::builder::{
+    self, BuildOptions, BuildStats, Drive, NegativeResistorImpl, SubstrateCircuit,
+};
 use crate::params::SubstrateParams;
 use crate::AnalogError;
 
@@ -52,6 +56,24 @@ pub enum SolveMode {
     },
 }
 
+/// Linear-algebra backend of the relaxation transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelaxationEngine {
+    /// The incremental frozen-DC engine (default): one persistent
+    /// [`FrozenDcSession`] carries the MNA structure, factorization and
+    /// buffers across every time step; clamp-diode switches are absorbed
+    /// as Woodbury rank-1 updates with a periodic refactorization for
+    /// numerical hygiene. See `DESIGN.md`.
+    #[default]
+    Incremental,
+    /// The historical reference path: every step calls
+    /// [`solve_frozen_dc`], which rebuilds the MNA structure and
+    /// refactors from scratch whenever the clamp configuration changed.
+    /// Retained for regression testing and benchmarking the incremental
+    /// engine against.
+    FullRefactor,
+}
+
 /// Full configuration of an [`AnalogMaxFlow`] solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalogConfig {
@@ -64,6 +86,8 @@ pub struct AnalogConfig {
     /// Convergence band for the §5.1 settle-time measurement (0.001 =
     /// "within 0.1 % of the final value").
     pub settle_fraction: f64,
+    /// Relaxation-transient solve backend.
+    pub engine: RelaxationEngine,
 }
 
 impl AnalogConfig {
@@ -85,6 +109,7 @@ impl AnalogConfig {
             build: BuildOptions::ideal(),
             mode: SolveMode::QuasiStatic,
             settle_fraction: 1e-3,
+            engine: RelaxationEngine::default(),
         }
     }
 
@@ -102,6 +127,7 @@ impl AnalogConfig {
                 dt: None,
             },
             settle_fraction: 1e-3,
+            engine: RelaxationEngine::default(),
         }
     }
 
@@ -226,7 +252,9 @@ impl AnalogMaxFlow {
     }
 
     fn solve_quasi_static(&self, sc: &SubstrateCircuit) -> Result<AnalogSolution, AnalogError> {
-        let sol = DcAnalysis::new(sc.circuit()).solve().map_err(AnalogError::from)?;
+        let sol = DcAnalysis::new(sc.circuit())
+            .solve()
+            .map_err(AnalogError::from)?;
         let value = sc.flow_value(|n| sol.voltage(n));
         let i_flow = sol
             .source_current(sc.vflow_source())
@@ -267,19 +295,51 @@ impl AnalogMaxFlow {
     }
 
     /// One relaxation run: lagged edge voltages, lag-governed diode
-    /// switching, frozen-state DC solves with factorization reuse.
+    /// switching, frozen-state DC solves through the configured engine.
     fn relaxation_run(
         &self,
         sc: &SubstrateCircuit,
         t_stop: f64,
         dt: f64,
     ) -> Result<AnalogSolution, AnalogError> {
+        match self.config.engine {
+            RelaxationEngine::Incremental => {
+                let mut eq = SessionEquilibrium {
+                    session: FrozenDcSession::new(sc.circuit()).map_err(AnalogError::from)?,
+                };
+                self.relaxation_run_with(sc, t_stop, dt, &mut eq)
+            }
+            RelaxationEngine::FullRefactor => {
+                let mut eq = LegacyEquilibrium {
+                    ckt: sc.circuit(),
+                    cache: None,
+                    last: None,
+                };
+                self.relaxation_run_with(sc, t_stop, dt, &mut eq)
+            }
+        }
+    }
+
+    /// The physics of the relaxation transient, generic (monomorphized —
+    /// the equilibrium accessors sit in the per-step hot loop) over the
+    /// backend so both engines run the *same* switching logic.
+    fn relaxation_run_with<E: EquilibriumSolver>(
+        &self,
+        sc: &SubstrateCircuit,
+        t_stop: f64,
+        dt: f64,
+        eq: &mut E,
+    ) -> Result<AnalogSolution, AnalogError> {
         let ckt = sc.circuit();
         let tau = self.config.params.opamp.time_constant();
         let n_edges = sc.edge_nodes().len();
         let diode_ids = ckt.diode_ids();
-        let diode_pos: std::collections::HashMap<_, _> =
-            diode_ids.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        // Dense element-id → diode-position map (the hot loop below indexes
+        // it twice per edge per step).
+        let mut diode_pos = vec![usize::MAX; ckt.element_count()];
+        for (i, d) in diode_ids.iter().enumerate() {
+            diode_pos[d.index()] = i;
+        }
 
         // Relaxed (observable) edge voltages start at 0 (V_flow low).
         let mut relaxed = vec![0.0f64; n_edges];
@@ -290,43 +350,74 @@ impl AnalogMaxFlow {
         // perturbed circuits.
         let cooldown_steps = (tau / dt).ceil() as usize;
         let mut cooldown = vec![0usize; diode_ids.len()];
-        let mut cache = None;
         let alpha = 1.0 - (-dt / tau).exp();
 
         let mut waves = WaveformSet::new(sc.edge_nodes(), &[sc.vflow_source()]);
         let steps = (t_stop / dt).round().max(1.0) as usize;
-        let mut last_equilibrium: Option<ohmflow_circuit::DcSolution> = None;
+        waves.reserve(steps + 1);
+        // Preallocated sample row: edge-node voltages then the V_flow
+        // branch current (no per-step allocation).
+        let mut sample: Vec<f64> = Vec::with_capacity(n_edges + 1);
+        let edge_nodes = sc.edge_nodes();
+        let r_on = self.config.params.diode.r_on;
+
+        // Per-edge switching context, resolved once: diode positions,
+        // clamp level, hysteresis band and the circuit node. Grounded
+        // circulation edges (flow pinned at 0) carry no entry.
+        struct EdgeClamp {
+            edge: usize,
+            lo_i: usize,
+            hi_i: usize,
+            clamp: f64,
+            band: f64,
+            node: NodeId,
+        }
+        let edge_clamps: Vec<EdgeClamp> = sc
+            .clamp_diodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, (lo, _))| lo.is_valid())
+            .map(|(e, &(lo, hi))| {
+                let clamp = sc.clamp_volts(e);
+                EdgeClamp {
+                    edge: e,
+                    lo_i: diode_pos[lo.index()],
+                    hi_i: diode_pos[hi.index()],
+                    clamp,
+                    band: 1e-9 + 1e-6 * clamp.abs(),
+                    node: edge_nodes[e],
+                }
+            })
+            .collect();
 
         for k in 0..=steps {
             let t = k as f64 * dt;
             // Instantaneous constrained equilibrium for the present clamp
             // configuration.
-            let eq = solve_frozen_dc(ckt, t, &diode_on, &mut cache).map_err(AnalogError::from)?;
+            eq.solve(t, &diode_on).map_err(AnalogError::from)?;
 
-            // Relax the physical edge voltages toward the equilibrium with
-            // the op-amp dominant-pole lag (raw, unclamped — the crossing
-            // of a clamp threshold is what *engages* the diode).
-            for (e, node) in sc.edge_nodes().iter().enumerate() {
-                let target = eq.voltage(*node);
-                relaxed[e] += alpha * (target - relaxed[e]);
-            }
-
+            // One pass over the live edges: relax the physical voltage
+            // toward the equilibrium with the op-amp dominant-pole lag
+            // (raw, unclamped — the crossing of a clamp threshold is what
+            // *engages* the diode), then update the clamp states. Grounded
+            // circulation edges are skipped outright: their target voltage
+            // is identically 0 and `relaxed` starts (and thus stays) at 0.
+            //
             // Diode switching: clamps *engage* when the lagged voltage
             // crosses the threshold (§2.4's cascade) and *release* the
             // moment the constraint network reverses the clamp current in
             // the equilibrium — a diode stops conducting instantly when its
             // current would go negative.
-            let r_on = self.config.params.diode.r_on;
-            for (e, &(lo, hi)) in sc.clamp_diodes().iter().enumerate() {
-                if !lo.is_valid() {
-                    continue; // grounded circulation edge: flow pinned at 0
-                }
+            for ec in &edge_clamps {
+                let e = ec.edge;
+                let clamp = ec.clamp;
+                let lo_i = ec.lo_i;
+                let hi_i = ec.hi_i;
+                let band = ec.band;
+                let node = ec.node;
+                let target = eq.voltage(node);
+                relaxed[e] += alpha * (target - relaxed[e]);
                 let v = relaxed[e];
-                let clamp = sc.clamp_volts(e);
-                let lo_i = diode_pos[&lo];
-                let hi_i = diode_pos[&hi];
-                let band = 1e-9 + 1e-6 * clamp.abs();
-                let node = sc.edge_node(e);
                 cooldown[lo_i] = cooldown[lo_i].saturating_sub(1);
                 cooldown[hi_i] = cooldown[hi_i].saturating_sub(1);
                 if diode_on[lo_i] {
@@ -356,10 +447,10 @@ impl AnalogMaxFlow {
                 }
             }
 
-            let mut sample: Vec<f64> = relaxed.clone();
+            sample.clear();
+            sample.extend_from_slice(&relaxed);
             sample.push(eq.branch_current(sc.vflow_source()).unwrap_or(0.0));
             waves.push_sample(t, &sample);
-            last_equilibrium = Some(eq);
         }
 
         // Flow-value series from the relaxed edge voltages.
@@ -369,7 +460,6 @@ impl AnalogMaxFlow {
         let settle = wf.settle_time(self.config.settle_fraction);
 
         let value = *flow_series.last().expect("at least one sample");
-        let eq = last_equilibrium.expect("at least one solve");
         let i_flow = eq
             .source_current(sc.vflow_source())
             .expect("v_flow has a branch current");
@@ -381,6 +471,30 @@ impl AnalogMaxFlow {
             stats: sc.stats(),
             waveforms: Some(waves),
         })
+    }
+
+    /// Solves many independent instances in parallel on all cores (rayon),
+    /// preserving input order. This is the batch entry point the benchmark
+    /// binaries (`ablations`, `fig15_trajectory`, the Fig. 10 error sweeps)
+    /// drive: every instance carries its own circuit, session and buffers,
+    /// so the instances share nothing and scale linearly.
+    pub fn solve_batch(&self, graphs: &[FlowNetwork]) -> Vec<Result<AnalogSolution, AnalogError>> {
+        graphs.par_iter().map(|g| self.solve(g)).collect()
+    }
+
+    /// Runs the relaxation transient on many already-built (typically
+    /// perturbed) realizations of the same instance in parallel, preserving
+    /// order — the batch form of
+    /// [`AnalogMaxFlow::solve_built_transient`] that the variation and
+    /// tuning sweeps drive.
+    pub fn solve_built_transient_batch(
+        &self,
+        scs: &[SubstrateCircuit],
+        g: &FlowNetwork,
+    ) -> Vec<Result<AnalogSolution, AnalogError>> {
+        scs.par_iter()
+            .map(|sc| self.solve_built_transient(sc, g))
+            .collect()
     }
 
     /// The instability ablation: integrate the literal MNA dynamics.
@@ -418,6 +532,65 @@ impl AnalogMaxFlow {
     }
 }
 
+/// One frozen-clamp equilibrium solve per relaxation step, abstracted so
+/// the incremental and reference engines share the switching logic above.
+trait EquilibriumSolver {
+    /// Solves the operating point at `time` for the frozen `diode_on`
+    /// assignment.
+    fn solve(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError>;
+    /// Node voltage in the last solved point.
+    fn voltage(&self, node: NodeId) -> f64;
+    /// Branch current in the last solved point.
+    fn branch_current(&self, id: ElementId) -> Option<f64>;
+    /// Source current (negated branch current) in the last solved point.
+    fn source_current(&self, id: ElementId) -> Option<f64> {
+        self.branch_current(id).map(|i| -i)
+    }
+}
+
+/// The incremental engine: a persistent [`FrozenDcSession`].
+struct SessionEquilibrium<'c> {
+    session: FrozenDcSession<'c>,
+}
+
+impl EquilibriumSolver for SessionEquilibrium<'_> {
+    fn solve(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError> {
+        self.session.solve(time, diode_on)
+    }
+
+    fn voltage(&self, node: NodeId) -> f64 {
+        self.session.voltage(node)
+    }
+
+    fn branch_current(&self, id: ElementId) -> Option<f64> {
+        self.session.branch_current(id)
+    }
+}
+
+/// The reference engine: the historical per-step [`solve_frozen_dc`] path
+/// (rebuilds the MNA structure each call, refactors on every clamp
+/// change).
+struct LegacyEquilibrium<'c> {
+    ckt: &'c ohmflow_circuit::Circuit,
+    cache: Option<FrozenDcCache>,
+    last: Option<ohmflow_circuit::DcSolution>,
+}
+
+impl EquilibriumSolver for LegacyEquilibrium<'_> {
+    fn solve(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError> {
+        self.last = Some(solve_frozen_dc(self.ckt, time, diode_on, &mut self.cache)?);
+        Ok(())
+    }
+
+    fn voltage(&self, node: NodeId) -> f64 {
+        self.last.as_ref().map_or(0.0, |s| s.voltage(node))
+    }
+
+    fn branch_current(&self, id: ElementId) -> Option<f64> {
+        self.last.as_ref().and_then(|s| s.branch_current(id))
+    }
+}
+
 /// Converts the final recorded edge-node voltages of `waves` to flow units.
 fn relaxed_to_flows(sc: &SubstrateCircuit, waves: &WaveformSet) -> Vec<f64> {
     sc.edge_nodes()
@@ -432,23 +605,32 @@ fn relaxed_to_flows(sc: &SubstrateCircuit, waves: &WaveformSet) -> Vec<f64> {
 }
 
 /// Computes the flow-value time series (flow units) from recorded edge-node
-/// waveforms.
+/// waveforms: net flow out of the source, sum over source-out edges minus
+/// source-in edges.
+///
+/// The waveform column of each source-adjacent edge node is resolved
+/// **once** and the samples are then summed column-wise — not one hash
+/// lookup per `(sample, edge)` pair. Grounded circulation edges have no
+/// recorded waveform and contribute zero.
 pub fn flow_value_series(sc: &SubstrateCircuit, waves: &WaveformSet) -> Vec<f64> {
-    let n = waves.len();
-    let mut series = vec![0.0f64; n];
-    let g_scale = 1.0 / sc.volts_per_flow();
-    // Net flow out of the source: sum over source-out edges minus source-in.
-    // The builder records those index sets privately; recompute via the
-    // public accessors — flow_value() on each sample.
-    for i in 0..n {
-        series[i] = sc.flow_value(|node| {
-            waves
-                .voltage(node)
-                .map(|w| w.values()[i])
-                .unwrap_or(0.0)
-        });
+    let column = |&k: &usize| waves.voltage(sc.edge_node(k)).map(|w| w.values());
+    let out_cols: Vec<&[f64]> = sc.source_out_edges().iter().filter_map(column).collect();
+    let in_cols: Vec<&[f64]> = sc.source_in_edges().iter().filter_map(column).collect();
+    let scale = 1.0 / sc.volts_per_flow();
+    let mut series = vec![0.0f64; waves.len()];
+    for col in &out_cols {
+        for (s, v) in series.iter_mut().zip(*col) {
+            *s += v;
+        }
     }
-    let _ = g_scale;
+    for col in &in_cols {
+        for (s, v) in series.iter_mut().zip(*col) {
+            *s -= v;
+        }
+    }
+    for s in &mut series {
+        *s *= scale;
+    }
     series
 }
 

@@ -53,7 +53,10 @@ impl TuningCircuit {
     ///
     /// Panics if any value is not positive.
     pub fn new(r1: f64, r2: f64, r3: f64) -> Self {
-        assert!(r1 > 0.0 && r2 > 0.0 && r3 > 0.0, "resistances must be positive");
+        assert!(
+            r1 > 0.0 && r2 > 0.0 && r3 > 0.0,
+            "resistances must be positive"
+        );
         let mut ckt = Circuit::new();
         let x = ckt.node("x");
         let p = ckt.node("p");
@@ -81,7 +84,9 @@ impl TuningCircuit {
         self.ckt
             .set_source_value(self.src, SourceValue::dc(vx))
             .expect("source id");
-        let sol = DcAnalysis::new(&self.ckt).solve().map_err(AnalogError::from)?;
+        let sol = DcAnalysis::new(&self.ckt)
+            .solve()
+            .map_err(AnalogError::from)?;
         Ok(sol.voltage(self.xneg))
     }
 
@@ -102,7 +107,9 @@ impl TuningCircuit {
             // for *any* R3, so we apply the calibration equation directly —
             // the memristive modulation the measurement would converge to.
             self.r3 = 1.0 / (1.0 / self.r1 + 1.0 / self.r2);
-            self.ckt.set_resistance(self.r3_id, -self.r3).expect("r3 id");
+            self.ckt
+                .set_resistance(self.r3_id, -self.r3)
+                .expect("r3 id");
 
             // Step 2: V(x) = 1 V; scale r1 (keeping r2) until V(x⁻) = −1.
             // V(x⁻) is monotone in the r2/r1 ratio; bisection on r1.
@@ -173,7 +180,10 @@ mod tests {
         // 3 % parasitic skew on r1 and a mis-set R3.
         let mut tc = TuningCircuit::new(10.3e3, 10e3, 5.4e3);
         let before = tc.negation_error().unwrap();
-        assert!(before > 1e-3, "perturbed circuit should start bad: {before}");
+        assert!(
+            before > 1e-3,
+            "perturbed circuit should start bad: {before}"
+        );
         let result = tc.tune(1e-3, 16).unwrap();
         assert!(result.residual < 1e-3, "after tuning: {}", result.residual);
         // R3 should approach r1∥r2 of the *tuned* values.

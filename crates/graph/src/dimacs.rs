@@ -72,8 +72,18 @@ pub fn parse(text: &str) -> Result<FlowNetwork, GraphError> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(lineno, "bad node id"))?;
                 match parts.next() {
-                    Some("s") => source = Some(id.checked_sub(1).ok_or_else(|| err(lineno, "1-based ids"))?),
-                    Some("t") => sink = Some(id.checked_sub(1).ok_or_else(|| err(lineno, "1-based ids"))?),
+                    Some("s") => {
+                        source = Some(
+                            id.checked_sub(1)
+                                .ok_or_else(|| err(lineno, "1-based ids"))?,
+                        )
+                    }
+                    Some("t") => {
+                        sink = Some(
+                            id.checked_sub(1)
+                                .ok_or_else(|| err(lineno, "1-based ids"))?,
+                        )
+                    }
                     _ => return Err(err(lineno, "node designator must be s or t")),
                 }
             }
@@ -128,11 +138,7 @@ pub fn parse(text: &str) -> Result<FlowNetwork, GraphError> {
 /// ```
 pub fn write(g: &FlowNetwork) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "p max {} {}\n",
-        g.vertex_count(),
-        g.edge_count()
-    ));
+    out.push_str(&format!("p max {} {}\n", g.vertex_count(), g.edge_count()));
     out.push_str(&format!("n {} s\n", g.source() + 1));
     out.push_str(&format!("n {} t\n", g.sink() + 1));
     for e in g.edges() {
@@ -174,7 +180,10 @@ mod tests {
 
     #[test]
     fn missing_problem_line() {
-        assert!(matches!(parse("n 1 s\n"), Err(GraphError::ParseDimacs { .. })));
+        assert!(matches!(
+            parse("n 1 s\n"),
+            Err(GraphError::ParseDimacs { .. })
+        ));
     }
 
     #[test]

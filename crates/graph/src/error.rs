@@ -42,10 +42,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::InvalidCapacity { capacity } => {
-                write!(f, "edge capacity must be a positive integer, got {capacity}")
+                write!(
+                    f,
+                    "edge capacity must be a positive integer, got {capacity}"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::InvalidEndpoints { source, sink } => {

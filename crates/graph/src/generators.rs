@@ -219,10 +219,7 @@ mod tests {
         let g = fig15a(1000);
         assert_eq!(g.edge_count(), 5);
         // Optimum of Eq. (8): x1 = 4 = x2 + x3 with x2 = 1, x3 = 3.
-        assert_eq!(
-            g.validate_flow(&[4.0, 1.0, 3.0, 1.0, 3.0], 1e-9),
-            Some(4.0)
-        );
+        assert_eq!(g.validate_flow(&[4.0, 1.0, 3.0, 1.0, 3.0], 1e-9), Some(4.0));
     }
 
     #[test]

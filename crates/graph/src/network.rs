@@ -68,12 +68,23 @@ impl FlowNetwork {
     /// [`GraphError::VertexOutOfRange`], [`GraphError::SelfLoop`] or
     /// [`GraphError::InvalidCapacity`] (capacities must be positive
     /// integers, per the paper's problem statement).
-    pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        capacity: i64,
+    ) -> Result<EdgeId, GraphError> {
         if from >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: from, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: from,
+                n: self.n,
+            });
         }
         if to >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: to, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: to,
+                n: self.n,
+            });
         }
         if from == to {
             return Err(GraphError::SelfLoop { vertex: from });
@@ -203,8 +214,8 @@ impl FlowNetwork {
             net[e.from] -= f;
             net[e.to] += f;
         }
-        for v in 0..self.n {
-            if v != self.source && v != self.sink && net[v].abs() > tol * (1.0 + net[v].abs()) {
+        for (v, nv) in net.iter().enumerate() {
+            if v != self.source && v != self.sink && nv.abs() > tol * (1.0 + nv.abs()) {
                 return None;
             }
         }
@@ -257,7 +268,10 @@ mod tests {
             g.add_edge(0, 5, 1),
             Err(GraphError::VertexOutOfRange { vertex: 5, .. })
         ));
-        assert!(matches!(g.add_edge(1, 1, 1), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            g.add_edge(1, 1, 1),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
         assert!(matches!(
             g.add_edge(0, 1, 0),
             Err(GraphError::InvalidCapacity { capacity: 0 })

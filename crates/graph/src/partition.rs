@@ -139,10 +139,10 @@ pub fn partition_bfs(g: &FlowNetwork, k: usize) -> Partition {
     }
     // Unassigned vertices (unreachable, or blocked by full parts): place in
     // the currently smallest part.
-    for v in 0..n {
-        if assignment[v] == usize::MAX {
+    for slot in assignment.iter_mut() {
+        if *slot == usize::MAX {
             let p = (0..k).min_by_key(|&p| sizes_grow[p]).expect("k >= 1");
-            assignment[v] = p;
+            *slot = p;
             sizes_grow[p] += 1;
         }
     }
@@ -300,7 +300,7 @@ mod tests {
         let g = RmatConfig::sparse(80, 9).generate().unwrap();
         let split = overlap_partition(&g);
         // Every vertex appears in at least one side.
-        let mut covered = vec![false; 80];
+        let mut covered = [false; 80];
         for &v in split.m_vertices.iter().chain(&split.n_vertices) {
             covered[v] = true;
         }

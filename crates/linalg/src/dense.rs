@@ -58,7 +58,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -84,9 +88,9 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -228,6 +232,18 @@ impl DenseLu {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut out = Vec::new();
+        self.solve_into(b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DenseLu::solve`] into a caller-provided buffer, reusing its
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseLu::solve`].
+    pub fn solve_into(&self, b: &[f64], out: &mut Vec<f64>) -> Result<(), LinalgError> {
         let n = self.lu.rows;
         if b.len() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -236,22 +252,24 @@ impl DenseLu {
             });
         }
         // Apply permutation, then forward- and back-substitute.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        out.clear();
+        out.extend(self.perm.iter().map(|&p| b[p]));
+        let x = out;
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factored matrix.
@@ -278,11 +296,7 @@ mod tests {
 
     #[test]
     fn solve_3x3_known() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
@@ -344,7 +358,10 @@ mod tests {
         let a = DenseMatrix::identity(2);
         assert!(matches!(
             a.solve(&[1.0]),
-            Err(LinalgError::DimensionMismatch { expected: 2, found: 1 })
+            Err(LinalgError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 }

@@ -27,6 +27,15 @@ pub enum LinalgError {
         /// Number of columns.
         cols: usize,
     },
+    /// A numeric-only refactorization was attempted with a matrix whose
+    /// sparsity pattern is not covered by the existing symbolic
+    /// factorization (see [`crate::SparseLu::refactor`]).
+    PatternChanged {
+        /// Column (of the new matrix) holding the uncovered entry.
+        column: usize,
+        /// Row of the uncovered entry.
+        row: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -41,6 +50,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "matrix is not square: {rows} x {cols}")
             }
+            LinalgError::PatternChanged { column, row } => write!(
+                f,
+                "matrix entry ({row}, {column}) is outside the factorized sparsity pattern"
+            ),
         }
     }
 }

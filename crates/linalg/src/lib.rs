@@ -11,7 +11,12 @@
 //! * [`TripletMatrix`] (coordinate) assembly and [`CsrMatrix`] / [`CscMatrix`]
 //!   compressed storage,
 //! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting and
-//!   an approximate-minimum-degree fill-reducing ordering,
+//!   an approximate-minimum-degree fill-reducing ordering, plus a KLU-style
+//!   numeric-only [`SparseLu::refactor`] path reusing the ordering, symbolic
+//!   pattern and pivot sequence for value-only matrix changes,
+//! * [`LowRankUpdate`] — Sherman–Morrison–Woodbury rank-k solve updates, so
+//!   a 1–2 entry conductance change (a clamp-diode toggle) updates an
+//!   existing factorization instead of discarding it,
 //! * iterative refinement and the small vector helpers in [`vecops`].
 //!
 //! # Example
@@ -38,6 +43,7 @@
 
 mod dense;
 mod error;
+mod lowrank;
 mod ordering;
 mod sparse;
 mod sparse_lu;
@@ -45,6 +51,7 @@ pub mod vecops;
 
 pub use dense::{DenseLu, DenseMatrix};
 pub use error::LinalgError;
+pub use lowrank::LowRankUpdate;
 pub use ordering::{min_degree_ordering, reverse_cuthill_mckee};
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 pub use sparse_lu::{ColumnOrdering, SparseLu, SparseLuOptions};

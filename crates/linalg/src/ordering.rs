@@ -8,9 +8,24 @@ use crate::CscMatrix;
 
 /// Builds the adjacency lists of the symmetrized pattern `A + Aᵀ`
 /// (self-loops removed, duplicates removed).
+///
+/// Lists are sized exactly before filling and deduplicated with a stamp
+/// array instead of per-list sort+dedup — ordering must stay a small
+/// fraction of factorization time. List order is insertion order; neither
+/// consumer depends on it (minimum degree selects by `(degree, index)`,
+/// RCM re-sorts neighbors by degree).
 fn symmetrized_adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
     let n = a.cols();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut counts = vec![0usize; n];
+    for c in 0..n {
+        for (r, _) in a.col(c) {
+            if r != c && r < n {
+                counts[c] += 1;
+                counts[r] += 1;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<usize>> = counts.iter().map(|&k| Vec::with_capacity(k)).collect();
     for c in 0..n {
         for (r, _) in a.col(c) {
             if r != c && r < n {
@@ -19,9 +34,13 @@ fn symmetrized_adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
             }
         }
     }
-    for list in &mut adj {
-        list.sort_unstable();
-        list.dedup();
+    let mut stamp = vec![usize::MAX; n];
+    for (v, list) in adj.iter_mut().enumerate() {
+        list.retain(|&w| {
+            let fresh = stamp[w] != v;
+            stamp[w] = v;
+            fresh
+        });
     }
     adj
 }
@@ -55,7 +74,16 @@ pub fn min_degree_ordering(a: &CscMatrix) -> Vec<usize> {
 
     // Simple bucketed selection: scan for current minimum degree. O(n^2) in
     // the worst case but the scan is cheap and n is bounded by circuit size.
-    for _ in 0..n {
+    // The clique merges below dedup through a stamp array and reuse two
+    // scratch buffers instead of allocating/sorting per neighbor — the
+    // resulting permutation is identical (degrees are set sizes and the
+    // selection tie-breaks on vertex index, neither depends on adjacency
+    // order), but a full factorization stops being dominated by ordering
+    // allocations.
+    let mut nbrs: Vec<usize> = Vec::new();
+    let mut merged: Vec<usize> = Vec::new();
+    let mut stamp = vec![usize::MAX; n];
+    for round in 0..n {
         let mut best = usize::MAX;
         let mut best_deg = usize::MAX;
         for v in 0..n {
@@ -72,19 +100,22 @@ pub fn min_degree_ordering(a: &CscMatrix) -> Vec<usize> {
         perm.push(p);
 
         // Form the clique of p's remaining neighbors.
-        let nbrs: Vec<usize> = adj[p].iter().copied().filter(|&u| !eliminated[u]).collect();
-        for &u in &nbrs {
+        nbrs.clear();
+        nbrs.extend(adj[p].iter().copied().filter(|&u| !eliminated[u]));
+        for ui in 0..nbrs.len() {
+            let u = nbrs[ui];
             // Merge: u's new neighborhood is (old ∪ nbrs) \ {u, eliminated}.
-            let mut merged: Vec<usize> = adj[u]
-                .iter()
-                .copied()
-                .filter(|&w| !eliminated[w] && w != u)
-                .chain(nbrs.iter().copied().filter(|&w| w != u))
-                .collect();
-            merged.sort_unstable();
-            merged.dedup();
+            merged.clear();
+            let tag = round * n + ui; // unique per (round, neighbor)
+            for &w in adj[u].iter().chain(&nbrs) {
+                if w != u && !eliminated[w] && stamp[w] != tag {
+                    stamp[w] = tag;
+                    merged.push(w);
+                }
+            }
             degree[u] = merged.len();
-            adj[u] = merged;
+            adj[u].clear();
+            adj[u].extend_from_slice(&merged);
         }
         adj[p] = Vec::new();
     }
@@ -103,14 +134,7 @@ pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
 
     // BFS from the lowest-degree vertex of each component.
-    loop {
-        let start = match (0..n)
-            .filter(|&v| !visited[v])
-            .min_by_key(|&v| degree[v])
-        {
-            Some(v) => v,
-            None => break,
-        };
+    while let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
         let mut queue = std::collections::VecDeque::new();
         visited[start] = true;
         queue.push_back(start);

@@ -104,7 +104,12 @@ struct Compressed {
     val: Vec<f64>,
 }
 
-fn compress(outer_n: usize, inner_n: usize, entries: &[(usize, usize, f64)], by_row: bool) -> Compressed {
+fn compress(
+    outer_n: usize,
+    inner_n: usize,
+    entries: &[(usize, usize, f64)],
+    by_row: bool,
+) -> Compressed {
     // Counting sort by outer index, then sort each segment by inner index and
     // merge duplicates.
     let key = |e: &(usize, usize, f64)| if by_row { e.0 } else { e.1 };
@@ -237,12 +242,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for (c, v) in self.row(r) {
                 s += v * x[c];
             }
-            y[r] = s;
+            *yr = s;
         }
         y
     }
@@ -313,23 +318,40 @@ impl CscMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// [`CscMatrix::mul_vec`] into a caller-provided buffer, reusing its
+    /// allocation (hot loops computing residuals every time step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut Vec<f64>) {
         assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
-        let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        y.clear();
+        y.resize(self.rows, 0.0);
+        for (c, &xc) in x.iter().enumerate() {
             if xc != 0.0 {
                 for (r, v) in self.col(c) {
                     y[r] += v * xc;
                 }
             }
         }
-        y
     }
 }
 
 impl fmt::Display for CscMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CscMatrix {}x{} nnz={}", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CscMatrix {}x{} nnz={}",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 

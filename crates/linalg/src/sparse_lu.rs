@@ -13,6 +13,22 @@ use crate::{CscMatrix, LinalgError};
 
 const NO_PIVOT: usize = usize::MAX;
 
+/// Sorts `keys` ascending, applying the same permutation to `vals`.
+/// Segments are small (one U column), so insertion sort is the right tool.
+fn sort_paired(keys: &mut [usize], vals: &mut [f64]) {
+    for i in 1..keys.len() {
+        let (k, v) = (keys[i], vals[i]);
+        let mut j = i;
+        while j > 0 && keys[j - 1] > k {
+            keys[j] = keys[j - 1];
+            vals[j] = vals[j - 1];
+            j -= 1;
+        }
+        keys[j] = k;
+        vals[j] = v;
+    }
+}
+
 /// Column-ordering strategy for [`SparseLu`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ColumnOrdering {
@@ -81,11 +97,15 @@ pub struct SparseLu {
     l_ptr: Vec<usize>,
     l_rows: Vec<usize>,
     l_vals: Vec<f64>,
-    /// U stored by columns; row indices are pivot *steps* (`0..k`), the
-    /// diagonal (pivot) stored last in each column segment.
+    /// U stored by columns; row indices are pivot *steps* (`0..k`), sorted
+    /// ascending within each column segment with the diagonal (pivot)
+    /// stored last.
     u_ptr: Vec<usize>,
     u_rows: Vec<usize>,
     u_vals: Vec<f64>,
+    /// Pivot zero-tolerance carried from the factorization options so
+    /// [`SparseLu::refactor`] applies the same singularity test.
+    zero_tol: f64,
 }
 
 impl SparseLu {
@@ -227,21 +247,32 @@ impl SparseLu {
             pinv[pivot_row] = k;
             row_perm[k] = pivot_row;
 
-            // Emit U column (entries at pivotal rows, pivot last) and L
-            // column (non-pivotal rows scaled by the pivot).
+            // Emit U column (entries at pivotal rows, ascending step order,
+            // pivot last) and L column (non-pivotal rows scaled by the
+            // pivot). The ascending order is a topological order of the
+            // column's update dependencies, which is what lets `refactor`
+            // replay the numeric phase without redoing the symbolic DFS.
+            //
+            // Entries that cancelled to exactly 0.0 are stored anyway: the
+            // stored structure must be the *full* symbolic closure, or a
+            // later `refactor` (same pattern, different values) would
+            // silently skip the update paths through the cancelled
+            // positions and produce a wrong factorization.
+            let u_col_start = u_rows.len();
             for &r in &pattern {
                 let step = pinv[r];
-                if step != NO_PIVOT && step != k && x[r] != 0.0 {
+                if step != NO_PIVOT && step != k {
                     u_rows.push(step);
                     u_vals.push(x[r]);
                 }
             }
+            sort_paired(&mut u_rows[u_col_start..], &mut u_vals[u_col_start..]);
             u_rows.push(k);
             u_vals.push(pivot_val);
             u_ptr.push(u_rows.len());
 
             for &r in &pattern {
-                if pinv[r] == NO_PIVOT && x[r] != 0.0 {
+                if pinv[r] == NO_PIVOT {
                     l_rows.push(r);
                     l_vals.push(x[r] / pivot_val);
                 }
@@ -263,7 +294,116 @@ impl SparseLu {
             u_ptr,
             u_rows,
             u_vals,
+            zero_tol: opts.zero_tolerance,
         })
+    }
+
+    /// Recomputes the numeric factorization for a matrix with the **same**
+    /// (or a subset of the) sparsity pattern as the one originally
+    /// factored, reusing the column ordering, the symbolic `L`/`U`
+    /// structure and the pivot sequence — the KLU-style fast path for
+    /// value-only matrix changes (a circuit re-stamped with different
+    /// conductances).
+    ///
+    /// This skips the symbolic DFS and the pivot search entirely, so it is
+    /// several times cheaper than [`SparseLu::factor`]; the cost is that
+    /// the frozen pivot sequence may be less numerically favourable for
+    /// the new values. A pivot that collapses below `10⁻¹⁰` of its
+    /// column's magnitude is rejected as [`LinalgError::Singular`] so the
+    /// caller can fall back to a fresh pivoting factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`] for
+    /// shape mismatches, [`LinalgError::PatternChanged`] if `a` has an
+    /// entry outside the factorized pattern, and [`LinalgError::Singular`]
+    /// if a frozen pivot becomes numerically unusable.
+    ///
+    /// On error the factor values are partially overwritten: the
+    /// factorization **must not** be used for further solves and should be
+    /// replaced via [`SparseLu::factor`].
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if a.cols() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: a.cols(),
+            });
+        }
+        let n = self.n;
+        let mut x = vec![0.0f64; n];
+        let mut stamp = vec![usize::MAX; n];
+
+        for k in 0..n {
+            let col = self.q[k];
+            let (ulo, uhi) = (self.u_ptr[k], self.u_ptr[k + 1]);
+            let (llo, lhi) = (self.l_ptr[k], self.l_ptr[k + 1]);
+
+            // Zero the workspace over the column's factorized pattern.
+            for idx in ulo..uhi - 1 {
+                let r = self.row_perm[self.u_rows[idx]];
+                stamp[r] = k;
+                x[r] = 0.0;
+            }
+            let pivot_row = self.row_perm[k];
+            stamp[pivot_row] = k;
+            x[pivot_row] = 0.0;
+            for idx in llo..lhi {
+                let r = self.l_rows[idx];
+                stamp[r] = k;
+                x[r] = 0.0;
+            }
+
+            // Scatter the new values; anything outside the pattern means
+            // the symbolic factorization no longer applies.
+            for (r, v) in a.col(col) {
+                if stamp[r] != k {
+                    return Err(LinalgError::PatternChanged {
+                        column: col,
+                        row: r,
+                    });
+                }
+                x[r] += v;
+            }
+
+            // Replay the numeric update. U entries are stored in ascending
+            // pivot-step order, which is a topological order of the
+            // dependencies (L column `s` only touches rows pivoted after
+            // `s`), so x[row_perm[s]] is final when step `s` is applied.
+            for idx in ulo..uhi - 1 {
+                let s = self.u_rows[idx];
+                let xval = x[self.row_perm[s]];
+                self.u_vals[idx] = xval;
+                if xval != 0.0 {
+                    for j in self.l_ptr[s]..self.l_ptr[s + 1] {
+                        x[self.l_rows[j]] -= xval * self.l_vals[j];
+                    }
+                }
+            }
+
+            // Frozen pivot: check it is still usable for the new values.
+            let pivot_val = x[pivot_row];
+            let mut col_max = pivot_val.abs();
+            for idx in llo..lhi {
+                col_max = col_max.max(x[self.l_rows[idx]].abs());
+            }
+            if !pivot_val.is_finite()
+                || pivot_val.abs() <= self.zero_tol
+                || pivot_val.abs() < 1e-10 * col_max
+            {
+                return Err(LinalgError::Singular { column: col });
+            }
+            self.u_vals[uhi - 1] = pivot_val;
+            for idx in llo..lhi {
+                self.l_vals[idx] = x[self.l_rows[idx]] / pivot_val;
+            }
+        }
+        Ok(())
     }
 
     /// Solves `A x = b`.
@@ -273,42 +413,63 @@ impl SparseLu {
     /// [`LinalgError::DimensionMismatch`] if `b.len()` differs from the
     /// system dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        self.solve_into(b, &mut work, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A x = b` into caller-provided buffers: on success `out`
+    /// holds the solution. Both buffers are resized as needed, so hot loops
+    /// (a transient simulation solving thousands of time steps) reuse their
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::solve`].
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
         if b.len() != self.n {
             return Err(LinalgError::DimensionMismatch {
                 expected: self.n,
                 found: b.len(),
             });
         }
-        // Forward solve L z = P b; z indexed by pivot step.
-        let mut work: Vec<f64> = b.to_vec();
-        let mut z = vec![0.0f64; self.n];
+        // Forward solve L z = P b; z (in `out`) indexed by pivot step.
+        work.clear();
+        work.extend_from_slice(b);
+        out.clear();
+        out.resize(self.n, 0.0);
         for step in 0..self.n {
             let zk = work[self.row_perm[step]];
-            z[step] = zk;
+            out[step] = zk;
             if zk != 0.0 {
                 for idx in self.l_ptr[step]..self.l_ptr[step + 1] {
                     work[self.l_rows[idx]] -= zk * self.l_vals[idx];
                 }
             }
         }
-        // Backward solve U y = z; U columns hold steps, diagonal last.
-        let mut y = z;
+        // Backward solve U y = z in place; U columns hold steps, diagonal last.
         for step in (0..self.n).rev() {
             let (lo, hi) = (self.u_ptr[step], self.u_ptr[step + 1]);
-            let yk = y[step] / self.u_vals[hi - 1];
-            y[step] = yk;
+            let yk = out[step] / self.u_vals[hi - 1];
+            out[step] = yk;
             if yk != 0.0 {
                 for idx in lo..(hi - 1) {
-                    y[self.u_rows[idx]] -= yk * self.u_vals[idx];
+                    out[self.u_rows[idx]] -= yk * self.u_vals[idx];
                 }
             }
         }
         // Undo the column permutation: x[q[k]] = y[k].
-        let mut xout = vec![0.0f64; self.n];
         for k in 0..self.n {
-            xout[self.q[k]] = y[k];
+            work[self.q[k]] = out[k];
         }
-        Ok(xout)
+        std::mem::swap(work, out);
+        Ok(())
     }
 
     /// Solves `A x = b`, then applies one step of iterative refinement using
@@ -376,7 +537,11 @@ mod tests {
             let n = 2 + (trial % 12);
             let mut t = TripletMatrix::new(n, n);
             for i in 0..n {
-                t.push(i, i, rng.gen_range(1.0..4.0) * if rng.gen_bool(0.3) { -1.0 } else { 1.0 });
+                t.push(
+                    i,
+                    i,
+                    rng.gen_range(1.0..4.0) * if rng.gen_bool(0.3) { -1.0 } else { 1.0 },
+                );
             }
             for _ in 0..(2 * n) {
                 let i = rng.gen_range(0..n);
@@ -439,9 +604,19 @@ mod tests {
         let b = [1.0, 2.0, 3.0, 4.0, 5.0];
         let csc = t.to_csc();
         let xref = solve_dense_reference(&t, &b);
-        for ord in [ColumnOrdering::Natural, ColumnOrdering::MinDegree, ColumnOrdering::Rcm] {
-            let opts = SparseLuOptions { ordering: ord, ..Default::default() };
-            let x = SparseLu::factor_with(&csc, &opts).unwrap().solve(&b).unwrap();
+        for ord in [
+            ColumnOrdering::Natural,
+            ColumnOrdering::MinDegree,
+            ColumnOrdering::Rcm,
+        ] {
+            let opts = SparseLuOptions {
+                ordering: ord,
+                ..Default::default()
+            };
+            let x = SparseLu::factor_with(&csc, &opts)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
             for (a, r) in x.iter().zip(&xref) {
                 assert!((a - r).abs() < 1e-10, "{ord:?}");
             }
@@ -507,6 +682,161 @@ mod tests {
     }
 
     #[test]
+    fn refactor_matches_fresh_factorization() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = 3 + (trial % 10);
+            // Fixed pattern, two value assignments.
+            let mut pos: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            for _ in 0..(2 * n) {
+                pos.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+            }
+            let fill = |rng: &mut StdRng| {
+                let mut t = TripletMatrix::new(n, n);
+                for (k, &(i, j)) in pos.iter().enumerate() {
+                    let v = if k < n {
+                        rng.gen_range(2.0..5.0) * if rng.gen_bool(0.3) { -1.0 } else { 1.0 }
+                    } else {
+                        rng.gen_range(-0.5..0.5)
+                    };
+                    t.push(i, j, v);
+                }
+                t
+            };
+            let a1 = fill(&mut rng).to_csc();
+            let a2 = fill(&mut rng).to_csc();
+            let mut lu = SparseLu::factor(&a1).unwrap();
+            lu.refactor(&a2).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x = lu.solve(&b).unwrap();
+            let ax = a2.mul_vec(&x);
+            for (ai, bi) in ax.iter().zip(&b) {
+                assert!(
+                    (ai - bi).abs() < 1e-8,
+                    "trial {trial}: residual {}",
+                    ai - bi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_survives_exact_cancellation_in_original_factor() {
+        // Elimination of this matrix cancels a fill entry to exactly 0.0.
+        // The stored structure must still contain that position, or a
+        // refactorization with different values silently skips the update
+        // path through it and yields a wrong (but non-erroring) factor.
+        let entries = [
+            (0, 0, 3.0),
+            (0, 3, -1.0),
+            (1, 1, 3.0),
+            (1, 3, 1.0),
+            (2, 0, -1.0),
+            (2, 1, -1.0),
+            (2, 2, 2.0),
+            (3, 3, 3.0),
+        ];
+        let fill = |scale: &dyn Fn(usize) -> f64| {
+            let mut t = TripletMatrix::new(4, 4);
+            for (i, &(r, c, v)) in entries.iter().enumerate() {
+                t.push(r, c, v * scale(i));
+            }
+            t.to_csc()
+        };
+        let a1 = fill(&|_| 1.0);
+        // Perturb every entry differently so any skipped update shows up.
+        let a2 = fill(&|i| 1.0 + 0.1 * (i as f64 + 1.0));
+        for ordering in [
+            ColumnOrdering::Natural,
+            ColumnOrdering::MinDegree,
+            ColumnOrdering::Rcm,
+        ] {
+            let opts = SparseLuOptions {
+                ordering,
+                ..Default::default()
+            };
+            let mut lu = SparseLu::factor_with(&a1, &opts).unwrap();
+            lu.refactor(&a2).unwrap();
+            let b = [1.0, -2.0, 3.0, -4.0];
+            let x = lu.solve(&b).unwrap();
+            let x_ref = SparseLu::factor_with(&a2, &opts)
+                .unwrap()
+                .solve(&b)
+                .unwrap();
+            for (a, r) in x.iter().zip(&x_ref) {
+                assert!((a - r).abs() < 1e-12, "{ordering:?}: {a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_new_pattern() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, 4.0);
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        t.push(0, 2, 1.0); // outside the factorized pattern
+        assert!(matches!(
+            lu.refactor(&t.to_csc()),
+            Err(LinalgError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_subset_pattern_is_allowed() {
+        // Dropping an entry (structural zero) keeps the factorization valid.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, 4.0);
+        t.push(0, 2, 1.0);
+        t.push(2, 0, 0.5);
+        let csc = t.to_csc();
+        let mut lu = SparseLu::factor(&csc).unwrap();
+        let mut t2 = TripletMatrix::new(3, 3);
+        t2.push(0, 0, 5.0);
+        t2.push(1, 1, 6.0);
+        t2.push(2, 2, 7.0);
+        let csc2 = t2.to_csc();
+        lu.refactor(&csc2).unwrap();
+        let x = lu.solve(&[5.0, 12.0, 21.0]).unwrap();
+        for (xi, e) in x.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((xi - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_detects_collapsed_pivot() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut t2 = TripletMatrix::new(2, 2);
+        t2.push(0, 0, 0.0);
+        t2.push(1, 1, 1.0);
+        assert!(matches!(
+            lu.refactor(&t2.to_csc()),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_reuses_buffers() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 4.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        lu.solve_into(&[2.0, 4.0], &mut work, &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 1.0]);
+        lu.solve_into(&[4.0, 8.0], &mut work, &mut out).unwrap();
+        assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    #[test]
     fn dimension_mismatch_on_solve() {
         let mut t = TripletMatrix::new(2, 2);
         t.push(0, 0, 1.0);
@@ -514,7 +844,10 @@ mod tests {
         let lu = SparseLu::factor(&t.to_csc()).unwrap();
         assert!(matches!(
             lu.solve(&[1.0]),
-            Err(LinalgError::DimensionMismatch { expected: 2, found: 1 })
+            Err(LinalgError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 }

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use ohmflow_linalg::{
-    min_degree_ordering, reverse_cuthill_mckee, ColumnOrdering, DenseMatrix, SparseLu,
-    SparseLuOptions, TripletMatrix,
+    min_degree_ordering, reverse_cuthill_mckee, ColumnOrdering, DenseMatrix, LowRankUpdate,
+    SparseLu, SparseLuOptions, TripletMatrix,
 };
 
 /// A random diagonally-dominant sparse system (always solvable).
@@ -90,6 +90,73 @@ proptest! {
         let y2 = t.to_csc().mul_vec(&b);
         for (a, c) in y1.iter().zip(&y2) {
             prop_assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    /// Rank-1 Woodbury updates must agree with a from-scratch
+    /// factorization of the updated matrix to 1e-9 — including on the
+    /// indefinite systems (negative diagonal entries) the substrate's
+    /// negative resistors produce. This is the correctness contract the
+    /// incremental frozen-DC engine relies on for clamp-diode toggles.
+    #[test]
+    fn rank1_update_matches_full_refactorization(
+        (t, b) in arb_system(24),
+        pick in any::<u64>(),
+        dg in 0.5..50.0f64,
+    ) {
+        let n = b.len();
+        let csc = t.to_csc();
+        let base = SparseLu::factor(&csc).unwrap();
+
+        // A conductance-style symmetric rank-1 change between two unknowns
+        // (or one unknown and "ground"), like a clamp diode toggling.
+        let a = (pick % n as u64) as usize;
+        let bnode = ((pick >> 32) % n as u64) as usize;
+        let d: Vec<(usize, f64)> = if a == bnode {
+            vec![(a, 1.0)]
+        } else {
+            vec![(a, 1.0), (bnode, -1.0)]
+        };
+        let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
+
+        let mut up = LowRankUpdate::new(n);
+        up.push(&base, &u, &d).unwrap();
+
+        // Reference: stamp the same change into the matrix and refactor.
+        let mut t2 = t;
+        for &(i, si) in &d {
+            for &(j, sj) in &d {
+                t2.push(i, j, dg * si * sj);
+            }
+        }
+        let refactored = SparseLu::factor(&t2.to_csc()).unwrap();
+
+        let x_up = up.solve(&base, &b).unwrap();
+        let x_ref = refactored.solve(&b).unwrap();
+        for (xu, xr) in x_up.iter().zip(&x_ref) {
+            prop_assert!((xu - xr).abs() < 1e-9, "update {xu} vs refactor {xr}");
+        }
+    }
+
+    /// Numeric-only refactorization (same pattern, new values) must agree
+    /// with a fresh pivoting factorization on solvable systems.
+    #[test]
+    fn numeric_refactor_matches_fresh_factor((t, b) in arb_system(20), scale in 0.5..2.0f64) {
+        let csc = t.to_csc();
+        let mut lu = SparseLu::factor(&csc).unwrap();
+        // Same pattern, uniformly scaled values (stays diagonally dominant).
+        let mut t2 = TripletMatrix::new(csc.rows(), csc.cols());
+        for c in 0..csc.cols() {
+            for (r, v) in csc.col(c) {
+                t2.push(r, c, v * scale);
+            }
+        }
+        let csc2 = t2.to_csc();
+        lu.refactor(&csc2).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let x_ref = SparseLu::factor(&csc2).unwrap().solve(&b).unwrap();
+        for (a, r) in x.iter().zip(&x_ref) {
+            prop_assert!((a - r).abs() < 1e-9, "{a} vs {r}");
         }
     }
 }

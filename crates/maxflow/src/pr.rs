@@ -89,11 +89,11 @@ pub fn push_relabel(g: &FlowNetwork, variant: PushRelabelVariant) -> FlowResult 
     let mut highest = 0usize;
     let mut in_active = vec![false; n];
     let activate = |v: usize,
-                        label: &[usize],
-                        fifo: &mut VecDeque<usize>,
-                        buckets: &mut Vec<Vec<usize>>,
-                        highest: &mut usize,
-                        in_active: &mut [bool]| {
+                    label: &[usize],
+                    fifo: &mut VecDeque<usize>,
+                    buckets: &mut Vec<Vec<usize>>,
+                    highest: &mut usize,
+                    in_active: &mut [bool]| {
         if v == s || v == t || in_active[v] {
             return;
         }
@@ -109,10 +109,15 @@ pub fn push_relabel(g: &FlowNetwork, variant: PushRelabelVariant) -> FlowResult 
             }
         }
     };
-    for v in 0..n {
-        if excess[v] > 0 {
-            activate(v, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
-        }
+    for v in (0..n).filter(|&v| excess[v] > 0) {
+        activate(
+            v,
+            &label,
+            &mut fifo,
+            &mut buckets,
+            &mut highest,
+            &mut in_active,
+        );
     }
 
     let relabel_interval = (n.max(4)) * 2;
@@ -196,7 +201,14 @@ pub fn push_relabel(g: &FlowNetwork, variant: PushRelabelVariant) -> FlowResult 
                 excess[u] += amount;
                 discharged = true;
                 if u != s && u != t {
-                    activate(u, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
+                    activate(
+                        u,
+                        &label,
+                        &mut fifo,
+                        &mut buckets,
+                        &mut highest,
+                        &mut in_active,
+                    );
                 }
             } else {
                 current_arc[v] += 1;
@@ -204,7 +216,14 @@ pub fn push_relabel(g: &FlowNetwork, variant: PushRelabelVariant) -> FlowResult 
         }
         let _ = discharged;
         if excess[v] > 0 && label[v] < 2 * n {
-            activate(v, &label, &mut fifo, &mut buckets, &mut highest, &mut in_active);
+            activate(
+                v,
+                &label,
+                &mut fifo,
+                &mut buckets,
+                &mut highest,
+                &mut in_active,
+            );
         }
 
         // Periodic global relabel keeps labels sharp on big instances.
@@ -260,8 +279,7 @@ fn return_stranded_excess(rg: &mut ResidualGraph, excess: &mut [i64]) {
                     // Found a flow cycle nxt → … → cur → nxt: cancel it and
                     // restart the walk (excess is unchanged by the cancel).
                     let start = pos[nxt];
-                    let cycle: Vec<usize> =
-                        path[start..].iter().copied().chain([a]).collect();
+                    let cycle: Vec<usize> = path[start..].iter().copied().chain([a]).collect();
                     let delta = cycle
                         .iter()
                         .map(|&c| rg.residual(c))
@@ -291,7 +309,6 @@ fn return_stranded_excess(rg: &mut ResidualGraph, excess: &mut [i64]) {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

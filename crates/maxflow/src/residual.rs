@@ -109,7 +109,9 @@ impl ResidualGraph {
 
     /// Extracts the per-edge flow vector.
     pub fn edge_flows(&self) -> Vec<i64> {
-        (0..self.head.len() / 2).map(|k| self.edge_flow(k)).collect()
+        (0..self.head.len() / 2)
+            .map(|k| self.edge_flow(k))
+            .collect()
     }
 
     /// Vertices reachable from the source in the residual graph — the

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let waves = sol.waveforms.as_ref().expect("transient records waveforms");
 
     println!("convergence time: {:.3e} s", sol.convergence_time.unwrap());
-    println!("{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}", "t (s)", "x1", "x2", "x3", "x4", "x5");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "t (s)", "x1", "x2", "x3", "x4", "x5"
+    );
     let times = waves.times();
     let n = times.len();
     let nodes: Vec<_> = waves.probed_nodes().collect();

@@ -1,0 +1,93 @@
+//! Regression: the incremental frozen-DC engine (persistent session,
+//! rank-1 clamp updates, periodic refactorization) must reproduce the
+//! reference full-refactor engine's `AnalogSolution` — value, per-edge
+//! flows and convergence time — on the paper's worked examples.
+
+use ohmflow::builder::CapacityMapping;
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::AnalogSolution;
+use ohmflow_graph::FlowNetwork;
+
+fn run(g: &FlowNetwork, engine: RelaxationEngine) -> AnalogSolution {
+    let mut cfg = AnalogConfig::evaluation(10e9);
+    cfg.build.capacity_mapping = CapacityMapping::Exact;
+    cfg.engine = engine;
+    AnalogMaxFlow::new(cfg).solve(g).expect("transient solve")
+}
+
+fn assert_engines_agree(g: &FlowNetwork, name: &str) {
+    let incremental = run(g, RelaxationEngine::Incremental);
+    let reference = run(g, RelaxationEngine::FullRefactor);
+
+    let tol = |r: f64| 1e-9 * r.abs().max(1.0);
+    assert!(
+        (incremental.value - reference.value).abs() < tol(reference.value),
+        "{name}: value {} vs reference {}",
+        incremental.value,
+        reference.value
+    );
+    assert!(
+        (incremental.value_from_current - reference.value_from_current).abs()
+            < tol(reference.value_from_current),
+        "{name}: current readout {} vs reference {}",
+        incremental.value_from_current,
+        reference.value_from_current
+    );
+    assert_eq!(
+        incremental.edge_flows.len(),
+        reference.edge_flows.len(),
+        "{name}: edge count"
+    );
+    for (e, (fi, fr)) in incremental
+        .edge_flows
+        .iter()
+        .zip(&reference.edge_flows)
+        .enumerate()
+    {
+        assert!(
+            (fi - fr).abs() < tol(*fr),
+            "{name}: edge {e} flow {fi} vs reference {fr}"
+        );
+    }
+    // Identical switching sequences sample the same settle instant.
+    let ti = incremental.convergence_time.expect("incremental settles");
+    let tr = reference.convergence_time.expect("reference settles");
+    assert!(
+        (ti - tr).abs() < 1e-9 * tr.max(1e-12),
+        "{name}: convergence time {ti:.6e} vs reference {tr:.6e}"
+    );
+}
+
+#[test]
+fn incremental_engine_matches_reference_on_fig5a() {
+    assert_engines_agree(&ohmflow_graph::generators::fig5a(), "fig5a");
+}
+
+#[test]
+fn incremental_engine_matches_reference_on_fig15a_100() {
+    assert_engines_agree(&ohmflow_graph::generators::fig15a(100), "fig15a(100)");
+}
+
+#[test]
+fn batch_solve_matches_sequential() {
+    let graphs = vec![
+        ohmflow_graph::generators::fig5a(),
+        ohmflow_graph::generators::fig15a(100),
+        ohmflow_graph::generators::parallel_paths(3, 4).unwrap(),
+    ];
+    let mut cfg = AnalogConfig::ideal();
+    cfg.params.v_flow = 400.0;
+    let solver = AnalogMaxFlow::new(cfg);
+    let batch = solver.solve_batch(&graphs);
+    assert_eq!(batch.len(), graphs.len());
+    for (g, b) in graphs.iter().zip(batch) {
+        let b = b.expect("batch solve");
+        let s = solver.solve(g).expect("sequential solve");
+        assert!(
+            (b.value - s.value).abs() < 1e-12 * s.value.abs().max(1.0),
+            "batch {} vs sequential {}",
+            b.value,
+            s.value
+        );
+    }
+}

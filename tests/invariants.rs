@@ -17,7 +17,8 @@ fn arb_network(max_n: usize, max_extra_edges: usize) -> impl Strategy<Value = Fl
         let mut g = FlowNetwork::new(n, 0, n - 1).expect("n >= 2");
         // A guaranteed s-t path.
         for i in 0..n - 1 {
-            g.add_edge(i, i + 1, rng.gen_range(1..=9)).expect("path edge");
+            g.add_edge(i, i + 1, rng.gen_range(1..=9))
+                .expect("path edge");
         }
         for _ in 0..extra {
             let a = rng.gen_range(0..n);

@@ -1,0 +1,190 @@
+//! Offline work-alike of the `rayon` crate covering the surface this
+//! workspace uses: `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! [`join`], executed on `std::thread::scope` threads with dynamic
+//! (work-stealing-ish) index distribution via an atomic cursor.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by parallel operations.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Common imports for parallel iteration.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `par_iter()` entry point for by-reference collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The per-item reference type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The operations shared by this crate's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Evaluates the pipeline in parallel, in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> ParMap<Self, F> {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects into a container (only `Vec<Item>` is supported).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Parallel map adapter. The map closure runs on worker threads.
+#[derive(Debug)]
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync> ParallelIterator for ParMap<I, F> {
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.inner.run();
+        let f = &self.f;
+        let n = items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Hand items out through an atomic cursor so fast workers pick up
+        // the slack of slow ones; items are moved into per-index cells.
+        let cells: Vec<std::sync::Mutex<Option<I::Item>>> = items
+            .into_iter()
+            .map(|it| std::sync::Mutex::new(Some(it)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let mut chunks: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let item = cells[i]
+                                .lock()
+                                .expect("cell lock")
+                                .take()
+                                .expect("each cell taken once");
+                            out.push((i, f(item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("rayon worker panicked"));
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in chunks.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index produced"))
+            .collect()
+    }
+}
+
+/// Conversion from an ordered parallel result buffer.
+pub trait FromParallelIterator<T> {
+    /// Builds the container from items in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_owned() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}
