@@ -1,0 +1,137 @@
+//! Machine-readable perf snapshot for CI: runs the fast benchmark suite
+//! with wall-clock timing and writes `BENCH_PR2.json` (ns/op per scenario,
+//! plus derived speedups), so the repo's perf trajectory is tracked by
+//! artifact instead of anecdote.
+//!
+//! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
+//! (`OHMFLOW_BENCH_OUT` overrides the output path.)
+
+use ohmflow::builder::CapacityMapping;
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::SubstrateTemplate;
+use ohmflow_bench::{fig10_instance, median_ns};
+use ohmflow_circuit::{DcTemplate, FrozenDcSession};
+use ohmflow_graph::generators;
+
+fn main() {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, ns: f64| {
+        println!("{name:<44} {:>12.0} ns/op", ns);
+        entries.push((name.to_owned(), ns));
+    };
+
+    // --- Template reuse on a Fig. 10-style same-topology sweep. ---
+    let g = fig10_instance(128, false, 42);
+    let mut cfg = AnalogConfig::evaluation_quasi_static(10e9);
+    cfg.params.v_flow = 800.0;
+    let solver = AnalogMaxFlow::new(cfg.clone());
+    solver.solve_templated(&g).expect("prime template");
+    let cold = median_ns(5, || solver.solve(&g).expect("solve").value);
+    let warm = median_ns(5, || solver.solve_templated(&g).expect("solve").value);
+    push("quasi_static_rmat128/cold_build_solve", cold);
+    push("quasi_static_rmat128/template_reuse_solve", warm);
+
+    // Template creation + value-only instantiation, in isolation.
+    let t_template = median_ns(5, || {
+        SubstrateTemplate::new(&g, &cfg.params, &cfg.build).expect("template")
+    });
+    let tpl = solver.template_for(&g).expect("template");
+    let t_inst = median_ns(5, || tpl.instantiate(&g).expect("instantiate"));
+    push("quasi_static_rmat128/template_create", t_template);
+    push("quasi_static_rmat128/template_instantiate", t_inst);
+
+    // --- Session creation: cold path vs numeric-only from template. ---
+    let sc = tpl.instantiate(&g).expect("instantiate");
+    let dc = DcTemplate::new(sc.circuit()).expect("dc template");
+    let s_cold = median_ns(5, || {
+        FrozenDcSession::new(sc.circuit()).expect("session").stats()
+    });
+    let s_tpl = median_ns(5, || {
+        FrozenDcSession::with_template(sc.circuit(), &dc)
+            .expect("session")
+            .stats()
+    });
+    push("session_rmat128/cold", s_cold);
+    push("session_rmat128/from_template", s_tpl);
+
+    // --- Relaxation-transient engines (PR 1's headline path). ---
+    let g15 = generators::fig15a(100);
+    for (label, engine) in [
+        ("incremental", RelaxationEngine::Incremental),
+        ("full_refactor", RelaxationEngine::FullRefactor),
+    ] {
+        let mut tcfg = AnalogConfig::evaluation(10e9);
+        tcfg.build.capacity_mapping = CapacityMapping::Exact;
+        tcfg.engine = engine;
+        let tsolver = AnalogMaxFlow::new(tcfg);
+        let ns = median_ns(5, || tsolver.solve(&g15).expect("solve").value);
+        push(&format!("transient_fig15a100/{label}"), ns);
+    }
+
+    // --- Batch throughput: same-topology fan-out vs sequential. ---
+    let batch: Vec<_> = (1..=6)
+        .map(|s| g.scaled_capacities(s).expect("scaled"))
+        .collect();
+    let seq = median_ns(3, || {
+        batch
+            .iter()
+            .map(|g| solver.solve(g).expect("solve").value)
+            .sum::<f64>()
+    });
+    let par = median_ns(3, || {
+        solver
+            .solve_batch(&batch)
+            .into_iter()
+            .map(|r| r.expect("solve").value)
+            .sum::<f64>()
+    });
+    push("batch6_rmat128/sequential_cold", seq);
+    push("batch6_rmat128/solve_batch_templated", par);
+
+    // --- Report. ---
+    let speedup = |a: &str, b: &str| {
+        let get = |n: &str| entries.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        match (get(a), get(b)) {
+            (Some(x), Some(y)) if y > 0.0 => x / y,
+            _ => 0.0,
+        }
+    };
+    let template_speedup = speedup(
+        "quasi_static_rmat128/cold_build_solve",
+        "quasi_static_rmat128/template_reuse_solve",
+    );
+    let engine_speedup = speedup(
+        "transient_fig15a100/full_refactor",
+        "transient_fig15a100/incremental",
+    );
+    let batch_speedup = speedup(
+        "batch6_rmat128/sequential_cold",
+        "batch6_rmat128/solve_batch_templated",
+    );
+    println!("template reuse speedup : {template_speedup:.2}x");
+    println!("incremental engine speedup : {engine_speedup:.2}x");
+    println!("batch speedup : {batch_speedup:.2}x");
+
+    // Hand-rolled JSON (no serde in the offline vendor set).
+    let mut json =
+        String::from("{\n  \"schema\": \"ohmflow-bench-report/1\",\n  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    json.push_str(&format!(
+        "    \"template_reuse_vs_cold\": {template_speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"incremental_vs_full_refactor\": {engine_speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"batch_vs_sequential\": {batch_speedup:.3}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let out = std::env::var("OHMFLOW_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_owned());
+    std::fs::write(&out, json).expect("write bench report");
+    println!("wrote {out}");
+}

@@ -7,8 +7,9 @@ use std::time::Instant;
 
 use ohmflow::builder::{build, BuildOptions, CapacityMapping, Drive, NegativeResistorImpl};
 use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
-use ohmflow::SubstrateParams;
-use ohmflow_circuit::FrozenDcSession;
+use ohmflow::{SubstrateParams, SubstrateTemplate};
+use ohmflow_bench::median_ns;
+use ohmflow_circuit::{DcTemplate, FrozenDcSession};
 use ohmflow_graph::generators;
 
 fn main() {
@@ -29,6 +30,32 @@ fn main() {
         ckt.diode_count(),
         ckt.node_count() - 1
     );
+
+    // Cold-path phase breakdown. The cold session runs
+    // structure + stamp + ordering + symbolic + numeric; the template
+    // session reruns only stamp + numeric (shared symbolic plan), so the
+    // difference is the amortizable ordering/symbolic share.
+    let t_build = median_ns(9, || build(&g, &params, &bo).expect("build"));
+    let dc_tpl = DcTemplate::new(ckt).expect("dc template");
+    let t_cold = median_ns(9, || FrozenDcSession::new(ckt).expect("session"));
+    let t_numeric = median_ns(9, || {
+        FrozenDcSession::with_template(ckt, &dc_tpl).expect("session")
+    });
+    let t_tpl = median_ns(5, || {
+        SubstrateTemplate::new(&g, &params, &bo).expect("template")
+    });
+    let sub_tpl = SubstrateTemplate::new(&g, &params, &bo).expect("template");
+    let t_inst = median_ns(9, || sub_tpl.instantiate(&g).expect("instantiate"));
+    println!("--- cold-path phases ---");
+    println!("substrate build                 : {t_build:>10.0} ns");
+    println!("session cold (sym+numeric)      : {t_cold:>10.0} ns");
+    println!("session from template (numeric) : {t_numeric:>10.0} ns");
+    println!(
+        "  => ordering+symbolic share      : {:>10.0} ns",
+        (t_cold - t_numeric).max(0.0)
+    );
+    println!("substrate template create       : {t_tpl:>10.0} ns");
+    println!("template instantiate (values)   : {t_inst:>10.0} ns");
 
     // Raw session throughput: quiescent steps (skip path) and flip steps.
     let n_diodes = ckt.diode_count();

@@ -37,6 +37,21 @@ pub fn fig10_instance(vertices: usize, dense: bool, seed: u64) -> FlowNetwork {
     cfg.generate().expect("rmat instance")
 }
 
+/// Median wall-clock nanoseconds of `f` over `reps` runs, with one warmup
+/// run discarded — the shared timing primitive of the profile/report bins.
+pub fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let _ = f();
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
 /// Times the push-relabel CPU baseline (median of `reps` runs), returning
 /// `(seconds, flow value)`.
 pub fn time_push_relabel(g: &FlowNetwork, reps: usize) -> (f64, i64) {

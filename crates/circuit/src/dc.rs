@@ -1,10 +1,117 @@
-use ohmflow_linalg::{CscMatrix, LowRankUpdate, SparseLu};
+use std::sync::Arc;
+
+use ohmflow_linalg::{CscMatrix, LowRankUpdate, LuWorkspace, SparseLu, SymbolicLu};
 
 use crate::circuit::Circuit;
 use crate::element::Element;
 use crate::error::CircuitError;
 use crate::ids::{ElementId, NodeId};
 use crate::mna::{self, DeviceState, MnaStructure, Solution, StampMode};
+
+/// A reusable, shareable cold-path artifact for one circuit *topology*: the
+/// MNA unknown map, the base (all-states-initial) matrix sparsity, and its
+/// factorization — symbolic ordering/pattern plus one numeric factor.
+///
+/// Building a template performs the entire topology-dependent cold path
+/// once: unknown indexing, stamping, fill-reducing ordering, symbolic
+/// analysis, numeric factorization. Every subsequent analysis of a circuit
+/// with the **same structure** (same element list shape and terminals —
+/// element *values* are free to differ) can then start from the template:
+///
+/// * [`DcAnalysis::with_template`] primes the operating-point solve's
+///   factorization cache with a numeric-only refactorization,
+/// * [`FrozenDcSession::with_template`] builds an incremental session
+///   without redoing the structure/ordering/symbolic work,
+///
+/// and both fall back to the cold path transparently when the template
+/// does not match the circuit. A template owns no borrow of the circuit it
+/// was derived from, is `Send + Sync`, and is typically held behind an
+/// [`Arc`] and shared across batch workers; each worker's numeric
+/// refactorization clones only the value arrays while the symbolic plan
+/// ([`DcTemplate::symbolic`]) is shared by pointer.
+#[derive(Debug)]
+pub struct DcTemplate {
+    st: MnaStructure,
+    /// Whether each element carries a branch-current unknown, element
+    /// order: the structural fingerprint a candidate circuit must match.
+    branch_shape: Vec<bool>,
+    lu: SparseLu,
+    n_nodes: usize,
+}
+
+impl DcTemplate {
+    /// Runs the cold path on `ckt` and captures the reusable artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the initial-state configuration
+    /// is unsolvable (floating nodes, inconsistent source loops).
+    pub fn new(ckt: &Circuit) -> Result<Self, CircuitError> {
+        let st = MnaStructure::new(ckt);
+        let states = mna::initial_states(ckt);
+        let branch_shape = ckt
+            .elements()
+            .iter()
+            .map(Element::has_branch_current)
+            .collect();
+        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+        let lu = SparseLu::factor(&m)?;
+        Ok(DcTemplate {
+            st,
+            branch_shape,
+            lu,
+            n_nodes: ckt.node_count(),
+        })
+    }
+
+    /// The unknown map shared by every circuit this template matches.
+    pub fn structure(&self) -> &MnaStructure {
+        &self.st
+    }
+
+    /// The shared symbolic factorization (ordering + pattern + pivot plan).
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        self.lu.symbolic()
+    }
+
+    /// `true` if `ckt` has the structure this template was built from:
+    /// same node count and the same element-by-element branch-current
+    /// shape. Values (resistances, source waveforms, device models) may
+    /// differ — that is the point. A terminal rewiring that survives this
+    /// check is still caught downstream: it changes the stamp pattern and
+    /// the numeric refactorization rejects it ([`PatternChanged`]), which
+    /// the consumers answer with a fresh factorization.
+    ///
+    /// [`PatternChanged`]: ohmflow_linalg::LinalgError::PatternChanged
+    pub fn matches(&self, ckt: &Circuit) -> bool {
+        ckt.node_count() == self.n_nodes
+            && ckt.element_count() == self.branch_shape.len()
+            && ckt
+                .elements()
+                .iter()
+                .zip(&self.branch_shape)
+                .all(|(e, &b)| e.has_branch_current() == b)
+    }
+
+    /// Numeric-only factorization of `ckt`'s initial-state matrix against
+    /// the template's symbolic plan, with a fresh pivoting factorization as
+    /// fallback. Returns the factor, the stamped matrix and whether the
+    /// fast path was taken.
+    fn numeric_for(
+        &self,
+        ckt: &Circuit,
+        states: &[DeviceState],
+    ) -> Result<(SparseLu, CscMatrix, bool), CircuitError> {
+        let m = mna::stamp_matrix(ckt, &self.st, states, StampMode::Dc).to_csc();
+        let mut lu = self.lu.clone();
+        if lu.refactor(&m).is_ok() {
+            Ok((lu, m, true))
+        } else {
+            let lu = SparseLu::factor(&m)?;
+            Ok((lu, m, false))
+        }
+    }
+}
 
 /// DC operating-point analysis.
 ///
@@ -36,6 +143,11 @@ pub struct DcAnalysis<'c> {
     pre_step: bool,
     /// Evaluate time-varying sources at this instant instead of 0⁻.
     at_time: Option<f64>,
+    /// Reuses a topology template's structure and factorization.
+    template: Option<&'c DcTemplate>,
+    /// Warm-start device states (e.g. the converged states of a previous
+    /// solve on the same topology).
+    warm_states: Option<Vec<DeviceState>>,
 }
 
 impl<'c> DcAnalysis<'c> {
@@ -45,6 +157,8 @@ impl<'c> DcAnalysis<'c> {
             ckt,
             pre_step: true,
             at_time: None,
+            template: None,
+            warm_states: None,
         }
     }
 
@@ -56,6 +170,28 @@ impl<'c> DcAnalysis<'c> {
         self
     }
 
+    /// Starts the solve from a [`DcTemplate`]: the unknown map is reused
+    /// and the state-iteration's factorization cache is primed with a
+    /// numeric-only refactorization of the template's factor, skipping the
+    /// ordering + symbolic analysis entirely. A template that does not
+    /// [match](DcTemplate::matches) the circuit is ignored (cold path).
+    pub fn with_template(mut self, tpl: &'c DcTemplate) -> Self {
+        self.template = Some(tpl);
+        self
+    }
+
+    /// Warm-starts the device-state (complementarity) iteration from
+    /// `states` — typically [`DcSolution::device_states`] of a previous
+    /// solve on the same topology, which collapses the clamp-engagement
+    /// cascade to a handful of iterations on sweep-shaped workloads. An
+    /// assignment that does not fit the circuit is ignored; a warm start
+    /// that fails to converge is retried from the default initial states,
+    /// so warm starts never change which systems are solvable.
+    pub fn warm_start(mut self, states: Vec<DeviceState>) -> Self {
+        self.warm_states = Some(states);
+        self
+    }
+
     /// Runs the analysis.
     ///
     /// # Errors
@@ -64,22 +200,90 @@ impl<'c> DcAnalysis<'c> {
     /// source loops; [`CircuitError::StateIterationDiverged`] if the diode
     /// state iteration cycles without a fixed point.
     pub fn solve(&self) -> Result<DcSolution, CircuitError> {
-        let st = MnaStructure::new(self.ckt);
-        let mut states = mna::initial_states(self.ckt);
-        let mut cache = None;
+        let initial = mna::initial_states(self.ckt);
+        // Template fast path: reuse the unknown map and prime the factor
+        // cache with a numeric-only refactorization for this circuit's
+        // *values* (they may differ from the template's). A failed
+        // refactorization simply leaves the cache cold.
+        let (st, mut cache) = match self.template.filter(|t| t.matches(self.ckt)) {
+            Some(tpl) => {
+                let cache = tpl
+                    .numeric_for(self.ckt, &initial)
+                    .ok()
+                    .map(|(lu, m, _)| (initial.clone(), lu, m));
+                (tpl.st.clone(), cache)
+            }
+            None => (MnaStructure::new(self.ckt), None),
+        };
+        // Warm-started states must be shape-compatible: one entry per
+        // element, stateless exactly where the initial assignment is.
+        let warm = self.warm_states.as_ref().filter(|w| {
+            w.len() == initial.len()
+                && w.iter()
+                    .zip(&initial)
+                    .all(|(a, b)| (*a == DeviceState::Stateless) == (*b == DeviceState::Stateless))
+        });
+        let mut states = warm.cloned().unwrap_or_else(|| initial.clone());
+        let warm_used = warm.is_some();
         let t = self.at_time.unwrap_or(0.0);
-        let x = mna::solve_pwl(
-            self.ckt,
-            &st,
-            &mut states,
-            t,
-            StampMode::Dc,
-            None,
-            self.pre_step,
-            &mut cache,
-        )?;
+        let solve =
+            |states: &mut Vec<DeviceState>,
+             cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>| {
+                mna::solve_pwl(
+                    self.ckt,
+                    &st,
+                    states,
+                    t,
+                    StampMode::Dc,
+                    None,
+                    self.pre_step,
+                    cache,
+                )
+            };
+        let mut x = match solve(&mut states, &mut cache) {
+            Ok(x) => x,
+            Err(
+                CircuitError::StateIterationDiverged { .. } | CircuitError::SingularSystem { .. },
+            ) if warm_used => {
+                // A bad warm start must not make a solvable system fail —
+                // neither by cycling (divergence) nor by producing a
+                // singular frozen stamp (e.g. a state set that floats a
+                // node). Retry from the default initial states.
+                states = initial;
+                cache = None;
+                solve(&mut states, &mut cache)?
+            }
+            Err(e) => return Err(e),
+        };
+        // One step of iterative refinement against the converged stamp
+        // (carried in the factor cache — no re-stamping). Besides
+        // tightening every DC result, this is what makes the template and
+        // cold paths — which factor *different but electrically
+        // equivalent* systems — agree to the conditioning floor instead of
+        // the (much looser) raw-factorization error.
+        if let Some((cached_states, lu, m)) = &cache {
+            if *cached_states == states {
+                let b = mna::stamp_rhs(
+                    self.ckt,
+                    &st,
+                    &states,
+                    t,
+                    StampMode::Dc,
+                    None,
+                    self.pre_step,
+                );
+                let ax = m.mul_vec(&x);
+                let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+                if let Ok(dx) = lu.solve(&r) {
+                    for (xi, di) in x.iter_mut().zip(&dx) {
+                        *xi += di;
+                    }
+                }
+            }
+        }
         Ok(DcSolution {
             inner: Solution::new(x, st),
+            states,
         })
     }
 }
@@ -133,6 +337,7 @@ pub fn solve_frozen_dc(
     let x = lu.solve(&b)?;
     Ok(DcSolution {
         inner: Solution::new(x, st),
+        states,
     })
 }
 
@@ -240,6 +445,8 @@ pub struct FrozenDcSession<'c> {
     x: Vec<f64>,
     resid: Vec<f64>,
     dx: Vec<f64>,
+    /// Scratch for numeric refactorizations (rebases stay allocation-free).
+    lu_ws: LuWorkspace,
     stats: FrozenDcStats,
 }
 
@@ -263,14 +470,57 @@ impl<'c> FrozenDcSession<'c> {
     pub fn new(ckt: &'c Circuit) -> Result<Self, CircuitError> {
         let st = MnaStructure::new(ckt);
         let states = mna::initial_states(ckt);
+        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+        let lu = SparseLu::factor(&m)?;
+        let stats = FrozenDcStats {
+            full_factorizations: 1,
+            ..FrozenDcStats::default()
+        };
+        Ok(Self::from_parts(ckt, st, states, m, lu, stats))
+    }
+
+    /// Builds a session from a [`DcTemplate`], skipping the structure
+    /// derivation, fill-reducing ordering and symbolic analysis: the
+    /// circuit's base matrix is stamped with its *current* values and the
+    /// template's factor is numerically refactored (shared symbolic plan,
+    /// fresh per-session values). This is the batch fan-out entry point —
+    /// many sessions on same-topology circuits (perturbed realizations,
+    /// re-stamped capacities) each pay only the numeric phase.
+    ///
+    /// A template that does not [match](DcTemplate::matches) the circuit
+    /// falls back to [`FrozenDcSession::new`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrozenDcSession::new`].
+    pub fn with_template(ckt: &'c Circuit, tpl: &DcTemplate) -> Result<Self, CircuitError> {
+        if !tpl.matches(ckt) {
+            return Self::new(ckt);
+        }
+        let states = mna::initial_states(ckt);
+        let (lu, m, fast) = tpl.numeric_for(ckt, &states)?;
+        let stats = FrozenDcStats {
+            refactorizations: usize::from(fast),
+            full_factorizations: usize::from(!fast),
+            ..FrozenDcStats::default()
+        };
+        Ok(Self::from_parts(ckt, tpl.st.clone(), states, m, lu, stats))
+    }
+
+    fn from_parts(
+        ckt: &'c Circuit,
+        st: MnaStructure,
+        states: Vec<DeviceState>,
+        base_csc: CscMatrix,
+        lu: SparseLu,
+        stats: FrozenDcStats,
+    ) -> Self {
         let diode_elems = ckt
             .elements()
             .iter()
             .enumerate()
             .filter_map(|(i, e)| matches!(e, Element::Diode { .. }).then_some(i))
             .collect();
-        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-        let lu = SparseLu::factor(&m)?;
         let n = st.n_unknowns();
         let rhs_const_after = ckt
             .elements()
@@ -282,13 +532,13 @@ impl<'c> FrozenDcSession<'c> {
                 _ => None,
             })
             .fold(f64::NEG_INFINITY, f64::max);
-        Ok(FrozenDcSession {
+        FrozenDcSession {
             ckt,
             st,
             diode_elems,
             states,
             lu,
-            base_csc: m,
+            base_csc,
             update: LowRankUpdate::new(n),
             max_rank: Self::DEFAULT_MAX_RANK,
             solves_since_rebase: 0,
@@ -302,11 +552,9 @@ impl<'c> FrozenDcSession<'c> {
             x: vec![0.0; n],
             resid: Vec::with_capacity(n),
             dx: Vec::with_capacity(n),
-            stats: FrozenDcStats {
-                full_factorizations: 1,
-                ..FrozenDcStats::default()
-            },
-        })
+            lu_ws: LuWorkspace::new(),
+            stats,
+        }
     }
 
     /// Overrides the rank budget (tests and tuning; `0` forces a rebase on
@@ -505,7 +753,7 @@ impl<'c> FrozenDcSession<'c> {
     /// fits, fresh pivoting factorization otherwise.
     fn rebase(&mut self) -> Result<(), CircuitError> {
         let m = mna::stamp_matrix(self.ckt, &self.st, &self.states, StampMode::Dc).to_csc();
-        if self.lu.refactor(&m).is_ok() {
+        if self.lu.refactor_with(&m, &mut self.lu_ws).is_ok() {
             self.stats.refactorizations += 1;
         } else {
             self.lu = SparseLu::factor(&m)?;
@@ -546,6 +794,7 @@ impl<'c> FrozenDcSession<'c> {
     pub fn solution(&self) -> DcSolution {
         DcSolution {
             inner: Solution::new(self.x.clone(), self.st.clone()),
+            states: self.states.clone(),
         }
     }
 
@@ -559,9 +808,19 @@ impl<'c> FrozenDcSession<'c> {
 #[derive(Debug, Clone)]
 pub struct DcSolution {
     inner: Solution,
+    /// Converged device states (element-indexed).
+    states: Vec<DeviceState>,
 }
 
 impl DcSolution {
+    /// The converged device-state assignment (element-indexed): the fixed
+    /// point of the complementarity iteration, or the frozen assignment of
+    /// a [`solve_frozen_dc`]. Feed it to [`DcAnalysis::warm_start`] to
+    /// short-circuit the clamp cascade on the next same-topology solve.
+    pub fn device_states(&self) -> &[DeviceState] {
+        &self.states
+    }
+
     /// Voltage of `node` (0 for ground).
     pub fn voltage(&self, node: NodeId) -> f64 {
         self.inner.voltage(node)
@@ -901,6 +1160,151 @@ mod tests {
         assert!(session.voltage(x).abs() < 1e-3);
         session.solve(0.0, &[false]).unwrap();
         assert!((session.voltage(x) - 5.0).abs() < 1e-3);
+    }
+
+    /// The clamp-ladder circuit used by the template tests: `stages`
+    /// clamp widgets in series, with per-stage resistor and clamp values
+    /// taken from the closures (so two structurally identical circuits
+    /// with different values are easy to produce).
+    fn clamp_ladder(
+        stages: usize,
+        r_of: impl Fn(usize) -> f64,
+        cap_of: impl Fn(usize) -> f64,
+        drive: f64,
+    ) -> Circuit {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("drive");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(drive));
+        let mut prev = top;
+        for k in 0..stages {
+            let x = ckt.node(format!("x{k}"));
+            let cap = ckt.node(format!("cap{k}"));
+            ckt.resistor(prev, x, r_of(k));
+            ckt.voltage_source(cap, Circuit::GROUND, SourceValue::dc(cap_of(k)));
+            ckt.diode(x, cap, DiodeModel::ideal());
+            ckt.diode(Circuit::GROUND, x, DiodeModel::ideal());
+            prev = x;
+        }
+        ckt
+    }
+
+    #[test]
+    fn template_primed_dc_matches_cold_solve() {
+        let base = clamp_ladder(5, |_| 1e3, |k| 1.0 + 0.3 * k as f64, 6.0);
+        let tpl = DcTemplate::new(&base).unwrap();
+        // Same topology, different resistor and clamp values: the template
+        // path must agree with the cold path to machine precision (both
+        // solve the same final factored system).
+        let other = clamp_ladder(
+            5,
+            |k| 800.0 + 150.0 * k as f64,
+            |k| 0.8 + 0.4 * k as f64,
+            5.0,
+        );
+        let cold = DcAnalysis::new(&other).solve().unwrap();
+        let warm = DcAnalysis::new(&other).with_template(&tpl).solve().unwrap();
+        for (a, b) in warm.values().iter().zip(cold.values()) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        assert_eq!(warm.device_states(), cold.device_states());
+    }
+
+    #[test]
+    fn warm_started_solve_matches_and_mismatched_template_falls_back() {
+        let base = clamp_ladder(4, |_| 1e3, |k| 1.0 + 0.2 * k as f64, 5.0);
+        let tpl = DcTemplate::new(&base).unwrap();
+        let cold = DcAnalysis::new(&base).solve().unwrap();
+        let warm = DcAnalysis::new(&base)
+            .with_template(&tpl)
+            .warm_start(cold.device_states().to_vec())
+            .solve()
+            .unwrap();
+        for (a, b) in warm.values().iter().zip(cold.values()) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
+        }
+        // A template for a different topology must be ignored, not crash.
+        let other = clamp_ladder(6, |_| 1e3, |_| 1.0, 5.0);
+        assert!(!tpl.matches(&other));
+        let sol = DcAnalysis::new(&other).with_template(&tpl).solve().unwrap();
+        let re = DcAnalysis::new(&other).solve().unwrap();
+        for (a, b) in sol.values().iter().zip(re.values()) {
+            assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn singular_warm_start_retries_from_initial_states() {
+        // The negative resistor exactly cancels the node conductance when
+        // the diode conducts, so the warm-started (diode-on) stamp is
+        // singular — but the true operating point keeps `x` slightly
+        // positive, the (gnd → x) diode off, and is perfectly solvable.
+        // The warm start must fall back to the initial states instead of
+        // reporting SingularSystem.
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        let x = ckt.node("x");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(-1.0));
+        let g_top = 1e-3;
+        ckt.resistor(top, x, 1.0 / g_top);
+        let model = DiodeModel::ideal();
+        ckt.resistor(x, Circuit::GROUND, -1.0 / (1.0 / model.r_on + g_top));
+        ckt.diode(Circuit::GROUND, x, model);
+
+        let cold = DcAnalysis::new(&ckt).solve().unwrap();
+        let mut warm_states = cold.device_states().to_vec();
+        for s in warm_states.iter_mut() {
+            if *s == DeviceState::Off {
+                *s = DeviceState::On;
+            }
+        }
+        let warm = DcAnalysis::new(&ckt)
+            .warm_start(warm_states)
+            .solve()
+            .unwrap();
+        assert!(
+            (warm.voltage(x) - cold.voltage(x)).abs() < 1e-9,
+            "recovered {} vs cold {}",
+            warm.voltage(x),
+            cold.voltage(x)
+        );
+    }
+
+    #[test]
+    fn session_with_template_matches_session_cold() {
+        let base = clamp_ladder(6, |_| 1e3, |k| 1.0 + 0.3 * k as f64, 6.0);
+        // Perturbed values on the same topology (the variation-batch shape).
+        let inst = clamp_ladder(
+            6,
+            |k| 1e3 * (1.0 + 0.01 * k as f64),
+            |k| 1.0 + 0.3 * k as f64,
+            6.0,
+        );
+        let tpl = DcTemplate::new(&base).unwrap();
+        let n_diodes = inst.diode_count();
+        let mut cold = FrozenDcSession::new(&inst).unwrap();
+        let mut warm = FrozenDcSession::with_template(&inst, &tpl).unwrap();
+        assert_eq!(warm.stats().refactorizations, 1, "numeric fast path unused");
+        assert_eq!(warm.stats().full_factorizations, 0);
+        let mut on = vec![false; n_diodes];
+        let mut lcg = 7u64;
+        for step in 0..100 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let flip = (lcg >> 33) as usize % (n_diodes + 1);
+            if flip < n_diodes {
+                on[flip] = !on[flip];
+            }
+            let t = step as f64 * 1e-9;
+            cold.solve(t, &on).unwrap();
+            warm.solve(t, &on).unwrap();
+            for (a, b) in warm.values().iter().zip(cold.values()) {
+                assert!(
+                    (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                    "step {step}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

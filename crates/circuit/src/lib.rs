@@ -52,7 +52,8 @@ mod waveform;
 
 pub use circuit::Circuit;
 pub use dc::{
-    solve_frozen_dc, DcAnalysis, DcSolution, FrozenDcCache, FrozenDcSession, FrozenDcStats,
+    solve_frozen_dc, DcAnalysis, DcSolution, DcTemplate, FrozenDcCache, FrozenDcSession,
+    FrozenDcStats,
 };
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;

@@ -9,7 +9,7 @@
 //! states to a consistent fixed point, which is exact for PWL models (no
 //! Newton damping heuristics required).
 
-use ohmflow_linalg::{SparseLu, TripletMatrix};
+use ohmflow_linalg::{CscMatrix, SparseLu, TripletMatrix};
 
 use crate::circuit::Circuit;
 use crate::element::Element;
@@ -573,8 +573,10 @@ pub(crate) fn max_state_iters(ckt: &Circuit) -> usize {
 /// Solves the PWL system at one instant: iterate (factor, solve, restate)
 /// until the state assignment is a fixed point.
 ///
-/// `factor_cache` carries `(states, matrix-lu)` between calls so an
-/// unchanged state assignment reuses the previous factorization.
+/// `factor_cache` carries `(states, matrix-lu, stamped matrix)` between
+/// calls so an unchanged state assignment reuses the previous
+/// factorization, and callers can compute residuals (iterative refinement)
+/// against the already-stamped matrix instead of re-stamping it.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_pwl(
     ckt: &Circuit,
@@ -584,10 +586,16 @@ pub(crate) fn solve_pwl(
     mode: StampMode,
     history: Option<&History>,
     dc_pre_step: bool,
-    factor_cache: &mut Option<(Vec<DeviceState>, SparseLu)>,
+    factor_cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>,
 ) -> Result<Vec<f64>, CircuitError> {
     let max_iters = max_state_iters(ckt);
     let mut x = Vec::new();
+    // RHS and triangular-solve scratch reused across state iterations (and,
+    // via the caller's buffers, across transient time steps): the fixed
+    // point loop allocates only when a state flip forces a re-stamp.
+    let mut b = Vec::new();
+    let mut work = Vec::new();
+    let mut lu_ws = ohmflow_linalg::LuWorkspace::new();
     for iter in 0..max_iters {
         // Escalate the switching band late in the iteration: flips that
         // only fight over nanovolt boundaries are physically meaningless.
@@ -598,7 +606,7 @@ pub(crate) fn solve_pwl(
         } else {
             1e-3
         };
-        let lu_ok = matches!(factor_cache, Some((s, _)) if s == states);
+        let lu_ok = matches!(factor_cache, Some((s, _, _)) if s == states);
         if !lu_ok {
             let m = stamp_matrix(ckt, st, states, mode).to_csc();
             // A state flip only changes matrix *values* (a diode swaps
@@ -608,16 +616,16 @@ pub(crate) fn solve_pwl(
             // factorization when the pattern moved or a frozen pivot died.
             let reused = factor_cache
                 .take()
-                .and_then(|(_, mut lu)| lu.refactor(&m).is_ok().then_some(lu));
+                .and_then(|(_, mut lu, _)| lu.refactor_with(&m, &mut lu_ws).is_ok().then_some(lu));
             let lu = match reused {
                 Some(lu) => lu,
                 None => SparseLu::factor(&m)?,
             };
-            *factor_cache = Some((states.clone(), lu));
+            *factor_cache = Some((states.clone(), lu, m));
         }
         let lu = &factor_cache.as_ref().expect("cache populated").1;
-        let b = stamp_rhs(ckt, st, states, time, mode, history, dc_pre_step);
-        x = lu.solve(&b)?;
+        stamp_rhs_into(&mut b, ckt, st, states, time, mode, history, dc_pre_step);
+        lu.solve_into(&b, &mut work, &mut x)?;
         let (new_states, changes) = next_states_banded(ckt, st, states, &x, band);
         if changes == 0 {
             return Ok(x);

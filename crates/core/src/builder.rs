@@ -19,7 +19,9 @@
 //! finite gain-bandwidth product gives the substrate its §5.1 convergence
 //! dynamics.
 
-use ohmflow_circuit::{Circuit, ElementId, NodeId, SourceValue};
+use std::sync::Arc;
+
+use ohmflow_circuit::{Circuit, DcTemplate, ElementId, NodeId, SourceValue};
 
 use ohmflow_graph::FlowNetwork;
 
@@ -163,6 +165,20 @@ pub struct BuildStats {
     pub sources: usize,
 }
 
+/// How capacity-level voltage sources are laid out in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LevelLayout {
+    /// One source per *distinct* clamp voltage (the §4.1 hardware layout;
+    /// the default for [`build`]). Compact, but the number of sources —
+    /// and therefore the MNA structure — depends on the capacity values.
+    Shared,
+    /// One source per clamped edge. Slightly larger netlist whose
+    /// *structure* is a pure function of the graph topology, so a
+    /// [`SubstrateTemplate`](crate::template::SubstrateTemplate) can
+    /// restamp any capacity assignment as a value-only update.
+    PerEdge,
+}
+
 /// A max-flow instance mapped onto the analog substrate.
 #[derive(Debug, Clone)]
 pub struct SubstrateCircuit {
@@ -181,6 +197,10 @@ pub struct SubstrateCircuit {
     /// Edge ids entering the source (counted negatively in the value).
     source_in: Vec<usize>,
     stats: BuildStats,
+    /// Shared cold-path artifacts (structure + symbolic/numeric LU) when
+    /// this circuit came out of a template instantiation; the solve paths
+    /// pick it up transparently.
+    dc_template: Option<Arc<DcTemplate>>,
 }
 
 /// Builds the direct-mapped circuit of `g` (Figs. 1–3).
@@ -195,6 +215,20 @@ pub fn build(
     params: &SubstrateParams,
     opts: &BuildOptions,
 ) -> Result<SubstrateCircuit, AnalogError> {
+    build_with_layout(g, params, opts, LevelLayout::Shared).map(|(sc, _)| sc)
+}
+
+/// [`build`] with an explicit capacity-level source layout; also returns
+/// the per-edge level-source element ids ([`LevelLayout::PerEdge`] only —
+/// `None` entries mark grounded circulation edges, and every entry is
+/// `None` under [`LevelLayout::Shared`]). The template machinery uses the
+/// ids to restamp capacities as a value-only update.
+pub(crate) fn build_with_layout(
+    g: &FlowNetwork,
+    params: &SubstrateParams,
+    opts: &BuildOptions,
+    layout: LevelLayout,
+) -> Result<(SubstrateCircuit, Vec<Option<ElementId>>), AnalogError> {
     if g.edge_count() == 0 {
         return Err(AnalogError::InvalidConfig {
             what: "graph has no edges".to_owned(),
@@ -262,10 +296,12 @@ pub fn build(
     // consistent.
     let mut edge_nodes = Vec::with_capacity(g.edge_count());
     let mut clamp_diodes = Vec::with_capacity(g.edge_count());
+    let mut level_sources: Vec<Option<ElementId>> = Vec::with_capacity(g.edge_count());
     for (k, e) in g.edges().iter().enumerate() {
         if e.to == g.source() || e.from == g.sink() {
             edge_nodes.push(Circuit::GROUND);
             clamp_diodes.push((ElementId::invalid(), ElementId::invalid()));
+            level_sources.push(None);
             continue;
         }
         let x = ckt.anon_node();
@@ -276,7 +312,20 @@ pub fn build(
         // V(x) > Q(c). The §2.1 footnote's turn-on compensation: *lower*
         // the clamp source by v_on so the conducting drop pins the node at
         // exactly Q(c).
-        let lvl = level_node(&mut ckt, &mut stats, clamp_volts[k] - params.diode.v_on);
+        let lvl_volts = clamp_volts[k] - params.diode.v_on;
+        let lvl = match layout {
+            LevelLayout::Shared => {
+                level_sources.push(None);
+                level_node(&mut ckt, &mut stats, lvl_volts)
+            }
+            LevelLayout::PerEdge => {
+                let node = ckt.anon_node();
+                let src = ckt.voltage_source(node, Circuit::GROUND, SourceValue::dc(lvl_volts));
+                stats.sources += 1;
+                level_sources.push(Some(src));
+                node
+            }
+        };
         let hi = ckt.diode(x, lvl, params.diode);
         clamp_diodes.push((lo, hi));
         stats.diodes += 2;
@@ -372,24 +421,50 @@ pub fn build(
     stats.nodes = ckt.node_count();
     stats.elements = ckt.element_count();
 
-    Ok(SubstrateCircuit {
-        circuit: ckt,
-        edge_nodes,
-        clamp_diodes,
-        vflow,
-        vflow_value: params.v_flow,
-        volts_per_flow: params.v_dd / c_max,
-        clamp_volts,
-        source_out,
-        source_in,
-        stats,
-    })
+    Ok((
+        SubstrateCircuit {
+            circuit: ckt,
+            edge_nodes,
+            clamp_diodes,
+            vflow,
+            vflow_value: params.v_flow,
+            volts_per_flow: params.v_dd / c_max,
+            clamp_volts,
+            source_out,
+            source_in,
+            stats,
+            dc_template: None,
+        },
+        level_sources,
+    ))
 }
 
 impl SubstrateCircuit {
     /// The underlying netlist.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The shared cold-path artifacts this circuit was instantiated with
+    /// (template instantiations only): MNA structure, base sparsity and a
+    /// symbolic + numeric factorization to start solves from. The solve
+    /// paths use it when present and validate it against the circuit, so a
+    /// perturbed or hand-edited instance degrades to the cold path instead
+    /// of computing with stale artifacts.
+    pub fn dc_template(&self) -> Option<&Arc<DcTemplate>> {
+        self.dc_template.as_ref()
+    }
+
+    /// Attaches shared cold-path artifacts (template instantiation).
+    pub(crate) fn attach_dc_template(&mut self, tpl: Arc<DcTemplate>) {
+        self.dc_template = Some(tpl);
+    }
+
+    /// Overwrites the capacity-derived values (template instantiation):
+    /// per-edge clamp voltages and the flow-readout scale.
+    pub(crate) fn set_capacity_values(&mut self, clamp_volts: Vec<f64>, volts_per_flow: f64) {
+        self.clamp_volts = clamp_volts;
+        self.volts_per_flow = volts_per_flow;
     }
 
     /// Mutable access (used by non-ideality injection and tuning).

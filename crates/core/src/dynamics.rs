@@ -7,7 +7,7 @@
 //! with interior-point methods), with piecewise-linear segments separated
 //! by *breakpoints* where a capacity clamp engages.
 
-use ohmflow_circuit::DcAnalysis;
+use ohmflow_circuit::{DcAnalysis, DcTemplate};
 use ohmflow_graph::FlowNetwork;
 use rayon::prelude::*;
 
@@ -63,14 +63,29 @@ pub fn trace_quasi_static(
     // Every ramp sample is an independent quasi-static solve, so the sweep
     // fans out across all cores (the vendored rayon parallelizes slices,
     // hence the materialized sample list); the breakpoint scan below needs
-    // the samples in order and stays sequential.
+    // the samples in order and stays sequential. All samples solve the same
+    // circuit at different drive levels, so the cold path (structure +
+    // ordering + symbolic analysis) runs once here — or is taken verbatim
+    // from a template-instantiated circuit — and each worker derives a
+    // thread-local numeric factor from the shared symbolic plan.
+    let owned;
+    let tpl: Option<&DcTemplate> = match sc.dc_template() {
+        Some(t) => Some(&**t),
+        None => {
+            owned = DcTemplate::new(sc.circuit()).ok();
+            owned.as_ref()
+        }
+    };
     let samples: Vec<usize> = (0..=steps).collect();
     let flows = samples
         .par_iter()
         .map(|&k| {
             let t = k as f64 / steps as f64; // ramp position in [0, 1]
-            DcAnalysis::new(sc.circuit())
-                .at_time(t)
+            let mut analysis = DcAnalysis::new(sc.circuit()).at_time(t);
+            if let Some(tpl) = tpl {
+                analysis = analysis.with_template(tpl);
+            }
+            analysis
                 .solve()
                 .map(|sol| sc.edge_flows(|n| sol.voltage(n)))
                 .map_err(AnalogError::from)

@@ -16,6 +16,9 @@
 //! * [`builder`] — direct-mapped graph → circuit construction (§2),
 //! * [`solver`] — the [`AnalogMaxFlow`] facade: configure, simulate
 //!   (transient or quasi-static), read out flows and convergence time,
+//! * [`template`] — topology-keyed [`SubstrateTemplate`]s: the cold path
+//!   (build, MNA structure, ordering, symbolic LU) amortized across every
+//!   same-topology solve, with value-only instantiation,
 //! * [`crossbar`] — the reconfigurable memristor crossbar with the §3.1
 //!   row-by-row programming protocol,
 //! * [`nonideal`] — §4.2/§4.3 non-ideality injection (finite op-amp gain,
@@ -56,8 +59,10 @@ pub mod params;
 pub mod power;
 pub mod quantize;
 pub mod solver;
+pub mod template;
 pub mod tuning;
 
 pub use error::AnalogError;
 pub use params::SubstrateParams;
 pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine};
+pub use template::{SubstrateTemplate, TemplateKey};

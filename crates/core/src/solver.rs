@@ -2,9 +2,12 @@
 //! and read out the solution — the §3.2 "computing max-flow on the
 //! crossbar" procedure.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use ohmflow_circuit::{
-    solve_frozen_dc, CircuitError, DcAnalysis, ElementId, FrozenDcCache, FrozenDcSession, NodeId,
-    TransientAnalysis, TransientOptions, Waveform, WaveformSet,
+    solve_frozen_dc, CircuitError, DcAnalysis, DcTemplate, ElementId, FrozenDcCache,
+    FrozenDcSession, NodeId, TransientAnalysis, TransientOptions, Waveform, WaveformSet,
 };
 use ohmflow_graph::FlowNetwork;
 use rayon::prelude::*;
@@ -13,6 +16,7 @@ use crate::builder::{
     self, BuildOptions, BuildStats, Drive, NegativeResistorImpl, SubstrateCircuit,
 };
 use crate::params::SubstrateParams;
+use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
 
 /// How the substrate is simulated.
@@ -164,16 +168,32 @@ pub struct AnalogSolution {
 
 /// The analog max-flow solver.
 ///
+/// Carries a topology-keyed cache of [`SubstrateTemplate`]s: solving many
+/// instances of the same graph topology (capacity sweeps, variation seeds,
+/// quantization studies) pays the cold path — substrate build, MNA
+/// structure, ordering, symbolic factorization — once, and every further
+/// solve on that topology is a value-only instantiation plus numeric-only
+/// linear algebra. [`AnalogMaxFlow::solve_batch`] detects same-topology
+/// batches automatically; [`AnalogMaxFlow::solve_templated`] is the
+/// explicit entry point. Clones share the cache.
+///
 /// See the crate-level quickstart for typical use.
 #[derive(Debug, Clone)]
 pub struct AnalogMaxFlow {
     config: AnalogConfig,
+    /// Topology-keyed template cache, shared across clones (and therefore
+    /// across threads: the lock is held only for lookups and inserts, never
+    /// across a solve).
+    templates: Arc<Mutex<HashMap<TemplateKey, Arc<SubstrateTemplate>>>>,
 }
 
 impl AnalogMaxFlow {
     /// Creates a solver with the given configuration.
     pub fn new(config: AnalogConfig) -> Self {
-        AnalogMaxFlow { config }
+        AnalogMaxFlow {
+            config,
+            templates: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The active configuration.
@@ -181,20 +201,14 @@ impl AnalogMaxFlow {
         &self.config
     }
 
-    /// Solves `g` on the substrate.
-    ///
-    /// # Errors
-    ///
-    /// Propagates circuit-construction and simulation failures, and returns
-    /// [`AnalogError::NotConverged`] if a transient run never settles even
-    /// after the automatic window has grown to its limit.
-    pub fn solve(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
+    /// The build options [`AnalogMaxFlow::solve`] actually uses: the solve
+    /// mode constrains the drive shape (quasi-static needs DC; transient
+    /// keeps a user-chosen step or soft-start ramp and only replaces an
+    /// incompatible DC drive with the default step), and the relaxation
+    /// model solves frozen-state DC points along the way, so it uses ideal
+    /// negative resistors internally (exact in DC).
+    fn effective_build_options(&self) -> BuildOptions {
         let mut build = self.config.build;
-        // The solve mode constrains the drive shape: quasi-static needs DC;
-        // transient keeps a user-chosen step or soft-start ramp and only
-        // replaces an incompatible DC drive with the default step. The
-        // relaxation model solves frozen-state DC points along the way, so
-        // it uses ideal negative resistors internally (exact in DC).
         build.drive = match (self.config.mode, build.drive) {
             (SolveMode::QuasiStatic, _) => Drive::Dc,
             (SolveMode::Transient { .. } | SolveMode::TransientFullMna { .. }, Drive::Dc) => {
@@ -206,15 +220,85 @@ impl AnalogMaxFlow {
             build.negative_resistor = NegativeResistorImpl::Ideal;
             build.parasitics = false;
         }
+        build
+    }
+
+    /// Returns the cached [`SubstrateTemplate`] for `g`'s topology,
+    /// building (and caching) it on first use. The template is constructed
+    /// with this solver's effective build options, so
+    /// [`AnalogMaxFlow::solve_templated`] agrees with
+    /// [`AnalogMaxFlow::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates template-construction failures.
+    pub fn template_for(&self, g: &FlowNetwork) -> Result<Arc<SubstrateTemplate>, AnalogError> {
+        let key = TemplateKey::of(g);
+        if let Some(tpl) = self.templates.lock().expect("template cache").get(&key) {
+            return Ok(Arc::clone(tpl));
+        }
+        // Build outside the lock: cold paths can be expensive and other
+        // topologies' solves must not wait on them. A racing builder of the
+        // same key just loses its copy.
+        let built = Arc::new(SubstrateTemplate::new(
+            g,
+            &self.config.params,
+            &self.effective_build_options(),
+        )?);
+        let mut cache = self.templates.lock().expect("template cache");
+        Ok(Arc::clone(
+            cache.entry(key).or_insert_with(|| Arc::clone(&built)),
+        ))
+    }
+
+    /// Solves `g` on the substrate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction and simulation failures, and returns
+    /// [`AnalogError::NotConverged`] if a transient run never settles even
+    /// after the automatic window has grown to its limit.
+    pub fn solve(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
+        let build = self.effective_build_options();
         let sc = builder::build(g, &self.config.params, &build)?;
         match self.config.mode {
-            SolveMode::QuasiStatic => self.solve_quasi_static(&sc),
+            SolveMode::QuasiStatic => self.solve_quasi_static(&sc, None),
             SolveMode::Transient { window, dt } => {
                 self.solve_transient_relaxation(&sc, g, window, dt)
             }
             SolveMode::TransientFullMna { window, dt } => {
                 self.solve_transient_full_mna(&sc, window, dt)
             }
+        }
+    }
+
+    /// Solves `g` through the topology-keyed template cache: the first call
+    /// on a topology pays the cold path, every further call is a value-only
+    /// instantiation + numeric-only solve (with the previous solve's
+    /// converged clamp states as a warm start). Produces the same solution
+    /// as [`AnalogMaxFlow::solve`] — the instantiated netlist differs only
+    /// in the capacity-level source layout (one source per edge instead of
+    /// one per distinct level), which is solution-invariant; `stats`
+    /// reflects the per-edge layout.
+    ///
+    /// [`SolveMode::TransientFullMna`] has no templated fast path and falls
+    /// back to [`AnalogMaxFlow::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalogMaxFlow::solve`].
+    pub fn solve_templated(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
+        if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
+            return self.solve(g);
+        }
+        let tpl = self.template_for(g)?;
+        let sc = tpl.instantiate(g)?;
+        match self.config.mode {
+            SolveMode::QuasiStatic => self.solve_quasi_static(&sc, Some(&tpl)),
+            SolveMode::Transient { window, dt } => {
+                self.solve_transient_relaxation(&sc, g, window, dt)
+            }
+            SolveMode::TransientFullMna { .. } => unreachable!("handled above"),
         }
     }
 
@@ -229,7 +313,26 @@ impl AnalogMaxFlow {
     /// way the physical circuit does (lagged engagement, current-reversal
     /// release) and escapes it.
     pub fn solve_built(&self, sc: &SubstrateCircuit) -> Result<AnalogSolution, AnalogError> {
-        self.solve_quasi_static(sc)
+        self.solve_quasi_static(sc, None)
+    }
+
+    /// Quasi-statically solves a circuit instantiated from `tpl`
+    /// (typically via [`SubstrateTemplate::instantiate_mapped`], the
+    /// Fig. 10 `N`-sweep shape), with the template's warm-state loop
+    /// engaged: the previous solve's converged clamp states seed the
+    /// complementarity iteration and the new fixed point is stored back.
+    /// Sweep steps with similar clamp patterns then skip most of the
+    /// engagement cascade.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalogMaxFlow::solve_built`].
+    pub fn solve_instantiated(
+        &self,
+        sc: &SubstrateCircuit,
+        tpl: &SubstrateTemplate,
+    ) -> Result<AnalogSolution, AnalogError> {
+        self.solve_quasi_static(sc, Some(tpl))
     }
 
     /// Runs the relaxation transient on an already-built (and possibly
@@ -244,17 +347,52 @@ impl AnalogMaxFlow {
         sc: &SubstrateCircuit,
         g: &FlowNetwork,
     ) -> Result<AnalogSolution, AnalogError> {
+        self.solve_built_transient_shared(sc, g, None)
+    }
+
+    /// [`AnalogMaxFlow::solve_built_transient`] with an optional shared
+    /// [`DcTemplate`] override (the batch fan-out path: one template, many
+    /// same-structure members).
+    fn solve_built_transient_shared(
+        &self,
+        sc: &SubstrateCircuit,
+        g: &FlowNetwork,
+        shared: Option<&DcTemplate>,
+    ) -> Result<AnalogSolution, AnalogError> {
         let (window, dt) = match self.config.mode {
             SolveMode::Transient { window, dt } => (window, dt),
             _ => (None, None),
         };
-        self.solve_transient_relaxation(sc, g, window, dt)
+        self.solve_transient_relaxation_shared(sc, g, window, dt, shared)
     }
 
-    fn solve_quasi_static(&self, sc: &SubstrateCircuit) -> Result<AnalogSolution, AnalogError> {
-        let sol = DcAnalysis::new(sc.circuit())
-            .solve()
-            .map_err(AnalogError::from)?;
+    /// The quasi-static solve. When the circuit carries shared cold-path
+    /// artifacts (template instantiations), the operating-point analysis is
+    /// primed with them; with a [`SubstrateTemplate`] at hand, the clamp
+    /// states converged last time seed the complementarity iteration and
+    /// the converged states flow back as the next warm start.
+    fn solve_quasi_static(
+        &self,
+        sc: &SubstrateCircuit,
+        tpl: Option<&SubstrateTemplate>,
+    ) -> Result<AnalogSolution, AnalogError> {
+        let mut analysis = DcAnalysis::new(sc.circuit());
+        if let Some(dc) = sc.dc_template() {
+            analysis = analysis.with_template(dc);
+        }
+        // Warm starts are value-keyed: only a solve of the *same* value
+        // assignment may seed the complementarity iteration (see
+        // `template::value_fingerprint`).
+        let fingerprint = tpl.map(|_| template::value_fingerprint(sc));
+        if let Some(warm) =
+            tpl.and_then(|t| t.warm_states_for(fingerprint.expect("fingerprint with template")))
+        {
+            analysis = analysis.warm_start(warm);
+        }
+        let sol = analysis.solve().map_err(AnalogError::from)?;
+        if let (Some(t), Some(fp)) = (tpl, fingerprint) {
+            t.store_warm_states(fp, sol.device_states());
+        }
         let value = sc.flow_value(|n| sol.voltage(n));
         let i_flow = sol
             .source_current(sc.vflow_source())
@@ -276,13 +414,24 @@ impl AnalogMaxFlow {
         window: Option<f64>,
         dt: Option<f64>,
     ) -> Result<AnalogSolution, AnalogError> {
+        self.solve_transient_relaxation_shared(sc, g, window, dt, None)
+    }
+
+    fn solve_transient_relaxation_shared(
+        &self,
+        sc: &SubstrateCircuit,
+        g: &FlowNetwork,
+        window: Option<f64>,
+        dt: Option<f64>,
+        shared: Option<&DcTemplate>,
+    ) -> Result<AnalogSolution, AnalogError> {
         let tau = self.config.params.opamp.time_constant();
         let mut t_stop = window.unwrap_or(tau * (20.0 + 0.05 * g.vertex_count() as f64));
         let max_window = window.unwrap_or(t_stop * 64.0);
 
         loop {
             let step = dt.unwrap_or(tau / 25.0).min(t_stop / 50.0);
-            let result = self.relaxation_run(sc, t_stop, step)?;
+            let result = self.relaxation_run(sc, t_stop, step, shared)?;
             let settled_early = matches!(result.convergence_time, Some(ts) if ts < 0.8 * t_stop);
             if settled_early || t_stop >= max_window {
                 if !settled_early && window.is_none() && t_stop >= max_window {
@@ -301,11 +450,21 @@ impl AnalogMaxFlow {
         sc: &SubstrateCircuit,
         t_stop: f64,
         dt: f64,
+        shared: Option<&DcTemplate>,
     ) -> Result<AnalogSolution, AnalogError> {
         match self.config.engine {
             RelaxationEngine::Incremental => {
+                // The session starts from shared cold-path artifacts when
+                // available — an explicitly shared batch template first,
+                // else whatever the instantiation attached to the circuit —
+                // paying only a numeric-only refactorization instead of
+                // structure + ordering + symbolic analysis.
+                let session = match shared.or(sc.dc_template().map(|t| &**t)) {
+                    Some(tpl) => FrozenDcSession::with_template(sc.circuit(), tpl),
+                    None => FrozenDcSession::new(sc.circuit()),
+                };
                 let mut eq = SessionEquilibrium {
-                    session: FrozenDcSession::new(sc.circuit()).map_err(AnalogError::from)?,
+                    session: session.map_err(AnalogError::from)?,
                 };
                 self.relaxation_run_with(sc, t_stop, dt, &mut eq)
             }
@@ -476,10 +635,51 @@ impl AnalogMaxFlow {
     /// Solves many independent instances in parallel on all cores (rayon),
     /// preserving input order. This is the batch entry point the benchmark
     /// binaries (`ablations`, `fig15_trajectory`, the Fig. 10 error sweeps)
-    /// drive: every instance carries its own circuit, session and buffers,
-    /// so the instances share nothing and scale linearly.
+    /// drive.
+    ///
+    /// Same-topology batch members are detected by [`TemplateKey`] and
+    /// fanned out through one shared [`SubstrateTemplate`] per topology:
+    /// the cold path runs once per topology, every member pays only a
+    /// value-only instantiation plus numeric-only linear algebra against
+    /// the shared symbolic factorization (each rayon worker derives its own
+    /// numeric factor — thread-local values, pointer-shared symbolic plan).
+    /// Members whose topology appears once keep the independent cold path.
     pub fn solve_batch(&self, graphs: &[FlowNetwork]) -> Vec<Result<AnalogSolution, AnalogError>> {
-        graphs.par_iter().map(|g| self.solve(g)).collect()
+        // TransientFullMna has no templated path at all.
+        if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
+            return graphs.par_iter().map(|g| self.solve(g)).collect();
+        }
+        let keys: Vec<TemplateKey> = graphs.iter().map(TemplateKey::of).collect();
+        let mut counts: HashMap<&TemplateKey, usize> = HashMap::new();
+        for key in &keys {
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        // Warm the cache sequentially (one cold path per repeated
+        // topology) and remember which keys got a template; the par_iter
+        // below then hits the cache on every member, and a topology whose
+        // template construction failed falls back to the plain path
+        // without every member re-attempting the expensive failed build
+        // (batch error reporting stays per-member).
+        let mut templated: HashMap<&TemplateKey, bool> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            if counts[key] >= 2 {
+                templated
+                    .entry(key)
+                    .or_insert_with(|| self.template_for(&graphs[i]).is_ok());
+            }
+        }
+        let indices: Vec<usize> = (0..graphs.len()).collect();
+        indices
+            .par_iter()
+            .map(|&i| {
+                let g = &graphs[i];
+                if templated.get(&keys[i]).copied().unwrap_or(false) {
+                    self.solve_templated(g)
+                } else {
+                    self.solve(g)
+                }
+            })
+            .collect()
     }
 
     /// Runs the relaxation transient on many already-built (typically
@@ -487,13 +687,24 @@ impl AnalogMaxFlow {
     /// order — the batch form of
     /// [`AnalogMaxFlow::solve_built_transient`] that the variation and
     /// tuning sweeps drive.
+    ///
+    /// When the members share one circuit structure (they almost always do:
+    /// they are perturbed clones of one build), the cold path — MNA
+    /// structure, ordering, symbolic analysis — runs once on the first
+    /// member and every session starts from a numeric-only refactorization
+    /// for its own perturbed values, sharing the symbolic plan across
+    /// workers.
     pub fn solve_built_transient_batch(
         &self,
         scs: &[SubstrateCircuit],
         g: &FlowNetwork,
     ) -> Vec<Result<AnalogSolution, AnalogError>> {
+        let shared: Option<Arc<DcTemplate>> = (scs.len() >= 2 && template::uniform_structure(scs))
+            .then(|| DcTemplate::new(scs[0].circuit()).ok())
+            .flatten()
+            .map(Arc::new);
         scs.par_iter()
-            .map(|sc| self.solve_built_transient(sc, g))
+            .map(|sc| self.solve_built_transient_shared(sc, g, shared.as_deref()))
             .collect()
     }
 
@@ -705,6 +916,86 @@ mod tests {
         let tc = sol.convergence_time.expect("transient reports settle time");
         assert!(tc > 0.0 && tc < 1e-3, "convergence time {tc}");
         assert!(sol.waveforms.is_some());
+    }
+
+    #[test]
+    fn templated_quasi_static_matches_cold_path() {
+        let g = generators::fig5a();
+        let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
+        let cold = solver.solve(&g).unwrap();
+        // First templated solve pays the cold path and caches; repeat
+        // solves ride the warm path (primed factorization + warm states).
+        for round in 0..3 {
+            let warm = solver.solve_templated(&g).unwrap();
+            assert!(
+                (warm.value - cold.value).abs() < 1e-9,
+                "round {round}: templated {} vs cold {}",
+                warm.value,
+                cold.value
+            );
+            for (a, b) in warm.edge_flows.iter().zip(&cold.edge_flows) {
+                assert!((a - b).abs() < 1e-9, "round {round}: {a} vs {b}");
+            }
+        }
+        // Different capacities on the same topology reuse the template.
+        let g2 = g.scaled_capacities(2).unwrap();
+        let cold2 = solver.solve(&g2).unwrap();
+        let warm2 = solver.solve_templated(&g2).unwrap();
+        assert!((warm2.value - cold2.value).abs() < 1e-9);
+        assert_eq!(
+            solver.templates.lock().unwrap().len(),
+            1,
+            "one topology, one template"
+        );
+    }
+
+    #[test]
+    fn templated_transient_matches_cold_path() {
+        let g = generators::fig5a();
+        let mut cfg = AnalogConfig::evaluation(10e9);
+        cfg.build.capacity_mapping = CapacityMapping::Exact;
+        let solver = AnalogMaxFlow::new(cfg);
+        let cold = solver.solve(&g).unwrap();
+        let warm = solver.solve_templated(&g).unwrap();
+        assert!(
+            (warm.value - cold.value).abs() < 1e-9,
+            "templated {} vs cold {}",
+            warm.value,
+            cold.value
+        );
+        let (tc, tw) = (
+            cold.convergence_time.unwrap(),
+            warm.convergence_time.unwrap(),
+        );
+        assert!(
+            ((tc - tw) / tc).abs() < 1e-9,
+            "settle time {tw} vs {tc} must match"
+        );
+    }
+
+    #[test]
+    fn batch_detects_same_topology_and_matches_sequential() {
+        // Mixed batch: four capacity variants of one topology plus one
+        // distinct topology (stays on the independent path).
+        let base = generators::fig5a();
+        let mut graphs: Vec<_> = (1..=4)
+            .map(|s| base.scaled_capacities(s).unwrap())
+            .collect();
+        graphs.push(generators::path(&[5, 2, 9]).unwrap());
+        let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
+        let batch = solver.solve_batch(&graphs);
+        for (g, r) in graphs.iter().zip(&batch) {
+            let seq = solver.solve(g).unwrap();
+            let b = r.as_ref().expect("batch member solves");
+            assert!(
+                (b.value - seq.value).abs() < 1e-9,
+                "batch {} vs sequential {}",
+                b.value,
+                seq.value
+            );
+        }
+        // Only the repeated topology got a cached template.
+        assert_eq!(solver.templates.lock().unwrap().len(), 1);
     }
 
     #[test]

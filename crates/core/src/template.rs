@@ -1,0 +1,319 @@
+//! Topology-keyed substrate templates: amortizing the cold path across
+//! same-graph solves.
+//!
+//! The paper's evaluation workloads — the Fig. 10 quantization/`N` sweeps,
+//! the §4.3 variation-seed ablations, the §4.3.2 tuning iterations — solve
+//! the **same graph topology** dozens to thousands of times with only
+//! capacity or source *values* changed. Every solve used to repay the full
+//! topology-dependent cold path: substrate construction, MNA structure
+//! derivation, fill-reducing ordering and symbolic factorization.
+//!
+//! A [`SubstrateTemplate`] runs that cold path **once** per topology and
+//! splits every later solve into a cheap value-only *instantiation*:
+//!
+//! * the circuit skeleton is built with one capacity-level source **per
+//!   edge** ([`LevelLayout::PerEdge`]) so the netlist *structure* is a pure
+//!   function of the graph topology — any capacity assignment is a
+//!   [`set_source_value`](ohmflow_circuit::Circuit::set_source_value)
+//!   restamp away,
+//! * the MNA structure, base-matrix sparsity and the symbolic + one
+//!   numeric LU live in a shared [`DcTemplate`]; instances carry it by
+//!   [`Arc`], and batch workers derive per-thread numeric factors from the
+//!   shared symbolic plan,
+//! * the converged device states of previous solves are cached as a
+//!   warm-start hint, which collapses the clamp-engagement cascade on
+//!   sweep-shaped workloads (warm starts that fail to converge retry cold,
+//!   so solvability is unchanged).
+//!
+//! [`AnalogMaxFlow`](crate::solver::AnalogMaxFlow) keeps a topology-keyed
+//! cache of these templates and routes same-topology batches through them;
+//! see `DESIGN.md` for the invalidation rules.
+
+use std::sync::{Arc, Mutex};
+
+use ohmflow_circuit::mna::DeviceState;
+use ohmflow_circuit::{DcTemplate, SourceValue};
+use ohmflow_graph::FlowNetwork;
+
+use crate::builder::{
+    build_with_layout, BuildOptions, CapacityMapping, LevelLayout, SubstrateCircuit,
+};
+use crate::params::SubstrateParams;
+use crate::quantize::{ExactScaling, Quantizer};
+use crate::AnalogError;
+
+/// Structural identity of a max-flow instance: everything the substrate's
+/// netlist *structure* depends on, and nothing it does not (capacities and
+/// source values are excluded). Two graphs with equal keys can share one
+/// [`SubstrateTemplate`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TemplateKey {
+    vertices: usize,
+    source: usize,
+    sink: usize,
+    /// Edge list in id order — parallel edges are distinct widgets, so the
+    /// full list (not a set) is the identity.
+    edges: Vec<(u32, u32)>,
+}
+
+impl TemplateKey {
+    /// The key of `g`.
+    pub fn of(g: &FlowNetwork) -> Self {
+        TemplateKey {
+            vertices: g.vertex_count(),
+            source: g.source(),
+            sink: g.sink(),
+            edges: g
+                .edges()
+                .iter()
+                .map(|e| (e.from as u32, e.to as u32))
+                .collect(),
+        }
+    }
+}
+
+/// A reusable substrate for one graph topology: circuit skeleton, shared
+/// cold-path artifacts and warm-start state. See the module docs.
+#[derive(Debug)]
+pub struct SubstrateTemplate {
+    key: TemplateKey,
+    params: SubstrateParams,
+    opts: BuildOptions,
+    /// Skeleton with per-edge level sources; instances are value-restamped
+    /// clones of it.
+    skeleton: SubstrateCircuit,
+    /// Per-edge level-source ids (`None` for grounded circulation edges).
+    level_sources: Vec<Option<ohmflow_circuit::ElementId>>,
+    /// Shared MNA structure + base sparsity + symbolic/numeric LU.
+    dc: Arc<DcTemplate>,
+    /// Converged device states of the most recent solve, keyed by a
+    /// fingerprint of the instance *values* (clamp voltages + drive). A
+    /// warm start is only sound when the instance is value-identical: the
+    /// complementarity fixed point reached from the all-off start is the
+    /// physical one, and warm-starting a *different* value assignment can
+    /// converge to a different (spurious) equilibrium — so the hint is
+    /// never applied across value changes.
+    warm: Mutex<Option<(u64, Vec<DeviceState>)>>,
+}
+
+/// Fingerprint of everything the warm-start fixed point depends on beyond
+/// topology: the values actually stamped into the quasi-static solve — the
+/// DC value of every independent source (capacity levels, the drive, and
+/// any source a caller restamped through `circuit_mut`) and every
+/// resistive element value (so a variation-perturbed instance never
+/// inherits an unperturbed instance's clamp states). Pure readout scales
+/// (`volts_per_flow`) are deliberately excluded — capacity vectors that map
+/// to the same voltages share their fixed point.
+pub(crate) fn value_fingerprint(sc: &SubstrateCircuit) -> u64 {
+    use ohmflow_circuit::Element;
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for e in sc.circuit().elements() {
+        match e {
+            Element::VoltageSource { value, .. } | Element::CurrentSource { value, .. } => {
+                value.dc_value().to_bits().hash(&mut h);
+            }
+            Element::Resistor { resistance, .. } => resistance.to_bits().hash(&mut h),
+            Element::NegativeResistorDyn { magnitude, .. } => magnitude.to_bits().hash(&mut h),
+            Element::Memristor { .. } => {
+                if let Some(r) = e.memristance() {
+                    r.to_bits().hash(&mut h);
+                }
+            }
+            _ => {}
+        }
+    }
+    h.finish()
+}
+
+impl SubstrateTemplate {
+    /// Runs the full cold path for `g`'s topology: builds the per-edge
+    /// skeleton (using `g`'s capacities as the initial values) and derives
+    /// the shared structure and factorization.
+    ///
+    /// # Errors
+    ///
+    /// Build failures propagate; circuit-level failures if the base
+    /// operating-point matrix cannot be factored.
+    pub fn new(
+        g: &FlowNetwork,
+        params: &SubstrateParams,
+        opts: &BuildOptions,
+    ) -> Result<Self, AnalogError> {
+        let (skeleton, level_sources) = build_with_layout(g, params, opts, LevelLayout::PerEdge)?;
+        let dc = Arc::new(DcTemplate::new(skeleton.circuit()).map_err(AnalogError::from)?);
+        Ok(SubstrateTemplate {
+            key: TemplateKey::of(g),
+            params: params.clone(),
+            opts: *opts,
+            skeleton,
+            level_sources,
+            dc,
+            warm: Mutex::new(None),
+        })
+    }
+
+    /// The topology key this template serves.
+    pub fn key(&self) -> &TemplateKey {
+        &self.key
+    }
+
+    /// The shared circuit-level cold-path artifacts.
+    pub fn dc_template(&self) -> &Arc<DcTemplate> {
+        &self.dc
+    }
+
+    /// The build options the skeleton was constructed with.
+    pub fn build_options(&self) -> &BuildOptions {
+        &self.opts
+    }
+
+    /// Instantiates the template for `g`'s capacities (the template's own
+    /// capacity mapping). `g` must have the same topology as the template
+    /// was built from; capacities are free.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidConfig`] on a topology mismatch.
+    pub fn instantiate(&self, g: &FlowNetwork) -> Result<SubstrateCircuit, AnalogError> {
+        self.instantiate_mapped(g, self.opts.capacity_mapping)
+    }
+
+    /// [`SubstrateTemplate::instantiate`] with an explicit capacity→voltage
+    /// mapping override — the Fig. 10 `N`-sweep: the same topology is
+    /// re-instantiated per quantization level count, all value-only.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalogError::InvalidConfig`] on a topology mismatch.
+    pub fn instantiate_mapped(
+        &self,
+        g: &FlowNetwork,
+        mapping: CapacityMapping,
+    ) -> Result<SubstrateCircuit, AnalogError> {
+        if TemplateKey::of(g) != self.key {
+            return Err(AnalogError::InvalidConfig {
+                what: "template instantiated with a different graph topology".to_owned(),
+            });
+        }
+        // Value-only work: map capacities to clamp voltages and restamp the
+        // per-edge level sources of a skeleton clone.
+        let c_max = g.max_capacity() as f64;
+        let exact = ExactScaling::new(self.params.v_dd, c_max);
+        let quantizer = match mapping {
+            CapacityMapping::Exact => None,
+            CapacityMapping::Quantized { levels } => {
+                Some(Quantizer::new(levels, self.params.v_dd, c_max))
+            }
+        };
+        let clamp_volts: Vec<f64> = g
+            .edges()
+            .iter()
+            .map(|e| match &quantizer {
+                None => exact.to_volts(e.capacity as f64),
+                Some(q) => q.quantize(e.capacity as f64),
+            })
+            .collect();
+
+        let mut sc = self.skeleton.clone();
+        let v_on = self.params.diode.v_on;
+        for (k, src) in self.level_sources.iter().enumerate() {
+            if let Some(id) = src {
+                sc.circuit_mut()
+                    .set_source_value(*id, SourceValue::dc(clamp_volts[k] - v_on))
+                    .expect("level source id");
+            }
+        }
+        sc.set_capacity_values(clamp_volts, self.params.v_dd / c_max);
+        sc.attach_dc_template(Arc::clone(&self.dc));
+        Ok(sc)
+    }
+
+    /// The warm-start hint: converged device states of the last solve with
+    /// the **same instance values** (fingerprint match), if any.
+    pub(crate) fn warm_states_for(&self, fingerprint: u64) -> Option<Vec<DeviceState>> {
+        self.warm
+            .lock()
+            .expect("warm-state lock")
+            .as_ref()
+            .filter(|(fp, _)| *fp == fingerprint)
+            .map(|(_, s)| s.clone())
+    }
+
+    /// Records converged device states as the warm start for future solves
+    /// of the same value assignment.
+    pub(crate) fn store_warm_states(&self, fingerprint: u64, states: &[DeviceState]) {
+        *self.warm.lock().expect("warm-state lock") = Some((fingerprint, states.to_vec()));
+    }
+}
+
+/// `true` if the circuit of every member has the same structure, so one
+/// [`DcTemplate`] derived from the first member serves the whole batch.
+pub(crate) fn uniform_structure(scs: &[SubstrateCircuit]) -> bool {
+    let Some(first) = scs.first() else {
+        return false;
+    };
+    let c0 = first.circuit();
+    scs[1..].iter().all(|sc| {
+        let c = sc.circuit();
+        c.node_count() == c0.node_count() && c.element_count() == c0.element_count()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use ohmflow_graph::generators;
+
+    fn params_and_opts() -> (SubstrateParams, BuildOptions) {
+        let mut params = SubstrateParams::table1();
+        params.v_flow = 50.0 * params.v_dd;
+        (params, BuildOptions::ideal())
+    }
+
+    #[test]
+    fn template_key_distinguishes_topologies() {
+        let a = generators::fig5a();
+        // fig5a and fig15a share a 5-vertex diamond topology (they differ
+        // only in capacities) — the key treats them as the same substrate,
+        // while a genuinely different shape must differ.
+        assert_eq!(
+            TemplateKey::of(&a),
+            TemplateKey::of(&generators::fig15a(10))
+        );
+        let b = generators::path(&[5, 2, 9]).unwrap();
+        assert_ne!(TemplateKey::of(&a), TemplateKey::of(&b));
+        // Same topology, different capacities: same key.
+        let c = a.scaled_capacities(2).unwrap();
+        assert_eq!(TemplateKey::of(&a), TemplateKey::of(&c));
+    }
+
+    #[test]
+    fn instantiate_rejects_topology_mismatch() {
+        let (params, opts) = params_and_opts();
+        let tpl = SubstrateTemplate::new(&generators::fig5a(), &params, &opts).unwrap();
+        let other = generators::path(&[5, 2, 9]).unwrap();
+        assert!(matches!(
+            tpl.instantiate(&other),
+            Err(AnalogError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn instantiate_restamps_clamp_values() {
+        let (params, opts) = params_and_opts();
+        let g = generators::fig5a();
+        let tpl = SubstrateTemplate::new(&g, &params, &opts).unwrap();
+        let g2 = g.scaled_capacities(3).unwrap();
+        let inst = tpl.instantiate(&g2).unwrap();
+        let fresh = build(&g2, &params, &opts).unwrap();
+        // Clamp voltages and readout scale must match a fresh build exactly
+        // (identical value pipeline, only the source layout differs).
+        assert_eq!(inst.volts_per_flow(), fresh.volts_per_flow());
+        for k in 0..g2.edge_count() {
+            assert_eq!(inst.clamp_volts(k), fresh.clamp_volts(k), "edge {k}");
+        }
+        assert!(inst.dc_template().is_some());
+    }
+}

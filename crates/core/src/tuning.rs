@@ -11,7 +11,7 @@
 //! iterating the two steps until the negation error is below a target.
 //! Memristive resistors make the fine-grained modulation possible (§3).
 
-use ohmflow_circuit::{Circuit, DcAnalysis, ElementId, NodeId, SourceValue};
+use ohmflow_circuit::{Circuit, DcAnalysis, DcTemplate, ElementId, NodeId, SourceValue};
 
 use crate::AnalogError;
 
@@ -42,6 +42,11 @@ pub struct TuningCircuit {
     r1: f64,
     r2: f64,
     r3: f64,
+    /// Cold-path artifacts built once: the tuning loop re-solves this tiny
+    /// circuit ~100 times per outer iteration (bisection on `r1`) with only
+    /// resistor/source *values* changing, which is exactly the template's
+    /// value-only fast path.
+    tpl: Option<DcTemplate>,
 }
 
 impl TuningCircuit {
@@ -68,6 +73,7 @@ impl TuningCircuit {
         let r3_id = ckt.resistor(p, Circuit::GROUND, -r3);
         // A light load fixes x⁻'s level as in the real widget.
         ckt.resistor(xneg, Circuit::GROUND, 100.0 * r1);
+        let tpl = DcTemplate::new(&ckt).ok();
         TuningCircuit {
             ckt,
             xneg,
@@ -77,6 +83,7 @@ impl TuningCircuit {
             r1,
             r2,
             r3,
+            tpl,
         }
     }
 
@@ -84,9 +91,11 @@ impl TuningCircuit {
         self.ckt
             .set_source_value(self.src, SourceValue::dc(vx))
             .expect("source id");
-        let sol = DcAnalysis::new(&self.ckt)
-            .solve()
-            .map_err(AnalogError::from)?;
+        let mut analysis = DcAnalysis::new(&self.ckt);
+        if let Some(tpl) = &self.tpl {
+            analysis = analysis.with_template(tpl);
+        }
+        let sol = analysis.solve().map_err(AnalogError::from)?;
         Ok(sol.voltage(self.xneg))
     }
 

@@ -13,7 +13,11 @@
 //! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting and
 //!   an approximate-minimum-degree fill-reducing ordering, plus a KLU-style
 //!   numeric-only [`SparseLu::refactor`] path reusing the ordering, symbolic
-//!   pattern and pivot sequence for value-only matrix changes,
+//!   pattern and pivot sequence for value-only matrix changes. The
+//!   factorization is split into an immutable, `Arc`-shared [`SymbolicLu`]
+//!   elimination plan and per-thread numeric values ([`NumericLu`]), so
+//!   same-topology batch members factor concurrently against one symbolic
+//!   analysis ([`SymbolicLu::numeric`]),
 //! * [`LowRankUpdate`] — Sherman–Morrison–Woodbury rank-k solve updates, so
 //!   a 1–2 entry conductance change (a clamp-diode toggle) updates an
 //!   existing factorization instead of discarding it,
@@ -54,4 +58,6 @@ pub use error::LinalgError;
 pub use lowrank::LowRankUpdate;
 pub use ordering::{min_degree_ordering, reverse_cuthill_mckee};
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
-pub use sparse_lu::{ColumnOrdering, SparseLu, SparseLuOptions};
+pub use sparse_lu::{
+    ColumnOrdering, LuWorkspace, NumericLu, SparseLu, SparseLuOptions, SymbolicLu,
+};

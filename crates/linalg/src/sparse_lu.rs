@@ -1,4 +1,5 @@
-//! Left-looking (Gilbert–Peierls) sparse LU with threshold partial pivoting.
+//! Left-looking (Gilbert–Peierls) sparse LU with threshold partial pivoting,
+//! split into a shareable symbolic analysis and per-thread numeric factors.
 //!
 //! This is the solver behind every DC operating point and every transient
 //! time step of the circuit simulator. It factors `A(:, q) = Pᵀ L U` where
@@ -7,6 +8,20 @@
 //! each column, a depth-first search over the structure of the already
 //! computed part of `L` predicts the nonzero pattern, and the numeric
 //! update is applied in topological order.
+//!
+//! The factorization is stored in two pieces, KLU-style:
+//!
+//! * [`SymbolicLu`] — the column ordering, the `L`/`U` nonzero pattern and
+//!   the pivot/elimination plan. It depends only on the matrix *sparsity
+//!   pattern* (plus the pivot choices of the matrix it was derived from),
+//!   is immutable, and is shared behind an [`Arc`] — many threads can
+//!   factor same-pattern matrices against one symbolic analysis.
+//! * [`SparseLu`] (alias [`NumericLu`]) — the numeric `L`/`U` values over a
+//!   shared symbolic plan. Cloning one copies only the value arrays and
+//!   bumps the symbolic refcount, which is what makes per-thread numeric
+//!   scratch factors cheap.
+
+use std::sync::Arc;
 
 use crate::ordering::{min_degree_ordering, reverse_cuthill_mckee};
 use crate::{CscMatrix, LinalgError};
@@ -66,7 +81,106 @@ impl Default for SparseLuOptions {
     }
 }
 
+/// Reusable scratch for the numeric factorization replay
+/// ([`SparseLu::refactor_with`]): an `n`-sized workspace vector and a stamp
+/// array. Hot loops (a template fanning out numeric refactorizations per
+/// batch member, a session refactoring every few hundred time steps) keep
+/// one per thread so the replay allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    x: Vec<f64>,
+    stamp: Vec<usize>,
+}
+
+impl LuWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.stamp.clear();
+        self.stamp.resize(n, usize::MAX);
+    }
+}
+
+/// The immutable, shareable half of a sparse LU factorization: column
+/// ordering `q`, pivot sequence, and the full symbolic `L`/`U` nonzero
+/// structure (the elimination plan).
+///
+/// A `SymbolicLu` is produced by a full pivoting factorization
+/// ([`SparseLu::factor`]) and then reused — across value-only
+/// refactorizations ([`SparseLu::refactor`]) and across *threads*: it is
+/// always held behind an [`Arc`], so concurrent workers on same-topology
+/// systems share one symbolic analysis and carry only per-thread numeric
+/// values ([`SymbolicLu::numeric`]).
+#[derive(Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    /// Column ordering: column `q[k]` of `A` is eliminated at step `k`.
+    q: Vec<usize>,
+    /// `row_perm[k]` = original row chosen as pivot at step `k`.
+    row_perm: Vec<usize>,
+    /// L stored by columns (unit diagonal implicit); row indices are
+    /// *original* row ids.
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    /// U stored by columns; row indices are pivot *steps* (`0..k`), sorted
+    /// ascending within each column segment with the diagonal (pivot)
+    /// stored last.
+    u_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    /// Pivot zero-tolerance carried from the factorization options so every
+    /// numeric replay applies the same singularity test.
+    zero_tol: f64,
+}
+
+impl SymbolicLu {
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total stored entries in the `L` and `U` patterns (a fill-in metric).
+    pub fn pattern_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len()
+    }
+
+    /// Builds a fresh numeric factor of `a` over this shared symbolic plan
+    /// — the template fan-out primitive: one symbolic analysis, many
+    /// per-thread numeric factorizations. Equivalent to cloning an existing
+    /// factor and [`SparseLu::refactor`]ing it, without copying stale
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::refactor`]: shape mismatches,
+    /// [`LinalgError::PatternChanged`] if `a` has an entry outside this
+    /// pattern, [`LinalgError::Singular`] if a frozen pivot is unusable for
+    /// the new values.
+    pub fn numeric(sym: &Arc<SymbolicLu>, a: &CscMatrix) -> Result<SparseLu, LinalgError> {
+        let mut lu = SparseLu {
+            sym: Arc::clone(sym),
+            l_vals: vec![0.0; sym.l_rows.len()],
+            u_vals: vec![0.0; sym.u_rows.len()],
+        };
+        lu.refactor(a)?;
+        Ok(lu)
+    }
+}
+
+/// Per-thread numeric half of the factorization: the `L`/`U` values over a
+/// shared [`SymbolicLu`]. See [`SparseLu`].
+pub type NumericLu = SparseLu;
+
 /// Sparse LU factorization `A(:, q) = Pᵀ L U`.
+///
+/// Internally this is a *numeric* factor (value arrays) over an
+/// [`Arc<SymbolicLu>`] elimination plan; [`SparseLu::symbolic`] exposes the
+/// shared half and [`SymbolicLu::numeric`] builds sibling factors for other
+/// matrices with the same pattern.
 ///
 /// # Example
 ///
@@ -87,25 +201,9 @@ impl Default for SparseLuOptions {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SparseLu {
-    n: usize,
-    /// Column ordering: column `q[k]` of `A` is eliminated at step `k`.
-    q: Vec<usize>,
-    /// `row_perm[k]` = original row chosen as pivot at step `k`.
-    row_perm: Vec<usize>,
-    /// L stored by columns (unit diagonal implicit); row indices are
-    /// *original* row ids.
-    l_ptr: Vec<usize>,
-    l_rows: Vec<usize>,
+    sym: Arc<SymbolicLu>,
     l_vals: Vec<f64>,
-    /// U stored by columns; row indices are pivot *steps* (`0..k`), sorted
-    /// ascending within each column segment with the diagonal (pivot)
-    /// stored last.
-    u_ptr: Vec<usize>,
-    u_rows: Vec<usize>,
     u_vals: Vec<f64>,
-    /// Pivot zero-tolerance carried from the factorization options so
-    /// [`SparseLu::refactor`] applies the same singularity test.
-    zero_tol: f64,
 }
 
 impl SparseLu {
@@ -285,17 +383,26 @@ impl SparseLu {
         }
 
         Ok(SparseLu {
-            n,
-            q,
-            row_perm,
-            l_ptr,
-            l_rows,
+            sym: Arc::new(SymbolicLu {
+                n,
+                q,
+                row_perm,
+                l_ptr,
+                l_rows,
+                u_ptr,
+                u_rows,
+                zero_tol: opts.zero_tolerance,
+            }),
             l_vals,
-            u_ptr,
-            u_rows,
             u_vals,
-            zero_tol: opts.zero_tolerance,
         })
+    }
+
+    /// The shared symbolic half (ordering, pattern, pivot plan). Clone the
+    /// `Arc` to hand the elimination plan to other threads; pair it with
+    /// [`SymbolicLu::numeric`] to build sibling factors.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
     }
 
     /// Recomputes the numeric factorization for a matrix with the **same**
@@ -323,38 +430,56 @@ impl SparseLu {
     /// factorization **must not** be used for further solves and should be
     /// replaced via [`SparseLu::factor`].
     pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), LinalgError> {
+        let mut ws = LuWorkspace::new();
+        self.refactor_with(a, &mut ws)
+    }
+
+    /// [`SparseLu::refactor`] with caller-provided scratch, so repeated
+    /// numeric replays (per-step rebases, template fan-outs) allocate
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::refactor`].
+    pub fn refactor_with(
+        &mut self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+    ) -> Result<(), LinalgError> {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
                 cols: a.cols(),
             });
         }
-        if a.cols() != self.n {
+        let sym = &self.sym;
+        if a.cols() != sym.n {
             return Err(LinalgError::DimensionMismatch {
-                expected: self.n,
+                expected: sym.n,
                 found: a.cols(),
             });
         }
-        let n = self.n;
-        let mut x = vec![0.0f64; n];
-        let mut stamp = vec![usize::MAX; n];
+        let n = sym.n;
+        ws.reset(n);
+        let x = &mut ws.x;
+        let stamp = &mut ws.stamp;
 
         for k in 0..n {
-            let col = self.q[k];
-            let (ulo, uhi) = (self.u_ptr[k], self.u_ptr[k + 1]);
-            let (llo, lhi) = (self.l_ptr[k], self.l_ptr[k + 1]);
+            let col = sym.q[k];
+            let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+            let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
 
             // Zero the workspace over the column's factorized pattern.
             for idx in ulo..uhi - 1 {
-                let r = self.row_perm[self.u_rows[idx]];
+                let r = sym.row_perm[sym.u_rows[idx]];
                 stamp[r] = k;
                 x[r] = 0.0;
             }
-            let pivot_row = self.row_perm[k];
+            let pivot_row = sym.row_perm[k];
             stamp[pivot_row] = k;
             x[pivot_row] = 0.0;
             for idx in llo..lhi {
-                let r = self.l_rows[idx];
+                let r = sym.l_rows[idx];
                 stamp[r] = k;
                 x[r] = 0.0;
             }
@@ -376,12 +501,12 @@ impl SparseLu {
             // dependencies (L column `s` only touches rows pivoted after
             // `s`), so x[row_perm[s]] is final when step `s` is applied.
             for idx in ulo..uhi - 1 {
-                let s = self.u_rows[idx];
-                let xval = x[self.row_perm[s]];
+                let s = sym.u_rows[idx];
+                let xval = x[sym.row_perm[s]];
                 self.u_vals[idx] = xval;
                 if xval != 0.0 {
-                    for j in self.l_ptr[s]..self.l_ptr[s + 1] {
-                        x[self.l_rows[j]] -= xval * self.l_vals[j];
+                    for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
+                        x[sym.l_rows[j]] -= xval * self.l_vals[j];
                     }
                 }
             }
@@ -390,17 +515,17 @@ impl SparseLu {
             let pivot_val = x[pivot_row];
             let mut col_max = pivot_val.abs();
             for idx in llo..lhi {
-                col_max = col_max.max(x[self.l_rows[idx]].abs());
+                col_max = col_max.max(x[sym.l_rows[idx]].abs());
             }
             if !pivot_val.is_finite()
-                || pivot_val.abs() <= self.zero_tol
+                || pivot_val.abs() <= sym.zero_tol
                 || pivot_val.abs() < 1e-10 * col_max
             {
                 return Err(LinalgError::Singular { column: col });
             }
             self.u_vals[uhi - 1] = pivot_val;
             for idx in llo..lhi {
-                self.l_vals[idx] = x[self.l_rows[idx]] / pivot_val;
+                self.l_vals[idx] = x[sym.l_rows[idx]] / pivot_val;
             }
         }
         Ok(())
@@ -433,9 +558,10 @@ impl SparseLu {
         work: &mut Vec<f64>,
         out: &mut Vec<f64>,
     ) -> Result<(), LinalgError> {
-        if b.len() != self.n {
+        let sym = &self.sym;
+        if b.len() != sym.n {
             return Err(LinalgError::DimensionMismatch {
-                expected: self.n,
+                expected: sym.n,
                 found: b.len(),
             });
         }
@@ -443,30 +569,30 @@ impl SparseLu {
         work.clear();
         work.extend_from_slice(b);
         out.clear();
-        out.resize(self.n, 0.0);
-        for step in 0..self.n {
-            let zk = work[self.row_perm[step]];
+        out.resize(sym.n, 0.0);
+        for step in 0..sym.n {
+            let zk = work[sym.row_perm[step]];
             out[step] = zk;
             if zk != 0.0 {
-                for idx in self.l_ptr[step]..self.l_ptr[step + 1] {
-                    work[self.l_rows[idx]] -= zk * self.l_vals[idx];
+                for idx in sym.l_ptr[step]..sym.l_ptr[step + 1] {
+                    work[sym.l_rows[idx]] -= zk * self.l_vals[idx];
                 }
             }
         }
         // Backward solve U y = z in place; U columns hold steps, diagonal last.
-        for step in (0..self.n).rev() {
-            let (lo, hi) = (self.u_ptr[step], self.u_ptr[step + 1]);
+        for step in (0..sym.n).rev() {
+            let (lo, hi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
             let yk = out[step] / self.u_vals[hi - 1];
             out[step] = yk;
             if yk != 0.0 {
                 for idx in lo..(hi - 1) {
-                    out[self.u_rows[idx]] -= yk * self.u_vals[idx];
+                    out[sym.u_rows[idx]] -= yk * self.u_vals[idx];
                 }
             }
         }
         // Undo the column permutation: x[q[k]] = y[k].
-        for k in 0..self.n {
-            work[self.q[k]] = out[k];
+        for k in 0..sym.n {
+            work[sym.q[k]] = out[k];
         }
         std::mem::swap(work, out);
         Ok(())
@@ -491,7 +617,7 @@ impl SparseLu {
 
     /// System dimension.
     pub fn dim(&self) -> usize {
-        self.n
+        self.sym.n
     }
 
     /// Total stored entries in `L` and `U` (a fill-in metric).
@@ -723,6 +849,45 @@ mod tests {
     }
 
     #[test]
+    fn symbolic_numeric_matches_fresh_factorization() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 12;
+        let mut pos: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for _ in 0..(3 * n) {
+            pos.push((rng.gen_range(0..n), rng.gen_range(0..n)));
+        }
+        let fill = |rng: &mut StdRng| {
+            let mut t = TripletMatrix::new(n, n);
+            for (k, &(i, j)) in pos.iter().enumerate() {
+                let v = if k < n {
+                    rng.gen_range(2.0..5.0)
+                } else {
+                    rng.gen_range(-0.4..0.4)
+                };
+                t.push(i, j, v);
+            }
+            t.to_csc()
+        };
+        let a1 = fill(&mut rng);
+        let base = SparseLu::factor(&a1).unwrap();
+        let sym = Arc::clone(base.symbolic());
+        for _ in 0..5 {
+            let a2 = fill(&mut rng);
+            let lu = SymbolicLu::numeric(&sym, &a2).unwrap();
+            // Sibling factors share the symbolic plan by pointer.
+            assert!(Arc::ptr_eq(lu.symbolic(), &sym));
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x = lu.solve(&b).unwrap();
+            let x_ref = SparseLu::factor(&a2).unwrap().solve(&b).unwrap();
+            for (a, r) in x.iter().zip(&x_ref) {
+                assert!((a - r).abs() < 1e-9, "{a} vs {r}");
+            }
+        }
+    }
+
+    #[test]
     fn refactor_survives_exact_cancellation_in_original_factor() {
         // Elimination of this matrix cancels a fill entry to exactly 0.0.
         // The stored structure must still contain that position, or a
@@ -821,6 +986,32 @@ mod tests {
             lu.refactor(&t2.to_csc()),
             Err(LinalgError::Singular { .. })
         ));
+    }
+
+    #[test]
+    fn refactor_with_reuses_workspace() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 2, 4.0);
+        t.push(0, 2, 1.0);
+        let csc = t.to_csc();
+        let mut lu = SparseLu::factor(&csc).unwrap();
+        let mut ws = LuWorkspace::new();
+        for scale in [1.5, 2.0, 3.0] {
+            let mut t2 = TripletMatrix::new(3, 3);
+            t2.push(0, 0, 2.0 * scale);
+            t2.push(1, 1, 3.0 * scale);
+            t2.push(2, 2, 4.0 * scale);
+            t2.push(0, 2, scale);
+            let a = t2.to_csc();
+            lu.refactor_with(&a, &mut ws).unwrap();
+            let x = lu.solve(&[2.0 * scale, 3.0 * scale, 4.0 * scale]).unwrap();
+            let ax = a.mul_vec(&x);
+            for (ai, bi) in ax.iter().zip(&[2.0 * scale, 3.0 * scale, 4.0 * scale]) {
+                assert!((ai - bi).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Template correctness: a `SubstrateTemplate::instantiate` + solve must
+//! agree with a fresh `build()` + solve to solver precision across random
+//! graphs, capacity draws and `BuildOptions`; and one `Arc<SymbolicLu>`
+//! must serve concurrent numeric factorizations across rayon workers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ohmflow::builder::{BuildOptions, CapacityMapping, NegativeResistorImpl};
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::SubstrateTemplate;
+use ohmflow_graph::FlowNetwork;
+
+/// A random small flow network with a guaranteed source→sink spine (so the
+/// substrate always has live edges) plus random chords — including edges
+/// into the source and out of the sink, which exercise the grounded
+/// circulation-edge handling.
+fn random_graph(rng: &mut StdRng) -> FlowNetwork {
+    let n = rng.gen_range(4..9);
+    let mut g = FlowNetwork::new(n, 0, n - 1).expect("endpoints");
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1, rng.gen_range(1..=20)).expect("spine");
+    }
+    for _ in 0..rng.gen_range(0..2 * n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let _ = g.add_edge(a, b, rng.gen_range(1..=20));
+        }
+    }
+    g
+}
+
+/// The same topology with freshly drawn capacities.
+fn redraw_capacities(g: &FlowNetwork, rng: &mut StdRng) -> FlowNetwork {
+    let mut g2 = FlowNetwork::new(g.vertex_count(), g.source(), g.sink()).expect("endpoints");
+    for e in g.edges() {
+        g2.add_edge(e.from, e.to, rng.gen_range(1..=20))
+            .expect("edge");
+    }
+    g2
+}
+
+/// Random build options over the value-compatible axes: capacity mapping
+/// (exact or quantized at random `N`), negative-resistor realization, and
+/// the finite-gain margin formula.
+fn random_build_options(rng: &mut StdRng) -> BuildOptions {
+    let mut opts = BuildOptions::ideal();
+    opts.capacity_mapping = if rng.gen_bool(0.5) {
+        CapacityMapping::Exact
+    } else {
+        CapacityMapping::Quantized {
+            levels: rng.gen_range(5..=30),
+        }
+    };
+    opts.negative_resistor = if rng.gen_bool(0.5) {
+        NegativeResistorImpl::Ideal
+    } else {
+        NegativeResistorImpl::Dynamic
+    };
+    opts.nic_margin = if rng.gen_bool(0.5) { Some(0.0) } else { None };
+    opts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn template_instantiate_agrees_with_fresh_build(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g1 = random_graph(&mut rng);
+        let g2 = redraw_capacities(&g1, &mut rng);
+        let mut cfg = AnalogConfig::ideal();
+        cfg.build = random_build_options(&mut rng);
+        let solver = AnalogMaxFlow::new(cfg);
+
+        // Prime the template with the first capacity draw, then solve the
+        // second through it: the template path sees only a value restamp.
+        let cold1 = solver.solve(&g1).expect("cold solve g1");
+        let warm1 = solver.solve_templated(&g1).expect("templated solve g1");
+        let cold2 = solver.solve(&g2).expect("cold solve g2");
+        let warm2 = solver.solve_templated(&g2).expect("templated solve g2");
+
+        let tol = |r: f64| 1e-12 * r.abs().max(1.0);
+        for (cold, warm, label) in [(&cold1, &warm1, "g1"), (&cold2, &warm2, "g2")] {
+            prop_assert!(
+                (warm.value - cold.value).abs() < tol(cold.value),
+                "{label}: templated value {} vs fresh {}",
+                warm.value,
+                cold.value
+            );
+            for (e, (a, b)) in warm.edge_flows.iter().zip(&cold.edge_flows).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < tol(*b),
+                    "{label}: edge {e} flow {a} vs fresh {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_direct_agrees_with_fresh_build(seed in any::<u64>()) {
+        // The lower-level path: SubstrateTemplate::new + instantiate on a
+        // redrawn capacity vector, solved as a built circuit.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g1 = random_graph(&mut rng);
+        let g2 = redraw_capacities(&g1, &mut rng);
+        let mut cfg = AnalogConfig::ideal();
+        cfg.build = random_build_options(&mut rng);
+        let solver = AnalogMaxFlow::new(cfg.clone());
+
+        let tpl = SubstrateTemplate::new(&g1, &cfg.params, &cfg.build).expect("template");
+        let inst = tpl.instantiate(&g2).expect("instantiate");
+        let warm = solver.solve_instantiated(&inst, &tpl).expect("solve instantiated");
+        let cold = solver.solve(&g2).expect("cold solve");
+
+        let tol = |r: f64| 1e-12 * r.abs().max(1.0);
+        prop_assert!(
+            (warm.value - cold.value).abs() < tol(cold.value),
+            "value {} vs fresh {}",
+            warm.value,
+            cold.value
+        );
+        for (e, (a, b)) in warm.edge_flows.iter().zip(&cold.edge_flows).enumerate() {
+            prop_assert!((a - b).abs() < tol(*b), "edge {e} flow {a} vs fresh {b}");
+        }
+    }
+}
+
+#[test]
+fn shared_symbolic_serves_concurrent_numeric_factorizations() {
+    use ohmflow_linalg::{SparseLu, SymbolicLu, TripletMatrix};
+    use rayon::prelude::*;
+    use std::sync::Arc;
+
+    // One sparsity pattern (a 2-D grid Laplacian + identity), many value
+    // assignments: every rayon worker derives its own numeric factor from
+    // the one shared symbolic plan and must reproduce a fresh pivoting
+    // factorization's solution.
+    let side = 12;
+    let n = side * side;
+    let grid = |scale_of: &dyn Fn(usize) -> f64| {
+        let mut t = TripletMatrix::new(n, n);
+        let id = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                let me = id(r, c);
+                let mut deg = 1.0;
+                for (nr, nc) in [
+                    (r.wrapping_sub(1), c),
+                    (r + 1, c),
+                    (r, c.wrapping_sub(1)),
+                    (r, c + 1),
+                ] {
+                    if nr < side && nc < side {
+                        let w = scale_of(me * n + id(nr, nc));
+                        t.push(me, id(nr, nc), -w);
+                        deg += w;
+                    }
+                }
+                t.push(me, me, deg);
+            }
+        }
+        t.to_csc()
+    };
+
+    let base = grid(&|_| 1.0);
+    let lu0 = SparseLu::factor(&base).expect("base factor");
+    let sym = Arc::clone(lu0.symbolic());
+
+    let seeds: Vec<u64> = (1..=8).collect();
+    let results: Vec<f64> = seeds
+        .par_iter()
+        .map(|&s| {
+            let a = grid(&|k| 1.0 + 0.3 * (((k as u64).wrapping_mul(s) % 7) as f64) / 7.0);
+            let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.13).sin()).collect();
+            let lu = SymbolicLu::numeric(&sym, &a).expect("numeric factor");
+            assert!(Arc::ptr_eq(lu.symbolic(), &sym), "symbolic not shared");
+            let x = lu.solve(&b).expect("solve");
+            let x_ref = SparseLu::factor(&a)
+                .expect("fresh")
+                .solve(&b)
+                .expect("solve");
+            let mut max_err = 0.0f64;
+            for (xi, ri) in x.iter().zip(&x_ref) {
+                max_err = max_err.max((xi - ri).abs());
+            }
+            max_err
+        })
+        .collect();
+    for (s, err) in seeds.iter().zip(&results) {
+        assert!(*err < 1e-10, "seed {s}: max deviation {err}");
+    }
+}
