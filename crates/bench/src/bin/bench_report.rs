@@ -1,17 +1,26 @@
 //! Machine-readable perf snapshot for CI: runs the fast benchmark suite
-//! with wall-clock timing and writes `BENCH_PR2.json` (ns/op per scenario,
-//! plus derived speedups), so the repo's perf trajectory is tracked by
-//! artifact instead of anecdote.
+//! with wall-clock timing and writes `BENCH_PR2.json` (the template /
+//! incremental-engine scenarios of PR 2, kept as the regression guard) and
+//! `BENCH_PR3.json` (the PR 3 large-graph scaling story: parallel vs
+//! serial numeric refactorization and reach-based sparse vs dense
+//! triangular solves on rmat1024 / rmat2048 / a DIMACS-roundtripped grid),
+//! so the repo's perf trajectory is tracked by artifact instead of
+//! anecdote.
 //!
 //! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
-//! (`OHMFLOW_BENCH_OUT` overrides the output path.)
+//! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` override the output
+//! paths.)
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
 use ohmflow::SubstrateTemplate;
-use ohmflow_bench::{fig10_instance, median_ns};
+use ohmflow_bench::{
+    bench_substrate, dimacs_grid_instance, diode_unknown_pairs, fig10_instance, median_ns,
+    time_push_relabel,
+};
 use ohmflow_circuit::{DcTemplate, FrozenDcSession};
 use ohmflow_graph::generators;
+use ohmflow_linalg::{LuWorkspace, RefactorStrategy, SparseLu, SparseSolveWorkspace};
 
 fn main() {
     let mut entries: Vec<(String, f64)> = Vec::new();
@@ -133,5 +142,215 @@ fn main() {
 
     let out = std::env::var("OHMFLOW_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_owned());
     std::fs::write(&out, json).expect("write bench report");
+    println!("wrote {out}");
+
+    pr3_report();
+}
+
+/// The PR 3 large-graph scaling section: numeric refactorization
+/// (serial vs level-scheduled parallel) and rank-1 triangular solves
+/// (dense vs reach-based sparse halves) on the real substrate MNA
+/// matrices of rmat1024, rmat2048 and a DIMACS-roundtripped 40×40 grid,
+/// plus an end-to-end frozen-DC session flip loop on the DIMACS instance.
+fn pr3_report() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("--- PR3 scaling (cores: {cores}) ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, ns: f64| {
+        println!("{name:<44} {:>14.0} ns/op", ns);
+        entries.push((name, ns));
+    };
+
+    // Seed 1: some R-MAT seeds produce substrates whose all-diodes-off
+    // stamp is singular (near-disconnected vertices); the bench needs a
+    // solvable instance, not a particular one.
+    for (name, g) in [
+        ("rmat1024", fig10_instance(1024, false, 1)),
+        ("rmat2048", fig10_instance(2048, false, 1)),
+        ("dimacs_grid40", dimacs_grid_instance(40, 50, 7)),
+    ] {
+        let sc = bench_substrate(&g);
+        let (m, base_lu) = ohmflow_circuit::stamp_dc_system(sc.circuit()).expect("dc system");
+        let m = &m;
+        println!(
+            "{name}: {} unknowns, {} nnz, {} elimination levels",
+            m.cols(),
+            m.nnz(),
+            base_lu.symbolic().level_count()
+        );
+
+        // Full symbolic + numeric factorization: the phase the
+        // index-permutation sort_paired rewrite targets.
+        push(
+            format!("{name}/symbolic_numeric_factor"),
+            median_ns(3, || SparseLu::factor(m).expect("factor")),
+        );
+
+        // Numeric-only refactorization, serial vs level-scheduled
+        // parallel on every available core.
+        let mut ws = LuWorkspace::new();
+        let mut lu = base_lu.clone();
+        push(
+            format!("{name}/refactor_serial"),
+            median_ns(5, || {
+                lu.refactor_with_strategy(m, &mut ws, RefactorStrategy::Serial)
+                    .expect("serial refactor")
+            }),
+        );
+        push(
+            format!("{name}/refactor_parallel"),
+            median_ns(5, || {
+                lu.refactor_with_strategy(m, &mut ws, RefactorStrategy::Parallel { threads: cores })
+                    .expect("parallel refactor")
+            }),
+        );
+
+        // Rank-1 triangular solves over a sample of the substrate's real
+        // diode (anode, cathode) unknown pairs. Three variants:
+        // `dense` is the old extend path (one full dense `solve_into`);
+        // `sparse` is the pure reach-based half-solve pair (forward +
+        // transposed-backward) — the sparse-RHS primitives' headroom on a
+        // rank-1 RHS; `push_path` is what `LowRankUpdate::push` actually
+        // ships: reach-limited forward half + structurally-dense backward
+        // completion (the apply path needs the dense z).
+        let pairs = diode_unknown_pairs(&sc);
+        let sample: Vec<(usize, usize)> = pairs
+            .iter()
+            .step_by((pairs.len() / 64).max(1))
+            .copied()
+            .collect();
+        let lu = &base_lu;
+        let n = m.cols();
+        let mut dense_rhs = vec![0.0; n];
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        let t_dense = median_ns(3, || {
+            for &(a, c) in &sample {
+                dense_rhs[a] = 1e3;
+                dense_rhs[c] = -1e3;
+                lu.solve_into(&dense_rhs, &mut work, &mut out)
+                    .expect("solve");
+                dense_rhs[a] = 0.0;
+                dense_rhs[c] = 0.0;
+            }
+        });
+        let mut sws = SparseSolveWorkspace::new();
+        let (mut what, mut ghat) = (Vec::new(), Vec::new());
+        let t_sparse = median_ns(3, || {
+            for &(a, c) in &sample {
+                lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                    .expect("forward");
+                lu.transposed_backward_sparse_into(&[(a, 1.0), (c, -1.0)], &mut sws, &mut ghat)
+                    .expect("transposed backward");
+            }
+        });
+        let mut back_work = Vec::new();
+        let mut z = Vec::new();
+        let t_push_path = median_ns(3, || {
+            for &(a, c) in &sample {
+                lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                    .expect("forward");
+                lu.backward_dense_from_steps(&what, &mut back_work, &mut z)
+                    .expect("backward completion");
+            }
+        });
+        let per = sample.len() as f64;
+        push(
+            format!("{name}/rank1_triangular_solve_dense"),
+            t_dense / per,
+        );
+        push(
+            format!("{name}/rank1_triangular_solve_sparse"),
+            t_sparse / per,
+        );
+        push(format!("{name}/rank1_push_path_sparse"), t_push_path / per);
+    }
+
+    // End-to-end on the DIMACS instance: frozen-DC session flip loop (the
+    // engine's hot path) and the CPU max-flow baseline for context.
+    {
+        let g = dimacs_grid_instance(40, 50, 7);
+        let sc = bench_substrate(&g);
+        let tpl = DcTemplate::new(sc.circuit()).expect("dc template");
+        let ckt = sc.circuit();
+        let n_diodes = ckt.diode_count();
+        let mut session = FrozenDcSession::with_template(ckt, &tpl)
+            .expect("session")
+            .with_phase_timing();
+        let mut on = vec![false; n_diodes];
+        let steps = 400;
+        let t0 = std::time::Instant::now();
+        for k in 0..steps {
+            on[(k * 7919) % n_diodes] = !on[(k * 7919) % n_diodes];
+            session.solve(k as f64 * 1e-9, &on).expect("session solve");
+        }
+        push(
+            "dimacs_grid40/session_flip_step".to_owned(),
+            t0.elapsed().as_nanos() as f64 / steps as f64,
+        );
+        let phases = session.phase_times();
+        println!(
+            "dimacs_grid40 session phases: stamp {:.1}ms refactor {:.1}ms solve {:.1}ms woodbury {:.1}ms",
+            phases.stamp_ns as f64 / 1e6,
+            phases.refactor_ns as f64 / 1e6,
+            phases.solve_ns as f64 / 1e6,
+            phases.woodbury_ns as f64 / 1e6,
+        );
+        let (cpu_secs, _flow) = time_push_relabel(&g, 3);
+        push("dimacs_grid40/cpu_push_relabel".to_owned(), cpu_secs * 1e9);
+    }
+
+    let get = |entries: &[(String, f64)], n: &str| {
+        entries
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    let par_speedup_2048 = ratio(
+        get(&entries, "rmat2048/refactor_serial"),
+        get(&entries, "rmat2048/refactor_parallel"),
+    );
+    let sparse_speedup_grid = ratio(
+        get(&entries, "dimacs_grid40/rank1_triangular_solve_dense"),
+        get(&entries, "dimacs_grid40/rank1_triangular_solve_sparse"),
+    );
+    let sparse_speedup_2048 = ratio(
+        get(&entries, "rmat2048/rank1_triangular_solve_dense"),
+        get(&entries, "rmat2048/rank1_triangular_solve_sparse"),
+    );
+    let push_speedup_grid = ratio(
+        get(&entries, "dimacs_grid40/rank1_triangular_solve_dense"),
+        get(&entries, "dimacs_grid40/rank1_push_path_sparse"),
+    );
+    println!("parallel refactor speedup (rmat2048, {cores} cores): {par_speedup_2048:.2}x");
+    println!("sparse rank1 solve speedup (dimacs_grid40): {sparse_speedup_grid:.2}x");
+    println!("sparse rank1 solve speedup (rmat2048): {sparse_speedup_2048:.2}x");
+    println!("shipped push-path speedup (dimacs_grid40): {push_speedup_grid:.2}x");
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr3/1\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n  \"ns_per_op\": {{\n"));
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    json.push_str(&format!(
+        "    \"refactor_parallel_vs_serial_rmat2048\": {par_speedup_2048:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"rank1_sparse_vs_dense_solve_dimacs_grid40\": {sparse_speedup_grid:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"rank1_sparse_vs_dense_solve_rmat2048\": {sparse_speedup_2048:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"rank1_push_path_vs_dense_dimacs_grid40\": {push_speedup_grid:.3}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR3").unwrap_or_else(|_| "BENCH_PR3.json".to_owned());
+    std::fs::write(&out, json).expect("write pr3 bench report");
     println!("wrote {out}");
 }

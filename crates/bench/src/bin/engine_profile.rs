@@ -59,7 +59,9 @@ fn main() {
 
     // Raw session throughput: quiescent steps (skip path) and flip steps.
     let n_diodes = ckt.diode_count();
-    let mut session = FrozenDcSession::new(ckt).expect("session");
+    let mut session = FrozenDcSession::new(ckt)
+        .expect("session")
+        .with_phase_timing();
     let off = vec![false; n_diodes];
     let steps = 20_000;
     let t0 = Instant::now();
@@ -68,6 +70,7 @@ fn main() {
     }
     let quiescent_ns = t0.elapsed().as_nanos() as f64 / steps as f64;
 
+    let phases_quiescent = session.phase_times();
     let mut on = vec![false; n_diodes];
     let t0 = Instant::now();
     for k in 0..steps {
@@ -78,6 +81,33 @@ fn main() {
     println!("session quiescent step : {quiescent_ns:>8.0} ns");
     println!("session flip step      : {flip_ns:>8.0} ns");
     println!("session stats          : {:?}", session.stats());
+
+    // Per-phase attribution of the flip loop (quiescent share subtracted),
+    // so a transient regression names its culprit: stamping, the numeric
+    // refactorization, the triangular solves or the Woodbury bookkeeping.
+    let all = session.phase_times();
+    let flips = [
+        ("stamp", all.stamp_ns - phases_quiescent.stamp_ns),
+        ("refactor", all.refactor_ns - phases_quiescent.refactor_ns),
+        ("triangular-solve", all.solve_ns - phases_quiescent.solve_ns),
+        (
+            "woodbury-apply",
+            all.woodbury_ns - phases_quiescent.woodbury_ns,
+        ),
+    ];
+    let accounted: u64 = flips.iter().map(|(_, ns)| ns).sum();
+    println!("--- flip-loop phase breakdown ({steps} steps) ---");
+    for (label, ns) in flips {
+        println!(
+            "{label:<17}: {:>9.1} ns/step ({:>4.1}%)",
+            ns as f64 / steps as f64,
+            100.0 * ns as f64 / accounted.max(1) as f64
+        );
+    }
+    println!(
+        "accounted          : {:>9.1} of {flip_ns:.1} ns/step",
+        accounted as f64 / steps as f64
+    );
 
     // End-to-end engine comparison.
     for (label, engine) in [

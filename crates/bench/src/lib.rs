@@ -4,8 +4,12 @@
 
 use std::time::Instant;
 
+use ohmflow::builder::{
+    build, BuildOptions, CapacityMapping, Drive, NegativeResistorImpl, SubstrateCircuit,
+};
+use ohmflow::SubstrateParams;
 use ohmflow_graph::rmat::RmatConfig;
-use ohmflow_graph::FlowNetwork;
+use ohmflow_graph::{dimacs, generators, FlowNetwork};
 use ohmflow_maxflow::{push_relabel, PushRelabelVariant};
 
 /// The paper's Fig. 10 vertex sweep: 256 to 960 in steps of 64.
@@ -35,6 +39,49 @@ pub fn fig10_instance(vertices: usize, dense: bool, seed: u64) -> FlowNetwork {
     };
     cfg.max_capacity = 100;
     cfg.generate().expect("rmat instance")
+}
+
+/// The evaluation-shaped substrate build (ideal negative resistors, exact
+/// capacity mapping, step drive, no parasitics) shared by the profile and
+/// report bins, so every large-graph scaling number refers to the same
+/// circuit configuration.
+pub fn bench_substrate(g: &FlowNetwork) -> SubstrateCircuit {
+    let mut params = SubstrateParams::with_gbw(10e9);
+    params.v_flow = 50.0 * params.v_dd;
+    let mut bo = BuildOptions::evaluation(&params);
+    bo.capacity_mapping = CapacityMapping::Exact;
+    bo.negative_resistor = NegativeResistorImpl::Ideal;
+    bo.parasitics = false;
+    bo.drive = Drive::Step;
+    build(g, &params, &bo).expect("substrate build")
+}
+
+/// A DIMACS-roundtripped grid instance: generated, serialized to the
+/// DIMACS max-flow text format and parsed back, so the benchmark exercises
+/// the external-format ingestion path on a mesh-shaped (good-separator)
+/// workload — the structural opposite of the R-MAT expanders.
+pub fn dimacs_grid_instance(side: usize, max_cap: i64, seed: u64) -> FlowNetwork {
+    let g = generators::grid(side, side, max_cap, seed).expect("grid instance");
+    let text = dimacs::write(&g);
+    dimacs::parse(&text).expect("dimacs roundtrip")
+}
+
+/// The `(anode, cathode)` MNA unknown pairs of every diode in `sc` whose
+/// terminals are both non-ground — the real rank-1 Woodbury right-hand
+/// sides a clamp flip produces, used by the sparse-vs-dense solve benches.
+pub fn diode_unknown_pairs(sc: &SubstrateCircuit) -> Vec<(usize, usize)> {
+    sc.circuit()
+        .elements()
+        .iter()
+        .filter_map(|e| match e {
+            ohmflow_circuit::Element::Diode { anode, cathode, .. }
+                if !anode.is_ground() && !cathode.is_ground() =>
+            {
+                Some((anode.index() - 1, cathode.index() - 1))
+            }
+            _ => None,
+        })
+        .collect()
 }
 
 /// Median wall-clock nanoseconds of `f` over `reps` runs, with one warmup

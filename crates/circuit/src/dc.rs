@@ -1,4 +1,5 @@
 use std::sync::Arc;
+use std::time::Instant;
 
 use ohmflow_linalg::{CscMatrix, LowRankUpdate, LuWorkspace, SparseLu, SymbolicLu};
 
@@ -72,6 +73,11 @@ impl DcTemplate {
     /// The shared symbolic factorization (ordering + pattern + pivot plan).
     pub fn symbolic(&self) -> &Arc<SymbolicLu> {
         self.lu.symbolic()
+    }
+
+    /// The template's numeric factor over [`DcTemplate::symbolic`].
+    pub fn factor(&self) -> &SparseLu {
+        &self.lu
     }
 
     /// `true` if `ckt` has the structure this template was built from:
@@ -348,6 +354,25 @@ pub struct FrozenDcCache {
     lu: SparseLu,
 }
 
+/// Stamps `ckt`'s initial-state DC MNA matrix and factors it, returning
+/// both — the bench/diagnostic entry point for working with the raw linear
+/// system (refactorization strategies, sparse-RHS solves) of a real
+/// circuit. Deliberately *not* stored inside [`DcTemplate`]: templates are
+/// long-lived, and keeping a second copy of the matrix alive measurably
+/// perturbs allocator locality for every later stamp.
+///
+/// # Errors
+///
+/// [`CircuitError::SingularSystem`] if the initial-state configuration is
+/// unsolvable.
+pub fn stamp_dc_system(ckt: &Circuit) -> Result<(CscMatrix, SparseLu), CircuitError> {
+    let st = MnaStructure::new(ckt);
+    let states = mna::initial_states(ckt);
+    let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+    let lu = SparseLu::factor(&m)?;
+    Ok((m, lu))
+}
+
 /// Counters describing how a [`FrozenDcSession`] spent its linear-algebra
 /// budget — the observable behind the incremental engine's speedup claims.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -363,6 +388,34 @@ pub struct FrozenDcStats {
     pub refactorizations: usize,
     /// Full pivoting factorizations (session start + fallbacks).
     pub full_factorizations: usize,
+}
+
+/// Wall-clock nanoseconds a [`FrozenDcSession`] spent per linear-algebra
+/// phase of its solve loop — the attribution that makes a transient
+/// regression diagnosable: a slower `stamp` points at element iteration, a
+/// slower `refactor` at the numeric replay or its scheduling, `solve` at
+/// the triangular solves, `woodbury` at the rank-1 update bookkeeping.
+/// Read through [`FrozenDcSession::phase_times`]; the `engine_profile`
+/// bench bin prints the breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrozenDcPhases {
+    /// Re-stamping the MNA matrix and the per-step right-hand sides.
+    pub stamp_ns: u64,
+    /// Numeric refactorizations (and fallback fresh factorizations) during
+    /// rebases.
+    pub refactor_ns: u64,
+    /// Triangular solves against the base factorization.
+    pub solve_ns: u64,
+    /// Woodbury bookkeeping: sparse half-solve pushes, capacitance
+    /// refreshes, corrections and the refinement residual matvecs.
+    pub woodbury_ns: u64,
+}
+
+impl FrozenDcPhases {
+    /// Total accounted nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.stamp_ns + self.refactor_ns + self.solve_ns + self.woodbury_ns
+    }
 }
 
 /// A persistent frozen-state DC solve engine: the incremental replacement
@@ -448,6 +501,11 @@ pub struct FrozenDcSession<'c> {
     /// Scratch for numeric refactorizations (rebases stay allocation-free).
     lu_ws: LuWorkspace,
     stats: FrozenDcStats,
+    /// Phase timing is opt-in ([`FrozenDcSession::with_phase_timing`]):
+    /// clock reads cost tens of nanoseconds, which is real money on small
+    /// systems whose whole flip step is a few microseconds.
+    phase_timing: bool,
+    phases: FrozenDcPhases,
 }
 
 impl<'c> FrozenDcSession<'c> {
@@ -554,13 +612,30 @@ impl<'c> FrozenDcSession<'c> {
             dx: Vec::with_capacity(n),
             lu_ws: LuWorkspace::new(),
             stats,
+            phase_timing: false,
+            phases: FrozenDcPhases::default(),
         }
+    }
+
+    /// Reads the clock only when phase timing is enabled.
+    #[inline]
+    fn clock(&self) -> Option<Instant> {
+        self.phase_timing.then(Instant::now)
     }
 
     /// Overrides the rank budget (tests and tuning; `0` forces a rebase on
     /// every flip, which degenerates to the pure-refactorization engine).
     pub fn with_max_rank(mut self, max_rank: usize) -> Self {
         self.max_rank = max_rank;
+        self
+    }
+
+    /// Enables per-phase wall-clock attribution
+    /// ([`FrozenDcSession::phase_times`]). Off by default: the clock reads
+    /// would tax every step of small systems, so only profiling/bench
+    /// callers (`engine_profile`, `bench_report`) opt in.
+    pub fn with_phase_timing(mut self) -> Self {
+        self.phase_timing = true;
         self
     }
 
@@ -651,7 +726,12 @@ impl<'c> FrozenDcSession<'c> {
                 continue; // both terminals grounded, or already rebasing
             }
             let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
-            if self.update.push(&self.lu, &u, &d).is_err() {
+            let t0 = self.clock();
+            let pushed = self.update.push(&self.lu, &u, &d);
+            if let Some(t0) = t0 {
+                self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
+            }
+            if pushed.is_err() {
                 // Updated matrix not solvable through this base (or the
                 // capacitance matrix went singular): fall back to a rebase
                 // with the remaining flips applied directly to the stamp.
@@ -704,6 +784,7 @@ impl<'c> FrozenDcSession<'c> {
             self.rebase()?;
         }
 
+        let t0 = self.clock();
         mna::stamp_rhs_into(
             &mut self.rhs,
             self.ckt,
@@ -714,6 +795,9 @@ impl<'c> FrozenDcSession<'c> {
             None,
             false,
         );
+        if let Some(t0) = t0 {
+            self.phases.stamp_ns += t0.elapsed().as_nanos() as u64;
+        }
         if self.solve_linear().is_err() {
             // Numerical hygiene fallback: rebase and retry once.
             self.rebase()?;
@@ -729,21 +813,41 @@ impl<'c> FrozenDcSession<'c> {
     /// conductance swing (ideal diodes toggle by ~10 orders of magnitude)
     /// costs the bare Woodbury formula several digits to cancellation, and
     /// the refinement buys them back for one extra solve + matvec.
+    ///
+    /// Base triangular solves and Woodbury corrections run (and are timed)
+    /// separately so [`FrozenDcPhases`] can attribute them.
     fn solve_linear(&mut self) -> Result<(), CircuitError> {
-        self.update
-            .solve_into(&self.lu, &self.rhs, &mut self.work, &mut self.x)?;
+        let t0 = self.clock();
+        self.lu.solve_into(&self.rhs, &mut self.work, &mut self.x)?;
+        if let Some(t0) = t0 {
+            self.phases.solve_ns += t0.elapsed().as_nanos() as u64;
+        }
         if self.update.is_empty() {
             return Ok(());
         }
+        let t0 = self.clock();
+        self.update.correct(&self.lu, &mut self.x)?;
         self.base_csc.mul_vec_into(&self.x, &mut self.resid);
         self.update.accumulate_matvec(&self.x, &mut self.resid);
         for (r, b) in self.resid.iter_mut().zip(&self.rhs) {
             *r = b - *r;
         }
-        self.update
-            .solve_into(&self.lu, &self.resid, &mut self.work, &mut self.dx)?;
+        if let Some(t0) = t0 {
+            self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let t0 = self.clock();
+        self.lu
+            .solve_into(&self.resid, &mut self.work, &mut self.dx)?;
+        if let Some(t0) = t0 {
+            self.phases.solve_ns += t0.elapsed().as_nanos() as u64;
+        }
+        let t0 = self.clock();
+        self.update.correct(&self.lu, &mut self.dx)?;
         for (x, d) in self.x.iter_mut().zip(&self.dx) {
             *x += d;
+        }
+        if let Some(t0) = t0 {
+            self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
@@ -752,12 +856,23 @@ impl<'c> FrozenDcSession<'c> {
     /// factorization: numeric-only refactorization when the pattern still
     /// fits, fresh pivoting factorization otherwise.
     fn rebase(&mut self) -> Result<(), CircuitError> {
+        let t0 = self.clock();
         let m = mna::stamp_matrix(self.ckt, &self.st, &self.states, StampMode::Dc).to_csc();
+        if let Some(t0) = t0 {
+            self.phases.stamp_ns += t0.elapsed().as_nanos() as u64;
+        }
+        // `refactor_with` is the Auto-strategy numeric replay: on systems
+        // past the parallel threshold it schedules the elimination levels
+        // across rayon workers.
+        let t0 = self.clock();
         if self.lu.refactor_with(&m, &mut self.lu_ws).is_ok() {
             self.stats.refactorizations += 1;
         } else {
             self.lu = SparseLu::factor(&m)?;
             self.stats.full_factorizations += 1;
+        }
+        if let Some(t0) = t0 {
+            self.phases.refactor_ns += t0.elapsed().as_nanos() as u64;
         }
         self.base_csc = m;
         self.update.clear();
@@ -801,6 +916,12 @@ impl<'c> FrozenDcSession<'c> {
     /// Linear-algebra effort counters for this session.
     pub fn stats(&self) -> FrozenDcStats {
         self.stats
+    }
+
+    /// Wall-clock attribution of the solve loop by phase (stamp /
+    /// refactor / triangular solve / Woodbury apply).
+    pub fn phase_times(&self) -> FrozenDcPhases {
+        self.phases
     }
 }
 

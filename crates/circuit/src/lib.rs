@@ -52,8 +52,8 @@ mod waveform;
 
 pub use circuit::Circuit;
 pub use dc::{
-    solve_frozen_dc, DcAnalysis, DcSolution, DcTemplate, FrozenDcCache, FrozenDcSession,
-    FrozenDcStats,
+    solve_frozen_dc, stamp_dc_system, DcAnalysis, DcSolution, DcTemplate, FrozenDcCache,
+    FrozenDcPhases, FrozenDcSession, FrozenDcStats,
 };
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;

@@ -66,8 +66,11 @@ pub enum RelaxationEngine {
     /// The incremental frozen-DC engine (default): one persistent
     /// [`FrozenDcSession`] carries the MNA structure, factorization and
     /// buffers across every time step; clamp-diode switches are absorbed
-    /// as Woodbury rank-1 updates with a periodic refactorization for
-    /// numerical hygiene. See `DESIGN.md`.
+    /// as Woodbury rank-1 updates (built through reach-based sparse
+    /// triangular half-solves) with a periodic refactorization for
+    /// numerical hygiene — numeric-only, level-scheduled across rayon
+    /// workers on large systems unless the solve is already running inside
+    /// a batch worker. See `DESIGN.md`.
     #[default]
     Incremental,
     /// The historical reference path: every step calls

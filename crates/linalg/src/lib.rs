@@ -17,7 +17,12 @@
 //!   factorization is split into an immutable, `Arc`-shared [`SymbolicLu`]
 //!   elimination plan and per-thread numeric values ([`NumericLu`]), so
 //!   same-topology batch members factor concurrently against one symbolic
-//!   analysis ([`SymbolicLu::numeric`]),
+//!   analysis ([`SymbolicLu::numeric`]). The symbolic plan carries the
+//!   elimination tree and its level schedule, so a single numeric
+//!   refactorization can also run *internally* parallel
+//!   ([`RefactorStrategy`]), and [`SparseLu::solve_sparse_into`] performs
+//!   Gilbert–Peierls reach-based triangular solves that touch only the
+//!   factor columns a sparse right-hand side can influence,
 //! * [`LowRankUpdate`] — Sherman–Morrison–Woodbury rank-k solve updates, so
 //!   a 1–2 entry conductance change (a clamp-diode toggle) updates an
 //!   existing factorization instead of discarding it,
@@ -59,5 +64,6 @@ pub use lowrank::LowRankUpdate;
 pub use ordering::{min_degree_ordering, reverse_cuthill_mckee};
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 pub use sparse_lu::{
-    ColumnOrdering, LuWorkspace, NumericLu, SparseLu, SparseLuOptions, SymbolicLu,
+    ColumnOrdering, LuWorkspace, NumericLu, RefactorStrategy, SparseLu, SparseLuOptions,
+    SparseSolveWorkspace, SymbolicLu,
 };

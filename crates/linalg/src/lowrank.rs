@@ -8,16 +8,24 @@
 //! (A + U Vᵀ)⁻¹ b = A⁻¹ b − A⁻¹ U (I + Vᵀ A⁻¹ U)⁻¹ Vᵀ A⁻¹ b
 //! ```
 //!
-//! Each pushed rank-1 term costs one base solve (to compute `zᵢ = A⁻¹ uᵢ`)
-//! and a dense refactorization of the tiny `k × k` capacitance matrix
-//! `C = I + Vᵀ Z`; each subsequent solve costs one base solve plus `k`
-//! axpy passes. This is the circuit simulator's clamp-diode fast path: a
-//! diode toggling between its on/off conductance is a symmetric 1–2 node
+//! Each pushed rank-1 term costs one **sparse-RHS** solve of
+//! `zᵢ = A⁻¹ uᵢ` through the reach-based half-solves — the forward half
+//! `ŵᵢ = L⁻¹ P uᵢ` touches only the L-reach of `uᵢ`'s 1–2 nonzeros
+//! ([`SparseLu::forward_sparse_into`]), and the structurally-dense
+//! backward half completes it
+//! ([`SparseLu::backward_dense_from_steps`]) — no dense right-hand side
+//! is ever formed and the push loop allocates only the stored `zᵢ`.
+//! The capacitance matrix `C = I + Vᵀ Z` is rebuilt from the sparse `vᵢ`
+//! against the dense `zⱼ`, and each solve's correction stays the cheap
+//! streaming form `out -= Σⱼ yⱼ zⱼ` (the solution is dense, so a dense
+//! axpy per term is optimal). This is the circuit simulator's
+//! clamp-diode fast path: a diode
+//! toggling between its on/off conductance is a symmetric 1–2 node
 //! conductance change — exactly a rank-1 `ΔA` — so the transient engine
 //! can track long switching cascades without ever refactoring the MNA
 //! matrix (see `DESIGN.md`).
 
-use crate::{DenseLu, DenseMatrix, LinalgError, SparseLu};
+use crate::{DenseLu, DenseMatrix, LinalgError, SparseLu, SparseSolveWorkspace};
 
 /// An accumulated rank-`k` update `ΔA = Σᵢ uᵢ vᵢᵀ` over a factored base
 /// matrix, with Woodbury solves against `A + ΔA`.
@@ -47,7 +55,8 @@ pub struct LowRankUpdate {
     us: Vec<Vec<(usize, f64)>>,
     /// Sparse `vᵢ` vectors.
     vs: Vec<Vec<(usize, f64)>>,
-    /// Dense `zᵢ = A⁻¹ uᵢ`.
+    /// Dense `zᵢ = A⁻¹ uᵢ`, materialized at push through the sparse
+    /// forward half + dense backward completion.
     zs: Vec<Vec<f64>>,
     /// Factored capacitance matrix `C = I + Vᵀ Z`, rebuilt on every push.
     cap: Option<DenseLu>,
@@ -55,19 +64,30 @@ pub struct LowRankUpdate {
     /// solves so the per-time-step hot loop stays allocation-free.
     wbuf: Vec<f64>,
     ybuf: Vec<f64>,
+    /// Scratch for the forward image ŵ = L⁻¹ P u of a pushed term.
+    what_buf: Vec<(usize, f64)>,
+    /// Step-space scratch of the backward completion (doubles as the dense
+    /// RHS scratch of the small-system path).
+    back_buf: Vec<f64>,
+    /// Work buffer for the small-system dense solve.
+    work_buf: Vec<f64>,
+    /// Reach scratch for the sparse half-solves.
+    solve_ws: SparseSolveWorkspace,
 }
+
+/// System size below which a pushed term's `z = A⁻¹u` is computed through
+/// a plain dense solve: the reach machinery's constant costs (workspace
+/// reset, DFS, sort) exceed the whole solve on tiny systems. A deliberate
+/// twin of — but not a reference to — the parallel-refactor scheduling
+/// threshold: the two knobs tune unrelated trade-offs.
+const DENSE_PUSH_THRESHOLD: usize = 512;
 
 impl LowRankUpdate {
     /// An empty (identity) update over `n`-dimensional systems.
     pub fn new(n: usize) -> Self {
         LowRankUpdate {
             n,
-            us: Vec::new(),
-            vs: Vec::new(),
-            zs: Vec::new(),
-            cap: None,
-            wbuf: Vec::new(),
-            ybuf: Vec::new(),
+            ..Self::default()
         }
     }
 
@@ -95,6 +115,10 @@ impl LowRankUpdate {
     /// between unknowns `a` and `b` is pushed as
     /// `u = Δg·(eₐ − e_b), v = eₐ − e_b`.
     ///
+    /// Costs one sparse-RHS solve against `base` — reach-limited forward
+    /// half, dense backward completion; no dense right-hand side is
+    /// formed — plus the `O(k²)` capacitance refresh.
+    ///
     /// # Errors
     ///
     /// [`LinalgError::DimensionMismatch`] for an out-of-range index, and
@@ -115,11 +139,21 @@ impl LowRankUpdate {
                 });
             }
         }
-        let mut dense_u = vec![0.0; self.n];
-        for &(i, val) in u {
-            dense_u[i] += val;
+        let mut z = Vec::new();
+        if self.n < DENSE_PUSH_THRESHOLD {
+            // Tiny systems: the reach machinery's constant costs (reset,
+            // DFS, sort) exceed the whole dense solve — scatter a dense
+            // RHS into reused scratch and solve directly.
+            self.back_buf.clear();
+            self.back_buf.resize(self.n, 0.0);
+            for &(i, val) in u {
+                self.back_buf[i] += val;
+            }
+            base.solve_into(&self.back_buf, &mut self.work_buf, &mut z)?;
+        } else {
+            base.forward_sparse_into(u, &mut self.solve_ws, &mut self.what_buf)?;
+            base.backward_dense_from_steps(&self.what_buf, &mut self.back_buf, &mut z)?;
         }
-        let z = base.solve(&dense_u)?;
         self.us.push(u.to_vec());
         self.vs.push(v.to_vec());
         self.zs.push(z);
@@ -139,7 +173,7 @@ impl LowRankUpdate {
 
     /// Rebuilds and refactors `C = I + Vᵀ Z`. `k` is small (the caller
     /// refactors its base long before the rank grows large), so the dense
-    /// `O(k³)` cost is negligible next to one sparse solve.
+    /// `O(k³)` cost is negligible next to one sparse-RHS solve.
     fn refresh_capacitance(&mut self) -> Result<(), LinalgError> {
         let k = self.us.len();
         if k == 0 {
@@ -184,6 +218,23 @@ impl LowRankUpdate {
         out: &mut Vec<f64>,
     ) -> Result<(), LinalgError> {
         base.solve_into(b, work, out)?;
+        self.correct(base, out)
+    }
+
+    /// Applies the Woodbury correction to `out`, a base solution
+    /// `A⁻¹ b`, turning it into `(A + ΔA)⁻¹ b`:
+    /// `out -= Σⱼ yⱼ zⱼ` with `y = C⁻¹ Vᵀ out` — one capacitance solve
+    /// plus one dense axpy per active term (the solution is dense, so the
+    /// streaming axpy is the optimal application).
+    ///
+    /// A no-op while no terms are pushed. Split from
+    /// [`LowRankUpdate::solve_into`] so callers can time / account the
+    /// base triangular solve and the Woodbury application separately.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::solve`].
+    pub fn correct(&mut self, _base: &SparseLu, out: &mut [f64]) -> Result<(), LinalgError> {
         let Some(cap) = &self.cap else {
             return Ok(());
         };
@@ -347,5 +398,23 @@ mod tests {
         for (a, r) in x_back.iter().zip(&x) {
             assert!((a - r).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn correct_is_equivalent_to_solve_into() {
+        // The split correction path (base solve, then `correct`) must be
+        // the same computation as `solve_into`.
+        let t = grid_system(6);
+        let csc = t.to_csc();
+        let base = SparseLu::factor(&csc).unwrap();
+        let mut up = LowRankUpdate::new(csc.cols());
+        up.push(&base, &[(4, 2.0), (17, -2.0)], &[(4, 1.0), (17, -1.0)])
+            .unwrap();
+        let b: Vec<f64> = (0..csc.cols()).map(|i| (i as f64).cos()).collect();
+        let x_joint = up.solve(&base, &b).unwrap();
+        let (mut work, mut x_split) = (Vec::new(), Vec::new());
+        base.solve_into(&b, &mut work, &mut x_split).unwrap();
+        up.correct(&base, &mut x_split).unwrap();
+        assert_eq!(x_joint, x_split);
     }
 }

@@ -28,9 +28,53 @@ use crate::{CscMatrix, LinalgError};
 
 const NO_PIVOT: usize = usize::MAX;
 
-/// Sorts `keys` ascending, applying the same permutation to `vals`.
-/// Segments are small (one U column), so insertion sort is the right tool.
-fn sort_paired(keys: &mut [usize], vals: &mut [f64]) {
+/// Sorts `keys` ascending, applying the same permutation to `vals`: an
+/// index permutation is `sort_unstable`d by key, then applied to both
+/// slices in place by walking its cycles. `perm` is caller-provided scratch
+/// so the factorization loop allocates nothing. Keys are distinct (one `U`
+/// entry per pivot step), so the unstable sort is deterministic.
+///
+/// This replaced an insertion sort: fill-heavy columns of large substrate
+/// matrices reach hundreds of entries, where the insertion sort's O(len²)
+/// dominated the whole symbolic phase (see `sort_paired_insertion`, kept as
+/// the test oracle, and the symbolic-factor entries in `BENCH_PR3.json`).
+fn sort_paired(keys: &mut [usize], vals: &mut [f64], perm: &mut Vec<usize>) {
+    let len = keys.len();
+    if len < 2 {
+        return;
+    }
+    perm.clear();
+    perm.extend(0..len);
+    perm.sort_unstable_by_key(|&i| keys[i]);
+    // Apply in place: position `dst` receives the element at `perm[dst]`.
+    // Consumed positions are marked so each cycle rotates exactly once.
+    const DONE: usize = usize::MAX;
+    for start in 0..len {
+        let mut src = perm[start];
+        if src == DONE || src == start {
+            perm[start] = DONE;
+            continue;
+        }
+        let (k0, v0) = (keys[start], vals[start]);
+        let mut dst = start;
+        while src != start {
+            keys[dst] = keys[src];
+            vals[dst] = vals[src];
+            let next = perm[src];
+            perm[src] = DONE;
+            dst = src;
+            src = next;
+        }
+        keys[dst] = k0;
+        vals[dst] = v0;
+        perm[start] = DONE;
+    }
+}
+
+/// The pre-rewrite insertion-sort version of [`sort_paired`], kept as the
+/// agreement oracle for the permutation-based implementation.
+#[cfg(test)]
+fn sort_paired_insertion(keys: &mut [usize], vals: &mut [f64]) {
     for i in 1..keys.len() {
         let (k, v) = (keys[i], vals[i]);
         let mut j = i;
@@ -42,6 +86,137 @@ fn sort_paired(keys: &mut [usize], vals: &mut [f64]) {
         keys[j] = k;
         vals[j] = v;
     }
+}
+
+/// How [`SparseLu::refactor_with_strategy`] schedules the numeric column
+/// replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefactorStrategy {
+    /// Level-scheduled parallel replay when the system has at least
+    /// [`SparseLu::PAR_COL_THRESHOLD`] columns, more than one rayon worker
+    /// thread is available, and the caller is not itself running inside a
+    /// rayon worker (batch fan-outs already saturate the machine one
+    /// matrix per worker; nesting a second layer would oversubscribe).
+    /// Serial otherwise.
+    #[default]
+    Auto,
+    /// Always the serial replay (the reference path).
+    Serial,
+    /// Level-scheduled parallel replay on exactly `threads` workers,
+    /// regardless of system size — the test/bench override.
+    Parallel {
+        /// Worker count (values `<= 1` degenerate to the serial path).
+        threads: usize,
+    },
+}
+
+/// Raw pointers to a factor's `L`/`U` value arrays, handed to concurrent
+/// refactorization workers.
+///
+/// SAFETY: sharing is sound because the level schedule partitions writes
+/// (each pivot step owns disjoint `l_vals`/`u_vals` ranges and is claimed
+/// by exactly one worker through an atomic cursor) and orders reads (a
+/// step only reads `L` columns of strictly lower levels, separated by a
+/// [`std::sync::Barrier`], which gives the happens-before edge).
+struct FactorValuePtrs {
+    l: *mut f64,
+    u: *mut f64,
+}
+
+unsafe impl Sync for FactorValuePtrs {}
+
+/// Replays the numeric elimination of pivot step `k` against the values of
+/// `a`: scatters `a`'s column into the workspace, applies the updates of
+/// every off-diagonal step in `U(:, k)` in ascending (topological) order,
+/// checks the frozen pivot and writes this step's `U` and `L` value
+/// segments. The arithmetic is identical for every scheduling, which is
+/// why the serial and parallel refactorizations agree bit-for-bit.
+///
+/// # Safety
+///
+/// `l_vals` and `u_vals` must point to value arrays of
+/// `sym.l_rows.len()` / `sym.u_rows.len()` elements. The caller must
+/// guarantee that (a) no other thread concurrently accesses step `k`'s
+/// `L`/`U` value ranges, and (b) the `L` values of every dependency step
+/// in `U(:, k)` were fully written before this call, with a happens-before
+/// edge (program order serially, a level barrier in parallel) making those
+/// writes visible.
+unsafe fn refactor_step(
+    sym: &SymbolicLu,
+    a: &CscMatrix,
+    k: usize,
+    x: &mut [f64],
+    stamp: &mut [usize],
+    l_vals: *mut f64,
+    u_vals: *mut f64,
+) -> Result<(), LinalgError> {
+    let col = sym.q[k];
+    let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+    let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
+
+    // Zero the workspace over the column's factorized pattern.
+    for idx in ulo..uhi - 1 {
+        let r = sym.row_perm[sym.u_rows[idx]];
+        stamp[r] = k;
+        x[r] = 0.0;
+    }
+    let pivot_row = sym.row_perm[k];
+    stamp[pivot_row] = k;
+    x[pivot_row] = 0.0;
+    for idx in llo..lhi {
+        let r = sym.l_rows[idx];
+        stamp[r] = k;
+        x[r] = 0.0;
+    }
+
+    // Scatter the new values; anything outside the pattern means the
+    // symbolic factorization no longer applies.
+    for (r, v) in a.col(col) {
+        if stamp[r] != k {
+            return Err(LinalgError::PatternChanged {
+                column: col,
+                row: r,
+            });
+        }
+        x[r] += v;
+    }
+
+    // Replay the numeric update. U entries are stored in ascending
+    // pivot-step order, which is a topological order of the dependencies
+    // (L column `s` only touches rows pivoted after `s`), so x[row_perm[s]]
+    // is final when step `s` is applied.
+    for idx in ulo..uhi - 1 {
+        let s = sym.u_rows[idx];
+        let xval = x[sym.row_perm[s]];
+        // SAFETY: `idx` lies in this step's exclusive U range (caller
+        // contract a); dependency L values are final (contract b).
+        unsafe { *u_vals.add(idx) = xval };
+        if xval != 0.0 {
+            for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
+                // SAFETY: see above — `j` indexes a completed dependency.
+                x[sym.l_rows[j]] -= xval * unsafe { *l_vals.add(j) };
+            }
+        }
+    }
+
+    // Frozen pivot: check it is still usable for the new values.
+    let pivot_val = x[pivot_row];
+    let mut col_max = pivot_val.abs();
+    for idx in llo..lhi {
+        col_max = col_max.max(x[sym.l_rows[idx]].abs());
+    }
+    if !pivot_val.is_finite()
+        || pivot_val.abs() <= sym.zero_tol
+        || pivot_val.abs() < 1e-10 * col_max
+    {
+        return Err(LinalgError::Singular { column: col });
+    }
+    // SAFETY: this step's exclusive U/L ranges (caller contract a).
+    unsafe { *u_vals.add(uhi - 1) = pivot_val };
+    for idx in llo..lhi {
+        unsafe { *l_vals.add(idx) = x[sym.l_rows[idx]] / pivot_val };
+    }
+    Ok(())
 }
 
 /// Column-ordering strategy for [`SparseLu`].
@@ -86,10 +261,28 @@ impl Default for SparseLuOptions {
 /// array. Hot loops (a template fanning out numeric refactorizations per
 /// batch member, a session refactoring every few hundred time steps) keep
 /// one per thread so the replay allocates nothing.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct LuWorkspace {
     x: Vec<f64>,
     stamp: Vec<usize>,
+    /// Per-worker scratch of the parallel replay, lazily grown to the
+    /// worker count on first parallel refactor and reused afterwards, so
+    /// repeated parallel replays allocate nothing either. Behind mutexes
+    /// only so the broadcast closure can hand each worker its slot; every
+    /// lock is uncontended (slot `tid` is touched by worker `tid` alone).
+    workers: Vec<std::sync::Mutex<(Vec<f64>, Vec<usize>)>>,
+}
+
+impl Clone for LuWorkspace {
+    fn clone(&self) -> Self {
+        // Worker scratch is transient per-refactor state; a clone starts
+        // with an empty pool.
+        LuWorkspace {
+            x: self.x.clone(),
+            stamp: self.stamp.clone(),
+            workers: Vec::new(),
+        }
+    }
 }
 
 impl LuWorkspace {
@@ -103,6 +296,60 @@ impl LuWorkspace {
         self.x.resize(n, 0.0);
         self.stamp.clear();
         self.stamp.resize(n, usize::MAX);
+    }
+}
+
+/// Reusable scratch for [`SparseLu::solve_sparse_into`]: the step-indexed
+/// value vector, the epoch-stamped visited marks of the two reach DFSs and
+/// the reach/pattern lists. Hot loops (a session pushing a Woodbury term
+/// per diode flip) keep one so reach solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SparseSolveWorkspace {
+    /// Solution values indexed by pivot step; only reach entries are live.
+    xs: Vec<f64>,
+    /// Visit marks: `mark[s] >= epoch` means step `s` is in this solve's
+    /// pattern (`epoch` = L phase, `epoch + 1` = also U-explored).
+    mark: Vec<u32>,
+    epoch: u32,
+    stack: Vec<usize>,
+    lreach: Vec<usize>,
+    /// The full pattern (L-reach plus backward extension), sorted
+    /// descending by the backward pass.
+    ureach: Vec<usize>,
+    pattern: Vec<usize>,
+}
+
+impl SparseSolveWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indices of `out` written by the last
+    /// [`SparseLu::solve_sparse_into`] (unsorted); entries off this
+    /// pattern are exactly zero.
+    pub fn pattern(&self) -> &[usize] {
+        &self.pattern
+    }
+
+    fn reset(&mut self, n: usize) {
+        if self.xs.len() != n {
+            self.xs.clear();
+            self.xs.resize(n, 0.0);
+            self.mark.clear();
+            self.mark.resize(n, 0);
+            self.epoch = 0;
+        }
+        // Each solve consumes two mark values (L and U phase).
+        if self.epoch >= u32::MAX - 2 {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 2;
+        self.stack.clear();
+        self.lreach.clear();
+        self.ureach.clear();
+        self.pattern.clear();
     }
 }
 
@@ -123,6 +370,8 @@ pub struct SymbolicLu {
     q: Vec<usize>,
     /// `row_perm[k]` = original row chosen as pivot at step `k`.
     row_perm: Vec<usize>,
+    /// Inverse pivot permutation: `pinv[row_perm[k]] == k` for every step.
+    pinv: Vec<usize>,
     /// L stored by columns (unit diagonal implicit); row indices are
     /// *original* row ids.
     l_ptr: Vec<usize>,
@@ -132,9 +381,49 @@ pub struct SymbolicLu {
     /// stored last.
     u_ptr: Vec<usize>,
     u_rows: Vec<usize>,
+    /// Scheduling/reach structures derived from the pattern, built lazily
+    /// on first use (parallel refactorization or sparse-RHS solves) so a
+    /// plain factor + serial-refactor + dense-solve workflow pays nothing
+    /// for them.
+    extras: std::sync::OnceLock<SymbolicExtras>,
     /// Pivot zero-tolerance carried from the factorization options so every
     /// numeric replay applies the same singularity test.
     zero_tol: f64,
+}
+
+/// Derived symbolic structures for the parallel and sparse-RHS paths; see
+/// [`SymbolicLu::extras`].
+#[derive(Debug)]
+struct SymbolicExtras {
+    /// Inverse column ordering: `qinv[q[k]] == k` for every step.
+    qinv: Vec<usize>,
+    /// `l_rows` mapped through `pinv` (pivot-step space): the sparse-RHS
+    /// solves walk the L graph step-to-step, and pre-applying the
+    /// permutation removes one indirection per traversed entry.
+    l_steps: Vec<usize>,
+    /// Transposed off-diagonal `U` structure ("rows of `U`"): step `s`'s
+    /// dependents — the later steps whose column replay reads `s` — are
+    /// `ut_steps[ut_ptr[s]..ut_ptr[s + 1]]`, with `ut_vals_idx` giving the
+    /// matching index into `u_vals`. The transposed backward sparse solve
+    /// ([`SparseLu::transposed_backward_sparse_into`]) walks this in
+    /// scatter form, touching exactly the within-reach edges — a gather
+    /// over the (huge, mostly off-reach) late U columns would not.
+    ut_ptr: Vec<usize>,
+    ut_steps: Vec<usize>,
+    ut_vals_idx: Vec<usize>,
+    /// Elimination-tree parent per pivot step (`NO_PIVOT` for roots):
+    /// `etree[s]` is the *first* later step whose column update reads step
+    /// `s`'s `L` column, i.e. `min { k > s : U(s, k) ≠ 0 structurally }`.
+    etree: Vec<usize>,
+    /// Dependency level of each step: `0` for columns with no off-diagonal
+    /// `U` entries (elimination-tree leaves), otherwise one more than the
+    /// deepest step the column's replay reads. Steps of equal level are
+    /// mutually independent, which is what the parallel refactorization
+    /// schedules on.
+    level_ptr: Vec<usize>,
+    /// Steps grouped by level (ascending step order within each level):
+    /// level `l` is `level_cols[level_ptr[l]..level_ptr[l + 1]]`.
+    level_cols: Vec<usize>,
 }
 
 impl SymbolicLu {
@@ -146,6 +435,143 @@ impl SymbolicLu {
     /// Total stored entries in the `L` and `U` patterns (a fill-in metric).
     pub fn pattern_nnz(&self) -> usize {
         self.l_rows.len() + self.u_rows.len()
+    }
+
+    /// The column ordering: column `col_order()[k]` of `A` is eliminated at
+    /// pivot step `k`.
+    pub fn col_order(&self) -> &[usize] {
+        &self.q
+    }
+
+    /// The pivot row sequence: `pivot_rows()[k]` is the original row chosen
+    /// as the pivot of step `k`.
+    pub fn pivot_rows(&self) -> &[usize] {
+        &self.row_perm
+    }
+
+    /// Elimination-tree parent of pivot step `step`, or `None` for a root:
+    /// the first later step whose numeric replay reads this step's `L`
+    /// column.
+    pub fn etree_parent(&self, step: usize) -> Option<usize> {
+        match self.extras().etree[step] {
+            NO_PIVOT => None,
+            p => Some(p),
+        }
+    }
+
+    /// Number of dependency levels in the elimination schedule (the
+    /// critical-path length of a refactorization; `n` independent columns
+    /// give 1, a dense chain gives `n`).
+    pub fn level_count(&self) -> usize {
+        self.extras().level_ptr.len() - 1
+    }
+
+    /// The pivot steps of dependency level `level`, ascending. Steps within
+    /// one level never read each other's factor columns, so a numeric
+    /// replay may run them in any order — or concurrently.
+    pub fn level_steps(&self, level: usize) -> &[usize] {
+        let ex = self.extras();
+        &ex.level_cols[ex.level_ptr[level]..ex.level_ptr[level + 1]]
+    }
+
+    /// The lazily-built scheduling/reach structures. Thread-safe: the
+    /// symbolic plan is shared behind an `Arc` and the first caller (from
+    /// any thread) builds, everyone else reuses.
+    fn extras(&self) -> &SymbolicExtras {
+        self.extras.get_or_init(|| {
+            let n = self.n;
+            let (etree, level_ptr, level_cols) = Self::build_schedule(n, &self.u_ptr, &self.u_rows);
+            let (ut_ptr, ut_steps, ut_vals_idx) =
+                Self::build_u_transpose(n, &self.u_ptr, &self.u_rows);
+            let mut qinv = vec![0usize; n];
+            for (k, &c) in self.q.iter().enumerate() {
+                qinv[c] = k;
+            }
+            let l_steps = self.l_rows.iter().map(|&r| self.pinv[r]).collect();
+            SymbolicExtras {
+                qinv,
+                l_steps,
+                ut_ptr,
+                ut_steps,
+                ut_vals_idx,
+                etree,
+                level_ptr,
+                level_cols,
+            }
+        })
+    }
+
+    /// Builds the elimination tree and the level schedule from the stored
+    /// `U` pattern. Column `k`'s replay reads the `L` column of every
+    /// off-diagonal step in `U(:, k)`, so that set is exactly the
+    /// dependency list; the level of `k` is one past the deepest
+    /// dependency, and the tree parent of `s` is its first dependent.
+    fn build_schedule(
+        n: usize,
+        u_ptr: &[usize],
+        u_rows: &[usize],
+    ) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let mut etree = vec![NO_PIVOT; n];
+        let mut level = vec![0usize; n];
+        let mut max_level = 0usize;
+        for k in 0..n {
+            let mut lv = 0usize;
+            for &s in &u_rows[u_ptr[k]..u_ptr[k + 1] - 1] {
+                if etree[s] == NO_PIVOT {
+                    etree[s] = k;
+                }
+                lv = lv.max(level[s] + 1);
+            }
+            level[k] = lv;
+            max_level = max_level.max(lv);
+        }
+        let n_levels = if n == 0 { 0 } else { max_level + 1 };
+        let mut level_ptr = vec![0usize; n_levels + 1];
+        for &lv in &level {
+            level_ptr[lv + 1] += 1;
+        }
+        for l in 0..n_levels {
+            level_ptr[l + 1] += level_ptr[l];
+        }
+        let mut cursor = level_ptr.clone();
+        let mut level_cols = vec![0usize; n];
+        for (k, &lv) in level.iter().enumerate() {
+            level_cols[cursor[lv]] = k;
+            cursor[lv] += 1;
+        }
+        (etree, level_ptr, level_cols)
+    }
+
+    /// Builds the transposed off-diagonal `U` structure: for each step,
+    /// the ascending list of its dependents plus the matching `u_vals`
+    /// indices.
+    fn build_u_transpose(
+        n: usize,
+        u_ptr: &[usize],
+        u_rows: &[usize],
+    ) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let mut ut_ptr = vec![0usize; n + 1];
+        for k in 0..n {
+            for &s in &u_rows[u_ptr[k]..u_ptr[k + 1] - 1] {
+                ut_ptr[s + 1] += 1;
+            }
+        }
+        for s in 0..n {
+            ut_ptr[s + 1] += ut_ptr[s];
+        }
+        let nnz = ut_ptr[n];
+        let mut ut_steps = vec![0usize; nnz];
+        let mut ut_vals_idx = vec![0usize; nnz];
+        let mut cursor = ut_ptr.clone();
+        for k in 0..n {
+            let (lo, hi) = (u_ptr[k], u_ptr[k + 1] - 1);
+            for (idx, &s) in u_rows[lo..hi].iter().enumerate().map(|(o, s)| (lo + o, s)) {
+                ut_steps[cursor[s]] = k;
+                ut_vals_idx[cursor[s]] = idx;
+                cursor[s] += 1;
+            }
+        }
+        (ut_ptr, ut_steps, ut_vals_idx)
     }
 
     /// Builds a fresh numeric factor of `a` over this shared symbolic plan
@@ -207,6 +633,11 @@ pub struct SparseLu {
 }
 
 impl SparseLu {
+    /// Minimum system size for [`RefactorStrategy::Auto`] to choose the
+    /// parallel replay. Below this, per-column work is so small that
+    /// thread coordination costs more than the whole serial pass.
+    pub const PAR_COL_THRESHOLD: usize = 512;
+
     /// Factors `a` with default options.
     ///
     /// # Errors
@@ -252,6 +683,7 @@ impl SparseLu {
         let mut step_stamp = vec![usize::MAX; n]; // step visited by DFS this column?
         let mut topo: Vec<usize> = Vec::with_capacity(64); // post-order of pivot steps
         let mut dfs: Vec<(usize, usize)> = Vec::with_capacity(64);
+        let mut sort_perm: Vec<usize> = Vec::with_capacity(64); // sort_paired scratch
 
         for k in 0..n {
             let col = q[k];
@@ -364,7 +796,11 @@ impl SparseLu {
                     u_vals.push(x[r]);
                 }
             }
-            sort_paired(&mut u_rows[u_col_start..], &mut u_vals[u_col_start..]);
+            sort_paired(
+                &mut u_rows[u_col_start..],
+                &mut u_vals[u_col_start..],
+                &mut sort_perm,
+            );
             u_rows.push(k);
             u_vals.push(pivot_val);
             u_ptr.push(u_rows.len());
@@ -387,10 +823,12 @@ impl SparseLu {
                 n,
                 q,
                 row_perm,
+                pinv,
                 l_ptr,
                 l_rows,
                 u_ptr,
                 u_rows,
+                extras: std::sync::OnceLock::new(),
                 zero_tol: opts.zero_tolerance,
             }),
             l_vals,
@@ -436,7 +874,11 @@ impl SparseLu {
 
     /// [`SparseLu::refactor`] with caller-provided scratch, so repeated
     /// numeric replays (per-step rebases, template fan-outs) allocate
-    /// nothing.
+    /// nothing — the workspace also pools the per-worker scratch of the
+    /// parallel path, which only a small per-call scheduling vector (one
+    /// cursor per parallel level) escapes. Uses [`RefactorStrategy::Auto`]
+    /// scheduling: large systems replay their elimination levels in
+    /// parallel when worker threads are available.
     ///
     /// # Errors
     ///
@@ -446,87 +888,161 @@ impl SparseLu {
         a: &CscMatrix,
         ws: &mut LuWorkspace,
     ) -> Result<(), LinalgError> {
+        self.refactor_with_strategy(a, ws, RefactorStrategy::Auto)
+    }
+
+    /// [`SparseLu::refactor_with`] with explicit scheduling control. The
+    /// serial and parallel paths run the identical per-column arithmetic
+    /// ([`refactor_step`]) against the same frozen ordering, pattern and
+    /// pivot sequence, so their results are bit-for-bit equal — the
+    /// strategy only chooses how the independent columns of each
+    /// elimination level are distributed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::refactor`]. On error (from any worker) the
+    /// factor values are partially overwritten and must not be used.
+    pub fn refactor_with_strategy(
+        &mut self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+        strategy: RefactorStrategy,
+    ) -> Result<(), LinalgError> {
         if a.rows() != a.cols() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
                 cols: a.cols(),
             });
         }
-        let sym = &self.sym;
-        if a.cols() != sym.n {
+        if a.cols() != self.sym.n {
             return Err(LinalgError::DimensionMismatch {
-                expected: sym.n,
+                expected: self.sym.n,
                 found: a.cols(),
             });
         }
+        let threads = match strategy {
+            RefactorStrategy::Serial => 1,
+            RefactorStrategy::Parallel { threads } => threads.max(1),
+            RefactorStrategy::Auto => {
+                if self.sym.n >= Self::PAR_COL_THRESHOLD && !rayon::in_worker() {
+                    rayon::current_num_threads()
+                } else {
+                    1
+                }
+            }
+        };
+        if threads <= 1 {
+            self.refactor_serial(a, ws)
+        } else {
+            self.refactor_parallel(a, ws, threads)
+        }
+    }
+
+    /// Serial numeric replay in pivot-step order (the reference path).
+    fn refactor_serial(&mut self, a: &CscMatrix, ws: &mut LuWorkspace) -> Result<(), LinalgError> {
+        let sym = Arc::clone(&self.sym);
+        ws.reset(sym.n);
+        let (l_vals, u_vals) = (self.l_vals.as_mut_ptr(), self.u_vals.as_mut_ptr());
+        for k in 0..sym.n {
+            // SAFETY: single-threaded — exclusive access to the value
+            // arrays, and step order means every dependency is complete.
+            unsafe { refactor_step(&sym, a, k, &mut ws.x, &mut ws.stamp, l_vals, u_vals)? };
+        }
+        Ok(())
+    }
+
+    /// Level-scheduled parallel numeric replay: the wide leaf-ward levels
+    /// of the elimination schedule are distributed over `threads` workers
+    /// (columns claimed through per-level atomic cursors, a barrier
+    /// between levels), and the narrow root-ward tail — where coordination
+    /// would cost more than the work — replays serially on the caller.
+    fn refactor_parallel(
+        &mut self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+        threads: usize,
+    ) -> Result<(), LinalgError> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::{Barrier, Mutex};
+
+        let sym = Arc::clone(&self.sym);
         let n = sym.n;
         ws.reset(n);
-        let x = &mut ws.x;
-        let stamp = &mut ws.stamp;
-
-        for k in 0..n {
-            let col = sym.q[k];
-            let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
-            let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
-
-            // Zero the workspace over the column's factorized pattern.
-            for idx in ulo..uhi - 1 {
-                let r = sym.row_perm[sym.u_rows[idx]];
-                stamp[r] = k;
-                x[r] = 0.0;
+        // Parallel prefix: levels wide enough to amortize the per-level
+        // barrier. Widths are (near-)monotone decreasing for elimination
+        // schedules — leaves are plentiful, roots are not — so stopping at
+        // the first narrow level captures essentially all parallel work
+        // while bounding the number of barriers.
+        let min_width = (2 * threads).max(8);
+        let ex = sym.extras();
+        let par_levels = (0..sym.level_count())
+            .take_while(|&l| sym.level_steps(l).len() >= min_width)
+            .count();
+        let ptrs = FactorValuePtrs {
+            l: self.l_vals.as_mut_ptr(),
+            u: self.u_vals.as_mut_ptr(),
+        };
+        if par_levels > 0 {
+            while ws.workers.len() < threads {
+                ws.workers.push(Mutex::new((Vec::new(), Vec::new())));
             }
-            let pivot_row = sym.row_perm[k];
-            stamp[pivot_row] = k;
-            x[pivot_row] = 0.0;
-            for idx in llo..lhi {
-                let r = sym.l_rows[idx];
-                stamp[r] = k;
-                x[r] = 0.0;
-            }
-
-            // Scatter the new values; anything outside the pattern means
-            // the symbolic factorization no longer applies.
-            for (r, v) in a.col(col) {
-                if stamp[r] != k {
-                    return Err(LinalgError::PatternChanged {
-                        column: col,
-                        row: r,
-                    });
-                }
-                x[r] += v;
-            }
-
-            // Replay the numeric update. U entries are stored in ascending
-            // pivot-step order, which is a topological order of the
-            // dependencies (L column `s` only touches rows pivoted after
-            // `s`), so x[row_perm[s]] is final when step `s` is applied.
-            for idx in ulo..uhi - 1 {
-                let s = sym.u_rows[idx];
-                let xval = x[sym.row_perm[s]];
-                self.u_vals[idx] = xval;
-                if xval != 0.0 {
-                    for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
-                        x[sym.l_rows[j]] -= xval * self.l_vals[j];
+            let cursors: Vec<AtomicUsize> = (0..par_levels).map(|_| AtomicUsize::new(0)).collect();
+            let barrier = Barrier::new(threads);
+            let failed = AtomicBool::new(false);
+            let first_err: Mutex<Option<LinalgError>> = Mutex::new(None);
+            let (sym_ref, ptrs_ref, workers) = (&sym, &ptrs, &ws.workers);
+            rayon::broadcast(threads, |tid| {
+                // Uncontended by construction: slot `tid` belongs to this
+                // worker alone.
+                let mut scratch = workers[tid].lock().expect("worker scratch");
+                let (x, stamp) = &mut *scratch;
+                x.clear();
+                x.resize(n, 0.0);
+                stamp.clear();
+                stamp.resize(n, usize::MAX);
+                for (lev, cursor) in cursors.iter().enumerate() {
+                    if !failed.load(Ordering::Acquire) {
+                        let (lo, hi) = (ex.level_ptr[lev], ex.level_ptr[lev + 1]);
+                        loop {
+                            let i = lo + cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= hi {
+                                break;
+                            }
+                            let k = ex.level_cols[i];
+                            // SAFETY: the cursor hands each step to exactly
+                            // one worker (disjoint value ranges), and every
+                            // dependency lives in a lower level, finished
+                            // before the previous barrier.
+                            let res = unsafe {
+                                refactor_step(sym_ref, a, k, x, stamp, ptrs_ref.l, ptrs_ref.u)
+                            };
+                            if let Err(e) = res {
+                                first_err
+                                    .lock()
+                                    .expect("refactor error slot")
+                                    .get_or_insert(e);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                     }
+                    // Level barrier: the next level reads these L columns.
+                    // Reached unconditionally so every worker counts the
+                    // same number of waits even after a failure.
+                    barrier.wait();
                 }
+            });
+            if let Some(e) = first_err.into_inner().expect("refactor error slot") {
+                return Err(e);
             }
-
-            // Frozen pivot: check it is still usable for the new values.
-            let pivot_val = x[pivot_row];
-            let mut col_max = pivot_val.abs();
-            for idx in llo..lhi {
-                col_max = col_max.max(x[sym.l_rows[idx]].abs());
-            }
-            if !pivot_val.is_finite()
-                || pivot_val.abs() <= sym.zero_tol
-                || pivot_val.abs() < 1e-10 * col_max
-            {
-                return Err(LinalgError::Singular { column: col });
-            }
-            self.u_vals[uhi - 1] = pivot_val;
-            for idx in llo..lhi {
-                self.l_vals[idx] = x[sym.l_rows[idx]] / pivot_val;
-            }
+        }
+        // Serial tail in level order — a valid elimination order, since a
+        // level only reads strictly lower levels.
+        for &k in &ex.level_cols[ex.level_ptr[par_levels]..] {
+            // SAFETY: the broadcast above has joined (its writes are
+            // visible) and this thread is now the only one touching the
+            // factor.
+            unsafe { refactor_step(&sym, a, k, &mut ws.x, &mut ws.stamp, ptrs.l, ptrs.u)? };
         }
         Ok(())
     }
@@ -595,6 +1111,314 @@ impl SparseLu {
             work[sym.q[k]] = out[k];
         }
         std::mem::swap(work, out);
+        Ok(())
+    }
+
+    /// Shared L phase of the sparse-RHS solves: computes the reach of `b`'s
+    /// pivot steps in the graph of `L` (edges step → `pinv[row]` per stored
+    /// `L` entry, always toward later steps), then runs the numeric forward
+    /// substitution over exactly those steps. Afterwards `ws.lreach` holds
+    /// the reach in ascending (topological) step order and `ws.xs` the
+    /// forward solution `z = L⁻¹ P b` on it.
+    fn forward_sparse_phase(
+        &self,
+        b: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+    ) -> Result<(), LinalgError> {
+        let sym = &self.sym;
+        let n = sym.n;
+        for &(r, _) in b {
+            if r >= n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: r + 1,
+                });
+            }
+        }
+        ws.reset(n);
+        let l_steps = &sym.extras().l_steps;
+        let l_mark = ws.epoch;
+        for &(r, _) in b {
+            let seed = sym.pinv[r];
+            if ws.mark[seed] >= l_mark {
+                continue;
+            }
+            ws.mark[seed] = l_mark;
+            ws.xs[seed] = 0.0;
+            ws.lreach.push(seed);
+            ws.stack.push(seed);
+            while let Some(s) = ws.stack.pop() {
+                for &t in &l_steps[sym.l_ptr[s]..sym.l_ptr[s + 1]] {
+                    if ws.mark[t] < l_mark {
+                        ws.mark[t] = l_mark;
+                        ws.xs[t] = 0.0;
+                        ws.lreach.push(t);
+                        ws.stack.push(t);
+                    }
+                }
+            }
+        }
+        // Ascending step order is a topological order of the L graph and
+        // matches the dense solve's update order exactly.
+        ws.lreach.sort_unstable();
+
+        // Numeric forward solve over the reach only.
+        for &(r, v) in b {
+            ws.xs[sym.pinv[r]] += v;
+        }
+        for &s in &ws.lreach {
+            let zk = ws.xs[s];
+            if zk != 0.0 {
+                let (lo, hi) = (sym.l_ptr[s], sym.l_ptr[s + 1]);
+                for (&t, &lv) in l_steps[lo..hi].iter().zip(&self.l_vals[lo..hi]) {
+                    ws.xs[t] -= zk * lv;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The forward **half** of a solve for a sparse right-hand side:
+    /// `ŵ = L⁻¹ P b`, returned as `(pivot step, value)` pairs in ascending
+    /// step order, touching only the L-reach of `b`.
+    ///
+    /// Unlike a full solve — whose result is structurally dense whenever
+    /// the system is irreducible — the forward half *stays* sparse, which
+    /// is what makes Woodbury bookkeeping cheap: [`LowRankUpdate`] stores
+    /// `ŵ` per rank-1 term and never materializes the dense `A⁻¹ u`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if any index of `b` is out of
+    /// range.
+    pub fn forward_sparse_into(
+        &self,
+        b: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<(), LinalgError> {
+        self.forward_sparse_phase(b, ws)?;
+        out.clear();
+        out.extend(ws.lreach.iter().map(|&s| (s, ws.xs[s])));
+        Ok(())
+    }
+
+    /// The transposed backward **half** of a solve for a sparse `v`:
+    /// `ĝ = U⁻ᵀ Qᵀ v` as `(pivot step, value)` pairs in ascending step
+    /// order. `Uᵀ` is lower triangular in step space, so this is a forward
+    /// substitution whose reach follows the *dependent* edges of the
+    /// stored `U` pattern (the transposed structure kept in the symbolic
+    /// plan) — again small for 1–2 nonzero `v`.
+    ///
+    /// Together with [`SparseLu::forward_sparse_into`] this gives the
+    /// capacitance entries of the Woodbury identity as sparse dot
+    /// products: `vᵀ A⁻¹ u = ĝ · ŵ`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if any index of `v` is out of
+    /// range.
+    pub fn transposed_backward_sparse_into(
+        &self,
+        v: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<(), LinalgError> {
+        let sym = &self.sym;
+        let n = sym.n;
+        for &(r, _) in v {
+            if r >= n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: r + 1,
+                });
+            }
+        }
+        ws.reset(n);
+        let ex = sym.extras();
+        let mark = ws.epoch;
+        // Reach of v̂'s steps along dependent edges (s → later steps whose
+        // U column contains s), i.e. the nonzero pattern of ĝ.
+        for &(r, _) in v {
+            let seed = ex.qinv[r];
+            if ws.mark[seed] >= mark {
+                continue;
+            }
+            ws.mark[seed] = mark;
+            ws.xs[seed] = 0.0;
+            ws.lreach.push(seed);
+            ws.stack.push(seed);
+            while let Some(s) = ws.stack.pop() {
+                for idx in ex.ut_ptr[s]..ex.ut_ptr[s + 1] {
+                    let t = ex.ut_steps[idx];
+                    if ws.mark[t] < mark {
+                        ws.mark[t] = mark;
+                        ws.xs[t] = 0.0;
+                        ws.lreach.push(t);
+                        ws.stack.push(t);
+                    }
+                }
+            }
+        }
+        ws.lreach.sort_unstable();
+        for &(r, val) in v {
+            ws.xs[ex.qinv[r]] += val;
+        }
+        // Scatter recurrence in ascending step order: once ĝ[s] is final,
+        // push its contribution along s's dependent edges. This touches
+        // exactly the within-reach edges; the gather form would walk the
+        // full (late, huge) U columns of every reach step instead.
+        for &s in &ws.lreach {
+            let gk = ws.xs[s] / self.u_vals[sym.u_ptr[s + 1] - 1];
+            ws.xs[s] = gk;
+            if gk != 0.0 {
+                for idx in ex.ut_ptr[s]..ex.ut_ptr[s + 1] {
+                    ws.xs[ex.ut_steps[idx]] -= self.u_vals[ex.ut_vals_idx[idx]] * gk;
+                }
+            }
+        }
+        out.clear();
+        out.extend(ws.lreach.iter().map(|&s| (s, ws.xs[s])));
+        Ok(())
+    }
+
+    /// Completes a sparse forward half into a full solution:
+    /// `x = Q U⁻¹ s` for a step-space `s` (e.g. the `ŵ` of
+    /// [`SparseLu::forward_sparse_into`]), written densely into `out`.
+    ///
+    /// The backward half of an irreducible system is structurally dense,
+    /// so no reach is computed — this is a plain backward substitution
+    /// seeded by the scattered `s`, skipping only the `O(n)` forward scan
+    /// and the RHS permutation of a full [`SparseLu::solve_into`]. This is
+    /// how [`LowRankUpdate`] materializes the dense `zⱼ = A⁻¹ uⱼ` it
+    /// axpy-applies per solve, without ever forming a dense right-hand
+    /// side.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if a step index is out of range.
+    pub fn backward_dense_from_steps(
+        &self,
+        s: &[(usize, f64)],
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let sym = &self.sym;
+        let n = sym.n;
+        for &(step, _) in s {
+            if step >= n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    found: step + 1,
+                });
+            }
+        }
+        work.clear();
+        work.resize(n, 0.0);
+        for &(step, val) in s {
+            work[step] += val;
+        }
+        for step in (0..n).rev() {
+            let (lo, hi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
+            let yk = work[step] / self.u_vals[hi - 1];
+            work[step] = yk;
+            if yk != 0.0 {
+                for idx in lo..(hi - 1) {
+                    work[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                }
+            }
+        }
+        out.clear();
+        out.resize(n, 0.0);
+        for k in 0..n {
+            out[sym.q[k]] = work[k];
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` for a **sparse** right-hand side `b` given as
+    /// `(index, value)` pairs (duplicates accumulate), touching only the
+    /// factor columns that can influence the result.
+    ///
+    /// This is the Gilbert–Peierls reach trick applied to the solve phase:
+    /// a DFS over the structure of `L` from the pivot steps of `b`'s
+    /// nonzero rows computes the symbolic nonzero pattern of the forward
+    /// solution, a second DFS over `U` extends it to the backward phase,
+    /// and the numeric substitution then visits only those steps — for a
+    /// 1–2 nonzero RHS (a Woodbury rank-1 term from a diode flip) that is
+    /// typically a small fraction of the system. On its reach set the
+    /// result is bit-identical to [`SparseLu::solve_into`] (same updates,
+    /// same order); outside it, exact zeros.
+    ///
+    /// `out` is resized to the system dimension with the solution values;
+    /// `ws.pattern()` lists the (unsorted) indices of `out` the solve
+    /// computed — every entry off that pattern is exactly `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if any index of `b` is out of
+    /// range.
+    pub fn solve_sparse_into(
+        &self,
+        b: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let sym = &self.sym;
+        let n = sym.n;
+        self.forward_sparse_phase(b, ws)?;
+        let l_mark = ws.epoch; // visited in the L phase
+        let u_mark = ws.epoch + 1; // explored in the U phase
+
+        // Symbolic backward pattern: extend the forward reach through U
+        // (edges step -> earlier steps per off-diagonal U entry).
+        ws.ureach.extend_from_slice(&ws.lreach);
+        for i in 0..ws.lreach.len() {
+            let seed = ws.lreach[i];
+            if ws.mark[seed] >= u_mark {
+                continue;
+            }
+            ws.mark[seed] = u_mark;
+            ws.stack.push(seed);
+            while let Some(t) = ws.stack.pop() {
+                for idx in sym.u_ptr[t]..sym.u_ptr[t + 1] - 1 {
+                    let s = sym.u_rows[idx];
+                    if ws.mark[s] < l_mark {
+                        // Newly reached: join the pattern with value 0.
+                        ws.xs[s] = 0.0;
+                        ws.ureach.push(s);
+                    }
+                    if ws.mark[s] < u_mark {
+                        ws.mark[s] = u_mark;
+                        ws.stack.push(s);
+                    }
+                }
+            }
+        }
+        // Descending step order: topological for U, identical to the dense
+        // backward substitution's visit order.
+        ws.ureach.sort_unstable_by(|a, b| b.cmp(a));
+
+        // Numeric backward solve over the combined reach.
+        for &t in &ws.ureach {
+            let (lo, hi) = (sym.u_ptr[t], sym.u_ptr[t + 1]);
+            let yk = ws.xs[t] / self.u_vals[hi - 1];
+            ws.xs[t] = yk;
+            if yk != 0.0 {
+                for idx in lo..hi - 1 {
+                    ws.xs[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                }
+            }
+        }
+
+        // Scatter through the column permutation: x[q[t]] = y[t].
+        out.clear();
+        out.resize(n, 0.0);
+        for &t in &ws.ureach {
+            let dst = sym.q[t];
+            out[dst] = ws.xs[t];
+            ws.pattern.push(dst);
+        }
         Ok(())
     }
 
@@ -1025,6 +1849,331 @@ mod tests {
         assert_eq!(out, vec![1.0, 1.0]);
         lu.solve_into(&[4.0, 8.0], &mut work, &mut out).unwrap();
         assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    fn grid_laplacian(side: usize) -> TripletMatrix {
+        let n = side * side;
+        let mut t = TripletMatrix::new(n, n);
+        let id = |r: usize, c: usize| r * side + c;
+        for r in 0..side {
+            for c in 0..side {
+                let me = id(r, c);
+                let mut deg = 1.0;
+                for (nr, nc) in [
+                    (r.wrapping_sub(1), c),
+                    (r + 1, c),
+                    (r, c.wrapping_sub(1)),
+                    (r, c + 1),
+                ] {
+                    if nr < side && nc < side {
+                        t.push(me, id(nr, nc), -1.0);
+                        deg += 1.0;
+                    }
+                }
+                t.push(me, me, deg);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn sort_paired_matches_insertion_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut perm = Vec::new();
+        for len in [0usize, 1, 2, 3, 7, 30, 200] {
+            // Distinct keys, as in a U column segment.
+            let mut keys: Vec<usize> = (0..len).map(|i| i * 3 + 1).collect();
+            for i in (1..len).rev() {
+                let j = rng.gen_range(0..=i);
+                keys.swap(i, j);
+            }
+            let vals: Vec<f64> = (0..len).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let (mut k1, mut v1) = (keys.clone(), vals.clone());
+            let (mut k2, mut v2) = (keys, vals);
+            sort_paired(&mut k1, &mut v1, &mut perm);
+            sort_paired_insertion(&mut k2, &mut v2);
+            assert_eq!(k1, k2, "len {len}");
+            assert_eq!(v1, v2, "len {len}");
+        }
+    }
+
+    #[test]
+    fn etree_and_level_schedule_are_consistent() {
+        let lu = SparseLu::factor(&grid_laplacian(9).to_csc()).unwrap();
+        let sym = lu.symbolic();
+        let n = sym.dim();
+        // Levels partition the steps, dependencies live in strictly lower
+        // levels, and the etree parent is a dependent of its child.
+        let mut level_of = vec![usize::MAX; n];
+        let mut seen = 0usize;
+        for l in 0..sym.level_count() {
+            for &k in sym.level_steps(l) {
+                assert_eq!(level_of[k], usize::MAX, "step {k} scheduled twice");
+                level_of[k] = l;
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, n);
+        let mut roots = 0usize;
+        for s in 0..n {
+            match sym.etree_parent(s) {
+                Some(p) => {
+                    assert!(p > s, "parent {p} not after child {s}");
+                    assert!(level_of[p] > level_of[s], "parent not deeper");
+                }
+                None => roots += 1,
+            }
+        }
+        assert!(roots >= 1, "the last step is always a root");
+        // A grid has plenty of independent leaf columns: real parallelism.
+        assert!(sym.level_steps(0).len() > 4);
+        assert!(sym.level_count() > 1);
+    }
+
+    #[test]
+    fn parallel_refactor_matches_serial_bitwise() {
+        let side = 12;
+        let a1 = grid_laplacian(side).to_csc();
+        // Same pattern, shifted values.
+        let mut t2 = grid_laplacian(side);
+        for i in 0..side * side {
+            t2.push(i, i, 0.25 + (i % 7) as f64 * 0.125);
+        }
+        let a2 = t2.to_csc();
+        let base = SparseLu::factor(&a1).unwrap();
+        let mut ws = LuWorkspace::new();
+        let b: Vec<f64> = (0..a1.cols()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut serial = base.clone();
+        serial
+            .refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Serial)
+            .unwrap();
+        let x_serial = serial.solve(&b).unwrap();
+        for threads in [2usize, 3, 5] {
+            let mut par = base.clone();
+            par.refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Parallel { threads })
+                .unwrap();
+            let x_par = par.solve(&b).unwrap();
+            // Identical per-column arithmetic => bit-identical factors.
+            assert_eq!(x_par, x_serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_refactor_detects_collapsed_pivot() {
+        let side = 8;
+        let a1 = grid_laplacian(side).to_csc();
+        let base = SparseLu::factor(&a1).unwrap();
+        // Scale everything to zero: every frozen pivot collapses.
+        let mut t2 = TripletMatrix::new(a1.rows(), a1.cols());
+        for c in 0..a1.cols() {
+            for (r, _) in a1.col(c) {
+                t2.push(r, c, 0.0);
+            }
+        }
+        let a2 = t2.to_csc();
+        let mut ws = LuWorkspace::new();
+        let mut par = base.clone();
+        assert!(matches!(
+            par.refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Parallel { threads: 3 }),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_refactor_rejects_new_pattern() {
+        let mut t = TripletMatrix::new(600, 600);
+        for i in 0..600 {
+            t.push(i, i, 2.0 + i as f64 * 1e-3);
+        }
+        for i in 0..599 {
+            t.push(i, i + 1, -0.5);
+            t.push(i + 1, i, -0.5);
+        }
+        let mut lu = SparseLu::factor(&t.to_csc()).unwrap();
+        t.push(0, 599, 1.0);
+        let mut ws = LuWorkspace::new();
+        assert!(matches!(
+            lu.refactor_with_strategy(
+                &t.to_csc(),
+                &mut ws,
+                RefactorStrategy::Parallel { threads: 4 }
+            ),
+            Err(LinalgError::PatternChanged { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_sparse_matches_dense_solve_exactly() {
+        let side = 10;
+        let n = side * side;
+        let csc = grid_laplacian(side).to_csc();
+        let lu = SparseLu::factor(&csc).unwrap();
+        let mut ws = SparseSolveWorkspace::new();
+        let (mut work, mut dense_out, mut sparse_out) = (Vec::new(), Vec::new(), Vec::new());
+        let patterns: Vec<Vec<(usize, f64)>> = vec![
+            vec![],                                                 // empty RHS -> zero solution
+            vec![(3, 1.0)],                                         // single unit impulse
+            vec![(n - 1, -2.5), (7, 0.75)],                         // the rank-1 widget shape
+            vec![(5, 1.0), (5, 2.0)],                               // duplicates accumulate
+            (0..n).map(|i| (i, (i as f64 * 0.31).cos())).collect(), // full
+        ];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let mut b = vec![0.0; n];
+            for &(i, v) in pat {
+                b[i] += v;
+            }
+            lu.solve_into(&b, &mut work, &mut dense_out).unwrap();
+            lu.solve_sparse_into(pat, &mut ws, &mut sparse_out).unwrap();
+            assert_eq!(sparse_out.len(), n);
+            for i in 0..n {
+                assert!(
+                    sparse_out[i] == dense_out[i],
+                    "pattern {pi}, unknown {i}: {} vs {}",
+                    sparse_out[i],
+                    dense_out[i]
+                );
+            }
+            // Everything off the reported pattern is exactly zero.
+            let mut on = vec![false; n];
+            for &i in ws.pattern() {
+                on[i] = true;
+            }
+            for i in 0..n {
+                if !on[i] {
+                    assert_eq!(sparse_out[i], 0.0, "pattern {pi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_half_solve_reach_is_small_for_local_rhs() {
+        // The *full* solution of an irreducible system is structurally
+        // dense, but the forward half ŵ = L⁻¹Pb — the quantity the
+        // Woodbury path stores per rank-1 term — must stay local.
+        let side = 40;
+        let n = side * side;
+        let lu = SparseLu::factor(&grid_laplacian(side).to_csc()).unwrap();
+        let mut ws = SparseSolveWorkspace::new();
+        let mut w = Vec::new();
+        let mut worst = 0usize;
+        for seed in [0usize, n / 2, n - 1] {
+            lu.forward_sparse_into(&[(seed, 1.0), ((seed + 41) % n, -1.0)], &mut ws, &mut w)
+                .unwrap();
+            worst = worst.max(w.len());
+        }
+        assert!(worst < n / 2, "forward reach {worst} of {n} is not sparse");
+    }
+
+    #[test]
+    fn partial_solves_compose_to_the_full_solve() {
+        // ĝ·ŵ must equal vᵀA⁻¹u, and Q U⁻¹ ŵ must equal A⁻¹u — the two
+        // identities the Woodbury path is built on.
+        let side = 9;
+        let n = side * side;
+        let csc = grid_laplacian(side).to_csc();
+        let lu = SparseLu::factor(&csc).unwrap();
+        let mut ws = SparseSolveWorkspace::new();
+        let u = [(5usize, 2.0), (47usize, -2.0)];
+        let v = [(5usize, 1.0), (47usize, -1.0)];
+        let (mut w, mut g) = (Vec::new(), Vec::new());
+        lu.forward_sparse_into(&u, &mut ws, &mut w).unwrap();
+        lu.transposed_backward_sparse_into(&v, &mut ws, &mut g)
+            .unwrap();
+
+        let mut u_dense = vec![0.0; n];
+        for &(i, val) in &u {
+            u_dense[i] += val;
+        }
+        let z = lu.solve(&u_dense).unwrap();
+        let direct: f64 = v.iter().map(|&(i, val)| val * z[i]).sum();
+        let dot = {
+            let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0);
+            while i < g.len() && j < w.len() {
+                match g[i].0.cmp(&w[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        acc += g[i].1 * w[j].1;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            acc
+        };
+        assert!(
+            (dot - direct).abs() < 1e-9 * direct.abs().max(1.0),
+            "{dot} vs {direct}"
+        );
+
+        // Completion half: Q U⁻¹ ŵ recovers A⁻¹u exactly as the push
+        // path materializes it.
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        lu.backward_dense_from_steps(&w, &mut work, &mut out)
+            .unwrap();
+        for i in 0..n {
+            assert!(
+                (out[i] - z[i]).abs() < 1e-10,
+                "unknown {i}: {} vs {}",
+                out[i],
+                z[i]
+            );
+        }
+    }
+
+    #[test]
+    fn solve_sparse_rejects_out_of_range_index() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut ws = SparseSolveWorkspace::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            lu.solve_sparse_into(&[(2, 1.0)], &mut ws, &mut out),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_strategy_is_correct_across_the_threshold() {
+        // Banded systems just below and above PAR_COL_THRESHOLD: Auto must
+        // agree with Serial bit-for-bit wherever it lands.
+        for n in [
+            SparseLu::PAR_COL_THRESHOLD - 1,
+            SparseLu::PAR_COL_THRESHOLD,
+            SparseLu::PAR_COL_THRESHOLD + 3,
+        ] {
+            let band = |scale: f64| {
+                let mut t = TripletMatrix::new(n, n);
+                for i in 0..n {
+                    t.push(i, i, 3.0 + scale * (i % 5) as f64);
+                    if i + 1 < n {
+                        t.push(i, i + 1, -1.0);
+                        t.push(i + 1, i, -0.5 * scale);
+                    }
+                    if i + 7 < n {
+                        t.push(i + 7, i, 0.25);
+                    }
+                }
+                t.to_csc()
+            };
+            let base = SparseLu::factor(&band(1.0)).unwrap();
+            let a2 = band(1.5);
+            let mut ws = LuWorkspace::new();
+            let mut auto = base.clone();
+            auto.refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Auto)
+                .unwrap();
+            let mut serial = base.clone();
+            serial
+                .refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Serial)
+                .unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            assert_eq!(auto.solve(&b).unwrap(), serial.solve(&b).unwrap(), "n {n}");
+        }
     }
 
     #[test]

@@ -160,3 +160,177 @@ proptest! {
         }
     }
 }
+
+/// A same-pattern second value assignment for `csc`: the diagonal is
+/// inflated and off-diagonals get a position-dependent rescale in
+/// `[0.5, 1.5)`, so diagonal dominance (hence solvability and pivot
+/// stability) is preserved while every entry actually changes.
+fn same_pattern_variant(csc: &ohmflow_linalg::CscMatrix) -> ohmflow_linalg::CscMatrix {
+    let mut t2 = TripletMatrix::new(csc.rows(), csc.cols());
+    for c in 0..csc.cols() {
+        for (r, v) in csc.col(c) {
+            let f = if r == c {
+                1.7
+            } else {
+                0.5 + ((r * 31 + c * 17) % 100) as f64 / 100.0
+            };
+            t2.push(r, c, v * f);
+        }
+    }
+    t2.to_csc()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The level-scheduled parallel refactorization runs the identical
+    /// per-column arithmetic as the serial replay, so across random
+    /// systems and thread counts the two must agree to 1e-12 (they are in
+    /// fact bit-identical) and reuse the same column ordering and pivot
+    /// permutation.
+    #[test]
+    fn parallel_refactor_matches_serial(
+        (t, b) in arb_system(32),
+        threads in 2..5usize,
+    ) {
+        use ohmflow_linalg::{LuWorkspace, RefactorStrategy};
+        let csc = t.to_csc();
+        let base = SparseLu::factor(&csc).unwrap();
+        let csc2 = same_pattern_variant(&csc);
+        let mut ws = LuWorkspace::new();
+
+        let mut serial = base.clone();
+        serial.refactor_with_strategy(&csc2, &mut ws, RefactorStrategy::Serial).unwrap();
+        let mut par = base.clone();
+        par.refactor_with_strategy(&csc2, &mut ws, RefactorStrategy::Parallel { threads }).unwrap();
+
+        // Same elimination plan: identical column ordering and pivot rows.
+        prop_assert_eq!(serial.symbolic().col_order(), par.symbolic().col_order());
+        prop_assert_eq!(serial.symbolic().pivot_rows(), par.symbolic().pivot_rows());
+
+        let xs = serial.solve(&b).unwrap();
+        let xp = par.solve(&b).unwrap();
+        for (a, r) in xp.iter().zip(&xs) {
+            prop_assert!((a - r).abs() < 1e-12 * r.abs().max(1.0), "threads {threads}: {a} vs {r}");
+        }
+    }
+}
+
+proptest! {
+    // Each case factors ~500-column systems; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `RefactorStrategy::Auto` must be correct on both sides of the
+    /// serial-fallback threshold (`SparseLu::PAR_COL_THRESHOLD`): banded
+    /// systems straddling the boundary, random values, verified against
+    /// the always-serial path.
+    #[test]
+    fn auto_refactor_agrees_across_threshold_boundary(
+        offset in 0..4usize,
+        seed in any::<u64>(),
+    ) {
+        use ohmflow_linalg::{LuWorkspace, RefactorStrategy};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = SparseLu::PAR_COL_THRESHOLD - 2 + offset;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let band = |rng: &mut StdRng| {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                let mut row_sum = 0.0;
+                for d in [1usize, 5, 19] {
+                    if i + d < n {
+                        let v: f64 = rng.gen_range(-0.8..0.8);
+                        t.push(i, i + d, v);
+                        t.push(i + d, i, -v * 0.5);
+                        row_sum += v.abs().max(v.abs() * 0.5);
+                    }
+                }
+                t.push(i, i, 2.0 * row_sum + rng.gen_range(1.0..2.0));
+            }
+            t.to_csc()
+        };
+        let a1 = band(&mut rng);
+        let a2 = band(&mut rng);
+        let base = SparseLu::factor(&a1).unwrap();
+        let mut ws = LuWorkspace::new();
+        let mut auto_lu = base.clone();
+        auto_lu.refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Auto).unwrap();
+        let mut serial = base.clone();
+        serial.refactor_with_strategy(&a2, &mut ws, RefactorStrategy::Serial).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let xa = auto_lu.solve(&b).unwrap();
+        let xs = serial.solve(&b).unwrap();
+        for (a, r) in xa.iter().zip(&xs) {
+            prop_assert!((a - r).abs() < 1e-12 * r.abs().max(1.0), "n {n}: {a} vs {r}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reach-based sparse-RHS solves must match the dense solve exactly on
+    /// their reach set (identical update sequence) and be exactly zero off
+    /// it — across random systems and random RHS patterns including the
+    /// empty and full ones.
+    #[test]
+    fn sparse_solve_matches_dense_for_random_patterns(
+        (t, b) in arb_system(28),
+        density_pick in 0..4usize,
+        pattern_seed in any::<u64>(),
+    ) {
+        use ohmflow_linalg::SparseSolveWorkspace;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = b.len();
+        let csc = t.to_csc();
+        let lu = SparseLu::factor(&csc).unwrap();
+
+        // Empty, sparse (1-2 nonzeros, the Woodbury shape), medium, full.
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let sparse_b: Vec<(usize, f64)> = match density_pick {
+            0 => Vec::new(),
+            1 => (0..rng.gen_range(1..3usize))
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(-3.0..3.0)))
+                .collect(),
+            2 => {
+                let mut pat = Vec::new();
+                for i in 0..n {
+                    if rng.gen_bool(0.3) {
+                        pat.push((i, rng.gen_range(-3.0..3.0)));
+                    }
+                }
+                pat
+            }
+            _ => (0..n).map(|i| (i, b[i])).collect(),
+        };
+
+        let mut dense_b = vec![0.0; n];
+        for &(i, v) in &sparse_b {
+            dense_b[i] += v;
+        }
+        let (mut work, mut dense_out) = (Vec::new(), Vec::new());
+        lu.solve_into(&dense_b, &mut work, &mut dense_out).unwrap();
+
+        let mut ws = SparseSolveWorkspace::new();
+        let mut sparse_out = Vec::new();
+        lu.solve_sparse_into(&sparse_b, &mut ws, &mut sparse_out).unwrap();
+
+        prop_assert_eq!(sparse_out.len(), n);
+        let mut on_pattern = vec![false; n];
+        for &i in ws.pattern() {
+            on_pattern[i] = true;
+        }
+        for i in 0..n {
+            // Exact agreement on the reach; exact zeros off it.
+            prop_assert!(
+                sparse_out[i] == dense_out[i],
+                "unknown {}: sparse {} vs dense {}", i, sparse_out[i], dense_out[i]
+            );
+            if !on_pattern[i] {
+                prop_assert_eq!(sparse_out[i], 0.0);
+            }
+        }
+    }
+}

