@@ -1,15 +1,18 @@
 //! Machine-readable perf snapshot for CI: runs the fast benchmark suite
 //! with wall-clock timing and writes `BENCH_PR2.json` (the template /
-//! incremental-engine scenarios of PR 2, kept as the regression guard) and
+//! incremental-engine scenarios of PR 2, kept as the regression guard),
 //! `BENCH_PR3.json` (the PR 3 large-graph scaling story: parallel vs
 //! serial numeric refactorization and reach-based sparse vs dense
-//! triangular solves on rmat1024 / rmat2048 / a DIMACS-roundtripped grid),
-//! so the repo's perf trajectory is tracked by artifact instead of
-//! anecdote.
+//! triangular solves on rmat1024 / rmat2048 / a DIMACS-roundtripped grid)
+//! and `BENCH_PR4.json` (the PR 4 ordering subsystem: fill, factor,
+//! refactor and rank-1 solve times under Natural / MinDegree / AMD /
+//! AMD+BTF, plus the BTF block structure), so the repo's perf trajectory
+//! is tracked by artifact instead of anecdote.
 //!
 //! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
-//! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` override the output
-//! paths.)
+//! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` / `OHMFLOW_BENCH_OUT_PR4`
+//! override the output paths; `OHMFLOW_FULL=1` adds the minutes-long
+//! natural-order factorization of rmat2048.)
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
@@ -20,7 +23,9 @@ use ohmflow_bench::{
 };
 use ohmflow_circuit::{DcTemplate, FrozenDcSession};
 use ohmflow_graph::generators;
-use ohmflow_linalg::{LuWorkspace, RefactorStrategy, SparseLu, SparseSolveWorkspace};
+use ohmflow_linalg::{
+    ColumnOrdering, LuWorkspace, RefactorStrategy, SparseLu, SparseLuOptions, SparseSolveWorkspace,
+};
 
 fn main() {
     let mut entries: Vec<(String, f64)> = Vec::new();
@@ -145,6 +150,7 @@ fn main() {
     println!("wrote {out}");
 
     pr3_report();
+    pr4_report();
 }
 
 /// The PR 3 large-graph scaling section: numeric refactorization
@@ -352,5 +358,197 @@ fn pr3_report() {
     let out =
         std::env::var("OHMFLOW_BENCH_OUT_PR3").unwrap_or_else(|_| "BENCH_PR3.json".to_owned());
     std::fs::write(&out, json).expect("write pr3 bench report");
+    println!("wrote {out}");
+}
+
+/// The PR 4 ordering-subsystem section: fill (`nnz(L+U)`), symbolic+numeric
+/// factor time, serial numeric refactor time and the rank-1 reach-based
+/// half-solve pair under Natural / MinDegree / AMD / AMD+BTF on the three
+/// reference substrates, plus the BTF block structure — the tracked numbers
+/// behind the R-MAT dense-tail fix.
+///
+/// Natural order on an R-MAT expander is a dense-tail stress test (~10.5M
+/// fill, ~24 s per factor on rmat1024 here): it runs single-shot on
+/// rmat1024 / dimacs_grid40 as the scale anchor, and on rmat2048 (minutes)
+/// only under `OHMFLOW_FULL=1`.
+fn pr4_report() {
+    use std::time::Instant;
+    let full = std::env::var("OHMFLOW_FULL").is_ok();
+    println!("--- PR4 ordering subsystem ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut fills: Vec<(String, usize)> = Vec::new();
+    let mut blocks: Vec<(String, usize, usize)> = Vec::new();
+    let push = |entries: &mut Vec<(String, f64)>, name: String, ns: f64| {
+        println!("{name:<52} {ns:>14.0} ns/op");
+        entries.push((name, ns));
+    };
+
+    let orderings = [
+        ("natural", ColumnOrdering::Natural),
+        ("min_degree", ColumnOrdering::MinDegree),
+        ("amd", ColumnOrdering::Amd),
+        ("amd_btf", ColumnOrdering::AmdBtf),
+    ];
+    for (name, g) in [
+        ("rmat1024", fig10_instance(1024, false, 1)),
+        ("rmat2048", fig10_instance(2048, false, 1)),
+        ("dimacs_grid40", dimacs_grid_instance(40, 50, 7)),
+    ] {
+        let sc = bench_substrate(&g);
+        // One stamp per instance; the returned default (AMD+BTF) factor is
+        // reused as that ordering's measured cell below instead of being
+        // factored again.
+        let (m, btf_lu) =
+            ohmflow_circuit::stamp_dc_system_with(sc.circuit(), &SparseLuOptions::default())
+                .expect("dc system");
+        let mut btf_lu = Some(btf_lu);
+        let m = &m;
+        let pairs = diode_unknown_pairs(&sc);
+        let sample: Vec<(usize, usize)> = pairs
+            .iter()
+            .step_by((pairs.len() / 64).max(1))
+            .copied()
+            .collect();
+        for (label, ordering) in orderings {
+            let heavy = ordering == ColumnOrdering::Natural;
+            if heavy && name == "rmat2048" && !full {
+                println!("{name}/{label}: skipped (dense-tail natural factor takes minutes; OHMFLOW_FULL=1 enables it)");
+                continue;
+            }
+            let opts = SparseLuOptions {
+                ordering,
+                ..Default::default()
+            };
+            // Fill + factor time. The natural-order factor is measured
+            // single-shot; everything else gets a warmed median. The
+            // AMD+BTF cell reuses the factor the instance stamp produced.
+            let (lu, single) = match btf_lu.take_if(|_| ordering == ColumnOrdering::AmdBtf) {
+                Some(lu) => (lu, f64::NAN), // `heavy` is never AmdBtf
+                None => {
+                    let t0 = Instant::now();
+                    let lu = SparseLu::factor_with(m, &opts).expect("factor");
+                    (lu, t0.elapsed().as_nanos() as f64)
+                }
+            };
+            let t_factor = if heavy {
+                single
+            } else {
+                median_ns(3, || SparseLu::factor_with(m, &opts).expect("factor"))
+            };
+            push(
+                &mut entries,
+                format!("{name}/{label}/symbolic_numeric_factor"),
+                t_factor,
+            );
+            fills.push((format!("{name}/{label}"), lu.factor_nnz()));
+            println!("{name}/{label}: nnz(L+U) {}", lu.factor_nnz());
+            if ordering == ColumnOrdering::AmdBtf {
+                let sym = lu.symbolic();
+                println!(
+                    "{name}/{label}: {} blocks, largest {} of {}",
+                    sym.block_count(),
+                    sym.largest_block(),
+                    sym.dim()
+                );
+                blocks.push((name.to_owned(), sym.block_count(), sym.largest_block()));
+            }
+
+            // Serial numeric refactorization (the rebase hot path).
+            let mut ws = LuWorkspace::new();
+            let mut rlu = lu.clone();
+            let reps = if heavy { 1 } else { 5 };
+            push(
+                &mut entries,
+                format!("{name}/{label}/refactor_serial"),
+                median_ns(reps, || {
+                    rlu.refactor_with_strategy(m, &mut ws, RefactorStrategy::Serial)
+                        .expect("refactor")
+                }),
+            );
+
+            // Rank-1 reach-based half-solve pair over real diode RHS pairs
+            // (the PR 3 primitive the dense tail was capping).
+            let mut sws = SparseSolveWorkspace::new();
+            let (mut what, mut ghat) = (Vec::new(), Vec::new());
+            let t_sparse = median_ns(if heavy { 1 } else { 3 }, || {
+                for &(a, c) in &sample {
+                    lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                        .expect("forward");
+                    lu.transposed_backward_sparse_into(&[(a, 1.0), (c, -1.0)], &mut sws, &mut ghat)
+                        .expect("transposed backward");
+                }
+            });
+            push(
+                &mut entries,
+                format!("{name}/{label}/rank1_halfsolve_pair"),
+                t_sparse / sample.len() as f64,
+            );
+        }
+    }
+
+    let get = |key: &str| {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let fill_of = |key: &str| {
+        fills
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    let factor_speedup_2048 = ratio(
+        get("rmat2048/min_degree/symbolic_numeric_factor"),
+        get("rmat2048/amd_btf/symbolic_numeric_factor"),
+    );
+    let fill_ratio_2048 = ratio(
+        fill_of("rmat2048/amd_btf") as f64,
+        fill_of("rmat2048/min_degree") as f64,
+    );
+    let solve_speedup_2048 = ratio(
+        get("rmat2048/min_degree/rank1_halfsolve_pair"),
+        get("rmat2048/amd_btf/rank1_halfsolve_pair"),
+    );
+    println!("amd_btf vs min_degree factor speedup (rmat2048): {factor_speedup_2048:.2}x");
+    println!("amd_btf / min_degree fill ratio (rmat2048): {fill_ratio_2048:.3}");
+    println!("amd_btf vs min_degree rank1 half-solve speedup (rmat2048): {solve_speedup_2048:.2}x");
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr4/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"fill_nnz\": {\n");
+    for (i, (name, nnz)) in fills.iter().enumerate() {
+        let comma = if i + 1 < fills.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {nnz}{comma}\n"));
+    }
+    json.push_str("  },\n  \"btf_blocks\": {\n");
+    for (i, (name, count, largest)) in blocks.iter().enumerate() {
+        let comma = if i + 1 < blocks.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"count\": {count}, \"largest\": {largest} }}{comma}\n"
+        ));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    json.push_str(&format!(
+        "    \"amd_btf_vs_min_degree_factor_rmat2048\": {factor_speedup_2048:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"amd_btf_fill_over_min_degree_rmat2048\": {fill_ratio_2048:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"amd_btf_vs_min_degree_rank1_halfsolve_rmat2048\": {solve_speedup_2048:.3}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR4").unwrap_or_else(|_| "BENCH_PR4.json".to_owned());
+    std::fs::write(&out, json).expect("write pr4 bench report");
     println!("wrote {out}");
 }

@@ -109,6 +109,18 @@ fn main() {
         accounted as f64 / steps as f64
     );
 
+    // Factorization structure under the production (AMD+BTF) ordering: the
+    // fill the flip loop replays every rebase, and the block decomposition
+    // that bounds it (the largest block is the irreducible core).
+    let sym = dc_tpl.symbolic();
+    println!(
+        "factor structure   : nnz(L+U) {}  blocks {}  largest block {} of {}",
+        sym.pattern_nnz(),
+        sym.block_count(),
+        sym.largest_block(),
+        sym.dim(),
+    );
+
     // End-to-end engine comparison.
     for (label, engine) in [
         ("incremental", RelaxationEngine::Incremental),

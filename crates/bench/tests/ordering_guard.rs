@@ -1,0 +1,70 @@
+//! Ordering-quality regression guard: AMD fill on the rmat1024 substrate
+//! fixture must stay below a recorded ceiling, and must never fall behind
+//! the plain min-degree oracle it replaced.
+//!
+//! This is the cheap CI tripwire for the PR4 ordering subsystem: a change
+//! that silently degrades the quotient-graph degree approximation, the
+//! supervariable merging or the BTF block decomposition shows up here as a
+//! fill jump long before anyone reads `BENCH_PR4.json`.
+
+use ohmflow_bench::{bench_substrate, fig10_instance};
+use ohmflow_circuit::stamp_dc_system;
+use ohmflow_linalg::{ColumnOrdering, SparseLu, SparseLuOptions};
+
+/// Recorded AMD fill on this fixture: 267,318 (plain AMD) / 259,774
+/// (AMD+BTF); min-degree produces 272,920 and natural order 10,549,475.
+/// The ceiling leaves ~20 % headroom over the recorded AMD value — enough
+/// for tie-break drift, far below a real quality regression.
+const AMD_FILL_CEILING: usize = 320_000;
+
+#[test]
+fn amd_fill_on_rmat1024_stays_below_recorded_ceiling() {
+    let g = fig10_instance(1024, false, 1);
+    let sc = bench_substrate(&g);
+    // Default options are the production AMD+BTF path.
+    let (m, lu_btf) = stamp_dc_system(sc.circuit()).expect("dc system");
+    let factor = |ordering| {
+        let opts = SparseLuOptions {
+            ordering,
+            ..Default::default()
+        };
+        SparseLu::factor_with(&m, &opts).expect("factor")
+    };
+    let amd = factor(ColumnOrdering::Amd);
+    let min_degree = factor(ColumnOrdering::MinDegree);
+
+    // The old min-degree is the fill oracle: AMD (and the block-composed
+    // AMD) must not lose to it on the expander fixture it was built for.
+    assert!(
+        amd.factor_nnz() <= min_degree.factor_nnz(),
+        "AMD fill {} exceeds min-degree fill {}",
+        amd.factor_nnz(),
+        min_degree.factor_nnz()
+    );
+    assert!(
+        lu_btf.factor_nnz() <= min_degree.factor_nnz(),
+        "AMD+BTF fill {} exceeds min-degree fill {}",
+        lu_btf.factor_nnz(),
+        min_degree.factor_nnz()
+    );
+
+    assert!(
+        amd.factor_nnz() < AMD_FILL_CEILING,
+        "AMD fill {} blew the recorded ceiling {AMD_FILL_CEILING}",
+        amd.factor_nnz()
+    );
+    assert!(
+        lu_btf.factor_nnz() < AMD_FILL_CEILING,
+        "AMD+BTF fill {} blew the recorded ceiling {AMD_FILL_CEILING}",
+        lu_btf.factor_nnz()
+    );
+
+    // The R-MAT substrate decomposes: the BTF stage must actually find
+    // blocks (203 recorded), not degenerate to one.
+    assert!(
+        lu_btf.symbolic().block_count() > 1,
+        "BTF found no decomposition: {} block(s)",
+        lu_btf.symbolic().block_count()
+    );
+    assert!(lu_btf.symbolic().largest_block() < lu_btf.symbolic().dim());
+}

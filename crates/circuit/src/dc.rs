@@ -3,6 +3,8 @@ use std::time::Instant;
 
 use ohmflow_linalg::{CscMatrix, LowRankUpdate, LuWorkspace, SparseLu, SymbolicLu};
 
+use crate::LuOptions;
+
 use crate::circuit::Circuit;
 use crate::element::Element;
 use crate::error::CircuitError;
@@ -37,17 +39,35 @@ pub struct DcTemplate {
     /// order: the structural fingerprint a candidate circuit must match.
     branch_shape: Vec<bool>,
     lu: SparseLu,
+    /// The factorization options (column ordering, pivoting thresholds)
+    /// the template's symbolic plan was built under — reused by every
+    /// fallback fresh factorization so a template never silently mixes
+    /// orderings.
+    lu_opts: LuOptions,
     n_nodes: usize,
 }
 
 impl DcTemplate {
-    /// Runs the cold path on `ckt` and captures the reusable artifacts.
+    /// Runs the cold path on `ckt` with the default factorization options
+    /// (AMD + block-triangular ordering) and captures the reusable
+    /// artifacts.
     ///
     /// # Errors
     ///
     /// [`CircuitError::SingularSystem`] if the initial-state configuration
     /// is unsolvable (floating nodes, inconsistent source loops).
     pub fn new(ckt: &Circuit) -> Result<Self, CircuitError> {
+        Self::with_options(ckt, LuOptions::default())
+    }
+
+    /// [`DcTemplate::new`] with explicit factorization options — the
+    /// circuit-level entry point for choosing a
+    /// [`ColumnOrdering`](crate::ColumnOrdering).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcTemplate::new`].
+    pub fn with_options(ckt: &Circuit, lu_opts: LuOptions) -> Result<Self, CircuitError> {
         let st = MnaStructure::new(ckt);
         let states = mna::initial_states(ckt);
         let branch_shape = ckt
@@ -56,13 +76,19 @@ impl DcTemplate {
             .map(Element::has_branch_current)
             .collect();
         let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-        let lu = SparseLu::factor(&m)?;
+        let lu = SparseLu::factor_with(&m, &lu_opts)?;
         Ok(DcTemplate {
             st,
             branch_shape,
             lu,
+            lu_opts,
             n_nodes: ckt.node_count(),
         })
+    }
+
+    /// The factorization options this template was built under.
+    pub fn lu_options(&self) -> &LuOptions {
+        &self.lu_opts
     }
 
     /// The unknown map shared by every circuit this template matches.
@@ -113,7 +139,7 @@ impl DcTemplate {
         if lu.refactor(&m).is_ok() {
             Ok((lu, m, true))
         } else {
-            let lu = SparseLu::factor(&m)?;
+            let lu = SparseLu::factor_with(&m, &self.lu_opts)?;
             Ok((lu, m, false))
         }
     }
@@ -154,6 +180,9 @@ pub struct DcAnalysis<'c> {
     /// Warm-start device states (e.g. the converged states of a previous
     /// solve on the same topology).
     warm_states: Option<Vec<DeviceState>>,
+    /// Factorization options for the cold path (a template brings its
+    /// own).
+    lu_opts: LuOptions,
 }
 
 impl<'c> DcAnalysis<'c> {
@@ -165,7 +194,18 @@ impl<'c> DcAnalysis<'c> {
             at_time: None,
             template: None,
             warm_states: None,
+            lu_opts: LuOptions::default(),
         }
+    }
+
+    /// Overrides the factorization options of the cold path — most
+    /// usefully the [`ColumnOrdering`](crate::ColumnOrdering). When a
+    /// matching template is supplied ([`DcAnalysis::with_template`]) the
+    /// template's own options win, since its symbolic plan was built under
+    /// them.
+    pub fn lu_options(mut self, opts: LuOptions) -> Self {
+        self.lu_opts = opts;
+        self
     }
 
     /// Evaluates time-varying sources at `t` (a "quasi-static" solve) rather
@@ -210,8 +250,11 @@ impl<'c> DcAnalysis<'c> {
         // Template fast path: reuse the unknown map and prime the factor
         // cache with a numeric-only refactorization for this circuit's
         // *values* (they may differ from the template's). A failed
-        // refactorization simply leaves the cache cold.
-        let (st, mut cache) = match self.template.filter(|t| t.matches(self.ckt)) {
+        // refactorization simply leaves the cache cold. Matched once: the
+        // same template decides the structure, the cache seed and the
+        // factorization options below.
+        let matched_tpl = self.template.filter(|t| t.matches(self.ckt));
+        let (st, mut cache) = match matched_tpl {
             Some(tpl) => {
                 let cache = tpl
                     .numeric_for(self.ckt, &initial)
@@ -232,6 +275,12 @@ impl<'c> DcAnalysis<'c> {
         let mut states = warm.cloned().unwrap_or_else(|| initial.clone());
         let warm_used = warm.is_some();
         let t = self.at_time.unwrap_or(0.0);
+        // The template path factors under the template's options; the cold
+        // path under this analysis's.
+        let lu_opts = match matched_tpl {
+            Some(tpl) => *tpl.lu_options(),
+            None => self.lu_opts,
+        };
         let solve =
             |states: &mut Vec<DeviceState>,
              cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>| {
@@ -243,6 +292,7 @@ impl<'c> DcAnalysis<'c> {
                     StampMode::Dc,
                     None,
                     self.pre_step,
+                    &lu_opts,
                     cache,
                 )
             };
@@ -366,10 +416,24 @@ pub struct FrozenDcCache {
 /// [`CircuitError::SingularSystem`] if the initial-state configuration is
 /// unsolvable.
 pub fn stamp_dc_system(ckt: &Circuit) -> Result<(CscMatrix, SparseLu), CircuitError> {
+    stamp_dc_system_with(ckt, &LuOptions::default())
+}
+
+/// [`stamp_dc_system`] with explicit factorization options — how the
+/// ordering benches factor the same real substrate matrix under
+/// Natural/MinDegree/AMD/AMD+BTF for fill and timing comparisons.
+///
+/// # Errors
+///
+/// Same as [`stamp_dc_system`].
+pub fn stamp_dc_system_with(
+    ckt: &Circuit,
+    lu_opts: &LuOptions,
+) -> Result<(CscMatrix, SparseLu), CircuitError> {
     let st = MnaStructure::new(ckt);
     let states = mna::initial_states(ckt);
     let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-    let lu = SparseLu::factor(&m)?;
+    let lu = SparseLu::factor_with(&m, lu_opts)?;
     Ok((m, lu))
 }
 
@@ -493,6 +557,9 @@ pub struct FrozenDcSession<'c> {
     /// Set when a solve fails partway: state, factorization and cached
     /// solution may disagree, so the next call rebuilds before solving.
     poisoned: bool,
+    /// Factorization options for fallback fresh factorizations (rebases
+    /// whose pattern moved or whose frozen pivots died).
+    lu_opts: LuOptions,
     rhs: Vec<f64>,
     work: Vec<f64>,
     x: Vec<f64>,
@@ -526,15 +593,26 @@ impl<'c> FrozenDcSession<'c> {
     /// [`CircuitError::SingularSystem`] if the base configuration is
     /// unsolvable (floating nodes, inconsistent source loops).
     pub fn new(ckt: &'c Circuit) -> Result<Self, CircuitError> {
+        Self::with_lu_options(ckt, LuOptions::default())
+    }
+
+    /// [`FrozenDcSession::new`] with explicit factorization options (most
+    /// usefully the [`ColumnOrdering`](crate::ColumnOrdering)); every
+    /// rebase-path fallback factorization reuses them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrozenDcSession::new`].
+    pub fn with_lu_options(ckt: &'c Circuit, lu_opts: LuOptions) -> Result<Self, CircuitError> {
         let st = MnaStructure::new(ckt);
         let states = mna::initial_states(ckt);
         let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-        let lu = SparseLu::factor(&m)?;
+        let lu = SparseLu::factor_with(&m, &lu_opts)?;
         let stats = FrozenDcStats {
             full_factorizations: 1,
             ..FrozenDcStats::default()
         };
-        Ok(Self::from_parts(ckt, st, states, m, lu, stats))
+        Ok(Self::from_parts(ckt, st, states, m, lu, lu_opts, stats))
     }
 
     /// Builds a session from a [`DcTemplate`], skipping the structure
@@ -562,7 +640,15 @@ impl<'c> FrozenDcSession<'c> {
             full_factorizations: usize::from(!fast),
             ..FrozenDcStats::default()
         };
-        Ok(Self::from_parts(ckt, tpl.st.clone(), states, m, lu, stats))
+        Ok(Self::from_parts(
+            ckt,
+            tpl.st.clone(),
+            states,
+            m,
+            lu,
+            *tpl.lu_options(),
+            stats,
+        ))
     }
 
     fn from_parts(
@@ -571,6 +657,7 @@ impl<'c> FrozenDcSession<'c> {
         states: Vec<DeviceState>,
         base_csc: CscMatrix,
         lu: SparseLu,
+        lu_opts: LuOptions,
         stats: FrozenDcStats,
     ) -> Self {
         let diode_elems = ckt
@@ -605,6 +692,7 @@ impl<'c> FrozenDcSession<'c> {
             last_solve_time: None,
             last_diode_on: Vec::new(),
             poisoned: false,
+            lu_opts,
             rhs: Vec::with_capacity(n),
             work: Vec::with_capacity(n),
             x: vec![0.0; n],
@@ -868,7 +956,7 @@ impl<'c> FrozenDcSession<'c> {
         if self.lu.refactor_with(&m, &mut self.lu_ws).is_ok() {
             self.stats.refactorizations += 1;
         } else {
-            self.lu = SparseLu::factor(&m)?;
+            self.lu = SparseLu::factor_with(&m, &self.lu_opts)?;
             self.stats.full_factorizations += 1;
         }
         if let Some(t0) = t0 {

@@ -52,12 +52,13 @@ mod waveform;
 
 pub use circuit::Circuit;
 pub use dc::{
-    solve_frozen_dc, stamp_dc_system, DcAnalysis, DcSolution, DcTemplate, FrozenDcCache,
-    FrozenDcPhases, FrozenDcSession, FrozenDcStats,
+    solve_frozen_dc, stamp_dc_system, stamp_dc_system_with, DcAnalysis, DcSolution, DcTemplate,
+    FrozenDcCache, FrozenDcPhases, FrozenDcSession, FrozenDcStats,
 };
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;
 pub use ids::{ElementId, NodeId};
+pub use ohmflow_linalg::{ColumnOrdering, SparseLuOptions as LuOptions};
 pub use source::SourceValue;
 pub use transient::{IntegrationMethod, TransientAnalysis, TransientOptions};
 pub use waveform::{Waveform, WaveformSet};

@@ -586,6 +586,7 @@ pub(crate) fn solve_pwl(
     mode: StampMode,
     history: Option<&History>,
     dc_pre_step: bool,
+    lu_opts: &crate::LuOptions,
     factor_cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>,
 ) -> Result<Vec<f64>, CircuitError> {
     let max_iters = max_state_iters(ckt);
@@ -619,7 +620,7 @@ pub(crate) fn solve_pwl(
                 .and_then(|(_, mut lu, _)| lu.refactor_with(&m, &mut lu_ws).is_ok().then_some(lu));
             let lu = match reused {
                 Some(lu) => lu,
-                None => SparseLu::factor(&m)?,
+                None => SparseLu::factor_with(&m, lu_opts)?,
             };
             *factor_cache = Some((states.clone(), lu, m));
         }

@@ -144,6 +144,7 @@ impl<'c> TransientAnalysis<'c> {
         let mut cache = None;
 
         // t = 0⁻ operating point.
+        let lu_opts = crate::LuOptions::default();
         let x0 = mna::solve_pwl(
             ckt,
             &st,
@@ -152,6 +153,7 @@ impl<'c> TransientAnalysis<'c> {
             StampMode::Dc,
             None,
             true,
+            &lu_opts,
             &mut cache,
         )?;
         // The DC stamp differs from the transient stamp: drop the cache.
@@ -194,6 +196,7 @@ impl<'c> TransientAnalysis<'c> {
                 mode,
                 Some(&history),
                 false,
+                &lu_opts,
                 &mut cache,
             )?;
 

@@ -236,7 +236,7 @@ impl AnalogMaxFlow {
     ///
     /// Propagates template-construction failures.
     pub fn template_for(&self, g: &FlowNetwork) -> Result<Arc<SubstrateTemplate>, AnalogError> {
-        let key = TemplateKey::of(g);
+        let key = TemplateKey::with_ordering(g, self.effective_build_options().lu_ordering);
         if let Some(tpl) = self.templates.lock().expect("template cache").get(&key) {
             return Ok(Arc::clone(tpl));
         }
@@ -379,7 +379,8 @@ impl AnalogMaxFlow {
         sc: &SubstrateCircuit,
         tpl: Option<&SubstrateTemplate>,
     ) -> Result<AnalogSolution, AnalogError> {
-        let mut analysis = DcAnalysis::new(sc.circuit());
+        let mut analysis =
+            DcAnalysis::new(sc.circuit()).lu_options(self.effective_build_options().lu_options());
         if let Some(dc) = sc.dc_template() {
             analysis = analysis.with_template(dc);
         }
@@ -464,7 +465,10 @@ impl AnalogMaxFlow {
                 // structure + ordering + symbolic analysis.
                 let session = match shared.or(sc.dc_template().map(|t| &**t)) {
                     Some(tpl) => FrozenDcSession::with_template(sc.circuit(), tpl),
-                    None => FrozenDcSession::new(sc.circuit()),
+                    None => FrozenDcSession::with_lu_options(
+                        sc.circuit(),
+                        self.effective_build_options().lu_options(),
+                    ),
                 };
                 let mut eq = SessionEquilibrium {
                     session: session.map_err(AnalogError::from)?,
@@ -652,7 +656,11 @@ impl AnalogMaxFlow {
         if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
             return graphs.par_iter().map(|g| self.solve(g)).collect();
         }
-        let keys: Vec<TemplateKey> = graphs.iter().map(TemplateKey::of).collect();
+        let ordering = self.effective_build_options().lu_ordering;
+        let keys: Vec<TemplateKey> = graphs
+            .iter()
+            .map(|g| TemplateKey::with_ordering(g, ordering))
+            .collect();
         let mut counts: HashMap<&TemplateKey, usize> = HashMap::new();
         for key in &keys {
             *counts.entry(key).or_insert(0) += 1;
@@ -703,7 +711,13 @@ impl AnalogMaxFlow {
         g: &FlowNetwork,
     ) -> Vec<Result<AnalogSolution, AnalogError>> {
         let shared: Option<Arc<DcTemplate>> = (scs.len() >= 2 && template::uniform_structure(scs))
-            .then(|| DcTemplate::new(scs[0].circuit()).ok())
+            .then(|| {
+                DcTemplate::with_options(
+                    scs[0].circuit(),
+                    self.effective_build_options().lu_options(),
+                )
+                .ok()
+            })
             .flatten()
             .map(Arc::new);
         scs.par_iter()

@@ -58,11 +58,22 @@ pub struct TemplateKey {
     /// Edge list in id order — parallel edges are distinct widgets, so the
     /// full list (not a set) is the identity.
     edges: Vec<(u32, u32)>,
+    /// The LU column ordering the template's symbolic factorization was
+    /// built under. Part of the identity: a symbolic plan is only reusable
+    /// under the ordering that produced it, so caches must never hand a
+    /// min-degree-era template to an AMD+BTF solve (or vice versa).
+    ordering: ohmflow_circuit::ColumnOrdering,
 }
 
 impl TemplateKey {
-    /// The key of `g`.
+    /// The key of `g` under the default column ordering.
     pub fn of(g: &FlowNetwork) -> Self {
+        Self::with_ordering(g, ohmflow_circuit::ColumnOrdering::default())
+    }
+
+    /// The key of `g` under an explicit column ordering (what
+    /// [`BuildOptions::lu_ordering`](crate::builder::BuildOptions) selects).
+    pub fn with_ordering(g: &FlowNetwork, ordering: ohmflow_circuit::ColumnOrdering) -> Self {
         TemplateKey {
             vertices: g.vertex_count(),
             source: g.source(),
@@ -72,6 +83,7 @@ impl TemplateKey {
                 .iter()
                 .map(|e| (e.from as u32, e.to as u32))
                 .collect(),
+            ordering,
         }
     }
 }
@@ -145,9 +157,12 @@ impl SubstrateTemplate {
         opts: &BuildOptions,
     ) -> Result<Self, AnalogError> {
         let (skeleton, level_sources) = build_with_layout(g, params, opts, LevelLayout::PerEdge)?;
-        let dc = Arc::new(DcTemplate::new(skeleton.circuit()).map_err(AnalogError::from)?);
+        let dc = Arc::new(
+            DcTemplate::with_options(skeleton.circuit(), opts.lu_options())
+                .map_err(AnalogError::from)?,
+        );
         Ok(SubstrateTemplate {
-            key: TemplateKey::of(g),
+            key: TemplateKey::with_ordering(g, opts.lu_ordering),
             params: params.clone(),
             opts: *opts,
             skeleton,
@@ -195,7 +210,7 @@ impl SubstrateTemplate {
         g: &FlowNetwork,
         mapping: CapacityMapping,
     ) -> Result<SubstrateCircuit, AnalogError> {
-        if TemplateKey::of(g) != self.key {
+        if TemplateKey::with_ordering(g, self.opts.lu_ordering) != self.key {
             return Err(AnalogError::InvalidConfig {
                 what: "template instantiated with a different graph topology".to_owned(),
             });
@@ -291,6 +306,23 @@ mod tests {
         // Same topology, different capacities: same key.
         let c = a.scaled_capacities(2).unwrap();
         assert_eq!(TemplateKey::of(&a), TemplateKey::of(&c));
+    }
+
+    #[test]
+    fn template_key_separates_orderings() {
+        use ohmflow_circuit::ColumnOrdering;
+        // A symbolic plan is only valid under the ordering that built it:
+        // the same topology under different orderings must never share a
+        // cache slot, while the default-ordering key stays stable.
+        let a = generators::fig5a();
+        assert_ne!(
+            TemplateKey::of(&a),
+            TemplateKey::with_ordering(&a, ColumnOrdering::MinDegree)
+        );
+        assert_eq!(
+            TemplateKey::of(&a),
+            TemplateKey::with_ordering(&a, ColumnOrdering::default())
+        );
     }
 
     #[test]

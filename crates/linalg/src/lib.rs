@@ -10,9 +10,12 @@
 //!   and for tests,
 //! * [`TripletMatrix`] (coordinate) assembly and [`CsrMatrix`] / [`CscMatrix`]
 //!   compressed storage,
-//! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting and
-//!   an approximate-minimum-degree fill-reducing ordering, plus a KLU-style
-//!   numeric-only [`SparseLu::refactor`] path reusing the ordering, symbolic
+//! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting,
+//!   ordered by default through a block-triangular permutation (maximum
+//!   transversal + Tarjan SCC, [`block_triangular_form`]) with a true
+//!   quotient-graph approximate-minimum-degree ordering per diagonal block
+//!   ([`amd_ordering`]), plus a KLU-style numeric-only
+//!   [`SparseLu::refactor`] path reusing the ordering, symbolic
 //!   pattern and pivot sequence for value-only matrix changes. The
 //!   factorization is split into an immutable, `Arc`-shared [`SymbolicLu`]
 //!   elimination plan and per-thread numeric values ([`NumericLu`]), so
@@ -61,7 +64,10 @@ pub mod vecops;
 pub use dense::{DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use lowrank::LowRankUpdate;
-pub use ordering::{min_degree_ordering, reverse_cuthill_mckee};
+pub use ordering::{
+    amd_btf_ordering, amd_ordering, block_triangular_form, maximum_transversal,
+    min_degree_ordering, reverse_cuthill_mckee, BlockOrdering, BtfStructure,
+};
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 pub use sparse_lu::{
     ColumnOrdering, LuWorkspace, NumericLu, RefactorStrategy, SparseLu, SparseLuOptions,

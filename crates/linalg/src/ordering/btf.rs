@@ -1,0 +1,407 @@
+//! Block-triangular form: maximum transversal + strongly connected
+//! components.
+//!
+//! A square sparse matrix with a structurally nonzero diagonal can be
+//! symmetrically permuted to *block upper triangular* form: the diagonal
+//! blocks are the strongly connected components of the directed graph
+//! `column → column-matched-to-row` (one vertex per column, one edge per
+//! stored entry), numbered so that every edge points to an equal or
+//! lower-numbered block. Factoring the permuted matrix then never creates
+//! fill below a diagonal block — each block eliminates as if it were its
+//! own matrix, and the off-diagonal blocks only ever contribute `U`
+//! entries. This is the KLU/SPICE decomposition; on circuit matrices it
+//! peels dangling subtrees and one-way couplings off the irreducible core.
+//!
+//! The structurally nonzero diagonal comes from a **maximum transversal**:
+//! a maximum matching between columns and rows in the bipartite graph of
+//! stored entries, found by augmenting-path search (Duff's MC21 scheme:
+//! a cheap first-fit pass, then one DFS per still-unmatched column with a
+//! per-column look-ahead cursor so each entry's cheap test runs once).
+
+use crate::CscMatrix;
+
+const NONE: usize = usize::MAX;
+
+/// Column→row maximum matching over the stored pattern of `a`.
+///
+/// Returns `(row_of_col, matched)` where `row_of_col[c]` is the row matched
+/// to column `c` (`usize::MAX` if the column could not be matched) and
+/// `matched` is the matching size. `matched == n` iff the matrix is
+/// structurally nonsingular.
+///
+/// The search seeds diagonal entries first, so on a typical MNA matrix —
+/// structurally nonzero diagonal except for branch-current rows — almost
+/// every column keeps its natural pivot and the augmenting DFS only runs
+/// for the few constraint columns.
+pub fn maximum_transversal(a: &CscMatrix) -> (Vec<usize>, usize) {
+    let n = a.cols();
+    let col_ptr = a.col_ptr();
+    let row_idx = a.row_idx();
+    let mut row_of_col = vec![NONE; n];
+    let mut col_of_row = vec![NONE; a.rows()];
+    let mut matched = 0usize;
+
+    // Cheap pass 1: claim diagonals.
+    for c in 0..n {
+        if row_idx[col_ptr[c]..col_ptr[c + 1]].contains(&c) && col_of_row[c] == NONE {
+            row_of_col[c] = c;
+            col_of_row[c] = c;
+            matched += 1;
+        }
+    }
+    // Cheap pass 2: first-fit any free row.
+    for c in 0..n {
+        if row_of_col[c] != NONE {
+            continue;
+        }
+        for &r in &row_idx[col_ptr[c]..col_ptr[c + 1]] {
+            if col_of_row[r] == NONE {
+                row_of_col[c] = r;
+                col_of_row[r] = c;
+                matched += 1;
+                break;
+            }
+        }
+    }
+
+    // Augmenting-path DFS for the remaining free columns. `cheap[c]`
+    // advances monotonically over c's entries across all searches — rows
+    // never become unmatched again, so the "does c still see a free row"
+    // test is amortized O(nnz) over the whole transversal (MC21).
+    let mut cheap: Vec<usize> = col_ptr[..n].to_vec();
+    let mut visited = vec![NONE; n]; // stamp: column visited in search `c0`
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (column, entry cursor)
+    for c0 in 0..n {
+        if row_of_col[c0] != NONE {
+            continue;
+        }
+        stack.clear();
+        stack.push((c0, col_ptr[c0]));
+        visited[c0] = c0;
+        while let Some(&(c, _)) = stack.last() {
+            // Look-ahead: a free row ends the search immediately.
+            let mut free_row = NONE;
+            while cheap[c] < col_ptr[c + 1] {
+                let r = row_idx[cheap[c]];
+                cheap[c] += 1;
+                if col_of_row[r] == NONE {
+                    free_row = r;
+                    break;
+                }
+            }
+            if free_row != NONE {
+                // Augment along the stack: the top column takes the free
+                // row; every ancestor takes the row its child currently
+                // holds (the entry it probed to descend), down to the
+                // unmatched root.
+                let mut take = free_row;
+                while let Some((col, _)) = stack.pop() {
+                    let displaced = row_of_col[col];
+                    row_of_col[col] = take;
+                    col_of_row[take] = col;
+                    if displaced == NONE {
+                        break; // the root `c0`
+                    }
+                    take = displaced;
+                }
+                matched += 1;
+                break;
+            }
+            // Descend: probe matched rows, recursing into their columns.
+            let mut child = NONE;
+            {
+                let (_, ptr) = stack.last_mut().expect("stack nonempty");
+                while *ptr < col_ptr[c + 1] {
+                    let r = row_idx[*ptr];
+                    *ptr += 1;
+                    let c2 = col_of_row[r];
+                    debug_assert_ne!(c2, NONE, "free rows handled by look-ahead");
+                    if c2 < n && visited[c2] != c0 {
+                        child = c2;
+                        break;
+                    }
+                }
+            }
+            if child != NONE {
+                visited[child] = c0;
+                stack.push((child, col_ptr[child]));
+            } else {
+                stack.pop();
+            }
+        }
+    }
+    (row_of_col, matched)
+}
+
+/// The block-triangular structure of a structurally nonsingular matrix:
+/// matching, inverse matching, and the columns of each diagonal block in
+/// elimination (topological) order.
+#[derive(Debug, Clone)]
+pub struct BtfStructure {
+    /// `row_of_col[c]` = row matched to column `c`.
+    pub row_of_col: Vec<usize>,
+    /// `col_of_row[r]` = column matched to row `r`.
+    pub col_of_row: Vec<usize>,
+    /// Block boundaries into [`BtfStructure::col_order`] (and therefore
+    /// into pivot-step space once the ordering is applied).
+    pub block_ptr: Vec<usize>,
+    /// Columns grouped by block, blocks in elimination order: every stored
+    /// entry of a block's columns lives in the rows of that block or an
+    /// *earlier* one (block upper triangular).
+    pub col_order: Vec<usize>,
+}
+
+impl BtfStructure {
+    /// Number of diagonal blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_ptr.len() - 1
+    }
+
+    /// The columns of block `t`.
+    pub fn block_cols(&self, t: usize) -> &[usize] {
+        &self.col_order[self.block_ptr[t]..self.block_ptr[t + 1]]
+    }
+}
+
+/// Computes the block-triangular form of `a`, or `None` if `a` is not
+/// square or has no perfect matching (structurally singular — no BTF
+/// exists; callers fall back to a single block).
+pub fn block_triangular_form(a: &CscMatrix) -> Option<BtfStructure> {
+    let n = a.cols();
+    if a.rows() != n {
+        return None;
+    }
+    let (row_of_col, matched) = maximum_transversal(a);
+    if matched != n {
+        return None;
+    }
+    let mut col_of_row = vec![NONE; n];
+    for (c, &r) in row_of_col.iter().enumerate() {
+        col_of_row[r] = c;
+    }
+
+    // Tarjan SCC on the digraph with one vertex per column and an edge
+    // `c -> col_of_row[r]` per stored entry `(r, c)`. SCCs pop in reverse
+    // topological order of the condensation, i.e. a popped component's
+    // successors are already popped — so pop order *is* the block order
+    // that makes every edge point to an equal-or-earlier block, which is
+    // exactly the block upper triangular property.
+    let col_ptr = a.col_ptr();
+    let row_idx = a.row_idx();
+    let mut index = vec![NONE; n]; // discovery order
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<usize> = Vec::new();
+    let mut dfs: Vec<(usize, usize)> = Vec::new(); // (column, entry cursor)
+    let mut next_index = 0usize;
+    let mut block_ptr = vec![0usize];
+    let mut col_order: Vec<usize> = Vec::with_capacity(n);
+
+    for root in 0..n {
+        if index[root] != NONE {
+            continue;
+        }
+        dfs.push((root, col_ptr[root]));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        scc_stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (c, ref mut ptr)) = dfs.last_mut() {
+            if *ptr < col_ptr[c + 1] {
+                let w = col_of_row[row_idx[*ptr]];
+                *ptr += 1;
+                if w == c {
+                    continue;
+                }
+                if index[w] == NONE {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    scc_stack.push(w);
+                    on_stack[w] = true;
+                    dfs.push((w, col_ptr[w]));
+                } else if on_stack[w] {
+                    low[c] = low[c].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[c]);
+                }
+                if low[c] == index[c] {
+                    // Pop one complete SCC = one diagonal block.
+                    loop {
+                        let w = scc_stack.pop().expect("SCC member");
+                        on_stack[w] = false;
+                        col_order.push(w);
+                        if w == c {
+                            break;
+                        }
+                    }
+                    block_ptr.push(col_order.len());
+                }
+            }
+        }
+    }
+    Some(BtfStructure {
+        row_of_col,
+        col_of_row,
+        block_ptr,
+        col_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn matrix(n: usize, entries: &[(usize, usize)]) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for &(r, c) in entries {
+            t.push(r, c, 1.0);
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn transversal_matches_identity_diagonal() {
+        let a = matrix(4, &[(0, 0), (1, 1), (2, 2), (3, 3), (0, 2)]);
+        let (m, count) = maximum_transversal(&a);
+        assert_eq!(count, 4);
+        assert_eq!(m, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn transversal_needs_augmenting_path() {
+        // col0 -> {row0, row1}, col1 -> {row0}: col1 must displace col0.
+        let a = matrix(2, &[(0, 0), (1, 0), (0, 1)]);
+        let (m, count) = maximum_transversal(&a);
+        assert_eq!(count, 2);
+        assert_eq!(m, vec![1, 0]);
+    }
+
+    #[test]
+    fn transversal_long_displacement_chain() {
+        // Columns k reach only rows {k, k+1} except the last, which only
+        // reaches row 0: the augmenting path must displace every column.
+        let n = 6;
+        let mut entries = Vec::new();
+        for k in 0..n - 1 {
+            entries.push((k, k));
+            entries.push((k + 1, k));
+        }
+        entries.push((0, n - 1));
+        let (m, count) = maximum_transversal(&matrix(n, &entries));
+        assert_eq!(count, n);
+        let mut seen = vec![false; n];
+        for &r in &m {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+    }
+
+    #[test]
+    fn transversal_detects_structural_singularity() {
+        // Two columns can only take row 0.
+        let a = matrix(2, &[(0, 0), (0, 1)]);
+        let (_, count) = maximum_transversal(&a);
+        assert_eq!(count, 1);
+        assert!(block_triangular_form(&a).is_none());
+    }
+
+    #[test]
+    fn btf_blocks_are_upper_triangular() {
+        // Three SCCs with forward coupling: {0,1} <- {2} <- {3,4} in
+        // dependency terms (entries above the diagonal blocks only).
+        let a = matrix(
+            5,
+            &[
+                (0, 0),
+                (1, 1),
+                (0, 1),
+                (1, 0), // block {0,1}
+                (2, 2), // block {2}
+                (3, 3),
+                (4, 4),
+                (3, 4),
+                (4, 3), // block {3,4}
+                (0, 2), // {2} couples into {0,1}'s rows
+                (2, 3), // {3,4} couples into {2}'s rows
+            ],
+        );
+        let btf = block_triangular_form(&a).expect("nonsingular");
+        assert_eq!(btf.block_count(), 3);
+        // Block index per column.
+        let mut block_of = [0usize; 5];
+        for t in 0..btf.block_count() {
+            for &c in btf.block_cols(t) {
+                block_of[c] = t;
+            }
+        }
+        // Every stored entry must sit in the rows of an equal-or-earlier
+        // block: A(rows of later blocks, cols of block t) == 0.
+        for c in 0..5 {
+            for (r, _) in a.col(c) {
+                assert!(
+                    block_of[btf.col_of_row[r]] <= block_of[c],
+                    "entry ({r}, {c}) below its diagonal block"
+                );
+            }
+        }
+        // And the coupling direction pins the order completely.
+        assert!(block_of[0] < block_of[2] && block_of[2] < block_of[3]);
+        assert_eq!(block_of[0], block_of[1]);
+        assert_eq!(block_of[3], block_of[4]);
+    }
+
+    #[test]
+    fn btf_irreducible_matrix_is_one_block() {
+        // A cycle through all columns: one SCC.
+        let n = 5;
+        let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for i in 0..n {
+            entries.push(((i + 1) % n, i));
+        }
+        let btf = block_triangular_form(&matrix(n, &entries)).expect("nonsingular");
+        assert_eq!(btf.block_count(), 1);
+        assert_eq!(btf.block_cols(0).len(), n);
+    }
+
+    #[test]
+    fn btf_random_patterns_block_property_holds() {
+        let mut lcg = 0xDEADBEEFCAFEu64;
+        let mut next = |m: usize| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((lcg >> 33) as usize) % m
+        };
+        for trial in 0..50 {
+            let n = 2 + next(25);
+            let mut entries: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            for _ in 0..next(3 * n + 1) {
+                entries.push((next(n), next(n)));
+            }
+            let a = matrix(n, &entries);
+            let btf = block_triangular_form(&a).expect("diagonal present");
+            assert_eq!(*btf.block_ptr.last().unwrap(), n);
+            let mut block_of = vec![NONE; n];
+            for t in 0..btf.block_count() {
+                for &c in btf.block_cols(t) {
+                    assert_eq!(block_of[c], NONE, "trial {trial}: column {c} twice");
+                    block_of[c] = t;
+                }
+            }
+            for c in 0..n {
+                for (r, _) in a.col(c) {
+                    assert!(
+                        block_of[btf.col_of_row[r]] <= block_of[c],
+                        "trial {trial}: entry ({r}, {c}) crosses below"
+                    );
+                }
+            }
+        }
+    }
+}

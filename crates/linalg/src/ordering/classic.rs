@@ -1,57 +1,26 @@
-//! Fill-reducing orderings for sparse factorization.
+//! The original greedy orderings: plain minimum degree (kept as the fill
+//! oracle the quotient-graph AMD is validated against) and reverse
+//! Cuthill–McKee.
 //!
-//! Circuit MNA matrices are unsymmetric in values but nearly symmetric in
-//! structure, so we order on the symmetrized pattern `A + Aᵀ` — the standard
-//! practice in SPICE-class solvers.
+//! Both read the shared flat-CSR symmetrized adjacency
+//! ([`super::AdjacencyCsr`]) — offsets plus one index buffer — instead of
+//! allocating a `Vec` per row; only the minimum degree's *mutable* working
+//! lists are materialized per vertex, because elimination rewrites them.
 
+use super::AdjacencyCsr;
 use crate::CscMatrix;
-
-/// Builds the adjacency lists of the symmetrized pattern `A + Aᵀ`
-/// (self-loops removed, duplicates removed).
-///
-/// Lists are sized exactly before filling and deduplicated with a stamp
-/// array instead of per-list sort+dedup — ordering must stay a small
-/// fraction of factorization time. List order is insertion order; neither
-/// consumer depends on it (minimum degree selects by `(degree, index)`,
-/// RCM re-sorts neighbors by degree).
-fn symmetrized_adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
-    let n = a.cols();
-    let mut counts = vec![0usize; n];
-    for c in 0..n {
-        for (r, _) in a.col(c) {
-            if r != c && r < n {
-                counts[c] += 1;
-                counts[r] += 1;
-            }
-        }
-    }
-    let mut adj: Vec<Vec<usize>> = counts.iter().map(|&k| Vec::with_capacity(k)).collect();
-    for c in 0..n {
-        for (r, _) in a.col(c) {
-            if r != c && r < n {
-                adj[c].push(r);
-                adj[r].push(c);
-            }
-        }
-    }
-    let mut stamp = vec![usize::MAX; n];
-    for (v, list) in adj.iter_mut().enumerate() {
-        list.retain(|&w| {
-            let fresh = stamp[w] != v;
-            stamp[w] = v;
-            fresh
-        });
-    }
-    adj
-}
 
 /// Greedy minimum-degree ordering on the symmetrized pattern of `a`.
 ///
 /// Returns a permutation `perm` such that `perm[k]` is the original index of
 /// the column eliminated at step `k`. This is a plain (quotient-graph-free)
 /// minimum-degree: degrees are updated by merging the pivot's neighborhood
-/// into each neighbor — adequate for the mesh/star-like patterns produced by
-/// the analog substrate and simple enough to verify.
+/// into each neighbor. It survives as the **test oracle** for
+/// [`amd_ordering`](super::amd_ordering) — exact degrees, trivially
+/// auditable — and as an explicit [`ColumnOrdering::MinDegree`] choice;
+/// production factorizations default to the AMD+BTF path.
+///
+/// [`ColumnOrdering::MinDegree`]: crate::ColumnOrdering::MinDegree
 ///
 /// # Example
 ///
@@ -67,7 +36,10 @@ fn symmetrized_adjacency(a: &CscMatrix) -> Vec<Vec<usize>> {
 /// ```
 pub fn min_degree_ordering(a: &CscMatrix) -> Vec<usize> {
     let n = a.cols();
-    let mut adj = symmetrized_adjacency(a);
+    let csr = AdjacencyCsr::build(a);
+    // Elimination rewrites each vertex's list, so the immutable CSR is
+    // expanded into per-vertex working lists here (and only here).
+    let mut adj: Vec<Vec<usize>> = (0..n).map(|v| csr.neighbors(v).to_vec()).collect();
     let mut eliminated = vec![false; n];
     let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
     let mut perm = Vec::with_capacity(n);
@@ -133,23 +105,31 @@ pub fn min_degree_ordering(a: &CscMatrix) -> Vec<usize> {
 /// Reverse Cuthill–McKee ordering on the symmetrized pattern of `a`.
 ///
 /// Produces a bandwidth-reducing permutation; useful as an alternative to
-/// [`min_degree_ordering`] for long chain-like circuits.
+/// [`min_degree_ordering`] for long chain-like circuits. Reads the shared
+/// CSR adjacency directly — BFS never mutates the graph.
 pub fn reverse_cuthill_mckee(a: &CscMatrix) -> Vec<usize> {
     let n = a.cols();
-    let adj = symmetrized_adjacency(a);
-    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let adj = AdjacencyCsr::build(a);
     let mut visited = vec![false; n];
     let mut order = Vec::with_capacity(n);
 
     // BFS from the lowest-degree vertex of each component.
-    while let Some(start) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
+    while let Some(start) = (0..n)
+        .filter(|&v| !visited[v])
+        .min_by_key(|&v| adj.degree(v))
+    {
         let mut queue = std::collections::VecDeque::new();
         visited[start] = true;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
-            nbrs.sort_unstable_by_key(|&u| degree[u]);
+            let mut nbrs: Vec<usize> = adj
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| !visited[u])
+                .collect();
+            nbrs.sort_unstable_by_key(|&u| adj.degree(u));
             for u in nbrs {
                 visited[u] = true;
                 queue.push_back(u);
@@ -221,11 +201,13 @@ mod tests {
         assert!(center_pos >= 3, "center eliminated too early: {perm:?}");
     }
 
-    /// The historical O(n²) selection scan, kept verbatim as the oracle for
-    /// the bucketed version: minimum degree, ties broken by vertex index.
+    /// The historical O(n²) selection scan over `Vec<Vec>` adjacency, kept
+    /// verbatim as the oracle for the bucketed version: minimum degree,
+    /// ties broken by vertex index.
     fn min_degree_reference(a: &CscMatrix) -> Vec<usize> {
         let n = a.cols();
-        let mut adj = symmetrized_adjacency(a);
+        let csr = AdjacencyCsr::build(a);
+        let mut adj: Vec<Vec<usize>> = (0..n).map(|v| csr.neighbors(v).to_vec()).collect();
         let mut eliminated = vec![false; n];
         let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
         let mut perm = Vec::with_capacity(n);

@@ -23,7 +23,9 @@
 
 use std::sync::Arc;
 
-use crate::ordering::{min_degree_ordering, reverse_cuthill_mckee};
+use crate::ordering::{
+    amd_btf_ordering, amd_ordering, min_degree_ordering, reverse_cuthill_mckee, BlockOrdering,
+};
 use crate::{CscMatrix, LinalgError};
 
 const NO_PIVOT: usize = usize::MAX;
@@ -220,15 +222,28 @@ unsafe fn refactor_step(
 }
 
 /// Column-ordering strategy for [`SparseLu`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ColumnOrdering {
     /// Factor in natural column order.
     Natural,
-    /// Greedy minimum degree on the symmetrized pattern (default).
-    #[default]
+    /// Greedy minimum degree on the symmetrized pattern. Superseded by
+    /// [`ColumnOrdering::Amd`] as the production ordering; kept as the
+    /// exact-degree oracle and for fill comparisons.
     MinDegree,
     /// Reverse Cuthill–McKee.
     Rcm,
+    /// Approximate minimum degree on a quotient graph (supervariables,
+    /// element absorption, approximate external degrees) — see
+    /// [`amd_ordering`](crate::amd_ordering).
+    Amd,
+    /// Block-triangular form (maximum transversal + Tarjan SCC) with an
+    /// independent AMD ordering per diagonal block — the default. The
+    /// factorization never fills below a diagonal block, each block
+    /// factors as its own matrix, and the elimination-level schedule
+    /// parallelizes across uncoupled blocks for free. See
+    /// [`amd_btf_ordering`](crate::amd_btf_ordering).
+    #[default]
+    AmdBtf,
 }
 
 /// Options controlling [`SparseLu::factor_with`].
@@ -249,7 +264,7 @@ pub struct SparseLuOptions {
 impl Default for SparseLuOptions {
     fn default() -> Self {
         SparseLuOptions {
-            ordering: ColumnOrdering::MinDegree,
+            ordering: ColumnOrdering::default(),
             pivot_threshold: 0.1,
             zero_tolerance: 0.0,
         }
@@ -381,6 +396,13 @@ pub struct SymbolicLu {
     /// stored last.
     u_ptr: Vec<usize>,
     u_rows: Vec<usize>,
+    /// Diagonal-block boundaries in pivot-step space: block `t` owns steps
+    /// `block_ptr[t]..block_ptr[t + 1]`. Under [`ColumnOrdering::AmdBtf`]
+    /// these are the strongly connected components of the matched pattern
+    /// (block upper triangular: `L` never crosses a boundary, `U` may only
+    /// reach *earlier* blocks); every other ordering records the trivial
+    /// single block.
+    block_ptr: Vec<usize>,
     /// Scheduling/reach structures derived from the pattern, built lazily
     /// on first use (parallel refactorization or sparse-RHS solves) so a
     /// plain factor + serial-refactor + dense-solve workflow pays nothing
@@ -447,6 +469,56 @@ impl SymbolicLu {
     /// as the pivot of step `k`.
     pub fn pivot_rows(&self) -> &[usize] {
         &self.row_perm
+    }
+
+    /// Diagonal-block boundaries in pivot-step space (see
+    /// [`SymbolicLu::block_count`]). Always starts at 0 and ends at
+    /// [`SymbolicLu::dim`].
+    pub fn block_ptr(&self) -> &[usize] {
+        &self.block_ptr
+    }
+
+    /// Number of diagonal blocks of the block-triangular permutation this
+    /// factorization was built under (1 for non-BTF orderings or an
+    /// irreducible matrix).
+    pub fn block_count(&self) -> usize {
+        self.block_ptr.len().saturating_sub(1)
+    }
+
+    /// The pivot steps of diagonal block `t`.
+    pub fn block_range(&self, t: usize) -> std::ops::Range<usize> {
+        self.block_ptr[t]..self.block_ptr[t + 1]
+    }
+
+    /// Size of the largest diagonal block — the irreducible core the
+    /// factorization cannot decompose further (0 for an empty system).
+    pub fn largest_block(&self) -> usize {
+        self.block_ptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The original row indices of the `L` column of pivot step `step`
+    /// (strictly-below-diagonal pattern; the unit diagonal is implicit).
+    /// Exposed for structural checks — e.g. that no `L` entry crosses
+    /// below a diagonal block.
+    pub fn l_column_rows(&self, step: usize) -> &[usize] {
+        &self.l_rows[self.l_ptr[step]..self.l_ptr[step + 1]]
+    }
+
+    /// The pivot-step indices of the off-diagonal `U` column of `step`
+    /// (ascending; the diagonal itself is excluded). Exposed for
+    /// structural checks alongside [`SymbolicLu::l_column_rows`].
+    pub fn u_column_steps(&self, step: usize) -> &[usize] {
+        &self.u_rows[self.u_ptr[step]..self.u_ptr[step + 1] - 1]
+    }
+
+    /// Inverse pivot permutation: the elimination step at which original
+    /// row `row` was chosen as pivot.
+    pub fn pivot_step_of_row(&self, row: usize) -> usize {
+        self.pinv[row]
     }
 
     /// Elimination-tree parent of pivot step `step`, or `None` for a root:
@@ -661,10 +733,22 @@ impl SparseLu {
             });
         }
         let n = a.cols();
-        let q = match opts.ordering {
-            ColumnOrdering::Natural => (0..n).collect(),
-            ColumnOrdering::MinDegree => min_degree_ordering(a),
-            ColumnOrdering::Rcm => reverse_cuthill_mckee(a),
+        // The ordering layer hands back a block view: the column order, the
+        // diagonal-block boundaries in step space, and the preferred pivot
+        // row per step. Non-BTF orderings are a single block preferring the
+        // diagonal; AMD+BTF prefers the matched row of each column (its
+        // structural anchor — for zero-diagonal columns the diagonal
+        // preference never fired at all).
+        let BlockOrdering {
+            perm: q,
+            block_ptr,
+            diag_rows,
+        } = match opts.ordering {
+            ColumnOrdering::Natural => BlockOrdering::single_block((0..n).collect()),
+            ColumnOrdering::MinDegree => BlockOrdering::single_block(min_degree_ordering(a)),
+            ColumnOrdering::Rcm => BlockOrdering::single_block(reverse_cuthill_mckee(a)),
+            ColumnOrdering::Amd => BlockOrdering::single_block(amd_ordering(a)),
+            ColumnOrdering::AmdBtf => amd_btf_ordering(a),
         };
 
         let mut pinv = vec![NO_PIVOT; n]; // original row -> pivot step
@@ -743,9 +827,15 @@ impl SparseLu {
                 }
             }
 
-            // Pivot selection with threshold preference for the diagonal
-            // (original row id == col), which keeps MNA factorizations
-            // stable without destroying sparsity.
+            // Pivot selection with threshold preference for the step's
+            // preferred row — the diagonal for plain orderings, the
+            // structurally matched row under BTF — which keeps MNA
+            // factorizations stable without destroying sparsity. Under a
+            // block-triangular ordering the unpivoted pattern rows are
+            // always confined to the current diagonal block (rows of later
+            // blocks are structurally absent, earlier blocks are fully
+            // pivoted), so pivoting can never break the block structure.
+            let pref_row = diag_rows[k];
             let mut max_mag = 0.0f64;
             let mut max_row = NO_PIVOT;
             let mut diag_mag = -1.0f64;
@@ -756,7 +846,7 @@ impl SparseLu {
                         max_mag = mag;
                         max_row = r;
                     }
-                    if r == col {
+                    if r == pref_row {
                         diag_mag = mag;
                     }
                 }
@@ -769,7 +859,7 @@ impl SparseLu {
             }
             let pivot_row =
                 if diag_mag >= opts.pivot_threshold * max_mag && diag_mag > opts.zero_tolerance {
-                    col
+                    pref_row
                 } else {
                     max_row
                 };
@@ -828,6 +918,7 @@ impl SparseLu {
                 l_rows,
                 u_ptr,
                 u_rows,
+                block_ptr,
                 extras: std::sync::OnceLock::new(),
                 zero_tol: opts.zero_tolerance,
             }),

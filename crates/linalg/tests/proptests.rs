@@ -334,3 +334,154 @@ proptest! {
         }
     }
 }
+
+/// An arbitrary sparse *pattern* (square, possibly disconnected, possibly
+/// structurally singular — empty rows/columns included): ordering
+/// construction must produce a valid permutation on anything.
+fn arb_pattern(max_n: usize) -> impl Strategy<Value = TripletMatrix> {
+    (1..max_n, any::<u64>(), 0..4usize).prop_map(|(n, seed, shape)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = TripletMatrix::new(n, n);
+        match shape {
+            // Fully random, no diagonal guarantee (often singular).
+            0 => {
+                for _ in 0..rng.gen_range(0..3 * n + 1) {
+                    t.push(rng.gen_range(0..n), rng.gen_range(0..n), 1.0);
+                }
+            }
+            // Disconnected islands: pairs plus isolated vertices.
+            1 => {
+                for i in (0..n.saturating_sub(1)).step_by(3) {
+                    t.push(i, i, 1.0);
+                    t.push(i + 1, i + 1, 1.0);
+                    t.push(i, i + 1, 1.0);
+                    t.push(i + 1, i, 1.0);
+                }
+            }
+            // Diagonal-free permutation-ish pattern.
+            2 => {
+                for i in 0..n {
+                    t.push((i + 1) % n, i, 1.0);
+                }
+            }
+            // Diagonal plus random coupling (the well-posed case).
+            _ => {
+                for i in 0..n {
+                    t.push(i, i, 1.0);
+                }
+                for _ in 0..rng.gen_range(0..2 * n + 1) {
+                    t.push(rng.gen_range(0..n), rng.gen_range(0..n), 1.0);
+                }
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AMD and AMD+BTF must produce valid permutations on arbitrary
+    /// patterns — random, disconnected, structurally singular — and the
+    /// BTF block pointers must partition the steps.
+    #[test]
+    fn amd_and_btf_orderings_are_valid_permutations(t in arb_pattern(40)) {
+        use ohmflow_linalg::{amd_btf_ordering, amd_ordering};
+        let csc = t.to_csc();
+        let n = csc.cols();
+
+        let is_perm = |perm: &[usize]| {
+            let mut seen = vec![false; n];
+            perm.len() == n
+                && perm.iter().all(|&p| {
+                    let fresh = p < n && !seen[p];
+                    if fresh {
+                        seen[p] = true;
+                    }
+                    fresh
+                })
+        };
+        let amd = amd_ordering(&csc);
+        prop_assert!(is_perm(&amd), "AMD not a permutation: {:?}", amd);
+
+        let block = amd_btf_ordering(&csc);
+        prop_assert!(is_perm(&block.perm), "AMD+BTF not a permutation: {:?}", block.perm);
+        prop_assert_eq!(block.diag_rows.len(), n);
+        prop_assert_eq!(*block.block_ptr.first().unwrap(), 0);
+        prop_assert_eq!(*block.block_ptr.last().unwrap(), n);
+        prop_assert!(block.block_ptr.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Factors under every ordering — including the new AMD and AMD+BTF —
+    /// must agree with the Natural-order factorization to 1e-12: the
+    /// permutation changes the elimination sequence, never the solution.
+    #[test]
+    fn all_orderings_agree_with_natural_to_1e12((t, b) in arb_system(24)) {
+        let csc = t.to_csc();
+        let natural = SparseLu::factor_with(
+            &csc,
+            &SparseLuOptions { ordering: ColumnOrdering::Natural, ..Default::default() },
+        )
+        .unwrap()
+        .solve(&b)
+        .unwrap();
+        for ordering in [
+            ColumnOrdering::MinDegree,
+            ColumnOrdering::Rcm,
+            ColumnOrdering::Amd,
+            ColumnOrdering::AmdBtf,
+        ] {
+            let opts = SparseLuOptions { ordering, ..Default::default() };
+            let x = SparseLu::factor_with(&csc, &opts).unwrap().solve(&b).unwrap();
+            for (a, r) in x.iter().zip(&natural) {
+                prop_assert!(
+                    (a - r).abs() < 1e-12 * r.abs().max(1.0),
+                    "{:?}: {} vs natural {}", ordering, a, r
+                );
+            }
+        }
+    }
+
+    /// Under the AMD+BTF ordering the factorization must respect the block
+    /// structure: no `L` entry may cross below its diagonal block, and `U`
+    /// entries may only reach equal-or-earlier blocks (block upper
+    /// triangular). Refactoring with new same-pattern values preserves it.
+    #[test]
+    fn btf_factor_never_crosses_block_boundaries((t, _b) in arb_system(28)) {
+        let csc = t.to_csc();
+        let opts = SparseLuOptions { ordering: ColumnOrdering::AmdBtf, ..Default::default() };
+        let mut lu = SparseLu::factor_with(&csc, &opts).unwrap();
+        lu.refactor(&same_pattern_variant(&csc)).unwrap();
+        let sym = lu.symbolic();
+        let n = sym.dim();
+
+        // Step -> block index.
+        let mut block_of = vec![0usize; n];
+        for t_blk in 0..sym.block_count() {
+            for s in sym.block_range(t_blk) {
+                block_of[s] = t_blk;
+            }
+        }
+        for k in 0..n {
+            for &row in sym.l_column_rows(k) {
+                let step = sym.pivot_step_of_row(row);
+                prop_assert_eq!(
+                    block_of[step], block_of[k],
+                    "L entry of step {} (row {}, step {}) crosses blocks", k, row, step
+                );
+            }
+            for &s in sym.u_column_steps(k) {
+                prop_assert!(
+                    block_of[s] <= block_of[k],
+                    "U entry of step {} reaches later block {}", k, block_of[s]
+                );
+            }
+        }
+    }
+}
