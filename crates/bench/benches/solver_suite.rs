@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::solver::RelaxationEngine;
+use ohmflow::{MaxFlowSolver, Problem, SolveOptions};
 use ohmflow_bench::fig10_instance;
 use ohmflow_graph::generators;
 use ohmflow_maxflow::{dinic, edmonds_karp, push_relabel, PushRelabelVariant};
@@ -20,11 +21,11 @@ fn bench_solvers(c: &mut Criterion) {
     group.bench_function("push_relabel_hl", |b| {
         b.iter(|| push_relabel(&g, PushRelabelVariant::HighestLabel).value)
     });
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 800.0;
-    let solver = AnalogMaxFlow::new(cfg);
+    let solver = MaxFlowSolver::new(cfg);
     group.bench_function("analog_quasi_static_sim", |b| {
-        b.iter(|| solver.solve(&g).expect("solve").value)
+        b.iter(|| solver.solve_fresh(&g).expect("solve").value)
     });
     group.finish();
 }
@@ -43,12 +44,12 @@ fn bench_relaxation_engines(c: &mut Criterion) {
             ("incremental", RelaxationEngine::Incremental),
             ("full_refactor", RelaxationEngine::FullRefactor),
         ] {
-            let mut cfg = AnalogConfig::evaluation(10e9);
+            let mut cfg = SolveOptions::evaluation(10e9);
             cfg.build.capacity_mapping = CapacityMapping::Exact;
             cfg.engine = engine;
-            let solver = AnalogMaxFlow::new(cfg);
+            let solver = MaxFlowSolver::new(cfg);
             group.bench_function(format!("{graph_label}/{engine_label}"), |b| {
-                b.iter(|| solver.solve(&g).expect("solve").value)
+                b.iter(|| solver.solve_fresh(&g).expect("solve").value)
             });
         }
     }
@@ -58,23 +59,23 @@ fn bench_relaxation_engines(c: &mut Criterion) {
 /// Batch-parallel throughput: independent instances across all cores.
 fn bench_solve_batch(c: &mut Criterion) {
     let graphs: Vec<_> = (0..8).map(|s| fig10_instance(96, false, s)).collect();
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 800.0;
-    let solver = AnalogMaxFlow::new(cfg);
+    let solver = MaxFlowSolver::new(cfg);
     let mut group = c.benchmark_group("batch_8x_rmat96");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| {
             graphs
                 .iter()
-                .map(|g| solver.solve(g).expect("solve").value)
+                .map(|g| solver.solve_fresh(g).expect("solve").value)
                 .sum::<f64>()
         })
     });
     group.bench_function("solve_batch_parallel", |b| {
         b.iter(|| {
             solver
-                .solve_batch(&graphs)
+                .solve_many(graphs.iter().map(Problem::from))
                 .into_iter()
                 .map(|r| r.expect("solve").value)
                 .sum::<f64>()

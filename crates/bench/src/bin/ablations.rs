@@ -5,9 +5,10 @@
 
 use ohmflow::builder::{build, BuildOptions, CapacityMapping, Drive};
 use ohmflow::nonideal::{finite_gain_reff, VariationModel};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, SolveMode};
+use ohmflow::solver::SolveMode;
 use ohmflow::tuning::TuningCircuit;
 use ohmflow::SubstrateParams;
+use ohmflow::{MaxFlowSolver, Problem, SolveOptions};
 use ohmflow_graph::generators::fig5a;
 use ohmflow_graph::rmat::RmatConfig;
 use ohmflow_maxflow::edmonds_karp;
@@ -19,10 +20,10 @@ fn main() {
     println!("# Ablation 1 — quantization levels (§4.1), rmat32, exact |f| = {exact}");
     println!("levels,value,rel_error_pct,worst_case_bound_pct");
     for levels in [4u32, 8, 16, 20, 32, 64, 128] {
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 800.0;
         cfg.build.capacity_mapping = CapacityMapping::Quantized { levels };
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("solve");
+        let sol = MaxFlowSolver::new(cfg).solve(&g).expect("solve");
         let rel = (sol.value - exact).abs() / exact * 100.0;
         let bound = 100.0 / (2.0 * levels as f64) * g.max_capacity() as f64
             / (exact / g.edge_count() as f64).max(1.0);
@@ -46,7 +47,7 @@ fn main() {
         ),
         ("unmatched (3% each)", VariationModel::unmatched),
     ] {
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 8.0;
         let tau = cfg.params.opamp.time_constant();
         cfg.mode = SolveMode::Transient {
@@ -66,8 +67,11 @@ fn main() {
                 sc
             })
             .collect();
-        let worst = AnalogMaxFlow::new(cfg)
-            .solve_built_transient_batch(&scs, &fig)
+        let worst = MaxFlowSolver::new(cfg)
+            .solve_many(scs.iter().map(|sc| Problem::Built {
+                circuit: sc,
+                graph: &fig,
+            }))
             .into_iter()
             .map(|r| (r.expect("solve").value - fig_exact).abs() / fig_exact)
             .fold(0.0f64, f64::max);
@@ -84,7 +88,7 @@ fn main() {
     );
 
     println!("\n# Ablation 5 — full-MNA transient of the literal circuit (instability finding)");
-    let mut cfg = AnalogConfig::evaluation(10e9);
+    let mut cfg = SolveOptions::evaluation(10e9);
     cfg.build.capacity_mapping = CapacityMapping::Exact;
     cfg.params.v_flow = 10.0;
     let tau = cfg.params.opamp.time_constant();
@@ -93,7 +97,7 @@ fn main() {
         window: 60.0 * tau,
         dt: tau / 10.0,
     };
-    match AnalogMaxFlow::new(cfg).solve(&fig) {
+    match MaxFlowSolver::new(cfg).solve_fresh(&fig) {
         Ok(sol) => println!(
             "full-MNA value {:.3} (exact 2.0) — spurious clamp-pinned state or blow-up expected",
             sol.value

@@ -6,10 +6,11 @@
 use std::time::Instant;
 
 use ohmflow::builder::{build, BuildOptions, CapacityMapping, Drive, NegativeResistorImpl};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::solver::RelaxationEngine;
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow::{SubstrateParams, SubstrateTemplate};
 use ohmflow_bench::median_ns;
-use ohmflow_circuit::{DcTemplate, FrozenDcSession};
+use ohmflow_circuit::DcSolver;
 use ohmflow_graph::generators;
 
 fn main() {
@@ -36,11 +37,10 @@ fn main() {
     // session reruns only stamp + numeric (shared symbolic plan), so the
     // difference is the amortizable ordering/symbolic share.
     let t_build = median_ns(9, || build(&g, &params, &bo).expect("build"));
-    let dc_tpl = DcTemplate::new(ckt).expect("dc template");
-    let t_cold = median_ns(9, || FrozenDcSession::new(ckt).expect("session"));
-    let t_numeric = median_ns(9, || {
-        FrozenDcSession::with_template(ckt, &dc_tpl).expect("session")
-    });
+    let dcs = DcSolver::new();
+    let dc_plan = dcs.plan(ckt).expect("dc plan");
+    let t_cold = median_ns(9, || dcs.session(ckt).expect("session"));
+    let t_numeric = median_ns(9, || dc_plan.session(ckt).expect("session"));
     let t_tpl = median_ns(5, || {
         SubstrateTemplate::new(&g, &params, &bo).expect("template")
     });
@@ -59,9 +59,10 @@ fn main() {
 
     // Raw session throughput: quiescent steps (skip path) and flip steps.
     let n_diodes = ckt.diode_count();
-    let mut session = FrozenDcSession::new(ckt)
-        .expect("session")
-        .with_phase_timing();
+    let mut session = DcSolver::new()
+        .phase_timing(true)
+        .session(ckt)
+        .expect("session");
     let off = vec![false; n_diodes];
     let steps = 20_000;
     let t0 = Instant::now();
@@ -112,7 +113,7 @@ fn main() {
     // Factorization structure under the production (AMD+BTF) ordering: the
     // fill the flip loop replays every rebase, and the block decomposition
     // that bounds it (the largest block is the irreducible core).
-    let sym = dc_tpl.symbolic();
+    let sym = dc_plan.template().symbolic();
     println!(
         "factor structure   : nnz(L+U) {}  blocks {}  largest block {} of {}",
         sym.pattern_nnz(),
@@ -126,15 +127,15 @@ fn main() {
         ("incremental", RelaxationEngine::Incremental),
         ("full_refactor", RelaxationEngine::FullRefactor),
     ] {
-        let mut cfg = AnalogConfig::evaluation(10e9);
+        let mut cfg = SolveOptions::evaluation(10e9);
         cfg.build.capacity_mapping = CapacityMapping::Exact;
         cfg.engine = engine;
-        let solver = AnalogMaxFlow::new(cfg);
+        let solver = MaxFlowSolver::new(cfg);
         let reps = 50;
         let t0 = Instant::now();
         let mut value = 0.0;
         for _ in 0..reps {
-            value = solver.solve(&g).expect("solve").value;
+            value = solver.solve_fresh(&g).expect("solve").value;
         }
         let per = t0.elapsed().as_micros() as f64 / reps as f64;
         println!("{label:<14} : {per:>8.1} µs/solve  (value {value:.3})");

@@ -6,7 +6,8 @@
 //! Set `OHMFLOW_FULL=1` for the paper's full 256..960 sweep.
 
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, SolveMode};
+use ohmflow::solver::SolveMode;
+use ohmflow::{MaxFlowSolver, Problem, SolveOptions};
 use ohmflow_bench::{active_sizes, fig10_instance, time_push_relabel};
 use ohmflow_graph::FlowNetwork;
 use ohmflow_maxflow::edmonds_karp;
@@ -35,7 +36,7 @@ fn main() {
         let mut conv = [0.0f64; 2];
         let mut value = 0.0;
         for (i, gbw) in [10e9, 50e9].iter().enumerate() {
-            let mut cfg = AnalogConfig::evaluation(*gbw);
+            let mut cfg = SolveOptions::evaluation(*gbw);
             cfg.params.v_flow = 50.0; // paper-style fixed drive headroom
             let tau = cfg.params.opamp.time_constant();
             cfg.mode = SolveMode::Transient {
@@ -43,7 +44,7 @@ fn main() {
                 dt: None,
             };
             cfg.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
-            let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("analog solve");
+            let sol = MaxFlowSolver::new(cfg).solve(&g).expect("analog solve");
             conv[i] = sol.convergence_time.unwrap_or(f64::NAN);
             value = sol.value;
         }
@@ -66,18 +67,18 @@ fn main() {
 
     // Seed-averaged error statistics (the paper reports per-size averages
     // over instances): independent instances, solved batch-parallel on all
-    // cores through solve_batch.
+    // cores through solve_many.
     println!("\n# error sweep: quantization error averaged over 4 seeds per size");
     println!("vertices,avg_rel_error_pct,max_rel_error_pct,seeds_ok,seeds_total");
-    let solver = AnalogMaxFlow::new(AnalogConfig::evaluation_quasi_static(10e9));
+    let solver = MaxFlowSolver::new(SolveOptions::evaluation_quasi_static(10e9));
     for n in active_sizes() {
         let graphs: Vec<FlowNetwork> = (0..4)
             .map(|s| fig10_instance(n, dense, n as u64 ^ (s * 7919)))
             .collect();
-        let sols = solver.solve_batch(&graphs);
+        let sols = solver.solve_many(graphs.iter().map(Problem::from));
         // The quasi-static complementarity iteration can fail on the odd
         // random instance (spurious all-clamped states, see
-        // `AnalogMaxFlow::solve_built`); a sweep reports over the seeds
+        // `MaxFlowSolver::solve_built`); a sweep reports over the seeds
         // that solve.
         let errs: Vec<f64> = graphs
             .iter()

@@ -3,14 +3,14 @@
 //! (time, V(x1)..V(x5)) suitable for plotting.
 
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::generators::fig5a;
 
 fn main() {
     let g = fig5a();
-    let mut cfg = AnalogConfig::evaluation(10e9);
+    let mut cfg = SolveOptions::evaluation(10e9);
     cfg.build.capacity_mapping = CapacityMapping::Exact;
-    let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("fig5a solve");
+    let sol = MaxFlowSolver::new(cfg).solve(&g).expect("fig5a solve");
     let waves = sol.waveforms.as_ref().expect("waveforms recorded");
 
     println!("# Fig. 5c: node-voltage waveforms, Fig. 5a example");

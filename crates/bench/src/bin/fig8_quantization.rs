@@ -4,7 +4,7 @@
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::quantize::Quantizer;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::generators::fig5a;
 use ohmflow_maxflow::edmonds_karp;
 
@@ -25,9 +25,9 @@ fn main() {
     }
 
     let exact = edmonds_karp(&g).value;
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
-    let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("quantized solve");
+    let sol = MaxFlowSolver::new(cfg).solve(&g).expect("quantized solve");
     let volts = sol.value / g.max_capacity() as f64;
     println!("exact solution        : |f| = {exact}        [paper: 2]");
     println!("circuit solution      : {volts:.3} V    [paper: 0.7 V]");

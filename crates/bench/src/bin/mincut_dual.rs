@@ -3,7 +3,7 @@
 //! against the exact min-cut across workloads.
 
 use ohmflow::mincut::{cut_from_analog, DualMeshArchitecture};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::generators;
 use ohmflow_graph::rmat::RmatConfig;
 use ohmflow_maxflow::min_cut;
@@ -23,9 +23,9 @@ fn main() {
     ];
     for (name, g) in cases {
         let exact = min_cut(&g).capacity;
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 600.0;
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).expect("analog");
+        let sol = MaxFlowSolver::new(cfg).solve(&g).expect("analog");
         let cut = cut_from_analog(&g, &sol.edge_flows, 0.25);
         let dual = mesh.solve(&g, 3_000).expect("mesh LP");
         println!(

@@ -8,7 +8,7 @@
 //! fill jump long before anyone reads `BENCH_PR4.json`.
 
 use ohmflow_bench::{bench_substrate, fig10_instance};
-use ohmflow_circuit::stamp_dc_system;
+use ohmflow_circuit::DcSolver;
 use ohmflow_linalg::{ColumnOrdering, SparseLu, SparseLuOptions};
 
 /// Recorded AMD fill on this fixture: 267,318 (plain AMD) / 259,774
@@ -22,7 +22,7 @@ fn amd_fill_on_rmat1024_stays_below_recorded_ceiling() {
     let g = fig10_instance(1024, false, 1);
     let sc = bench_substrate(&g);
     // Default options are the production AMD+BTF path.
-    let (m, lu_btf) = stamp_dc_system(sc.circuit()).expect("dc system");
+    let (m, lu_btf) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
     let factor = |ordering| {
         let opts = SparseLuOptions {
             ordering,

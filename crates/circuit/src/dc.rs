@@ -1,7 +1,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ohmflow_linalg::{CscMatrix, LowRankUpdate, LuWorkspace, SparseLu, SymbolicLu};
+use ohmflow_linalg::{
+    CscMatrix, LowRankUpdate, LuWorkspace, RefactorStrategy, SparseLu, SymbolicLu,
+};
 
 use crate::LuOptions;
 
@@ -21,10 +23,10 @@ use crate::mna::{self, DeviceState, MnaStructure, Solution, StampMode};
 /// with the **same structure** (same element list shape and terminals —
 /// element *values* are free to differ) can then start from the template:
 ///
-/// * [`DcAnalysis::with_template`] primes the operating-point solve's
-///   factorization cache with a numeric-only refactorization,
-/// * [`FrozenDcSession::with_template`] builds an incremental session
-///   without redoing the structure/ordering/symbolic work,
+/// * [`DcPlan::solve`] primes the operating-point solve's factorization
+///   cache with a numeric-only refactorization,
+/// * [`DcPlan::session`] builds an incremental session without redoing
+///   the structure/ordering/symbolic work,
 ///
 /// and both fall back to the cold path transparently when the template
 /// does not match the circuit. A template owns no borrow of the circuit it
@@ -145,29 +147,19 @@ impl DcTemplate {
     }
 }
 
-/// DC operating-point analysis.
+/// DC operating-point analysis — the **legacy builder** superseded by the
+/// staged [`DcSolver`] facade.
 ///
 /// Capacitors are open, op-amps act as finite-gain VCVS, sources take their
 /// `t = 0⁻` value, and diode conduction states are iterated to a consistent
 /// assignment (exact for the PWL models).
 ///
-/// # Example
-///
-/// ```
-/// use ohmflow_circuit::{Circuit, DcAnalysis, SourceValue};
-///
-/// # fn main() -> Result<(), ohmflow_circuit::CircuitError> {
-/// let mut ckt = Circuit::new();
-/// let a = ckt.node("a");
-/// let mid = ckt.node("mid");
-/// ckt.voltage_source(a, Circuit::GROUND, SourceValue::dc(2.0));
-/// ckt.resistor(a, mid, 1e3);
-/// ckt.resistor(mid, Circuit::GROUND, 1e3);
-/// let sol = DcAnalysis::new(&ckt).solve()?;
-/// assert!((sol.voltage(mid) - 1.0).abs() < 1e-9);
-/// # Ok(())
-/// # }
-/// ```
+/// Every configuration this builder expresses maps onto the facade:
+/// `DcAnalysis::new(&ckt).solve()` is [`DcSolver::solve`],
+/// `.at_time(t)` is [`DcSolver::solve_at`], `.with_template(tpl)` is a
+/// [`DcPlan`] solve and `.warm_start(states)` is
+/// [`DcPlan::solve_warm`]. The builder remains as a thin deprecated shim
+/// over the same internals, pinned equivalent by the facade test-suite.
 #[derive(Debug)]
 pub struct DcAnalysis<'c> {
     ckt: &'c Circuit,
@@ -187,6 +179,7 @@ pub struct DcAnalysis<'c> {
 
 impl<'c> DcAnalysis<'c> {
     /// Prepares a DC analysis of `ckt`.
+    #[deprecated(note = "use the staged `DcSolver` facade (`DcSolver::new().solve(&ckt)`)")]
     pub fn new(ckt: &'c Circuit) -> Self {
         DcAnalysis {
             ckt,
@@ -245,102 +238,493 @@ impl<'c> DcAnalysis<'c> {
     /// [`CircuitError::SingularSystem`] for floating nodes or inconsistent
     /// source loops; [`CircuitError::StateIterationDiverged`] if the diode
     /// state iteration cycles without a fixed point.
+    #[deprecated(note = "use the staged `DcSolver` facade (`DcSolver::new().solve(&ckt)`)")]
     pub fn solve(&self) -> Result<DcSolution, CircuitError> {
-        let initial = mna::initial_states(self.ckt);
-        // Template fast path: reuse the unknown map and prime the factor
-        // cache with a numeric-only refactorization for this circuit's
-        // *values* (they may differ from the template's). A failed
-        // refactorization simply leaves the cache cold. Matched once: the
-        // same template decides the structure, the cache seed and the
-        // factorization options below.
-        let matched_tpl = self.template.filter(|t| t.matches(self.ckt));
-        let (st, mut cache) = match matched_tpl {
-            Some(tpl) => {
-                let cache = tpl
-                    .numeric_for(self.ckt, &initial)
-                    .ok()
-                    .map(|(lu, m, _)| (initial.clone(), lu, m));
-                (tpl.st.clone(), cache)
-            }
-            None => (MnaStructure::new(self.ckt), None),
+        let req = DcRequest {
+            ckt: self.ckt,
+            pre_step: self.pre_step,
+            at_time: self.at_time,
+            template: self.template,
+            warm: self.warm_states.as_deref(),
+            lu_opts: self.lu_opts,
         };
-        // Warm-started states must be shape-compatible: one entry per
-        // element, stateless exactly where the initial assignment is.
-        let warm = self.warm_states.as_ref().filter(|w| {
-            w.len() == initial.len()
-                && w.iter()
-                    .zip(&initial)
-                    .all(|(a, b)| (*a == DeviceState::Stateless) == (*b == DeviceState::Stateless))
-        });
-        let mut states = warm.cloned().unwrap_or_else(|| initial.clone());
-        let warm_used = warm.is_some();
-        let t = self.at_time.unwrap_or(0.0);
-        // The template path factors under the template's options; the cold
-        // path under this analysis's.
-        let lu_opts = match matched_tpl {
-            Some(tpl) => *tpl.lu_options(),
-            None => self.lu_opts,
-        };
-        let solve =
-            |states: &mut Vec<DeviceState>,
-             cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>| {
-                mna::solve_pwl(
-                    self.ckt,
-                    &st,
-                    states,
-                    t,
-                    StampMode::Dc,
-                    None,
-                    self.pre_step,
-                    &lu_opts,
-                    cache,
-                )
-            };
-        let mut x = match solve(&mut states, &mut cache) {
-            Ok(x) => x,
-            Err(
-                CircuitError::StateIterationDiverged { .. } | CircuitError::SingularSystem { .. },
-            ) if warm_used => {
-                // A bad warm start must not make a solvable system fail —
-                // neither by cycling (divergence) nor by producing a
-                // singular frozen stamp (e.g. a state set that floats a
-                // node). Retry from the default initial states.
-                states = initial;
-                cache = None;
-                solve(&mut states, &mut cache)?
-            }
-            Err(e) => return Err(e),
-        };
-        // One step of iterative refinement against the converged stamp
-        // (carried in the factor cache — no re-stamping). Besides
-        // tightening every DC result, this is what makes the template and
-        // cold paths — which factor *different but electrically
-        // equivalent* systems — agree to the conditioning floor instead of
-        // the (much looser) raw-factorization error.
-        if let Some((cached_states, lu, m)) = &cache {
-            if *cached_states == states {
-                let b = mna::stamp_rhs(
-                    self.ckt,
-                    &st,
-                    &states,
-                    t,
-                    StampMode::Dc,
-                    None,
-                    self.pre_step,
-                );
-                let ax = m.mul_vec(&x);
-                let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-                if let Ok(dx) = lu.solve(&r) {
-                    for (xi, di) in x.iter_mut().zip(&dx) {
-                        *xi += di;
-                    }
+        run_dc(&req).map(|(sol, _)| sol)
+    }
+}
+
+/// Everything one DC operating-point solve depends on — the shared request
+/// the [`DcAnalysis`] shim and every [`DcSolver`]/[`DcPlan`] entry point
+/// funnel into.
+pub(crate) struct DcRequest<'a> {
+    pub ckt: &'a Circuit,
+    /// When `true` (default), `Step` sources use their pre-step value.
+    pub pre_step: bool,
+    /// Evaluate time-varying sources at this instant instead of `0⁻`.
+    pub at_time: Option<f64>,
+    /// Template whose structure and factorization seed the solve.
+    pub template: Option<&'a DcTemplate>,
+    /// Warm-start device states.
+    pub warm: Option<&'a [DeviceState]>,
+    /// Cold-path factorization options (a matching template brings its
+    /// own — template options always win, so a plan can never silently
+    /// factor under a different ordering than its symbolic plan).
+    pub lu_opts: LuOptions,
+}
+
+/// The one DC operating-point solve body (state iteration + one step of
+/// iterative refinement). Every public DC solve path — the deprecated
+/// [`DcAnalysis`] builder and the [`DcSolver`]/[`DcPlan`] facade — is a
+/// thin shim over this function, which is what makes their equivalence
+/// structural rather than coincidental.
+pub(crate) fn run_dc(req: &DcRequest<'_>) -> Result<(DcSolution, SolveReport), CircuitError> {
+    let ckt = req.ckt;
+    let initial = mna::initial_states(ckt);
+    // Template fast path: reuse the unknown map and prime the factor
+    // cache with a numeric-only refactorization for this circuit's
+    // *values* (they may differ from the template's). A failed
+    // refactorization simply leaves the cache cold. Matched once: the
+    // same template decides the structure, the cache seed and the
+    // factorization options below.
+    let matched_tpl = req.template.filter(|t| t.matches(ckt));
+    // `templated` reports whether the solve actually rode the template's
+    // factorization — a failed priming (singular stamp under the
+    // template's pivots) or a warm-start retry below demotes it, so the
+    // report never claims a fast path that did not happen.
+    let mut templated = false;
+    let (st, mut cache) = match matched_tpl {
+        Some(tpl) => {
+            let cache = tpl
+                .numeric_for(ckt, &initial)
+                .ok()
+                .map(|(lu, m, _)| (initial.clone(), lu, m));
+            templated = cache.is_some();
+            (tpl.st.clone(), cache)
+        }
+        None => (MnaStructure::new(ckt), None),
+    };
+    // Warm-started states must be shape-compatible: one entry per
+    // element, stateless exactly where the initial assignment is.
+    let warm = req.warm.filter(|w| {
+        w.len() == initial.len()
+            && w.iter()
+                .zip(&initial)
+                .all(|(a, b)| (*a == DeviceState::Stateless) == (*b == DeviceState::Stateless))
+    });
+    let mut states = warm
+        .map(<[DeviceState]>::to_vec)
+        .unwrap_or_else(|| initial.clone());
+    let warm_used = warm.is_some();
+    let t = req.at_time.unwrap_or(0.0);
+    // The template path factors under the template's options; the cold
+    // path under the request's.
+    let lu_opts = match matched_tpl {
+        Some(tpl) => *tpl.lu_options(),
+        None => req.lu_opts,
+    };
+    let solve = |states: &mut Vec<DeviceState>,
+                 cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>| {
+        mna::solve_pwl(
+            ckt,
+            &st,
+            states,
+            t,
+            StampMode::Dc,
+            None,
+            req.pre_step,
+            &lu_opts,
+            cache,
+        )
+    };
+    let (mut x, iterations) = match solve(&mut states, &mut cache) {
+        Ok(out) => out,
+        Err(CircuitError::StateIterationDiverged { .. } | CircuitError::SingularSystem { .. })
+            if warm_used =>
+        {
+            // A bad warm start must not make a solvable system fail —
+            // neither by cycling (divergence) nor by producing a
+            // singular frozen stamp (e.g. a state set that floats a
+            // node). Retry from the default initial states.
+            states = initial;
+            cache = None;
+            templated = false;
+            solve(&mut states, &mut cache)?
+        }
+        Err(e) => return Err(e),
+    };
+    // One step of iterative refinement against the converged stamp
+    // (carried in the factor cache — no re-stamping). Besides
+    // tightening every DC result, this is what makes the template and
+    // cold paths — which factor *different but electrically
+    // equivalent* systems — agree to the conditioning floor instead of
+    // the (much looser) raw-factorization error.
+    if let Some((cached_states, lu, m)) = &cache {
+        if *cached_states == states {
+            let b = mna::stamp_rhs(ckt, &st, &states, t, StampMode::Dc, None, req.pre_step);
+            let ax = m.mul_vec(&x);
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+            if let Ok(dx) = lu.solve(&r) {
+                for (xi, di) in x.iter_mut().zip(&dx) {
+                    *xi += di;
                 }
             }
         }
-        Ok(DcSolution {
+    }
+    let report = SolveReport {
+        iterations,
+        factor_nnz: cache.as_ref().map_or(0, |(_, lu, _)| lu.factor_nnz()),
+        block_count: cache
+            .as_ref()
+            .map_or(0, |(_, lu, _)| lu.symbolic().block_count()),
+        templated,
+        phases: None,
+    };
+    Ok((
+        DcSolution {
             inner: Solution::new(x, st),
             states,
+        },
+        report,
+    ))
+}
+
+/// Structured accounting of one DC solve — what the staged facade returns
+/// instead of the historical scatter of ad-hoc stats structs.
+///
+/// `iterations` is the device-state (complementarity) iteration count for
+/// an operating-point solve, or the number of frozen-state solves for a
+/// session; `factor_nnz`/`block_count` describe the factorization that
+/// produced the answer (`nnz(L+U)` and the number of BTF diagonal blocks);
+/// `templated` records whether the symbolic-reuse fast path was taken; and
+/// `phases` carries the per-phase wall-clock attribution when the caller
+/// opted into [`DcSolver::phase_timing`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveReport {
+    /// State iterations (operating-point solve) or frozen-state solves
+    /// performed (session).
+    pub iterations: usize,
+    /// `nnz(L) + nnz(U)` of the factorization behind the answer.
+    pub factor_nnz: usize,
+    /// Diagonal blocks of the block-triangular form (1 when the ordering
+    /// has no BTF stage).
+    pub block_count: usize,
+    /// Whether the solve rode a template's shared symbolic plan.
+    pub templated: bool,
+    /// Per-phase wall-clock attribution (sessions with
+    /// [`DcSolver::phase_timing`] enabled only).
+    pub phases: Option<FrozenDcPhases>,
+}
+
+/// The staged circuit-level solver facade: **configure once, plan per
+/// structure, solve/session many times.**
+///
+/// ```text
+/// DcSolver  --plan(&ckt)-->  DcPlan  --solve(&ckt)-->   (DcSolution, SolveReport)
+///    |                         \-----session(&ckt)-->   FrozenDcSession
+///    \--solve/solve_at/session/stamp (plan-less one-shots)
+/// ```
+///
+/// A [`DcPlan`] captures the topology-dependent cold path (MNA structure,
+/// fill-reducing ordering, symbolic + one numeric LU) behind an
+/// [`Arc<DcTemplate>`]; every solve or session derived from the plan pays
+/// only numeric work. The plan-less `solve`/`session` entry points run the
+/// cold path inline — use them for one-shot analyses.
+///
+/// This facade replaces the `DcAnalysis`-builder / `FrozenDcSession`-
+/// constructor sprawl; the legacy entry points survive as deprecated shims
+/// over the same internals.
+///
+/// # Example
+///
+/// ```
+/// use ohmflow_circuit::{Circuit, DcSolver, SourceValue};
+///
+/// # fn main() -> Result<(), ohmflow_circuit::CircuitError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let mid = ckt.node("mid");
+/// ckt.voltage_source(a, Circuit::GROUND, SourceValue::dc(2.0));
+/// ckt.resistor(a, mid, 1e3);
+/// ckt.resistor(mid, Circuit::GROUND, 1e3);
+/// let (sol, report) = DcSolver::new().solve(&ckt)?;
+/// assert!((sol.voltage(mid) - 1.0).abs() < 1e-9);
+/// assert!(report.iterations >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DcSolver {
+    lu: LuOptions,
+    refactor: RefactorStrategy,
+    phase_timing: bool,
+}
+
+impl DcSolver {
+    /// A solver with the default factorization options (AMD + BTF
+    /// ordering, `Auto` refactor scheduling, phase timing off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the factorization options (ordering, pivoting
+    /// thresholds). The options set here are the **single source of
+    /// truth**: every plan built by this solver factors under them, and a
+    /// plan's fallback fresh factorizations reuse the plan's own options,
+    /// never a caller's divergent copy.
+    pub fn lu_options(mut self, opts: LuOptions) -> Self {
+        self.lu = opts;
+        self
+    }
+
+    /// Overrides how numeric refactorizations schedule their column
+    /// replay (sessions created by this solver inherit it).
+    pub fn refactor_strategy(mut self, strategy: RefactorStrategy) -> Self {
+        self.refactor = strategy;
+        self
+    }
+
+    /// Enables per-phase wall-clock attribution on sessions created by
+    /// this solver (see [`FrozenDcSession::phase_times`]). Off by default:
+    /// clock reads tax every step of small systems.
+    pub fn phase_timing(mut self, on: bool) -> Self {
+        self.phase_timing = on;
+        self
+    }
+
+    /// Runs the topology-dependent cold path on `ckt` once and captures it
+    /// as a [`DcPlan`]: unknown indexing, stamping, fill-reducing
+    /// ordering, symbolic analysis, one numeric factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the initial-state configuration
+    /// is unsolvable.
+    pub fn plan(&self, ckt: &Circuit) -> Result<DcPlan, CircuitError> {
+        Ok(self.plan_from(Arc::new(DcTemplate::with_options(ckt, self.lu)?)))
+    }
+
+    /// Wraps an already-built [`DcTemplate`] as a [`DcPlan`] without
+    /// redoing any cold-path work. The plan adopts the **template's**
+    /// factorization options (a symbolic plan is only reusable under the
+    /// ordering that produced it).
+    pub fn plan_from(&self, tpl: Arc<DcTemplate>) -> DcPlan {
+        DcPlan {
+            refactor: self.refactor,
+            phase_timing: self.phase_timing,
+            tpl,
+        }
+    }
+
+    /// One-shot operating-point solve (cold path inline, no plan).
+    ///
+    /// # Errors
+    ///
+    /// Same as the solve paths of the deprecated `DcAnalysis`:
+    /// [`CircuitError::SingularSystem`] /
+    /// [`CircuitError::StateIterationDiverged`].
+    pub fn solve(&self, ckt: &Circuit) -> Result<(DcSolution, SolveReport), CircuitError> {
+        run_dc(&DcRequest {
+            ckt,
+            pre_step: true,
+            at_time: None,
+            template: None,
+            warm: None,
+            lu_opts: self.lu,
         })
+    }
+
+    /// One-shot quasi-static solve with time-varying sources evaluated at
+    /// `t` (the §6.5 slow-ramp analysis shape).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve_at(
+        &self,
+        ckt: &Circuit,
+        t: f64,
+    ) -> Result<(DcSolution, SolveReport), CircuitError> {
+        run_dc(&DcRequest {
+            ckt,
+            pre_step: false,
+            at_time: Some(t),
+            template: None,
+            warm: None,
+            lu_opts: self.lu,
+        })
+    }
+
+    /// One-shot operating-point solve warm-started from `warm` (see
+    /// [`DcPlan::solve_warm`] for the warm-start contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve_warm(
+        &self,
+        ckt: &Circuit,
+        warm: &[DeviceState],
+    ) -> Result<(DcSolution, SolveReport), CircuitError> {
+        run_dc(&DcRequest {
+            ckt,
+            pre_step: true,
+            at_time: None,
+            template: None,
+            warm: Some(warm),
+            lu_opts: self.lu,
+        })
+    }
+
+    /// One-shot incremental frozen-state session (cold path inline).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn session<'c>(&self, ckt: &'c Circuit) -> Result<FrozenDcSession<'c>, CircuitError> {
+        FrozenDcSession::construct(ckt, None, self.lu)
+            .map(|s| s.tuned(self.refactor, self.phase_timing))
+    }
+
+    /// [`DcSolver::session`] seeded from an existing [`DcTemplate`]
+    /// without wrapping it in an [`Arc`] first — the borrowed-template
+    /// twin of [`DcPlan::session`], used where a template is shared by
+    /// reference across batch workers. The session adopts the template's
+    /// factorization options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn session_from<'c>(
+        &self,
+        ckt: &'c Circuit,
+        tpl: &DcTemplate,
+    ) -> Result<FrozenDcSession<'c>, CircuitError> {
+        FrozenDcSession::construct(ckt, Some(tpl), *tpl.lu_options())
+            .map(|s| s.tuned(self.refactor, self.phase_timing))
+    }
+
+    /// Stamps `ckt`'s initial-state DC MNA matrix and factors it under
+    /// this solver's options, returning both — the bench/diagnostic entry
+    /// point for working with the raw linear system of a real circuit.
+    /// Deliberately *not* stored inside [`DcTemplate`]: templates are
+    /// long-lived, and keeping a second copy of the matrix alive measurably
+    /// perturbs allocator locality for every later stamp.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the initial-state configuration
+    /// is unsolvable.
+    pub fn stamp(&self, ckt: &Circuit) -> Result<(CscMatrix, SparseLu), CircuitError> {
+        let st = MnaStructure::new(ckt);
+        let states = mna::initial_states(ckt);
+        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+        let lu = SparseLu::factor_with(&m, &self.lu)?;
+        Ok((m, lu))
+    }
+}
+
+/// The captured cold path of one circuit structure — stage two of the
+/// [`DcSolver`] facade. Cheap to clone (the template is behind an `Arc`),
+/// `Send + Sync`, and shareable across batch workers: each derived solve
+/// or session pays only numeric work against the shared symbolic plan.
+#[derive(Debug, Clone)]
+pub struct DcPlan {
+    refactor: RefactorStrategy,
+    phase_timing: bool,
+    tpl: Arc<DcTemplate>,
+}
+
+impl DcPlan {
+    /// The shared cold-path artifact behind this plan.
+    pub fn template(&self) -> &Arc<DcTemplate> {
+        &self.tpl
+    }
+
+    /// The factorization options this plan's symbolic work was built
+    /// under. Every solve and session derived from the plan — including
+    /// fallback fresh factorizations — uses exactly these options.
+    pub fn lu_options(&self) -> &LuOptions {
+        self.tpl.lu_options()
+    }
+
+    /// `nnz(L) + nnz(U)` of the plan's factorization.
+    pub fn factor_nnz(&self) -> usize {
+        self.tpl.factor().factor_nnz()
+    }
+
+    /// Diagonal blocks of the plan's block-triangular form.
+    pub fn block_count(&self) -> usize {
+        self.tpl.symbolic().block_count()
+    }
+
+    /// Operating-point solve of `ckt` through the plan's structure and
+    /// factorization (numeric-only fast path; transparent cold fallback —
+    /// under the plan's own options — when the circuit does not match).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve(&self, ckt: &Circuit) -> Result<(DcSolution, SolveReport), CircuitError> {
+        self.solve_inner(ckt, None, None)
+    }
+
+    /// [`DcPlan::solve`] with time-varying sources evaluated at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve_at(
+        &self,
+        ckt: &Circuit,
+        t: f64,
+    ) -> Result<(DcSolution, SolveReport), CircuitError> {
+        self.solve_inner(ckt, Some(t), None)
+    }
+
+    /// [`DcPlan::solve`] with the device-state iteration warm-started from
+    /// `warm` — typically [`DcSolution::device_states`] of a previous solve
+    /// on the same structure. A shape-incompatible assignment is ignored; a
+    /// warm start that fails to converge retries from the default initial
+    /// states, so warm starts never change which systems are solvable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn solve_warm(
+        &self,
+        ckt: &Circuit,
+        warm: &[DeviceState],
+    ) -> Result<(DcSolution, SolveReport), CircuitError> {
+        self.solve_inner(ckt, None, Some(warm))
+    }
+
+    fn solve_inner(
+        &self,
+        ckt: &Circuit,
+        at_time: Option<f64>,
+        warm: Option<&[DeviceState]>,
+    ) -> Result<(DcSolution, SolveReport), CircuitError> {
+        run_dc(&DcRequest {
+            ckt,
+            pre_step: at_time.is_none(),
+            at_time,
+            template: Some(&self.tpl),
+            warm,
+            lu_opts: *self.tpl.lu_options(),
+        })
+    }
+
+    /// Builds an incremental frozen-state session on `ckt` from the plan:
+    /// structure, ordering and symbolic analysis are reused, the session
+    /// start pays only a numeric refactorization. This is the batch
+    /// fan-out entry point — many sessions on same-structure circuits each
+    /// derive their own numeric factor from the shared symbolic plan.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn session<'c>(&self, ckt: &'c Circuit) -> Result<FrozenDcSession<'c>, CircuitError> {
+        FrozenDcSession::construct(ckt, Some(&self.tpl), *self.tpl.lu_options())
+            .map(|s| s.tuned(self.refactor, self.phase_timing))
     }
 }
 
@@ -405,36 +789,29 @@ pub struct FrozenDcCache {
 }
 
 /// Stamps `ckt`'s initial-state DC MNA matrix and factors it, returning
-/// both — the bench/diagnostic entry point for working with the raw linear
-/// system (refactorization strategies, sparse-RHS solves) of a real
-/// circuit. Deliberately *not* stored inside [`DcTemplate`]: templates are
-/// long-lived, and keeping a second copy of the matrix alive measurably
-/// perturbs allocator locality for every later stamp.
+/// both. Deprecated shim over [`DcSolver::stamp`].
 ///
 /// # Errors
 ///
 /// [`CircuitError::SingularSystem`] if the initial-state configuration is
 /// unsolvable.
+#[deprecated(note = "use `DcSolver::new().stamp(&ckt)`")]
 pub fn stamp_dc_system(ckt: &Circuit) -> Result<(CscMatrix, SparseLu), CircuitError> {
-    stamp_dc_system_with(ckt, &LuOptions::default())
+    DcSolver::new().stamp(ckt)
 }
 
-/// [`stamp_dc_system`] with explicit factorization options — how the
-/// ordering benches factor the same real substrate matrix under
-/// Natural/MinDegree/AMD/AMD+BTF for fill and timing comparisons.
+/// [`stamp_dc_system`] with explicit factorization options. Deprecated
+/// shim over [`DcSolver::stamp`].
 ///
 /// # Errors
 ///
 /// Same as [`stamp_dc_system`].
+#[deprecated(note = "use `DcSolver::new().lu_options(opts).stamp(&ckt)`")]
 pub fn stamp_dc_system_with(
     ckt: &Circuit,
     lu_opts: &LuOptions,
 ) -> Result<(CscMatrix, SparseLu), CircuitError> {
-    let st = MnaStructure::new(ckt);
-    let states = mna::initial_states(ckt);
-    let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-    let lu = SparseLu::factor_with(&m, lu_opts)?;
-    Ok((m, lu))
+    DcSolver::new().lu_options(*lu_opts).stamp(ckt)
 }
 
 /// Counters describing how a [`FrozenDcSession`] spent its linear-algebra
@@ -506,7 +883,7 @@ impl FrozenDcPhases {
 /// # Example
 ///
 /// ```
-/// use ohmflow_circuit::{Circuit, DiodeModel, FrozenDcSession, SourceValue};
+/// use ohmflow_circuit::{Circuit, DcSolver, DiodeModel, SourceValue};
 ///
 /// # fn main() -> Result<(), ohmflow_circuit::CircuitError> {
 /// let mut ckt = Circuit::new();
@@ -515,7 +892,7 @@ impl FrozenDcPhases {
 /// ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
 /// ckt.resistor(top, x, 1e3);
 /// ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
-/// let mut session = FrozenDcSession::new(&ckt)?;
+/// let mut session = DcSolver::new().session(&ckt)?;
 /// session.solve(0.0, &[false])?; // diode frozen off: x floats at 5 V
 /// assert!((session.voltage(x) - 5.0).abs() < 1e-3);
 /// session.solve(0.0, &[true])?; // diode frozen on: x clamps near 0 V
@@ -560,6 +937,11 @@ pub struct FrozenDcSession<'c> {
     /// Factorization options for fallback fresh factorizations (rebases
     /// whose pattern moved or whose frozen pivots died).
     lu_opts: LuOptions,
+    /// How rebases schedule their numeric column replay.
+    refactor: RefactorStrategy,
+    /// Whether this session started from a template's shared symbolic plan
+    /// (surfaced through [`FrozenDcSession::report`]).
+    templated: bool,
     rhs: Vec<f64>,
     work: Vec<f64>,
     x: Vec<f64>,
@@ -586,69 +968,86 @@ impl<'c> FrozenDcSession<'c> {
     const DEFAULT_REBASE_PERIOD: usize = 256;
 
     /// Builds the structure, stamps the all-diodes-off base matrix and
-    /// factors it.
+    /// factors it. Deprecated shim over [`DcSolver::session`].
     ///
     /// # Errors
     ///
     /// [`CircuitError::SingularSystem`] if the base configuration is
     /// unsolvable (floating nodes, inconsistent source loops).
+    #[deprecated(note = "use `DcSolver::new().session(&ckt)`")]
     pub fn new(ckt: &'c Circuit) -> Result<Self, CircuitError> {
-        Self::with_lu_options(ckt, LuOptions::default())
+        Self::construct(ckt, None, LuOptions::default())
     }
 
-    /// [`FrozenDcSession::new`] with explicit factorization options (most
-    /// usefully the [`ColumnOrdering`](crate::ColumnOrdering)); every
-    /// rebase-path fallback factorization reuses them.
+    /// [`FrozenDcSession::new`] with explicit factorization options.
+    /// Deprecated shim over [`DcSolver::session`].
     ///
     /// # Errors
     ///
     /// Same as [`FrozenDcSession::new`].
+    #[deprecated(note = "use `DcSolver::new().lu_options(opts).session(&ckt)`")]
     pub fn with_lu_options(ckt: &'c Circuit, lu_opts: LuOptions) -> Result<Self, CircuitError> {
-        let st = MnaStructure::new(ckt);
-        let states = mna::initial_states(ckt);
-        let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
-        let lu = SparseLu::factor_with(&m, &lu_opts)?;
-        let stats = FrozenDcStats {
-            full_factorizations: 1,
-            ..FrozenDcStats::default()
-        };
-        Ok(Self::from_parts(ckt, st, states, m, lu, lu_opts, stats))
+        Self::construct(ckt, None, lu_opts)
     }
 
     /// Builds a session from a [`DcTemplate`], skipping the structure
-    /// derivation, fill-reducing ordering and symbolic analysis: the
-    /// circuit's base matrix is stamped with its *current* values and the
-    /// template's factor is numerically refactored (shared symbolic plan,
-    /// fresh per-session values). This is the batch fan-out entry point —
-    /// many sessions on same-topology circuits (perturbed realizations,
-    /// re-stamped capacities) each pay only the numeric phase.
-    ///
-    /// A template that does not [match](DcTemplate::matches) the circuit
-    /// falls back to [`FrozenDcSession::new`].
+    /// derivation, fill-reducing ordering and symbolic analysis.
+    /// Deprecated shim over [`DcPlan::session`].
     ///
     /// # Errors
     ///
     /// Same as [`FrozenDcSession::new`].
+    #[deprecated(note = "use `DcSolver::new().plan_from(tpl).session(&ckt)`")]
     pub fn with_template(ckt: &'c Circuit, tpl: &DcTemplate) -> Result<Self, CircuitError> {
-        if !tpl.matches(ckt) {
-            return Self::new(ckt);
-        }
+        Self::construct(ckt, Some(tpl), *tpl.lu_options())
+    }
+
+    /// The one session constructor every entry point funnels into. With a
+    /// matching template the circuit's base matrix is stamped with its
+    /// *current* values and the template's factor is numerically
+    /// refactored (shared symbolic plan, fresh per-session values) — the
+    /// batch fan-out fast path; otherwise (or when the template does not
+    /// [match](DcTemplate::matches)) the full cold path runs under
+    /// `lu_opts`, which every rebase-path fallback factorization reuses.
+    pub(crate) fn construct(
+        ckt: &'c Circuit,
+        tpl: Option<&DcTemplate>,
+        lu_opts: LuOptions,
+    ) -> Result<Self, CircuitError> {
         let states = mna::initial_states(ckt);
-        let (lu, m, fast) = tpl.numeric_for(ckt, &states)?;
-        let stats = FrozenDcStats {
-            refactorizations: usize::from(fast),
-            full_factorizations: usize::from(!fast),
-            ..FrozenDcStats::default()
-        };
-        Ok(Self::from_parts(
-            ckt,
-            tpl.st.clone(),
-            states,
-            m,
-            lu,
-            *tpl.lu_options(),
-            stats,
-        ))
+        match tpl.filter(|t| t.matches(ckt)) {
+            Some(tpl) => {
+                let (lu, m, fast) = tpl.numeric_for(ckt, &states)?;
+                let stats = FrozenDcStats {
+                    refactorizations: usize::from(fast),
+                    full_factorizations: usize::from(!fast),
+                    ..FrozenDcStats::default()
+                };
+                let mut s =
+                    Self::from_parts(ckt, tpl.st.clone(), states, m, lu, *tpl.lu_options(), stats);
+                s.templated = true;
+                Ok(s)
+            }
+            None => {
+                let st = MnaStructure::new(ckt);
+                let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+                let lu = SparseLu::factor_with(&m, &lu_opts)?;
+                let stats = FrozenDcStats {
+                    full_factorizations: 1,
+                    ..FrozenDcStats::default()
+                };
+                Ok(Self::from_parts(ckt, st, states, m, lu, lu_opts, stats))
+            }
+        }
+    }
+
+    /// Applies facade-level tuning (refactor scheduling + phase timing) in
+    /// one hop — how [`DcSolver::session`] / [`DcPlan::session`] thread
+    /// their configuration through.
+    pub(crate) fn tuned(mut self, refactor: RefactorStrategy, phase_timing: bool) -> Self {
+        self.refactor = refactor;
+        self.phase_timing = phase_timing;
+        self
     }
 
     fn from_parts(
@@ -693,6 +1092,8 @@ impl<'c> FrozenDcSession<'c> {
             last_diode_on: Vec::new(),
             poisoned: false,
             lu_opts,
+            refactor: RefactorStrategy::default(),
+            templated: false,
             rhs: Vec::with_capacity(n),
             work: Vec::with_capacity(n),
             x: vec![0.0; n],
@@ -724,6 +1125,14 @@ impl<'c> FrozenDcSession<'c> {
     /// callers (`engine_profile`, `bench_report`) opt in.
     pub fn with_phase_timing(mut self) -> Self {
         self.phase_timing = true;
+        self
+    }
+
+    /// Overrides how rebases schedule their numeric column replay
+    /// (`Auto` by default). [`DcSolver::refactor_strategy`] threads this
+    /// through the facade.
+    pub fn with_refactor_strategy(mut self, strategy: RefactorStrategy) -> Self {
+        self.refactor = strategy;
         self
     }
 
@@ -949,11 +1358,15 @@ impl<'c> FrozenDcSession<'c> {
         if let Some(t0) = t0 {
             self.phases.stamp_ns += t0.elapsed().as_nanos() as u64;
         }
-        // `refactor_with` is the Auto-strategy numeric replay: on systems
-        // past the parallel threshold it schedules the elimination levels
-        // across rayon workers.
+        // The session's configured replay strategy (`Auto` by default: on
+        // systems past the parallel threshold it schedules the elimination
+        // levels across rayon workers).
         let t0 = self.clock();
-        if self.lu.refactor_with(&m, &mut self.lu_ws).is_ok() {
+        if self
+            .lu
+            .refactor_with_strategy(&m, &mut self.lu_ws, self.refactor)
+            .is_ok()
+        {
             self.stats.refactorizations += 1;
         } else {
             self.lu = SparseLu::factor_with(&m, &self.lu_opts)?;
@@ -1011,9 +1424,22 @@ impl<'c> FrozenDcSession<'c> {
     pub fn phase_times(&self) -> FrozenDcPhases {
         self.phases
     }
+
+    /// Structured accounting of the session so far, in the facade's
+    /// [`SolveReport`] shape: `iterations` counts the frozen-state solves,
+    /// `phases` is present when phase timing was enabled.
+    pub fn report(&self) -> SolveReport {
+        SolveReport {
+            iterations: self.stats.solves,
+            factor_nnz: self.lu.factor_nnz(),
+            block_count: self.lu.symbolic().block_count(),
+            templated: self.templated,
+            phases: self.phase_timing.then_some(self.phases),
+        }
+    }
 }
 
-/// Result of a [`DcAnalysis`].
+/// Result of a DC operating-point solve ([`DcSolver`] / [`DcPlan`]).
 #[derive(Debug, Clone)]
 pub struct DcSolution {
     inner: Solution,
@@ -1024,7 +1450,7 @@ pub struct DcSolution {
 impl DcSolution {
     /// The converged device-state assignment (element-indexed): the fixed
     /// point of the complementarity iteration, or the frozen assignment of
-    /// a [`solve_frozen_dc`]. Feed it to [`DcAnalysis::warm_start`] to
+    /// a [`solve_frozen_dc`]. Feed it to [`DcPlan::solve_warm`] to
     /// short-circuit the clamp cascade on the next same-topology solve.
     pub fn device_states(&self) -> &[DeviceState] {
         &self.states
@@ -1068,7 +1494,7 @@ mod tests {
         ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(10.0));
         ckt.resistor(top, mid, 3e3);
         ckt.resistor(mid, Circuit::GROUND, 7e3);
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!((sol.voltage(mid) - 7.0).abs() < 1e-9);
     }
 
@@ -1079,7 +1505,7 @@ mod tests {
         let a = ckt.node("a");
         let v = ckt.voltage_source(a, Circuit::GROUND, SourceValue::dc(1.0));
         ckt.resistor(a, Circuit::GROUND, 1e3);
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!((sol.source_current(v).unwrap() - 1e-3).abs() < 1e-12);
     }
 
@@ -1092,7 +1518,7 @@ mod tests {
         ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
         ckt.resistor(top, a, 1e3);
         ckt.diode(a, Circuit::GROUND, DiodeModel::ideal());
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!(sol.voltage(a).abs() < 1e-2, "v(a)={}", sol.voltage(a));
     }
 
@@ -1105,7 +1531,7 @@ mod tests {
         ckt.resistor(top, a, 1e3);
         // Reversed: cathode at a.
         ckt.diode(Circuit::GROUND, a, DiodeModel::ideal());
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!((sol.voltage(a) - 5.0).abs() < 1e-2);
     }
 
@@ -1118,7 +1544,7 @@ mod tests {
         ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
         ckt.resistor(top, a, 1e3);
         ckt.diode(a, Circuit::GROUND, DiodeModel::silicon());
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         let v = sol.voltage(a);
         assert!((v - 0.7).abs() < 0.05, "v(a)={v}");
     }
@@ -1136,7 +1562,7 @@ mod tests {
         ckt.voltage_source(cap, Circuit::GROUND, SourceValue::dc(2.0));
         ckt.diode(x, cap, DiodeModel::ideal()); // clamps x <= 2
         ckt.diode(Circuit::GROUND, x, DiodeModel::ideal()); // clamps x >= 0
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!(
             (sol.voltage(x) - 2.0).abs() < 1e-2,
             "v(x)={}",
@@ -1153,7 +1579,7 @@ mod tests {
         ckt.voltage_source(inp, Circuit::GROUND, SourceValue::dc(1.5));
         ckt.opamp(inp, out, out, OpAmpModel::table1());
         ckt.resistor(out, Circuit::GROUND, 1e4);
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         // Finite gain A=1e4: error ~ 1/A.
         assert!((sol.voltage(out) - 1.5).abs() < 1e-3);
     }
@@ -1169,7 +1595,7 @@ mod tests {
         ckt.resistor(vin, sum, 1e3);
         ckt.resistor(sum, out, 2e3);
         ckt.opamp(Circuit::GROUND, sum, out, OpAmpModel::table1());
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         assert!(
             (sol.voltage(out) + 2.0).abs() < 2e-3,
             "v={}",
@@ -1187,7 +1613,7 @@ mod tests {
         model.rails = (-10.0, 10.0);
         ckt.opamp(inp, Circuit::GROUND, out, model);
         ckt.resistor(out, Circuit::GROUND, 1e4);
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         // Desired output 0.5 * 1e4 = 5000 V; clamps at the 10 V rail.
         assert!((sol.voltage(out) - 10.0).abs() < 1e-9);
     }
@@ -1208,7 +1634,7 @@ mod tests {
         // x⁻ must be driven by something to fix its level: a load resistor
         // models the downstream conservation network.
         ckt.resistor(xneg, Circuit::GROUND, 10.0 * r);
-        let sol = DcAnalysis::new(&ckt).solve().unwrap();
+        let (sol, _) = DcSolver::new().solve(&ckt).unwrap();
         // With a finite load the negation is approximate; the exact
         // relation from KCL at p is V(x) = -V(x⁻) when no current flows
         // into x⁻ externally. Verify the KCL-derived relation instead:
@@ -1227,7 +1653,7 @@ mod tests {
         let b = ckt.node("b");
         ckt.resistor(a, b, 1e3); // entire pair floats
         assert!(matches!(
-            DcAnalysis::new(&ckt).solve(),
+            DcSolver::new().solve(&ckt),
             Err(CircuitError::SingularSystem { .. })
         ));
     }
@@ -1255,7 +1681,7 @@ mod tests {
         }
         let n_diodes = ckt.diode_count();
 
-        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        let mut session = DcSolver::new().session(&ckt).unwrap();
         let mut cache = None;
         // Deterministic pseudo-random toggle walk with a time-varying RHS.
         let mut on = vec![false; n_diodes];
@@ -1300,7 +1726,7 @@ mod tests {
         ckt.voltage_source(top, Circuit::GROUND, SourceValue::step(0.0, 5.0, 0.0));
         ckt.resistor(top, x, 1e3);
         ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
-        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        let mut session = DcSolver::new().session(&ckt).unwrap();
         for k in 0..50 {
             session.solve(k as f64 * 1e-9, &[false]).unwrap();
             assert!((session.voltage(x) - 5.0).abs() < 1e-3);
@@ -1333,7 +1759,7 @@ mod tests {
         ckt.resistor(x, Circuit::GROUND, -1.0 / (1.0 / model.r_on + g_top));
         ckt.diode(x, Circuit::GROUND, model);
 
-        let mut session = FrozenDcSession::new(&ckt).unwrap();
+        let mut session = DcSolver::new().session(&ckt).unwrap();
         session.solve(0.0, &[false]).unwrap();
         let v_off = session.voltage(x);
         assert!(
@@ -1364,7 +1790,7 @@ mod tests {
         ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
         ckt.resistor(top, x, 1e3);
         ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
-        let mut session = FrozenDcSession::new(&ckt).unwrap().with_max_rank(0);
+        let mut session = DcSolver::new().session(&ckt).unwrap().with_max_rank(0);
         session.solve(0.0, &[true]).unwrap();
         assert!(session.voltage(x).abs() < 1e-3);
         session.solve(0.0, &[false]).unwrap();
@@ -1410,8 +1836,11 @@ mod tests {
             |k| 0.8 + 0.4 * k as f64,
             5.0,
         );
-        let cold = DcAnalysis::new(&other).solve().unwrap();
-        let warm = DcAnalysis::new(&other).with_template(&tpl).solve().unwrap();
+        let cold = DcSolver::new().solve(&other).unwrap().0;
+        let plan = DcSolver::new().plan_from(Arc::new(tpl));
+        let (warm, report) = plan.solve(&other).unwrap();
+        assert!(report.templated, "plan fast path unused");
+        assert!(report.factor_nnz > 0 && report.block_count >= 1);
         for (a, b) in warm.values().iter().zip(cold.values()) {
             assert!((a - b).abs() < 1e-12 * b.abs().max(1.0), "{a} vs {b}");
         }
@@ -1422,20 +1851,18 @@ mod tests {
     fn warm_started_solve_matches_and_mismatched_template_falls_back() {
         let base = clamp_ladder(4, |_| 1e3, |k| 1.0 + 0.2 * k as f64, 5.0);
         let tpl = DcTemplate::new(&base).unwrap();
-        let cold = DcAnalysis::new(&base).solve().unwrap();
-        let warm = DcAnalysis::new(&base)
-            .with_template(&tpl)
-            .warm_start(cold.device_states().to_vec())
-            .solve()
-            .unwrap();
+        let plan = DcSolver::new().plan_from(Arc::new(tpl));
+        let cold = DcSolver::new().solve(&base).unwrap().0;
+        let warm = plan.solve_warm(&base, cold.device_states()).unwrap().0;
         for (a, b) in warm.values().iter().zip(cold.values()) {
             assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
         }
         // A template for a different topology must be ignored, not crash.
         let other = clamp_ladder(6, |_| 1e3, |_| 1.0, 5.0);
-        assert!(!tpl.matches(&other));
-        let sol = DcAnalysis::new(&other).with_template(&tpl).solve().unwrap();
-        let re = DcAnalysis::new(&other).solve().unwrap();
+        assert!(!plan.template().matches(&other));
+        let (sol, report) = plan.solve(&other).unwrap();
+        assert!(!report.templated, "mismatched template must fall back cold");
+        let re = DcSolver::new().solve(&other).unwrap().0;
         for (a, b) in sol.values().iter().zip(re.values()) {
             assert!((a - b).abs() < 1e-12 * b.abs().max(1.0));
         }
@@ -1459,17 +1886,15 @@ mod tests {
         ckt.resistor(x, Circuit::GROUND, -1.0 / (1.0 / model.r_on + g_top));
         ckt.diode(Circuit::GROUND, x, model);
 
-        let cold = DcAnalysis::new(&ckt).solve().unwrap();
+        let cold = DcSolver::new().solve(&ckt).unwrap().0;
         let mut warm_states = cold.device_states().to_vec();
         for s in warm_states.iter_mut() {
             if *s == DeviceState::Off {
                 *s = DeviceState::On;
             }
         }
-        let warm = DcAnalysis::new(&ckt)
-            .warm_start(warm_states)
-            .solve()
-            .unwrap();
+        let plan = DcSolver::new().plan(&ckt).unwrap();
+        let warm = plan.solve_warm(&ckt, &warm_states).unwrap().0;
         assert!(
             (warm.voltage(x) - cold.voltage(x)).abs() < 1e-9,
             "recovered {} vs cold {}",
@@ -1490,8 +1915,11 @@ mod tests {
         );
         let tpl = DcTemplate::new(&base).unwrap();
         let n_diodes = inst.diode_count();
-        let mut cold = FrozenDcSession::new(&inst).unwrap();
-        let mut warm = FrozenDcSession::with_template(&inst, &tpl).unwrap();
+        let mut cold = DcSolver::new().session(&inst).unwrap();
+        let mut warm = DcSolver::new()
+            .plan_from(Arc::new(tpl))
+            .session(&inst)
+            .unwrap();
         assert_eq!(warm.stats().refactorizations, 1, "numeric fast path unused");
         assert_eq!(warm.stats().full_factorizations, 0);
         let mut on = vec![false; n_diodes];
@@ -1522,7 +1950,7 @@ mod tests {
         let a = ckt.node("a");
         ckt.voltage_source(a, Circuit::GROUND, SourceValue::ramp(0.0, 0.0, 1.0, 10.0));
         ckt.resistor(a, Circuit::GROUND, 1e3);
-        let sol = DcAnalysis::new(&ckt).at_time(0.35).solve().unwrap();
+        let sol = DcSolver::new().solve_at(&ckt, 0.35).unwrap().0;
         assert!((sol.voltage(a) - 3.5).abs() < 1e-9);
     }
 }

@@ -10,8 +10,11 @@
 //!   VCVS, piecewise-linear diodes, single-pole op-amp macromodels, and
 //!   behavioural memristors ([`MemristorModel`]) with threshold programming,
 //! * modified nodal analysis assembly ([`mna`]),
-//! * DC operating-point solving with diode/op-amp state (complementarity)
-//!   iteration ([`DcAnalysis`]),
+//! * staged DC solving through the [`DcSolver`] facade — plan the cold
+//!   path once per circuit structure ([`DcPlan`]), then operating-point
+//!   solves with diode/op-amp state (complementarity) iteration and
+//!   incremental frozen-state sessions ([`FrozenDcSession`]) that pay only
+//!   numeric work,
 //! * transient analysis with backward-Euler and trapezoidal integration and
 //!   factorization reuse across time steps ([`TransientAnalysis`]) — the
 //!   integrator is hand-written because no suitable ODE crate is available,
@@ -52,13 +55,15 @@ mod waveform;
 
 pub use circuit::Circuit;
 pub use dc::{
-    solve_frozen_dc, stamp_dc_system, stamp_dc_system_with, DcAnalysis, DcSolution, DcTemplate,
-    FrozenDcCache, FrozenDcPhases, FrozenDcSession, FrozenDcStats,
+    solve_frozen_dc, DcPlan, DcSolution, DcSolver, DcTemplate, FrozenDcCache, FrozenDcPhases,
+    FrozenDcSession, FrozenDcStats, SolveReport,
 };
+#[allow(deprecated)] // legacy entry points stay re-exported until the shims are deleted
+pub use dc::{stamp_dc_system, stamp_dc_system_with, DcAnalysis};
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;
 pub use ids::{ElementId, NodeId};
-pub use ohmflow_linalg::{ColumnOrdering, SparseLuOptions as LuOptions};
+pub use ohmflow_linalg::{ColumnOrdering, RefactorStrategy, SparseLuOptions as LuOptions};
 pub use source::SourceValue;
 pub use transient::{IntegrationMethod, TransientAnalysis, TransientOptions};
 pub use waveform::{Waveform, WaveformSet};

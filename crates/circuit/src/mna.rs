@@ -571,7 +571,9 @@ pub(crate) fn max_state_iters(ckt: &Circuit) -> usize {
 }
 
 /// Solves the PWL system at one instant: iterate (factor, solve, restate)
-/// until the state assignment is a fixed point.
+/// until the state assignment is a fixed point. Returns the solution
+/// vector together with the number of state iterations it took — the
+/// `iterations` field of the facade's `SolveReport`.
 ///
 /// `factor_cache` carries `(states, matrix-lu, stamped matrix)` between
 /// calls so an unchanged state assignment reuses the previous
@@ -588,7 +590,7 @@ pub(crate) fn solve_pwl(
     dc_pre_step: bool,
     lu_opts: &crate::LuOptions,
     factor_cache: &mut Option<(Vec<DeviceState>, SparseLu, CscMatrix)>,
-) -> Result<Vec<f64>, CircuitError> {
+) -> Result<(Vec<f64>, usize), CircuitError> {
     let max_iters = max_state_iters(ckt);
     let mut x = Vec::new();
     // RHS and triangular-solve scratch reused across state iterations (and,
@@ -629,7 +631,7 @@ pub(crate) fn solve_pwl(
         lu.solve_into(&b, &mut work, &mut x)?;
         let (new_states, changes) = next_states_banded(ckt, st, states, &x, band);
         if changes == 0 {
-            return Ok(x);
+            return Ok((x, iter + 1));
         }
         // Late in the iteration, flip only the single most-violated device
         // to break multi-device cycles.
@@ -665,7 +667,7 @@ pub(crate) fn solve_pwl(
     // solve was consistent up to physically-negligible boundary violations.
     let (_, changes) = next_states_banded(ckt, st, states, &x, 1e-3);
     if changes == 0 {
-        Ok(x)
+        Ok((x, max_iters))
     } else {
         Err(CircuitError::StateIterationDiverged {
             time,

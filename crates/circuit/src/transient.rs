@@ -145,7 +145,7 @@ impl<'c> TransientAnalysis<'c> {
 
         // t = 0⁻ operating point.
         let lu_opts = crate::LuOptions::default();
-        let x0 = mna::solve_pwl(
+        let (x0, _) = mna::solve_pwl(
             ckt,
             &st,
             &mut states,
@@ -188,7 +188,7 @@ impl<'c> TransientAnalysis<'c> {
                 prev_mode_was_be = is_be;
             }
 
-            let x = mna::solve_pwl(
+            let (x, _) = mna::solve_pwl(
                 ckt,
                 &st,
                 &mut states,

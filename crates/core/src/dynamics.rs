@@ -7,7 +7,7 @@
 //! with interior-point methods), with piecewise-linear segments separated
 //! by *breakpoints* where a capacity clamp engages.
 
-use ohmflow_circuit::{DcAnalysis, DcTemplate};
+use ohmflow_circuit::{DcPlan, DcSolver};
 use ohmflow_graph::FlowNetwork;
 use rayon::prelude::*;
 
@@ -68,27 +68,22 @@ pub fn trace_quasi_static(
     // ordering + symbolic analysis) runs once here — or is taken verbatim
     // from a template-instantiated circuit — and each worker derives a
     // thread-local numeric factor from the shared symbolic plan.
-    let owned;
-    let tpl: Option<&DcTemplate> = match sc.dc_template() {
-        Some(t) => Some(&**t),
-        None => {
-            owned = DcTemplate::new(sc.circuit()).ok();
-            owned.as_ref()
-        }
+    let dcs = DcSolver::new();
+    let plan: Option<DcPlan> = match sc.dc_template() {
+        Some(t) => Some(dcs.plan_from(std::sync::Arc::clone(t))),
+        None => dcs.plan(sc.circuit()).ok(),
     };
     let samples: Vec<usize> = (0..=steps).collect();
     let flows = samples
         .par_iter()
         .map(|&k| {
             let t = k as f64 / steps as f64; // ramp position in [0, 1]
-            let mut analysis = DcAnalysis::new(sc.circuit()).at_time(t);
-            if let Some(tpl) = tpl {
-                analysis = analysis.with_template(tpl);
+            match &plan {
+                Some(plan) => plan.solve_at(sc.circuit(), t),
+                None => dcs.solve_at(sc.circuit(), t),
             }
-            analysis
-                .solve()
-                .map(|sol| sc.edge_flows(|n| sol.voltage(n)))
-                .map_err(AnalogError::from)
+            .map(|(sol, _)| sc.edge_flows(|n| sol.voltage(n)))
+            .map_err(AnalogError::from)
         })
         .collect::<Vec<Result<Vec<f64>, AnalogError>>>()
         .into_iter()

@@ -14,8 +14,11 @@
 //! * [`params`] — Table 1 design parameters,
 //! * [`quantize`] — §4.1 voltage-level quantization,
 //! * [`builder`] — direct-mapped graph → circuit construction (§2),
-//! * [`solver`] — the [`AnalogMaxFlow`] facade: configure, simulate
-//!   (transient or quasi-static), read out flows and convergence time,
+//! * [`solver`] — the solve engine and its **staged public facade**
+//!   ([`MaxFlowSolver`]): one [`SolveOptions`] → [`Plan`] (topology-keyed
+//!   symbolic work, cached) → [`Instance`] (value-only re-instantiation)
+//!   → solve / [`Session`] (incremental frozen-DC work); `solve_many`
+//!   batches with automatic same-topology grouping,
 //! * [`template`] — topology-keyed [`SubstrateTemplate`]s: the cold path
 //!   (build, MNA structure, ordering, symbolic LU) amortized across every
 //!   same-topology solve, with value-only instantiation,
@@ -33,14 +36,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+//! use ohmflow::{MaxFlowSolver, SolveOptions};
 //! use ohmflow_graph::generators::fig5a;
 //!
 //! # fn main() -> Result<(), ohmflow::AnalogError> {
 //! let g = fig5a();
-//! let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
-//! let solution = solver.solve(&g)?;
+//! let solver = MaxFlowSolver::new(SolveOptions::ideal());
+//! // Stage it explicitly (plan → instance → solve) …
+//! let solution = solver.plan(&g)?.instance(&g)?.solve()?;
 //! assert!((solution.value - 2.0).abs() < 0.05); // exact max flow is 2
+//! // … or let `solve` ride the plan cache in one call.
+//! let again = solver.solve(&g)?;
+//! assert!((again.value - solution.value).abs() < 1e-12);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,5 +71,8 @@ pub mod tuning;
 
 pub use error::AnalogError;
 pub use params::SubstrateParams;
-pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine};
+pub use solver::facade::{
+    Instance, MaxFlowSolver, Plan, PlanReport, Problem, Session, SolveOptions,
+};
+pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine, SolveMode};
 pub use template::{SubstrateTemplate, TemplateKey};

@@ -211,7 +211,7 @@ impl DualMeshArchitecture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{AnalogConfig, AnalogMaxFlow};
+    use crate::solver::facade::{MaxFlowSolver, SolveOptions};
     use ohmflow_graph::generators;
     use ohmflow_graph::rmat::RmatConfig;
     use ohmflow_maxflow::min_cut;
@@ -219,7 +219,9 @@ mod tests {
     #[test]
     fn analog_cut_matches_exact_on_fig5a() {
         let g = generators::fig5a();
-        let sol = AnalogMaxFlow::new(AnalogConfig::ideal()).solve(&g).unwrap();
+        let sol = MaxFlowSolver::new(SolveOptions::ideal())
+            .solve_fresh(&g)
+            .unwrap();
         let cut = cut_from_analog(&g, &sol.edge_flows, 0.05);
         assert_eq!(cut.capacity, min_cut(&g).capacity);
         assert!(cut.source_side[g.source()]);
@@ -232,9 +234,9 @@ mod tests {
             let g = RmatConfig::sparse(24, seed).generate().unwrap();
             // Larger graphs need more drive headroom before every binding
             // constraint saturates (§2.3 monotonicity).
-            let mut cfg = AnalogConfig::ideal();
+            let mut cfg = SolveOptions::ideal();
             cfg.params.v_flow = 400.0;
-            let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+            let sol = MaxFlowSolver::new(cfg).solve_fresh(&g).unwrap();
             let cut = cut_from_analog(&g, &sol.edge_flows, 0.25);
             assert_eq!(cut.capacity, min_cut(&g).capacity, "seed {seed}");
         }

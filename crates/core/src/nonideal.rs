@@ -105,7 +105,7 @@ pub fn finite_gain_reff(r_target: f64, r0: f64, gain: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::builder::{build, BuildOptions};
-    use crate::solver::{AnalogConfig, AnalogMaxFlow};
+    use crate::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
     use crate::SubstrateParams;
     use ohmflow_graph::generators;
     use ohmflow_maxflow::edmonds_karp;
@@ -119,7 +119,7 @@ mod tests {
         // is used because mismatch-softened constraints can trap the
         // quasi-static complementarity iteration in a spurious all-clamped
         // state (see `AnalogMaxFlow::solve_built`).
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 8.0;
         // Fixed window: heavily perturbed circuits can ring in a small
         // clamp limit-cycle forever; the end-of-window value is still the
@@ -138,8 +138,11 @@ mod tests {
         if let Some(m) = model {
             m.apply(&mut sc);
         }
-        AnalogMaxFlow::new(cfg)
-            .solve_built_transient(&sc, &g)
+        MaxFlowSolver::new(cfg)
+            .solve_problem(Problem::Built {
+                circuit: &sc,
+                graph: &g,
+            })
             .unwrap()
             .value
     }

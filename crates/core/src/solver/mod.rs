@@ -1,16 +1,24 @@
-//! The analog max-flow solver facade: configure the substrate, simulate it,
-//! and read out the solution — the §3.2 "computing max-flow on the
-//! crossbar" procedure.
+//! The analog max-flow solver engine and its staged public facade.
+//!
+//! This module holds the **engine**: [`AnalogMaxFlow`] carries the
+//! configuration, the topology-keyed template cache and the simulation
+//! machinery (quasi-static complementarity solve, relaxation transient,
+//! full-MNA ablation) — the §3.2 "computing max-flow on the crossbar"
+//! procedure. The **public staged API** lives in [`facade`]:
+//! [`MaxFlowSolver`](facade::MaxFlowSolver) →
+//! [`Plan`](facade::Plan) → [`Instance`](facade::Instance) →
+//! [`Session`](facade::Session). The legacy `AnalogMaxFlow` solve methods
+//! survive as deprecated shims over the same internals.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use ohmflow_circuit::{
-    solve_frozen_dc, CircuitError, DcAnalysis, DcTemplate, ElementId, FrozenDcCache,
-    FrozenDcSession, NodeId, TransientAnalysis, TransientOptions, Waveform, WaveformSet,
+    solve_frozen_dc, CircuitError, DcSolver, DcTemplate, ElementId, FrozenDcCache, FrozenDcSession,
+    LuOptions, NodeId, RefactorStrategy, SolveReport, TransientAnalysis, TransientOptions,
+    Waveform, WaveformSet,
 };
 use ohmflow_graph::FlowNetwork;
-use rayon::prelude::*;
 
 use crate::builder::{
     self, BuildOptions, BuildStats, Drive, NegativeResistorImpl, SubstrateCircuit,
@@ -18,6 +26,8 @@ use crate::builder::{
 use crate::params::SubstrateParams;
 use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
+
+pub mod facade;
 
 /// How the substrate is simulated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,6 +159,24 @@ impl AnalogConfig {
     }
 }
 
+/// Facade-level linear-algebra tuning carried by the engine: the pieces of
+/// [`facade::SolveOptions`] that [`AnalogConfig`] never expressed. The
+/// legacy constructors leave it at the defaults, so shim and facade paths
+/// share one code path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct SolverTuning {
+    /// Full factorization-options override. `None` derives the options
+    /// from the build's `lu_ordering` (the legacy behavior); the facade
+    /// sets `Some` so [`facade::SolveOptions::lu`] is the single source of
+    /// truth.
+    pub lu: Option<LuOptions>,
+    /// Numeric-refactorization scheduling for every session the engine
+    /// creates.
+    pub refactor: RefactorStrategy,
+    /// Per-phase wall-clock attribution on engine-created sessions.
+    pub phase_timing: bool,
+}
+
 /// Result of an analog max-flow solve.
 #[derive(Debug, Clone)]
 pub struct AnalogSolution {
@@ -167,6 +195,11 @@ pub struct AnalogSolution {
     pub stats: BuildStats,
     /// Recorded waveforms (transient mode only).
     pub waveforms: Option<WaveformSet>,
+    /// Structured linear-algebra accounting of the solve (state/step
+    /// iterations, `nnz(L+U)`, BTF block count, optional phase times).
+    /// Zeroed for paths with no DC engine behind them (the full-MNA
+    /// ablation and the legacy full-refactor reference engine).
+    pub report: SolveReport,
 }
 
 /// The analog max-flow solver.
@@ -188,20 +221,55 @@ pub struct AnalogMaxFlow {
     /// across threads: the lock is held only for lookups and inserts, never
     /// across a solve).
     templates: Arc<Mutex<HashMap<TemplateKey, Arc<SubstrateTemplate>>>>,
+    /// Facade-injected linear-algebra tuning (defaults for the legacy
+    /// constructors).
+    tuning: SolverTuning,
 }
 
 impl AnalogMaxFlow {
     /// Creates a solver with the given configuration.
     pub fn new(config: AnalogConfig) -> Self {
+        Self::with_tuning(config, SolverTuning::default())
+    }
+
+    /// [`AnalogMaxFlow::new`] with facade-level tuning — how
+    /// [`facade::MaxFlowSolver`] threads the [`facade::SolveOptions`]
+    /// pieces `AnalogConfig` cannot express.
+    pub(crate) fn with_tuning(config: AnalogConfig, tuning: SolverTuning) -> Self {
         AnalogMaxFlow {
             config,
             templates: Arc::new(Mutex::new(HashMap::new())),
+            tuning,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &AnalogConfig {
         &self.config
+    }
+
+    /// The injected tuning (facade bookkeeping).
+    pub(crate) fn tuning(&self) -> SolverTuning {
+        self.tuning
+    }
+
+    /// The factorization options every LU in this solver runs under: the
+    /// facade's override when present, otherwise derived from the build
+    /// options' ordering. One accessor so no path can pick a divergent
+    /// copy.
+    pub(crate) fn effective_lu_options(&self) -> LuOptions {
+        self.tuning
+            .lu
+            .unwrap_or_else(|| self.effective_build_options().lu_options())
+    }
+
+    /// The circuit-level staged solver configured exactly as this engine:
+    /// same factorization options, refactor scheduling and phase timing.
+    fn dc_solver(&self) -> DcSolver {
+        DcSolver::new()
+            .lu_options(self.effective_lu_options())
+            .refactor_strategy(self.tuning.refactor)
+            .phase_timing(self.tuning.phase_timing)
     }
 
     /// The build options [`AnalogMaxFlow::solve`] actually uses: the solve
@@ -236,38 +304,67 @@ impl AnalogMaxFlow {
     ///
     /// Propagates template-construction failures.
     pub fn template_for(&self, g: &FlowNetwork) -> Result<Arc<SubstrateTemplate>, AnalogError> {
+        self.template_for_inner(g).map(|(tpl, _)| tpl)
+    }
+
+    /// [`AnalogMaxFlow::template_for`] plus whether the template came out
+    /// of the cache — the observable behind [`facade::Plan::cache_hit`].
+    pub(crate) fn template_for_inner(
+        &self,
+        g: &FlowNetwork,
+    ) -> Result<(Arc<SubstrateTemplate>, bool), AnalogError> {
         let key = TemplateKey::with_ordering(g, self.effective_build_options().lu_ordering);
         if let Some(tpl) = self.templates.lock().expect("template cache").get(&key) {
-            return Ok(Arc::clone(tpl));
+            return Ok((Arc::clone(tpl), true));
         }
         // Build outside the lock: cold paths can be expensive and other
         // topologies' solves must not wait on them. A racing builder of the
-        // same key just loses its copy.
-        let built = Arc::new(SubstrateTemplate::new(
+        // same key just loses its copy. The full effective factorization
+        // options (pivoting thresholds included) flow into the template so
+        // the plan path can never factor under different options than the
+        // cold path.
+        let built = Arc::new(SubstrateTemplate::with_lu_options(
             g,
             &self.config.params,
             &self.effective_build_options(),
+            self.effective_lu_options(),
         )?);
         let mut cache = self.templates.lock().expect("template cache");
-        Ok(Arc::clone(
-            cache.entry(key).or_insert_with(|| Arc::clone(&built)),
+        Ok((
+            Arc::clone(cache.entry(key).or_insert_with(|| Arc::clone(&built))),
+            false,
         ))
     }
 
-    /// Solves `g` on the substrate.
+    /// Number of cached templates (test observability).
+    #[cfg(test)]
+    pub(crate) fn cached_template_count(&self) -> usize {
+        self.templates.lock().expect("template cache").len()
+    }
+
+    /// Solves `g` on the substrate from scratch (no template reuse).
+    /// Deprecated shim over [`facade::MaxFlowSolver::solve_fresh`].
     ///
     /// # Errors
     ///
     /// Propagates circuit-construction and simulation failures, and returns
     /// [`AnalogError::NotConverged`] if a transient run never settles even
     /// after the automatic window has grown to its limit.
+    #[deprecated(note = "use `MaxFlowSolver::solve_fresh` (or `solve` for the plan-cached path)")]
     pub fn solve(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
+        self.solve_cold(g)
+    }
+
+    /// The cold solve path: build the substrate for `g` and simulate it in
+    /// the configured mode. Shared by the deprecated [`AnalogMaxFlow::solve`]
+    /// shim and [`facade::MaxFlowSolver::solve_fresh`].
+    pub(crate) fn solve_cold(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
         let build = self.effective_build_options();
         let sc = builder::build(g, &self.config.params, &build)?;
         match self.config.mode {
             SolveMode::QuasiStatic => self.solve_quasi_static(&sc, None),
             SolveMode::Transient { window, dt } => {
-                self.solve_transient_relaxation(&sc, g, window, dt)
+                self.solve_transient_relaxation(&sc, g.vertex_count(), window, dt)
             }
             SolveMode::TransientFullMna { window, dt } => {
                 self.solve_transient_full_mna(&sc, window, dt)
@@ -290,18 +387,42 @@ impl AnalogMaxFlow {
     /// # Errors
     ///
     /// Same as [`AnalogMaxFlow::solve`].
+    #[deprecated(note = "use `MaxFlowSolver::solve` (or `plan(g)?.instance(g)?.solve()`)")]
     pub fn solve_templated(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
+        self.solve_templated_inner(g)
+    }
+
+    /// The template-cached solve path behind [`facade::MaxFlowSolver::solve`]
+    /// and the deprecated [`AnalogMaxFlow::solve_templated`] shim.
+    pub(crate) fn solve_templated_inner(
+        &self,
+        g: &FlowNetwork,
+    ) -> Result<AnalogSolution, AnalogError> {
         if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
-            return self.solve(g);
+            return self.solve_cold(g);
         }
         let tpl = self.template_for(g)?;
         let sc = tpl.instantiate(g)?;
+        self.solve_instance_parts(&sc, &tpl, g.vertex_count())
+    }
+
+    /// Simulates one template instantiation in the configured mode — the
+    /// body of [`facade::Instance::solve`], also reached by the
+    /// `solve_templated` shim (which instantiates first).
+    pub(crate) fn solve_instance_parts(
+        &self,
+        sc: &SubstrateCircuit,
+        tpl: &SubstrateTemplate,
+        n_vertices: usize,
+    ) -> Result<AnalogSolution, AnalogError> {
         match self.config.mode {
-            SolveMode::QuasiStatic => self.solve_quasi_static(&sc, Some(&tpl)),
+            SolveMode::QuasiStatic => self.solve_quasi_static(sc, Some(tpl)),
             SolveMode::Transient { window, dt } => {
-                self.solve_transient_relaxation(&sc, g, window, dt)
+                self.solve_transient_relaxation(sc, n_vertices, window, dt)
             }
-            SolveMode::TransientFullMna { .. } => unreachable!("handled above"),
+            SolveMode::TransientFullMna { window, dt } => {
+                self.solve_transient_full_mna(sc, window, dt)
+            }
         }
     }
 
@@ -315,6 +436,7 @@ impl AnalogMaxFlow {
     /// identities, whereas the relaxation transient switches clamps the
     /// way the physical circuit does (lagged engagement, current-reversal
     /// release) and escapes it.
+    #[deprecated(note = "use `MaxFlowSolver::solve_built`")]
     pub fn solve_built(&self, sc: &SubstrateCircuit) -> Result<AnalogSolution, AnalogError> {
         self.solve_quasi_static(sc, None)
     }
@@ -330,6 +452,7 @@ impl AnalogMaxFlow {
     /// # Errors
     ///
     /// Same as [`AnalogMaxFlow::solve_built`].
+    #[deprecated(note = "use `MaxFlowSolver::plan(g)?.instance_mapped(g, mapping)?.solve()`")]
     pub fn solve_instantiated(
         &self,
         sc: &SubstrateCircuit,
@@ -345,28 +468,29 @@ impl AnalogMaxFlow {
     /// # Errors
     ///
     /// Same as [`AnalogMaxFlow::solve`] in transient mode.
+    #[deprecated(note = "use `MaxFlowSolver::solve_problem(Problem::Built { .. })`")]
     pub fn solve_built_transient(
         &self,
         sc: &SubstrateCircuit,
         g: &FlowNetwork,
     ) -> Result<AnalogSolution, AnalogError> {
-        self.solve_built_transient_shared(sc, g, None)
+        self.solve_built_transient_shared(sc, g.vertex_count(), None)
     }
 
     /// [`AnalogMaxFlow::solve_built_transient`] with an optional shared
     /// [`DcTemplate`] override (the batch fan-out path: one template, many
     /// same-structure members).
-    fn solve_built_transient_shared(
+    pub(crate) fn solve_built_transient_shared(
         &self,
         sc: &SubstrateCircuit,
-        g: &FlowNetwork,
+        n_vertices: usize,
         shared: Option<&DcTemplate>,
     ) -> Result<AnalogSolution, AnalogError> {
         let (window, dt) = match self.config.mode {
             SolveMode::Transient { window, dt } => (window, dt),
             _ => (None, None),
         };
-        self.solve_transient_relaxation_shared(sc, g, window, dt, shared)
+        self.solve_transient_relaxation_shared(sc, n_vertices, window, dt, shared)
     }
 
     /// The quasi-static solve. When the circuit carries shared cold-path
@@ -379,21 +503,25 @@ impl AnalogMaxFlow {
         sc: &SubstrateCircuit,
         tpl: Option<&SubstrateTemplate>,
     ) -> Result<AnalogSolution, AnalogError> {
-        let mut analysis =
-            DcAnalysis::new(sc.circuit()).lu_options(self.effective_build_options().lu_options());
-        if let Some(dc) = sc.dc_template() {
-            analysis = analysis.with_template(dc);
-        }
+        let dcs = self.dc_solver();
         // Warm starts are value-keyed: only a solve of the *same* value
         // assignment may seed the complementarity iteration (see
         // `template::value_fingerprint`).
         let fingerprint = tpl.map(|_| template::value_fingerprint(sc));
-        if let Some(warm) =
-            tpl.and_then(|t| t.warm_states_for(fingerprint.expect("fingerprint with template")))
-        {
-            analysis = analysis.warm_start(warm);
+        let warm =
+            tpl.and_then(|t| t.warm_states_for(fingerprint.expect("fingerprint with template")));
+        let (sol, report) = match (sc.dc_template(), warm) {
+            (Some(dc), warm) => {
+                let plan = dcs.plan_from(Arc::clone(dc));
+                match warm {
+                    Some(w) => plan.solve_warm(sc.circuit(), &w),
+                    None => plan.solve(sc.circuit()),
+                }
+            }
+            (None, Some(w)) => dcs.solve_warm(sc.circuit(), &w),
+            (None, None) => dcs.solve(sc.circuit()),
         }
-        let sol = analysis.solve().map_err(AnalogError::from)?;
+        .map_err(AnalogError::from)?;
         if let (Some(t), Some(fp)) = (tpl, fingerprint) {
             t.store_warm_states(fp, sol.device_states());
         }
@@ -408,29 +536,30 @@ impl AnalogMaxFlow {
             convergence_time: None,
             stats: sc.stats(),
             waveforms: None,
+            report,
         })
     }
 
     fn solve_transient_relaxation(
         &self,
         sc: &SubstrateCircuit,
-        g: &FlowNetwork,
+        n_vertices: usize,
         window: Option<f64>,
         dt: Option<f64>,
     ) -> Result<AnalogSolution, AnalogError> {
-        self.solve_transient_relaxation_shared(sc, g, window, dt, None)
+        self.solve_transient_relaxation_shared(sc, n_vertices, window, dt, None)
     }
 
     fn solve_transient_relaxation_shared(
         &self,
         sc: &SubstrateCircuit,
-        g: &FlowNetwork,
+        n_vertices: usize,
         window: Option<f64>,
         dt: Option<f64>,
         shared: Option<&DcTemplate>,
     ) -> Result<AnalogSolution, AnalogError> {
         let tau = self.config.params.opamp.time_constant();
-        let mut t_stop = window.unwrap_or(tau * (20.0 + 0.05 * g.vertex_count() as f64));
+        let mut t_stop = window.unwrap_or(tau * (20.0 + 0.05 * n_vertices as f64));
         let max_window = window.unwrap_or(t_stop * 64.0);
 
         loop {
@@ -462,13 +591,13 @@ impl AnalogMaxFlow {
                 // available — an explicitly shared batch template first,
                 // else whatever the instantiation attached to the circuit —
                 // paying only a numeric-only refactorization instead of
-                // structure + ordering + symbolic analysis.
+                // structure + ordering + symbolic analysis. The staged
+                // circuit facade threads the configured factorization
+                // options, refactor scheduling and phase timing through.
+                let dcs = self.dc_solver();
                 let session = match shared.or(sc.dc_template().map(|t| &**t)) {
-                    Some(tpl) => FrozenDcSession::with_template(sc.circuit(), tpl),
-                    None => FrozenDcSession::with_lu_options(
-                        sc.circuit(),
-                        self.effective_build_options().lu_options(),
-                    ),
+                    Some(tpl) => dcs.session_from(sc.circuit(), tpl),
+                    None => dcs.session(sc.circuit()),
                 };
                 let mut eq = SessionEquilibrium {
                     session: session.map_err(AnalogError::from)?,
@@ -636,6 +765,7 @@ impl AnalogMaxFlow {
             convergence_time: settle,
             stats: sc.stats(),
             waveforms: Some(waves),
+            report: eq.report(),
         })
     }
 
@@ -651,46 +781,10 @@ impl AnalogMaxFlow {
     /// the shared symbolic factorization (each rayon worker derives its own
     /// numeric factor — thread-local values, pointer-shared symbolic plan).
     /// Members whose topology appears once keep the independent cold path.
+    #[deprecated(note = "use `MaxFlowSolver::solve_many`")]
     pub fn solve_batch(&self, graphs: &[FlowNetwork]) -> Vec<Result<AnalogSolution, AnalogError>> {
-        // TransientFullMna has no templated path at all.
-        if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
-            return graphs.par_iter().map(|g| self.solve(g)).collect();
-        }
-        let ordering = self.effective_build_options().lu_ordering;
-        let keys: Vec<TemplateKey> = graphs
-            .iter()
-            .map(|g| TemplateKey::with_ordering(g, ordering))
-            .collect();
-        let mut counts: HashMap<&TemplateKey, usize> = HashMap::new();
-        for key in &keys {
-            *counts.entry(key).or_insert(0) += 1;
-        }
-        // Warm the cache sequentially (one cold path per repeated
-        // topology) and remember which keys got a template; the par_iter
-        // below then hits the cache on every member, and a topology whose
-        // template construction failed falls back to the plain path
-        // without every member re-attempting the expensive failed build
-        // (batch error reporting stays per-member).
-        let mut templated: HashMap<&TemplateKey, bool> = HashMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            if counts[key] >= 2 {
-                templated
-                    .entry(key)
-                    .or_insert_with(|| self.template_for(&graphs[i]).is_ok());
-            }
-        }
-        let indices: Vec<usize> = (0..graphs.len()).collect();
-        indices
-            .par_iter()
-            .map(|&i| {
-                let g = &graphs[i];
-                if templated.get(&keys[i]).copied().unwrap_or(false) {
-                    self.solve_templated(g)
-                } else {
-                    self.solve(g)
-                }
-            })
-            .collect()
+        facade::MaxFlowSolver::from_engine(self)
+            .solve_many(graphs.iter().map(facade::Problem::from))
     }
 
     /// Runs the relaxation transient on many already-built (typically
@@ -705,24 +799,18 @@ impl AnalogMaxFlow {
     /// member and every session starts from a numeric-only refactorization
     /// for its own perturbed values, sharing the symbolic plan across
     /// workers.
+    #[deprecated(note = "use `MaxFlowSolver::solve_many` with `Problem::Built` members")]
     pub fn solve_built_transient_batch(
         &self,
         scs: &[SubstrateCircuit],
         g: &FlowNetwork,
     ) -> Vec<Result<AnalogSolution, AnalogError>> {
-        let shared: Option<Arc<DcTemplate>> = (scs.len() >= 2 && template::uniform_structure(scs))
-            .then(|| {
-                DcTemplate::with_options(
-                    scs[0].circuit(),
-                    self.effective_build_options().lu_options(),
-                )
-                .ok()
-            })
-            .flatten()
-            .map(Arc::new);
-        scs.par_iter()
-            .map(|sc| self.solve_built_transient_shared(sc, g, shared.as_deref()))
-            .collect()
+        facade::MaxFlowSolver::from_engine(self).solve_many(scs.iter().map(|sc| {
+            facade::Problem::Built {
+                circuit: sc,
+                graph: g,
+            }
+        }))
     }
 
     /// The instability ablation: integrate the literal MNA dynamics.
@@ -756,6 +844,7 @@ impl AnalogMaxFlow {
             convergence_time: settle,
             stats: sc.stats(),
             waveforms: Some(waves),
+            report: SolveReport::default(),
         })
     }
 }
@@ -773,6 +862,11 @@ trait EquilibriumSolver {
     /// Source current (negated branch current) in the last solved point.
     fn source_current(&self, id: ElementId) -> Option<f64> {
         self.branch_current(id).map(|i| -i)
+    }
+    /// Structured linear-algebra accounting of the run so far. The legacy
+    /// reference engine has no session to report on and returns zeros.
+    fn report(&self) -> SolveReport {
+        SolveReport::default()
     }
 }
 
@@ -792,6 +886,10 @@ impl EquilibriumSolver for SessionEquilibrium<'_> {
 
     fn branch_current(&self, id: ElementId) -> Option<f64> {
         self.session.branch_current(id)
+    }
+
+    fn report(&self) -> SolveReport {
+        self.session.report()
     }
 }
 
@@ -864,7 +962,7 @@ pub fn flow_value_series(sc: &SubstrateCircuit, waves: &WaveformSet) -> Vec<f64>
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::facade::{MaxFlowSolver, Problem, SolveOptions};
     use crate::builder::CapacityMapping;
     use ohmflow_graph::generators;
     use ohmflow_maxflow::edmonds_karp;
@@ -872,7 +970,9 @@ mod tests {
     #[test]
     fn ideal_solver_is_optimal_on_fig5a() {
         let g = generators::fig5a();
-        let sol = AnalogMaxFlow::new(AnalogConfig::ideal()).solve(&g).unwrap();
+        let sol = MaxFlowSolver::new(SolveOptions::ideal())
+            .solve_fresh(&g)
+            .unwrap();
         assert!(
             (sol.value - 2.0).abs() < 0.02,
             "analog value {} vs exact 2",
@@ -898,7 +998,9 @@ mod tests {
             (generators::layered(3, 2, 5, 1).unwrap(), "layered"),
         ] {
             let exact = edmonds_karp(&g).value as f64;
-            let sol = AnalogMaxFlow::new(AnalogConfig::ideal()).solve(&g).unwrap();
+            let sol = MaxFlowSolver::new(SolveOptions::ideal())
+                .solve_fresh(&g)
+                .unwrap();
             let rel = (sol.value - exact).abs() / exact.max(1.0);
             assert!(rel < 0.02, "{name}: analog {} vs exact {exact}", sol.value);
         }
@@ -909,9 +1011,9 @@ mod tests {
         // Fig. 8: N = 20, Vdd = 1 V → circuit solution 0.7 V, |f| ≈ 2.1,
         // a 5 % deviation from the exact value 2.
         let g = generators::fig5a();
-        let mut cfg = AnalogConfig::ideal();
-        cfg.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+        let mut opts = SolveOptions::ideal();
+        opts.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
+        let sol = MaxFlowSolver::new(opts).solve_fresh(&g).unwrap();
         assert!(
             (sol.value - 2.1).abs() < 0.03,
             "quantized value {} vs paper's 2.1",
@@ -922,9 +1024,9 @@ mod tests {
     #[test]
     fn transient_solver_converges_on_fig5a() {
         let g = generators::fig5a();
-        let mut cfg = AnalogConfig::evaluation(10e9);
-        cfg.build.capacity_mapping = CapacityMapping::Exact;
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+        let mut opts = SolveOptions::evaluation(10e9);
+        opts.build.capacity_mapping = CapacityMapping::Exact;
+        let sol = MaxFlowSolver::new(opts).solve_fresh(&g).unwrap();
         assert!(
             (sol.value - 2.0).abs() < 0.06,
             "transient value {}",
@@ -938,12 +1040,12 @@ mod tests {
     #[test]
     fn templated_quasi_static_matches_cold_path() {
         let g = generators::fig5a();
-        let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
-        let cold = solver.solve(&g).unwrap();
-        // First templated solve pays the cold path and caches; repeat
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let cold = solver.solve_fresh(&g).unwrap();
+        // First plan-cached solve pays the cold path and caches; repeat
         // solves ride the warm path (primed factorization + warm states).
         for round in 0..3 {
-            let warm = solver.solve_templated(&g).unwrap();
+            let warm = solver.solve(&g).unwrap();
             assert!(
                 (warm.value - cold.value).abs() < 1e-9,
                 "round {round}: templated {} vs cold {}",
@@ -954,26 +1056,31 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "round {round}: {a} vs {b}");
             }
         }
-        // Different capacities on the same topology reuse the template.
+        // Different capacities on the same topology reuse the plan.
         let g2 = g.scaled_capacities(2).unwrap();
-        let cold2 = solver.solve(&g2).unwrap();
-        let warm2 = solver.solve_templated(&g2).unwrap();
+        let cold2 = solver.solve_fresh(&g2).unwrap();
+        let warm2 = solver.solve(&g2).unwrap();
         assert!((warm2.value - cold2.value).abs() < 1e-9);
         assert_eq!(
-            solver.templates.lock().unwrap().len(),
+            solver.engine().cached_template_count(),
             1,
-            "one topology, one template"
+            "one topology, one plan"
         );
+        // The staged path is the same code path as `solve`.
+        let plan = solver.plan(&g2).unwrap();
+        assert!(plan.cache_hit(), "second plan must hit the cache");
+        let staged = plan.instance(&g2).unwrap().solve().unwrap();
+        assert!((staged.value - warm2.value).abs() < 1e-12);
     }
 
     #[test]
     fn templated_transient_matches_cold_path() {
         let g = generators::fig5a();
-        let mut cfg = AnalogConfig::evaluation(10e9);
-        cfg.build.capacity_mapping = CapacityMapping::Exact;
-        let solver = AnalogMaxFlow::new(cfg);
-        let cold = solver.solve(&g).unwrap();
-        let warm = solver.solve_templated(&g).unwrap();
+        let mut opts = SolveOptions::evaluation(10e9);
+        opts.build.capacity_mapping = CapacityMapping::Exact;
+        let solver = MaxFlowSolver::new(opts);
+        let cold = solver.solve_fresh(&g).unwrap();
+        let warm = solver.solve(&g).unwrap();
         assert!(
             (warm.value - cold.value).abs() < 1e-9,
             "templated {} vs cold {}",
@@ -999,10 +1106,10 @@ mod tests {
             .map(|s| base.scaled_capacities(s).unwrap())
             .collect();
         graphs.push(generators::path(&[5, 2, 9]).unwrap());
-        let solver = AnalogMaxFlow::new(AnalogConfig::ideal());
-        let batch = solver.solve_batch(&graphs);
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let batch = solver.solve_many(graphs.iter().map(Problem::from));
         for (g, r) in graphs.iter().zip(&batch) {
-            let seq = solver.solve(g).unwrap();
+            let seq = solver.solve_fresh(g).unwrap();
             let b = r.as_ref().expect("batch member solves");
             assert!(
                 (b.value - seq.value).abs() < 1e-9,
@@ -1011,18 +1118,18 @@ mod tests {
                 seq.value
             );
         }
-        // Only the repeated topology got a cached template.
-        assert_eq!(solver.templates.lock().unwrap().len(), 1);
+        // Only the repeated topology got a cached plan.
+        assert_eq!(solver.engine().cached_template_count(), 1);
     }
 
     #[test]
     fn faster_gbw_converges_faster() {
         let g = generators::fig5a();
         let run = |gbw: f64| {
-            let mut cfg = AnalogConfig::evaluation(gbw);
-            cfg.build.capacity_mapping = CapacityMapping::Exact;
-            AnalogMaxFlow::new(cfg)
-                .solve(&g)
+            let mut opts = SolveOptions::evaluation(gbw);
+            opts.build.capacity_mapping = CapacityMapping::Exact;
+            MaxFlowSolver::new(opts)
+                .solve_fresh(&g)
                 .unwrap()
                 .convergence_time
                 .unwrap()

@@ -12,8 +12,8 @@
 //! splits every later solve into a cheap value-only *instantiation*:
 //!
 //! * the circuit skeleton is built with one capacity-level source **per
-//!   edge** ([`LevelLayout::PerEdge`]) so the netlist *structure* is a pure
-//!   function of the graph topology — any capacity assignment is a
+//!   edge** (the `PerEdge` level layout) so the netlist *structure* is a
+//!   pure function of the graph topology — any capacity assignment is a
 //!   [`set_source_value`](ohmflow_circuit::Circuit::set_source_value)
 //!   restamp away,
 //! * the MNA structure, base-matrix sparsity and the symbolic + one
@@ -156,15 +156,34 @@ impl SubstrateTemplate {
         params: &SubstrateParams,
         opts: &BuildOptions,
     ) -> Result<Self, AnalogError> {
-        let (skeleton, level_sources) = build_with_layout(g, params, opts, LevelLayout::PerEdge)?;
-        let dc = Arc::new(
-            DcTemplate::with_options(skeleton.circuit(), opts.lu_options())
-                .map_err(AnalogError::from)?,
-        );
+        Self::with_lu_options(g, params, opts, opts.lu_options())
+    }
+
+    /// [`SubstrateTemplate::new`] with the full factorization options made
+    /// explicit — how the facade threads `SolveOptions::lu` (pivoting
+    /// thresholds included, not just the ordering) into the plan's
+    /// symbolic work. `lu.ordering` wins over `opts.lu_ordering` (the
+    /// facade's precedence rule): the stored build options and the
+    /// topology key are normalized to it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubstrateTemplate::new`].
+    pub fn with_lu_options(
+        g: &FlowNetwork,
+        params: &SubstrateParams,
+        opts: &BuildOptions,
+        lu: ohmflow_circuit::LuOptions,
+    ) -> Result<Self, AnalogError> {
+        let mut opts = *opts;
+        opts.lu_ordering = lu.ordering;
+        let (skeleton, level_sources) = build_with_layout(g, params, &opts, LevelLayout::PerEdge)?;
+        let dc =
+            Arc::new(DcTemplate::with_options(skeleton.circuit(), lu).map_err(AnalogError::from)?);
         Ok(SubstrateTemplate {
-            key: TemplateKey::with_ordering(g, opts.lu_ordering),
+            key: TemplateKey::with_ordering(g, lu.ordering),
             params: params.clone(),
-            opts: *opts,
+            opts,
             skeleton,
             level_sources,
             dc,
@@ -267,8 +286,9 @@ impl SubstrateTemplate {
 }
 
 /// `true` if the circuit of every member has the same structure, so one
-/// [`DcTemplate`] derived from the first member serves the whole batch.
-pub(crate) fn uniform_structure(scs: &[SubstrateCircuit]) -> bool {
+/// [`DcTemplate`] derived from the first member serves the whole batch
+/// (the facade's `solve_many` grouping check for built members).
+pub(crate) fn uniform_structure(scs: &[&SubstrateCircuit]) -> bool {
     let Some(first) = scs.first() else {
         return false;
     };

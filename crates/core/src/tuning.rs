@@ -11,7 +11,7 @@
 //! iterating the two steps until the negation error is below a target.
 //! Memristive resistors make the fine-grained modulation possible (§3).
 
-use ohmflow_circuit::{Circuit, DcAnalysis, DcTemplate, ElementId, NodeId, SourceValue};
+use ohmflow_circuit::{Circuit, DcPlan, DcSolver, ElementId, NodeId, SourceValue};
 
 use crate::AnalogError;
 
@@ -44,9 +44,9 @@ pub struct TuningCircuit {
     r3: f64,
     /// Cold-path artifacts built once: the tuning loop re-solves this tiny
     /// circuit ~100 times per outer iteration (bisection on `r1`) with only
-    /// resistor/source *values* changing, which is exactly the template's
+    /// resistor/source *values* changing, which is exactly the plan's
     /// value-only fast path.
-    tpl: Option<DcTemplate>,
+    plan: Option<DcPlan>,
 }
 
 impl TuningCircuit {
@@ -73,7 +73,7 @@ impl TuningCircuit {
         let r3_id = ckt.resistor(p, Circuit::GROUND, -r3);
         // A light load fixes x⁻'s level as in the real widget.
         ckt.resistor(xneg, Circuit::GROUND, 100.0 * r1);
-        let tpl = DcTemplate::new(&ckt).ok();
+        let plan = DcSolver::new().plan(&ckt).ok();
         TuningCircuit {
             ckt,
             xneg,
@@ -83,7 +83,7 @@ impl TuningCircuit {
             r1,
             r2,
             r3,
-            tpl,
+            plan,
         }
     }
 
@@ -91,11 +91,12 @@ impl TuningCircuit {
         self.ckt
             .set_source_value(self.src, SourceValue::dc(vx))
             .expect("source id");
-        let mut analysis = DcAnalysis::new(&self.ckt);
-        if let Some(tpl) = &self.tpl {
-            analysis = analysis.with_template(tpl);
+        let sol = match &self.plan {
+            Some(plan) => plan.solve(&self.ckt),
+            None => DcSolver::new().solve(&self.ckt),
         }
-        let sol = analysis.solve().map_err(AnalogError::from)?;
+        .map_err(AnalogError::from)?
+        .0;
         Ok(sol.voltage(self.xneg))
     }
 

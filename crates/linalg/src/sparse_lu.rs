@@ -984,7 +984,7 @@ impl SparseLu {
 
     /// [`SparseLu::refactor_with`] with explicit scheduling control. The
     /// serial and parallel paths run the identical per-column arithmetic
-    /// ([`refactor_step`]) against the same frozen ordering, pattern and
+    /// (`refactor_step`) against the same frozen ordering, pattern and
     /// pivot sequence, so their results are bit-for-bit equal — the
     /// strategy only chooses how the independent columns of each
     /// elimination level are distributed.
@@ -1275,7 +1275,7 @@ impl SparseLu {
     ///
     /// Unlike a full solve — whose result is structurally dense whenever
     /// the system is irreducible — the forward half *stays* sparse, which
-    /// is what makes Woodbury bookkeeping cheap: [`LowRankUpdate`] stores
+    /// is what makes Woodbury bookkeeping cheap: [`LowRankUpdate`](crate::LowRankUpdate) stores
     /// `ŵ` per rank-1 term and never materializes the dense `A⁻¹ u`.
     ///
     /// # Errors
@@ -1381,7 +1381,7 @@ impl SparseLu {
     /// so no reach is computed — this is a plain backward substitution
     /// seeded by the scattered `s`, skipping only the `O(n)` forward scan
     /// and the RHS permutation of a full [`SparseLu::solve_into`]. This is
-    /// how [`LowRankUpdate`] materializes the dense `zⱼ = A⁻¹ uⱼ` it
+    /// how [`LowRankUpdate`](crate::LowRankUpdate) materializes the dense `zⱼ = A⁻¹ uⱼ` it
     /// axpy-applies per solve, without ever forming a dense right-hand
     /// side.
     ///

@@ -3,7 +3,7 @@
 //! Run with: `cargo run --example dimacs_solver -- path/to/instance.dimacs`
 //! (without an argument, a small built-in instance is solved).
 
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::dimacs;
 use ohmflow_maxflow::{push_relabel, PushRelabelVariant};
 
@@ -38,10 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = push_relabel(&g, PushRelabelVariant::HighestLabel);
     println!("exact max flow (push-relabel): {}", exact.value);
 
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     // Scale the drive with the instance size (§2.3 monotone saturation).
     cfg.params.v_flow = 50.0 * (g.vertex_count() as f64).sqrt().max(1.0);
-    let sol = AnalogMaxFlow::new(cfg).solve(&g)?;
+    let sol = MaxFlowSolver::new(cfg).solve(&g)?;
     println!("analog substrate max flow    : {:.3}", sol.value);
     println!(
         "substrate size: {} nodes, {} elements ({} diodes, {} negative resistors)",

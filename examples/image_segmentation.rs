@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example image_segmentation`
 
 use ohmflow::mincut::cut_from_analog;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::generators::grid;
 use ohmflow_maxflow::min_cut;
 
@@ -21,9 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact = min_cut(&g);
     println!("exact min-cut capacity: {}", exact.capacity);
 
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 400.0; // drive headroom for the larger instance
-    let sol = AnalogMaxFlow::new(cfg).solve(&g)?;
+    let sol = MaxFlowSolver::new(cfg).solve(&g)?;
     println!("analog max-flow value : {:.2}", sol.value);
 
     let cut = cut_from_analog(&g, &sol.edge_flows, 0.25);

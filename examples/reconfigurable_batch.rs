@@ -2,12 +2,17 @@
 //! max-flow instances — program, solve, reprogram — with the §5.2 power
 //! model tracking the energy per solve.
 //!
+//! The software mirror of "one fabric, many programmed instances" is the
+//! staged API: one [`MaxFlowSolver`] whose plan cache amortizes every
+//! topology's cold path, and `solve_many` fanning a whole workload batch
+//! across cores with automatic same-topology grouping.
+//!
 //! Run with: `cargo run --example reconfigurable_batch`
 
 use ohmflow::crossbar::Crossbar;
 use ohmflow::power::PowerModel;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
 use ohmflow::SubstrateParams;
+use ohmflow::{MaxFlowSolver, Problem, SolveOptions};
 use ohmflow_graph::rmat::RmatConfig;
 use ohmflow_maxflow::edmonds_karp;
 
@@ -15,11 +20,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SubstrateParams::table1();
     let mut xbar = Crossbar::new(&params, 64)?;
     let power = PowerModel::paper();
-    let mut cfg = AnalogConfig::ideal();
-    cfg.params.v_flow = 400.0;
-    let solver = AnalogMaxFlow::new(cfg);
+    let mut opts = SolveOptions::ideal();
+    opts.params.v_flow = 400.0;
+    let solver = MaxFlowSolver::new(opts);
 
+    // Three workloads programmed onto one crossbar, solved one by one.
     println!("one 64x64 crossbar, three workloads:");
+    let mut graphs = Vec::new();
     for seed in 0..3u64 {
         let g = RmatConfig::sparse(48, seed).generate()?;
         let report = xbar.program(&g)?;
@@ -37,6 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             power.power_for(&g) * 1e3,
             xbar.utilization() * 100.0
         );
+        graphs.push(g);
     }
+
+    // The same workloads as one batch: `solve_many` groups same-topology
+    // members onto shared plans and fans out across all cores.
+    let batch = solver.solve_many(graphs.iter().map(Problem::from));
+    let total: f64 = batch
+        .into_iter()
+        .map(|r| r.map(|s| s.value))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .sum();
+    println!("batch re-solve of all workloads: total |f| = {total:.1}");
     Ok(())
 }

@@ -5,14 +5,14 @@
 //! Run with: `cargo run --example transient_waveform`
 
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::generators::fig5a;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = fig5a();
-    let mut cfg = AnalogConfig::evaluation(10e9);
+    let mut cfg = SolveOptions::evaluation(10e9);
     cfg.build.capacity_mapping = CapacityMapping::Exact; // volts = flows / 3
-    let sol = AnalogMaxFlow::new(cfg).solve(&g)?;
+    let sol = MaxFlowSolver::new(cfg).solve(&g)?;
     let waves = sol.waveforms.as_ref().expect("transient records waveforms");
 
     println!("convergence time: {:.3e} s", sol.convergence_time.unwrap());

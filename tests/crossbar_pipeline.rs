@@ -8,7 +8,7 @@ use ohmflow::crossbar::Crossbar;
 use ohmflow::decompose::{DecomposeOptions, DualDecomposition};
 use ohmflow::mincut::{cut_from_analog, DualMeshArchitecture};
 use ohmflow::power::{EnergyComparison, PowerModel};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::solver::facade::{MaxFlowSolver, SolveOptions};
 use ohmflow::tuning::TuningCircuit;
 use ohmflow::SubstrateParams;
 use ohmflow_graph::generators;
@@ -20,9 +20,9 @@ use ohmflow_maxflow::min_cut;
 fn program_solve_reprogram_cycle() {
     let params = SubstrateParams::table1();
     let mut xbar = Crossbar::new(&params, 48).unwrap();
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 600.0;
-    let solver = AnalogMaxFlow::new(cfg);
+    let solver = MaxFlowSolver::new(cfg);
 
     let mut last_value = None;
     for seed in 0..3u64 {
@@ -57,9 +57,9 @@ fn dual_readouts_are_consistent() {
     // Max-flow value (primal) == analog-extracted cut (dual certificate)
     // == exact min-cut, end to end.
     let g = generators::grid(4, 4, 5, 8).unwrap();
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 600.0;
-    let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+    let sol = MaxFlowSolver::new(cfg).solve_fresh(&g).unwrap();
     let cut = cut_from_analog(&g, &sol.edge_flows, 0.25);
     let exact = min_cut(&g);
     assert_eq!(cut.capacity, exact.capacity);
@@ -71,7 +71,9 @@ fn dual_mesh_and_primal_substrate_agree() {
     let g = generators::fig5a();
     let mesh = DualMeshArchitecture::new(8).unwrap();
     let dual = mesh.solve(&g, 2_000).unwrap();
-    let sol = AnalogMaxFlow::new(AnalogConfig::ideal()).solve(&g).unwrap();
+    let sol = MaxFlowSolver::new(SolveOptions::ideal())
+        .solve_fresh(&g)
+        .unwrap();
     assert_eq!(dual.rounded_capacity as f64, sol.value.round());
 }
 

@@ -4,15 +4,16 @@
 //! exercises.
 
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, SolveMode};
+use ohmflow::solver::facade::{MaxFlowSolver, SolveOptions};
+use ohmflow::solver::SolveMode;
 use ohmflow_graph::generators;
 use ohmflow_graph::rmat::RmatConfig;
 use ohmflow_maxflow::{dinic, edmonds_karp, push_relabel, PushRelabelVariant};
 
-fn ideal_with_drive(v_flow: f64) -> AnalogMaxFlow {
-    let mut cfg = AnalogConfig::ideal();
+fn ideal_with_drive(v_flow: f64) -> MaxFlowSolver {
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = v_flow;
-    AnalogMaxFlow::new(cfg)
+    MaxFlowSolver::new(cfg)
 }
 
 #[test]
@@ -57,10 +58,10 @@ fn quantized_error_stays_within_paper_envelope() {
     let mut worst = 0.0f64;
     for seed in 0..6 {
         let g = RmatConfig::sparse(28, 70 + seed).generate().unwrap();
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 800.0;
         cfg.build.capacity_mapping = CapacityMapping::Quantized { levels: 20 };
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+        let sol = MaxFlowSolver::new(cfg).solve_fresh(&g).unwrap();
         let exact = edmonds_karp(&g).value as f64;
         let rel = (sol.value - exact).abs() / exact.max(1.0);
         worst = worst.max(rel);
@@ -71,14 +72,14 @@ fn quantized_error_stays_within_paper_envelope() {
 #[test]
 fn transient_and_quasi_static_agree() {
     let g = generators::fig5a();
-    let mut qcfg = AnalogConfig::ideal();
+    let mut qcfg = SolveOptions::ideal();
     qcfg.params.v_flow = 10.0;
-    let q = AnalogMaxFlow::new(qcfg).solve(&g).unwrap();
+    let q = MaxFlowSolver::new(qcfg).solve_fresh(&g).unwrap();
 
-    let mut tcfg = AnalogConfig::evaluation(10e9);
+    let mut tcfg = SolveOptions::evaluation(10e9);
     tcfg.build.capacity_mapping = CapacityMapping::Exact;
     tcfg.params.v_flow = 10.0;
-    let t = AnalogMaxFlow::new(tcfg).solve(&g).unwrap();
+    let t = MaxFlowSolver::new(tcfg).solve_fresh(&g).unwrap();
 
     assert!(
         (q.value - t.value).abs() < 0.05,
@@ -94,9 +95,9 @@ fn gbw_scaling_matches_fig10_trend() {
     // The §5.1 claim: 50 GHz GBW converges ~5x faster than 10 GHz.
     let g = generators::fig5a();
     let run = |gbw: f64| {
-        let mut cfg = AnalogConfig::evaluation(gbw);
+        let mut cfg = SolveOptions::evaluation(gbw);
         cfg.build.capacity_mapping = CapacityMapping::Exact;
-        AnalogMaxFlow::new(cfg)
+        MaxFlowSolver::new(cfg)
             .solve(&g)
             .unwrap()
             .convergence_time
@@ -126,13 +127,13 @@ fn all_cpu_baselines_agree_with_each_other() {
 #[test]
 fn explicit_mode_overrides_work() {
     let g = generators::fig5a();
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 10.0;
     let tau = cfg.params.opamp.time_constant();
     cfg.mode = SolveMode::Transient {
         window: Some(40.0 * tau),
         dt: Some(tau / 30.0),
     };
-    let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+    let sol = MaxFlowSolver::new(cfg).solve_fresh(&g).unwrap();
     assert!((sol.value - 2.0).abs() < 0.05);
 }

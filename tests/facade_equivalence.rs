@@ -1,0 +1,340 @@
+//! Facade equivalence: every deprecated legacy entry point is a thin shim
+//! over the staged `MaxFlowSolver` / `DcSolver` facade, and this suite
+//! pins each pair equivalent at 1e-12 (relative) so the shims can be
+//! deleted in a later PR with confidence. Also audits option precedence:
+//! a plan built under AMD+BTF can never silently fall back to a
+//! differently-ordered fresh factorization.
+#![allow(deprecated)] // the point of this suite is to exercise the shims
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ohmflow::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
+use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow_circuit::{ColumnOrdering, DcSolver, FrozenDcSession, LuOptions};
+use ohmflow_graph::{generators, FlowNetwork};
+
+/// A random small flow network with a guaranteed source→sink spine plus
+/// random chords (same family as the template-agreement suite).
+fn random_graph(rng: &mut StdRng) -> FlowNetwork {
+    let n = rng.gen_range(4..9);
+    let mut g = FlowNetwork::new(n, 0, n - 1).expect("endpoints");
+    for v in 0..n - 1 {
+        g.add_edge(v, v + 1, rng.gen_range(1..=20)).expect("spine");
+    }
+    for _ in 0..rng.gen_range(0..2 * n) {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let _ = g.add_edge(a, b, rng.gen_range(1..=20));
+        }
+    }
+    g
+}
+
+fn assert_solutions_match(a: &ohmflow::AnalogSolution, b: &ohmflow::AnalogSolution, label: &str) {
+    let tol = |r: f64| 1e-12 * r.abs().max(1.0);
+    assert!(
+        (a.value - b.value).abs() < tol(b.value),
+        "{label}: value {} vs {}",
+        a.value,
+        b.value
+    );
+    for (e, (x, y)) in a.edge_flows.iter().zip(&b.edge_flows).enumerate() {
+        assert!((x - y).abs() < tol(*y), "{label}: edge {e} flow {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `AnalogMaxFlow::solve` (fresh cold path) vs `MaxFlowSolver::solve_fresh`.
+    #[test]
+    fn legacy_solve_matches_facade_solve_fresh(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let legacy = AnalogMaxFlow::new(AnalogConfig::ideal())
+            .solve(&g)
+            .expect("legacy solve");
+        let facade = MaxFlowSolver::new(SolveOptions::ideal())
+            .solve_fresh(&g)
+            .expect("facade solve_fresh");
+        assert_solutions_match(&facade, &legacy, "fresh");
+    }
+
+    /// `AnalogMaxFlow::solve_templated` repeat solves vs the facade's
+    /// plan-cached `solve` — including the warm-start repeat behavior.
+    #[test]
+    fn legacy_templated_matches_facade_solve(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let legacy_solver = AnalogMaxFlow::new(AnalogConfig::ideal());
+        let facade_solver = MaxFlowSolver::new(SolveOptions::ideal());
+        for round in 0..3 {
+            let legacy = legacy_solver.solve_templated(&g).expect("legacy templated");
+            let facade = facade_solver.solve(&g).expect("facade solve");
+            assert_solutions_match(&facade, &legacy, &format!("templated round {round}"));
+        }
+    }
+
+    /// `AnalogMaxFlow::solve_batch` vs `MaxFlowSolver::solve_many` on a
+    /// mixed batch (repeated topology + a singleton).
+    #[test]
+    fn legacy_batch_matches_facade_solve_many(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = random_graph(&mut rng);
+        let mut graphs: Vec<FlowNetwork> = (1..=3)
+            .map(|s| base.scaled_capacities(s).expect("scaled"))
+            .collect();
+        graphs.push(random_graph(&mut rng));
+        let legacy_solver = AnalogMaxFlow::new(AnalogConfig::ideal());
+        let facade_solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let legacy = legacy_solver.solve_batch(&graphs);
+        let facade = facade_solver.solve_many(graphs.iter().map(Problem::from));
+        prop_assert_eq!(legacy.len(), facade.len());
+        for (i, (l, f)) in legacy.iter().zip(&facade).enumerate() {
+            let l = l.as_ref().expect("legacy batch member");
+            let f = f.as_ref().expect("facade batch member");
+            assert_solutions_match(f, l, &format!("batch member {i}"));
+        }
+    }
+
+    /// Frozen-DC flip loop: `FrozenDcSession::{new, with_template}` vs
+    /// `DcSolver::session` / the facade `Instance::session`, over a
+    /// deterministic pseudo-random clamp-toggle walk.
+    #[test]
+    fn legacy_sessions_match_facade_sessions(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_graph(&mut rng);
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let plan = solver.plan(&g).expect("plan");
+        let instance = plan.instance(&g).expect("instance");
+        let ckt = instance.substrate().circuit();
+        let n_diodes = ckt.diode_count();
+        assert!(n_diodes > 0, "substrate always carries clamp diodes");
+
+        let mut legacy_cold = FrozenDcSession::new(ckt).expect("legacy cold session");
+        let mut legacy_tpl =
+            FrozenDcSession::with_template(ckt, plan.template().dc_template())
+                .expect("legacy template session");
+        let mut facade_cold = DcSolver::new().session(ckt).expect("facade cold session");
+        let mut facade_session = instance.session().expect("facade session");
+
+        let mut on = vec![false; n_diodes];
+        let mut lcg = seed | 1;
+        for step in 0..40 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let flip = (lcg >> 33) as usize % (n_diodes + 1);
+            if flip < n_diodes {
+                on[flip] = !on[flip];
+            }
+            let t = step as f64 * 1e-9;
+            // Some random clamp configurations are legitimately singular;
+            // all four paths must then agree on failing.
+            let r_legacy = legacy_cold.solve(t, &on);
+            let r_facade = facade_cold.solve(t, &on);
+            prop_assert_eq!(r_legacy.is_ok(), r_facade.is_ok(), "cold step {}", step);
+            let r_legacy_tpl = legacy_tpl.solve(t, &on);
+            let r_facade_tpl = facade_session.solve(t, &on);
+            prop_assert_eq!(
+                r_legacy_tpl.is_ok(),
+                r_facade_tpl.is_ok(),
+                "templated step {}",
+                step
+            );
+            if r_legacy.is_ok() && r_facade.is_ok() {
+                for (u, (a, b)) in facade_cold
+                    .values()
+                    .iter()
+                    .zip(legacy_cold.values())
+                    .enumerate()
+                {
+                    prop_assert!(
+                        (a - b).abs() < 1e-12 * b.abs().max(1.0),
+                        "cold step {step} unknown {u}: {a} vs {b}"
+                    );
+                }
+            }
+            if r_legacy_tpl.is_ok() && r_facade_tpl.is_ok() {
+                for (u, (a, b)) in facade_session
+                    .values()
+                    .iter()
+                    .zip(legacy_tpl.values())
+                    .enumerate()
+                {
+                    prop_assert!(
+                        (a - b).abs() < 1e-12 * b.abs().max(1.0),
+                        "templated step {step} unknown {u}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Transient equivalence on the paper's Fig. 5a: the legacy transient
+/// entry points against their facade replacements.
+#[test]
+fn legacy_transient_paths_match_facade() {
+    let g = generators::fig5a();
+    let mut cfg = AnalogConfig::evaluation(10e9);
+    cfg.build.capacity_mapping = ohmflow::builder::CapacityMapping::Exact;
+    let legacy_solver = AnalogMaxFlow::new(cfg.clone());
+    let facade_solver = MaxFlowSolver::new(SolveOptions::from_config(cfg.clone()));
+
+    let legacy = legacy_solver.solve(&g).expect("legacy transient");
+    let facade = facade_solver.solve_fresh(&g).expect("facade transient");
+    assert!((legacy.value - facade.value).abs() < 1e-12 * legacy.value.abs().max(1.0));
+    let (tl, tf) = (
+        legacy.convergence_time.expect("legacy settles"),
+        facade.convergence_time.expect("facade settles"),
+    );
+    assert!(((tl - tf) / tl).abs() < 1e-12, "settle {tf} vs {tl}");
+
+    // Built-batch: `solve_built_transient_batch` vs `solve_many(Built…)`.
+    let build = ohmflow::builder::BuildOptions {
+        drive: ohmflow::builder::Drive::Step,
+        ..ohmflow::builder::BuildOptions::ideal()
+    };
+    let scs: Vec<_> = (0..3)
+        .map(|_| ohmflow::builder::build(&g, &cfg.params, &build).expect("build"))
+        .collect();
+    let legacy_batch = legacy_solver.solve_built_transient_batch(&scs, &g);
+    let facade_batch = facade_solver.solve_many(scs.iter().map(|sc| Problem::Built {
+        circuit: sc,
+        graph: &g,
+    }));
+    for (i, (l, f)) in legacy_batch.iter().zip(&facade_batch).enumerate() {
+        let (l, f) = (l.as_ref().expect("legacy"), f.as_ref().expect("facade"));
+        assert!(
+            (l.value - f.value).abs() < 1e-12 * l.value.abs().max(1.0),
+            "built member {i}: {} vs {}",
+            f.value,
+            l.value
+        );
+    }
+}
+
+/// `DcAnalysis::solve` vs `DcSolver::solve` on the substrate circuit of a
+/// real instance.
+#[test]
+fn legacy_dc_analysis_matches_dc_solver() {
+    let g = generators::fig15a(40);
+    let solver = MaxFlowSolver::new(SolveOptions::ideal());
+    let instance = solver
+        .plan(&g)
+        .expect("plan")
+        .instance(&g)
+        .expect("instance");
+    let ckt = instance.substrate().circuit();
+    let legacy = ohmflow_circuit::DcAnalysis::new(ckt)
+        .solve()
+        .expect("legacy dc");
+    let (facade, report) = DcSolver::new().solve(ckt).expect("facade dc");
+    assert!(report.iterations >= 1);
+    for (u, (a, b)) in facade.values().iter().zip(legacy.values()).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-12 * b.abs().max(1.0),
+            "unknown {u}: {a} vs {b}"
+        );
+    }
+}
+
+/// Option-precedence audit: a plan built under AMD+BTF can never silently
+/// fall back to a differently-ordered fresh factorization — neither in
+/// the facade's plans, nor in sessions, nor in the cold fallback path of
+/// a mismatched plan (extending the PR 4 "templates remember their
+/// options" guarantee to the facade).
+#[test]
+fn amd_btf_plan_never_falls_back_to_another_ordering() {
+    let g = generators::fig15a(40);
+
+    // Deliberately desynchronize the legacy build-level ordering knob:
+    // SolveOptions::lu must win everywhere.
+    let mut opts = SolveOptions::ideal();
+    opts.build.lu_ordering = ColumnOrdering::Natural;
+    opts.lu.ordering = ColumnOrdering::AmdBtf;
+    // The *full* options must reach the plan's symbolic work, not just
+    // the ordering: strict partial pivoting is observable through
+    // `Plan::lu_options`.
+    opts.lu.pivot_threshold = 1.0;
+    let solver = MaxFlowSolver::new(opts);
+    assert_eq!(
+        solver.options().build.lu_ordering,
+        ColumnOrdering::AmdBtf,
+        "normalization must sync the build ordering to SolveOptions::lu"
+    );
+    let plan = solver.plan(&g).expect("plan");
+    assert_eq!(
+        plan.lu_options().pivot_threshold,
+        1.0,
+        "pivoting thresholds must flow into the plan's factorization"
+    );
+    let report = plan.report();
+    assert_eq!(report.ordering, ColumnOrdering::AmdBtf);
+    assert!(
+        report.block_count > 1,
+        "AMD+BTF on fig15a(40) must decompose into blocks, got {}",
+        report.block_count
+    );
+
+    // Sessions derived from the instance inherit the plan's ordering.
+    let instance = plan.instance(&g).expect("instance");
+    let session = instance.session().expect("session");
+    let sreport = session.report();
+    assert!(sreport.templated, "plan-derived session must ride the plan");
+    assert_eq!(sreport.block_count, report.block_count);
+
+    // A Natural-ordered solver on the same circuit shows the observable
+    // actually discriminates (one monolithic block).
+    let ckt = instance.substrate().circuit();
+    let (_, natural) = DcSolver::new()
+        .lu_options(LuOptions {
+            ordering: ColumnOrdering::Natural,
+            ..LuOptions::default()
+        })
+        .solve(ckt)
+        .expect("natural solve");
+    assert_eq!(natural.block_count, 1, "natural order has no BTF blocks");
+
+    // Circuit-level: a DcPlan whose template does NOT match the solved
+    // circuit falls back to a fresh factorization — which must still run
+    // under the plan's own AMD+BTF options, not some default or caller
+    // ordering.
+    // A genuinely different structure (fig15a only varies capacities on
+    // the same diamond, so a layered graph is used for the mismatch).
+    let g_other = generators::layered(3, 2, 5, 1).expect("layered");
+    let other = solver
+        .plan(&g_other)
+        .expect("plan other")
+        .instance(&g_other)
+        .expect("instance other");
+    let dc_plan = DcSolver::new()
+        .lu_options(LuOptions {
+            ordering: ColumnOrdering::AmdBtf,
+            ..LuOptions::default()
+        })
+        .plan(ckt)
+        .expect("dc plan");
+    assert_eq!(dc_plan.lu_options().ordering, ColumnOrdering::AmdBtf);
+    let mismatched = other.substrate().circuit();
+    assert!(!dc_plan.template().matches(mismatched));
+    let (_, fallback) = dc_plan.solve(mismatched).expect("fallback solve");
+    assert!(!fallback.templated, "mismatch must fall back cold");
+    assert!(
+        fallback.block_count > 1,
+        "cold fallback kept the plan's AMD+BTF ordering (blocks {})",
+        fallback.block_count
+    );
+    let fb_session = dc_plan.session(mismatched).expect("fallback session");
+    let fb_report = fb_session.report();
+    assert!(!fb_report.templated);
+    assert!(
+        fb_report.block_count > 1,
+        "fallback session kept the plan's AMD+BTF ordering (blocks {})",
+        fb_report.block_count
+    );
+}

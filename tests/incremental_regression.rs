@@ -4,15 +4,18 @@
 //! flows and convergence time — on the paper's worked examples.
 
 use ohmflow::builder::CapacityMapping;
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow, RelaxationEngine};
+use ohmflow::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
+use ohmflow::solver::RelaxationEngine;
 use ohmflow::AnalogSolution;
 use ohmflow_graph::FlowNetwork;
 
 fn run(g: &FlowNetwork, engine: RelaxationEngine) -> AnalogSolution {
-    let mut cfg = AnalogConfig::evaluation(10e9);
+    let mut cfg = SolveOptions::evaluation(10e9);
     cfg.build.capacity_mapping = CapacityMapping::Exact;
     cfg.engine = engine;
-    AnalogMaxFlow::new(cfg).solve(g).expect("transient solve")
+    MaxFlowSolver::new(cfg)
+        .solve_fresh(g)
+        .expect("transient solve")
 }
 
 fn assert_engines_agree(g: &FlowNetwork, name: &str) {
@@ -70,15 +73,15 @@ fn incremental_engine_matches_reference_on_fig15a_100() {
 
 #[test]
 fn batch_solve_matches_sequential() {
-    let graphs = vec![
+    let graphs = [
         ohmflow_graph::generators::fig5a(),
         ohmflow_graph::generators::fig15a(100),
         ohmflow_graph::generators::parallel_paths(3, 4).unwrap(),
     ];
-    let mut cfg = AnalogConfig::ideal();
+    let mut cfg = SolveOptions::ideal();
     cfg.params.v_flow = 400.0;
-    let solver = AnalogMaxFlow::new(cfg);
-    let batch = solver.solve_batch(&graphs);
+    let solver = MaxFlowSolver::new(cfg);
+    let batch = solver.solve_many(graphs.iter().map(Problem::from));
     assert_eq!(batch.len(), graphs.len());
     for (g, b) in graphs.iter().zip(batch) {
         let b = b.expect("batch solve");

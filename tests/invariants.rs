@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use ohmflow::quantize::{Quantizer, Rounding};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
+use ohmflow::solver::facade::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::{dimacs, FlowNetwork};
 use ohmflow_linalg::{SparseLu, TripletMatrix};
 use ohmflow_maxflow::{dinic, edmonds_karp, min_cut, push_relabel, PushRelabelVariant};
@@ -57,9 +57,9 @@ proptest! {
     #[test]
     fn analog_solver_is_optimal_and_feasible(g in arb_network(10, 10)) {
         let exact = edmonds_karp(&g).value as f64;
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.params.v_flow = 800.0;
-        let sol = AnalogMaxFlow::new(cfg).solve(&g).unwrap();
+        let sol = MaxFlowSolver::new(cfg).solve_fresh(&g).unwrap();
         // Clamp overshoot scales with the drive current through the
         // conducting diodes (~r_on/r · V_flow), so allow a small absolute
         // floor on top of the relative band.

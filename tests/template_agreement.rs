@@ -8,8 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ohmflow::builder::{BuildOptions, CapacityMapping, NegativeResistorImpl};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
-use ohmflow::SubstrateTemplate;
+use ohmflow::solver::facade::{MaxFlowSolver, SolveOptions};
 use ohmflow_graph::FlowNetwork;
 
 /// A random small flow network with a guaranteed source→sink spine (so the
@@ -71,16 +70,16 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g1 = random_graph(&mut rng);
         let g2 = redraw_capacities(&g1, &mut rng);
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.build = random_build_options(&mut rng);
-        let solver = AnalogMaxFlow::new(cfg);
+        let solver = MaxFlowSolver::new(cfg);
 
-        // Prime the template with the first capacity draw, then solve the
-        // second through it: the template path sees only a value restamp.
-        let cold1 = solver.solve(&g1).expect("cold solve g1");
-        let warm1 = solver.solve_templated(&g1).expect("templated solve g1");
-        let cold2 = solver.solve(&g2).expect("cold solve g2");
-        let warm2 = solver.solve_templated(&g2).expect("templated solve g2");
+        // Prime the plan with the first capacity draw, then solve the
+        // second through it: the plan path sees only a value restamp.
+        let cold1 = solver.solve_fresh(&g1).expect("cold solve g1");
+        let warm1 = solver.solve(&g1).expect("planned solve g1");
+        let cold2 = solver.solve_fresh(&g2).expect("cold solve g2");
+        let warm2 = solver.solve(&g2).expect("planned solve g2");
 
         let tol = |r: f64| 1e-12 * r.abs().max(1.0);
         for (cold, warm, label) in [(&cold1, &warm1, "g1"), (&cold2, &warm2, "g2")] {
@@ -101,19 +100,24 @@ proptest! {
 
     #[test]
     fn instantiate_direct_agrees_with_fresh_build(seed in any::<u64>()) {
-        // The lower-level path: SubstrateTemplate::new + instantiate on a
-        // redrawn capacity vector, solved as a built circuit.
+        // The explicit staged path: one plan, a redrawn capacity vector
+        // instantiated through it, solved as a built circuit.
         let mut rng = StdRng::seed_from_u64(seed);
         let g1 = random_graph(&mut rng);
         let g2 = redraw_capacities(&g1, &mut rng);
-        let mut cfg = AnalogConfig::ideal();
+        let mut cfg = SolveOptions::ideal();
         cfg.build = random_build_options(&mut rng);
-        let solver = AnalogMaxFlow::new(cfg.clone());
+        let solver = MaxFlowSolver::new(cfg);
 
-        let tpl = SubstrateTemplate::new(&g1, &cfg.params, &cfg.build).expect("template");
-        let inst = tpl.instantiate(&g2).expect("instantiate");
-        let warm = solver.solve_instantiated(&inst, &tpl).expect("solve instantiated");
-        let cold = solver.solve(&g2).expect("cold solve");
+        // The staged path: plan g1's topology once, then instantiate the
+        // redrawn capacities through it — value-only work.
+        let plan = solver.plan(&g1).expect("plan");
+        let warm = plan
+            .instance(&g2)
+            .expect("instance")
+            .solve()
+            .expect("instance solve");
+        let cold = solver.solve_fresh(&g2).expect("cold solve");
 
         let tol = |r: f64| 1e-12 * r.abs().max(1.0);
         prop_assert!(
