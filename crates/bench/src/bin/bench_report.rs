@@ -4,15 +4,23 @@
 //! `BENCH_PR3.json` (the PR 3 large-graph scaling story: parallel vs
 //! serial numeric refactorization and reach-based sparse vs dense
 //! triangular solves on rmat1024 / rmat2048 / a DIMACS-roundtripped grid)
-//! and `BENCH_PR4.json` (the PR 4 ordering subsystem: fill, factor,
+//! `BENCH_PR4.json` (the PR 4 ordering subsystem: fill, factor,
 //! refactor and rank-1 solve times under Natural / MinDegree / AMD /
-//! AMD+BTF, plus the BTF block structure), so the repo's perf trajectory
-//! is tracked by artifact instead of anecdote.
+//! AMD+BTF — extended in PR 6 with NestedDissection and the AmdBtfNd
+//! hybrid — plus the BTF block structure), `BENCH_PR5.json` (facade
+//! overhead) and `BENCH_PR6.json` (the KLU-style solve-time off-diagonal
+//! restructure: block-aware sparse rank-1 solves vs dense, and the
+//! rmat128 multi-block numeric-replay tax), so the repo's perf trajectory
+//! is tracked by artifact instead of anecdote. A final pass merges every
+//! `BENCH_PR*.json` in the working directory into `BENCH_TRAJECTORY.json`
+//! keyed by PR number.
 //!
 //! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
 //! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` / `OHMFLOW_BENCH_OUT_PR4`
 //! override the output paths; `OHMFLOW_FULL=1` adds the minutes-long
-//! natural-order factorization of rmat2048.)
+//! natural-order factorization of rmat2048). `bench_report trajectory`
+//! skips the benchmarks and only rebuilds `BENCH_TRAJECTORY.json` from
+//! the report files already on disk.
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::solver::RelaxationEngine;
@@ -28,6 +36,10 @@ use ohmflow_linalg::{
 };
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("trajectory") {
+        trajectory_report();
+        return;
+    }
     let mut entries: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, ns: f64| {
         println!("{name:<44} {:>12.0} ns/op", ns);
@@ -149,6 +161,8 @@ fn main() {
     pr3_report();
     pr4_report();
     pr5_report();
+    pr6_report();
+    trajectory_report();
 }
 
 /// The PR 3 large-graph scaling section: numeric refactorization
@@ -212,11 +226,13 @@ fn pr3_report() {
         // Rank-1 triangular solves over a sample of the substrate's real
         // diode (anode, cathode) unknown pairs. Three variants:
         // `dense` is the old extend path (one full dense `solve_into`);
-        // `sparse` is the pure reach-based half-solve pair (forward +
-        // transposed-backward) — the sparse-RHS primitives' headroom on a
-        // rank-1 RHS; `push_path` is what `LowRankUpdate::push` actually
-        // ships: reach-limited forward half + structurally-dense backward
-        // completion (the apply path needs the dense z).
+        // `sparse` is the production reach-based path — on a multi-block
+        // factor (the PR 6 default) that is the block-aware
+        // `solve_sparse_into` seed-queue solve, on a single-block factor
+        // the pure half-solve pair (forward + transposed-backward);
+        // `push_path` is what `LowRankUpdate::push` actually ships:
+        // `solve_sparse_into` for multi-block, else reach-limited forward
+        // half + structurally-dense backward completion.
         let pairs = diode_unknown_pairs(&sc);
         let sample: Vec<(usize, usize)> = pairs
             .iter()
@@ -224,6 +240,7 @@ fn pr3_report() {
             .copied()
             .collect();
         let lu = &base_lu;
+        let multi = lu.symbolic().block_count() > 1;
         let n = m.cols();
         let mut dense_rhs = vec![0.0; n];
         let (mut work, mut out) = (Vec::new(), Vec::new());
@@ -239,22 +256,33 @@ fn pr3_report() {
         });
         let mut sws = SparseSolveWorkspace::new();
         let (mut what, mut ghat) = (Vec::new(), Vec::new());
+        let mut xs: Vec<f64> = Vec::new();
         let t_sparse = median_ns(3, || {
             for &(a, c) in &sample {
-                lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
-                    .expect("forward");
-                lu.transposed_backward_sparse_into(&[(a, 1.0), (c, -1.0)], &mut sws, &mut ghat)
-                    .expect("transposed backward");
+                if multi {
+                    lu.solve_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut xs)
+                        .expect("sparse solve");
+                } else {
+                    lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                        .expect("forward");
+                    lu.transposed_backward_sparse_into(&[(a, 1.0), (c, -1.0)], &mut sws, &mut ghat)
+                        .expect("transposed backward");
+                }
             }
         });
         let mut back_work = Vec::new();
         let mut z = Vec::new();
         let t_push_path = median_ns(3, || {
             for &(a, c) in &sample {
-                lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
-                    .expect("forward");
-                lu.backward_dense_from_steps(&what, &mut back_work, &mut z)
-                    .expect("backward completion");
+                if multi {
+                    lu.solve_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut z)
+                        .expect("sparse solve");
+                } else {
+                    lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                        .expect("forward");
+                    lu.backward_dense_from_steps(&what, &mut back_work, &mut z)
+                        .expect("backward completion");
+                }
             }
         });
         let per = sample.len() as f64;
@@ -360,11 +388,12 @@ fn pr3_report() {
     println!("wrote {out}");
 }
 
-/// The PR 4 ordering-subsystem section: fill (`nnz(L+U)`), symbolic+numeric
-/// factor time, serial numeric refactor time and the rank-1 reach-based
-/// half-solve pair under Natural / MinDegree / AMD / AMD+BTF on the three
-/// reference substrates, plus the BTF block structure — the tracked numbers
-/// behind the R-MAT dense-tail fix.
+/// The PR 4 ordering-subsystem section: fill (`nnz(L+U+A_off)`),
+/// symbolic+numeric factor time, serial numeric refactor time and the
+/// rank-1 sparse solve under Natural / MinDegree / AMD / AMD+BTF — and,
+/// since PR 6, NestedDissection and the AmdBtfNd hybrid — on the three
+/// reference substrates, plus the BTF block structure — the tracked
+/// numbers behind the R-MAT dense-tail fix.
 ///
 /// Natural order on an R-MAT expander is a dense-tail stress test (~10.5M
 /// fill, ~24 s per factor on rmat1024 here): it runs single-shot on
@@ -387,6 +416,8 @@ fn pr4_report() {
         ("min_degree", ColumnOrdering::MinDegree),
         ("amd", ColumnOrdering::Amd),
         ("amd_btf", ColumnOrdering::AmdBtf),
+        ("nd", ColumnOrdering::NestedDissection),
+        ("amd_btf_nd", ColumnOrdering::AmdBtfNd),
     ];
     for (name, g) in [
         ("rmat1024", fig10_instance(1024, false, 1)),
@@ -394,9 +425,9 @@ fn pr4_report() {
         ("dimacs_grid40", dimacs_grid_instance(40, 50, 7)),
     ] {
         let sc = bench_substrate(&g);
-        // One stamp per instance; the returned default (AMD+BTF) factor is
-        // reused as that ordering's measured cell below instead of being
-        // factored again.
+        // One stamp per instance; the returned default (AmdBtfNd since
+        // PR 6) factor is reused as that ordering's measured cell below
+        // instead of being factored again.
         let (m, btf_lu) = DcSolver::new()
             .lu_options(SparseLuOptions::default())
             .stamp(sc.circuit())
@@ -421,9 +452,10 @@ fn pr4_report() {
             };
             // Fill + factor time. The natural-order factor is measured
             // single-shot; everything else gets a warmed median. The
-            // AMD+BTF cell reuses the factor the instance stamp produced.
-            let (lu, single) = match btf_lu.take_if(|_| ordering == ColumnOrdering::AmdBtf) {
-                Some(lu) => (lu, f64::NAN), // `heavy` is never AmdBtf
+            // default-ordering cell reuses the factor the instance stamp
+            // produced.
+            let (lu, single) = match btf_lu.take_if(|_| ordering == ColumnOrdering::default()) {
+                Some(lu) => (lu, f64::NAN), // `heavy` is never the default
                 None => {
                     let t0 = Instant::now();
                     let lu = SparseLu::factor_with(m, &opts).expect("factor");
@@ -442,7 +474,7 @@ fn pr4_report() {
             );
             fills.push((format!("{name}/{label}"), lu.factor_nnz()));
             println!("{name}/{label}: nnz(L+U) {}", lu.factor_nnz());
-            if ordering == ColumnOrdering::AmdBtf {
+            if lu.symbolic().block_count() > 1 {
                 let sym = lu.symbolic();
                 println!(
                     "{name}/{label}: {} blocks, largest {} of {}",
@@ -450,7 +482,11 @@ fn pr4_report() {
                     sym.largest_block(),
                     sym.dim()
                 );
-                blocks.push((name.to_owned(), sym.block_count(), sym.largest_block()));
+                blocks.push((
+                    format!("{name}/{label}"),
+                    sym.block_count(),
+                    sym.largest_block(),
+                ));
             }
 
             // Serial numeric refactorization (the rebase hot path).
@@ -466,16 +502,29 @@ fn pr4_report() {
                 }),
             );
 
-            // Rank-1 reach-based half-solve pair over real diode RHS pairs
-            // (the PR 3 primitive the dense tail was capping).
+            // Rank-1 sparse solve over real diode RHS pairs (the PR 3
+            // primitive the dense tail was capping). Multi-block factors
+            // route through the block-aware seed-queue solve — the
+            // half-solve identity only holds on single-block factors.
             let mut sws = SparseSolveWorkspace::new();
             let (mut what, mut ghat) = (Vec::new(), Vec::new());
+            let mut xs: Vec<f64> = Vec::new();
+            let multi = lu.symbolic().block_count() > 1;
             let t_sparse = median_ns(if heavy { 1 } else { 3 }, || {
                 for &(a, c) in &sample {
-                    lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
-                        .expect("forward");
-                    lu.transposed_backward_sparse_into(&[(a, 1.0), (c, -1.0)], &mut sws, &mut ghat)
+                    if multi {
+                        lu.solve_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut xs)
+                            .expect("sparse solve");
+                    } else {
+                        lu.forward_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut what)
+                            .expect("forward");
+                        lu.transposed_backward_sparse_into(
+                            &[(a, 1.0), (c, -1.0)],
+                            &mut sws,
+                            &mut ghat,
+                        )
                         .expect("transposed backward");
+                    }
                 }
             });
             push(
@@ -646,4 +695,198 @@ fn pr5_report() {
         std::env::var("OHMFLOW_BENCH_OUT_PR5").unwrap_or_else(|_| "BENCH_PR5.json".to_owned());
     std::fs::write(&out, json).expect("write pr5 bench report");
     println!("wrote {out}");
+}
+
+/// The PR 6 section: the KLU-style restructure. Two tracked stories:
+///
+/// * rmat2048 rank-1 solves under the production factor (AmdBtfNd,
+///   multi-block, off-diagonal entries applied at solve time): the
+///   block-aware seed-queue sparse solve vs one full dense `solve_into`.
+///   Before PR 6 the cross-block U closure densified the backward reach
+///   and the sparse path lost to dense (~0.45x); with U confined to its
+///   block the sparse path must win (>= 1.0x is the acceptance bar).
+/// * rmat128 numeric replay: serial refactor of the multi-block default
+///   vs a single-block AMD factor of the same matrix — the closure tax
+///   the raw `A_off` layout removed (also guarded in `ordering_guard`).
+fn pr6_report() {
+    println!("--- PR6 solve-time off-diagonal blocks ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, ns: f64| {
+        println!("{name:<52} {ns:>14.0} ns/op");
+        entries.push((name, ns));
+    };
+
+    // rmat2048 rank-1: dense full solve vs block-aware sparse solve.
+    {
+        let g = fig10_instance(2048, false, 1);
+        let sc = bench_substrate(&g);
+        let (m, lu) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+        let sym = lu.symbolic();
+        println!(
+            "rmat2048: {} unknowns, {} blocks (largest {}), {} off-diagonal nnz",
+            sym.dim(),
+            sym.block_count(),
+            sym.largest_block(),
+            sym.off_nnz()
+        );
+        let pairs = diode_unknown_pairs(&sc);
+        let sample: Vec<(usize, usize)> = pairs
+            .iter()
+            .step_by((pairs.len() / 64).max(1))
+            .copied()
+            .collect();
+        let n = m.cols();
+        let mut dense_rhs = vec![0.0; n];
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        let t_dense = median_ns(7, || {
+            for &(a, c) in &sample {
+                dense_rhs[a] = 1e3;
+                dense_rhs[c] = -1e3;
+                lu.solve_into(&dense_rhs, &mut work, &mut out)
+                    .expect("solve");
+                dense_rhs[a] = 0.0;
+                dense_rhs[c] = 0.0;
+            }
+        });
+        let mut sws = SparseSolveWorkspace::new();
+        let mut x = Vec::new();
+        let t_sparse = median_ns(7, || {
+            for &(a, c) in &sample {
+                lu.solve_sparse_into(&[(a, 1e3), (c, -1e3)], &mut sws, &mut x)
+                    .expect("sparse solve");
+            }
+        });
+        let per = sample.len() as f64;
+        push("rmat2048/rank1_solve_dense".to_owned(), t_dense / per);
+        push(
+            "rmat2048/rank1_solve_sparse_blockaware".to_owned(),
+            t_sparse / per,
+        );
+    }
+
+    // rmat128 numeric replay: multi-block default vs single-block AMD.
+    {
+        let g = fig10_instance(128, false, 1);
+        let sc = bench_substrate(&g);
+        let (m, lu_blk) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+        let opts = SparseLuOptions {
+            ordering: ColumnOrdering::Amd,
+            ..Default::default()
+        };
+        let lu_amd = SparseLu::factor_with(&m, &opts).expect("amd factor");
+        let mut ws = LuWorkspace::new();
+        for (label, mut lu) in [("multiblock", lu_blk), ("amd", lu_amd)] {
+            push(
+                format!("rmat128/refactor_serial_{label}"),
+                median_ns(15, || {
+                    lu.refactor_with_strategy(&m, &mut ws, RefactorStrategy::Serial)
+                        .expect("refactor")
+                }),
+            );
+        }
+    }
+
+    let get = |key: &str| {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { 0.0 };
+    let sparse_speedup_2048 = ratio(
+        get("rmat2048/rank1_solve_dense"),
+        get("rmat2048/rank1_solve_sparse_blockaware"),
+    );
+    let replay_ratio_128 = ratio(
+        get("rmat128/refactor_serial_multiblock"),
+        get("rmat128/refactor_serial_amd"),
+    );
+    println!("block-aware sparse vs dense rank1 solve (rmat2048): {sparse_speedup_2048:.2}x");
+    println!("multi-block vs AMD replay ratio (rmat128): {replay_ratio_128:.3}");
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr6/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    json.push_str(&format!(
+        "    \"rank1_sparse_vs_dense_solve_rmat2048\": {sparse_speedup_2048:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"multiblock_replay_vs_amd_rmat128\": {replay_ratio_128:.3}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR6").unwrap_or_else(|_| "BENCH_PR6.json".to_owned());
+    std::fs::write(&out, json).expect("write pr6 bench report");
+    println!("wrote {out}");
+}
+
+/// Merge every `BENCH_PR<N>.json` in the working directory into one
+/// `BENCH_TRAJECTORY.json` keyed by PR ("PR2", "PR3", ...), so a single
+/// CI artifact carries the whole perf trajectory. Each per-PR report is
+/// already a JSON object; it is embedded verbatim (re-indented), so the
+/// merge needs no JSON parser.
+fn trajectory_report() {
+    let mut reports: Vec<(u32, String)> = Vec::new();
+    let dir = std::env::current_dir().expect("cwd");
+    for entry in std::fs::read_dir(&dir).expect("read cwd") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let body = std::fs::read_to_string(entry.path()).expect("read bench report");
+        reports.push((num, body));
+    }
+    if reports.is_empty() {
+        println!("no BENCH_PR*.json found; skipping BENCH_TRAJECTORY.json");
+        return;
+    }
+    reports.sort_by_key(|&(num, _)| num);
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-trajectory/1\",\n");
+    json.push_str("  \"reports\": {\n");
+    for (i, (num, body)) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        json.push_str(&format!("    \"PR{num}\": "));
+        let mut lines = body.trim_end().lines();
+        if let Some(first) = lines.next() {
+            json.push_str(first);
+            json.push('\n');
+        }
+        for line in lines {
+            json.push_str("    ");
+            json.push_str(line);
+            json.push('\n');
+        }
+        // The embedded object's closing brace is already indented; attach
+        // the separator on its own to keep the output valid JSON.
+        json.truncate(json.trim_end().len());
+        json.push_str(comma);
+        json.push('\n');
+    }
+    json.push_str("  }\n}\n");
+
+    let out = std::env::var("OHMFLOW_BENCH_OUT_TRAJECTORY")
+        .unwrap_or_else(|_| "BENCH_TRAJECTORY.json".to_owned());
+    std::fs::write(&out, json).expect("write trajectory report");
+    println!(
+        "wrote {out} ({} reports: {})",
+        reports.len(),
+        reports
+            .iter()
+            .map(|(n, _)| format!("PR{n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

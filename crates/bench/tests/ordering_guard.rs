@@ -6,15 +6,28 @@
 //! that silently degrades the quotient-graph degree approximation, the
 //! supervariable merging or the BTF block decomposition shows up here as a
 //! fill jump long before anyone reads `BENCH_PR4.json`.
+//!
+//! PR 6 adds two more tripwires: a nested-dissection ceiling on the
+//! rmat2048 irreducible core (the top-level bisection must produce no
+//! subtree anywhere near the full problem, and the hybrid `AmdBtfNd`
+//! default must not cost fill over plain `AmdBtf`), and an rmat128
+//! numeric-replay check that the KLU-style solve-time `A_off` layout
+//! really removed the ~15–20 % off-diagonal-U closure tax multi-block
+//! refactorization used to pay relative to a single-block AMD factor.
 
-use ohmflow_bench::{bench_substrate, fig10_instance};
+use ohmflow_bench::{bench_substrate, fig10_instance, median_ns};
 use ohmflow_circuit::DcSolver;
-use ohmflow_linalg::{ColumnOrdering, SparseLu, SparseLuOptions};
+use ohmflow_linalg::{
+    nested_dissection_split, ColumnOrdering, LuWorkspace, RefactorStrategy, SparseLu,
+    SparseLuOptions,
+};
 
-/// Recorded AMD fill on this fixture: 267,318 (plain AMD) / 259,774
-/// (AMD+BTF); min-degree produces 272,920 and natural order 10,549,475.
-/// The ceiling leaves ~20 % headroom over the recorded AMD value — enough
-/// for tie-break drift, far below a real quality regression.
+/// Recorded AMD fill on this fixture: 267,318 (plain AMD) / 212,458
+/// (AMD+BTF, off-diagonal block entries held raw since PR 6 instead of
+/// factored into U); min-degree produces 272,920 and natural order
+/// 10,549,475. The ceiling leaves ~20 % headroom over the recorded AMD
+/// value — enough for tie-break drift, far below a real quality
+/// regression.
 const AMD_FILL_CEILING: usize = 320_000;
 
 #[test]
@@ -67,4 +80,124 @@ fn amd_fill_on_rmat1024_stays_below_recorded_ceiling() {
         lu_btf.symbolic().block_count()
     );
     assert!(lu_btf.symbolic().largest_block() < lu_btf.symbolic().dim());
+}
+
+/// PR 6 nested-dissection ceilings on the rmat2048 irreducible core.
+///
+/// The raw top-level bisection (no quality gate — `nested_dissection_split`
+/// reports exactly what the recursion would commit to) must break the
+/// problem: region growing to `n/2` plus the `n/5` balance floor bound the
+/// largest side structurally, so no subtree of the top-level separator
+/// tree may approach the full 26.4k-unknown problem. And the hybrid
+/// `AmdBtfNd` default must do no harm: its fill stays within 5 % of the
+/// plain `AmdBtf` fill it falls back to when the separator gate trips
+/// (recorded: identical, the R-MAT core has no `4√n` cuts).
+#[test]
+fn nd_ceilings_hold_on_rmat2048() {
+    let g = fig10_instance(2048, false, 1);
+    let sc = bench_substrate(&g);
+    let (m, lu_hybrid) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+
+    let split = nested_dissection_split(&m);
+    let n = m.cols();
+    assert_eq!(
+        split.part_a.len() + split.part_b.len() + split.separator.len(),
+        n,
+        "top-level split must partition all {n} unknowns"
+    );
+    let largest = split
+        .part_a
+        .len()
+        .max(split.part_b.len())
+        .max(split.separator.len());
+    assert!(
+        largest < 26_400,
+        "largest top-level ND subtree {largest} of {n} unknowns is not a real split"
+    );
+
+    // Default stamp is AmdBtfNd since PR 6; factor the AmdBtf baseline
+    // explicitly for the do-no-harm fill comparison.
+    let opts = SparseLuOptions {
+        ordering: ColumnOrdering::AmdBtf,
+        ..Default::default()
+    };
+    let lu_btf = SparseLu::factor_with(&m, &opts).expect("amd+btf factor");
+    assert!(
+        lu_hybrid.factor_nnz() * 100 <= lu_btf.factor_nnz() * 105,
+        "AmdBtfNd fill {} exceeds 1.05x AmdBtf fill {}",
+        lu_hybrid.factor_nnz(),
+        lu_btf.factor_nnz()
+    );
+}
+
+/// PR 6 numeric-replay check: multi-block refactorization must no longer
+/// pay the off-diagonal-U closure tax.
+///
+/// Before PR 6, factoring a column of a later BTF block dragged the
+/// `L⁻¹·A_off` closure of every cross-block entry into U, so numeric
+/// replay on the multi-block default ran ~15–20 % slower than a
+/// single-block AMD factor of the same matrix. With off-diagonal entries
+/// stored raw and applied at solve time, the multi-block replay does
+/// strictly fewer floating-point operations than the single-block one
+/// (same within-block work, no closure, smaller fill); it must therefore
+/// land within noise of — not persistently above — the AMD replay. The
+/// 1.15 band is pure timing-noise headroom: reintroducing the closure
+/// puts the ratio back above it.
+#[test]
+fn multiblock_replay_on_rmat128_has_no_closure_tax() {
+    let g = fig10_instance(128, false, 1);
+    let sc = bench_substrate(&g);
+    let (m, lu_hybrid) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+    assert!(
+        lu_hybrid.symbolic().block_count() > 1,
+        "fixture must decompose for the replay comparison to mean anything"
+    );
+    assert!(
+        lu_hybrid.symbolic().off_nnz() > 0,
+        "fixture must have cross-block entries"
+    );
+
+    let opts = SparseLuOptions {
+        ordering: ColumnOrdering::Amd,
+        ..Default::default()
+    };
+    let lu_amd = SparseLu::factor_with(&m, &opts).expect("amd factor");
+    assert_eq!(lu_amd.symbolic().block_count(), 1);
+
+    // Both replays agree with each other on a real RHS before any timing:
+    // the raw-off path must be a performance change, not a numerics one.
+    let nrhs = m.cols();
+    let b: Vec<f64> = (0..nrhs).map(|i| (i % 13) as f64 - 6.0).collect();
+    let (mut work, mut x_blk, mut x_amd) = (Vec::new(), Vec::new(), Vec::new());
+    lu_hybrid
+        .solve_into(&b, &mut work, &mut x_blk)
+        .expect("multi-block solve");
+    lu_amd
+        .solve_into(&b, &mut work, &mut x_amd)
+        .expect("single-block solve");
+    for (i, (a, c)) in x_blk.iter().zip(&x_amd).enumerate() {
+        assert!(
+            (a - c).abs() <= 1e-9 * (1.0 + a.abs().max(c.abs())),
+            "solution mismatch at {i}: {a} vs {c}"
+        );
+    }
+
+    let mut ws = LuWorkspace::new();
+    let mut lu_hybrid = lu_hybrid;
+    let mut lu_amd = lu_amd;
+    let mut replay = |lu: &mut SparseLu| {
+        median_ns(15, || {
+            lu.refactor_with_strategy(&m, &mut ws, RefactorStrategy::Serial)
+                .expect("refactor")
+        })
+    };
+    replay(&mut lu_hybrid); // warm caches + workspace before either timing
+    replay(&mut lu_amd);
+    let t_blk = replay(&mut lu_hybrid);
+    let t_amd = replay(&mut lu_amd);
+    assert!(
+        t_blk <= t_amd * 1.15,
+        "multi-block replay {t_blk:.0} ns vs single-block AMD {t_amd:.0} ns: \
+         the off-diagonal closure tax is back"
+    );
 }

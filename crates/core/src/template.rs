@@ -50,8 +50,15 @@ use crate::AnalogError;
 /// netlist *structure* depends on, and nothing it does not (capacities and
 /// source values are excluded). Two graphs with equal keys can share one
 /// [`SubstrateTemplate`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TemplateKey {
+    /// Fingerprint of the fields below, computed once at construction.
+    /// First field on purpose: the derived `PartialEq` compares it before
+    /// the edge list, so cache probes against a *different* topology
+    /// reject on one `u64` instead of walking the edges, and `Hash`
+    /// (manual, below) writes only this — plan-cache hits stop re-hashing
+    /// the whole edge list on every lookup.
+    hash: u64,
     vertices: usize,
     source: usize,
     sink: usize,
@@ -74,17 +81,39 @@ impl TemplateKey {
     /// The key of `g` under an explicit column ordering (what
     /// [`BuildOptions::lu_ordering`](crate::builder::BuildOptions) selects).
     pub fn with_ordering(g: &FlowNetwork, ordering: ohmflow_circuit::ColumnOrdering) -> Self {
+        use std::hash::{Hash as _, Hasher as _};
+        let vertices = g.vertex_count();
+        let source = g.source();
+        let sink = g.sink();
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.from as u32, e.to as u32))
+            .collect();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        vertices.hash(&mut h);
+        source.hash(&mut h);
+        sink.hash(&mut h);
+        edges.hash(&mut h);
+        ordering.hash(&mut h);
         TemplateKey {
-            vertices: g.vertex_count(),
-            source: g.source(),
-            sink: g.sink(),
-            edges: g
-                .edges()
-                .iter()
-                .map(|e| (e.from as u32, e.to as u32))
-                .collect(),
+            hash: h.finish(),
+            vertices,
+            source,
+            sink,
+            edges,
             ordering,
         }
+    }
+}
+
+/// Hashes only the cached fingerprint: the expensive edge-list traversal
+/// happened once in [`TemplateKey::with_ordering`]. Consistent with the
+/// derived `PartialEq` — equal keys have equal cached hashes because the
+/// fingerprint is a pure function of the compared fields.
+impl std::hash::Hash for TemplateKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
     }
 }
 

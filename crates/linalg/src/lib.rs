@@ -12,9 +12,14 @@
 //!   compressed storage,
 //! * [`SparseLu`], a left-looking Gilbert–Peierls LU with partial pivoting,
 //!   ordered by default through a block-triangular permutation (maximum
-//!   transversal + Tarjan SCC, [`block_triangular_form`]) with a true
-//!   quotient-graph approximate-minimum-degree ordering per diagonal block
-//!   ([`amd_ordering`]), plus a KLU-style numeric-only
+//!   transversal + Tarjan SCC, [`block_triangular_form`]) with a hybrid
+//!   per-block ordering — nested dissection
+//!   ([`nested_dissection_ordering`]) on large diagonal blocks, a true
+//!   quotient-graph approximate minimum degree ([`amd_ordering`]) on small
+//!   ones ([`amd_btf_nd_ordering`]). Each diagonal block factors
+//!   independently, KLU-style: cross-block entries are kept as raw matrix
+//!   values applied during substitution rather than folded into `U`.
+//!   Alongside sits a KLU-style numeric-only
 //!   [`SparseLu::refactor`] path reusing the ordering, symbolic
 //!   pattern and pivot sequence for value-only matrix changes. The
 //!   factorization is split into an immutable, `Arc`-shared [`SymbolicLu`]
@@ -65,8 +70,9 @@ pub use dense::{DenseLu, DenseMatrix};
 pub use error::LinalgError;
 pub use lowrank::LowRankUpdate;
 pub use ordering::{
-    amd_btf_ordering, amd_ordering, block_triangular_form, maximum_transversal,
-    min_degree_ordering, reverse_cuthill_mckee, BlockOrdering, BtfStructure,
+    amd_btf_nd_ordering, amd_btf_ordering, amd_ordering, block_triangular_form,
+    maximum_transversal, min_degree_ordering, nested_dissection_ordering, nested_dissection_split,
+    reverse_cuthill_mckee, BlockOrdering, BtfStructure, NdSplit, ND_BLOCK_CUTOFF,
 };
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 pub use sparse_lu::{

@@ -15,6 +15,9 @@
 //! backward half completes it
 //! ([`SparseLu::backward_dense_from_steps`]) — no dense right-hand side
 //! is ever formed and the push loop allocates only the stored `zᵢ`.
+//! Multi-block (BTF) factorizations route through the block-aware
+//! [`SparseLu::solve_sparse_into`] instead, which chains the per-block
+//! reaches through the raw cross-block values.
 //! The capacitance matrix `C = I + Vᵀ Z` is rebuilt from the sparse `vᵢ`
 //! against the dense `zⱼ`, and each solve's correction stays the cheap
 //! streaming form `out -= Σⱼ yⱼ zⱼ` (the solution is dense, so a dense
@@ -150,6 +153,12 @@ impl LowRankUpdate {
                 self.back_buf[i] += val;
             }
             base.solve_into(&self.back_buf, &mut self.work_buf, &mut z)?;
+        } else if base.symbolic().block_count() > 1 {
+            // Multi-block factorization: the half-solves cover only the
+            // block-diagonal factor (cross-block coupling lives in the
+            // raw A_off applied at solve time), so route through the
+            // block-aware sparse solve — still reach-based per block.
+            base.solve_sparse_into(u, &mut self.solve_ws, &mut z)?;
         } else {
             base.forward_sparse_into(u, &mut self.solve_ws, &mut self.what_buf)?;
             base.backward_dense_from_steps(&self.what_buf, &mut self.back_buf, &mut z)?;

@@ -383,12 +383,15 @@ fn arb_pattern(max_n: usize) -> impl Strategy<Value = TripletMatrix> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// AMD and AMD+BTF must produce valid permutations on arbitrary
-    /// patterns — random, disconnected, structurally singular — and the
-    /// BTF block pointers must partition the steps.
+    /// AMD, AMD+BTF, nested dissection and the AMD+BTF+ND hybrid must
+    /// produce valid permutations on arbitrary patterns — random,
+    /// disconnected, structurally singular — and the BTF block pointers
+    /// must partition the steps.
     #[test]
     fn amd_and_btf_orderings_are_valid_permutations(t in arb_pattern(40)) {
-        use ohmflow_linalg::{amd_btf_ordering, amd_ordering};
+        use ohmflow_linalg::{
+            amd_btf_nd_ordering, amd_btf_ordering, amd_ordering, nested_dissection_ordering,
+        };
         let csc = t.to_csc();
         let n = csc.cols();
 
@@ -405,13 +408,49 @@ proptest! {
         };
         let amd = amd_ordering(&csc);
         prop_assert!(is_perm(&amd), "AMD not a permutation: {:?}", amd);
+        let nd = nested_dissection_ordering(&csc);
+        prop_assert!(is_perm(&nd), "ND not a permutation: {:?}", nd);
 
-        let block = amd_btf_ordering(&csc);
-        prop_assert!(is_perm(&block.perm), "AMD+BTF not a permutation: {:?}", block.perm);
-        prop_assert_eq!(block.diag_rows.len(), n);
-        prop_assert_eq!(*block.block_ptr.first().unwrap(), 0);
-        prop_assert_eq!(*block.block_ptr.last().unwrap(), n);
-        prop_assert!(block.block_ptr.windows(2).all(|w| w[0] < w[1]));
+        for block in [amd_btf_ordering(&csc), amd_btf_nd_ordering(&csc)] {
+            prop_assert!(is_perm(&block.perm), "block ordering not a permutation: {:?}", block.perm);
+            prop_assert_eq!(block.diag_rows.len(), n);
+            prop_assert_eq!(*block.block_ptr.first().unwrap(), 0);
+            prop_assert_eq!(*block.block_ptr.last().unwrap(), n);
+            prop_assert!(block.block_ptr.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// The top-level nested-dissection split must partition the vertices,
+    /// and the separator must actually separate: no symmetrized-pattern
+    /// entry may couple `part_a` and `part_b` directly.
+    #[test]
+    fn nd_split_separates_on_arbitrary_patterns(t in arb_pattern(60)) {
+        use ohmflow_linalg::nested_dissection_split;
+        let csc = t.to_csc();
+        let n = csc.cols();
+        let split = nested_dissection_split(&csc);
+        prop_assert_eq!(
+            split.part_a.len() + split.part_b.len() + split.separator.len(),
+            n
+        );
+        let mut claimed = vec![0u8; n];
+        for (tag, set) in [(1u8, &split.part_a), (2, &split.part_b), (3, &split.separator)] {
+            for &v in set {
+                prop_assert!(v < n && claimed[v] == 0, "vertex {} claimed twice", v);
+                claimed[v] = tag;
+            }
+        }
+        // Symmetrized adjacency: checking both column directions covers
+        // entries of either triangle.
+        for c in 0..n {
+            for (r, _) in csc.col(c) {
+                let (a, b) = (claimed[r], claimed[c]);
+                prop_assert!(
+                    !((a == 1 && b == 2) || (a == 2 && b == 1)),
+                    "entry ({}, {}) couples the two parts", r, c
+                );
+            }
+        }
     }
 }
 
@@ -436,6 +475,8 @@ proptest! {
             ColumnOrdering::Rcm,
             ColumnOrdering::Amd,
             ColumnOrdering::AmdBtf,
+            ColumnOrdering::NestedDissection,
+            ColumnOrdering::AmdBtfNd,
         ] {
             let opts = SparseLuOptions { ordering, ..Default::default() };
             let x = SparseLu::factor_with(&csc, &opts).unwrap().solve(&b).unwrap();
@@ -448,39 +489,49 @@ proptest! {
         }
     }
 
-    /// Under the AMD+BTF ordering the factorization must respect the block
-    /// structure: no `L` entry may cross below its diagonal block, and `U`
-    /// entries may only reach equal-or-earlier blocks (block upper
-    /// triangular). Refactoring with new same-pattern values preserves it.
+    /// Under the block orderings each diagonal block factors
+    /// independently: **neither** `L` nor `U` may cross its diagonal
+    /// block, and every raw cross-block (`A_off`) entry must target a row
+    /// pivoted in a strictly earlier block. Refactoring with new
+    /// same-pattern values preserves it.
     #[test]
     fn btf_factor_never_crosses_block_boundaries((t, _b) in arb_system(28)) {
         let csc = t.to_csc();
-        let opts = SparseLuOptions { ordering: ColumnOrdering::AmdBtf, ..Default::default() };
-        let mut lu = SparseLu::factor_with(&csc, &opts).unwrap();
-        lu.refactor(&same_pattern_variant(&csc)).unwrap();
-        let sym = lu.symbolic();
-        let n = sym.dim();
+        for ordering in [ColumnOrdering::AmdBtf, ColumnOrdering::AmdBtfNd] {
+            let opts = SparseLuOptions { ordering, ..Default::default() };
+            let mut lu = SparseLu::factor_with(&csc, &opts).unwrap();
+            lu.refactor(&same_pattern_variant(&csc)).unwrap();
+            let sym = lu.symbolic();
+            let n = sym.dim();
 
-        // Step -> block index.
-        let mut block_of = vec![0usize; n];
-        for t_blk in 0..sym.block_count() {
-            for s in sym.block_range(t_blk) {
-                block_of[s] = t_blk;
+            // Step -> block index.
+            let mut block_of = vec![0usize; n];
+            for t_blk in 0..sym.block_count() {
+                for s in sym.block_range(t_blk) {
+                    block_of[s] = t_blk;
+                }
             }
-        }
-        for k in 0..n {
-            for &row in sym.l_column_rows(k) {
-                let step = sym.pivot_step_of_row(row);
-                prop_assert_eq!(
-                    block_of[step], block_of[k],
-                    "L entry of step {} (row {}, step {}) crosses blocks", k, row, step
-                );
-            }
-            for &s in sym.u_column_steps(k) {
-                prop_assert!(
-                    block_of[s] <= block_of[k],
-                    "U entry of step {} reaches later block {}", k, block_of[s]
-                );
+            for k in 0..n {
+                for &row in sym.l_column_rows(k) {
+                    let step = sym.pivot_step_of_row(row);
+                    prop_assert_eq!(
+                        block_of[step], block_of[k],
+                        "L entry of step {} (row {}, step {}) crosses blocks", k, row, step
+                    );
+                }
+                for &s in sym.u_column_steps(k) {
+                    prop_assert_eq!(
+                        block_of[s], block_of[k],
+                        "U entry of step {} escapes to block {}", k, block_of[s]
+                    );
+                }
+                for &row in sym.off_column_rows(k) {
+                    let step = sym.pivot_step_of_row(row);
+                    prop_assert!(
+                        block_of[step] < block_of[k],
+                        "off entry of step {} (row {}) not in an earlier block", k, row
+                    );
+                }
             }
         }
     }
