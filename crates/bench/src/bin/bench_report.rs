@@ -8,9 +8,12 @@
 //! refactor and rank-1 solve times under Natural / MinDegree / AMD /
 //! AMD+BTF — extended in PR 6 with NestedDissection and the AmdBtfNd
 //! hybrid — plus the BTF block structure), `BENCH_PR5.json` (facade
-//! overhead) and `BENCH_PR6.json` (the KLU-style solve-time off-diagonal
+//! overhead), `BENCH_PR6.json` (the KLU-style solve-time off-diagonal
 //! restructure: block-aware sparse rank-1 solves vs dense, and the
-//! rmat128 multi-block numeric-replay tax), so the repo's perf trajectory
+//! rmat128 multi-block numeric-replay tax) and `BENCH_PR7.json` (the
+//! supernodal blocked kernels vs the scalar replay, `f64` vs the
+//! `F32Refined` storage precision, the detected supernode structure and
+//! the mixed-precision 1e-9 accuracy gate), so the repo's perf trajectory
 //! is tracked by artifact instead of anecdote. A final pass merges every
 //! `BENCH_PR*.json` in the working directory into `BENCH_TRAJECTORY.json`
 //! keyed by PR number.
@@ -162,6 +165,7 @@ fn main() {
     pr4_report();
     pr5_report();
     pr6_report();
+    pr7_report();
     trajectory_report();
 }
 
@@ -823,6 +827,188 @@ fn pr6_report() {
     let out =
         std::env::var("OHMFLOW_BENCH_OUT_PR6").unwrap_or_else(|_| "BENCH_PR6.json".to_owned());
     std::fs::write(&out, json).expect("write pr6 bench report");
+    println!("wrote {out}");
+}
+
+/// The PR 7 supernodal / mixed-precision section: numeric refactorization
+/// under the scalar per-column replay vs the supernodal blocked kernels
+/// (same pivot sequence — a pure kernel comparison), and the `f64` vs
+/// `F32Refined` storage precisions, on the three substrate MNA matrices.
+/// Every case also reports the detected supernode structure and checks
+/// the mixed-precision accuracy gate (refined `f32` solve within 1e-9 of
+/// the `f64` solve) so a conditioning regression fails loudly here before
+/// it fails in CI.
+fn pr7_report() {
+    use ohmflow_linalg::{vecops, Precision};
+
+    println!("--- PR7 supernodal kernels + mixed precision ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut gates: Vec<(String, f64)> = Vec::new();
+    let mut structure: Vec<String> = Vec::new();
+
+    let substrates: Vec<(&str, ohmflow_graph::FlowNetwork)> = vec![
+        ("rmat1024", fig10_instance(1024, false, 1)),
+        ("rmat2048", fig10_instance(2048, false, 1)),
+        ("dimacs_grid40", dimacs_grid_instance(40, 64, 7)),
+    ];
+    for (name, g) in &substrates {
+        let sc = bench_substrate(g);
+        let (m, lu) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+        let stats = lu
+            .symbolic()
+            .supernode_stats()
+            .expect("default options detect supernodes");
+        println!(
+            "{name}: {} unknowns, {} supernodes ({} multi-column, mean width {:.1}, max {})",
+            lu.symbolic().dim(),
+            stats.supernodes,
+            stats.multi,
+            stats.mean_width,
+            stats.max_width
+        );
+        structure.push(format!(
+            "    \"{name}\": {{ \"unknowns\": {}, \"supernodes\": {}, \"multi\": {}, \
+             \"covered_steps\": {}, \"mean_width\": {:.2}, \"max_width\": {} }}",
+            lu.symbolic().dim(),
+            stats.supernodes,
+            stats.multi,
+            stats.covered_steps,
+            stats.mean_width,
+            stats.max_width
+        ));
+
+        let mut push = |key: String, ns: f64| {
+            println!("{key:<52} {ns:>14.0} ns/op");
+            entries.push((key, ns));
+        };
+        let mut ws = LuWorkspace::new();
+
+        // Factorization (pivoting cold path — always f64 pivot search).
+        push(
+            format!("{name}/factor_f64"),
+            median_ns(3, || SparseLu::factor(&m).expect("factor")),
+        );
+
+        // Numeric replay: scalar oracle vs blocked kernels, then the
+        // blocked kernels on the narrow factor. All serial, same pivots.
+        let scalar_opts = SparseLuOptions {
+            supernodal: false,
+            ..SparseLuOptions::default()
+        };
+        let mut lu_scalar = SparseLu::factor_with(&m, &scalar_opts).expect("scalar factor");
+        let t_scalar = median_ns(7, || {
+            lu_scalar
+                .refactor_with_strategy(&m, &mut ws, RefactorStrategy::Serial)
+                .expect("scalar refactor")
+        });
+        push(format!("{name}/refactor_scalar_f64"), t_scalar);
+
+        let mut lu_sn = lu.clone();
+        let t_sn = median_ns(7, || {
+            lu_sn
+                .refactor_with_strategy(&m, &mut ws, RefactorStrategy::Serial)
+                .expect("supernodal refactor")
+        });
+        push(format!("{name}/refactor_supernodal_f64"), t_sn);
+
+        let f32_opts = SparseLuOptions {
+            precision: Precision::F32Refined,
+            ..SparseLuOptions::default()
+        };
+        let mut lu_f32 = SparseLu::factor_with(&m, &f32_opts).expect("f32 factor");
+        let t_sn32 = median_ns(7, || {
+            lu_f32
+                .refactor_with_strategy(&m, &mut ws, RefactorStrategy::Serial)
+                .expect("f32 refactor")
+        });
+        push(format!("{name}/refactor_supernodal_f32"), t_sn32);
+
+        // Triangular solves: bare f64, then the refined solves both
+        // precisions ship in production (the DC layer always polishes
+        // with at least one residual-correction step; the narrow factor
+        // loops until it has bought its digits back).
+        let b = vec![1.0; m.cols()];
+        let (mut work, mut x64) = (Vec::new(), Vec::new());
+        let t_solve64 = median_ns(7, || {
+            lu_sn.solve_into(&b, &mut work, &mut x64).expect("solve")
+        });
+        push(format!("{name}/solve_f64"), t_solve64);
+        let mut x64r = Vec::new();
+        let t_solve64r = median_ns(7, || {
+            lu_sn
+                .solve_refined_with(&m, &b, &mut ws, &mut x64r)
+                .expect("refined f64 solve")
+        });
+        push(format!("{name}/solve_refined_f64"), t_solve64r);
+        let mut x32 = Vec::new();
+        let t_solve32 = median_ns(7, || {
+            lu_f32
+                .solve_refined_with(&m, &b, &mut ws, &mut x32)
+                .expect("refined f32 solve")
+        });
+        push(format!("{name}/solve_refined_f32"), t_solve32);
+
+        // The 1e-9 accuracy gate the mixed-precision path must hold
+        // against the f64 pipeline's answer. (The *bare* f64 solve is the
+        // wrong baseline: on these stamps its own error is ~1e-8 — the
+        // refined f32 solve carries a smaller residual than it does.)
+        let err = x32
+            .iter()
+            .zip(&x64r)
+            .map(|(a, b)| vecops::rel_diff(*a, *b))
+            .fold(0.0f64, f64::max);
+        println!("{name}: refined f32 vs refined f64 solve rel diff {err:.3e}");
+        assert!(
+            err < 1e-9,
+            "{name}: mixed-precision accuracy gate failed: {err:.3e}"
+        );
+        gates.push((format!("{name}/f32_vs_f64_refined_solve_rel_diff"), err));
+
+        // Headline ratios: blocked vs scalar kernels at equal precision,
+        // and the full mixed pipeline (refactor + solve) against the
+        // scalar f64 pipeline (the pre-PR default) and against the
+        // supernodal f64 pipeline (precision in isolation).
+        speedups.push((
+            format!("supernodal_vs_scalar_refactor_{name}"),
+            t_scalar / t_sn,
+        ));
+        speedups.push((
+            format!("f32_pipeline_vs_f64_scalar_pipeline_{name}"),
+            (t_scalar + t_solve64r) / (t_sn32 + t_solve32),
+        ));
+        speedups.push((
+            format!("f32_pipeline_vs_f64_supernodal_pipeline_{name}"),
+            (t_sn + t_solve64r) / (t_sn32 + t_solve32),
+        ));
+    }
+    for (k, v) in &speedups {
+        println!("{k}: {v:.2}x");
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr7/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"supernodes\": {\n");
+    json.push_str(&structure.join(",\n"));
+    json.push_str("\n  },\n  \"accuracy\": {\n");
+    for (i, (name, err)) in gates.iter().enumerate() {
+        let comma = if i + 1 < gates.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {err:.3e}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR7").unwrap_or_else(|_| "BENCH_PR7.json".to_owned());
+    std::fs::write(&out, json).expect("write pr7 bench report");
     println!("wrote {out}");
 }
 

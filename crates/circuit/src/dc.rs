@@ -2,7 +2,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ohmflow_linalg::{
-    CscMatrix, LowRankUpdate, LuWorkspace, RefactorStrategy, SparseLu, SymbolicLu,
+    vecops, CscMatrix, LowRankUpdate, LuWorkspace, Precision, RefactorStrategy, SparseLu,
+    SymbolicLu,
 };
 
 use crate::LuOptions;
@@ -351,22 +352,26 @@ pub(crate) fn run_dc(req: &DcRequest<'_>) -> Result<(DcSolution, SolveReport), C
         }
         Err(e) => return Err(e),
     };
-    // One step of iterative refinement against the converged stamp
-    // (carried in the factor cache — no re-stamping). Besides
-    // tightening every DC result, this is what makes the template and
-    // cold paths — which factor *different but electrically
-    // equivalent* systems — agree to the conditioning floor instead of
-    // the (much looser) raw-factorization error.
+    // Iterative refinement against the converged stamp (carried in the
+    // factor cache — no re-stamping). Besides tightening every DC
+    // result, this is what makes the template and cold paths — which
+    // factor *different but electrically equivalent* systems — agree to
+    // the conditioning floor instead of the (much looser)
+    // raw-factorization error. An `F64` factor keeps the historical
+    // single unconditional step; an `F32Refined` factor loops — each
+    // step recovers the digits the narrow factor lacks, and the f64
+    // residual drives the error to the same 1e-9 gates — stopping when
+    // the residual is at the noise floor or no longer shrinking.
+    let mut refinements = 0usize;
     if let Some((cached_states, lu, m)) = &cache {
         if *cached_states == states {
             let b = mna::stamp_rhs(ckt, &st, &states, t, StampMode::Dc, None, req.pre_step);
-            let ax = m.mul_vec(&x);
-            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-            if let Ok(dx) = lu.solve(&r) {
-                for (xi, di) in x.iter_mut().zip(&dx) {
-                    *xi += di;
-                }
-            }
+            let max_steps = match lu.symbolic().precision() {
+                Precision::F64 => 1,
+                Precision::F32Refined => 6,
+            };
+            let (mut work, mut r, mut dx) = (Vec::new(), Vec::new(), Vec::new());
+            refinements = mna::refine_f64(lu, m, &b, &mut x, &mut work, &mut r, &mut dx, max_steps);
         }
     }
     let report = SolveReport {
@@ -376,6 +381,7 @@ pub(crate) fn run_dc(req: &DcRequest<'_>) -> Result<(DcSolution, SolveReport), C
             .as_ref()
             .map_or(0, |(_, lu, _)| lu.symbolic().block_count()),
         templated,
+        refinements,
         phases: None,
     };
     Ok((
@@ -409,6 +415,13 @@ pub struct SolveReport {
     pub block_count: usize,
     /// Whether the solve rode a template's shared symbolic plan.
     pub templated: bool,
+    /// Iterative-refinement steps applied after the linear solves: 1 for
+    /// the standard `F64` post-solve polish, higher when an
+    /// [`Precision::F32Refined`] factor loops the residual correction to
+    /// reach f64 accuracy, 0 when no refinement ran (cold cache). A jump
+    /// in this count is the observable symptom of a conditioning
+    /// regression under reduced precision.
+    pub refinements: usize,
     /// Per-phase wall-clock attribution (sessions with
     /// [`DcSolver::phase_timing`] enabled only).
     pub phases: Option<FrozenDcPhases>,
@@ -949,6 +962,9 @@ pub struct FrozenDcSession<'c> {
     dx: Vec<f64>,
     /// Scratch for numeric refactorizations (rebases stay allocation-free).
     lu_ws: LuWorkspace,
+    /// Iterative-refinement steps applied so far (surfaced through
+    /// [`FrozenDcSession::report`]).
+    refinements: usize,
     stats: FrozenDcStats,
     /// Phase timing is opt-in ([`FrozenDcSession::with_phase_timing`]):
     /// clock reads cost tens of nanoseconds, which is real money on small
@@ -1100,6 +1116,7 @@ impl<'c> FrozenDcSession<'c> {
             resid: Vec::with_capacity(n),
             dx: Vec::with_capacity(n),
             lu_ws: LuWorkspace::new(),
+            refinements: 0,
             stats,
             phase_timing: false,
             phases: FrozenDcPhases::default(),
@@ -1320,6 +1337,12 @@ impl<'c> FrozenDcSession<'c> {
             self.phases.solve_ns += t0.elapsed().as_nanos() as u64;
         }
         if self.update.is_empty() {
+            // No Woodbury terms outstanding: an `F64` factor's bare solve
+            // is already at the conditioning floor, but an `F32Refined`
+            // factor needs the f64 residual loop to buy its digits back.
+            if self.lu.symbolic().precision() == Precision::F32Refined {
+                self.refine_base()?;
+            }
             return Ok(());
         }
         let t0 = self.clock();
@@ -1343,8 +1366,69 @@ impl<'c> FrozenDcSession<'c> {
         for (x, d) in self.x.iter_mut().zip(&self.dx) {
             *x += d;
         }
+        self.refinements += 1;
         if let Some(t0) = t0 {
             self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
+        }
+        if self.lu.symbolic().precision() == Precision::F32Refined {
+            // The single Woodbury-corrected step above assumed an
+            // f64-accurate base solve; under a narrow factor, keep
+            // iterating the same corrected residual cycle.
+            let t0 = self.clock();
+            let bnorm = vecops::norm_inf(&self.rhs);
+            let mut prev = f64::INFINITY;
+            for _ in 0..4 {
+                self.base_csc.mul_vec_into(&self.x, &mut self.resid);
+                self.update.accumulate_matvec(&self.x, &mut self.resid);
+                for (r, b) in self.resid.iter_mut().zip(&self.rhs) {
+                    *r = b - *r;
+                }
+                let rnorm = vecops::norm_inf(&self.resid);
+                if rnorm <= f64::EPSILON * (1.0 + bnorm) || rnorm >= 0.5 * prev {
+                    break;
+                }
+                prev = rnorm;
+                self.lu
+                    .solve_into(&self.resid, &mut self.work, &mut self.dx)?;
+                self.update.correct(&self.lu, &mut self.dx)?;
+                for (x, d) in self.x.iter_mut().zip(&self.dx) {
+                    *x += d;
+                }
+                self.refinements += 1;
+            }
+            if let Some(t0) = t0 {
+                self.phases.solve_ns += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `F32Refined` residual-correction loop against the base factor
+    /// (no Woodbury terms): f64 residuals against the exact stamped
+    /// matrix recover full double accuracy from the narrow factor, with
+    /// the same stopping rule as the operating-point path — noise floor
+    /// or stagnation.
+    fn refine_base(&mut self) -> Result<(), CircuitError> {
+        let t0 = self.clock();
+        let bnorm = vecops::norm_inf(&self.rhs);
+        let mut prev = f64::INFINITY;
+        for _ in 0..5 {
+            self.base_csc.mul_vec_into(&self.x, &mut self.resid);
+            for (r, b) in self.resid.iter_mut().zip(&self.rhs) {
+                *r = b - *r;
+            }
+            let rnorm = vecops::norm_inf(&self.resid);
+            if rnorm <= f64::EPSILON * (1.0 + bnorm) || rnorm >= 0.5 * prev {
+                break;
+            }
+            prev = rnorm;
+            self.lu
+                .solve_into(&self.resid, &mut self.work, &mut self.dx)?;
+            vecops::axpy(1.0, &self.dx, &mut self.x);
+            self.refinements += 1;
+        }
+        if let Some(t0) = t0 {
+            self.phases.solve_ns += t0.elapsed().as_nanos() as u64;
         }
         Ok(())
     }
@@ -1434,6 +1518,7 @@ impl<'c> FrozenDcSession<'c> {
             factor_nnz: self.lu.factor_nnz(),
             block_count: self.lu.symbolic().block_count(),
             templated: self.templated,
+            refinements: self.refinements,
             phases: self.phase_timing.then_some(self.phases),
         }
     }

@@ -63,7 +63,9 @@ pub use dc::{stamp_dc_system, stamp_dc_system_with, DcAnalysis};
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;
 pub use ids::{ElementId, NodeId};
-pub use ohmflow_linalg::{ColumnOrdering, RefactorStrategy, SparseLuOptions as LuOptions};
+pub use ohmflow_linalg::{
+    ColumnOrdering, Precision, RefactorStrategy, SparseLuOptions as LuOptions,
+};
 pub use source::SourceValue;
 pub use transient::{IntegrationMethod, TransientAnalysis, TransientOptions};
 pub use waveform::{Waveform, WaveformSet};

@@ -120,6 +120,16 @@ impl SolveOptions {
         self
     }
 
+    /// Sets the numeric precision of the stored factor values (through
+    /// [`SolveOptions::lu`], the single source of truth).
+    /// [`Precision::F32Refined`](ohmflow_circuit::Precision) halves the
+    /// factor's memory traffic and relies on the DC layer's f64
+    /// iterative refinement to recover full accuracy.
+    pub fn with_precision(mut self, precision: ohmflow_circuit::Precision) -> Self {
+        self.lu.precision = precision;
+        self
+    }
+
     /// Sets the simulation mode.
     pub fn with_mode(mut self, mode: SolveMode) -> Self {
         self.mode = mode;
@@ -145,11 +155,14 @@ impl SolveOptions {
     }
 
     /// The options with the precedence rule applied: `build.lu_ordering`
-    /// is overwritten with `lu.ordering`, so the build/template layer can
-    /// never disagree with the factorization layer about the ordering.
+    /// and `build.lu_precision` are overwritten with `lu.ordering` /
+    /// `lu.precision`, so the build/template layer can never disagree
+    /// with the factorization layer about the ordering or the stored
+    /// scalar.
     pub fn normalized(&self) -> Self {
         let mut n = self.clone();
         n.build.lu_ordering = n.lu.ordering;
+        n.build.lu_precision = n.lu.precision;
         n
     }
 
@@ -358,7 +371,8 @@ impl MaxFlowSolver {
         let engine = &self.engine;
         // The full-MNA ablation has no templated path at all.
         let full_mna = matches!(engine.config().mode, SolveMode::TransientFullMna { .. });
-        let ordering = engine.effective_build_options().lu_ordering;
+        let build_opts = engine.effective_build_options();
+        let (ordering, precision) = (build_opts.lu_ordering, build_opts.lu_precision);
 
         // Graph grouping: count topologies, then warm the plan cache
         // sequentially (one cold path per repeated topology) and remember
@@ -370,7 +384,9 @@ impl MaxFlowSolver {
         let keys: Vec<Option<TemplateKey>> = problems
             .iter()
             .map(|p| match p {
-                Problem::Graph(g) if !full_mna => Some(TemplateKey::with_ordering(g, ordering)),
+                Problem::Graph(g) if !full_mna => {
+                    Some(TemplateKey::with_lu(g, ordering, precision))
+                }
                 _ => None,
             })
             .collect();

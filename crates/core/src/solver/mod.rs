@@ -313,7 +313,8 @@ impl AnalogMaxFlow {
         &self,
         g: &FlowNetwork,
     ) -> Result<(Arc<SubstrateTemplate>, bool), AnalogError> {
-        let key = TemplateKey::with_ordering(g, self.effective_build_options().lu_ordering);
+        let build_opts = self.effective_build_options();
+        let key = TemplateKey::with_lu(g, build_opts.lu_ordering, build_opts.lu_precision);
         if let Some(tpl) = self.templates.lock().expect("template cache").get(&key) {
             return Ok((Arc::clone(tpl), true));
         }

@@ -70,6 +70,11 @@ pub struct TemplateKey {
     /// under the ordering that produced it, so caches must never hand a
     /// min-degree-era template to an AMD+BTF solve (or vice versa).
     ordering: ohmflow_circuit::ColumnOrdering,
+    /// The numeric precision of the template's stored factor values. Part
+    /// of the identity for the same reason: an f32 value-array plan primed
+    /// into an f64 solve (or vice versa) would silently change every
+    /// cached refactorization's accuracy.
+    precision: ohmflow_circuit::Precision,
 }
 
 impl TemplateKey {
@@ -79,8 +84,22 @@ impl TemplateKey {
     }
 
     /// The key of `g` under an explicit column ordering (what
-    /// [`BuildOptions::lu_ordering`](crate::builder::BuildOptions) selects).
+    /// [`BuildOptions::lu_ordering`](crate::builder::BuildOptions) selects)
+    /// and the default (f64) precision.
     pub fn with_ordering(g: &FlowNetwork, ordering: ohmflow_circuit::ColumnOrdering) -> Self {
+        Self::with_lu(g, ordering, ohmflow_circuit::Precision::default())
+    }
+
+    /// The key of `g` under an explicit column ordering and numeric
+    /// precision (what
+    /// [`BuildOptions::lu_ordering`](crate::builder::BuildOptions) and
+    /// [`BuildOptions::lu_precision`](crate::builder::BuildOptions)
+    /// select).
+    pub fn with_lu(
+        g: &FlowNetwork,
+        ordering: ohmflow_circuit::ColumnOrdering,
+        precision: ohmflow_circuit::Precision,
+    ) -> Self {
         use std::hash::{Hash as _, Hasher as _};
         let vertices = g.vertex_count();
         let source = g.source();
@@ -96,6 +115,7 @@ impl TemplateKey {
         sink.hash(&mut h);
         edges.hash(&mut h);
         ordering.hash(&mut h);
+        precision.hash(&mut h);
         TemplateKey {
             hash: h.finish(),
             vertices,
@@ -103,6 +123,7 @@ impl TemplateKey {
             sink,
             edges,
             ordering,
+            precision,
         }
     }
 }
@@ -206,11 +227,12 @@ impl SubstrateTemplate {
     ) -> Result<Self, AnalogError> {
         let mut opts = *opts;
         opts.lu_ordering = lu.ordering;
+        opts.lu_precision = lu.precision;
         let (skeleton, level_sources) = build_with_layout(g, params, &opts, LevelLayout::PerEdge)?;
         let dc =
             Arc::new(DcTemplate::with_options(skeleton.circuit(), lu).map_err(AnalogError::from)?);
         Ok(SubstrateTemplate {
-            key: TemplateKey::with_ordering(g, lu.ordering),
+            key: TemplateKey::with_lu(g, lu.ordering, lu.precision),
             params: params.clone(),
             opts,
             skeleton,
@@ -258,7 +280,7 @@ impl SubstrateTemplate {
         g: &FlowNetwork,
         mapping: CapacityMapping,
     ) -> Result<SubstrateCircuit, AnalogError> {
-        if TemplateKey::with_ordering(g, self.opts.lu_ordering) != self.key {
+        if TemplateKey::with_lu(g, self.opts.lu_ordering, self.opts.lu_precision) != self.key {
             return Err(AnalogError::InvalidConfig {
                 what: "template instantiated with a different graph topology".to_owned(),
             });

@@ -3,6 +3,183 @@ use std::ops::{Index, IndexMut};
 
 use crate::LinalgError;
 
+/// Numeric scalar of an LU factorization's value arrays: `f64` (the
+/// default) or `f32` (the mixed-precision storage behind
+/// [`Precision::F32Refined`](crate::Precision)).
+///
+/// The symbolic plan, all index structures and every public solve
+/// interface stay `f64`/`usize`; only the stored factor values and the
+/// refactorization arithmetic are generic. Conversions are explicit so the
+/// `f64` instantiation compiles to the identity and the hot kernels keep
+/// their exact historical arithmetic.
+pub trait LuScalar:
+    Copy
+    + PartialEq
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// Rounds an `f64` into this scalar (identity for `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Widens this scalar to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+}
+
+impl LuScalar for f64 {
+    const ZERO: Self = 0.0;
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl LuScalar for f32 {
+    const ZERO: Self = 0.0;
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Width of the unrolled accumulator lanes of the dense micro-kernels:
+/// four independent partial sums per stream, which is what LLVM needs to
+/// autovectorize a reduction (a single serial accumulator carries a
+/// loop-carried dependence it must preserve).
+const LANES: usize = 4;
+
+/// Lane-accumulated dot product `a · b` over `min` common length — the
+/// register-blocked inner loop of the supernodal panel update. Fixed-size
+/// `LANES`-wide chunks with independent accumulators; the remainder is
+/// folded in serially.
+#[inline]
+pub(crate) fn dot_lanes<S: LuScalar>(a: &[S], b: &[S]) -> S {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [S::ZERO; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += *x * *y;
+    }
+    s
+}
+
+/// Rank-`k` supernode panel update (the gemm-style kernel of the blocked
+/// numeric replay): for each panel row `i`,
+/// `x[rows[i]] -= panel[i*w + t0 .. i*w + w] · coef[t0..w]`.
+///
+/// `panel` is the supernode's dense row-major body block (`rows.len() × w`,
+/// explicit zeros in padded positions, so padded columns contribute exactly
+/// `0.0`), and `coef` the finalized local `U` coefficients. Rows are
+/// processed in pairs so each `coef` load feeds two accumulator sets; the
+/// inner loops are fixed-`LANES` chunks that autovectorize.
+#[inline]
+pub(crate) fn panel_rank_update<S: LuScalar>(
+    panel: &[S],
+    w: usize,
+    t0: usize,
+    rows: &[usize],
+    coef: &[S],
+    x: &mut [S],
+) {
+    let c = &coef[t0..w];
+    let span = w - t0;
+    let mut i = 0;
+    while i + 1 < rows.len() {
+        let p0 = &panel[i * w + t0..i * w + t0 + span];
+        let p1 = &panel[(i + 1) * w + t0..(i + 1) * w + t0 + span];
+        let mut a0 = [S::ZERO; LANES];
+        let mut a1 = [S::ZERO; LANES];
+        let mut c0 = p0.chunks_exact(LANES);
+        let mut c1 = p1.chunks_exact(LANES);
+        let mut cc = c.chunks_exact(LANES);
+        for ((x0, x1), xc) in (&mut c0).zip(&mut c1).zip(&mut cc) {
+            for l in 0..LANES {
+                a0[l] += x0[l] * xc[l];
+                a1[l] += x1[l] * xc[l];
+            }
+        }
+        let mut d0 = (a0[0] + a0[1]) + (a0[2] + a0[3]);
+        let mut d1 = (a1[0] + a1[1]) + (a1[2] + a1[3]);
+        for ((x0, x1), xc) in c0
+            .remainder()
+            .iter()
+            .zip(c1.remainder())
+            .zip(cc.remainder())
+        {
+            d0 += *x0 * *xc;
+            d1 += *x1 * *xc;
+        }
+        x[rows[i]] -= d0;
+        x[rows[i + 1]] -= d1;
+        i += 2;
+    }
+    if i < rows.len() {
+        x[rows[i]] -= dot_lanes(&panel[i * w + t0..i * w + t0 + span], c);
+    }
+}
+
+/// Dense unit-lower-triangular finalize of a supernode's local coefficient
+/// vector: `c[t2] -= c[t] * diag[t*w + t2]` for `t` ascending, `t2 > t`.
+/// `diag` is the supernode's `w × w` within-block `L` stored column-major
+/// by source step (`diag[t*w + i] = L[pivot_row(k0+i), k0+t]`, explicit
+/// zeros where the pattern is absent).
+#[inline]
+pub(crate) fn trsv_unit_lower<S: LuScalar>(diag: &[S], w: usize, t0: usize, c: &mut [S]) {
+    for t in t0..w {
+        let ct = c[t];
+        if ct != S::ZERO {
+            let col = &diag[t * w..t * w + w];
+            for t2 in t + 1..w {
+                c[t2] -= ct * col[t2];
+            }
+        }
+    }
+}
+
+/// `f64`-accumulating dot product over a stored-`S` panel row — the solve
+/// phase's inner loop: substitution arithmetic stays `f64` (accuracy costs
+/// nothing there) while streaming the narrower stored values.
+#[inline]
+pub(crate) fn dot_lanes_f64<S: LuScalar>(a: &[S], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l].to_f64() * xb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x.to_f64() * *y;
+    }
+    s
+}
+
 /// A dense, row-major, `f64` matrix.
 ///
 /// Used for small systems (the worked examples of the paper have a handful of

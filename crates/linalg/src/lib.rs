@@ -64,9 +64,10 @@ mod lowrank;
 mod ordering;
 mod sparse;
 mod sparse_lu;
+mod supernode;
 pub mod vecops;
 
-pub use dense::{DenseLu, DenseMatrix};
+pub use dense::{DenseLu, DenseMatrix, LuScalar};
 pub use error::LinalgError;
 pub use lowrank::LowRankUpdate;
 pub use ordering::{
@@ -76,6 +77,7 @@ pub use ordering::{
 };
 pub use sparse::{CscMatrix, CsrMatrix, TripletMatrix};
 pub use sparse_lu::{
-    ColumnOrdering, LuWorkspace, NumericLu, RefactorStrategy, SparseLu, SparseLuOptions,
+    ColumnOrdering, LuWorkspace, NumericLu, Precision, RefactorStrategy, SparseLu, SparseLuOptions,
     SparseSolveWorkspace, SymbolicLu,
 };
+pub use supernode::SupernodeStats;

@@ -256,9 +256,8 @@ impl LowRankUpdate {
         cap.solve_into(&self.wbuf, &mut self.ybuf)?;
         for (yi, zi) in self.ybuf.iter().zip(&self.zs) {
             if *yi != 0.0 {
-                for (o, z) in out.iter_mut().zip(zi) {
-                    *o -= yi * z;
-                }
+                // Dense correction per term through the lane-chunked axpy.
+                crate::vecops::axpy(-yi, zi, out);
             }
         }
         Ok(())

@@ -23,13 +23,38 @@
 
 use std::sync::Arc;
 
+use crate::dense::{dot_lanes_f64, panel_rank_update, trsv_unit_lower, LuScalar};
 use crate::ordering::{
     amd_btf_nd_ordering, amd_btf_ordering, amd_ordering, min_degree_ordering,
     nested_dissection_ordering, reverse_cuthill_mckee, BlockOrdering,
 };
+use crate::supernode::{SupernodePlan, SupernodeStats, SymbolicView, MAX_SN_WIDTH, NO_SLOT};
 use crate::{CscMatrix, LinalgError};
 
 const NO_PIVOT: usize = usize::MAX;
+
+/// Numeric precision of a factorization's stored values.
+///
+/// The symbolic analysis, the pivot sequence and every solve interface stay
+/// `f64`; the choice only affects the factor value arrays and the
+/// refactorization arithmetic. [`Precision::F32Refined`] halves the factor
+/// memory traffic — the dominant cost of a numeric replay — and relies on
+/// `f64` iterative refinement (the residual is always computed against the
+/// original `f64` matrix) to recover full accuracy; see
+/// [`SparseLu::solve_refined`] and the DC layer's refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full double precision (the default; bit-identical to the historical
+    /// behaviour).
+    #[default]
+    F64,
+    /// Store factor values in `f32` and replay refactorizations in `f32`
+    /// arithmetic; callers are expected to recover `f64`-level accuracy
+    /// through iterative refinement against the original matrix. Unsafe
+    /// without refinement whenever the system's conditioning eats the
+    /// ~7 significant digits `f32` carries — see DESIGN.md.
+    F32Refined,
+}
 
 /// Sorts `keys` ascending, applying the same permutation to `vals`: an
 /// index permutation is `sort_unstable`d by key, then applied to both
@@ -122,13 +147,17 @@ pub enum RefactorStrategy {
 /// reads (a step only reads `L` columns of strictly lower levels,
 /// separated by a [`std::sync::Barrier`], which gives the happens-before
 /// edge; off-diagonal values are never read during a refactorization).
-struct FactorValuePtrs {
-    l: *mut f64,
-    u: *mut f64,
-    off: *mut f64,
+struct FactorValuePtrs<S> {
+    l: *mut S,
+    u: *mut S,
+    off: *mut S,
+    /// Dense supernode panel storage (empty when no plan is active). A
+    /// supernode's panel region is written only by the worker that owns
+    /// that supernode, so the same disjointness argument applies.
+    panels: *mut S,
 }
 
-unsafe impl Sync for FactorValuePtrs {}
+unsafe impl<S> Sync for FactorValuePtrs<S> {}
 
 /// Replays the numeric elimination of pivot step `k` against the values of
 /// `a`: scatters `a`'s column into the workspace (in-pattern rows) and the
@@ -148,35 +177,42 @@ unsafe impl Sync for FactorValuePtrs {}
 /// step in `U(:, k)` were fully written before this call, with a
 /// happens-before edge (program order serially, a level barrier in
 /// parallel) making those writes visible.
+/// Shared prologue of the scalar and blocked replay steps: zeroes the
+/// workspace over step `k`'s factorized pattern (and its off-diagonal
+/// slots) and scatters `a`'s column into it.
+///
+/// # Safety
+///
+/// Same contract as [`refactor_step`].
 #[allow(clippy::too_many_arguments)]
-unsafe fn refactor_step(
+#[inline]
+unsafe fn scatter_step_column<S: LuScalar>(
     sym: &SymbolicLu,
     a: &CscMatrix,
     k: usize,
-    x: &mut [f64],
+    x: &mut [S],
     stamp: &mut [usize],
     off_stamp: &mut [usize],
     off_slot: &mut [usize],
-    ptrs: &FactorValuePtrs,
+    ptrs: &FactorValuePtrs<S>,
 ) -> Result<(), LinalgError> {
     let col = sym.q[k];
     let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
     let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
-    let (l_vals, u_vals) = (ptrs.l, ptrs.u);
 
     // Zero the workspace over the column's factorized pattern.
     for idx in ulo..uhi - 1 {
         let r = sym.row_perm[sym.u_rows[idx]];
         stamp[r] = k;
-        x[r] = 0.0;
+        x[r] = S::ZERO;
     }
     let pivot_row = sym.row_perm[k];
     stamp[pivot_row] = k;
-    x[pivot_row] = 0.0;
+    x[pivot_row] = S::ZERO;
     for idx in llo..lhi {
         let r = sym.l_rows[idx];
         stamp[r] = k;
-        x[r] = 0.0;
+        x[r] = S::ZERO;
     }
     // Zero the step's off-diagonal slots (rows of earlier blocks, kept as
     // raw values applied at solve time — disjoint from the in-pattern
@@ -187,18 +223,18 @@ unsafe fn refactor_step(
         off_slot[r] = idx;
         // SAFETY: `idx` lies in this step's exclusive off range (caller
         // contract a).
-        unsafe { *ptrs.off.add(idx) = 0.0 };
+        unsafe { *ptrs.off.add(idx) = S::ZERO };
     }
 
     // Scatter the new values; anything outside the pattern means the
     // symbolic factorization no longer applies.
     for (r, v) in a.col(col) {
         if stamp[r] == k {
-            x[r] += v;
+            x[r] += S::from_f64(v);
         } else if off_stamp[r] == k {
             // SAFETY: `off_slot[r]` was set above to an index in this
             // step's exclusive off range.
-            unsafe { *ptrs.off.add(off_slot[r]) += v };
+            unsafe { *ptrs.off.add(off_slot[r]) += S::from_f64(v) };
         } else {
             return Err(LinalgError::PatternChanged {
                 column: col,
@@ -206,6 +242,57 @@ unsafe fn refactor_step(
             });
         }
     }
+    Ok(())
+}
+
+/// Shared epilogue of the replay steps: frozen-pivot check (always against
+/// `f64` thresholds, so the `f32` path applies the same singularity test)
+/// and the step's final `U`-pivot / `L` writes.
+///
+/// # Safety
+///
+/// Same contract as [`refactor_step`].
+#[inline]
+unsafe fn finish_step_column<S: LuScalar>(
+    sym: &SymbolicLu,
+    k: usize,
+    x: &mut [S],
+    ptrs: &FactorValuePtrs<S>,
+) -> Result<(), LinalgError> {
+    let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
+    let pivot_row = sym.row_perm[k];
+    let pivot_val = x[pivot_row];
+    let pv = pivot_val.to_f64();
+    let mut col_max = pv.abs();
+    for idx in llo..lhi {
+        col_max = col_max.max(x[sym.l_rows[idx]].to_f64().abs());
+    }
+    if !pv.is_finite() || pv.abs() <= sym.zero_tol || pv.abs() < 1e-10 * col_max {
+        return Err(LinalgError::Singular { column: sym.q[k] });
+    }
+    // SAFETY: this step's exclusive U/L ranges (caller contract a).
+    unsafe { *ptrs.u.add(sym.u_ptr[k + 1] - 1) = pivot_val };
+    for idx in llo..lhi {
+        unsafe { *ptrs.l.add(idx) = x[sym.l_rows[idx]] / pivot_val };
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+unsafe fn refactor_step<S: LuScalar>(
+    sym: &SymbolicLu,
+    a: &CscMatrix,
+    k: usize,
+    x: &mut [S],
+    stamp: &mut [usize],
+    off_stamp: &mut [usize],
+    off_slot: &mut [usize],
+    ptrs: &FactorValuePtrs<S>,
+) -> Result<(), LinalgError> {
+    let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+    let (l_vals, u_vals) = (ptrs.l, ptrs.u);
+    // SAFETY: forwarded caller contract.
+    unsafe { scatter_step_column(sym, a, k, x, stamp, off_stamp, off_slot, ptrs)? };
 
     // Replay the numeric update. U entries are stored in ascending
     // pivot-step order, which is a topological order of the dependencies
@@ -217,7 +304,7 @@ unsafe fn refactor_step(
         // SAFETY: `idx` lies in this step's exclusive U range (caller
         // contract a); dependency L values are final (contract b).
         unsafe { *u_vals.add(idx) = xval };
-        if xval != 0.0 {
+        if xval != S::ZERO {
             for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
                 // SAFETY: see above — `j` indexes a completed dependency.
                 x[sym.l_rows[j]] -= xval * unsafe { *l_vals.add(j) };
@@ -225,22 +312,439 @@ unsafe fn refactor_step(
         }
     }
 
-    // Frozen pivot: check it is still usable for the new values.
-    let pivot_val = x[pivot_row];
-    let mut col_max = pivot_val.abs();
-    for idx in llo..lhi {
-        col_max = col_max.max(x[sym.l_rows[idx]].abs());
+    // SAFETY: forwarded caller contract.
+    unsafe { finish_step_column(sym, k, x, ptrs) }
+}
+
+/// Blocked replay of pivot step `k`, a member of a multi-column supernode:
+/// same contract and same pivot sequence as [`refactor_step`], but the
+/// external updates are grouped by *source supernode* and applied through
+/// the dense panel kernels — one local `U`-coefficient finalize
+/// ([`trsv_unit_lower`]) plus one rank-`w` body update
+/// ([`panel_rank_update`]) per source supernode, instead of one indexed
+/// scatter per stored entry. Within-supernode sources (earlier members of
+/// `k`'s own supernode) replay scalar — they are at most `w - 1` entries
+/// and keeping them scalar sidesteps partial-panel bookkeeping. The
+/// column's final values are mirrored into its supernode panel slots, so
+/// after the supernode's last member the panel region is complete.
+///
+/// The only arithmetic difference to the scalar step is the body update's
+/// lane-reassociated dot products, which is why the supernodal replay
+/// agrees with the scalar oracle to roundoff (≤1e-12 relative, proptested)
+/// rather than bit-for-bit.
+///
+/// # Safety
+///
+/// As [`refactor_step`], plus: `ptrs.panels` must point to
+/// `plan.panel_len` elements; the caller must zero the supernode's panel
+/// region before its first member column, guarantee exclusive access to
+/// that region (contract a extends to it), and the panel regions of every
+/// dependency supernode must be fully written (contract b extends to
+/// them).
+#[allow(clippy::too_many_arguments)]
+unsafe fn refactor_step_blocked<S: LuScalar>(
+    sym: &SymbolicLu,
+    plan: &SupernodePlan,
+    a: &CscMatrix,
+    k: usize,
+    x: &mut [S],
+    stamp: &mut [usize],
+    off_stamp: &mut [usize],
+    off_slot: &mut [usize],
+    ptrs: &FactorValuePtrs<S>,
+) -> Result<(), LinalgError> {
+    let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+    let (l_vals, u_vals) = (ptrs.l, ptrs.u);
+    let own_sn = plan.sn_of_step[k];
+    // SAFETY: forwarded caller contract.
+    unsafe { scatter_step_column(sym, a, k, x, stamp, off_stamp, off_slot, ptrs)? };
+
+    // External updates grouped by source supernode. Entries of one source
+    // supernode are consecutive (steps ascending) and — because the stored
+    // pattern is the full symbolic closure and a supernode's L columns
+    // chain through each other's pivot rows — cover a contiguous *tail*
+    // `t0..w` of the supernode: U(s, k) ≠ 0 implies U(s', k) ≠ 0 for every
+    // later member s' of s's supernode.
+    let mut idx = ulo;
+    while idx < uhi - 1 {
+        let s = sym.u_rows[idx];
+        let sn = plan.sn_of_step[s];
+        let (s0, s1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+        let w = s1 - s0;
+        if w == 1 || sn == own_sn {
+            // Scalar path: singleton source, or an earlier member of this
+            // column's own supernode (its L column is already final — the
+            // members replay in order within one work unit).
+            let xval = x[sym.row_perm[s]];
+            // SAFETY: exclusive U range (contract a); dependency L final
+            // (contract b / member order).
+            unsafe { *u_vals.add(idx) = xval };
+            if xval != S::ZERO {
+                for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
+                    // SAFETY: see above.
+                    x[sym.l_rows[j]] -= xval * unsafe { *l_vals.add(j) };
+                }
+            }
+            idx += 1;
+            continue;
+        }
+        let t0 = s - s0;
+        let run = w - t0;
+        debug_assert!(idx + run < uhi && sym.u_rows[idx + run - 1] == s1 - 1);
+        let pbase = plan.panel_ptr[sn];
+        let r_cnt = plan.row_ptr[sn + 1] - plan.row_ptr[sn];
+        // SAFETY: the source supernode's panel region is fully written
+        // (extended contract b) and read-only here.
+        let ldiag =
+            unsafe { std::slice::from_raw_parts(ptrs.panels.add(pbase + r_cnt * w), w * w) };
+        // Local U coefficients: pre-finalization values gathered from the
+        // workspace, then the within-supernode unit-lower solve applied
+        // densely. Absent leading entries stay exactly zero and contribute
+        // nothing.
+        let mut coef = [S::ZERO; MAX_SN_WIDTH];
+        for t in t0..w {
+            coef[t] = x[sym.row_perm[s0 + t]];
+        }
+        trsv_unit_lower(ldiag, w, t0, &mut coef[..w]);
+        for (j, t) in (t0..w).enumerate() {
+            // SAFETY: exclusive U range (contract a).
+            unsafe { *u_vals.add(idx + j) = coef[t] };
+        }
+        // Rank-`run` dense body update: every body row of the source
+        // supernode gets one fused dot-product subtraction. Rows outside
+        // this column's pattern only ever receive exact-zero products
+        // (padding is stored as 0.0), leaving their stale workspace
+        // entries untouched.
+        let rows = plan.body_rows(sn);
+        // SAFETY: as `ldiag` above.
+        let body = unsafe { std::slice::from_raw_parts(ptrs.panels.add(pbase), r_cnt * w) };
+        panel_rank_update(body, w, t0, rows, &coef[..w], x);
+        idx += run;
     }
-    if !pivot_val.is_finite()
-        || pivot_val.abs() <= sym.zero_tol
-        || pivot_val.abs() < 1e-10 * col_max
-    {
-        return Err(LinalgError::Singular { column: col });
+
+    // SAFETY: forwarded caller contract.
+    unsafe { finish_step_column(sym, k, x, ptrs)? };
+
+    // Mirror the column's final values into its supernode panel slots
+    // (body + ldiag from L, udiag incl. pivot from U).
+    for i in sym.l_ptr[k]..sym.l_ptr[k + 1] {
+        let slot = plan.l_slot[i];
+        debug_assert_ne!(slot, NO_SLOT);
+        // SAFETY: own panel region, exclusive (extended contract a).
+        unsafe { *ptrs.panels.add(slot) = *l_vals.add(i) };
     }
-    // SAFETY: this step's exclusive U/L ranges (caller contract a).
-    unsafe { *u_vals.add(uhi - 1) = pivot_val };
-    for idx in llo..lhi {
-        unsafe { *l_vals.add(idx) = x[sym.l_rows[idx]] / pivot_val };
+    for i in ulo..uhi {
+        let slot = plan.u_slot[i];
+        if slot != NO_SLOT {
+            // SAFETY: own panel region, exclusive (extended contract a).
+            unsafe { *ptrs.panels.add(slot) = *u_vals.add(i) };
+        }
+    }
+    Ok(())
+}
+
+/// Replays one whole supernode — the work unit of the supernodal replay
+/// (serial loop or one parallel claim): zeroes the panel region (so padded
+/// cells are exact zeros) and runs the member columns in order, blocked
+/// for multi-column supernodes, scalar for singletons.
+///
+/// # Safety
+///
+/// As [`refactor_step_blocked`], with contract (a) covering the
+/// supernode's entire step range and panel region, and contract (b)
+/// covering every *external* dependency supernode (the level schedule in
+/// [`SupernodePlan::level_sns`] guarantees external sources finish in
+/// strictly earlier levels).
+#[allow(clippy::too_many_arguments)]
+unsafe fn refactor_supernode<S: LuScalar>(
+    sym: &SymbolicLu,
+    plan: &SupernodePlan,
+    a: &CscMatrix,
+    sn: usize,
+    x: &mut [S],
+    stamp: &mut [usize],
+    off_stamp: &mut [usize],
+    off_slot: &mut [usize],
+    ptrs: &FactorValuePtrs<S>,
+) -> Result<(), LinalgError> {
+    let (k0, k1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+    if k1 - k0 > 1 {
+        let (plo, phi) = (plan.panel_ptr[sn], plan.panel_ptr[sn + 1]);
+        // SAFETY: own panel region, exclusive (contract a). All-zero bytes
+        // are 0.0 for both f32 and f64.
+        unsafe { std::ptr::write_bytes(ptrs.panels.add(plo), 0, phi - plo) };
+        for k in k0..k1 {
+            // SAFETY: forwarded caller contract.
+            unsafe { refactor_step_blocked(sym, plan, a, k, x, stamp, off_stamp, off_slot, ptrs)? };
+        }
+    } else {
+        // SAFETY: forwarded caller contract.
+        unsafe { refactor_step(sym, a, k0, x, stamp, off_stamp, off_slot, ptrs)? };
+    }
+    Ok(())
+}
+
+/// Routes a numeric replay to the supernodal or per-column path (per the
+/// symbolic plan) and to the serial or level-parallel schedule (per
+/// `threads`), generic over the stored scalar.
+fn refactor_dispatch<S: WsScalar>(
+    sym: &Arc<SymbolicLu>,
+    va: &mut ValueArrays<S>,
+    a: &CscMatrix,
+    ws: &mut LuWorkspace,
+    threads: usize,
+) -> Result<(), LinalgError> {
+    match sym.blocked_plan() {
+        Some(plan) => {
+            // Panels go stale the moment replay starts writing; only a
+            // fully successful supernodal pass leaves them coherent with
+            // the column arrays again.
+            va.panels_valid = false;
+            if threads <= 1 {
+                refactor_sn_serial(sym, plan, va, a, ws)?;
+            } else {
+                refactor_sn_parallel(sym, plan, va, a, ws, threads)?;
+            }
+            va.panels_valid = true;
+            Ok(())
+        }
+        None => {
+            if threads <= 1 {
+                refactor_serial_vals(sym, va, a, ws)
+            } else {
+                refactor_parallel_vals(sym, va, a, ws, threads)
+            }
+        }
+    }
+}
+
+/// Serial per-column numeric replay in pivot-step order (the reference
+/// path, used when supernode detection is disabled or finds no blocks).
+fn refactor_serial_vals<S: WsScalar>(
+    sym: &SymbolicLu,
+    va: &mut ValueArrays<S>,
+    a: &CscMatrix,
+    ws: &mut LuWorkspace,
+) -> Result<(), LinalgError> {
+    ws.reset::<S>(sym.n);
+    let ptrs = va.ptrs();
+    let (x, stamp, off_stamp, off_slot) = S::ws_parts(ws);
+    for k in 0..sym.n {
+        // SAFETY: single-threaded — exclusive access to the value
+        // arrays, and step order means every dependency is complete.
+        unsafe { refactor_step(sym, a, k, x, stamp, off_stamp, off_slot, &ptrs)? };
+    }
+    Ok(())
+}
+
+/// Serial supernodal numeric replay: supernodes in order, each replayed
+/// with the blocked kernels of [`refactor_supernode`].
+fn refactor_sn_serial<S: WsScalar>(
+    sym: &SymbolicLu,
+    plan: &SupernodePlan,
+    va: &mut ValueArrays<S>,
+    a: &CscMatrix,
+    ws: &mut LuWorkspace,
+) -> Result<(), LinalgError> {
+    ws.reset::<S>(sym.n);
+    let ptrs = va.ptrs();
+    let (x, stamp, off_stamp, off_slot) = S::ws_parts(ws);
+    for sn in 0..plan.count() {
+        // SAFETY: single-threaded — exclusive access to the value arrays
+        // and panels, and supernode order is a valid elimination order.
+        unsafe { refactor_supernode(sym, plan, a, sn, x, stamp, off_stamp, off_slot, &ptrs)? };
+    }
+    Ok(())
+}
+
+/// Level-scheduled parallel per-column replay: the wide leaf-ward levels
+/// of the elimination schedule are distributed over `threads` workers
+/// (columns claimed through per-level atomic cursors, a barrier
+/// between levels), and the narrow root-ward tail — where coordination
+/// would cost more than the work — replays serially on the caller.
+fn refactor_parallel_vals<S: WsScalar>(
+    sym: &SymbolicLu,
+    va: &mut ValueArrays<S>,
+    a: &CscMatrix,
+    ws: &mut LuWorkspace,
+    threads: usize,
+) -> Result<(), LinalgError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    let n = sym.n;
+    ws.reset::<S>(n);
+    // Parallel prefix: levels wide enough to amortize the per-level
+    // barrier. Widths are (near-)monotone decreasing for elimination
+    // schedules — leaves are plentiful, roots are not — so stopping at
+    // the first narrow level captures essentially all parallel work
+    // while bounding the number of barriers.
+    let min_width = (2 * threads).max(8);
+    let ex = sym.extras();
+    let par_levels = (0..sym.level_count())
+        .take_while(|&l| sym.level_steps(l).len() >= min_width)
+        .count();
+    let ptrs = va.ptrs();
+    if par_levels > 0 {
+        while ws.workers.len() < threads {
+            ws.workers.push(Mutex::new(WorkerScratch::default()));
+        }
+        let cursors: Vec<AtomicUsize> = (0..par_levels).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(threads);
+        let failed = AtomicBool::new(false);
+        let first_err: Mutex<Option<LinalgError>> = Mutex::new(None);
+        let (ptrs_ref, workers) = (&ptrs, &ws.workers);
+        rayon::broadcast(threads, |tid| {
+            // Uncontended by construction: slot `tid` belongs to this
+            // worker alone.
+            let mut scratch = workers[tid].lock().expect("worker scratch");
+            let (x, stamp, off_stamp, off_slot) = S::worker_parts(&mut scratch);
+            x.clear();
+            x.resize(n, S::ZERO);
+            stamp.clear();
+            stamp.resize(n, usize::MAX);
+            off_stamp.clear();
+            off_stamp.resize(n, usize::MAX);
+            off_slot.clear();
+            off_slot.resize(n, 0);
+            for (lev, cursor) in cursors.iter().enumerate() {
+                if !failed.load(Ordering::Acquire) {
+                    let (lo, hi) = (ex.level_ptr[lev], ex.level_ptr[lev + 1]);
+                    loop {
+                        let i = lo + cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= hi {
+                            break;
+                        }
+                        let k = ex.level_cols[i];
+                        // SAFETY: the cursor hands each step to exactly
+                        // one worker (disjoint value ranges), and every
+                        // dependency lives in a lower level, finished
+                        // before the previous barrier.
+                        let res = unsafe {
+                            refactor_step(sym, a, k, x, stamp, off_stamp, off_slot, ptrs_ref)
+                        };
+                        if let Err(e) = res {
+                            first_err
+                                .lock()
+                                .expect("refactor error slot")
+                                .get_or_insert(e);
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                // Level barrier: the next level reads these L columns.
+                // Reached unconditionally so every worker counts the
+                // same number of waits even after a failure.
+                barrier.wait();
+            }
+        });
+        if let Some(e) = first_err.into_inner().expect("refactor error slot") {
+            return Err(e);
+        }
+    }
+    // Serial tail in level order — a valid elimination order, since a
+    // level only reads strictly lower levels.
+    let (x, stamp, off_stamp, off_slot) = S::ws_parts(ws);
+    for &k in &ex.level_cols[ex.level_ptr[par_levels]..] {
+        // SAFETY: the broadcast above has joined (its writes are
+        // visible) and this thread is now the only one touching the
+        // factor.
+        unsafe { refactor_step(sym, a, k, x, stamp, off_stamp, off_slot, &ptrs)? };
+    }
+    Ok(())
+}
+
+/// Level-scheduled parallel supernodal replay: identical coordination
+/// shape to [`refactor_parallel_vals`], but the unit of work claimed from
+/// each level cursor is a whole supernode (replayed blocked), fanning the
+/// PR 3 level schedule out over panels instead of single columns.
+fn refactor_sn_parallel<S: WsScalar>(
+    sym: &SymbolicLu,
+    plan: &SupernodePlan,
+    va: &mut ValueArrays<S>,
+    a: &CscMatrix,
+    ws: &mut LuWorkspace,
+    threads: usize,
+) -> Result<(), LinalgError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    let n = sym.n;
+    ws.reset::<S>(n);
+    let min_width = (2 * threads).max(8);
+    let par_levels = (0..plan.level_count())
+        .take_while(|&l| {
+            let (lo, hi) = (plan.level_ptr[l], plan.level_ptr[l + 1]);
+            hi - lo >= min_width
+        })
+        .count();
+    let ptrs = va.ptrs();
+    if par_levels > 0 {
+        while ws.workers.len() < threads {
+            ws.workers.push(Mutex::new(WorkerScratch::default()));
+        }
+        let cursors: Vec<AtomicUsize> = (0..par_levels).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(threads);
+        let failed = AtomicBool::new(false);
+        let first_err: Mutex<Option<LinalgError>> = Mutex::new(None);
+        let (ptrs_ref, workers) = (&ptrs, &ws.workers);
+        rayon::broadcast(threads, |tid| {
+            let mut scratch = workers[tid].lock().expect("worker scratch");
+            let (x, stamp, off_stamp, off_slot) = S::worker_parts(&mut scratch);
+            x.clear();
+            x.resize(n, S::ZERO);
+            stamp.clear();
+            stamp.resize(n, usize::MAX);
+            off_stamp.clear();
+            off_stamp.resize(n, usize::MAX);
+            off_slot.clear();
+            off_slot.resize(n, 0);
+            for (lev, cursor) in cursors.iter().enumerate() {
+                if !failed.load(Ordering::Acquire) {
+                    let (lo, hi) = (plan.level_ptr[lev], plan.level_ptr[lev + 1]);
+                    loop {
+                        let i = lo + cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= hi {
+                            break;
+                        }
+                        let sn = plan.level_sns[i];
+                        // SAFETY: the cursor hands each supernode (its
+                        // value and panel ranges are disjoint from every
+                        // other supernode's) to exactly one worker, and
+                        // every external dependency supernode lives in a
+                        // lower level, finished before the previous
+                        // barrier.
+                        let res = unsafe {
+                            refactor_supernode(
+                                sym, plan, a, sn, x, stamp, off_stamp, off_slot, ptrs_ref,
+                            )
+                        };
+                        if let Err(e) = res {
+                            first_err
+                                .lock()
+                                .expect("refactor error slot")
+                                .get_or_insert(e);
+                            failed.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                barrier.wait();
+            }
+        });
+        if let Some(e) = first_err.into_inner().expect("refactor error slot") {
+            return Err(e);
+        }
+    }
+    // Serial tail in level order — a valid elimination order, since a
+    // level only reads strictly lower levels.
+    let (x, stamp, off_stamp, off_slot) = S::ws_parts(ws);
+    for &sn in &plan.level_sns[plan.level_ptr[par_levels]..] {
+        // SAFETY: the broadcast above has joined (its writes are
+        // visible) and this thread is now the only one touching the
+        // factor.
+        unsafe { refactor_supernode(sym, plan, a, sn, x, stamp, off_stamp, off_slot, &ptrs)? };
     }
     Ok(())
 }
@@ -297,6 +801,20 @@ pub struct SparseLuOptions {
     /// Entries with magnitude at or below this are treated as numerically
     /// zero when selecting pivots.
     pub zero_tolerance: f64,
+    /// Numeric precision of the stored factor values (see [`Precision`]).
+    pub precision: Precision,
+    /// Detect supernodes after the symbolic analysis and run the blocked
+    /// numeric kernels (dense panel updates, supernode-aware triangular
+    /// solves) wherever multi-column supernodes exist. Disabling this keeps
+    /// the scalar per-column replay everywhere — the correctness oracle the
+    /// blocked path is proptested against.
+    pub supernodal: bool,
+    /// Relaxed-amalgamation knob: the maximum number of explicit-zero cells
+    /// a merged column may store in its supernode panel column. `0` admits
+    /// only exactly-nested column chains; a few cells of padding lets
+    /// nearly-equal columns merge, trading a handful of multiplies by zero
+    /// for wider panels (fewer, larger dense updates).
+    pub amalgamation: usize,
 }
 
 impl Default for SparseLuOptions {
@@ -305,6 +823,9 @@ impl Default for SparseLuOptions {
             ordering: ColumnOrdering::default(),
             pivot_threshold: 0.1,
             zero_tolerance: 0.0,
+            precision: Precision::default(),
+            supernodal: true,
+            amalgamation: 4,
         }
     }
 }
@@ -317,19 +838,83 @@ impl Default for SparseLuOptions {
 #[derive(Debug, Default)]
 pub struct LuWorkspace {
     x: Vec<f64>,
+    /// `f32` twin of `x` for [`Precision::F32Refined`] replays (empty
+    /// until one runs).
+    x32: Vec<f32>,
     stamp: Vec<usize>,
     /// Stamp/slot pair routing scattered matrix entries into the step's
     /// off-diagonal (cross-block) value slots; see `refactor_step`.
     off_stamp: Vec<usize>,
     off_slot: Vec<usize>,
-    /// Per-worker scratch of the parallel replay (`x`, `stamp`,
-    /// `off_stamp`, `off_slot`), lazily grown to the worker count on first
-    /// parallel refactor and reused afterwards, so repeated parallel
-    /// replays allocate nothing either. Behind mutexes only so the
-    /// broadcast closure can hand each worker its slot; every lock is
-    /// uncontended (slot `tid` is touched by worker `tid` alone).
-    #[allow(clippy::type_complexity)]
-    workers: Vec<std::sync::Mutex<(Vec<f64>, Vec<usize>, Vec<usize>, Vec<usize>)>>,
+    /// Pooled buffers of [`SparseLu::solve_refined_with`] (solve scratch,
+    /// residual, correction), so refined hot-loop solves allocate nothing.
+    rwork: Vec<f64>,
+    resid: Vec<f64>,
+    corr: Vec<f64>,
+    /// Per-worker scratch of the parallel replay, lazily grown to the
+    /// worker count on first parallel refactor and reused afterwards, so
+    /// repeated parallel replays allocate nothing either. Behind mutexes
+    /// only so the broadcast closure can hand each worker its slot; every
+    /// lock is uncontended (slot `tid` is touched by worker `tid` alone).
+    workers: Vec<std::sync::Mutex<WorkerScratch>>,
+}
+
+/// One parallel-replay worker's private scratch; see
+/// [`LuWorkspace::workers`].
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    x: Vec<f64>,
+    x32: Vec<f32>,
+    stamp: Vec<usize>,
+    off_stamp: Vec<usize>,
+    off_slot: Vec<usize>,
+}
+
+/// Workspace scratch borrowed for one replay: the scalar-typed value
+/// vector plus the three stamp/slot arrays.
+type ScratchParts<'a, S> = (
+    &'a mut Vec<S>,
+    &'a mut Vec<usize>,
+    &'a mut Vec<usize>,
+    &'a mut Vec<usize>,
+);
+
+/// Scalar-selected access to the right workspace vector (`x` vs `x32`), so
+/// the replay paths stay generic over [`Precision`] without duplicating
+/// the workspace plumbing. Returned as one split-borrow tuple
+/// (`x`, `stamp`, `off_stamp`, `off_slot`) so callers can hold the value
+/// vector and the stamps simultaneously.
+trait WsScalar: LuScalar {
+    fn ws_parts(ws: &mut LuWorkspace) -> ScratchParts<'_, Self>;
+    fn worker_parts(w: &mut WorkerScratch) -> ScratchParts<'_, Self>;
+}
+
+impl WsScalar for f64 {
+    fn ws_parts(ws: &mut LuWorkspace) -> ScratchParts<'_, Self> {
+        (
+            &mut ws.x,
+            &mut ws.stamp,
+            &mut ws.off_stamp,
+            &mut ws.off_slot,
+        )
+    }
+    fn worker_parts(w: &mut WorkerScratch) -> ScratchParts<'_, Self> {
+        (&mut w.x, &mut w.stamp, &mut w.off_stamp, &mut w.off_slot)
+    }
+}
+
+impl WsScalar for f32 {
+    fn ws_parts(ws: &mut LuWorkspace) -> ScratchParts<'_, Self> {
+        (
+            &mut ws.x32,
+            &mut ws.stamp,
+            &mut ws.off_stamp,
+            &mut ws.off_slot,
+        )
+    }
+    fn worker_parts(w: &mut WorkerScratch) -> ScratchParts<'_, Self> {
+        (&mut w.x32, &mut w.stamp, &mut w.off_stamp, &mut w.off_slot)
+    }
 }
 
 impl Clone for LuWorkspace {
@@ -338,9 +923,13 @@ impl Clone for LuWorkspace {
         // with an empty pool.
         LuWorkspace {
             x: self.x.clone(),
+            x32: self.x32.clone(),
             stamp: self.stamp.clone(),
             off_stamp: self.off_stamp.clone(),
             off_slot: self.off_slot.clone(),
+            rwork: Vec::new(),
+            resid: Vec::new(),
+            corr: Vec::new(),
             workers: Vec::new(),
         }
     }
@@ -352,15 +941,16 @@ impl LuWorkspace {
         Self::default()
     }
 
-    fn reset(&mut self, n: usize) {
-        self.x.clear();
-        self.x.resize(n, 0.0);
-        self.stamp.clear();
-        self.stamp.resize(n, usize::MAX);
-        self.off_stamp.clear();
-        self.off_stamp.resize(n, usize::MAX);
-        self.off_slot.clear();
-        self.off_slot.resize(n, 0);
+    fn reset<S: WsScalar>(&mut self, n: usize) {
+        let (x, stamp, off_stamp, off_slot) = S::ws_parts(self);
+        x.clear();
+        x.resize(n, S::ZERO);
+        stamp.clear();
+        stamp.resize(n, usize::MAX);
+        off_stamp.clear();
+        off_stamp.resize(n, usize::MAX);
+        off_slot.clear();
+        off_slot.resize(n, 0);
     }
 }
 
@@ -499,6 +1089,17 @@ pub struct SymbolicLu {
     /// Pivot zero-tolerance carried from the factorization options so every
     /// numeric replay applies the same singularity test.
     zero_tol: f64,
+    /// Numeric precision every factor over this plan stores its values in
+    /// (carried from the factorization options; part of the plan because
+    /// sibling factors built via [`SymbolicLu::numeric`] must match).
+    precision: Precision,
+    /// Whether supernode detection is enabled (carried from the options).
+    supernodal: bool,
+    /// Relaxed-amalgamation knob (carried from the options).
+    relax: usize,
+    /// Supernode partition + panel layout, built lazily on first numeric
+    /// construction (the panels' value storage is sized from it).
+    sn_plan: std::sync::OnceLock<Option<SupernodePlan>>,
 }
 
 /// Derived symbolic structures for the parallel and sparse-RHS paths; see
@@ -651,6 +1252,51 @@ impl SymbolicLu {
         &ex.level_cols[ex.level_ptr[level]..ex.level_ptr[level + 1]]
     }
 
+    /// Numeric precision of every factor built over this plan.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Supernode statistics of this plan, or `None` when supernode
+    /// detection is disabled ([`SparseLuOptions::supernodal`] = false).
+    /// Built lazily with the plan itself.
+    pub fn supernode_stats(&self) -> Option<SupernodeStats> {
+        self.supernode_plan_raw().map(|p| p.stats)
+    }
+
+    /// The supernode plan when detection is enabled, regardless of whether
+    /// any multi-column supernodes exist.
+    fn supernode_plan_raw(&self) -> Option<&SupernodePlan> {
+        if !self.supernodal {
+            return None;
+        }
+        self.sn_plan
+            .get_or_init(|| {
+                Some(SupernodePlan::build(
+                    &SymbolicView {
+                        n: self.n,
+                        l_ptr: &self.l_ptr,
+                        l_rows: &self.l_rows,
+                        u_ptr: &self.u_ptr,
+                        u_rows: &self.u_rows,
+                        row_perm: &self.row_perm,
+                        pinv: &self.pinv,
+                        block_ptr: &self.block_ptr,
+                    },
+                    self.relax,
+                ))
+            })
+            .as_ref()
+    }
+
+    /// The supernode plan the blocked kernels run on: present only when
+    /// detection is enabled *and* the pattern actually amalgamates (a plan
+    /// of pure singletons would route every column through the scalar path
+    /// anyway, so callers skip the supernodal machinery entirely).
+    fn blocked_plan(&self) -> Option<&SupernodePlan> {
+        self.supernode_plan_raw().filter(|p| p.stats.multi > 0)
+    }
+
     /// The lazily-built scheduling/reach structures. Thread-safe: the
     /// symbolic plan is shared behind an `Arc` and the first caller (from
     /// any thread) builds, everyone else reuses.
@@ -764,15 +1410,106 @@ impl SymbolicLu {
     /// pattern, [`LinalgError::Singular`] if a frozen pivot is unusable for
     /// the new values.
     pub fn numeric(sym: &Arc<SymbolicLu>, a: &CscMatrix) -> Result<SparseLu, LinalgError> {
+        let panel_len = sym.blocked_plan().map_or(0, |p| p.panel_len);
+        let vals = match sym.precision {
+            Precision::F64 => FactorValues::F64(ValueArrays::zeroed(sym, panel_len)),
+            Precision::F32Refined => FactorValues::F32(ValueArrays::zeroed(sym, panel_len)),
+        };
         let mut lu = SparseLu {
             sym: Arc::clone(sym),
-            l_vals: vec![0.0; sym.l_rows.len()],
-            u_vals: vec![0.0; sym.u_rows.len()],
-            off_vals: vec![0.0; sym.off_rows.len()],
+            vals,
         };
         lu.refactor(a)?;
         Ok(lu)
     }
+}
+
+/// Numeric value storage of a factor, generic over the stored scalar: the
+/// `L` / `U` / cross-block arrays mirroring the symbolic pattern, plus the
+/// dense supernode panel storage of the blocked kernels.
+#[derive(Debug, Clone)]
+struct ValueArrays<S> {
+    l: Vec<S>,
+    u: Vec<S>,
+    off: Vec<S>,
+    /// Dense supernode panels, `[body | ldiag | udiag]` per multi-column
+    /// supernode (see [`SupernodePlan`]); empty when no plan is active.
+    panels: Vec<S>,
+    /// Whether `panels` currently mirrors `l`/`u` — set by the panel-aware
+    /// paths (factor fill, supernodal replay), cleared if a scalar-only
+    /// replay ever overwrites the factor, so the supernode-aware solves
+    /// never read stale panels.
+    panels_valid: bool,
+}
+
+impl<S: LuScalar> ValueArrays<S> {
+    fn zeroed(sym: &SymbolicLu, panel_len: usize) -> Self {
+        ValueArrays {
+            l: vec![S::ZERO; sym.l_rows.len()],
+            u: vec![S::ZERO; sym.u_rows.len()],
+            off: vec![S::ZERO; sym.off_rows.len()],
+            panels: vec![S::ZERO; panel_len],
+            panels_valid: false,
+        }
+    }
+
+    fn ptrs(&mut self) -> FactorValuePtrs<S> {
+        FactorValuePtrs {
+            l: self.l.as_mut_ptr(),
+            u: self.u.as_mut_ptr(),
+            off: self.off.as_mut_ptr(),
+            panels: self.panels.as_mut_ptr(),
+        }
+    }
+
+    /// Gathers the current `l`/`u` values into the supernode panels
+    /// through the plan's precomputed slot maps (padding cells are zeroed
+    /// by the initial fill). Used after a full pivoting factorization; the
+    /// supernodal replay maintains panels incrementally instead.
+    fn fill_panels(&mut self, plan: &SupernodePlan) {
+        self.panels.clear();
+        self.panels.resize(plan.panel_len, S::ZERO);
+        for (idx, &slot) in plan.l_slot.iter().enumerate() {
+            if slot != NO_SLOT {
+                self.panels[slot] = self.l[idx];
+            }
+        }
+        for (idx, &slot) in plan.u_slot.iter().enumerate() {
+            if slot != NO_SLOT {
+                self.panels[slot] = self.u[idx];
+            }
+        }
+        self.panels_valid = true;
+    }
+}
+
+/// The precision-dispatched numeric storage of a [`SparseLu`].
+#[derive(Debug, Clone)]
+enum FactorValues {
+    F64(ValueArrays<f64>),
+    F32(ValueArrays<f32>),
+}
+
+/// Dispatches into precision-generic code with `$va` bound to the active
+/// [`ValueArrays`] — the single point where the stored scalar type is
+/// erased, so the hot paths stay monomorphic.
+macro_rules! with_vals {
+    ($lu:expr, $va:ident => $e:expr) => {
+        match &$lu.vals {
+            FactorValues::F64($va) => $e,
+            FactorValues::F32($va) => $e,
+        }
+    };
+}
+
+/// Mutable twin of [`with_vals!`].
+macro_rules! with_vals_mut {
+    ($lu:expr, $va:ident => $e:expr) => {
+        match &mut $lu.vals {
+            FactorValues::F64($va) => $e,
+            FactorValues::F32($va) => $e,
+        }
+    };
 }
 
 /// Per-thread numeric half of the factorization: the `L`/`U` values over a
@@ -806,11 +1543,9 @@ pub type NumericLu = SparseLu;
 #[derive(Debug, Clone)]
 pub struct SparseLu {
     sym: Arc<SymbolicLu>,
-    l_vals: Vec<f64>,
-    u_vals: Vec<f64>,
-    /// Raw values of the cross-block entries (`sym.off_rows` positions),
-    /// applied during substitution — never factored.
-    off_vals: Vec<f64>,
+    /// Numeric values (`L`, `U`, raw cross-block entries, supernode
+    /// panels), stored at the plan's [`Precision`].
+    vals: FactorValues,
 }
 
 impl SparseLu {
@@ -1052,26 +1787,49 @@ impl SparseLu {
             off_ptr.push(off_rows.len());
         }
 
-        Ok(SparseLu {
-            sym: Arc::new(SymbolicLu {
-                n,
-                q,
-                row_perm,
-                pinv,
-                l_ptr,
-                l_rows,
-                u_ptr,
-                u_rows,
-                block_ptr,
-                off_ptr,
-                off_rows,
-                extras: std::sync::OnceLock::new(),
-                zero_tol: opts.zero_tolerance,
+        let sym = Arc::new(SymbolicLu {
+            n,
+            q,
+            row_perm,
+            pinv,
+            l_ptr,
+            l_rows,
+            u_ptr,
+            u_rows,
+            block_ptr,
+            off_ptr,
+            off_rows,
+            extras: std::sync::OnceLock::new(),
+            zero_tol: opts.zero_tolerance,
+            precision: opts.precision,
+            supernodal: opts.supernodal,
+            relax: opts.amalgamation,
+            sn_plan: std::sync::OnceLock::new(),
+        });
+        let mut va = ValueArrays {
+            l: l_vals,
+            u: u_vals,
+            off: off_vals,
+            panels: Vec::new(),
+            panels_valid: false,
+        };
+        if let Some(plan) = sym.blocked_plan() {
+            va.fill_panels(plan);
+        }
+        let vals = match opts.precision {
+            Precision::F64 => FactorValues::F64(va),
+            // Downconvert once, after the full-precision pivoting
+            // elimination: the pivot *choice* is always made in f64, the
+            // narrower storage only affects replays and solves.
+            Precision::F32Refined => FactorValues::F32(ValueArrays {
+                l: va.l.iter().map(|&v| v as f32).collect(),
+                u: va.u.iter().map(|&v| v as f32).collect(),
+                off: va.off.iter().map(|&v| v as f32).collect(),
+                panels: va.panels.iter().map(|&v| v as f32).collect(),
+                panels_valid: va.panels_valid,
             }),
-            l_vals,
-            u_vals,
-            off_vals,
-        })
+        };
+        Ok(SparseLu { sym, vals })
     }
 
     /// The shared symbolic half (ordering, pattern, pivot plan). Clone the
@@ -1169,154 +1927,8 @@ impl SparseLu {
                 }
             }
         };
-        if threads <= 1 {
-            self.refactor_serial(a, ws)
-        } else {
-            self.refactor_parallel(a, ws, threads)
-        }
-    }
-
-    /// Serial numeric replay in pivot-step order (the reference path).
-    fn refactor_serial(&mut self, a: &CscMatrix, ws: &mut LuWorkspace) -> Result<(), LinalgError> {
         let sym = Arc::clone(&self.sym);
-        ws.reset(sym.n);
-        let ptrs = FactorValuePtrs {
-            l: self.l_vals.as_mut_ptr(),
-            u: self.u_vals.as_mut_ptr(),
-            off: self.off_vals.as_mut_ptr(),
-        };
-        for k in 0..sym.n {
-            // SAFETY: single-threaded — exclusive access to the value
-            // arrays, and step order means every dependency is complete.
-            unsafe {
-                refactor_step(
-                    &sym,
-                    a,
-                    k,
-                    &mut ws.x,
-                    &mut ws.stamp,
-                    &mut ws.off_stamp,
-                    &mut ws.off_slot,
-                    &ptrs,
-                )?
-            };
-        }
-        Ok(())
-    }
-
-    /// Level-scheduled parallel numeric replay: the wide leaf-ward levels
-    /// of the elimination schedule are distributed over `threads` workers
-    /// (columns claimed through per-level atomic cursors, a barrier
-    /// between levels), and the narrow root-ward tail — where coordination
-    /// would cost more than the work — replays serially on the caller.
-    fn refactor_parallel(
-        &mut self,
-        a: &CscMatrix,
-        ws: &mut LuWorkspace,
-        threads: usize,
-    ) -> Result<(), LinalgError> {
-        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-        use std::sync::{Barrier, Mutex};
-
-        let sym = Arc::clone(&self.sym);
-        let n = sym.n;
-        ws.reset(n);
-        // Parallel prefix: levels wide enough to amortize the per-level
-        // barrier. Widths are (near-)monotone decreasing for elimination
-        // schedules — leaves are plentiful, roots are not — so stopping at
-        // the first narrow level captures essentially all parallel work
-        // while bounding the number of barriers.
-        let min_width = (2 * threads).max(8);
-        let ex = sym.extras();
-        let par_levels = (0..sym.level_count())
-            .take_while(|&l| sym.level_steps(l).len() >= min_width)
-            .count();
-        let ptrs = FactorValuePtrs {
-            l: self.l_vals.as_mut_ptr(),
-            u: self.u_vals.as_mut_ptr(),
-            off: self.off_vals.as_mut_ptr(),
-        };
-        if par_levels > 0 {
-            while ws.workers.len() < threads {
-                ws.workers
-                    .push(Mutex::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())));
-            }
-            let cursors: Vec<AtomicUsize> = (0..par_levels).map(|_| AtomicUsize::new(0)).collect();
-            let barrier = Barrier::new(threads);
-            let failed = AtomicBool::new(false);
-            let first_err: Mutex<Option<LinalgError>> = Mutex::new(None);
-            let (sym_ref, ptrs_ref, workers) = (&sym, &ptrs, &ws.workers);
-            rayon::broadcast(threads, |tid| {
-                // Uncontended by construction: slot `tid` belongs to this
-                // worker alone.
-                let mut scratch = workers[tid].lock().expect("worker scratch");
-                let (x, stamp, off_stamp, off_slot) = &mut *scratch;
-                x.clear();
-                x.resize(n, 0.0);
-                stamp.clear();
-                stamp.resize(n, usize::MAX);
-                off_stamp.clear();
-                off_stamp.resize(n, usize::MAX);
-                off_slot.clear();
-                off_slot.resize(n, 0);
-                for (lev, cursor) in cursors.iter().enumerate() {
-                    if !failed.load(Ordering::Acquire) {
-                        let (lo, hi) = (ex.level_ptr[lev], ex.level_ptr[lev + 1]);
-                        loop {
-                            let i = lo + cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= hi {
-                                break;
-                            }
-                            let k = ex.level_cols[i];
-                            // SAFETY: the cursor hands each step to exactly
-                            // one worker (disjoint value ranges), and every
-                            // dependency lives in a lower level, finished
-                            // before the previous barrier.
-                            let res = unsafe {
-                                refactor_step(
-                                    sym_ref, a, k, x, stamp, off_stamp, off_slot, ptrs_ref,
-                                )
-                            };
-                            if let Err(e) = res {
-                                first_err
-                                    .lock()
-                                    .expect("refactor error slot")
-                                    .get_or_insert(e);
-                                failed.store(true, Ordering::Release);
-                                break;
-                            }
-                        }
-                    }
-                    // Level barrier: the next level reads these L columns.
-                    // Reached unconditionally so every worker counts the
-                    // same number of waits even after a failure.
-                    barrier.wait();
-                }
-            });
-            if let Some(e) = first_err.into_inner().expect("refactor error slot") {
-                return Err(e);
-            }
-        }
-        // Serial tail in level order — a valid elimination order, since a
-        // level only reads strictly lower levels.
-        for &k in &ex.level_cols[ex.level_ptr[par_levels]..] {
-            // SAFETY: the broadcast above has joined (its writes are
-            // visible) and this thread is now the only one touching the
-            // factor.
-            unsafe {
-                refactor_step(
-                    &sym,
-                    a,
-                    k,
-                    &mut ws.x,
-                    &mut ws.stamp,
-                    &mut ws.off_stamp,
-                    &mut ws.off_slot,
-                    &ptrs,
-                )?
-            };
-        }
-        Ok(())
+        with_vals_mut!(self, va => refactor_dispatch(&sym, va, a, ws, threads))
     }
 
     /// Solves `A x = b`.
@@ -1346,6 +1958,22 @@ impl SparseLu {
         work: &mut Vec<f64>,
         out: &mut Vec<f64>,
     ) -> Result<(), LinalgError> {
+        with_vals!(self, va => self.solve_into_vals(va, b, work, out))
+    }
+
+    /// Precision-generic body of [`SparseLu::solve_into`]. Arithmetic is
+    /// always f64 — stored values are widened on load (an identity for
+    /// f64 factors, so the historical solve is reproduced bit for bit) —
+    /// and the forward/backward substitutions go through the dense
+    /// supernode panels when a blocked plan is active, the panels mirror
+    /// the factor, and the system is large enough to pay for it.
+    fn solve_into_vals<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
+        b: &[f64],
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
         let sym = &self.sym;
         if b.len() != sym.n {
             return Err(LinalgError::DimensionMismatch {
@@ -1353,6 +1981,15 @@ impl SparseLu {
                 found: b.len(),
             });
         }
+        // Small systems keep the scalar path: its updates land in exactly
+        // the per-entry order the sparse-RHS solves replicate, preserving
+        // their bit-identical contract, and the panel gather wouldn't pay
+        // for itself anyway.
+        let plan = if va.panels_valid && sym.n >= Self::PAR_COL_THRESHOLD {
+            sym.blocked_plan()
+        } else {
+            None
+        };
         // Blocks are solved last-to-first: the block-upper-triangular
         // permutation only couples a block to *earlier* ones, so each
         // block runs its own forward (L) and backward (U) substitution
@@ -1365,26 +2002,34 @@ impl SparseLu {
         let bp = &sym.block_ptr;
         for t in (0..bp.len() - 1).rev() {
             let (lo, hi) = (bp[t], bp[t + 1]);
-            // Forward solve L z = P b within the block; z (in `out`)
-            // indexed by pivot step.
-            for step in lo..hi {
-                let zk = work[sym.row_perm[step]];
-                out[step] = zk;
-                if zk != 0.0 {
-                    for idx in sym.l_ptr[step]..sym.l_ptr[step + 1] {
-                        work[sym.l_rows[idx]] -= zk * self.l_vals[idx];
-                    }
+            match plan {
+                Some(plan) => {
+                    self.block_forward_sn(va, plan, lo, hi, work, out);
+                    self.block_backward_sn(va, plan, lo, hi, out);
                 }
-            }
-            // Backward solve U y = z in place; U columns hold steps,
-            // diagonal last.
-            for step in (lo..hi).rev() {
-                let (ulo, uhi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
-                let yk = out[step] / self.u_vals[uhi - 1];
-                out[step] = yk;
-                if yk != 0.0 {
-                    for idx in ulo..(uhi - 1) {
-                        out[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                None => {
+                    // Forward solve L z = P b within the block; z (in
+                    // `out`) indexed by pivot step.
+                    for step in lo..hi {
+                        let zk = work[sym.row_perm[step]];
+                        out[step] = zk;
+                        if zk != 0.0 {
+                            for idx in sym.l_ptr[step]..sym.l_ptr[step + 1] {
+                                work[sym.l_rows[idx]] -= zk * va.l[idx].to_f64();
+                            }
+                        }
+                    }
+                    // Backward solve U y = z in place; U columns hold
+                    // steps, diagonal last.
+                    for step in (lo..hi).rev() {
+                        let (ulo, uhi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
+                        let yk = out[step] / va.u[uhi - 1].to_f64();
+                        out[step] = yk;
+                        if yk != 0.0 {
+                            for idx in ulo..(uhi - 1) {
+                                out[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
+                            }
+                        }
                     }
                 }
             }
@@ -1393,7 +2038,7 @@ impl SparseLu {
             for (step, &yk) in out.iter().enumerate().take(hi).skip(lo) {
                 if yk != 0.0 {
                     for idx in sym.off_ptr[step]..sym.off_ptr[step + 1] {
-                        work[sym.off_rows[idx]] -= self.off_vals[idx] * yk;
+                        work[sym.off_rows[idx]] -= va.off[idx].to_f64() * yk;
                     }
                 }
             }
@@ -1406,14 +2051,125 @@ impl SparseLu {
         Ok(())
     }
 
+    /// Supernode-aware forward substitution over one BTF block: singleton
+    /// supernodes run the scalar per-entry update, multi-column supernodes
+    /// solve their `w × w` unit-lower diagonal into a local dense vector
+    /// and push it through the body panel with lane dot products — one
+    /// contiguous read per body row instead of `w` strided scatters.
+    fn block_forward_sn<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
+        plan: &SupernodePlan,
+        lo: usize,
+        hi: usize,
+        work: &mut [f64],
+        out: &mut [f64],
+    ) {
+        let sym = &self.sym;
+        let (s0, s1) = (plan.sn_of_step[lo], plan.sn_of_step[hi - 1] + 1);
+        for sn in s0..s1 {
+            let (k0, k1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+            let w = k1 - k0;
+            if w == 1 {
+                let zk = work[sym.row_perm[k0]];
+                out[k0] = zk;
+                if zk != 0.0 {
+                    for idx in sym.l_ptr[k0]..sym.l_ptr[k0 + 1] {
+                        work[sym.l_rows[idx]] -= zk * va.l[idx].to_f64();
+                    }
+                }
+                continue;
+            }
+            let pbase = plan.panel_ptr[sn];
+            let rows = plan.body_rows(sn);
+            let r_cnt = rows.len();
+            let body = &va.panels[pbase..pbase + r_cnt * w];
+            let ldiag = &va.panels[pbase + r_cnt * w..pbase + (r_cnt + w) * w];
+            // Dense unit-lower solve of the supernode diagonal: member t
+            // reads the pivot rows of b already updated by members < t
+            // through the ldiag columns (padding cells are exact zeros).
+            let mut z = [0.0f64; MAX_SN_WIDTH];
+            for t in 0..w {
+                let mut zk = work[sym.row_perm[k0 + t]];
+                for (j, &zj) in z.iter().enumerate().take(t) {
+                    zk -= zj * ldiag[j * w + t].to_f64();
+                }
+                z[t] = zk;
+                out[k0 + t] = zk;
+            }
+            for (i, &r) in rows.iter().enumerate() {
+                work[r] -= dot_lanes_f64(&body[i * w..(i + 1) * w], &z[..w]);
+            }
+        }
+    }
+
+    /// Supernode-aware backward substitution over one BTF block:
+    /// multi-column supernodes resolve their within-supernode coupling
+    /// through the dense `udiag` panel (descending members, contiguous
+    /// column reads) and fire only the external prefix of each stored `U`
+    /// column per entry.
+    fn block_backward_sn<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
+        plan: &SupernodePlan,
+        lo: usize,
+        hi: usize,
+        out: &mut [f64],
+    ) {
+        let sym = &self.sym;
+        let (s0, s1) = (plan.sn_of_step[lo], plan.sn_of_step[hi - 1] + 1);
+        for sn in (s0..s1).rev() {
+            let (k0, k1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+            let w = k1 - k0;
+            if w == 1 {
+                let (ulo, uhi) = (sym.u_ptr[k0], sym.u_ptr[k0 + 1]);
+                let yk = out[k0] / va.u[uhi - 1].to_f64();
+                out[k0] = yk;
+                if yk != 0.0 {
+                    for idx in ulo..(uhi - 1) {
+                        out[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
+                    }
+                }
+                continue;
+            }
+            let pbase = plan.panel_ptr[sn];
+            let r_cnt = plan.body_rows(sn).len();
+            let udiag = &va.panels[pbase + (r_cnt + w) * w..pbase + (r_cnt + 2 * w) * w];
+            for t in (0..w).rev() {
+                let k = k0 + t;
+                let yk = out[k] / udiag[t * w + t].to_f64();
+                out[k] = yk;
+                if yk != 0.0 {
+                    // Within-supernode targets through the dense panel
+                    // column (absent entries are exact zeros) ...
+                    for i in 0..t {
+                        out[k0 + i] -= yk * udiag[t * w + i].to_f64();
+                    }
+                    // ... and the external prefix of the stored column
+                    // (entries ascending; the own-supernode tail sits just
+                    // before the diagonal).
+                    let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+                    let mut ehi = uhi - 1;
+                    while ehi > ulo && sym.u_rows[ehi - 1] >= k0 {
+                        ehi -= 1;
+                    }
+                    for idx in ulo..ehi {
+                        out[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
+                    }
+                }
+            }
+        }
+    }
+
     /// Shared L phase of the sparse-RHS solves: computes the reach of `b`'s
     /// pivot steps in the graph of `L` (edges step → `pinv[row]` per stored
     /// `L` entry, always toward later steps), then runs the numeric forward
     /// substitution over exactly those steps. Afterwards `ws.lreach` holds
     /// the reach in ascending (topological) step order and `ws.xs` the
     /// forward solution `z = L⁻¹ P b` on it.
-    fn forward_sparse_phase(
+    fn forward_sparse_phase<S: LuScalar>(
         &self,
+        va: &ValueArrays<S>,
         b: &[(usize, f64)],
         ws: &mut SparseSolveWorkspace,
     ) -> Result<(), LinalgError> {
@@ -1462,8 +2218,8 @@ impl SparseLu {
             let zk = ws.xs[s];
             if zk != 0.0 {
                 let (lo, hi) = (sym.l_ptr[s], sym.l_ptr[s + 1]);
-                for (&t, &lv) in l_steps[lo..hi].iter().zip(&self.l_vals[lo..hi]) {
-                    ws.xs[t] -= zk * lv;
+                for (&t, &lv) in l_steps[lo..hi].iter().zip(&va.l[lo..hi]) {
+                    ws.xs[t] -= zk * lv.to_f64();
                 }
             }
         }
@@ -1495,7 +2251,7 @@ impl SparseLu {
         ws: &mut SparseSolveWorkspace,
         out: &mut Vec<(usize, f64)>,
     ) -> Result<(), LinalgError> {
-        self.forward_sparse_phase(b, ws)?;
+        with_vals!(self, va => self.forward_sparse_phase(va, b, ws))?;
         out.clear();
         out.extend(ws.lreach.iter().map(|&s| (s, ws.xs[s])));
         Ok(())
@@ -1521,6 +2277,18 @@ impl SparseLu {
     /// range.
     pub fn transposed_backward_sparse_into(
         &self,
+        v: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+        out: &mut Vec<(usize, f64)>,
+    ) -> Result<(), LinalgError> {
+        with_vals!(self, va => self.transposed_backward_sparse_vals(va, v, ws, out))
+    }
+
+    /// Precision-generic body of
+    /// [`SparseLu::transposed_backward_sparse_into`].
+    fn transposed_backward_sparse_vals<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
         v: &[(usize, f64)],
         ws: &mut SparseSolveWorkspace,
         out: &mut Vec<(usize, f64)>,
@@ -1570,11 +2338,11 @@ impl SparseLu {
         // exactly the within-reach edges; the gather form would walk the
         // full (late, huge) U columns of every reach step instead.
         for &s in &ws.lreach {
-            let gk = ws.xs[s] / self.u_vals[sym.u_ptr[s + 1] - 1];
+            let gk = ws.xs[s] / va.u[sym.u_ptr[s + 1] - 1].to_f64();
             ws.xs[s] = gk;
             if gk != 0.0 {
                 for idx in ex.ut_ptr[s]..ex.ut_ptr[s + 1] {
-                    ws.xs[ex.ut_steps[idx]] -= self.u_vals[ex.ut_vals_idx[idx]] * gk;
+                    ws.xs[ex.ut_steps[idx]] -= va.u[ex.ut_vals_idx[idx]].to_f64() * gk;
                 }
             }
         }
@@ -1605,6 +2373,17 @@ impl SparseLu {
         work: &mut Vec<f64>,
         out: &mut Vec<f64>,
     ) -> Result<(), LinalgError> {
+        with_vals!(self, va => self.backward_dense_from_steps_vals(va, s, work, out))
+    }
+
+    /// Precision-generic body of [`SparseLu::backward_dense_from_steps`].
+    fn backward_dense_from_steps_vals<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
+        s: &[(usize, f64)],
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
         let sym = &self.sym;
         let n = sym.n;
         for &(step, _) in s {
@@ -1622,11 +2401,11 @@ impl SparseLu {
         }
         for step in (0..n).rev() {
             let (lo, hi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
-            let yk = work[step] / self.u_vals[hi - 1];
+            let yk = work[step] / va.u[hi - 1].to_f64();
             work[step] = yk;
             if yk != 0.0 {
                 for idx in lo..(hi - 1) {
-                    work[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                    work[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
                 }
             }
         }
@@ -1666,12 +2445,23 @@ impl SparseLu {
         ws: &mut SparseSolveWorkspace,
         out: &mut Vec<f64>,
     ) -> Result<(), LinalgError> {
+        with_vals!(self, va => self.solve_sparse_into_vals(va, b, ws, out))
+    }
+
+    /// Precision-generic body of [`SparseLu::solve_sparse_into`].
+    fn solve_sparse_into_vals<S: LuScalar>(
+        &self,
+        va: &ValueArrays<S>,
+        b: &[(usize, f64)],
+        ws: &mut SparseSolveWorkspace,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
         let sym = &self.sym;
         let n = sym.n;
         if sym.block_count() > 1 {
-            return self.solve_sparse_multiblock(b, ws, out);
+            return self.solve_sparse_multiblock(va, b, ws, out);
         }
-        self.forward_sparse_phase(b, ws)?;
+        self.forward_sparse_phase(va, b, ws)?;
         let l_mark = ws.epoch; // visited in the L phase
         let u_mark = ws.epoch + 1; // explored in the U phase
 
@@ -1707,11 +2497,11 @@ impl SparseLu {
         // Numeric backward solve over the combined reach.
         for &t in &ws.ureach {
             let (lo, hi) = (sym.u_ptr[t], sym.u_ptr[t + 1]);
-            let yk = ws.xs[t] / self.u_vals[hi - 1];
+            let yk = ws.xs[t] / va.u[hi - 1].to_f64();
             ws.xs[t] = yk;
             if yk != 0.0 {
                 for idx in lo..hi - 1 {
-                    ws.xs[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                    ws.xs[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
                 }
             }
         }
@@ -1747,8 +2537,9 @@ impl SparseLu {
     /// dense scans perform exactly the updates the dense path performs,
     /// so the bail-out never changes a bit of the result — only which
     /// bookkeeping computes it.
-    fn solve_sparse_multiblock(
+    fn solve_sparse_multiblock<S: LuScalar>(
         &self,
+        va: &ValueArrays<S>,
         b: &[(usize, f64)],
         ws: &mut SparseSolveWorkspace,
         out: &mut Vec<f64>,
@@ -1825,8 +2616,8 @@ impl SparseLu {
                     let zk = ws.xs[s];
                     if zk != 0.0 {
                         let (lo, hi) = (sym.l_ptr[s], sym.l_ptr[s + 1]);
-                        for (&t2, &lv) in l_steps[lo..hi].iter().zip(&self.l_vals[lo..hi]) {
-                            ws.xs[t2] -= zk * lv;
+                        for (&t2, &lv) in l_steps[lo..hi].iter().zip(&va.l[lo..hi]) {
+                            ws.xs[t2] -= zk * lv.to_f64();
                         }
                     }
                 }
@@ -1905,19 +2696,19 @@ impl SparseLu {
                         let zk = ws.xs[s];
                         if zk != 0.0 {
                             let (lo, hi) = (sym.l_ptr[s], sym.l_ptr[s + 1]);
-                            for (&t2, &lv) in l_steps[lo..hi].iter().zip(&self.l_vals[lo..hi]) {
-                                ws.xs[t2] -= zk * lv;
+                            for (&t2, &lv) in l_steps[lo..hi].iter().zip(&va.l[lo..hi]) {
+                                ws.xs[t2] -= zk * lv.to_f64();
                             }
                         }
                     }
                 }
                 for s in (block_lo..block_hi).rev() {
                     let (lo, hi) = (sym.u_ptr[s], sym.u_ptr[s + 1]);
-                    let yk = ws.xs[s] / self.u_vals[hi - 1];
+                    let yk = ws.xs[s] / va.u[hi - 1].to_f64();
                     ws.xs[s] = yk;
                     if yk != 0.0 {
                         for idx in lo..hi - 1 {
-                            ws.xs[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                            ws.xs[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
                         }
                     }
                 }
@@ -1933,7 +2724,7 @@ impl SparseLu {
                                 ws.xs[s2] = 0.0;
                                 ws.seeds.push(s2);
                             }
-                            ws.xs[s2] -= self.off_vals[idx] * yk;
+                            ws.xs[s2] -= va.off[idx].to_f64() * yk;
                         }
                     }
                 }
@@ -1944,11 +2735,11 @@ impl SparseLu {
             // Numeric backward solve over the block's combined reach.
             for &s in &ws.ureach {
                 let (lo, hi) = (sym.u_ptr[s], sym.u_ptr[s + 1]);
-                let yk = ws.xs[s] / self.u_vals[hi - 1];
+                let yk = ws.xs[s] / va.u[hi - 1].to_f64();
                 ws.xs[s] = yk;
                 if yk != 0.0 {
                     for idx in lo..hi - 1 {
-                        ws.xs[sym.u_rows[idx]] -= yk * self.u_vals[idx];
+                        ws.xs[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
                     }
                 }
             }
@@ -1969,7 +2760,7 @@ impl SparseLu {
                             ws.xs[s2] = 0.0;
                             ws.seeds.push(s2);
                         }
-                        ws.xs[s2] -= self.off_vals[idx] * yk;
+                        ws.xs[s2] -= va.off[idx].to_f64() * yk;
                     }
                 }
             }
@@ -1977,21 +2768,67 @@ impl SparseLu {
         Ok(())
     }
 
-    /// Solves `A x = b`, then applies one step of iterative refinement using
-    /// the original matrix `a` to reduce the residual.
+    /// Solves `A x = b`, then applies iterative refinement using the
+    /// original matrix `a` to reduce the residual: one step under an
+    /// [`Precision::F64`] factor (the historical post-solve polish), up to
+    /// six under [`Precision::F32Refined`] — a single step is not enough to
+    /// buy back the digits a narrow factor lacks on ill-conditioned
+    /// systems, so the loop runs until the residual hits the f64 noise
+    /// floor or stops shrinking.
     ///
     /// # Errors
     ///
     /// Same as [`SparseLu::solve`].
     pub fn solve_refined(&self, a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        let mut x = self.solve(b)?;
-        let ax = a.mul_vec(&x);
-        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
-        let dx = self.solve(&r)?;
-        for (xi, di) in x.iter_mut().zip(&dx) {
-            *xi += di;
-        }
+        let mut ws = LuWorkspace::new();
+        let mut x = Vec::new();
+        self.solve_refined_with(a, b, &mut ws, &mut x)?;
         Ok(x)
+    }
+
+    /// [`SparseLu::solve_refined`] into caller-provided buffers: the
+    /// residual and correction scratch live in `ws` (pooled across calls)
+    /// and `out` receives the refined solution, so refined hot-loop solves
+    /// stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseLu::solve`].
+    pub fn solve_refined_with(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        ws: &mut LuWorkspace,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        self.solve_into(b, &mut ws.rwork, out)?;
+        let max_steps = match self.sym.precision() {
+            Precision::F64 => 1,
+            Precision::F32Refined => 6,
+        };
+        let bnorm = crate::vecops::norm_inf(b);
+        let mut prev = f64::INFINITY;
+        for step in 0..max_steps {
+            a.mul_vec_into(out, &mut ws.resid);
+            for (ri, bi) in ws.resid.iter_mut().zip(b) {
+                *ri = bi - *ri;
+            }
+            let rnorm = crate::vecops::norm_inf(&ws.resid);
+            if step > 0 && (rnorm <= f64::EPSILON * (1.0 + bnorm) || rnorm >= 0.5 * prev) {
+                break;
+            }
+            prev = rnorm;
+            // Swap the residual in as the RHS of the correction solve: the
+            // borrow rules forbid solving from `ws.resid` into `ws.corr`
+            // while both live in `ws`, and a swap is free.
+            let mut resid = std::mem::take(&mut ws.resid);
+            let solved = self.solve_into(&resid, &mut ws.rwork, &mut ws.corr);
+            resid.clear();
+            ws.resid = resid;
+            solved?;
+            crate::vecops::axpy(1.0, &ws.corr, out);
+        }
+        Ok(())
     }
 
     /// System dimension.
@@ -2003,7 +2840,7 @@ impl SparseLu {
     /// off-diagonal values (a fill-in / storage metric comparable across
     /// orderings).
     pub fn factor_nnz(&self) -> usize {
-        self.l_vals.len() + self.u_vals.len() + self.off_vals.len()
+        with_vals!(self, va => va.l.len() + va.u.len() + va.off.len())
     }
 }
 

@@ -1,4 +1,17 @@
 //! Small dense-vector helpers used throughout the workspace.
+//!
+//! The hot entry points ([`norm2`], [`dot`], [`axpy`]) run over multiple
+//! independent accumulator lanes (fixed-size chunks, no cross-iteration
+//! dependency inside a chunk) so LLVM autovectorizes them; the
+//! straight-line scalar forms are kept as `*_scalar` test oracles. Lane
+//! results are reduced pairwise, so a lane rewrite changes the floating
+//! point result only by summation reassociation — the oracle tests bound
+//! that at a few ulps.
+
+/// Accumulator lanes of the chunked kernels: wide enough to fill a
+/// 256-bit vector unit with f64 while staying register-resident on
+/// anything narrower.
+const LANES: usize = 4;
 
 /// Euclidean (L2) norm of `v`.
 ///
@@ -6,6 +19,22 @@
 /// assert_eq!(ohmflow_linalg::vecops::norm2(&[3.0, 4.0]), 5.0);
 /// ```
 pub fn norm2(v: &[f64]) -> f64 {
+    let mut acc = [0.0_f64; LANES];
+    let mut chunks = v.chunks_exact(LANES);
+    for c in &mut chunks {
+        for (a, x) in acc.iter_mut().zip(c) {
+            *a += x * x;
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for x in chunks.remainder() {
+        s += x * x;
+    }
+    s.sqrt()
+}
+
+/// Single-accumulator reference form of [`norm2`] (test oracle).
+pub fn norm2_scalar(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
@@ -21,6 +50,28 @@ pub fn norm_inf(v: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = [0.0_f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for (s, (x, y)) in acc.iter_mut().zip(xa.iter().zip(xb)) {
+            *s += x * y;
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Single-accumulator reference form of [`dot`] (test oracle).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -30,6 +81,29 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let mut cy = y.chunks_exact_mut(LANES);
+    let mut cx = x.chunks_exact(LANES);
+    for (wy, wx) in (&mut cy).zip(&mut cx) {
+        // Fixed-width independent updates — each lane is its own
+        // fused-multiply-add chain, so the loop vectorizes cleanly.
+        for (yi, xi) in wy.iter_mut().zip(wx) {
+            *yi += alpha * xi;
+        }
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Straight-line reference form of [`axpy`] (test oracle). Bitwise
+/// identical to [`axpy`]: per-element updates are independent, so
+/// chunking changes no operation order.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_scalar(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
@@ -66,6 +140,27 @@ mod tests {
         let mut y = b;
         axpy(2.0, &a, &mut y);
         assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_oracles() {
+        // Deterministic ill-aligned lengths spanning 0, sub-lane,
+        // exact-lane and remainder cases.
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 64, 101] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 19) as f64 - 9.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 7) % 23) as f64 - 11.0).collect();
+            let d = dot(&x, &y);
+            let d0 = dot_scalar(&x, &y);
+            assert!((d - d0).abs() <= 1e-12 * (1.0 + d0.abs()), "dot n={n}");
+            let m = norm2(&x);
+            let m0 = norm2_scalar(&x);
+            assert!((m - m0).abs() <= 1e-12 * (1.0 + m0), "norm2 n={n}");
+            let mut y1 = y.clone();
+            let mut y2 = y.clone();
+            axpy(1.5, &x, &mut y1);
+            axpy_scalar(1.5, &x, &mut y2);
+            assert_eq!(y1, y2, "axpy n={n}");
+        }
     }
 
     #[test]

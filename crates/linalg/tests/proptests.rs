@@ -536,3 +536,132 @@ proptest! {
         }
     }
 }
+
+/// A random system whose trailing `tail` columns are fully dense: the
+/// dense tail gives the supernode detector exactly-nested L-column
+/// patterns, so every case exercises the blocked kernels (a purely random
+/// sparse pattern often amalgamates nothing, which would make the
+/// supernodal-vs-scalar properties vacuous).
+fn arb_dense_tail_system() -> impl Strategy<Value = (TripletMatrix, Vec<f64>)> {
+    (10..36usize, 4..9usize, any::<u64>()).prop_map(|(n, tail, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tail = tail.min(n - 2);
+        let mut t = TripletMatrix::new(n, n);
+        let mut row_sum = vec![0.0f64; n];
+        // Sparse diagonally-dominant front.
+        for (i, rs) in row_sum.iter_mut().enumerate() {
+            for _ in 0..3 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    t.push(i, j, v);
+                    *rs += v.abs();
+                }
+            }
+        }
+        // Fully dense trailing block (rows and columns `n - tail ..`).
+        for (i, rs) in row_sum.iter_mut().enumerate().skip(n - tail) {
+            for j in n - tail..n {
+                if i != j {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    t.push(i, j, v);
+                    *rs += v.abs();
+                }
+            }
+        }
+        for (i, rs) in row_sum.iter().enumerate() {
+            t.push(i, i, rs + rng.gen_range(1.0..3.0));
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        (t, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The supernodal blocked refactorization is a pure performance
+    /// transform: on the same pivot sequence it must agree with the
+    /// scalar per-column replay to 1e-12. The dense-tail generator
+    /// guarantees every case actually contains multi-column supernodes.
+    #[test]
+    fn supernodal_refactor_matches_scalar((t, b) in arb_dense_tail_system()) {
+        let csc = t.to_csc();
+        let sn_opts = SparseLuOptions {
+            ordering: ColumnOrdering::Natural,
+            ..SparseLuOptions::default()
+        };
+        let sc_opts = SparseLuOptions {
+            supernodal: false,
+            ..sn_opts
+        };
+        let mut lu_sn = SparseLu::factor_with(&csc, &sn_opts).unwrap();
+        let mut lu_sc = SparseLu::factor_with(&csc, &sc_opts).unwrap();
+        // Same elimination plan, so the comparison is kernel-vs-kernel.
+        prop_assert_eq!(lu_sn.symbolic().pivot_rows(), lu_sc.symbolic().pivot_rows());
+        let stats = lu_sn.symbolic().supernode_stats().expect("detection enabled");
+        prop_assert!(stats.multi >= 1, "dense tail must amalgamate: {stats:?}");
+
+        let csc2 = same_pattern_variant(&csc);
+        lu_sn.refactor(&csc2).unwrap();
+        lu_sc.refactor(&csc2).unwrap();
+        let x_sn = lu_sn.solve(&b).unwrap();
+        let x_sc = lu_sc.solve(&b).unwrap();
+        for (a, r) in x_sn.iter().zip(&x_sc) {
+            prop_assert!((a - r).abs() < 1e-12 * r.abs().max(1.0), "{a} vs {r}");
+        }
+    }
+
+    /// Relaxed amalgamation only changes how columns are grouped into
+    /// panels (admitting explicit-zero padding cells), never the numeric
+    /// result: solves under amalgamation 0, the default, and an extreme
+    /// knob agree to 1e-12 after a refactorization.
+    #[test]
+    fn amalgamation_never_changes_solve_results((t, b) in arb_dense_tail_system()) {
+        let csc = t.to_csc();
+        let csc2 = same_pattern_variant(&csc);
+        let mut solutions = Vec::new();
+        for relax in [0usize, 4, 64] {
+            let opts = SparseLuOptions {
+                ordering: ColumnOrdering::Natural,
+                amalgamation: relax,
+                ..SparseLuOptions::default()
+            };
+            let mut lu = SparseLu::factor_with(&csc, &opts).unwrap();
+            lu.refactor(&csc2).unwrap();
+            solutions.push(lu.solve(&b).unwrap());
+        }
+        let base = &solutions[0];
+        for (i, x) in solutions.iter().enumerate().skip(1) {
+            for (a, r) in x.iter().zip(base) {
+                prop_assert!(
+                    (a - r).abs() < 1e-12 * r.abs().max(1.0),
+                    "knob {i}: {a} vs {r}"
+                );
+            }
+        }
+    }
+
+    /// `Precision::F32Refined` stores the factor in f32 but solves still
+    /// run in f64 against the downconverted values; one refined solve
+    /// ([`SparseLu::solve_refined`]) must land within 1e-9 of the full
+    /// f64 factorization on well-conditioned systems.
+    #[test]
+    fn f32_refined_solve_matches_f64((t, b) in arb_dense_tail_system()) {
+        use ohmflow_linalg::Precision;
+        let csc = t.to_csc();
+        let f64_lu = SparseLu::factor(&csc).unwrap();
+        let x64 = f64_lu.solve(&b).unwrap();
+        let opts = SparseLuOptions {
+            precision: Precision::F32Refined,
+            ..SparseLuOptions::default()
+        };
+        let f32_lu = SparseLu::factor_with(&csc, &opts).unwrap();
+        let x32 = f32_lu.solve_refined(&csc, &b).unwrap();
+        for (a, r) in x32.iter().zip(&x64) {
+            prop_assert!((a - r).abs() < 1e-9 * r.abs().max(1.0), "{a} vs {r}");
+        }
+    }
+}
