@@ -1,1 +1,7 @@
-//! Host crate for the workspace examples (`/examples`) and integration tests (`/tests`); see `Cargo.toml` for the target wiring.
+//! Host crate for the workspace examples (`/examples`), integration tests
+//! (`/tests`) and the [`serve`] multi-tenant serving tier behind the
+//! `ohmflow-serve` binary; see `Cargo.toml` for the target wiring.
+
+#![deny(missing_docs)]
+
+pub mod serve;

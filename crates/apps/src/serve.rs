@@ -1,0 +1,442 @@
+//! The `ohmflow-serve` multi-tenant serving tier: a length-prefixed TCP
+//! protocol over the staged [`MaxFlowSolver`] facade.
+//!
+//! # Wire protocol
+//!
+//! Every message (both directions) is one *frame*: a `u32` little-endian
+//! payload length followed by that many payload bytes. Frames above
+//! [`MAX_FRAME_BYTES`] are rejected (a corrupt length prefix must not
+//! make the server allocate gigabytes).
+//!
+//! **Request payload** — one graph to solve:
+//!
+//! ```text
+//! tag     u8    0 = DIMACS max-flow text, 1 = OFG1 binary (ohmflow_graph::binfmt)
+//! graph   …     the encoded graph
+//! ```
+//!
+//! **Response payload** — flow value, per-edge flows and solver telemetry:
+//!
+//! ```text
+//! status  u8    0 = ok, 1 = error
+//! -- status 0 --
+//! value       f64 le    flow value |f| (flow units)
+//! m           u32 le    edge count
+//! flows       m × f64   per-edge flows, edge-id order
+//! iterations  u32 le    state iterations of the DC engine
+//! factor_nnz  u64 le    nnz(L)+nnz(U) behind the answer
+//! block_count u32 le    BTF diagonal blocks
+//! templated   u8        1 when the solve rode a cached plan
+//! -- status 1 --
+//! message     …         UTF-8 human-readable error
+//! ```
+//!
+//! A connection carries any number of request/response round trips in
+//! order; the server answers every request and closes when the client
+//! half-closes.
+//!
+//! # Architecture
+//!
+//! One acceptor thread hands each connection to its own reader thread;
+//! readers decode graphs and enqueue jobs on one shared queue. A pool of
+//! worker threads drains the queue in *batches*: each wake-up takes every
+//! queued job at once and pushes the batch through
+//! [`MaxFlowSolver::solve_many`], so a burst of same-topology requests
+//! (the multi-tenant steady state) is fingerprint-grouped through one
+//! shared plan and the sharded plan cache amortizes the symbolic cold
+//! path across tenants. Per-request errors travel back on the job's reply
+//! channel — one bad graph never poisons a batch.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ohmflow::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
+use ohmflow::AnalogSolution;
+use ohmflow_graph::{binfmt, dimacs, FlowNetwork};
+
+/// Request tag: DIMACS max-flow text.
+pub const TAG_DIMACS: u8 = 0;
+/// Request tag: `OFG1` binary graph ([`ohmflow_graph::binfmt`]).
+pub const TAG_BINARY: u8 = 1;
+
+/// Hard ceiling on one frame's payload (64 MiB) — large enough for
+/// million-edge instances, small enough that a corrupt length prefix
+/// cannot drive allocation.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// One solved answer as carried by the wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// Flow value `|f|` (flow units).
+    pub value: f64,
+    /// Per-edge flows, edge-id order.
+    pub edge_flows: Vec<f64>,
+    /// State iterations of the DC engine.
+    pub iterations: u32,
+    /// `nnz(L) + nnz(U)` of the factorization behind the answer.
+    pub factor_nnz: u64,
+    /// Diagonal blocks of the block-triangular form.
+    pub block_count: u32,
+    /// Whether the solve rode a cached plan's shared symbolic work.
+    pub templated: bool,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the solve queue.
+    pub workers: usize,
+    /// Solver options every request is served under (the plan cache's
+    /// byte capacity rides in here — see
+    /// [`SolveOptions::with_plan_cache_bytes`]).
+    pub options: SolveOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            options: SolveOptions::ideal(),
+        }
+    }
+}
+
+/// One queued solve: the decoded graph and where its answer goes.
+struct Job {
+    graph: FlowNetwork,
+    reply: mpsc::Sender<Result<AnalogSolution, String>>,
+}
+
+/// The shared work queue: jobs in, batch-drained by workers, condvar
+/// wake-ups, sticky shutdown flag.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("serve queue").push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until work or shutdown; returns every queued job at once
+    /// (the batching funnel into `solve_many`).
+    fn drain(&self) -> Option<Vec<Job>> {
+        let mut jobs = self.jobs.lock().expect("serve queue");
+        loop {
+            if !jobs.is_empty() {
+                return Some(jobs.drain(..).collect());
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            jobs = self.ready.wait(jobs).expect("serve queue");
+        }
+    }
+
+    fn close(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// A running server: bound address plus shutdown/join control. Dropping
+/// the handle without calling [`ServerHandle::shutdown`] leaves the
+/// server running for the life of the process (the binary's mode).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<Queue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server accepts connections on (useful with an
+    /// ephemeral `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight work and joins every thread.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        // Unblock the acceptor's blocking `accept` with one throwaway
+        // connection; it observes the shutdown flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+/// acceptor and worker threads.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn(addr: &str, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let queue = Arc::new(Queue::new());
+    let solver = MaxFlowSolver::new(config.options);
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            // Clones share the sharded plan cache: every worker amortizes
+            // every other worker's cold paths.
+            let solver = solver.clone();
+            std::thread::spawn(move || worker_loop(&queue, &solver))
+        })
+        .collect();
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if queue.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &queue);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        queue,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// One worker: batch-drain the queue, fan the batch through
+/// `solve_many`'s fingerprint grouping, answer every member.
+fn worker_loop(queue: &Queue, solver: &MaxFlowSolver) {
+    while let Some(batch) = queue.drain() {
+        if batch.len() == 1 {
+            // No grouping to exploit; skip the rayon fan-out.
+            let job = batch.into_iter().next().expect("one job");
+            let result = solver.solve(&job.graph).map_err(|e| e.to_string());
+            let _ = job.reply.send(result);
+            continue;
+        }
+        let results = solver.solve_many(batch.iter().map(|j| Problem::Graph(&j.graph)));
+        for (job, result) in batch.into_iter().zip(results) {
+            let _ = job.reply.send(result.map_err(|e| e.to_string()));
+        }
+    }
+}
+
+/// One connection: frames in, frames out, in order, until EOF.
+fn serve_connection(mut stream: TcpStream, queue: &Queue) -> std::io::Result<()> {
+    loop {
+        let Some(payload) = read_frame(&mut stream)? else {
+            return Ok(()); // clean EOF between frames
+        };
+        let response = match decode_request(&payload) {
+            Ok(graph) => {
+                let (tx, rx) = mpsc::channel();
+                queue.push(Job { graph, reply: tx });
+                match rx.recv() {
+                    Ok(Ok(sol)) => encode_ok(&sol),
+                    Ok(Err(msg)) => encode_err(&msg),
+                    Err(_) => encode_err("server shutting down"),
+                }
+            }
+            Err(msg) => encode_err(&msg),
+        };
+        write_frame(&mut stream, &response)?;
+    }
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+///
+/// I/O failures, truncation inside a frame, oversized length prefixes.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O failures; payloads above [`MAX_FRAME_BYTES`].
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds the payload limit",
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Builds a request payload from an already-encoded graph body.
+pub fn encode_request(tag: u8, graph_bytes: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + graph_bytes.len());
+    payload.push(tag);
+    payload.extend_from_slice(graph_bytes);
+    payload
+}
+
+/// Decodes a request payload into the graph it carries.
+fn decode_request(payload: &[u8]) -> Result<FlowNetwork, String> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| "empty request payload".to_owned())?;
+    match tag {
+        TAG_DIMACS => {
+            let text =
+                std::str::from_utf8(body).map_err(|e| format!("DIMACS body is not UTF-8: {e}"))?;
+            dimacs::parse(text).map_err(|e| e.to_string())
+        }
+        TAG_BINARY => binfmt::parse_binary(body).map_err(|e| e.to_string()),
+        other => Err(format!("unknown request tag {other}")),
+    }
+}
+
+fn encode_ok(sol: &AnalogSolution) -> Vec<u8> {
+    let m = sol.edge_flows.len();
+    let mut payload = Vec::with_capacity(1 + 8 + 4 + m * 8 + 4 + 8 + 4 + 1);
+    payload.push(0);
+    payload.extend_from_slice(&sol.value.to_le_bytes());
+    payload.extend_from_slice(&(m as u32).to_le_bytes());
+    for f in &sol.edge_flows {
+        payload.extend_from_slice(&f.to_le_bytes());
+    }
+    payload.extend_from_slice(&(sol.report.iterations as u32).to_le_bytes());
+    payload.extend_from_slice(&(sol.report.factor_nnz as u64).to_le_bytes());
+    payload.extend_from_slice(&(sol.report.block_count as u32).to_le_bytes());
+    payload.push(u8::from(sol.report.templated));
+    payload
+}
+
+fn encode_err(message: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + message.len());
+    payload.push(1);
+    payload.extend_from_slice(message.as_bytes());
+    payload
+}
+
+/// Decodes a response payload: `Ok` carries the solved answer, `Err` the
+/// server-reported message.
+///
+/// # Errors
+///
+/// `Err(String)` both for server-reported errors (status 1) and for
+/// malformed payloads.
+pub fn decode_response(payload: &[u8]) -> Result<SolveResponse, String> {
+    let (&status, body) = payload
+        .split_first()
+        .ok_or_else(|| "empty response payload".to_owned())?;
+    if status == 1 {
+        return Err(String::from_utf8_lossy(body).into_owned());
+    }
+    if status != 0 {
+        return Err(format!("unknown response status {status}"));
+    }
+    let take = |body: &[u8], at: usize, n: usize| -> Result<Vec<u8>, String> {
+        body.get(at..at + n)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| "truncated response".to_owned())
+    };
+    let f64_at = |at: usize| -> Result<f64, String> {
+        Ok(f64::from_le_bytes(take(body, at, 8)?.try_into().unwrap()))
+    };
+    let u32_at = |at: usize| -> Result<u32, String> {
+        Ok(u32::from_le_bytes(take(body, at, 4)?.try_into().unwrap()))
+    };
+    let value = f64_at(0)?;
+    let m = u32_at(8)? as usize;
+    let mut edge_flows = Vec::with_capacity(m);
+    for i in 0..m {
+        edge_flows.push(f64_at(12 + i * 8)?);
+    }
+    let tail = 12 + m * 8;
+    let iterations = u32_at(tail)?;
+    let factor_nnz = u64::from_le_bytes(take(body, tail + 4, 8)?.try_into().unwrap());
+    let block_count = u32_at(tail + 12)?;
+    let templated = *body
+        .get(tail + 16)
+        .ok_or_else(|| "truncated response".to_owned())?
+        != 0;
+    Ok(SolveResponse {
+        value,
+        edge_flows,
+        iterations,
+        factor_nnz,
+        block_count,
+        templated,
+    })
+}
+
+/// Client convenience: one request/response round trip on an open
+/// connection.
+///
+/// # Errors
+///
+/// `Err(String)` for transport failures, server-reported errors and
+/// malformed responses.
+pub fn request(
+    stream: &mut TcpStream,
+    tag: u8,
+    graph_bytes: &[u8],
+) -> Result<SolveResponse, String> {
+    write_frame(stream, &encode_request(tag, graph_bytes)).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed before response".to_owned())?;
+    decode_response(&payload)
+}

@@ -13,17 +13,21 @@
 //! rmat128 multi-block numeric-replay tax) and `BENCH_PR7.json` (the
 //! supernodal blocked kernels vs the scalar replay, `f64` vs the
 //! `F32Refined` storage precision, the detected supernode structure and
-//! the mixed-precision 1e-9 accuracy gate), so the repo's perf trajectory
-//! is tracked by artifact instead of anecdote. A final pass merges every
-//! `BENCH_PR*.json` in the working directory into `BENCH_TRAJECTORY.json`
-//! keyed by PR number.
+//! the mixed-precision 1e-9 accuracy gate) and `BENCH_PR8.json` (the
+//! concurrent sharded plan cache: fingerprint-first hit latency vs the
+//! old full-key-rebuild path, warm-hit throughput at 1/2/4 threads and
+//! an eviction-pressure sweep with the cache counters), so the repo's
+//! perf trajectory is tracked by artifact instead of anecdote. A final
+//! pass merges every `BENCH_PR*.json` in the working directory into
+//! `BENCH_TRAJECTORY.json` keyed by PR number.
 //!
 //! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
-//! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` / `OHMFLOW_BENCH_OUT_PR4`
-//! override the output paths; `OHMFLOW_FULL=1` adds the minutes-long
-//! natural-order factorization of rmat2048). `bench_report trajectory`
-//! skips the benchmarks and only rebuilds `BENCH_TRAJECTORY.json` from
-//! the report files already on disk.
+//! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` / ... /
+//! `OHMFLOW_BENCH_OUT_PR8` override the output paths; `OHMFLOW_FULL=1`
+//! adds the minutes-long natural-order factorization of rmat2048).
+//! `bench_report trajectory` skips the benchmarks and only rebuilds
+//! `BENCH_TRAJECTORY.json` from the report files already on disk;
+//! `bench_report pr8` runs just the PR 8 section and re-merges.
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::solver::RelaxationEngine;
@@ -39,9 +43,18 @@ use ohmflow_linalg::{
 };
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("trajectory") {
-        trajectory_report();
-        return;
+    match std::env::args().nth(1).as_deref() {
+        Some("trajectory") => {
+            trajectory_report();
+            return;
+        }
+        // The PR 8 section standalone (plan-cache iteration loop).
+        Some("pr8") => {
+            pr8_report();
+            trajectory_report();
+            return;
+        }
+        _ => {}
     }
     let mut entries: Vec<(String, f64)> = Vec::new();
     let mut push = |name: &str, ns: f64| {
@@ -166,6 +179,7 @@ fn main() {
     pr5_report();
     pr6_report();
     pr7_report();
+    pr8_report();
     trajectory_report();
 }
 
@@ -607,12 +621,15 @@ fn pr4_report() {
 }
 
 /// The PR 5 staged-facade section: the facade must be free. Repeat solves
-/// through `MaxFlowSolver::solve` (plan cache) are measured against the
-/// deprecated direct `solve_templated` path they replaced, against the
+/// through `MaxFlowSolver::solve` (plan cache) are measured against a
+/// second solver clone sharing the same plan cache (the JSON keys keep
+/// their original `direct_templated` names for trajectory continuity —
+/// the deprecated direct path those names referred to was deleted in
+/// PR 8, and a cache-sharing clone is the same measurement), against the
 /// explicit `plan → instance → solve` staging, and against the plan-cache
 /// hit cost itself, on the rmat1024/rmat2048 substrates. The recorded
 /// `facade_vs_direct_templated_rmat1024` ratio is the acceptance bar
-/// (< 1.05): the shims delegate to the same internals, so anything above
+/// (< 1.05): both paths ride the identical internals, so anything above
 /// noise means the facade grew a real cost.
 fn pr5_report() {
     println!("--- PR5 staged facade ---");
@@ -629,13 +646,12 @@ fn pr5_report() {
         let mut cfg = SolveOptions::evaluation_quasi_static(10e9);
         cfg.params.v_flow = 800.0;
         let solver = MaxFlowSolver::new(cfg);
-        // The legacy shim view shares the same engine and plan cache, so
-        // both paths measure the identical warm state.
-        let legacy = solver.engine().clone();
+        // The cloned solver shares the same plan cache, so both handles
+        // measure the identical warm state.
+        let twin = solver.clone();
         solver.solve(&g).expect("prime plan");
 
-        #[allow(deprecated)] // the comparison target IS the legacy entry point
-        let direct = median_ns(3, || legacy.solve_templated(&g).expect("solve").value);
+        let direct = median_ns(3, || twin.solve(&g).expect("solve").value);
         let facade = median_ns(3, || solver.solve(&g).expect("solve").value);
         let plan = solver.plan(&g).expect("plan");
         assert!(plan.cache_hit(), "primed plan must come from the cache");
@@ -1009,6 +1025,175 @@ fn pr7_report() {
     let out =
         std::env::var("OHMFLOW_BENCH_OUT_PR7").unwrap_or_else(|_| "BENCH_PR7.json".to_owned());
     std::fs::write(&out, json).expect("write pr7 bench report");
+    println!("wrote {out}");
+}
+
+/// The PR 8 section: the concurrent sharded plan cache. Three tracked
+/// stories on the quasi-static rmat substrates:
+///
+/// * Hit-path latency, old vs new. The pre-PR-8 hit path rebuilt the full
+///   `TemplateKey` (edge `Vec` + per-edge `Hash` dispatch into SipHash)
+///   on every lookup; that per-edge rehash is reconstructed here as the
+///   baseline and set against today's key rebuild (cold path only), the
+///   streaming-fingerprint probe and the end-to-end `MaxFlowSolver::plan`
+///   warm hit. The acceptance bar is the rmat2048 hit landing >= 5x under
+///   the 107744 ns recorded in `BENCH_PR5.json`.
+/// * Warm-hit throughput under concurrency: 1/2/4 threads hammering one
+///   shared cache through solver clones. On the multi-core bench runner
+///   aggregate throughput should hold (lock-striped shards); the
+///   recorded ratios are aggregate ns/op relative to one thread.
+/// * Eviction pressure: the same lookup mix under a roomy, a tight and a
+///   floor-sized `plan_cache_bytes` budget, with the hit/miss/eviction
+///   counters from `PlanCacheStats` recorded alongside the latency.
+fn pr8_report() {
+    use std::hint::black_box;
+
+    use ohmflow::TemplateKey;
+    use ohmflow_circuit::Precision;
+
+    println!("--- PR8 concurrent plan cache ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, ns: f64| {
+        println!("{name:<48} {ns:>14.0} ns/op");
+        entries.push((name, ns));
+    };
+
+    // Hit latency recorded by the PR 5 report on this container, before
+    // the fingerprint-first rewrite (BENCH_PR5.json, `plan_cache_hit`).
+    const PR5_RECORDED_HIT_NS: [(&str, f64); 2] = [("rmat1024", 56502.0), ("rmat2048", 107744.0)];
+
+    let (ordering, precision) = (ColumnOrdering::default(), Precision::default());
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (name, g) in [
+        ("rmat1024", fig10_instance(1024, false, 1)),
+        ("rmat2048", fig10_instance(2048, false, 1)),
+    ] {
+        let mut cfg = SolveOptions::evaluation_quasi_static(10e9);
+        cfg.params.v_flow = 800.0;
+        let solver = MaxFlowSolver::new(cfg);
+        solver.solve(&g).expect("prime plan");
+
+        // The pre-PR-8 lookup cost, reconstructed: per-edge `Hash`-trait
+        // dispatch into SipHash (the derived-`Hash` `HashMap` key probe
+        // every hit used to pay) — versus today's key rebuild (cold path
+        // only), the streaming fingerprint, and the end-to-end warm hit.
+        let rehash = median_ns(9, || {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            g.vertex_count().hash(&mut h);
+            g.source().hash(&mut h);
+            g.sink().hash(&mut h);
+            for e in black_box(&g).edges() {
+                (e.from, e.to).hash(&mut h);
+            }
+            black_box(h.finish())
+        });
+        let key_rebuild = median_ns(9, || {
+            black_box(TemplateKey::with_lu(black_box(&g), ordering, precision))
+        });
+        let fingerprint = median_ns(9, || {
+            black_box(TemplateKey::fingerprint(black_box(&g), ordering, precision))
+        });
+        let hit = median_ns(9, || solver.plan(&g).expect("plan").cache_hit());
+        push(format!("{name}/siphash_rehash_baseline"), rehash);
+        push(format!("{name}/key_rebuild"), key_rebuild);
+        push(format!("{name}/topology_fingerprint"), fingerprint);
+        push(format!("{name}/plan_cache_hit"), hit);
+        speedups.push((format!("hit_vs_siphash_rehash_{name}"), rehash / hit));
+        let recorded = PR5_RECORDED_HIT_NS
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .expect("recorded baseline");
+        speedups.push((format!("hit_vs_pr5_recorded_{name}"), recorded / hit));
+    }
+
+    // Warm-hit throughput: clones share the one sharded cache.
+    let g = fig10_instance(1024, false, 1);
+    let mut cfg = SolveOptions::evaluation_quasi_static(10e9);
+    cfg.params.v_flow = 800.0;
+    let solver = MaxFlowSolver::new(cfg);
+    solver.solve(&g).expect("prime plan");
+    const OPS_PER_THREAD: usize = 512;
+    let mut agg = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let worker = solver.clone();
+                let g = &g;
+                scope.spawn(move || {
+                    for _ in 0..OPS_PER_THREAD {
+                        assert!(worker.plan(g).expect("plan").cache_hit());
+                    }
+                });
+            }
+        });
+        let ns = start.elapsed().as_nanos() as f64 / (threads * OPS_PER_THREAD) as f64;
+        push(format!("concurrent_hit_threads{threads}/agg_ns_per_op"), ns);
+        agg.push(ns);
+    }
+    speedups.push(("concurrent_agg_threads2_vs_1".into(), agg[0] / agg[1]));
+    speedups.push(("concurrent_agg_threads4_vs_1".into(), agg[0] / agg[2]));
+
+    // Eviction pressure: cycle eight rmat128 topologies through budgets
+    // from roomy (everything resident) down to the one-plan-per-shard
+    // floor, and record the cache counters the sweep leaves behind.
+    let mix: Vec<_> = (0..8).map(|s| fig10_instance(128, false, s)).collect();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for (label, budget) in [
+        ("roomy_64mb", 64usize << 20),
+        ("tight_512kb", 512 << 10),
+        ("floor_1b", 1),
+    ] {
+        let mut cfg = SolveOptions::evaluation_quasi_static(10e9).with_plan_cache_bytes(budget);
+        cfg.params.v_flow = 800.0;
+        let solver = MaxFlowSolver::new(cfg);
+        for g in &mix {
+            solver.plan(g).expect("prime");
+        }
+        let ns = median_ns(3, || {
+            for g in &mix {
+                solver.plan(g).expect("plan");
+            }
+        });
+        push(format!("eviction_{label}/lookup_cycle8"), ns);
+        let stats = solver.plan(&mix[0]).expect("plan").report().cache;
+        for (k, v) in [
+            ("hits", stats.hits),
+            ("misses", stats.misses),
+            ("evictions", stats.evictions),
+            ("resident_plans", stats.resident_plans as u64),
+        ] {
+            counters.push((format!("eviction_{label}/{k}"), v));
+        }
+    }
+
+    for (k, v) in &speedups {
+        println!("{k}: {v:.2}x");
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr8/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"cache_counters\": {\n");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR8").unwrap_or_else(|_| "BENCH_PR8.json".to_owned());
+    std::fs::write(&out, json).expect("write pr8 bench report");
     println!("wrote {out}");
 }
 

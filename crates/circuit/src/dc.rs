@@ -148,114 +148,8 @@ impl DcTemplate {
     }
 }
 
-/// DC operating-point analysis — the **legacy builder** superseded by the
-/// staged [`DcSolver`] facade.
-///
-/// Capacitors are open, op-amps act as finite-gain VCVS, sources take their
-/// `t = 0⁻` value, and diode conduction states are iterated to a consistent
-/// assignment (exact for the PWL models).
-///
-/// Every configuration this builder expresses maps onto the facade:
-/// `DcAnalysis::new(&ckt).solve()` is [`DcSolver::solve`],
-/// `.at_time(t)` is [`DcSolver::solve_at`], `.with_template(tpl)` is a
-/// [`DcPlan`] solve and `.warm_start(states)` is
-/// [`DcPlan::solve_warm`]. The builder remains as a thin deprecated shim
-/// over the same internals, pinned equivalent by the facade test-suite.
-#[derive(Debug)]
-pub struct DcAnalysis<'c> {
-    ckt: &'c Circuit,
-    /// When `true` (default), `Step` sources use their pre-step value.
-    pre_step: bool,
-    /// Evaluate time-varying sources at this instant instead of 0⁻.
-    at_time: Option<f64>,
-    /// Reuses a topology template's structure and factorization.
-    template: Option<&'c DcTemplate>,
-    /// Warm-start device states (e.g. the converged states of a previous
-    /// solve on the same topology).
-    warm_states: Option<Vec<DeviceState>>,
-    /// Factorization options for the cold path (a template brings its
-    /// own).
-    lu_opts: LuOptions,
-}
-
-impl<'c> DcAnalysis<'c> {
-    /// Prepares a DC analysis of `ckt`.
-    #[deprecated(note = "use the staged `DcSolver` facade (`DcSolver::new().solve(&ckt)`)")]
-    pub fn new(ckt: &'c Circuit) -> Self {
-        DcAnalysis {
-            ckt,
-            pre_step: true,
-            at_time: None,
-            template: None,
-            warm_states: None,
-            lu_opts: LuOptions::default(),
-        }
-    }
-
-    /// Overrides the factorization options of the cold path — most
-    /// usefully the [`ColumnOrdering`](crate::ColumnOrdering). When a
-    /// matching template is supplied ([`DcAnalysis::with_template`]) the
-    /// template's own options win, since its symbolic plan was built under
-    /// them.
-    pub fn lu_options(mut self, opts: LuOptions) -> Self {
-        self.lu_opts = opts;
-        self
-    }
-
-    /// Evaluates time-varying sources at `t` (a "quasi-static" solve) rather
-    /// than at `0⁻`. This is what the §6.5 slow-ramp analysis uses.
-    pub fn at_time(mut self, t: f64) -> Self {
-        self.at_time = Some(t);
-        self.pre_step = false;
-        self
-    }
-
-    /// Starts the solve from a [`DcTemplate`]: the unknown map is reused
-    /// and the state-iteration's factorization cache is primed with a
-    /// numeric-only refactorization of the template's factor, skipping the
-    /// ordering + symbolic analysis entirely. A template that does not
-    /// [match](DcTemplate::matches) the circuit is ignored (cold path).
-    pub fn with_template(mut self, tpl: &'c DcTemplate) -> Self {
-        self.template = Some(tpl);
-        self
-    }
-
-    /// Warm-starts the device-state (complementarity) iteration from
-    /// `states` — typically [`DcSolution::device_states`] of a previous
-    /// solve on the same topology, which collapses the clamp-engagement
-    /// cascade to a handful of iterations on sweep-shaped workloads. An
-    /// assignment that does not fit the circuit is ignored; a warm start
-    /// that fails to converge is retried from the default initial states,
-    /// so warm starts never change which systems are solvable.
-    pub fn warm_start(mut self, states: Vec<DeviceState>) -> Self {
-        self.warm_states = Some(states);
-        self
-    }
-
-    /// Runs the analysis.
-    ///
-    /// # Errors
-    ///
-    /// [`CircuitError::SingularSystem`] for floating nodes or inconsistent
-    /// source loops; [`CircuitError::StateIterationDiverged`] if the diode
-    /// state iteration cycles without a fixed point.
-    #[deprecated(note = "use the staged `DcSolver` facade (`DcSolver::new().solve(&ckt)`)")]
-    pub fn solve(&self) -> Result<DcSolution, CircuitError> {
-        let req = DcRequest {
-            ckt: self.ckt,
-            pre_step: self.pre_step,
-            at_time: self.at_time,
-            template: self.template,
-            warm: self.warm_states.as_deref(),
-            lu_opts: self.lu_opts,
-        };
-        run_dc(&req).map(|(sol, _)| sol)
-    }
-}
-
 /// Everything one DC operating-point solve depends on — the shared request
-/// the [`DcAnalysis`] shim and every [`DcSolver`]/[`DcPlan`] entry point
-/// funnel into.
+/// every [`DcSolver`]/[`DcPlan`] entry point funnels into.
 pub(crate) struct DcRequest<'a> {
     pub ckt: &'a Circuit,
     /// When `true` (default), `Step` sources use their pre-step value.
@@ -273,10 +167,9 @@ pub(crate) struct DcRequest<'a> {
 }
 
 /// The one DC operating-point solve body (state iteration + one step of
-/// iterative refinement). Every public DC solve path — the deprecated
-/// [`DcAnalysis`] builder and the [`DcSolver`]/[`DcPlan`] facade — is a
-/// thin shim over this function, which is what makes their equivalence
-/// structural rather than coincidental.
+/// iterative refinement). Every public DC solve path in the
+/// [`DcSolver`]/[`DcPlan`] facade is a thin shim over this function, which
+/// is what makes their equivalence structural rather than coincidental.
 pub(crate) fn run_dc(req: &DcRequest<'_>) -> Result<(DcSolution, SolveReport), CircuitError> {
     let ckt = req.ckt;
     let initial = mna::initial_states(ckt);
@@ -442,9 +335,9 @@ pub struct SolveReport {
 /// only numeric work. The plan-less `solve`/`session` entry points run the
 /// cold path inline — use them for one-shot analyses.
 ///
-/// This facade replaces the `DcAnalysis`-builder / `FrozenDcSession`-
-/// constructor sprawl; the legacy entry points survive as deprecated shims
-/// over the same internals.
+/// This facade replaced the `DcAnalysis`-builder / `FrozenDcSession`-
+/// constructor sprawl; the legacy entry points were pinned equivalent by
+/// the facade test-suite and then removed.
 ///
 /// # Example
 ///
@@ -531,7 +424,6 @@ impl DcSolver {
     ///
     /// # Errors
     ///
-    /// Same as the solve paths of the deprecated `DcAnalysis`:
     /// [`CircuitError::SingularSystem`] /
     /// [`CircuitError::StateIterationDiverged`].
     pub fn solve(&self, ckt: &Circuit) -> Result<(DcSolution, SolveReport), CircuitError> {
@@ -801,32 +693,6 @@ pub struct FrozenDcCache {
     lu: SparseLu,
 }
 
-/// Stamps `ckt`'s initial-state DC MNA matrix and factors it, returning
-/// both. Deprecated shim over [`DcSolver::stamp`].
-///
-/// # Errors
-///
-/// [`CircuitError::SingularSystem`] if the initial-state configuration is
-/// unsolvable.
-#[deprecated(note = "use `DcSolver::new().stamp(&ckt)`")]
-pub fn stamp_dc_system(ckt: &Circuit) -> Result<(CscMatrix, SparseLu), CircuitError> {
-    DcSolver::new().stamp(ckt)
-}
-
-/// [`stamp_dc_system`] with explicit factorization options. Deprecated
-/// shim over [`DcSolver::stamp`].
-///
-/// # Errors
-///
-/// Same as [`stamp_dc_system`].
-#[deprecated(note = "use `DcSolver::new().lu_options(opts).stamp(&ckt)`")]
-pub fn stamp_dc_system_with(
-    ckt: &Circuit,
-    lu_opts: &LuOptions,
-) -> Result<(CscMatrix, SparseLu), CircuitError> {
-    DcSolver::new().lu_options(*lu_opts).stamp(ckt)
-}
-
 /// Counters describing how a [`FrozenDcSession`] spent its linear-algebra
 /// budget — the observable behind the incremental engine's speedup claims.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -982,41 +848,6 @@ impl<'c> FrozenDcSession<'c> {
     /// Default hygiene period (solves between forced rebases while
     /// updates are outstanding).
     const DEFAULT_REBASE_PERIOD: usize = 256;
-
-    /// Builds the structure, stamps the all-diodes-off base matrix and
-    /// factors it. Deprecated shim over [`DcSolver::session`].
-    ///
-    /// # Errors
-    ///
-    /// [`CircuitError::SingularSystem`] if the base configuration is
-    /// unsolvable (floating nodes, inconsistent source loops).
-    #[deprecated(note = "use `DcSolver::new().session(&ckt)`")]
-    pub fn new(ckt: &'c Circuit) -> Result<Self, CircuitError> {
-        Self::construct(ckt, None, LuOptions::default())
-    }
-
-    /// [`FrozenDcSession::new`] with explicit factorization options.
-    /// Deprecated shim over [`DcSolver::session`].
-    ///
-    /// # Errors
-    ///
-    /// Same as [`FrozenDcSession::new`].
-    #[deprecated(note = "use `DcSolver::new().lu_options(opts).session(&ckt)`")]
-    pub fn with_lu_options(ckt: &'c Circuit, lu_opts: LuOptions) -> Result<Self, CircuitError> {
-        Self::construct(ckt, None, lu_opts)
-    }
-
-    /// Builds a session from a [`DcTemplate`], skipping the structure
-    /// derivation, fill-reducing ordering and symbolic analysis.
-    /// Deprecated shim over [`DcPlan::session`].
-    ///
-    /// # Errors
-    ///
-    /// Same as [`FrozenDcSession::new`].
-    #[deprecated(note = "use `DcSolver::new().plan_from(tpl).session(&ckt)`")]
-    pub fn with_template(ckt: &'c Circuit, tpl: &DcTemplate) -> Result<Self, CircuitError> {
-        Self::construct(ckt, Some(tpl), *tpl.lu_options())
-    }
 
     /// The one session constructor every entry point funnels into. With a
     /// matching template the circuit's base matrix is stamped with its

@@ -58,8 +58,6 @@ pub use dc::{
     solve_frozen_dc, DcPlan, DcSolution, DcSolver, DcTemplate, FrozenDcCache, FrozenDcPhases,
     FrozenDcSession, FrozenDcStats, SolveReport,
 };
-#[allow(deprecated)] // legacy entry points stay re-exported until the shims are deleted
-pub use dc::{stamp_dc_system, stamp_dc_system_with, DcAnalysis};
 pub use element::{DiodeModel, Element, MemristorModel, MemristorState, OpAmpModel};
 pub use error::CircuitError;
 pub use ids::{ElementId, NodeId};

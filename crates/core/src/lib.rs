@@ -74,5 +74,7 @@ pub use params::SubstrateParams;
 pub use solver::facade::{
     Instance, MaxFlowSolver, Plan, PlanReport, Problem, Session, SolveOptions,
 };
-pub use solver::{AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine, SolveMode};
+pub use solver::{
+    AnalogConfig, AnalogMaxFlow, AnalogSolution, PlanCacheStats, RelaxationEngine, SolveMode,
+};
 pub use template::{SubstrateTemplate, TemplateKey};

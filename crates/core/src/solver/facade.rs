@@ -22,10 +22,14 @@
 //!   [`Instance::session`] opens an **incremental frozen-DC session** for
 //!   clamp-flip / transient work that pays only numeric updates per step.
 //!
-//! Every legacy entry point (`AnalogMaxFlow::solve*`, the circuit crate's
-//! `DcAnalysis` / `FrozenDcSession` constructors) is a deprecated shim
-//! over these stages, pinned equivalent by the `facade_equivalence`
-//! test-suite.
+//! This is the one public solve surface: the legacy entry points
+//! (`AnalogMaxFlow::solve*`, the circuit crate's `DcAnalysis` /
+//! `FrozenDcSession` constructors) were pinned equivalent at 1e-12 by the
+//! `facade_equivalence` suite and then removed. The plan cache behind
+//! [`MaxFlowSolver::plan`] is sharded and concurrent (fingerprint-first
+//! lookups, single-flight cold paths, LRU eviction under
+//! [`SolveOptions::plan_cache_bytes`]); the `ohmflow-serve` binary wraps
+//! this facade as a multi-tenant network service.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -43,7 +47,8 @@ use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
 
 use super::{
-    AnalogConfig, AnalogMaxFlow, AnalogSolution, RelaxationEngine, SolveMode, SolverTuning,
+    AnalogConfig, AnalogMaxFlow, AnalogSolution, PlanCacheStats, RelaxationEngine, SolveMode,
+    SolverTuning, DEFAULT_CAPACITY_BYTES,
 };
 
 /// The one consolidated configuration of the staged solver, absorbing what
@@ -77,6 +82,11 @@ pub struct SolveOptions {
     /// Per-phase wall-clock attribution on sessions (off by default:
     /// clock reads tax small systems).
     pub phase_timing: bool,
+    /// Byte capacity of the sharded plan cache (LRU eviction engages
+    /// above it; each resident plan is costed from its factorization
+    /// fill). The default is generous — eviction only matters for
+    /// long-running multi-tenant servers cycling through many topologies.
+    pub plan_cache_bytes: usize,
 }
 
 impl SolveOptions {
@@ -110,6 +120,7 @@ impl SolveOptions {
             engine: config.engine,
             refactor: RefactorStrategy::default(),
             phase_timing: false,
+            plan_cache_bytes: DEFAULT_CAPACITY_BYTES,
         }
     }
 
@@ -154,6 +165,15 @@ impl SolveOptions {
         self
     }
 
+    /// Sets the plan cache's byte capacity (LRU eviction engages above
+    /// it). Long-running servers cycling through many topologies set this
+    /// to bound resident symbolic state; short-lived solvers keep the
+    /// generous default.
+    pub fn with_plan_cache_bytes(mut self, bytes: usize) -> Self {
+        self.plan_cache_bytes = bytes;
+        self
+    }
+
     /// The options with the precedence rule applied: `build.lu_ordering`
     /// and `build.lu_precision` are overwritten with `lu.ordering` /
     /// `lu.precision`, so the build/template layer can never disagree
@@ -182,6 +202,7 @@ impl SolveOptions {
                 lu: Some(self.lu),
                 refactor: self.refactor,
                 phase_timing: self.phase_timing,
+                plan_cache_bytes: Some(self.plan_cache_bytes),
             },
         )
     }
@@ -254,23 +275,6 @@ impl MaxFlowSolver {
     /// `MaxFlowSolver::new(SolveOptions::from_config(config))`.
     pub fn from_config(config: AnalogConfig) -> Self {
         Self::new(SolveOptions::from_config(config))
-    }
-
-    /// A facade view over an existing engine, sharing its plan cache —
-    /// how the deprecated `AnalogMaxFlow` shims delegate here.
-    pub(crate) fn from_engine(engine: &AnalogMaxFlow) -> Self {
-        let config = engine.config().clone();
-        let tuning = engine.tuning();
-        let mut opts = SolveOptions::from_config(config);
-        if let Some(lu) = tuning.lu {
-            opts.lu = lu;
-        }
-        opts.refactor = tuning.refactor;
-        opts.phase_timing = tuning.phase_timing;
-        MaxFlowSolver {
-            engine: engine.clone(),
-            opts,
-        }
     }
 
     /// The normalized options this solver runs under.
@@ -354,8 +358,9 @@ impl MaxFlowSolver {
     /// preserving input order — the one batch entry point subsuming both
     /// legacy batch paths.
     ///
-    /// Same-topology [`Problem::Graph`] members are detected by
-    /// [`TemplateKey`] and fanned out through one shared plan per
+    /// Same-topology [`Problem::Graph`] members are detected by the
+    /// streaming topology fingerprint (see [`TemplateKey::fingerprint`])
+    /// and fanned out through one shared plan per
     /// topology: the cold path runs once per repeated topology and every
     /// member pays only a value-only instantiation plus numeric-only
     /// linear algebra (each rayon worker derives its own numeric factor —
@@ -374,32 +379,33 @@ impl MaxFlowSolver {
         let build_opts = engine.effective_build_options();
         let (ordering, precision) = (build_opts.lu_ordering, build_opts.lu_precision);
 
-        // Graph grouping: count topologies, then warm the plan cache
-        // sequentially (one cold path per repeated topology) and remember
-        // which keys got a plan; the par_iter below then hits the cache on
-        // every member, and a topology whose plan construction failed
-        // falls back to the plain path without every member re-attempting
-        // the expensive failed build (batch error reporting stays
-        // per-member).
-        let keys: Vec<Option<TemplateKey>> = problems
+        // Graph grouping: fingerprint every graph member in one streaming
+        // pass each (no intermediate edge Vec), count topologies, then
+        // warm the plan cache sequentially (one cold path per repeated
+        // topology) and remember which fingerprints got a plan; the
+        // par_iter below then hits the cache on every member, and a
+        // topology whose plan construction failed falls back to the plain
+        // path without every member re-attempting the expensive failed
+        // build (batch error reporting stays per-member).
+        let fps: Vec<Option<u64>> = problems
             .iter()
             .map(|p| match p {
                 Problem::Graph(g) if !full_mna => {
-                    Some(TemplateKey::with_lu(g, ordering, precision))
+                    Some(TemplateKey::fingerprint(g, ordering, precision))
                 }
                 _ => None,
             })
             .collect();
-        let mut counts: HashMap<&TemplateKey, usize> = HashMap::new();
-        for key in keys.iter().flatten() {
-            *counts.entry(key).or_insert(0) += 1;
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for fp in fps.iter().flatten() {
+            *counts.entry(*fp).or_insert(0) += 1;
         }
-        let mut planned: HashMap<&TemplateKey, bool> = HashMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            if let (Some(key), Problem::Graph(g)) = (key, problems[i]) {
-                if counts[key] >= 2 {
+        let mut planned: HashMap<u64, bool> = HashMap::new();
+        for (i, fp) in fps.iter().enumerate() {
+            if let (Some(fp), Problem::Graph(g)) = (fp, problems[i]) {
+                if counts[fp] >= 2 {
                     planned
-                        .entry(key)
+                        .entry(*fp)
                         .or_insert_with(|| engine.template_for(g).is_ok());
                 }
             }
@@ -428,9 +434,9 @@ impl MaxFlowSolver {
             .par_iter()
             .map(|&i| match problems[i] {
                 Problem::Graph(g) => {
-                    let use_plan = keys[i]
+                    let use_plan = fps[i]
                         .as_ref()
-                        .is_some_and(|k| planned.get(k).copied().unwrap_or(false));
+                        .is_some_and(|fp| planned.get(fp).copied().unwrap_or(false));
                     if use_plan {
                         engine.solve_templated_inner(g)
                     } else {
@@ -460,6 +466,9 @@ pub struct PlanReport {
     /// Whether this plan came out of the topology cache rather than
     /// running the cold path.
     pub cache_hit: bool,
+    /// Lifetime counters of the sharded plan cache behind this solver
+    /// (hits/misses/evictions and resident footprint at report time).
+    pub cache: PlanCacheStats,
 }
 
 /// Stage two: the captured cold path of one graph topology. Cheap to
@@ -504,6 +513,7 @@ impl Plan {
             block_count: dc.symbolic().block_count(),
             ordering: dc.lu_options().ordering,
             cache_hit: self.cache_hit,
+            cache: self.engine.plan_cache_stats(),
         }
     }
 

@@ -7,11 +7,16 @@
 //! procedure. The **public staged API** lives in [`facade`]:
 //! [`MaxFlowSolver`](facade::MaxFlowSolver) →
 //! [`Plan`](facade::Plan) → [`Instance`](facade::Instance) →
-//! [`Session`](facade::Session). The legacy `AnalogMaxFlow` solve methods
-//! survive as deprecated shims over the same internals.
+//! [`Session`](facade::Session) — the one public solve surface (the
+//! deprecated `AnalogMaxFlow` solve shims were removed after the facade
+//! was pinned equivalent by the `facade_equivalence` suite).
+//!
+//! The engine's plan cache (`plan_cache`) is sharded and concurrent:
+//! fingerprint-first lookups, single-flight cold paths, per-shard LRU
+//! eviction — the serving tier (`ohmflow-serve`) drives it from many
+//! threads at once.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ohmflow_circuit::{
     solve_frozen_dc, CircuitError, DcSolver, DcTemplate, ElementId, FrozenDcCache, FrozenDcSession,
@@ -28,6 +33,10 @@ use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
 
 pub mod facade;
+mod plan_cache;
+
+pub use plan_cache::PlanCacheStats;
+pub(crate) use plan_cache::{PlanCache, DEFAULT_CAPACITY_BYTES};
 
 /// How the substrate is simulated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,6 +184,8 @@ pub(crate) struct SolverTuning {
     pub refactor: RefactorStrategy,
     /// Per-phase wall-clock attribution on engine-created sessions.
     pub phase_timing: bool,
+    /// Plan-cache byte capacity (`None` = [`DEFAULT_CAPACITY_BYTES`]).
+    pub plan_cache_bytes: Option<usize>,
 }
 
 /// Result of an analog max-flow solve.
@@ -209,18 +220,19 @@ pub struct AnalogSolution {
 /// quantization studies) pays the cold path — substrate build, MNA
 /// structure, ordering, symbolic factorization — once, and every further
 /// solve on that topology is a value-only instantiation plus numeric-only
-/// linear algebra. [`AnalogMaxFlow::solve_batch`] detects same-topology
-/// batches automatically; [`AnalogMaxFlow::solve_templated`] is the
-/// explicit entry point. Clones share the cache.
+/// linear algebra. The cache is sharded and concurrent (`PlanCache`):
+/// fingerprint-first lookups, single-flight cold paths, LRU eviction
+/// under a byte budget. Clones share the cache.
 ///
-/// See the crate-level quickstart for typical use.
+/// See the crate-level quickstart for typical use (through the
+/// [`facade::MaxFlowSolver`] staged API).
 #[derive(Debug, Clone)]
 pub struct AnalogMaxFlow {
     config: AnalogConfig,
-    /// Topology-keyed template cache, shared across clones (and therefore
-    /// across threads: the lock is held only for lookups and inserts, never
-    /// across a solve).
-    templates: Arc<Mutex<HashMap<TemplateKey, Arc<SubstrateTemplate>>>>,
+    /// The sharded topology-keyed plan cache, shared across clones (and
+    /// therefore across threads; shard locks are held only for probes and
+    /// inserts, never across a symbolic build or a solve).
+    cache: Arc<PlanCache>,
     /// Facade-injected linear-algebra tuning (defaults for the legacy
     /// constructors).
     tuning: SolverTuning,
@@ -238,7 +250,9 @@ impl AnalogMaxFlow {
     pub(crate) fn with_tuning(config: AnalogConfig, tuning: SolverTuning) -> Self {
         AnalogMaxFlow {
             config,
-            templates: Arc::new(Mutex::new(HashMap::new())),
+            cache: Arc::new(PlanCache::new(
+                tuning.plan_cache_bytes.unwrap_or(DEFAULT_CAPACITY_BYTES),
+            )),
             tuning,
         }
     }
@@ -246,11 +260,6 @@ impl AnalogMaxFlow {
     /// The active configuration.
     pub fn config(&self) -> &AnalogConfig {
         &self.config
-    }
-
-    /// The injected tuning (facade bookkeeping).
-    pub(crate) fn tuning(&self) -> SolverTuning {
-        self.tuning
     }
 
     /// The factorization options every LU in this solver runs under: the
@@ -296,9 +305,8 @@ impl AnalogMaxFlow {
 
     /// Returns the cached [`SubstrateTemplate`] for `g`'s topology,
     /// building (and caching) it on first use. The template is constructed
-    /// with this solver's effective build options, so
-    /// [`AnalogMaxFlow::solve_templated`] agrees with
-    /// [`AnalogMaxFlow::solve`].
+    /// with this solver's effective build options, so plan-path solves
+    /// agree with cold-path solves by construction.
     ///
     /// # Errors
     ///
@@ -314,51 +322,42 @@ impl AnalogMaxFlow {
         g: &FlowNetwork,
     ) -> Result<(Arc<SubstrateTemplate>, bool), AnalogError> {
         let build_opts = self.effective_build_options();
-        let key = TemplateKey::with_lu(g, build_opts.lu_ordering, build_opts.lu_precision);
-        if let Some(tpl) = self.templates.lock().expect("template cache").get(&key) {
-            return Ok((Arc::clone(tpl), true));
-        }
-        // Build outside the lock: cold paths can be expensive and other
-        // topologies' solves must not wait on them. A racing builder of the
-        // same key just loses its copy. The full effective factorization
-        // options (pivoting thresholds included) flow into the template so
-        // the plan path can never factor under different options than the
-        // cold path.
-        let built = Arc::new(SubstrateTemplate::with_lu_options(
-            g,
-            &self.config.params,
-            &self.effective_build_options(),
-            self.effective_lu_options(),
-        )?);
-        let mut cache = self.templates.lock().expect("template cache");
-        Ok((
-            Arc::clone(cache.entry(key).or_insert_with(|| Arc::clone(&built))),
-            false,
-        ))
+        let (ordering, precision) = (build_opts.lu_ordering, build_opts.lu_precision);
+        // The hot path: one streaming fingerprint pass over the graph, one
+        // sharded probe verified against the full stored key. Cold paths
+        // run single-flight outside the shard lock; the full effective
+        // factorization options (pivoting thresholds included) flow into
+        // the template so the plan path can never factor under different
+        // options than the cold path.
+        let fingerprint = TemplateKey::fingerprint(g, ordering, precision);
+        self.cache
+            .get_or_build(fingerprint, g, ordering, precision, || {
+                SubstrateTemplate::with_lu_options(
+                    g,
+                    &self.config.params,
+                    &build_opts,
+                    self.effective_lu_options(),
+                )
+                .map(Arc::new)
+            })
+    }
+
+    /// Aggregate plan-cache counters (hits/misses/evictions + residency) —
+    /// the observability behind [`facade::PlanReport`] and the serving
+    /// tier's telemetry.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
     }
 
     /// Number of cached templates (test observability).
     #[cfg(test)]
     pub(crate) fn cached_template_count(&self) -> usize {
-        self.templates.lock().expect("template cache").len()
-    }
-
-    /// Solves `g` on the substrate from scratch (no template reuse).
-    /// Deprecated shim over [`facade::MaxFlowSolver::solve_fresh`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates circuit-construction and simulation failures, and returns
-    /// [`AnalogError::NotConverged`] if a transient run never settles even
-    /// after the automatic window has grown to its limit.
-    #[deprecated(note = "use `MaxFlowSolver::solve_fresh` (or `solve` for the plan-cached path)")]
-    pub fn solve(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
-        self.solve_cold(g)
+        self.cache.len()
     }
 
     /// The cold solve path: build the substrate for `g` and simulate it in
-    /// the configured mode. Shared by the deprecated [`AnalogMaxFlow::solve`]
-    /// shim and [`facade::MaxFlowSolver::solve_fresh`].
+    /// the configured mode — the body of
+    /// [`facade::MaxFlowSolver::solve_fresh`].
     pub(crate) fn solve_cold(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
         let build = self.effective_build_options();
         let sc = builder::build(g, &self.config.params, &build)?;
@@ -373,28 +372,12 @@ impl AnalogMaxFlow {
         }
     }
 
-    /// Solves `g` through the topology-keyed template cache: the first call
-    /// on a topology pays the cold path, every further call is a value-only
-    /// instantiation + numeric-only solve (with the previous solve's
-    /// converged clamp states as a warm start). Produces the same solution
-    /// as [`AnalogMaxFlow::solve`] — the instantiated netlist differs only
-    /// in the capacity-level source layout (one source per edge instead of
-    /// one per distinct level), which is solution-invariant; `stats`
-    /// reflects the per-edge layout.
-    ///
-    /// [`SolveMode::TransientFullMna`] has no templated fast path and falls
-    /// back to [`AnalogMaxFlow::solve`].
-    ///
-    /// # Errors
-    ///
-    /// Same as [`AnalogMaxFlow::solve`].
-    #[deprecated(note = "use `MaxFlowSolver::solve` (or `plan(g)?.instance(g)?.solve()`)")]
-    pub fn solve_templated(&self, g: &FlowNetwork) -> Result<AnalogSolution, AnalogError> {
-        self.solve_templated_inner(g)
-    }
-
-    /// The template-cached solve path behind [`facade::MaxFlowSolver::solve`]
-    /// and the deprecated [`AnalogMaxFlow::solve_templated`] shim.
+    /// The template-cached solve path behind
+    /// [`facade::MaxFlowSolver::solve`]: the first call on a topology pays
+    /// the cold path, every further call is a value-only instantiation +
+    /// numeric-only solve (with the previous solve's converged clamp
+    /// states as a warm start). [`SolveMode::TransientFullMna`] has no
+    /// templated fast path and falls back to the cold path.
     pub(crate) fn solve_templated_inner(
         &self,
         g: &FlowNetwork,
@@ -408,8 +391,7 @@ impl AnalogMaxFlow {
     }
 
     /// Simulates one template instantiation in the configured mode — the
-    /// body of [`facade::Instance::solve`], also reached by the
-    /// `solve_templated` shim (which instantiates first).
+    /// body of [`facade::Instance::solve`].
     pub(crate) fn solve_instance_parts(
         &self,
         sc: &SubstrateCircuit,
@@ -427,60 +409,12 @@ impl AnalogMaxFlow {
         }
     }
 
-    /// Solves an already-built substrate circuit quasi-statically. Exposed
-    /// so that non-ideality studies can perturb the circuit first.
-    ///
-    /// On heavily perturbed circuits prefer
-    /// [`AnalogMaxFlow::solve_built_transient`]: the quasi-static
-    /// complementarity iteration can be captured by a spurious all-clamped
-    /// equilibrium once resistor mismatch softens the conservation
-    /// identities, whereas the relaxation transient switches clamps the
-    /// way the physical circuit does (lagged engagement, current-reversal
-    /// release) and escapes it.
-    #[deprecated(note = "use `MaxFlowSolver::solve_built`")]
-    pub fn solve_built(&self, sc: &SubstrateCircuit) -> Result<AnalogSolution, AnalogError> {
-        self.solve_quasi_static(sc, None)
-    }
-
-    /// Quasi-statically solves a circuit instantiated from `tpl`
-    /// (typically via [`SubstrateTemplate::instantiate_mapped`], the
-    /// Fig. 10 `N`-sweep shape), with the template's warm-state loop
-    /// engaged: the previous solve's converged clamp states seed the
-    /// complementarity iteration and the new fixed point is stored back.
-    /// Sweep steps with similar clamp patterns then skip most of the
-    /// engagement cascade.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`AnalogMaxFlow::solve_built`].
-    #[deprecated(note = "use `MaxFlowSolver::plan(g)?.instance_mapped(g, mapping)?.solve()`")]
-    pub fn solve_instantiated(
-        &self,
-        sc: &SubstrateCircuit,
-        tpl: &SubstrateTemplate,
-    ) -> Result<AnalogSolution, AnalogError> {
-        self.solve_quasi_static(sc, Some(tpl))
-    }
-
     /// Runs the relaxation transient on an already-built (and possibly
-    /// perturbed) substrate circuit. The circuit must have been built with
-    /// a step or ramp drive.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`AnalogMaxFlow::solve`] in transient mode.
-    #[deprecated(note = "use `MaxFlowSolver::solve_problem(Problem::Built { .. })`")]
-    pub fn solve_built_transient(
-        &self,
-        sc: &SubstrateCircuit,
-        g: &FlowNetwork,
-    ) -> Result<AnalogSolution, AnalogError> {
-        self.solve_built_transient_shared(sc, g.vertex_count(), None)
-    }
-
-    /// [`AnalogMaxFlow::solve_built_transient`] with an optional shared
+    /// perturbed) substrate circuit — the body behind
+    /// [`facade::Problem::Built`] members — with an optional shared
     /// [`DcTemplate`] override (the batch fan-out path: one template, many
-    /// same-structure members).
+    /// same-structure members). The circuit must have been built with a
+    /// step or ramp drive.
     pub(crate) fn solve_built_transient_shared(
         &self,
         sc: &SubstrateCircuit,
@@ -768,50 +702,6 @@ impl AnalogMaxFlow {
             waveforms: Some(waves),
             report: eq.report(),
         })
-    }
-
-    /// Solves many independent instances in parallel on all cores (rayon),
-    /// preserving input order. This is the batch entry point the benchmark
-    /// binaries (`ablations`, `fig15_trajectory`, the Fig. 10 error sweeps)
-    /// drive.
-    ///
-    /// Same-topology batch members are detected by [`TemplateKey`] and
-    /// fanned out through one shared [`SubstrateTemplate`] per topology:
-    /// the cold path runs once per topology, every member pays only a
-    /// value-only instantiation plus numeric-only linear algebra against
-    /// the shared symbolic factorization (each rayon worker derives its own
-    /// numeric factor — thread-local values, pointer-shared symbolic plan).
-    /// Members whose topology appears once keep the independent cold path.
-    #[deprecated(note = "use `MaxFlowSolver::solve_many`")]
-    pub fn solve_batch(&self, graphs: &[FlowNetwork]) -> Vec<Result<AnalogSolution, AnalogError>> {
-        facade::MaxFlowSolver::from_engine(self)
-            .solve_many(graphs.iter().map(facade::Problem::from))
-    }
-
-    /// Runs the relaxation transient on many already-built (typically
-    /// perturbed) realizations of the same instance in parallel, preserving
-    /// order — the batch form of
-    /// [`AnalogMaxFlow::solve_built_transient`] that the variation and
-    /// tuning sweeps drive.
-    ///
-    /// When the members share one circuit structure (they almost always do:
-    /// they are perturbed clones of one build), the cold path — MNA
-    /// structure, ordering, symbolic analysis — runs once on the first
-    /// member and every session starts from a numeric-only refactorization
-    /// for its own perturbed values, sharing the symbolic plan across
-    /// workers.
-    #[deprecated(note = "use `MaxFlowSolver::solve_many` with `Problem::Built` members")]
-    pub fn solve_built_transient_batch(
-        &self,
-        scs: &[SubstrateCircuit],
-        g: &FlowNetwork,
-    ) -> Vec<Result<AnalogSolution, AnalogError>> {
-        facade::MaxFlowSolver::from_engine(self).solve_many(scs.iter().map(|sc| {
-            facade::Problem::Built {
-                circuit: sc,
-                graph: g,
-            }
-        }))
     }
 
     /// The instability ablation: integrate the literal MNA dynamics.

@@ -46,6 +46,93 @@ use crate::params::SubstrateParams;
 use crate::quantize::{ExactScaling, Quantizer};
 use crate::AnalogError;
 
+/// Seeded streaming hasher for topology and value fingerprints: an
+/// FxHash-style multiply–rotate mixer over `u64` words with a
+/// splitmix64-style finalizer. One inlined `mix` per word replaces the
+/// per-edge `Hash`-trait dispatch into SipHash that used to dominate the
+/// plan-cache hit path (BENCH_PR5.json, `plan_cache_hit`); the bulk edge
+/// loop in [`TemplateKey::fingerprint`] additionally interleaves the mix
+/// across four independent lanes (folded back into this state at the
+/// end), because a single mixer chain is latency-bound at ~5 cycles per
+/// edge while the multiplier unit could retire one mix per cycle. Not
+/// collision-resistant against adversaries — every cache probe that
+/// matches on the fingerprint is verified against the full
+/// [`TemplateKey`], so collisions cost a failed comparison, never a wrong
+/// plan.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamHasher(u64);
+
+impl StreamHasher {
+    /// Fixed seed: fingerprints are only ever compared within one
+    /// process, but seeding keeps short inputs away from the weak
+    /// low-entropy states of the bare mixer.
+    const SEED: u64 = 0x51ab_7e1e_0a5c_93d5;
+    const MULT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    pub(crate) fn new() -> Self {
+        StreamHasher(Self::SEED)
+    }
+
+    /// Folds one word into the state.
+    #[inline(always)]
+    pub(crate) fn mix(&mut self, x: u64) {
+        self.0 = (self.0.rotate_left(23) ^ x).wrapping_mul(Self::MULT);
+    }
+
+    /// The finalized fingerprint (splitmix64 finalizer: every input bit
+    /// reaches every output bit, so shard selection can use the high bits
+    /// while the probe table uses the value whole).
+    pub(crate) fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// `Hasher` so `#[derive(Hash)]` types (orderings, precisions) can fold
+/// themselves into a fingerprint; the hot per-edge loop calls
+/// [`StreamHasher::mix`] directly and never routes through this trait.
+impl std::hash::Hasher for StreamHasher {
+    fn finish(&self) -> u64 {
+        StreamHasher::finish(self)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// One edge packed as `(from << 32) | to`: the word the fingerprint mixes
+/// and the stored-key verify path compares. Vertex ids fit u32 by far —
+/// [`FlowNetwork`] construction bounds them by the vertex count.
+#[inline(always)]
+fn pack_edge(e: &ohmflow_graph::Edge) -> u64 {
+    ((e.from as u64) << 32) | e.to as u64
+}
+
 /// Structural identity of a max-flow instance: everything the substrate's
 /// netlist *structure* depends on, and nothing it does not (capacities and
 /// source values are excluded). Two graphs with equal keys can share one
@@ -62,9 +149,11 @@ pub struct TemplateKey {
     vertices: usize,
     source: usize,
     sink: usize,
-    /// Edge list in id order — parallel edges are distinct widgets, so the
-    /// full list (not a set) is the identity.
-    edges: Vec<(u32, u32)>,
+    /// Edge list in id order, each edge packed as `(from << 32) | to` —
+    /// parallel edges are distinct widgets, so the full list (not a set)
+    /// is the identity. Packed so the verify path behind every
+    /// fingerprint-probed cache hit is a straight `u64` word compare.
+    edges: Vec<u64>,
     /// The LU column ordering the template's symbolic factorization was
     /// built under. Part of the identity: a symbolic plan is only reusable
     /// under the ordering that produced it, so caches must never hand a
@@ -100,31 +189,124 @@ impl TemplateKey {
         ordering: ohmflow_circuit::ColumnOrdering,
         precision: ohmflow_circuit::Precision,
     ) -> Self {
-        use std::hash::{Hash as _, Hasher as _};
-        let vertices = g.vertex_count();
-        let source = g.source();
-        let sink = g.sink();
-        let edges: Vec<(u32, u32)> = g
-            .edges()
-            .iter()
-            .map(|e| (e.from as u32, e.to as u32))
-            .collect();
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        vertices.hash(&mut h);
-        source.hash(&mut h);
-        sink.hash(&mut h);
-        edges.hash(&mut h);
-        ordering.hash(&mut h);
-        precision.hash(&mut h);
+        let edges: Vec<u64> = g.edges().iter().map(pack_edge).collect();
         TemplateKey {
-            hash: h.finish(),
-            vertices,
-            source,
-            sink,
+            hash: Self::fingerprint(g, ordering, precision),
+            vertices: g.vertex_count(),
+            source: g.source(),
+            sink: g.sink(),
             edges,
             ordering,
             precision,
         }
+    }
+
+    /// The topology fingerprint of `g` under the given factorization
+    /// identity, computed in **one streaming pass** over the graph: no
+    /// intermediate edge `Vec`, no per-edge `Hash` dispatch — one
+    /// multiply–rotate mix per edge (see `StreamHasher`). Equal to the
+    /// cached hash of [`TemplateKey::with_lu`] on the same inputs by
+    /// construction, so a cache can probe on the fingerprint alone and
+    /// fall back to the full key only on a match.
+    ///
+    /// Collisions between *different* topologies are possible (64-bit
+    /// hash) and harmless: every consumer verifies a fingerprint match
+    /// against the stored [`TemplateKey`] before serving a plan.
+    pub fn fingerprint(
+        g: &FlowNetwork,
+        ordering: ohmflow_circuit::ColumnOrdering,
+        precision: ohmflow_circuit::Precision,
+    ) -> u64 {
+        use std::hash::Hash as _;
+        let mut h = StreamHasher::new();
+        h.mix(g.vertex_count() as u64);
+        h.mix(g.source() as u64);
+        h.mix(g.sink() as u64);
+        // Bulk edge loop: four interleaved mixer lanes (distinctly seeded,
+        // position still matters — edge i always lands in lane i % 4), so
+        // the serial rotate–xor–multiply dependency chain runs four-wide.
+        let edges = g.edges();
+        let mut lanes = [
+            StreamHasher::SEED ^ 0x243f_6a88_85a3_08d3,
+            StreamHasher::SEED ^ 0x1319_8a2e_0370_7344,
+            StreamHasher::SEED ^ 0xa409_3822_299f_31d0,
+            StreamHasher::SEED ^ 0x082e_fa98_ec4e_6c89,
+        ];
+        let mut chunks = edges.chunks_exact(4);
+        for c in chunks.by_ref() {
+            for (k, e) in c.iter().enumerate() {
+                lanes[k] =
+                    (lanes[k].rotate_left(23) ^ pack_edge(e)).wrapping_mul(StreamHasher::MULT);
+            }
+        }
+        for (k, e) in chunks.remainder().iter().enumerate() {
+            lanes[k] = (lanes[k].rotate_left(23) ^ pack_edge(e)).wrapping_mul(StreamHasher::MULT);
+        }
+        h.mix(edges.len() as u64);
+        for lane in lanes {
+            h.mix(lane);
+        }
+        ordering.hash(&mut h);
+        precision.hash(&mut h);
+        h.finish()
+    }
+
+    /// The cached fingerprint (what [`TemplateKey::fingerprint`] returns
+    /// for the key's own inputs).
+    pub fn fingerprint_value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of edges in the keyed topology.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Allocation-free check that `g` has exactly this key's topology:
+    /// vertex count, source, sink and the full id-ordered edge list. This
+    /// is the verification step behind every fingerprint-probed cache hit
+    /// — it walks `g`'s edges once against the stored list and never
+    /// hashes or allocates.
+    pub fn matches_graph(&self, g: &FlowNetwork) -> bool {
+        if self.vertices != g.vertex_count()
+            || self.source != g.source()
+            || self.sink != g.sink()
+            || self.edges.len() != g.edge_count()
+        {
+            return false;
+        }
+        // Word-compare the packed edge lists four at a time: one branch
+        // per chunk instead of one per edge.
+        let live = g.edges();
+        let mut stored = self.edges.chunks_exact(4);
+        let mut fresh = live.chunks_exact(4);
+        for (s, l) in stored.by_ref().zip(fresh.by_ref()) {
+            let mut same = true;
+            for (w, e) in s.iter().zip(l) {
+                same &= *w == pack_edge(e);
+            }
+            if !same {
+                return false;
+            }
+        }
+        stored
+            .remainder()
+            .iter()
+            .zip(fresh.remainder())
+            .all(|(w, e)| *w == pack_edge(e))
+    }
+
+    /// Full verification of a fingerprint match: the key serves `g` under
+    /// exactly this factorization identity (ordering + precision) and
+    /// topology. Rules out both fingerprint collisions between topologies
+    /// and collisions between factorization identities of one topology.
+    pub fn verifies(
+        &self,
+        g: &FlowNetwork,
+        ordering: ohmflow_circuit::ColumnOrdering,
+        precision: ohmflow_circuit::Precision,
+    ) -> bool {
+        self.ordering == ordering && self.precision == precision && self.matches_graph(g)
     }
 }
 
@@ -172,18 +354,20 @@ pub struct SubstrateTemplate {
 /// to the same voltages share their fixed point.
 pub(crate) fn value_fingerprint(sc: &SubstrateCircuit) -> u64 {
     use ohmflow_circuit::Element;
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    // Same seeded streaming hasher as the topology fingerprint (one mix
+    // per value instead of an unseeded SipHash construction per call) —
+    // the warm-start lookup rides the same machinery as the plan cache.
+    let mut h = StreamHasher::new();
     for e in sc.circuit().elements() {
         match e {
             Element::VoltageSource { value, .. } | Element::CurrentSource { value, .. } => {
-                value.dc_value().to_bits().hash(&mut h);
+                h.mix(value.dc_value().to_bits());
             }
-            Element::Resistor { resistance, .. } => resistance.to_bits().hash(&mut h),
-            Element::NegativeResistorDyn { magnitude, .. } => magnitude.to_bits().hash(&mut h),
+            Element::Resistor { resistance, .. } => h.mix(resistance.to_bits()),
+            Element::NegativeResistorDyn { magnitude, .. } => h.mix(magnitude.to_bits()),
             Element::Memristor { .. } => {
                 if let Some(r) = e.memristance() {
-                    r.to_bits().hash(&mut h);
+                    h.mix(r.to_bits());
                 }
             }
             _ => {}
@@ -280,7 +464,10 @@ impl SubstrateTemplate {
         g: &FlowNetwork,
         mapping: CapacityMapping,
     ) -> Result<SubstrateCircuit, AnalogError> {
-        if TemplateKey::with_lu(g, self.opts.lu_ordering, self.opts.lu_precision) != self.key {
+        // Allocation-free topology verification (the key's ordering and
+        // precision already equal the template's own build options by
+        // construction, so only the graph shape needs checking).
+        if !self.key.matches_graph(g) {
             return Err(AnalogError::InvalidConfig {
                 what: "template instantiated with a different graph topology".to_owned(),
             });
@@ -394,6 +581,56 @@ mod tests {
             TemplateKey::of(&a),
             TemplateKey::with_ordering(&a, ColumnOrdering::default())
         );
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_key_hash() {
+        use ohmflow_circuit::{ColumnOrdering, Precision};
+        // The streaming one-pass fingerprint must equal the cached hash of
+        // the full key on the same inputs — the property that lets the
+        // plan cache probe on the fingerprint alone.
+        for g in [
+            generators::fig5a(),
+            generators::path(&[5, 2, 9]).unwrap(),
+            generators::layered(3, 2, 5, 1).unwrap(),
+        ] {
+            for ordering in [ColumnOrdering::default(), ColumnOrdering::Amd] {
+                for precision in [Precision::F64, Precision::F32Refined] {
+                    let key = TemplateKey::with_lu(&g, ordering, precision);
+                    assert_eq!(
+                        key.fingerprint_value(),
+                        TemplateKey::fingerprint(&g, ordering, precision)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_verification_discriminates_topology_and_lu_identity() {
+        use ohmflow_circuit::{ColumnOrdering, Precision};
+        let g = generators::fig5a();
+        let key = TemplateKey::of(&g);
+        let (ordering, precision) = (ColumnOrdering::default(), Precision::default());
+        assert!(key.verifies(&g, ordering, precision));
+        // Capacities are free; topology is not.
+        assert!(key.matches_graph(&g.scaled_capacities(3).unwrap()));
+        assert!(!key.matches_graph(&generators::path(&[5, 2, 9]).unwrap()));
+        // Same topology under a different factorization identity must not
+        // verify (a fingerprint collision across orderings would
+        // otherwise serve a foreign symbolic plan).
+        assert!(!key.verifies(&g, ColumnOrdering::MinDegree, precision));
+        assert!(!key.verifies(&g, ordering, Precision::F32Refined));
+        // One edge reversed: same counts, different identity.
+        let mut rev = ohmflow_graph::FlowNetwork::new(5, 0, 4).unwrap();
+        for (i, e) in g.edges().iter().enumerate() {
+            if i == 1 {
+                rev.add_edge(e.to, e.from, e.capacity).unwrap();
+            } else {
+                rev.add_edge(e.from, e.to, e.capacity).unwrap();
+            }
+        }
+        assert!(!key.matches_graph(&rev));
     }
 
     #[test]

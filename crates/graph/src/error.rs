@@ -36,6 +36,13 @@ pub enum GraphError {
         /// Explanation.
         message: String,
     },
+    /// A binary graph payload (`binfmt`) could not be parsed.
+    ParseBinary {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -59,6 +66,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::ParseDimacs { line, message } => {
                 write!(f, "DIMACS parse error at line {line}: {message}")
+            }
+            GraphError::ParseBinary { offset, message } => {
+                write!(f, "binary graph parse error at byte {offset}: {message}")
             }
         }
     }

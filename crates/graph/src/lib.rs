@@ -11,6 +11,8 @@
 //! * [`generators`] — deterministic test topologies (paths, grids, layered
 //!   DAGs, bipartite matchings) and the paper's worked examples,
 //! * [`dimacs`] — DIMACS max-flow format I/O,
+//! * [`binfmt`] — the compact `OFG1` binary encoding used by the
+//!   `ohmflow-serve` wire protocol,
 //! * [`partition`] — vertex partitioning (BFS growing + Kernighan–Lin style
 //!   refinement) used by the clustered-architecture and dual-decomposition
 //!   studies of §6.
@@ -35,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod binfmt;
 pub mod dimacs;
 mod error;
 pub mod generators;

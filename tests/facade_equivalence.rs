@@ -1,18 +1,21 @@
-//! Facade equivalence: every deprecated legacy entry point is a thin shim
-//! over the staged `MaxFlowSolver` / `DcSolver` facade, and this suite
-//! pins each pair equivalent at 1e-12 (relative) so the shims can be
-//! deleted in a later PR with confidence. Also audits option precedence:
-//! a plan built under AMD+BTF can never silently fall back to a
-//! differently-ordered fresh factorization.
-#![allow(deprecated)] // the point of this suite is to exercise the shims
+//! Facade self-consistency: the staged `MaxFlowSolver` / `DcSolver`
+//! facade is the one public solve surface (the deprecated shims it
+//! replaced were pinned equivalent here at 1e-12 and then deleted), so
+//! this suite now pins the facade's own paths against each other at the
+//! same tolerance: convenience `solve` vs the explicit
+//! plan → instance → solve stages vs the cache-bypassing cold path,
+//! batch `solve_many` vs sequential solves, and plan-derived sessions vs
+//! cold sessions. Also audits option precedence: a plan built under
+//! AMD+BTF can never silently fall back to a differently-ordered fresh
+//! factorization.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ohmflow::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
-use ohmflow::solver::{AnalogConfig, AnalogMaxFlow};
-use ohmflow_circuit::{ColumnOrdering, DcSolver, FrozenDcSession, LuOptions};
+use ohmflow::solver::AnalogConfig;
+use ohmflow_circuit::{ColumnOrdering, DcSolver, LuOptions};
 use ohmflow_graph::{generators, FlowNetwork};
 
 /// A random small flow network with a guaranteed source→sink spine plus
@@ -49,62 +52,57 @@ fn assert_solutions_match(a: &ohmflow::AnalogSolution, b: &ohmflow::AnalogSoluti
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// `AnalogMaxFlow::solve` (fresh cold path) vs `MaxFlowSolver::solve_fresh`.
+    /// The three single-instance paths agree: cache-bypassing
+    /// `solve_fresh`, plan-cached `solve` (repeated, so the second round
+    /// rides a warm plan) and the explicit plan → instance → solve
+    /// stages.
     #[test]
-    fn legacy_solve_matches_facade_solve_fresh(seed in any::<u64>()) {
+    fn solve_paths_agree(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_graph(&mut rng);
-        let legacy = AnalogMaxFlow::new(AnalogConfig::ideal())
-            .solve(&g)
-            .expect("legacy solve");
-        let facade = MaxFlowSolver::new(SolveOptions::ideal())
-            .solve_fresh(&g)
-            .expect("facade solve_fresh");
-        assert_solutions_match(&facade, &legacy, "fresh");
-    }
-
-    /// `AnalogMaxFlow::solve_templated` repeat solves vs the facade's
-    /// plan-cached `solve` — including the warm-start repeat behavior.
-    #[test]
-    fn legacy_templated_matches_facade_solve(seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let g = random_graph(&mut rng);
-        let legacy_solver = AnalogMaxFlow::new(AnalogConfig::ideal());
-        let facade_solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let fresh = solver.solve_fresh(&g).expect("solve_fresh");
         for round in 0..3 {
-            let legacy = legacy_solver.solve_templated(&g).expect("legacy templated");
-            let facade = facade_solver.solve(&g).expect("facade solve");
-            assert_solutions_match(&facade, &legacy, &format!("templated round {round}"));
+            let cached = solver.solve(&g).expect("facade solve");
+            assert_solutions_match(&cached, &fresh, &format!("solve round {round}"));
         }
+        let plan = solver.plan(&g).expect("plan");
+        prop_assert!(plan.cache_hit(), "the solve rounds must have planned this topology");
+        let staged = plan.instance(&g).expect("instance").solve().expect("staged solve");
+        assert_solutions_match(&staged, &fresh, "staged");
     }
 
-    /// `AnalogMaxFlow::solve_batch` vs `MaxFlowSolver::solve_many` on a
-    /// mixed batch (repeated topology + a singleton).
+    /// `MaxFlowSolver::solve_many` vs sequential `solve` on a mixed batch
+    /// (repeated topology + a singleton) — the fingerprint-grouped batch
+    /// fan-out must be value-identical to one-at-a-time solving.
     #[test]
-    fn legacy_batch_matches_facade_solve_many(seed in any::<u64>()) {
+    fn solve_many_matches_sequential_solve(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let base = random_graph(&mut rng);
         let mut graphs: Vec<FlowNetwork> = (1..=3)
             .map(|s| base.scaled_capacities(s).expect("scaled"))
             .collect();
         graphs.push(random_graph(&mut rng));
-        let legacy_solver = AnalogMaxFlow::new(AnalogConfig::ideal());
-        let facade_solver = MaxFlowSolver::new(SolveOptions::ideal());
-        let legacy = legacy_solver.solve_batch(&graphs);
-        let facade = facade_solver.solve_many(graphs.iter().map(Problem::from));
-        prop_assert_eq!(legacy.len(), facade.len());
-        for (i, (l, f)) in legacy.iter().zip(&facade).enumerate() {
-            let l = l.as_ref().expect("legacy batch member");
-            let f = f.as_ref().expect("facade batch member");
-            assert_solutions_match(f, l, &format!("batch member {i}"));
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+        let batch = solver.solve_many(graphs.iter().map(Problem::from));
+        prop_assert_eq!(batch.len(), graphs.len());
+        let sequential_solver = MaxFlowSolver::new(SolveOptions::ideal());
+        for (i, (b, g)) in batch.iter().zip(&graphs).enumerate() {
+            let b = b.as_ref().expect("batch member");
+            let s = sequential_solver.solve(g).expect("sequential member");
+            assert_solutions_match(b, &s, &format!("batch member {i}"));
         }
     }
 
-    /// Frozen-DC flip loop: `FrozenDcSession::{new, with_template}` vs
-    /// `DcSolver::session` / the facade `Instance::session`, over a
-    /// deterministic pseudo-random clamp-toggle walk.
+    /// Frozen-DC flip loop: a plan-derived `Instance::session` vs a cold
+    /// `DcSolver::session` on the same circuit, over a deterministic
+    /// pseudo-random clamp-toggle walk. The two paths factor the same
+    /// matrix with genuinely different pivot sequences (numeric refactor
+    /// against the plan's symbolic pattern vs a fresh pivoting
+    /// factorization), so the gate is the iterative-refinement accuracy
+    /// bound (1e-9), not bitwise path identity.
     #[test]
-    fn legacy_sessions_match_facade_sessions(seed in any::<u64>()) {
+    fn plan_sessions_match_cold_sessions(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = random_graph(&mut rng);
         let solver = MaxFlowSolver::new(SolveOptions::ideal());
@@ -114,12 +112,9 @@ proptest! {
         let n_diodes = ckt.diode_count();
         assert!(n_diodes > 0, "substrate always carries clamp diodes");
 
-        let mut legacy_cold = FrozenDcSession::new(ckt).expect("legacy cold session");
-        let mut legacy_tpl =
-            FrozenDcSession::with_template(ckt, plan.template().dc_template())
-                .expect("legacy template session");
-        let mut facade_cold = DcSolver::new().session(ckt).expect("facade cold session");
-        let mut facade_session = instance.session().expect("facade session");
+        let mut cold = DcSolver::new().session(ckt).expect("cold session");
+        let mut planned = instance.session().expect("plan session");
+        prop_assert!(planned.report().templated, "plan session must ride the plan");
 
         let mut on = vec![false; n_diodes];
         let mut lcg = seed | 1;
@@ -133,41 +128,15 @@ proptest! {
             }
             let t = step as f64 * 1e-9;
             // Some random clamp configurations are legitimately singular;
-            // all four paths must then agree on failing.
-            let r_legacy = legacy_cold.solve(t, &on);
-            let r_facade = facade_cold.solve(t, &on);
-            prop_assert_eq!(r_legacy.is_ok(), r_facade.is_ok(), "cold step {}", step);
-            let r_legacy_tpl = legacy_tpl.solve(t, &on);
-            let r_facade_tpl = facade_session.solve(t, &on);
-            prop_assert_eq!(
-                r_legacy_tpl.is_ok(),
-                r_facade_tpl.is_ok(),
-                "templated step {}",
-                step
-            );
-            if r_legacy.is_ok() && r_facade.is_ok() {
-                for (u, (a, b)) in facade_cold
-                    .values()
-                    .iter()
-                    .zip(legacy_cold.values())
-                    .enumerate()
-                {
+            // both paths must then agree on failing.
+            let r_cold = cold.solve(t, &on);
+            let r_plan = planned.solve(t, &on);
+            prop_assert_eq!(r_cold.is_ok(), r_plan.is_ok(), "step {}", step);
+            if r_cold.is_ok() && r_plan.is_ok() {
+                for (u, (a, b)) in planned.values().iter().zip(cold.values()).enumerate() {
                     prop_assert!(
-                        (a - b).abs() < 1e-12 * b.abs().max(1.0),
-                        "cold step {step} unknown {u}: {a} vs {b}"
-                    );
-                }
-            }
-            if r_legacy_tpl.is_ok() && r_facade_tpl.is_ok() {
-                for (u, (a, b)) in facade_session
-                    .values()
-                    .iter()
-                    .zip(legacy_tpl.values())
-                    .enumerate()
-                {
-                    prop_assert!(
-                        (a - b).abs() < 1e-12 * b.abs().max(1.0),
-                        "templated step {step} unknown {u}: {a} vs {b}"
+                        (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                        "step {step} unknown {u}: {a} vs {b}"
                     );
                 }
             }
@@ -175,26 +144,28 @@ proptest! {
     }
 }
 
-/// Transient equivalence on the paper's Fig. 5a: the legacy transient
-/// entry points against their facade replacements.
+/// Transient consistency on the paper's Fig. 5a: the plan-cached solve
+/// must agree with the cache-bypassing cold solve in transient mode, and
+/// the built-batch fan-out (`solve_many(Built…)`, shared symbolic plan)
+/// must agree with singleton `solve_problem(Built…)` calls.
 #[test]
-fn legacy_transient_paths_match_facade() {
+fn transient_paths_are_self_consistent() {
     let g = generators::fig5a();
     let mut cfg = AnalogConfig::evaluation(10e9);
     cfg.build.capacity_mapping = ohmflow::builder::CapacityMapping::Exact;
-    let legacy_solver = AnalogMaxFlow::new(cfg.clone());
-    let facade_solver = MaxFlowSolver::new(SolveOptions::from_config(cfg.clone()));
+    let solver = MaxFlowSolver::new(SolveOptions::from_config(cfg.clone()));
 
-    let legacy = legacy_solver.solve(&g).expect("legacy transient");
-    let facade = facade_solver.solve_fresh(&g).expect("facade transient");
-    assert!((legacy.value - facade.value).abs() < 1e-12 * legacy.value.abs().max(1.0));
-    let (tl, tf) = (
-        legacy.convergence_time.expect("legacy settles"),
-        facade.convergence_time.expect("facade settles"),
+    let cached = solver.solve(&g).expect("cached transient");
+    let fresh = solver.solve_fresh(&g).expect("fresh transient");
+    assert!((cached.value - fresh.value).abs() < 1e-12 * fresh.value.abs().max(1.0));
+    let (tc, tf) = (
+        cached.convergence_time.expect("cached settles"),
+        fresh.convergence_time.expect("fresh settles"),
     );
-    assert!(((tl - tf) / tl).abs() < 1e-12, "settle {tf} vs {tl}");
+    assert!(((tc - tf) / tf).abs() < 1e-12, "settle {tc} vs {tf}");
 
-    // Built-batch: `solve_built_transient_batch` vs `solve_many(Built…)`.
+    // Built-batch: `solve_many(Built…)` (shared symbolic plan) vs
+    // member-at-a-time `solve_problem(Built…)` (independent cold paths).
     let build = ohmflow::builder::BuildOptions {
         drive: ohmflow::builder::Drive::Step,
         ..ohmflow::builder::BuildOptions::ideal()
@@ -202,26 +173,37 @@ fn legacy_transient_paths_match_facade() {
     let scs: Vec<_> = (0..3)
         .map(|_| ohmflow::builder::build(&g, &cfg.params, &build).expect("build"))
         .collect();
-    let legacy_batch = legacy_solver.solve_built_transient_batch(&scs, &g);
-    let facade_batch = facade_solver.solve_many(scs.iter().map(|sc| Problem::Built {
+    let singles: Vec<_> = scs
+        .iter()
+        .map(|sc| {
+            solver
+                .solve_problem(Problem::Built {
+                    circuit: sc,
+                    graph: &g,
+                })
+                .expect("single built")
+        })
+        .collect();
+    let batch = solver.solve_many(scs.iter().map(|sc| Problem::Built {
         circuit: sc,
         graph: &g,
     }));
-    for (i, (l, f)) in legacy_batch.iter().zip(&facade_batch).enumerate() {
-        let (l, f) = (l.as_ref().expect("legacy"), f.as_ref().expect("facade"));
+    for (i, (s, b)) in singles.iter().zip(&batch).enumerate() {
+        let b = b.as_ref().expect("batch built");
         assert!(
-            (l.value - f.value).abs() < 1e-12 * l.value.abs().max(1.0),
+            (s.value - b.value).abs() < 1e-12 * s.value.abs().max(1.0),
             "built member {i}: {} vs {}",
-            f.value,
-            l.value
+            b.value,
+            s.value
         );
     }
 }
 
-/// `DcAnalysis::solve` vs `DcSolver::solve` on the substrate circuit of a
-/// real instance.
+/// Circuit-level consistency: `DcSolver::solve` (cold path inline) vs a
+/// `DcPlan` solve (template fast path) on the substrate circuit of a real
+/// instance.
 #[test]
-fn legacy_dc_analysis_matches_dc_solver() {
+fn dc_plan_solve_matches_cold_solve() {
     let g = generators::fig15a(40);
     let solver = MaxFlowSolver::new(SolveOptions::ideal());
     let instance = solver
@@ -230,12 +212,12 @@ fn legacy_dc_analysis_matches_dc_solver() {
         .instance(&g)
         .expect("instance");
     let ckt = instance.substrate().circuit();
-    let legacy = ohmflow_circuit::DcAnalysis::new(ckt)
-        .solve()
-        .expect("legacy dc");
-    let (facade, report) = DcSolver::new().solve(ckt).expect("facade dc");
+    let (cold, report) = DcSolver::new().solve(ckt).expect("cold dc");
     assert!(report.iterations >= 1);
-    for (u, (a, b)) in facade.values().iter().zip(legacy.values()).enumerate() {
+    let dc_plan = DcSolver::new().plan(ckt).expect("dc plan");
+    let (planned, preport) = dc_plan.solve(ckt).expect("planned dc");
+    assert!(preport.templated, "matching plan must ride the template");
+    for (u, (a, b)) in planned.values().iter().zip(cold.values()).enumerate() {
         assert!(
             (a - b).abs() < 1e-12 * b.abs().max(1.0),
             "unknown {u}: {a} vs {b}"
