@@ -35,6 +35,30 @@
 //! order; the server answers every request and closes when the client
 //! half-closes.
 //!
+//! # Delta sessions
+//!
+//! Three further tags expose streaming [`DeltaSession`]s — one live
+//! analog substrate absorbing graph deltas across requests:
+//!
+//! ```text
+//! tag 2 (open)   sub-tag u8 (0/1 as above) + encoded graph
+//! tag 3 (apply)  session u64 le, count u32 le, then per delta:
+//!                  kind 0: edge u64, capacity i64   (set capacity)
+//!                  kind 1: edge u64                 (remove edge)
+//!                  kind 2: from u64, to u64, capacity i64 (insert edge)
+//! tag 4 (close)  session u64 le
+//! ```
+//!
+//! Open and apply answer with a **delta response** (status `0`, session
+//! id, flow value, per-session-edge flows, ids assigned to the batch's
+//! inserts, replanned/consolidated flags, state iterations); close echoes
+//! the session id. Session ids are process-global: a session opened on
+//! one connection may be driven from another. Requests for the same
+//! session are serialized by checking the session out of the registry for
+//! the duration of its solve — a concurrent request for a checked-out id
+//! reports `session … unknown or busy` rather than blocking the
+//! connection.
+//!
 //! # Architecture
 //!
 //! One acceptor thread hands each connection to its own reader thread;
@@ -55,13 +79,19 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ohmflow::solver::facade::{MaxFlowSolver, Problem, SolveOptions};
-use ohmflow::AnalogSolution;
+use ohmflow::{AnalogSolution, DeltaBatch, DeltaReport, DeltaSession, GraphDelta};
 use ohmflow_graph::{binfmt, dimacs, FlowNetwork};
 
 /// Request tag: DIMACS max-flow text.
 pub const TAG_DIMACS: u8 = 0;
 /// Request tag: `OFG1` binary graph ([`ohmflow_graph::binfmt`]).
 pub const TAG_BINARY: u8 = 1;
+/// Request tag: open a [`DeltaSession`] on the carried graph.
+pub const TAG_OPEN_SESSION: u8 = 2;
+/// Request tag: apply a delta batch to an open session.
+pub const TAG_APPLY_DELTAS: u8 = 3;
+/// Request tag: close a session.
+pub const TAG_CLOSE_SESSION: u8 = 4;
 
 /// Hard ceiling on one frame's payload (64 MiB) — large enough for
 /// million-edge instances, small enough that a corrupt length prefix
@@ -85,6 +115,26 @@ pub struct SolveResponse {
     pub templated: bool,
 }
 
+/// One delta-session answer (open or apply) as carried by the wire
+/// protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaResponse {
+    /// Process-global session id.
+    pub session_id: u64,
+    /// Flow value `|f|` (flow units) after the batch.
+    pub value: f64,
+    /// Per-edge flows in **session id** order (removed edges report 0).
+    pub edge_flows: Vec<f64>,
+    /// Session ids assigned to the batch's inserts, batch order.
+    pub new_edge_ids: Vec<u64>,
+    /// Whether the batch re-keyed against the plan cache.
+    pub replanned: bool,
+    /// Whether the numeric consolidation budget refactored afterwards.
+    pub consolidated: bool,
+    /// Complementarity iterations the solve took.
+    pub state_iterations: u32,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -102,6 +152,43 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             options: SolveOptions::ideal(),
         }
+    }
+}
+
+/// Process-global registry of open [`DeltaSession`]s. Sessions are
+/// checked *out* of the map for the duration of a solve, so the registry
+/// lock is only ever held for map operations.
+struct Sessions {
+    next_id: std::sync::atomic::AtomicU64,
+    open: Mutex<std::collections::HashMap<u64, DeltaSession>>,
+}
+
+impl Sessions {
+    fn new() -> Self {
+        Sessions {
+            next_id: std::sync::atomic::AtomicU64::new(1),
+            open: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn insert_new(&self, session: DeltaSession) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.open
+            .lock()
+            .expect("session registry")
+            .insert(id, session);
+        id
+    }
+
+    fn check_out(&self, id: u64) -> Option<DeltaSession> {
+        self.open.lock().expect("session registry").remove(&id)
+    }
+
+    fn check_in(&self, id: u64, session: DeltaSession) {
+        self.open
+            .lock()
+            .expect("session registry")
+            .insert(id, session);
     }
 }
 
@@ -205,6 +292,7 @@ pub fn spawn(addr: &str, config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let queue = Arc::new(Queue::new());
+    let sessions = Arc::new(Sessions::new());
     let solver = MaxFlowSolver::new(config.options);
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -226,8 +314,13 @@ pub fn spawn(addr: &str, config: ServeConfig) -> std::io::Result<ServerHandle> {
                 }
                 let Ok(stream) = stream else { continue };
                 let queue = Arc::clone(&queue);
+                let sessions = Arc::clone(&sessions);
+                // Session frames solve on the connection thread (they are
+                // stateful and per-session serialized); stateless solves
+                // still funnel through the shared worker queue.
+                let solver = solver.clone();
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &queue);
+                    let _ = serve_connection(stream, &queue, &sessions, &solver);
                 });
             }
         })
@@ -246,9 +339,16 @@ pub fn spawn(addr: &str, config: ServeConfig) -> std::io::Result<ServerHandle> {
 fn worker_loop(queue: &Queue, solver: &MaxFlowSolver) {
     while let Some(batch) = queue.drain() {
         if batch.len() == 1 {
-            // No grouping to exploit; skip the rayon fan-out.
+            // No grouping to exploit; skip the rayon fan-out. Plan
+            // explicitly rather than `solve`: a server's workload is
+            // repeated topologies, which amortize a plan even below the
+            // adaptive small-instance threshold that makes one-shot
+            // `solve` calls skip plan building.
             let job = batch.into_iter().next().expect("one job");
-            let result = solver.solve(&job.graph).map_err(|e| e.to_string());
+            let result = solver
+                .plan(&job.graph)
+                .and_then(|p| p.instance(&job.graph)?.solve())
+                .map_err(|e| e.to_string());
             let _ = job.reply.send(result);
             continue;
         }
@@ -260,25 +360,161 @@ fn worker_loop(queue: &Queue, solver: &MaxFlowSolver) {
 }
 
 /// One connection: frames in, frames out, in order, until EOF.
-fn serve_connection(mut stream: TcpStream, queue: &Queue) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    queue: &Queue,
+    sessions: &Sessions,
+    solver: &MaxFlowSolver,
+) -> std::io::Result<()> {
     loop {
         let Some(payload) = read_frame(&mut stream)? else {
             return Ok(()); // clean EOF between frames
         };
-        let response = match decode_request(&payload) {
-            Ok(graph) => {
-                let (tx, rx) = mpsc::channel();
-                queue.push(Job { graph, reply: tx });
-                match rx.recv() {
-                    Ok(Ok(sol)) => encode_ok(&sol),
-                    Ok(Err(msg)) => encode_err(&msg),
-                    Err(_) => encode_err("server shutting down"),
-                }
+        let response = match payload.first() {
+            Some(&TAG_OPEN_SESSION) | Some(&TAG_APPLY_DELTAS) | Some(&TAG_CLOSE_SESSION) => {
+                handle_session_frame(&payload, sessions, solver)
             }
-            Err(msg) => encode_err(&msg),
+            _ => match decode_request(&payload) {
+                Ok(graph) => {
+                    let (tx, rx) = mpsc::channel();
+                    queue.push(Job { graph, reply: tx });
+                    match rx.recv() {
+                        Ok(Ok(sol)) => encode_ok(&sol),
+                        Ok(Err(msg)) => encode_err(&msg),
+                        Err(_) => encode_err("server shutting down"),
+                    }
+                }
+                Err(msg) => encode_err(&msg),
+            },
         };
         write_frame(&mut stream, &response)?;
     }
+}
+
+/// Serves one delta-session frame (open / apply / close) and encodes the
+/// answer. Errors come back as status-1 payloads; an invalid batch leaves
+/// its session open and untouched (the session's own atomicity).
+fn handle_session_frame(payload: &[u8], sessions: &Sessions, solver: &MaxFlowSolver) -> Vec<u8> {
+    let (&tag, body) = payload.split_first().expect("dispatch saw a tag");
+    match tag {
+        TAG_OPEN_SESSION => {
+            let graph = match decode_request(body) {
+                Ok(g) => g,
+                Err(msg) => return encode_err(&msg),
+            };
+            let mut session = match solver.delta_session(&graph) {
+                Ok(s) => s,
+                Err(e) => return encode_err(&e.to_string()),
+            };
+            // The opening answer is the empty batch's solve.
+            match session.apply_deltas(&DeltaBatch::new()) {
+                Ok(report) => {
+                    let id = sessions.insert_new(session);
+                    encode_delta_ok(id, &report)
+                }
+                Err(e) => encode_err(&e.to_string()),
+            }
+        }
+        TAG_APPLY_DELTAS => {
+            let (id, batch) = match decode_delta_request(body) {
+                Ok(parts) => parts,
+                Err(msg) => return encode_err(&msg),
+            };
+            let Some(mut session) = sessions.check_out(id) else {
+                return encode_err(&format!("session {id} unknown or busy"));
+            };
+            let result = session.apply_deltas(&batch);
+            sessions.check_in(id, session);
+            match result {
+                Ok(report) => encode_delta_ok(id, &report),
+                Err(e) => encode_err(&e.to_string()),
+            }
+        }
+        TAG_CLOSE_SESSION => match body.try_into().map(u64::from_le_bytes) {
+            Ok(id) => match sessions.check_out(id) {
+                Some(session) => {
+                    drop(session);
+                    let mut payload = Vec::with_capacity(9);
+                    payload.push(0);
+                    payload.extend_from_slice(&id.to_le_bytes());
+                    payload
+                }
+                None => encode_err(&format!("session {id} unknown or busy")),
+            },
+            Err(_) => encode_err("close payload must be one u64 session id"),
+        },
+        other => encode_err(&format!("unknown session tag {other}")),
+    }
+}
+
+/// Decodes an apply-deltas body: session id + the delta batch.
+fn decode_delta_request(body: &[u8]) -> Result<(u64, DeltaBatch), String> {
+    let truncated = || "truncated delta request".to_owned();
+    let u64_at = |at: usize| -> Result<u64, String> {
+        body.get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(truncated)
+    };
+    let id = u64_at(0)?;
+    let count = body
+        .get(8..12)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or_else(truncated)? as usize;
+    let mut batch = DeltaBatch::new();
+    let mut at = 12;
+    for _ in 0..count {
+        let &kind = body.get(at).ok_or_else(truncated)?;
+        at += 1;
+        match kind {
+            0 => {
+                let edge = u64_at(at)? as usize;
+                let capacity = u64_at(at + 8)? as i64;
+                at += 16;
+                batch.push(GraphDelta::SetCapacity { edge, capacity });
+            }
+            1 => {
+                let edge = u64_at(at)? as usize;
+                at += 8;
+                batch.push(GraphDelta::RemoveEdge { edge });
+            }
+            2 => {
+                let from = u64_at(at)? as usize;
+                let to = u64_at(at + 8)? as usize;
+                let capacity = u64_at(at + 16)? as i64;
+                at += 24;
+                batch.push(GraphDelta::InsertEdge { from, to, capacity });
+            }
+            other => return Err(format!("unknown delta kind {other}")),
+        }
+    }
+    if at != body.len() {
+        return Err(format!(
+            "{} trailing bytes after delta batch",
+            body.len() - at
+        ));
+    }
+    Ok((id, batch))
+}
+
+fn encode_delta_ok(id: u64, report: &DeltaReport) -> Vec<u8> {
+    let m = report.edge_flows.len();
+    let k = report.new_edge_ids.len();
+    let mut payload = Vec::with_capacity(1 + 8 + 8 + 4 + m * 8 + 4 + k * 8 + 2 + 4);
+    payload.push(0);
+    payload.extend_from_slice(&id.to_le_bytes());
+    payload.extend_from_slice(&report.value.to_le_bytes());
+    payload.extend_from_slice(&(m as u32).to_le_bytes());
+    for f in &report.edge_flows {
+        payload.extend_from_slice(&f.to_le_bytes());
+    }
+    payload.extend_from_slice(&(k as u32).to_le_bytes());
+    for &e in &report.new_edge_ids {
+        payload.extend_from_slice(&(e as u64).to_le_bytes());
+    }
+    payload.push(u8::from(report.replanned));
+    payload.push(u8::from(report.consolidated));
+    payload.extend_from_slice(&(report.state_iterations as u32).to_le_bytes());
+    payload
 }
 
 /// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
@@ -420,6 +656,167 @@ pub fn decode_response(payload: &[u8]) -> Result<SolveResponse, String> {
         block_count,
         templated,
     })
+}
+
+/// Builds an open-session request payload from an already-encoded graph
+/// body (`graph_tag` is [`TAG_DIMACS`] or [`TAG_BINARY`]).
+pub fn encode_open_session(graph_tag: u8, graph_bytes: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + graph_bytes.len());
+    payload.push(TAG_OPEN_SESSION);
+    payload.push(graph_tag);
+    payload.extend_from_slice(graph_bytes);
+    payload
+}
+
+/// Builds an apply-deltas request payload.
+pub fn encode_apply_deltas(session_id: u64, deltas: &[GraphDelta]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(13 + deltas.len() * 25);
+    payload.push(TAG_APPLY_DELTAS);
+    payload.extend_from_slice(&session_id.to_le_bytes());
+    payload.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
+    for &delta in deltas {
+        match delta {
+            GraphDelta::SetCapacity { edge, capacity } => {
+                payload.push(0);
+                payload.extend_from_slice(&(edge as u64).to_le_bytes());
+                payload.extend_from_slice(&capacity.to_le_bytes());
+            }
+            GraphDelta::RemoveEdge { edge } => {
+                payload.push(1);
+                payload.extend_from_slice(&(edge as u64).to_le_bytes());
+            }
+            GraphDelta::InsertEdge { from, to, capacity } => {
+                payload.push(2);
+                payload.extend_from_slice(&(from as u64).to_le_bytes());
+                payload.extend_from_slice(&(to as u64).to_le_bytes());
+                payload.extend_from_slice(&capacity.to_le_bytes());
+            }
+        }
+    }
+    payload
+}
+
+/// Builds a close-session request payload.
+pub fn encode_close_session(session_id: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9);
+    payload.push(TAG_CLOSE_SESSION);
+    payload.extend_from_slice(&session_id.to_le_bytes());
+    payload
+}
+
+/// Decodes a delta response (open/apply answers).
+///
+/// # Errors
+///
+/// `Err(String)` both for server-reported errors (status 1) and for
+/// malformed payloads.
+pub fn decode_delta_response(payload: &[u8]) -> Result<DeltaResponse, String> {
+    let (&status, body) = payload
+        .split_first()
+        .ok_or_else(|| "empty response payload".to_owned())?;
+    if status == 1 {
+        return Err(String::from_utf8_lossy(body).into_owned());
+    }
+    if status != 0 {
+        return Err(format!("unknown response status {status}"));
+    }
+    let truncated = || "truncated delta response".to_owned();
+    let u64_at = |at: usize| -> Result<u64, String> {
+        body.get(at..at + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(truncated)
+    };
+    let u32_at = |at: usize| -> Result<u32, String> {
+        body.get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(truncated)
+    };
+    let session_id = u64_at(0)?;
+    let value = f64::from_bits(u64_at(8)?);
+    let m = u32_at(16)? as usize;
+    let mut edge_flows = Vec::with_capacity(m);
+    for i in 0..m {
+        edge_flows.push(f64::from_bits(u64_at(20 + i * 8)?));
+    }
+    let mut at = 20 + m * 8;
+    let k = u32_at(at)? as usize;
+    at += 4;
+    let mut new_edge_ids = Vec::with_capacity(k);
+    for i in 0..k {
+        new_edge_ids.push(u64_at(at + i * 8)?);
+    }
+    at += k * 8;
+    let flags = body.get(at..at + 2).ok_or_else(truncated)?;
+    let state_iterations = u32_at(at + 2)?;
+    Ok(DeltaResponse {
+        session_id,
+        value,
+        edge_flows,
+        new_edge_ids,
+        replanned: flags[0] != 0,
+        consolidated: flags[1] != 0,
+        state_iterations,
+    })
+}
+
+/// Client convenience: opens a delta session on an open connection and
+/// returns the opening answer (its `session_id` names the session in
+/// later [`apply_deltas`]/[`close_session`] calls).
+///
+/// # Errors
+///
+/// `Err(String)` for transport failures, server-reported errors and
+/// malformed responses.
+pub fn open_session(
+    stream: &mut TcpStream,
+    graph_tag: u8,
+    graph_bytes: &[u8],
+) -> Result<DeltaResponse, String> {
+    write_frame(stream, &encode_open_session(graph_tag, graph_bytes)).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed before response".to_owned())?;
+    decode_delta_response(&payload)
+}
+
+/// Client convenience: applies one delta batch to an open session.
+///
+/// # Errors
+///
+/// `Err(String)` for transport failures, server-reported errors
+/// (including invalid batches, which leave the session untouched) and
+/// malformed responses.
+pub fn apply_deltas(
+    stream: &mut TcpStream,
+    session_id: u64,
+    deltas: &[GraphDelta],
+) -> Result<DeltaResponse, String> {
+    write_frame(stream, &encode_apply_deltas(session_id, deltas)).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed before response".to_owned())?;
+    decode_delta_response(&payload)
+}
+
+/// Client convenience: closes a session, returning its echoed id.
+///
+/// # Errors
+///
+/// `Err(String)` for transport failures and unknown session ids.
+pub fn close_session(stream: &mut TcpStream, session_id: u64) -> Result<u64, String> {
+    write_frame(stream, &encode_close_session(session_id)).map_err(|e| e.to_string())?;
+    let payload = read_frame(stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed before response".to_owned())?;
+    let (&status, body) = payload
+        .split_first()
+        .ok_or_else(|| "empty response payload".to_owned())?;
+    if status == 1 {
+        return Err(String::from_utf8_lossy(body).into_owned());
+    }
+    body.try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| "malformed close response".to_owned())
 }
 
 /// Client convenience: one request/response round trip on an open

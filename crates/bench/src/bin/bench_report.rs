@@ -16,18 +16,27 @@
 //! the mixed-precision 1e-9 accuracy gate) and `BENCH_PR8.json` (the
 //! concurrent sharded plan cache: fingerprint-first hit latency vs the
 //! old full-key-rebuild path, warm-hit throughput at 1/2/4 threads and
-//! an eviction-pressure sweep with the cache counters), so the repo's
-//! perf trajectory is tracked by artifact instead of anecdote. A final
-//! pass merges every `BENCH_PR*.json` in the working directory into
-//! `BENCH_TRAJECTORY.json` keyed by PR number.
+//! an eviction-pressure sweep with the cache counters) and
+//! `BENCH_PR9.json` (the graph-delta fast path: k=8 mixed delta batches
+//! through a standing `DeltaSession` vs cold plan+solve, the rank-k
+//! batched Woodbury push vs k sequential rank-1 pushes, the k=8
+//! multi-RHS blocked triangular solve vs eight singles, and the
+//! `small_n` adaptive-path numbers behind `SMALL_INSTANCE_EDGES`), so
+//! the repo's perf trajectory is tracked by artifact instead of
+//! anecdote. A final pass merges every `BENCH_PR*.json` in the working
+//! directory into `BENCH_TRAJECTORY.json` keyed by PR number.
 //!
 //! Run with: `cargo run --release -p ohmflow-bench --bin bench_report`
 //! (`OHMFLOW_BENCH_OUT` / `OHMFLOW_BENCH_OUT_PR3` / ... /
-//! `OHMFLOW_BENCH_OUT_PR8` override the output paths; `OHMFLOW_FULL=1`
+//! `OHMFLOW_BENCH_OUT_PR9` override the output paths; `OHMFLOW_FULL=1`
 //! adds the minutes-long natural-order factorization of rmat2048).
-//! `bench_report trajectory` skips the benchmarks and only rebuilds
-//! `BENCH_TRAJECTORY.json` from the report files already on disk;
-//! `bench_report pr8` runs just the PR 8 section and re-merges.
+//! `bench_report trajectory` skips the benchmarks, rebuilds
+//! `BENCH_TRAJECTORY.json` from the report files already on disk, and
+//! runs the PR 9 regression gate: if a baseline trajectory (the path in
+//! `OHMFLOW_BENCH_BASELINE`, default the trajectory file itself as left
+//! by a previous run) records PR 9 guard metrics and any of this run's
+//! has regressed by more than 25%, the rebuild exits nonzero.
+//! `bench_report pr8` / `pr9` run just that section and re-merge.
 
 use ohmflow::builder::CapacityMapping;
 use ohmflow::solver::RelaxationEngine;
@@ -51,6 +60,12 @@ fn main() {
         // The PR 8 section standalone (plan-cache iteration loop).
         Some("pr8") => {
             pr8_report();
+            trajectory_report();
+            return;
+        }
+        // The PR 9 section standalone (delta-session iteration loop).
+        Some("pr9") => {
+            pr9_report();
             trajectory_report();
             return;
         }
@@ -180,6 +195,7 @@ fn main() {
     pr6_report();
     pr7_report();
     pr8_report();
+    pr9_report();
     trajectory_report();
 }
 
@@ -1197,12 +1213,286 @@ fn pr8_report() {
     println!("wrote {out}");
 }
 
+/// The PR 9 section: the graph-delta fast path. Four tracked stories:
+///
+/// * The headline delta-solve amortization on rmat2048: a k=8 mixed
+///   delta batch (4 capacity restamps + 2 exact removals + 2 in-place
+///   revivals) absorbed by a standing [`ohmflow::DeltaSession`] versus
+///   the cold plan+build+solve the same change would cost without one.
+///   The acceptance bar (also enforced by `delta_guard`) is >= 10x.
+/// * Capacity-only k=8 batches — the cheapest delta class (pure
+///   level-source restamps against the standing factor).
+/// * The rank-k batched Woodbury push (`LowRankUpdate::push_batch`, one
+///   capacitance refresh + multi-lane z-solves) versus k sequential
+///   rank-1 `push`es, on a single-block AMD factor of rmat1024 where the
+///   multi-RHS lanes engage, and on the multi-block production factor of
+///   rmat2048 where the batch falls back to reach-limited per-column
+///   solves (recorded so the fallback's parity is tracked too).
+/// * The k=8 multi-RHS blocked triangular solve vs eight single-RHS
+///   solves on the same factor, and the `small_n` adaptive-path numbers
+///   behind `SMALL_INSTANCE_EDGES` (cold direct build+solve vs cold
+///   plan+instantiate+solve on a sub-threshold grid).
+fn pr9_report() {
+    use std::time::Instant;
+
+    use ohmflow::DeltaBatch;
+
+    println!("--- PR9 graph-delta fast path ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, ns: f64| {
+        println!("{name:<52} {ns:>14.0} ns/op");
+        entries.push((name, ns));
+    };
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    // --- Delta-session amortization on rmat2048. ---
+    {
+        let g = fig10_instance(2048, false, 1);
+        // The ideal build: its conservation stars are plain resistors, so
+        // edge removal/insertion rides the value-only surgery + rank-k
+        // Woodbury fast path. Op-amp builds (the §5.1 evaluation
+        // configs) realize star magnitudes inside subcircuits the session
+        // cannot retune by value and fall back to structural re-keys —
+        // the slow path by design, not what this section measures.
+        let solver = MaxFlowSolver::new(SolveOptions::ideal());
+
+        // What the same stream costs without a session: every batch pays
+        // a cold plan+build+solve of the mutated graph.
+        let cold = median_ns(3, || solver.solve_fresh(&g).expect("cold solve").value);
+        push("rmat2048/cold_plan_build_solve".to_owned(), cold);
+
+        let mut session = solver.delta_session(&g).expect("delta session");
+        session.apply_deltas(&DeltaBatch::new()).expect("opening");
+
+        // Interior (non-circulation) edges are the removable pool; the
+        // walk removes two per round and revives the previous round's
+        // two, so the live set is periodic and every batch is k=8 mixed.
+        let removable: Vec<(usize, i64)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to != g.source() && e.from != g.sink())
+            .map(|(k, e)| (k, e.capacity))
+            .collect();
+        let mixed_batch = |round: usize| {
+            let l = removable.len();
+            let (r0, r1) = (removable[(2 * round) % l], removable[(2 * round + 1) % l]);
+            let (p0, p1) = (
+                removable[(2 * round + l - 2) % l],
+                removable[(2 * round + l - 1) % l],
+            );
+            let mut b = DeltaBatch::new()
+                .remove_edge(r0.0)
+                .remove_edge(r1.0)
+                .insert_edge(g.edges()[p0.0].from, g.edges()[p0.0].to, p0.1)
+                .insert_edge(g.edges()[p1.0].from, g.edges()[p1.0].to, p1.1);
+            for i in 0..4 {
+                let (k, cap) = removable[(4 * round + i + 7) % l];
+                b = b.set_capacity(k, 1 + (cap + round as i64) % 99);
+            }
+            b
+        };
+        // Prime round 0's revivals (outside timing).
+        session
+            .apply_deltas(
+                &DeltaBatch::new()
+                    .remove_edge(removable[removable.len() - 2].0)
+                    .remove_edge(removable[removable.len() - 1].0),
+            )
+            .expect("prime removals");
+        let rounds = 12;
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            let report = session.apply_deltas(&mixed_batch(r)).expect("mixed batch");
+            assert!(!report.replanned, "periodic mixed walk must not re-key");
+        }
+        let mixed = t0.elapsed().as_nanos() as f64 / rounds as f64;
+        push("rmat2048/delta_mixed_k8_apply".to_owned(), mixed);
+        println!(
+            "rmat2048 session after mixed walk: rank {}, consolidations {}, replans {}",
+            session.outstanding_rank(),
+            session.consolidations(),
+            session.replans()
+        );
+
+        // Heal the walk: revive the final mixed round's two removals so
+        // the capacity rounds below never touch a dead id.
+        let (d0, d1) = (
+            removable[(2 * (rounds - 1)) % removable.len()],
+            removable[(2 * (rounds - 1) + 1) % removable.len()],
+        );
+        session
+            .apply_deltas(
+                &DeltaBatch::new()
+                    .insert_edge(g.edges()[d0.0].from, g.edges()[d0.0].to, d0.1)
+                    .insert_edge(g.edges()[d1.0].from, g.edges()[d1.0].to, d1.1),
+            )
+            .expect("heal removals");
+
+        // Capacity-only batches: the cheapest class (no surgery).
+        let cap_batch = |round: usize| {
+            let l = removable.len();
+            let mut b = DeltaBatch::new();
+            for i in 0..8 {
+                let (k, cap) = removable[(8 * round + i) % l];
+                b = b.set_capacity(k, 1 + (cap + round as i64) % 99);
+            }
+            b
+        };
+        let t0 = Instant::now();
+        for r in 0..rounds {
+            session.apply_deltas(&cap_batch(r)).expect("capacity batch");
+        }
+        let caps = t0.elapsed().as_nanos() as f64 / rounds as f64;
+        push("rmat2048/delta_capacity_k8_apply".to_owned(), caps);
+        speedups.push(("delta_mixed_k8_vs_cold_rmat2048".to_owned(), cold / mixed));
+        speedups.push(("delta_capacity_k8_vs_cold_rmat2048".to_owned(), cold / caps));
+    }
+
+    // --- Rank-k batched push vs k sequential rank-1 pushes. ---
+    // Terms are real diode-pair conductance perturbations
+    // `g·(e_a - e_c)(e_a - e_c)^T` on the substrate MNA matrix. The
+    // sequential path refreshes the dense capacitance factor k times and
+    // solves k single-RHS systems; the batch refreshes once and carries
+    // its z-columns through multi-lane traversals (single-block factors)
+    // or reach-limited per-column solves (multi-block fallback).
+    for (name, g, single_block) in [
+        ("rmat1024_amd", fig10_instance(1024, false, 1), true),
+        ("rmat2048", fig10_instance(2048, false, 1), false),
+    ] {
+        use ohmflow_linalg::{LowRankUpdate, RankOneTermRef};
+
+        let sc = bench_substrate(&g);
+        let (m, lu_default) = DcSolver::new().stamp(sc.circuit()).expect("dc system");
+        let lu = if single_block {
+            let opts = SparseLuOptions {
+                ordering: ColumnOrdering::Amd,
+                ..Default::default()
+            };
+            SparseLu::factor_with(&m, &opts).expect("amd factor")
+        } else {
+            lu_default
+        };
+        println!("{name}: {} blocks", lu.symbolic().block_count());
+        let pairs = diode_unknown_pairs(&sc);
+        let k = 8;
+        #[allow(clippy::type_complexity)]
+        let terms: Vec<(Vec<(usize, f64)>, Vec<(usize, f64)>)> = pairs
+            .iter()
+            .step_by((pairs.len() / k).max(1))
+            .take(k)
+            .map(|&(a, c)| (vec![(a, 1e-4), (c, -1e-4)], vec![(a, 1.0), (c, -1.0)]))
+            .collect();
+        let term_refs: Vec<RankOneTermRef<'_>> = terms
+            .iter()
+            .map(|(u, v)| (u.as_slice(), v.as_slice()))
+            .collect();
+        let n = m.cols();
+        let t_seq = median_ns(5, || {
+            let mut up = LowRankUpdate::new(n);
+            for (u, v) in &term_refs {
+                up.push(&lu, u, v).expect("rank-1 push");
+            }
+        });
+        let t_bat = median_ns(5, || {
+            let mut up = LowRankUpdate::new(n);
+            up.push_batch(&lu, &term_refs).expect("rank-8 batch push");
+        });
+        push(format!("{name}/rank1_push_x8_sequential"), t_seq);
+        push(format!("{name}/rank8_push_batch"), t_bat);
+        speedups.push((format!("push_batch_k8_vs_sequential_{name}"), t_seq / t_bat));
+
+        // Multi-RHS blocked triangular solve vs k single-RHS solves on
+        // the same factor (the primitive push_batch rides).
+        let b1 = vec![1.0; n];
+        let bk = vec![1.0; n * k];
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        let t_single = median_ns(5, || {
+            for _ in 0..k {
+                lu.solve_into(&b1, &mut work, &mut out).expect("solve");
+            }
+        });
+        let t_multi = median_ns(5, || {
+            lu.solve_multi_into(&bk, k, &mut work, &mut out)
+                .expect("multi solve")
+        });
+        push(format!("{name}/triangular_solve_x8_single"), t_single);
+        push(format!("{name}/triangular_solve_multi_k8"), t_multi);
+        speedups.push((
+            format!("solve_multi_k8_vs_x8_single_{name}"),
+            t_single / t_multi,
+        ));
+    }
+
+    // --- small_n: the adaptive-path numbers behind SMALL_INSTANCE_EDGES.
+    // A sub-threshold grid (3x3: 30 edges < 48): cold direct build+solve
+    // vs the cold plan+instantiate+solve a one-shot `solve` used to pay.
+    {
+        let g = dimacs_grid_instance(3, 50, 7);
+        assert!(g.edge_count() < ohmflow::solver::SMALL_INSTANCE_EDGES);
+        let mut cfg = SolveOptions::evaluation_quasi_static(10e9);
+        cfg.params.v_flow = 800.0;
+        let solver = MaxFlowSolver::new(cfg.clone());
+        let direct = median_ns(9, || solver.solve_fresh(&g).expect("solve").value);
+        let templated = median_ns(9, || {
+            // A fresh solver per round keeps the plan cache cold: this is
+            // the build-plan-then-instantiate path the threshold retired.
+            let s = MaxFlowSolver::new(cfg.clone());
+            let plan = s.plan(&g).expect("plan");
+            plan.instance(&g)
+                .expect("instance")
+                .solve()
+                .expect("solve")
+                .value
+        });
+        push("small_n_grid3/cold_direct_build_solve".to_owned(), direct);
+        push(
+            "small_n_grid3/cold_plan_instantiate_solve".to_owned(),
+            templated,
+        );
+        speedups.push((
+            "small_n_direct_vs_cold_planned_grid3".to_owned(),
+            templated / direct,
+        ));
+    }
+
+    for (k, v) in &speedups {
+        println!("{k}: {v:.2}x");
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr9/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"speedups\": {\n");
+    for (i, (name, v)) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR9").unwrap_or_else(|_| "BENCH_PR9.json".to_owned());
+    std::fs::write(&out, json).expect("write pr9 bench report");
+    println!("wrote {out}");
+}
+
 /// Merge every `BENCH_PR<N>.json` in the working directory into one
 /// `BENCH_TRAJECTORY.json` keyed by PR ("PR2", "PR3", ...), so a single
 /// CI artifact carries the whole perf trajectory. Each per-PR report is
 /// already a JSON object; it is embedded verbatim (re-indented), so the
 /// merge needs no JSON parser.
 fn trajectory_report() {
+    // Snapshot the baseline before this run's merge overwrites it: in CI
+    // the previous run's `BENCH_TRAJECTORY.json` is restored to the path
+    // named by `OHMFLOW_BENCH_BASELINE` and the regression gate below
+    // compares this run's PR 9 guard metrics against it.
+    let baseline_path = std::env::var("OHMFLOW_BENCH_BASELINE")
+        .unwrap_or_else(|_| "BENCH_TRAJECTORY.json".to_owned());
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+
     let mut reports: Vec<(u32, String)> = Vec::new();
     let dir = std::env::current_dir().expect("cwd");
     for entry in std::fs::read_dir(&dir).expect("read cwd") {
@@ -1260,4 +1550,88 @@ fn trajectory_report() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+
+    // The PR 9 regression gate: every tier-1 guard metric (the
+    // `speedups` of BENCH_PR9.json) must hold within 25% of the PR 9
+    // section recorded in the baseline trajectory, or the trajectory
+    // rebuild exits nonzero (after writing the new artifact, so CI still
+    // uploads it for diagnosis). Runs only when both sides exist —
+    // first runs and PR-9-less checkouts pass trivially.
+    let current = reports
+        .iter()
+        .find(|&&(num, _)| num == 9)
+        .map(|(_, body)| speedup_metrics(body, None));
+    let recorded = baseline
+        .as_deref()
+        .map(|text| speedup_metrics(text, Some("\"PR9\"")));
+    if let (Some(current), Some(recorded)) = (current, recorded) {
+        let mut regressed = Vec::new();
+        for (name, now) in &current {
+            let Some((_, before)) = recorded.iter().find(|(k, _)| k == name) else {
+                continue;
+            };
+            // Gate only metrics whose baseline records a real speedup.
+            // Parity entries (the small_n ~1.0x comparison documents
+            // "no slower", not a win) ride sub-millisecond timings whose
+            // noise would flap a 25% band.
+            if *before > 1.0 && *now < 0.75 * before {
+                regressed.push(format!(
+                    "{name}: {now:.3}x vs recorded {before:.3}x ({:.0}% regression)",
+                    100.0 * (1.0 - now / before)
+                ));
+            }
+        }
+        if recorded.is_empty() {
+            println!("baseline {baseline_path} carries no PR9 metrics; regression gate skipped");
+        } else if regressed.is_empty() {
+            println!(
+                "PR9 regression gate: {} guard metrics within 25% of {baseline_path}",
+                current.len()
+            );
+        } else {
+            eprintln!("PR9 regression gate FAILED vs {baseline_path}:");
+            for line in &regressed {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        println!("no BENCH_PR9.json or no baseline trajectory; regression gate skipped");
+    }
+}
+
+/// Extracts the `"name": value` pairs of the first `"speedups"` object
+/// after `anchor` (or from the start of `text`) — enough of a JSON
+/// reader for the regression gate, since every report is written by the
+/// fixed-format emitters above (one `"key": number` pair per line).
+fn speedup_metrics(text: &str, anchor: Option<&str>) -> Vec<(String, f64)> {
+    let start = match anchor {
+        Some(a) => match text.find(a) {
+            Some(i) => i,
+            None => return Vec::new(),
+        },
+        None => 0,
+    };
+    let Some(s) = text[start..].find("\"speedups\"") else {
+        return Vec::new();
+    };
+    let tail = &text[start + s..];
+    let Some(open) = tail.find('{') else {
+        return Vec::new();
+    };
+    let Some(close) = tail[open..].find('}') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in tail[open + 1..open + close].lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_owned(), v));
+        }
+    }
+    out
 }

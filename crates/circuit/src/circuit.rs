@@ -133,14 +133,17 @@ impl Circuit {
 
     /// Adds a resistor. Negative resistance is allowed (the substrate's
     /// conservation circuits use ideal negative resistors); zero is not.
+    /// `f64::INFINITY` stamps an exact open branch (zero conductance) —
+    /// the delta-session machinery toggles couplings between a finite
+    /// value and open without touching the matrix structure.
     ///
     /// # Panics
     ///
-    /// Panics if `resistance == 0.0` or is not finite.
+    /// Panics if `resistance == 0.0` or is NaN.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, resistance: f64) -> ElementId {
         assert!(
-            resistance != 0.0 && resistance.is_finite(),
-            "resistance must be nonzero and finite, got {resistance}"
+            resistance != 0.0 && !resistance.is_nan(),
+            "resistance must be nonzero and not NaN, got {resistance}"
         );
         self.push(Element::Resistor { a, b, resistance })
     }
@@ -241,14 +244,16 @@ impl Circuit {
         })
     }
 
-    /// Changes a resistor's resistance in place (used by tuning studies).
+    /// Changes a resistor's resistance in place (used by tuning studies
+    /// and the delta-session branch surgery). `f64::INFINITY` opens the
+    /// branch exactly (zero conductance).
     ///
     /// # Errors
     ///
     /// [`CircuitError::WrongElementKind`] if `id` is not a resistor;
-    /// [`CircuitError::InvalidParameter`] for zero/non-finite values.
+    /// [`CircuitError::InvalidParameter`] for zero/NaN values.
     pub fn set_resistance(&mut self, id: ElementId, resistance: f64) -> Result<(), CircuitError> {
-        if resistance == 0.0 || !resistance.is_finite() {
+        if resistance == 0.0 || resistance.is_nan() {
             return Err(CircuitError::InvalidParameter {
                 what: format!("resistance {resistance}"),
             });

@@ -1,9 +1,10 @@
+use std::borrow::{Borrow, BorrowMut};
 use std::sync::Arc;
 use std::time::Instant;
 
 use ohmflow_linalg::{
-    vecops, CscMatrix, LowRankUpdate, LuWorkspace, Precision, RefactorStrategy, SparseLu,
-    SymbolicLu,
+    vecops, CscMatrix, LowRankUpdate, LuWorkspace, Precision, RankOneTermRef, RefactorStrategy,
+    SparseLu, SymbolicLu,
 };
 
 use crate::LuOptions;
@@ -13,6 +14,11 @@ use crate::element::Element;
 use crate::error::CircuitError;
 use crate::ids::{ElementId, NodeId};
 use crate::mna::{self, DeviceState, MnaStructure, Solution, StampMode};
+
+/// One owned rank-1 term `(u, v)` staged for a batched Woodbury push
+/// (the borrowed shape is [`RankOneTermRef`]).
+type RankOneTerm = (Vec<(usize, f64)>, Vec<(usize, f64)>);
+use crate::source::SourceValue;
 
 /// A reusable, shareable cold-path artifact for one circuit *topology*: the
 /// MNA unknown map, the base (all-states-initial) matrix sparsity, and its
@@ -484,7 +490,10 @@ impl DcSolver {
     /// # Errors
     ///
     /// Same as [`DcSolver::solve`].
-    pub fn session<'c>(&self, ckt: &'c Circuit) -> Result<FrozenDcSession<'c>, CircuitError> {
+    pub fn session<'c>(
+        &self,
+        ckt: &'c Circuit,
+    ) -> Result<FrozenDcSession<&'c Circuit>, CircuitError> {
         FrozenDcSession::construct(ckt, None, self.lu)
             .map(|s| s.tuned(self.refactor, self.phase_timing))
     }
@@ -502,8 +511,27 @@ impl DcSolver {
         &self,
         ckt: &'c Circuit,
         tpl: &DcTemplate,
-    ) -> Result<FrozenDcSession<'c>, CircuitError> {
+    ) -> Result<FrozenDcSession<&'c Circuit>, CircuitError> {
         FrozenDcSession::construct(ckt, Some(tpl), *tpl.lu_options())
+            .map(|s| s.tuned(self.refactor, self.phase_timing))
+    }
+
+    /// [`DcSolver::session_from`] generalized over circuit ownership:
+    /// `host` is anything that [`Borrow`]s a [`Circuit`] — pass a borrowed
+    /// `&Circuit` for batch workers, or move an owning wrapper in to build
+    /// a self-contained session (the core crate's graph-delta sessions
+    /// hand their whole substrate over, then restamp source values in
+    /// place through [`FrozenDcSession::set_source_value`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcSolver::solve`].
+    pub fn session_from_host<C: Borrow<Circuit>>(
+        &self,
+        host: C,
+        tpl: &DcTemplate,
+    ) -> Result<FrozenDcSession<C>, CircuitError> {
+        FrozenDcSession::construct(host, Some(tpl), *tpl.lu_options())
             .map(|s| s.tuned(self.refactor, self.phase_timing))
     }
 
@@ -627,7 +655,10 @@ impl DcPlan {
     /// # Errors
     ///
     /// Same as [`DcSolver::solve`].
-    pub fn session<'c>(&self, ckt: &'c Circuit) -> Result<FrozenDcSession<'c>, CircuitError> {
+    pub fn session<'c>(
+        &self,
+        ckt: &'c Circuit,
+    ) -> Result<FrozenDcSession<&'c Circuit>, CircuitError> {
         FrozenDcSession::construct(ckt, Some(&self.tpl), *self.tpl.lu_options())
             .map(|s| s.tuned(self.refactor, self.phase_timing))
     }
@@ -779,9 +810,17 @@ impl FrozenDcPhases {
 /// # Ok(())
 /// # }
 /// ```
+/// The session is generic over how it holds its circuit: `C` is any
+/// [`Borrow<Circuit>`]. The historical form `FrozenDcSession<&Circuit>`
+/// borrows the caller's circuit (batch workers sharing one structure);
+/// `FrozenDcSession<Circuit>` — the default parameter — **owns** it, which
+/// is what long-lived streaming sessions (the core crate's graph-delta
+/// sessions) need: an owning session can restamp its own source values
+/// through [`FrozenDcSession::set_source_value`] without fighting the
+/// borrow checker over a self-referential pair.
 #[derive(Debug)]
-pub struct FrozenDcSession<'c> {
-    ckt: &'c Circuit,
+pub struct FrozenDcSession<C = Circuit> {
+    ckt: C,
     st: MnaStructure,
     /// Element index of each diode, in [`Circuit::diode_ids`] order.
     diode_elems: Vec<usize>,
@@ -821,6 +860,12 @@ pub struct FrozenDcSession<'c> {
     /// Whether this session started from a template's shared symbolic plan
     /// (surfaced through [`FrozenDcSession::report`]).
     templated: bool,
+    /// When set, a paused flip cascade does NOT auto-consolidate
+    /// outstanding Woodbury terms: the owner (a delta session) runs its
+    /// own consolidation budget and calls
+    /// [`FrozenDcSession::consolidate`] itself. The hygiene period still
+    /// bounds round-off accumulation.
+    defer_consolidation: bool,
     rhs: Vec<f64>,
     work: Vec<f64>,
     x: Vec<f64>,
@@ -839,7 +884,7 @@ pub struct FrozenDcSession<'c> {
     phases: FrozenDcPhases,
 }
 
-impl<'c> FrozenDcSession<'c> {
+impl<C: Borrow<Circuit>> FrozenDcSession<C> {
     /// Default rank budget before rebase. Each accumulated rank-1 term adds
     /// one dense axpy per solve, so a handful of outstanding terms stays
     /// well below the cost of a refactorization.
@@ -857,27 +902,29 @@ impl<'c> FrozenDcSession<'c> {
     /// [match](DcTemplate::matches)) the full cold path runs under
     /// `lu_opts`, which every rebase-path fallback factorization reuses.
     pub(crate) fn construct(
-        ckt: &'c Circuit,
+        ckt: C,
         tpl: Option<&DcTemplate>,
         lu_opts: LuOptions,
     ) -> Result<Self, CircuitError> {
-        let states = mna::initial_states(ckt);
-        match tpl.filter(|t| t.matches(ckt)) {
+        let c = ckt.borrow();
+        let states = mna::initial_states(c);
+        match tpl.filter(|t| t.matches(c)) {
             Some(tpl) => {
-                let (lu, m, fast) = tpl.numeric_for(ckt, &states)?;
+                let (lu, m, fast) = tpl.numeric_for(c, &states)?;
                 let stats = FrozenDcStats {
                     refactorizations: usize::from(fast),
                     full_factorizations: usize::from(!fast),
                     ..FrozenDcStats::default()
                 };
-                let mut s =
-                    Self::from_parts(ckt, tpl.st.clone(), states, m, lu, *tpl.lu_options(), stats);
+                let st = tpl.st.clone();
+                let lu_opts = *tpl.lu_options();
+                let mut s = Self::from_parts(ckt, st, states, m, lu, lu_opts, stats);
                 s.templated = true;
                 Ok(s)
             }
             None => {
-                let st = MnaStructure::new(ckt);
-                let m = mna::stamp_matrix(ckt, &st, &states, StampMode::Dc).to_csc();
+                let st = MnaStructure::new(c);
+                let m = mna::stamp_matrix(c, &st, &states, StampMode::Dc).to_csc();
                 let lu = SparseLu::factor_with(&m, &lu_opts)?;
                 let stats = FrozenDcStats {
                     full_factorizations: 1,
@@ -898,7 +945,7 @@ impl<'c> FrozenDcSession<'c> {
     }
 
     fn from_parts(
-        ckt: &'c Circuit,
+        ckt: C,
         st: MnaStructure,
         states: Vec<DeviceState>,
         base_csc: CscMatrix,
@@ -906,14 +953,15 @@ impl<'c> FrozenDcSession<'c> {
         lu_opts: LuOptions,
         stats: FrozenDcStats,
     ) -> Self {
-        let diode_elems = ckt
+        let c = ckt.borrow();
+        let diode_elems = c
             .elements()
             .iter()
             .enumerate()
             .filter_map(|(i, e)| matches!(e, Element::Diode { .. }).then_some(i))
             .collect();
         let n = st.n_unknowns();
-        let rhs_const_after = ckt
+        let rhs_const_after = c
             .elements()
             .iter()
             .filter_map(|e| match e {
@@ -941,6 +989,7 @@ impl<'c> FrozenDcSession<'c> {
             lu_opts,
             refactor: RefactorStrategy::default(),
             templated: false,
+            defer_consolidation: false,
             rhs: Vec::with_capacity(n),
             work: Vec::with_capacity(n),
             x: vec![0.0; n],
@@ -964,6 +1013,16 @@ impl<'c> FrozenDcSession<'c> {
     /// every flip, which degenerates to the pure-refactorization engine).
     pub fn with_max_rank(mut self, max_rank: usize) -> Self {
         self.max_rank = max_rank;
+        self
+    }
+
+    /// Defers cascade-pause consolidation to the caller: outstanding
+    /// rank-1 terms survive quiescent solves until the owner's own
+    /// budget triggers [`FrozenDcSession::consolidate`] (or the hygiene
+    /// period forces a rebase). Delta sessions use this so absorbed
+    /// graph deltas are not folded away after every batch.
+    pub fn with_deferred_consolidation(mut self) -> Self {
+        self.defer_consolidation = true;
         self
     }
 
@@ -1030,9 +1089,14 @@ impl<'c> FrozenDcSession<'c> {
     fn solve_impl(&mut self, time: f64, diode_on: &[bool]) -> Result<(), CircuitError> {
         // Absorb diode flips as rank-1 conductance updates. An unchanged
         // `diode_on` slice (the common quiescent case) skips the scan.
+        // Flips are collected first and pushed as ONE rank-k batch: the
+        // batched push drives all k columns of Z = A⁻¹U through shared
+        // multi-RHS factor traversals and refreshes the capacitance matrix
+        // once, where per-flip pushes re-stream the factor per flip.
         let mut rebase_needed = false;
         let mut any_flips = false;
         let unchanged = self.last_solve_time.is_some() && self.last_diode_on == diode_on;
+        let mut batch: Vec<RankOneTerm> = Vec::new();
         for (di, &idx) in self.diode_elems.iter().enumerate() {
             if unchanged {
                 break;
@@ -1050,7 +1114,7 @@ impl<'c> FrozenDcSession<'c> {
                 anode,
                 cathode,
                 model,
-            } = &self.ckt.elements()[idx]
+            } = &self.ckt.borrow().elements()[idx]
             else {
                 unreachable!("diode_elems holds diode indices");
             };
@@ -1067,22 +1131,39 @@ impl<'c> FrozenDcSession<'c> {
             if let Some(u) = cathode.unknown() {
                 d.push((u, -1.0));
             }
-            if d.is_empty() || rebase_needed {
-                continue; // both terminals grounded, or already rebasing
+            if d.is_empty() {
+                continue; // both terminals grounded: no matrix change
             }
             let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
+            batch.push((u, d));
+        }
+        if self.update.rank() + batch.len() > self.max_rank {
+            // The cascade is too wide for the rank budget: pushing it
+            // would cost k reach solves plus an O(k²) capacitance refresh
+            // only to be folded away by the over-budget rebase right
+            // after. States already hold the target assignment — restamp
+            // and refactor once instead (exactly a cold iteration's
+            // cost). Virgin-state convergence, where the first iteration
+            // flips a large fraction of all diodes, lands here.
+            rebase_needed = true;
+        } else if !batch.is_empty() {
+            let terms: Vec<RankOneTermRef<'_>> = batch
+                .iter()
+                .map(|(u, v)| (u.as_slice(), v.as_slice()))
+                .collect();
             let t0 = self.clock();
-            let pushed = self.update.push(&self.lu, &u, &d);
+            let pushed = self.update.push_batch(&self.lu, &terms);
             if let Some(t0) = t0 {
                 self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
             }
             if pushed.is_err() {
                 // Updated matrix not solvable through this base (or the
-                // capacitance matrix went singular): fall back to a rebase
-                // with the remaining flips applied directly to the stamp.
+                // capacitance matrix went singular): the batch rolled
+                // itself back, states already hold the target assignment —
+                // fall back to a rebase, which restamps from states.
                 rebase_needed = true;
             } else {
-                self.stats.rank1_updates += 1;
+                self.stats.rank1_updates += terms.len();
             }
         }
 
@@ -1094,7 +1175,9 @@ impl<'c> FrozenDcSession<'c> {
             // The switching cascade paused: consolidate outstanding
             // rank-1 terms into the factorization once (refactorization
             // cost), so quiescent stretches run the plain cached-LU path.
-            if !self.update.is_empty() {
+            // Sessions under an external consolidation budget skip this
+            // and fold terms when their owner says so.
+            if !self.update.is_empty() && !self.defer_consolidation {
                 self.rebase()?;
             }
             // Nothing changed at all? Past `rhs_const_after` every source
@@ -1132,7 +1215,7 @@ impl<'c> FrozenDcSession<'c> {
         let t0 = self.clock();
         mna::stamp_rhs_into(
             &mut self.rhs,
-            self.ckt,
+            self.ckt.borrow(),
             &self.st,
             &self.states,
             time,
@@ -1269,7 +1352,8 @@ impl<'c> FrozenDcSession<'c> {
     /// fits, fresh pivoting factorization otherwise.
     fn rebase(&mut self) -> Result<(), CircuitError> {
         let t0 = self.clock();
-        let m = mna::stamp_matrix(self.ckt, &self.st, &self.states, StampMode::Dc).to_csc();
+        let m =
+            mna::stamp_matrix(self.ckt.borrow(), &self.st, &self.states, StampMode::Dc).to_csc();
         if let Some(t0) = t0 {
             self.phases.stamp_ns += t0.elapsed().as_nanos() as u64;
         }
@@ -1294,6 +1378,143 @@ impl<'c> FrozenDcSession<'c> {
         self.update.clear();
         self.solves_since_rebase = 0;
         Ok(())
+    }
+
+    /// The circuit host this session was built over (the `&Circuit` of a
+    /// borrowed session, or the owning wrapper of an owned one).
+    pub fn host(&self) -> &C {
+        &self.ckt
+    }
+
+    /// Rank of the outstanding Woodbury update — how many rank-1 terms
+    /// have been absorbed since the last rebase. Consolidation policies
+    /// (the core crate's delta sessions) read this to decide when the
+    /// per-solve correction overhead has outgrown a refactorization.
+    pub fn outstanding_rank(&self) -> usize {
+        self.update.rank()
+    }
+
+    /// Re-stamps and refactors the base for the current device states,
+    /// folding every outstanding Woodbury term into the factorization
+    /// (numeric-only refactorization when the pattern still fits, fresh
+    /// pivoting factorization otherwise). The budget-driven consolidation
+    /// entry point for streaming delta sessions; a no-op-cost caller
+    /// guard is `outstanding_rank() > 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if the current configuration is
+    /// unsolvable.
+    pub fn consolidate(&mut self) -> Result<(), CircuitError> {
+        self.rebase()
+    }
+
+    /// Runs the full complementarity (PWL state) iteration at `time`,
+    /// driving diode conduction states to a consistent operating point —
+    /// the session-resident twin of the facade's cold
+    /// [`DcSolver::solve`], with every state flip routed through the
+    /// session's incremental machinery: diode toggles are absorbed as
+    /// batched Woodbury rank-k updates against the standing
+    /// factorization, and only non-diode state changes (op-amp rail
+    /// moves, which reshape matrix values beyond a symmetric conductance
+    /// bump) force a rebase. Returns the number of state iterations.
+    ///
+    /// Mirrors the cold path's convergence policy exactly: the switching
+    /// band escalates (1e-9 → 1e-6 → 1e-3) through the iteration budget,
+    /// late iterations flip only the single most-violated device to break
+    /// multi-device cycles, and a final widest-band consistency check
+    /// accepts physically-negligible boundary violations.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::SingularSystem`] if a frozen configuration along
+    /// the way is unsolvable;
+    /// [`CircuitError::StateIterationDiverged`] if no consistent state
+    /// assignment is found within the iteration budget.
+    pub fn solve_operating_point(&mut self, time: f64) -> Result<usize, CircuitError> {
+        let max_iters = mna::max_state_iters(self.ckt.borrow());
+        let mut diode_on: Vec<bool> = self
+            .diode_elems
+            .iter()
+            .map(|&idx| self.states[idx] == DeviceState::On)
+            .collect();
+        for iter in 0..max_iters {
+            let band = if iter < max_iters / 2 {
+                1e-9
+            } else if iter < 3 * max_iters / 4 {
+                1e-6
+            } else {
+                1e-3
+            };
+            self.solve(time, &diode_on)?;
+            let (new_states, changes) =
+                mna::next_states_banded(self.ckt.borrow(), &self.st, &self.states, &self.x, band);
+            if changes == 0 {
+                return Ok(iter + 1);
+            }
+            if iter > max_iters / 2 {
+                // Late in the iteration, flip only the single
+                // most-violated device to break multi-device cycles.
+                let volt = |node: NodeId| match node.unknown() {
+                    Some(u) => self.x[u],
+                    None => 0.0,
+                };
+                let mut best: Option<(usize, f64)> = None;
+                for (i, (old, new)) in self.states.iter().zip(&new_states).enumerate() {
+                    if old != new {
+                        let violation = match &self.ckt.borrow().elements()[i] {
+                            Element::Diode {
+                                anode,
+                                cathode,
+                                model,
+                            } => (volt(*anode) - volt(*cathode) - model.v_on).abs(),
+                            _ => f64::MAX, // op-amp saturation flips take priority
+                        };
+                        if best.is_none_or(|(_, v)| violation > v) {
+                            best = Some((i, violation));
+                        }
+                    }
+                }
+                if let Some((i, _)) = best {
+                    match self.diode_elems.binary_search(&i) {
+                        Ok(di) => diode_on[di] = new_states[i] == DeviceState::On,
+                        Err(_) => {
+                            self.states[i] = new_states[i];
+                            self.last_solve_time = None;
+                            self.rebase()?;
+                        }
+                    }
+                }
+            } else {
+                let mut non_diode_change = false;
+                for (di, &idx) in self.diode_elems.iter().enumerate() {
+                    diode_on[di] = new_states[idx] == DeviceState::On;
+                }
+                for (i, (old, new)) in self.states.iter_mut().zip(&new_states).enumerate() {
+                    if *old != *new && self.diode_elems.binary_search(&i).is_err() {
+                        *old = *new;
+                        non_diode_change = true;
+                    }
+                }
+                if non_diode_change {
+                    // Op-amp rail moves reshape matrix values beyond a
+                    // rank-1 conductance bump: restamp and refactor, and
+                    // drop the cached operating point.
+                    self.last_solve_time = None;
+                    self.rebase()?;
+                }
+            }
+        }
+        let (_, changes) =
+            mna::next_states_banded(self.ckt.borrow(), &self.st, &self.states, &self.x, 1e-3);
+        if changes == 0 {
+            Ok(max_iters)
+        } else {
+            Err(CircuitError::StateIterationDiverged {
+                time,
+                iterations: max_iters,
+            })
+        }
     }
 
     /// Voltage of `node` (0 for ground) in the last solved operating point.
@@ -1352,6 +1573,139 @@ impl<'c> FrozenDcSession<'c> {
             refinements: self.refinements,
             phases: self.phase_timing.then_some(self.phases),
         }
+    }
+}
+
+impl<C: BorrowMut<Circuit>> FrozenDcSession<C> {
+    /// Mutable access to the owned circuit host. Only available on owning
+    /// sessions (`C: BorrowMut<Circuit>`) — borrowed sessions share their
+    /// circuit with other readers.
+    ///
+    /// Handing out `&mut` drops the cached operating point (the next
+    /// [`solve`](FrozenDcSession::solve) will not take the quiescent
+    /// shortcut), since the caller may change source values the cached
+    /// solution was computed against. The session's *structure* (unknown
+    /// map, sparsity, factorization) is still frozen: callers must not
+    /// add or remove elements, only adjust values — source-value edits
+    /// are RHS-only and safe; conductance edits additionally require a
+    /// [`consolidate`](FrozenDcSession::consolidate) to restamp the
+    /// matrix.
+    pub fn host_mut(&mut self) -> &mut C {
+        self.last_solve_time = None;
+        &mut self.ckt
+    }
+
+    /// Updates one source's value in the owned circuit — the
+    /// capacity-restamp fast path for streaming delta sessions. Source
+    /// values are never stamped into the matrix (they only shape the RHS
+    /// assembled fresh each solve), so this requires **no** numeric or
+    /// symbolic work: the very next solve sees the new value at full
+    /// accuracy against the standing factorization.
+    ///
+    /// The session's quiescent horizon ([`DcTemplate`] docs) is extended
+    /// conservatively to cover the new value's settling time, and the
+    /// cached operating point is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Changes resistor values in the owned circuit and absorbs all the
+    /// matrix deltas as **one batched rank-k Woodbury update** against
+    /// the standing factorization — the delta sessions' edge
+    /// insert/delete surgery (couplings toggled between a finite value
+    /// and `f64::INFINITY`, conservation stars retuned) rides this. The
+    /// new values are persisted in the circuit, so later rebases restamp
+    /// them; if the batched push cannot hold the updated matrix the
+    /// session falls back to an immediate rebase, which is exact.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if an id is not a resistor;
+    /// [`CircuitError::InvalidParameter`] for zero/NaN values (the batch
+    /// stops at the first invalid entry — earlier entries are applied);
+    /// factorization errors from a fallback rebase.
+    pub fn set_resistances(&mut self, changes: &[(ElementId, f64)]) -> Result<(), CircuitError> {
+        let mut batch: Vec<RankOneTerm> = Vec::new();
+        for &(id, ohms) in changes {
+            let old = match self.ckt.borrow().elements().get(id.index()) {
+                Some(Element::Resistor { resistance, .. }) => *resistance,
+                _ => {
+                    return Err(CircuitError::WrongElementKind {
+                        expected: "resistor",
+                    })
+                }
+            };
+            self.ckt.borrow_mut().set_resistance(id, ohms)?;
+            // 1/INFINITY == 0.0 exactly: an open branch stamps nothing.
+            let dg = 1.0 / ohms - 1.0 / old;
+            if dg == 0.0 {
+                continue;
+            }
+            let Some(Element::Resistor { a, b, .. }) = self.ckt.borrow().elements().get(id.index())
+            else {
+                unreachable!("checked above");
+            };
+            let mut d: Vec<(usize, f64)> = Vec::with_capacity(2);
+            if let Some(u) = a.unknown() {
+                d.push((u, 1.0));
+            }
+            if let Some(u) = b.unknown() {
+                d.push((u, -1.0));
+            }
+            if d.is_empty() {
+                continue; // both terminals grounded: no matrix change
+            }
+            let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
+            batch.push((u, d));
+        }
+        self.last_solve_time = None;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let terms: Vec<RankOneTermRef<'_>> = batch
+            .iter()
+            .map(|(u, v)| (u.as_slice(), v.as_slice()))
+            .collect();
+        let t0 = self.clock();
+        let pushed = self.update.push_batch(&self.lu, &terms);
+        if let Some(t0) = t0 {
+            self.phases.woodbury_ns += t0.elapsed().as_nanos() as u64;
+        }
+        match pushed {
+            Ok(()) => {
+                self.stats.rank1_updates += terms.len();
+                Ok(())
+            }
+            // The batch rolled itself back; the circuit already holds the
+            // target values, so a rebase restamps them exactly.
+            Err(_) => self.rebase(),
+        }
+    }
+
+    /// Updates one source's value in the owned circuit — the
+    /// capacity-restamp fast path for streaming delta sessions. Source
+    /// values are never stamped into the matrix (they only shape the RHS
+    /// assembled fresh each solve), so this requires **no** numeric or
+    /// symbolic work: the very next solve sees the new value at full
+    /// accuracy against the standing factorization.
+    ///
+    /// The session's quiescent horizon ([`DcTemplate`] docs) is extended
+    /// conservatively to cover the new value's settling time, and the
+    /// cached operating point is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::WrongElementKind`] if `id` is not a voltage or
+    /// current source (as [`Circuit::set_source_value`]).
+    pub fn set_source_value(
+        &mut self,
+        id: ElementId,
+        value: SourceValue,
+    ) -> Result<(), CircuitError> {
+        let settles = value.constant_after();
+        self.ckt.borrow_mut().set_source_value(id, value)?;
+        self.rhs_const_after = self.rhs_const_after.max(settles);
+        self.last_solve_time = None;
+        Ok(())
     }
 }
 
@@ -1711,6 +2065,70 @@ mod tests {
         assert!(session.voltage(x).abs() < 1e-3);
         session.solve(0.0, &[false]).unwrap();
         assert!((session.voltage(x) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn owned_session_operating_point_tracks_source_edits() {
+        // An owning session: the circuit moves in, source values are
+        // edited in place, and solve_operating_point re-runs the full
+        // complementarity iteration against the standing factorization.
+        let mut ckt = Circuit::new();
+        let x = ckt.node("x");
+        let drive = ckt.node("drive");
+        let cap = ckt.node("cap");
+        ckt.voltage_source(drive, Circuit::GROUND, SourceValue::dc(5.0));
+        ckt.resistor(drive, x, 1e3);
+        let cap_src = ckt.voltage_source(cap, Circuit::GROUND, SourceValue::dc(2.0));
+        ckt.diode(x, cap, DiodeModel::ideal());
+        ckt.diode(Circuit::GROUND, x, DiodeModel::ideal());
+
+        let tpl = DcTemplate::new(&ckt).unwrap();
+        let reference = ckt.clone();
+        let mut session = DcSolver::new().session_from_host(ckt, &tpl).unwrap();
+        session.solve_operating_point(0.0).unwrap();
+        assert!((session.voltage(x) - 2.0).abs() < 1e-2);
+
+        // Move the clamp around — above the drive (diode off, x floats to
+        // 5 V), well below, between — comparing against fresh solves.
+        for (k, c) in [(1usize, 7.0f64), (2, 0.5), (3, 3.25)] {
+            session
+                .set_source_value(cap_src, SourceValue::dc(c))
+                .unwrap();
+            session.solve_operating_point(k as f64).unwrap();
+            let mut fresh = reference.clone();
+            fresh.set_source_value(cap_src, SourceValue::dc(c)).unwrap();
+            let (sol, _) = DcSolver::new().solve(&fresh).unwrap();
+            assert!(
+                (session.voltage(x) - sol.voltage(x)).abs() < 1e-9 * sol.voltage(x).abs().max(1.0),
+                "cap={c}: session {} vs fresh {}",
+                session.voltage(x),
+                sol.voltage(x)
+            );
+        }
+        let stats = session.stats();
+        assert!(
+            stats.rank1_updates > 0,
+            "flips not absorbed incrementally: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn consolidate_folds_outstanding_updates() {
+        let mut ckt = Circuit::new();
+        let x = ckt.node("x");
+        let top = ckt.node("top");
+        ckt.voltage_source(top, Circuit::GROUND, SourceValue::dc(5.0));
+        ckt.resistor(top, x, 1e3);
+        ckt.diode(x, Circuit::GROUND, DiodeModel::ideal());
+        let mut session = DcSolver::new().session(&ckt).unwrap();
+        session.solve(0.0, &[true]).unwrap();
+        assert!(session.outstanding_rank() > 0);
+        let v = session.voltage(x);
+        session.consolidate().unwrap();
+        assert_eq!(session.outstanding_rank(), 0);
+        // Consolidation must not perturb the operating point.
+        session.solve(1.0, &[true]).unwrap();
+        assert!((session.voltage(x) - v).abs() < 1e-12);
     }
 
     /// The clamp-ladder circuit used by the template tests: `stages`

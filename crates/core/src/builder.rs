@@ -203,6 +203,74 @@ pub(crate) enum LevelLayout {
     PerEdge,
 }
 
+/// Value-only surgery handles for one non-circulation edge: the element
+/// ids a delta session toggles to excise the edge from (or re-admit it
+/// to) the network without touching structure. See
+/// [`build_with_layout`]'s widget construction for which resistor each
+/// id names.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EdgeSurgery {
+    /// The tail-side coupling: `vflow -> x` for source-out edges, else
+    /// `x -> nv_u` (the out-edge leg of `u`'s conservation widget).
+    pub u_coupling: ElementId,
+    /// The head-side coupling `xneg -> nv_v` (the in-edge negation leg of
+    /// `v`'s conservation widget); `None` when the head is the sink.
+    pub v_coupling: Option<ElementId>,
+    /// Ghost anchor `x -> GND`, stamped open (zero conductance) at build:
+    /// removal closes it so the excised widget cluster stays anchored and
+    /// nonsingular regardless of its clamp-diode states.
+    pub anchor: ElementId,
+}
+
+/// Handles for retuning a conservation widget's star negative resistor
+/// when the vertex's live incident-edge count changes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StarSurgery {
+    /// The `-r/n` star element at the widget's summing node (Ideal
+    /// implementation: a plain resistor).
+    pub element: ElementId,
+    /// Incident (non-circulation) edge count the build stamped for.
+    pub n_base: usize,
+}
+
+/// Everything a delta session needs to do exact edge insert/delete
+/// surgery by value-only resistor edits. `retunable` is only set for
+/// [`NegativeResistorImpl::Ideal`] builds — other implementations realize
+/// the star magnitude inside an op-amp subcircuit, and sessions on them
+/// fall back to structural re-keys for topology deltas.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaMetadata {
+    /// Per-edge handles (`None` for circulation edges, which stamp
+    /// nothing).
+    pub edges: Vec<Option<EdgeSurgery>>,
+    /// Per-vertex star handles (`None` for source/sink and widget-less
+    /// vertices).
+    pub stars: Vec<Option<StarSurgery>>,
+    /// Whether star retuning (and thus fast removal) is supported.
+    pub retunable: bool,
+    /// Unit resistance the couplings were stamped with.
+    pub r: f64,
+    /// Op-amp open-loop gain (the default §4.2 margin formula).
+    pub gain: f64,
+    /// Explicit NIC margin override, when the build used one.
+    pub nic_margin: Option<f64>,
+}
+
+impl DeltaMetadata {
+    /// The star magnitude the builder stamps for `n` incident edges —
+    /// kept expression-identical to [`build_with_layout`]'s
+    /// `neg_resistor`/`margin_for` so a retuned value is bit-for-bit the
+    /// value a fresh build of the live graph would stamp.
+    pub fn star_resistance(&self, n: usize) -> f64 {
+        let magnitude = self.r / n as f64;
+        let margin = match self.nic_margin {
+            Some(d) => d,
+            None => self.r / (self.gain * magnitude),
+        };
+        -(magnitude * (1.0 + margin))
+    }
+}
+
 /// A max-flow instance mapped onto the analog substrate.
 #[derive(Debug, Clone)]
 pub struct SubstrateCircuit {
@@ -225,6 +293,8 @@ pub struct SubstrateCircuit {
     /// this circuit came out of a template instantiation; the solve paths
     /// pick it up transparently.
     dc_template: Option<Arc<DcTemplate>>,
+    /// Edge insert/delete surgery handles for delta sessions.
+    delta_meta: DeltaMetadata,
 }
 
 /// Builds the direct-mapped circuit of `g` (Figs. 1–3).
@@ -321,6 +391,9 @@ pub(crate) fn build_with_layout(
     let mut edge_nodes = Vec::with_capacity(g.edge_count());
     let mut clamp_diodes = Vec::with_capacity(g.edge_count());
     let mut level_sources: Vec<Option<ElementId>> = Vec::with_capacity(g.edge_count());
+    let mut edge_u_coupling: Vec<Option<ElementId>> = vec![None; g.edge_count()];
+    let mut edge_v_coupling: Vec<Option<ElementId>> = vec![None; g.edge_count()];
+    let mut edge_anchor: Vec<Option<ElementId>> = vec![None; g.edge_count()];
     for (k, e) in g.edges().iter().enumerate() {
         if e.to == g.source() || e.from == g.sink() {
             edge_nodes.push(Circuit::GROUND);
@@ -330,6 +403,11 @@ pub(crate) fn build_with_layout(
         }
         let x = ckt.anon_node();
         edge_nodes.push(x);
+        // Ghost anchor for delta-session removal surgery: open (zero
+        // conductance, stamps exact 0 into the already-present diagonal)
+        // while the edge is live, closed to `r` when the edge is excised
+        // so the dangling widget cluster stays nonsingular.
+        edge_anchor[k] = Some(ckt.resistor(x, Circuit::GROUND, f64::INFINITY));
         // Lower clamp: diode from ground to x turns on when V(x) < 0.
         let lo = ckt.diode(Circuit::GROUND, x, params.diode);
         // Upper clamp: diode from x to the level source turns on when
@@ -362,18 +440,21 @@ pub(crate) fn build_with_layout(
         None => params.r_unit / (params.opamp.gain * magnitude),
     };
     let leak = opts.constraint_leak;
-    let neg_resistor = |ckt: &mut Circuit, stats: &mut BuildStats, node: NodeId, magnitude: f64| {
+    let neg_resistor = |ckt: &mut Circuit,
+                        stats: &mut BuildStats,
+                        node: NodeId,
+                        magnitude: f64|
+     -> Option<ElementId> {
         stats.negative_resistors += 1;
         if leak > 0.0 {
             ckt.resistor(node, Circuit::GROUND, r / leak);
         }
         let magnitude = magnitude * (1.0 + margin_for(magnitude));
         match opts.negative_resistor {
-            NegativeResistorImpl::Ideal => {
-                ckt.resistor(node, Circuit::GROUND, -magnitude);
-            }
+            NegativeResistorImpl::Ideal => Some(ckt.resistor(node, Circuit::GROUND, -magnitude)),
             NegativeResistorImpl::Dynamic => {
                 ckt.negative_resistor_dyn(node, magnitude, params.opamp.time_constant());
+                None
             }
             NegativeResistorImpl::OpAmp => {
                 // Grounded NIC (Fig. 9a): opamp + R_target feedback to the
@@ -385,6 +466,7 @@ pub(crate) fn build_with_layout(
                 ckt.resistor(out, inv, r);
                 ckt.resistor(inv, Circuit::GROUND, r);
                 stats.opamps += 1;
+                None
             }
         }
     };
@@ -393,14 +475,15 @@ pub(crate) fn build_with_layout(
     let source_out: Vec<usize> = g.out_edges(g.source()).map(|e| e.0).collect();
     let source_in: Vec<usize> = g.in_edges(g.source()).map(|e| e.0).collect();
     for &k in &source_out {
-        ckt.resistor(vflow_node, edge_nodes[k], r);
+        edge_u_coupling[k] = Some(ckt.resistor(vflow_node, edge_nodes[k], r));
     }
 
     // Conservation widgets (Fig. 2) for interior vertices. Edges whose
     // node was grounded (circulation edges, see above) carry exactly zero
     // flow and are excluded: including them would build negation/star
     // sub-circuits entirely anchored at ground, which are singular.
-    for v in 0..g.vertex_count() {
+    let mut stars: Vec<Option<StarSurgery>> = vec![None; g.vertex_count()];
+    for (v, star) in stars.iter_mut().enumerate() {
         if v == g.source() || v == g.sink() {
             continue;
         }
@@ -420,7 +503,7 @@ pub(crate) fn build_with_layout(
         }
         let nv = ckt.anon_node();
         for &k in &out_live {
-            ckt.resistor(edge_nodes[k], nv, r);
+            edge_u_coupling[k] = Some(ckt.resistor(edge_nodes[k], nv, r));
         }
         for &k in &in_live {
             // Negation sub-circuit: x → P ← x⁻, with −r/2 at P.
@@ -429,9 +512,14 @@ pub(crate) fn build_with_layout(
             ckt.resistor(edge_nodes[k], p, r);
             ckt.resistor(xneg, p, r);
             neg_resistor(&mut ckt, &mut stats, p, r / 2.0);
-            ckt.resistor(xneg, nv, r);
+            edge_v_coupling[k] = Some(ckt.resistor(xneg, nv, r));
         }
-        neg_resistor(&mut ckt, &mut stats, nv, r / n_incident as f64);
+        *star = neg_resistor(&mut ckt, &mut stats, nv, r / n_incident as f64).map(|element| {
+            StarSurgery {
+                element,
+                n_base: n_incident,
+            }
+        });
     }
 
     // Parasitic capacitance on every net (§5.1 adds 20 fF per net).
@@ -444,6 +532,26 @@ pub(crate) fn build_with_layout(
 
     stats.nodes = ckt.node_count();
     stats.elements = ckt.element_count();
+
+    let delta_meta = DeltaMetadata {
+        edges: edge_anchor
+            .iter()
+            .zip(&edge_u_coupling)
+            .zip(&edge_v_coupling)
+            .map(|((anchor, u), v)| {
+                anchor.map(|anchor| EdgeSurgery {
+                    u_coupling: u.expect("non-circulation edge has a tail coupling"),
+                    v_coupling: *v,
+                    anchor,
+                })
+            })
+            .collect(),
+        stars,
+        retunable: matches!(opts.negative_resistor, NegativeResistorImpl::Ideal),
+        r,
+        gain: params.opamp.gain,
+        nic_margin: opts.nic_margin,
+    };
 
     Ok((
         SubstrateCircuit {
@@ -458,9 +566,28 @@ pub(crate) fn build_with_layout(
             source_in,
             stats,
             dc_template: None,
+            delta_meta,
         },
         level_sources,
     ))
+}
+
+/// A [`SubstrateCircuit`] *is* a circuit plus readout metadata, and the
+/// circuit layer's session machinery is generic over anything that
+/// borrows a [`Circuit`]
+/// ([`FrozenDcSession<C>`](ohmflow_circuit::FrozenDcSession)) — these
+/// impls let a delta session move a whole substrate into an owning
+/// session and keep restamping its sources in place.
+impl std::borrow::Borrow<Circuit> for SubstrateCircuit {
+    fn borrow(&self) -> &Circuit {
+        &self.circuit
+    }
+}
+
+impl std::borrow::BorrowMut<Circuit> for SubstrateCircuit {
+    fn borrow_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
 }
 
 impl SubstrateCircuit {
@@ -494,6 +621,11 @@ impl SubstrateCircuit {
     /// Mutable access (used by non-ideality injection and tuning).
     pub fn circuit_mut(&mut self) -> &mut Circuit {
         &mut self.circuit
+    }
+
+    /// Value-only surgery handles for delta sessions.
+    pub(crate) fn delta_meta(&self) -> &DeltaMetadata {
+        &self.delta_meta
     }
 
     /// Circuit node carrying the flow of edge `k`.

@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ohmflow_circuit::{
-    ColumnOrdering, DcTemplate, ElementId, FrozenDcPhases, FrozenDcSession, FrozenDcStats,
+    Circuit, ColumnOrdering, DcTemplate, ElementId, FrozenDcPhases, FrozenDcSession, FrozenDcStats,
     LuOptions, NodeId, RefactorStrategy, SolveReport,
 };
 use ohmflow_graph::FlowNetwork;
@@ -46,6 +46,7 @@ use crate::params::SubstrateParams;
 use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
 
+use super::delta::DeltaSession;
 use super::{
     AnalogConfig, AnalogMaxFlow, AnalogSolution, PlanCacheStats, RelaxationEngine, SolveMode,
     SolverTuning, DEFAULT_CAPACITY_BYTES,
@@ -338,6 +339,22 @@ impl MaxFlowSolver {
         self.engine.solve_quasi_static(sc, None)
     }
 
+    /// Opens a streaming [`DeltaSession`] on `g`: one live analog
+    /// substrate absorbing capacity and topology deltas batch by batch,
+    /// with capacity updates as value-only restamps, clamp flips as
+    /// batched rank-k Woodbury updates, and re-keys against this
+    /// solver's plan cache only when the structure actually changes —
+    /// see the [`delta`](super::delta) module docs for the full
+    /// taxonomy and consolidation policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate-construction and factorization failures of
+    /// the opening solve.
+    pub fn delta_session(&self, g: &FlowNetwork) -> Result<DeltaSession, AnalogError> {
+        DeltaSession::open(self.engine.clone(), g)
+    }
+
     /// Solves one [`Problem`]: graphs ride the plan cache, built circuits
     /// run the relaxation transient.
     ///
@@ -381,8 +398,10 @@ impl MaxFlowSolver {
 
         // Graph grouping: fingerprint every graph member in one streaming
         // pass each (no intermediate edge Vec), count topologies, then
-        // warm the plan cache sequentially (one cold path per repeated
-        // topology) and remember which fingerprints got a plan; the
+        // warm the plan cache — one cold path per repeated topology, all
+        // distinct topologies planned in parallel (the sharded cache's
+        // single-flight gates make concurrent template_for calls safe,
+        // and distinct fingerprints never contend on one gate). The
         // par_iter below then hits the cache on every member, and a
         // topology whose plan construction failed falls back to the plain
         // path without every member re-attempting the expensive failed
@@ -400,16 +419,21 @@ impl MaxFlowSolver {
         for fp in fps.iter().flatten() {
             *counts.entry(*fp).or_insert(0) += 1;
         }
-        let mut planned: HashMap<u64, bool> = HashMap::new();
+        let mut warm: HashMap<u64, &FlowNetwork> = HashMap::new();
         for (i, fp) in fps.iter().enumerate() {
             if let (Some(fp), Problem::Graph(g)) = (fp, problems[i]) {
                 if counts[fp] >= 2 {
-                    planned
-                        .entry(*fp)
-                        .or_insert_with(|| engine.template_for(g).is_ok());
+                    warm.entry(*fp).or_insert(g);
                 }
             }
         }
+        let warm: Vec<(u64, &FlowNetwork)> = warm.into_iter().collect();
+        let planned: HashMap<u64, bool> = warm
+            .par_iter()
+            .map(|&(fp, g)| (fp, engine.template_for(g).is_ok()))
+            .collect::<Vec<(u64, bool)>>()
+            .into_iter()
+            .collect();
 
         // Built grouping: when every built member has the same circuit
         // structure (they almost always do: perturbed clones of one
@@ -621,7 +645,7 @@ impl Instance {
 /// drive their own switching schedules.
 #[derive(Debug)]
 pub struct Session<'i> {
-    inner: FrozenDcSession<'i>,
+    inner: FrozenDcSession<&'i Circuit>,
     sc: &'i SubstrateCircuit,
 }
 
@@ -683,7 +707,7 @@ impl<'i> Session<'i> {
     }
 
     /// The wrapped circuit-level session (escape hatch).
-    pub fn as_frozen_dc(&mut self) -> &mut FrozenDcSession<'i> {
+    pub fn as_frozen_dc(&mut self) -> &mut FrozenDcSession<&'i Circuit> {
         &mut self.inner
     }
 }

@@ -19,9 +19,9 @@
 use std::sync::Arc;
 
 use ohmflow_circuit::{
-    solve_frozen_dc, CircuitError, DcSolver, DcTemplate, ElementId, FrozenDcCache, FrozenDcSession,
-    LuOptions, NodeId, RefactorStrategy, SolveReport, TransientAnalysis, TransientOptions,
-    Waveform, WaveformSet,
+    solve_frozen_dc, Circuit, CircuitError, DcSolver, DcTemplate, ElementId, FrozenDcCache,
+    FrozenDcSession, LuOptions, NodeId, RefactorStrategy, SolveReport, TransientAnalysis,
+    TransientOptions, Waveform, WaveformSet,
 };
 use ohmflow_graph::FlowNetwork;
 
@@ -32,11 +32,24 @@ use crate::params::SubstrateParams;
 use crate::template::{self, SubstrateTemplate, TemplateKey};
 use crate::AnalogError;
 
+pub mod delta;
 pub mod facade;
 mod plan_cache;
 
+pub use delta::{DeltaBatch, DeltaReport, DeltaSession, GraphDelta};
 pub use plan_cache::PlanCacheStats;
 pub(crate) use plan_cache::{PlanCache, DEFAULT_CAPACITY_BYTES};
+
+/// Edge-count threshold of the adaptive solve-path choice: below it, a
+/// graph whose topology is not already planned solves from scratch
+/// instead of paying the per-edge template instantiation (measured ~1.7×
+/// slower than a direct build on Fig. 10-sweep-sized instances —
+/// BENCH_PR9.json, `small_n`). A *cached* plan is still used (its cold
+/// path is sunk), and explicit [`facade::MaxFlowSolver::plan`] /
+/// `solve_many` grouping still plan small topologies on purpose — the
+/// threshold only stops one-shot `solve` calls from building plans they
+/// will never amortize.
+pub const SMALL_INSTANCE_EDGES: usize = 48;
 
 /// How the substrate is simulated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -385,9 +398,29 @@ impl AnalogMaxFlow {
         if matches!(self.config.mode, SolveMode::TransientFullMna { .. }) {
             return self.solve_cold(g);
         }
+        // Adaptive path choice: small instances only ride a plan that
+        // already exists (see `SMALL_INSTANCE_EDGES`).
+        if g.edge_count() < SMALL_INSTANCE_EDGES {
+            return match self.cached_template_for(g) {
+                Some(tpl) => {
+                    let sc = tpl.instantiate(g)?;
+                    self.solve_instance_parts(&sc, &tpl, g.vertex_count())
+                }
+                None => self.solve_cold(g),
+            };
+        }
         let tpl = self.template_for(g)?;
         let sc = tpl.instantiate(g)?;
         self.solve_instance_parts(&sc, &tpl, g.vertex_count())
+    }
+
+    /// The cached template for `g`'s topology if one is resident — a pure
+    /// probe: never builds, never waits on an in-flight cold path.
+    pub(crate) fn cached_template_for(&self, g: &FlowNetwork) -> Option<Arc<SubstrateTemplate>> {
+        let build_opts = self.effective_build_options();
+        let (ordering, precision) = (build_opts.lu_ordering, build_opts.lu_precision);
+        let fingerprint = TemplateKey::fingerprint(g, ordering, precision);
+        self.cache.peek(fingerprint, g, ordering, precision)
     }
 
     /// Simulates one template instantiation in the configured mode — the
@@ -763,7 +796,7 @@ trait EquilibriumSolver {
 
 /// The incremental engine: a persistent [`FrozenDcSession`].
 struct SessionEquilibrium<'c> {
-    session: FrozenDcSession<'c>,
+    session: FrozenDcSession<&'c Circuit>,
 }
 
 impl EquilibriumSolver for SessionEquilibrium<'_> {
@@ -933,6 +966,9 @@ mod tests {
         let g = generators::fig5a();
         let solver = MaxFlowSolver::new(SolveOptions::ideal());
         let cold = solver.solve_fresh(&g).unwrap();
+        // fig5a sits under the small-instance threshold, where `solve`
+        // only peeks the cache — plan explicitly so the warm path runs.
+        solver.plan(&g).unwrap();
         // First plan-cached solve pays the cold path and caches; repeat
         // solves ride the warm path (primed factorization + warm states).
         for round in 0..3 {

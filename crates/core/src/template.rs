@@ -441,6 +441,14 @@ impl SubstrateTemplate {
         &self.opts
     }
 
+    /// Per-edge capacity-level source ids, edge-id order (`None` for
+    /// grounded circulation edges) — what a delta session restamps to
+    /// apply capacity updates and clamp-to-zero removals without touching
+    /// structure.
+    pub(crate) fn level_sources(&self) -> &[Option<ohmflow_circuit::ElementId>] {
+        &self.level_sources
+    }
+
     /// Instantiates the template for `g`'s capacities (the template's own
     /// capacity mapping). `g` must have the same topology as the template
     /// was built from; capacities are free.

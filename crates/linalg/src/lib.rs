@@ -69,7 +69,7 @@ pub mod vecops;
 
 pub use dense::{DenseLu, DenseMatrix, LuScalar};
 pub use error::LinalgError;
-pub use lowrank::LowRankUpdate;
+pub use lowrank::{LowRankUpdate, RankOneTermRef};
 pub use ordering::{
     amd_btf_nd_ordering, amd_btf_ordering, amd_ordering, block_triangular_form,
     maximum_transversal, min_degree_ordering, nested_dissection_ordering, nested_dissection_split,

@@ -1554,6 +1554,12 @@ impl SparseLu {
     /// thread coordination costs more than the whole serial pass.
     pub const PAR_COL_THRESHOLD: usize = 512;
 
+    /// Maximum number of right-hand-side lanes a single
+    /// [`SparseLu::solve_multi_into`] traversal carries. Eight doubles per
+    /// row keep the lane block inside one cache line, and the supernode
+    /// scratch (`MAX_SN_WIDTH × 8` doubles) on the stack.
+    pub const MAX_SOLVE_LANES: usize = 8;
+
     /// Factors `a` with default options.
     ///
     /// # Errors
@@ -2155,6 +2161,283 @@ impl SparseLu {
                     }
                     for idx in ulo..ehi {
                         out[sym.u_rows[idx]] -= yk * va.u[idx].to_f64();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves `A X = B` for up to [`SparseLu::MAX_SOLVE_LANES`] right-hand
+    /// sides in one L/U traversal. `b` is lane-interleaved — entry
+    /// `b[row * k + lane]` is row `row` of right-hand side `lane` — and
+    /// `out` receives the solutions in the same layout. One traversal
+    /// loads every factor value exactly once and applies it to all `k`
+    /// lanes, where `k` sequential [`SparseLu::solve_into`] calls would
+    /// re-stream the factor `k` times; rank-k Woodbury pushes
+    /// ([`crate::LowRankUpdate`]) are the primary caller.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `k` is zero or exceeds
+    /// [`SparseLu::MAX_SOLVE_LANES`], or if `b.len() != n * k`.
+    pub fn solve_multi_into(
+        &self,
+        b: &[f64],
+        k: usize,
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        match k {
+            // A single lane is exactly the single-RHS layout.
+            1 => self.solve_into(b, work, out),
+            2 => with_vals!(self, va => self.solve_multi_into_vals::<_, 2>(va, b, work, out)),
+            3 => with_vals!(self, va => self.solve_multi_into_vals::<_, 3>(va, b, work, out)),
+            4 => with_vals!(self, va => self.solve_multi_into_vals::<_, 4>(va, b, work, out)),
+            5 => with_vals!(self, va => self.solve_multi_into_vals::<_, 5>(va, b, work, out)),
+            6 => with_vals!(self, va => self.solve_multi_into_vals::<_, 6>(va, b, work, out)),
+            7 => with_vals!(self, va => self.solve_multi_into_vals::<_, 7>(va, b, work, out)),
+            8 => with_vals!(self, va => self.solve_multi_into_vals::<_, 8>(va, b, work, out)),
+            _ => Err(LinalgError::DimensionMismatch {
+                expected: Self::MAX_SOLVE_LANES,
+                found: k,
+            }),
+        }
+    }
+
+    /// Lane-count-monomorphized body of [`SparseLu::solve_multi_into`]:
+    /// the exact structure of [`SparseLu::solve_into_vals`] with every
+    /// scalar replaced by a `[f64; K]` lane block, so each factor value is
+    /// loaded once and broadcast across the lanes. Monomorphizing over `K`
+    /// lets the compiler fully unroll the lane loops.
+    fn solve_multi_into_vals<S: LuScalar, const K: usize>(
+        &self,
+        va: &ValueArrays<S>,
+        b: &[f64],
+        work: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let sym = &self.sym;
+        if b.len() != sym.n * K {
+            return Err(LinalgError::DimensionMismatch {
+                expected: sym.n * K,
+                found: b.len(),
+            });
+        }
+        let plan = if va.panels_valid && sym.n >= Self::PAR_COL_THRESHOLD {
+            sym.blocked_plan()
+        } else {
+            None
+        };
+        work.clear();
+        work.extend_from_slice(b);
+        out.clear();
+        out.resize(sym.n * K, 0.0);
+        let bp = &sym.block_ptr;
+        for t in (0..bp.len() - 1).rev() {
+            let (lo, hi) = (bp[t], bp[t + 1]);
+            match plan {
+                Some(plan) => {
+                    self.block_forward_sn_multi::<S, K>(va, plan, lo, hi, work, out);
+                    self.block_backward_sn_multi::<S, K>(va, plan, lo, hi, out);
+                }
+                None => {
+                    for step in lo..hi {
+                        let rp = sym.row_perm[step] * K;
+                        let mut zk = [0.0f64; K];
+                        zk.copy_from_slice(&work[rp..rp + K]);
+                        out[step * K..step * K + K].copy_from_slice(&zk);
+                        if zk.iter().any(|&z| z != 0.0) {
+                            for idx in sym.l_ptr[step]..sym.l_ptr[step + 1] {
+                                let lv = va.l[idx].to_f64();
+                                let r = sym.l_rows[idx] * K;
+                                for (l, &z) in zk.iter().enumerate() {
+                                    work[r + l] -= z * lv;
+                                }
+                            }
+                        }
+                    }
+                    for step in (lo..hi).rev() {
+                        let (ulo, uhi) = (sym.u_ptr[step], sym.u_ptr[step + 1]);
+                        let d = va.u[uhi - 1].to_f64();
+                        let mut yk = [0.0f64; K];
+                        for (l, y) in yk.iter_mut().enumerate() {
+                            *y = out[step * K + l] / d;
+                        }
+                        out[step * K..step * K + K].copy_from_slice(&yk);
+                        if yk.iter().any(|&y| y != 0.0) {
+                            for idx in ulo..(uhi - 1) {
+                                let uv = va.u[idx].to_f64();
+                                let r = sym.u_rows[idx] * K;
+                                for (l, &y) in yk.iter().enumerate() {
+                                    out[r + l] -= y * uv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Cross-block coupling, per lane.
+            for step in lo..hi {
+                let mut yk = [0.0f64; K];
+                yk.copy_from_slice(&out[step * K..step * K + K]);
+                if yk.iter().any(|&v| v != 0.0) {
+                    for idx in sym.off_ptr[step]..sym.off_ptr[step + 1] {
+                        let ov = va.off[idx].to_f64();
+                        let r = sym.off_rows[idx] * K;
+                        for (l, &y) in yk.iter().enumerate() {
+                            work[r + l] -= ov * y;
+                        }
+                    }
+                }
+            }
+        }
+        // Undo the column permutation lane-block-wise: x[q[k]] = y[k].
+        for kk in 0..sym.n {
+            let (src, dst) = (kk * K, sym.q[kk] * K);
+            work[dst..dst + K].copy_from_slice(&out[src..src + K]);
+        }
+        std::mem::swap(work, out);
+        Ok(())
+    }
+
+    /// Multi-lane twin of [`SparseLu::block_forward_sn`]: the supernode
+    /// diagonal solve and the body-panel push each read a panel cell once
+    /// and apply it to all `K` lanes of the local `z` block.
+    fn block_forward_sn_multi<S: LuScalar, const K: usize>(
+        &self,
+        va: &ValueArrays<S>,
+        plan: &SupernodePlan,
+        lo: usize,
+        hi: usize,
+        work: &mut [f64],
+        out: &mut [f64],
+    ) {
+        let sym = &self.sym;
+        let (s0, s1) = (plan.sn_of_step[lo], plan.sn_of_step[hi - 1] + 1);
+        for sn in s0..s1 {
+            let (k0, k1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+            let w = k1 - k0;
+            if w == 1 {
+                let rp = sym.row_perm[k0] * K;
+                let mut zk = [0.0f64; K];
+                zk.copy_from_slice(&work[rp..rp + K]);
+                out[k0 * K..k0 * K + K].copy_from_slice(&zk);
+                if zk.iter().any(|&z| z != 0.0) {
+                    for idx in sym.l_ptr[k0]..sym.l_ptr[k0 + 1] {
+                        let lv = va.l[idx].to_f64();
+                        let r = sym.l_rows[idx] * K;
+                        for (l, &z) in zk.iter().enumerate() {
+                            work[r + l] -= z * lv;
+                        }
+                    }
+                }
+                continue;
+            }
+            let pbase = plan.panel_ptr[sn];
+            let rows = plan.body_rows(sn);
+            let r_cnt = rows.len();
+            let body = &va.panels[pbase..pbase + r_cnt * w];
+            let ldiag = &va.panels[pbase + r_cnt * w..pbase + (r_cnt + w) * w];
+            let mut z = [[0.0f64; K]; MAX_SN_WIDTH];
+            for t in 0..w {
+                let rp = sym.row_perm[k0 + t] * K;
+                let mut zk = [0.0f64; K];
+                zk.copy_from_slice(&work[rp..rp + K]);
+                for (j, zj) in z.iter().enumerate().take(t) {
+                    let c = ldiag[j * w + t].to_f64();
+                    if c != 0.0 {
+                        for (l, &zv) in zj.iter().enumerate() {
+                            zk[l] -= zv * c;
+                        }
+                    }
+                }
+                z[t] = zk;
+                out[(k0 + t) * K..(k0 + t) * K + K].copy_from_slice(&zk);
+            }
+            for (i, &r) in rows.iter().enumerate() {
+                let arow = &body[i * w..(i + 1) * w];
+                let mut acc = [0.0f64; K];
+                for (j, aj) in arow.iter().enumerate() {
+                    let av = aj.to_f64();
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        *a += av * z[j][l];
+                    }
+                }
+                let rb = r * K;
+                for (l, &a) in acc.iter().enumerate() {
+                    work[rb + l] -= a;
+                }
+            }
+        }
+    }
+
+    /// Multi-lane twin of [`SparseLu::block_backward_sn`]: descending
+    /// members resolve within-supernode coupling through the dense `udiag`
+    /// panel, firing each external `U` entry once across all `K` lanes.
+    fn block_backward_sn_multi<S: LuScalar, const K: usize>(
+        &self,
+        va: &ValueArrays<S>,
+        plan: &SupernodePlan,
+        lo: usize,
+        hi: usize,
+        out: &mut [f64],
+    ) {
+        let sym = &self.sym;
+        let (s0, s1) = (plan.sn_of_step[lo], plan.sn_of_step[hi - 1] + 1);
+        for sn in (s0..s1).rev() {
+            let (k0, k1) = (plan.sn_ptr[sn], plan.sn_ptr[sn + 1]);
+            let w = k1 - k0;
+            if w == 1 {
+                let (ulo, uhi) = (sym.u_ptr[k0], sym.u_ptr[k0 + 1]);
+                let d = va.u[uhi - 1].to_f64();
+                let mut yk = [0.0f64; K];
+                for (l, y) in yk.iter_mut().enumerate() {
+                    *y = out[k0 * K + l] / d;
+                }
+                out[k0 * K..k0 * K + K].copy_from_slice(&yk);
+                if yk.iter().any(|&y| y != 0.0) {
+                    for idx in ulo..(uhi - 1) {
+                        let uv = va.u[idx].to_f64();
+                        let r = sym.u_rows[idx] * K;
+                        for (l, &y) in yk.iter().enumerate() {
+                            out[r + l] -= y * uv;
+                        }
+                    }
+                }
+                continue;
+            }
+            let pbase = plan.panel_ptr[sn];
+            let r_cnt = plan.body_rows(sn).len();
+            let udiag = &va.panels[pbase + (r_cnt + w) * w..pbase + (r_cnt + 2 * w) * w];
+            for t in (0..w).rev() {
+                let k = k0 + t;
+                let d = udiag[t * w + t].to_f64();
+                let mut yk = [0.0f64; K];
+                for (l, y) in yk.iter_mut().enumerate() {
+                    *y = out[k * K + l] / d;
+                }
+                out[k * K..k * K + K].copy_from_slice(&yk);
+                if yk.iter().any(|&y| y != 0.0) {
+                    for i in 0..t {
+                        let c = udiag[t * w + i].to_f64();
+                        if c != 0.0 {
+                            let rb = (k0 + i) * K;
+                            for (l, &y) in yk.iter().enumerate() {
+                                out[rb + l] -= y * c;
+                            }
+                        }
+                    }
+                    let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
+                    let mut ehi = uhi - 1;
+                    while ehi > ulo && sym.u_rows[ehi - 1] >= k0 {
+                        ehi -= 1;
+                    }
+                    for idx in ulo..ehi {
+                        let uv = va.u[idx].to_f64();
+                        let r = sym.u_rows[idx] * K;
+                        for (l, &y) in yk.iter().enumerate() {
+                            out[r + l] -= y * uv;
+                        }
                     }
                 }
             }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use ohmflow_linalg::{
     min_degree_ordering, reverse_cuthill_mckee, ColumnOrdering, DenseMatrix, LowRankUpdate,
-    SparseLu, SparseLuOptions, TripletMatrix,
+    RankOneTermRef, SparseLu, SparseLuOptions, TripletMatrix,
 };
 
 /// A random diagonally-dominant sparse system (always solvable).
@@ -664,4 +664,218 @@ proptest! {
             prop_assert!((a - r).abs() < 1e-9 * r.abs().max(1.0), "{a} vs {r}");
         }
     }
+}
+
+/// Lane-interleaves `k` dense right-hand sides: `out[row * k + lane]`.
+fn interleave(columns: &[Vec<f64>]) -> Vec<f64> {
+    let (n, k) = (columns[0].len(), columns.len());
+    let mut out = vec![0.0; n * k];
+    for (lane, col) in columns.iter().enumerate() {
+        for (r, &v) in col.iter().enumerate() {
+            out[r * k + lane] = v;
+        }
+    }
+    out
+}
+
+/// Asserts `solve_multi_into` against `k` single-RHS solves at 1e-12 —
+/// the scalar path is the oracle for every lane count.
+fn assert_multi_matches_single(lu: &SparseLu, columns: &[Vec<f64>]) {
+    let (n, k) = (columns[0].len(), columns.len());
+    let rhs = interleave(columns);
+    let (mut work, mut out) = (Vec::new(), Vec::new());
+    lu.solve_multi_into(&rhs, k, &mut work, &mut out).unwrap();
+    for (lane, col) in columns.iter().enumerate() {
+        let x = lu.solve(col).unwrap();
+        for r in 0..n {
+            let (a, e) = (out[r * k + lane], x[r]);
+            assert!(
+                (a - e).abs() < 1e-12 * e.abs().max(1.0),
+                "lane {lane} row {r}: {a} vs {e}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Multi-RHS solves must reproduce the single-RHS scalar path to
+    /// 1e-12 for every lane count 1..=8 — this is the oracle contract
+    /// the rank-k batched Woodbury push builds on.
+    #[test]
+    fn multi_rhs_solve_matches_single_rhs(
+        (t, b) in arb_system(24),
+        seed in any::<u64>(),
+        k in 1usize..9,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = b.len();
+        let lu = SparseLu::factor(&t.to_csc()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cols = vec![b];
+        // Later lanes include a sparse one (mostly zeros), the Woodbury
+        // push's actual lane shape.
+        for lane in 1..k {
+            cols.push(
+                (0..n)
+                    .map(|_| {
+                        if lane % 2 == 1 && rng.gen_bool(0.8) {
+                            0.0
+                        } else {
+                            rng.gen_range(-4.0..4.0)
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let rhs = interleave(&cols);
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        lu.solve_multi_into(&rhs, k, &mut work, &mut out).unwrap();
+        for (lane, col) in cols.iter().enumerate() {
+            let x = lu.solve(col).unwrap();
+            for r in 0..n {
+                let (a, e) = (out[r * k + lane], x[r]);
+                prop_assert!(
+                    (a - e).abs() < 1e-12 * e.abs().max(1.0),
+                    "lane {} row {}: {} vs {}", lane, r, a, e
+                );
+            }
+        }
+    }
+
+    /// A rank-k batch push must accumulate exactly the same update as the
+    /// same terms pushed one at a time.
+    #[test]
+    fn push_batch_matches_sequential_pushes(
+        (t, b) in arb_system(24),
+        seed in any::<u64>(),
+        k in 2usize..11,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = b.len();
+        let csc = t.to_csc();
+        let base = SparseLu::factor(&csc).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        #[allow(clippy::type_complexity)]
+        let mut terms: Vec<(Vec<(usize, f64)>, Vec<(usize, f64)>)> = Vec::new();
+        for _ in 0..k {
+            let a = rng.gen_range(0..n);
+            let bn = rng.gen_range(0..n);
+            let dg: f64 = rng.gen_range(0.1..2.0);
+            let d: Vec<(usize, f64)> = if a == bn {
+                vec![(a, 1.0)]
+            } else {
+                vec![(a, 1.0), (bn, -1.0)]
+            };
+            let u: Vec<(usize, f64)> = d.iter().map(|&(i, s)| (i, dg * s)).collect();
+            terms.push((u, d));
+        }
+
+        let mut seq = LowRankUpdate::new(n);
+        for (u, v) in &terms {
+            seq.push(&base, u, v).unwrap();
+        }
+        let mut bat = LowRankUpdate::new(n);
+        let refs: Vec<RankOneTermRef<'_>> =
+            terms.iter().map(|(u, v)| (u.as_slice(), v.as_slice())).collect();
+        bat.push_batch(&base, &refs).unwrap();
+        prop_assert_eq!(bat.rank(), seq.rank());
+
+        let x_seq = seq.solve(&base, &b).unwrap();
+        let x_bat = bat.solve(&base, &b).unwrap();
+        for (a, r) in x_bat.iter().zip(&x_seq) {
+            prop_assert!((a - r).abs() < 1e-12 * r.abs().max(1.0), "{} vs {}", a, r);
+        }
+    }
+}
+
+/// Pushes a diagonally-dominant dense-tail block into `t` at row/column
+/// offset `off` — sized so compositions clear the blocked-solve gate
+/// (`n >= 512`) and the supernodal multi-RHS kernels actually run.
+fn push_dense_tail_block(t: &mut TripletMatrix, off: usize, n: usize, tail: usize, seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_sum = vec![0.0f64; n];
+    for (i, rs) in row_sum.iter_mut().enumerate() {
+        for _ in 0..3 {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                t.push(off + i, off + j, v);
+                *rs += v.abs();
+            }
+        }
+    }
+    for (i, rs) in row_sum.iter_mut().enumerate().skip(n - tail) {
+        for j in n - tail..n {
+            if i != j {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                t.push(off + i, off + j, v);
+                *rs += v.abs();
+            }
+        }
+    }
+    for (i, rs) in row_sum.iter().enumerate() {
+        t.push(off + i, off + i, rs + rng.gen_range(1.0..3.0));
+    }
+}
+
+/// The supernodal (blocked-panel) multi-RHS path must match the
+/// single-RHS solves at 1e-12: `n >= 512` plus a dense tail guarantees
+/// the lane kernels run through the panels, not the scalar fallback.
+#[test]
+fn multi_rhs_blocked_supernodal_path_matches_single() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = 560;
+    let mut t = TripletMatrix::new(n, n);
+    push_dense_tail_block(&mut t, 0, n, 48, 9);
+    let lu = SparseLu::factor(&t.to_csc()).unwrap();
+    let stats = lu.symbolic().supernode_stats().expect("detection enabled");
+    assert!(stats.multi >= 1, "dense tail must amalgamate: {stats:?}");
+    let mut rng = StdRng::seed_from_u64(77);
+    for k in [2usize, 5, 8] {
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect())
+            .collect();
+        assert_multi_matches_single(&lu, &cols);
+    }
+}
+
+/// Multi-RHS solves across a multi-block (BTF) factorization: two
+/// decoupled dense-tail systems with one-way coupling split into
+/// separate blocks, exercising the per-lane cross-block `A_off` apply.
+#[test]
+fn multi_rhs_multiblock_btf_matches_single() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let half = 300;
+    let n = 2 * half;
+    let mut t = TripletMatrix::new(n, n);
+    push_dense_tail_block(&mut t, 0, half, 32, 11);
+    push_dense_tail_block(&mut t, half, half, 32, 12);
+    // One-way coupling (block 0 reads block 1) keeps the BTF split.
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..24 {
+        let r = rng.gen_range(0..half);
+        let c = half + rng.gen_range(0..half);
+        t.push(r, c, rng.gen_range(-0.5..0.5));
+    }
+    let lu = SparseLu::factor(&t.to_csc()).unwrap();
+    assert!(
+        lu.symbolic().block_count() > 1,
+        "coupling must stay one-way"
+    );
+    let cols: Vec<Vec<f64>> = (0..8)
+        .map(|lane| {
+            (0..n)
+                .map(|r| ((r * (lane + 3)) as f64 * 0.37).sin())
+                .collect()
+        })
+        .collect();
+    assert_multi_matches_single(&lu, &cols);
 }

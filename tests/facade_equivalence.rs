@@ -67,7 +67,17 @@ proptest! {
             assert_solutions_match(&cached, &fresh, &format!("solve round {round}"));
         }
         let plan = solver.plan(&g).expect("plan");
-        prop_assert!(plan.cache_hit(), "the solve rounds must have planned this topology");
+        if g.edge_count() >= ohmflow::solver::SMALL_INSTANCE_EDGES {
+            prop_assert!(plan.cache_hit(), "the solve rounds must have planned this topology");
+        } else {
+            // Below the adaptive threshold, one-shot solves deliberately
+            // skip plan building — the explicit plan above is the cache's
+            // first entry for this topology, and a repeat rides it.
+            prop_assert!(
+                solver.plan(&g).expect("replan").cache_hit(),
+                "explicit plans populate the cache"
+            );
+        }
         let staged = plan.instance(&g).expect("instance").solve().expect("staged solve");
         assert_solutions_match(&staged, &fresh, "staged");
     }

@@ -6,8 +6,9 @@
 use std::net::TcpStream;
 
 use ohmflow::solver::facade::{MaxFlowSolver, SolveOptions};
+use ohmflow::GraphDelta;
 use ohmflow_apps::serve::{self, ServeConfig, TAG_BINARY, TAG_DIMACS};
-use ohmflow_graph::{binfmt, dimacs, generators};
+use ohmflow_graph::{binfmt, dimacs, generators, FlowNetwork};
 
 fn spawn_server(workers: usize) -> serve::ServerHandle {
     serve::spawn(
@@ -148,6 +149,121 @@ fn bad_requests_report_errors_without_poisoning_the_connection() {
     let resp =
         serve::request(&mut conn, TAG_BINARY, &binfmt::write_binary(&g)).expect("recovery solve");
     assert!(resp.value > 0.0);
+
+    drop(conn);
+    server.shutdown();
+}
+
+/// A delta session over real sockets: open, stream capacity + topology
+/// deltas, and verify every answer against a fresh local solve of the
+/// evolved graph at 1e-9 — then close and verify the id dies.
+#[test]
+fn delta_session_round_trip_tracks_fresh_solves() {
+    let g = generators::fig5a();
+    let solver = MaxFlowSolver::new(SolveOptions::ideal());
+    let fresh = |g: &FlowNetwork| solver.solve_fresh(g).expect("fresh solve").value;
+
+    let server = spawn_server(2);
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+
+    let opened = serve::open_session(&mut conn, TAG_BINARY, &binfmt::write_binary(&g))
+        .expect("open session");
+    assert!(
+        (opened.value - fresh(&g)).abs() < 1e-9,
+        "opening answer {} vs fresh {}",
+        opened.value,
+        fresh(&g)
+    );
+    assert_eq!(opened.edge_flows.len(), g.edge_count());
+    let id = opened.session_id;
+
+    // Capacity drift + removal + insertion, each checked against a local
+    // fresh solve of the same evolved graph.
+    let live = {
+        let mut h = FlowNetwork::new(g.vertex_count(), g.source(), g.sink()).unwrap();
+        for (k, e) in g.edges().iter().enumerate() {
+            h.add_edge(e.from, e.to, if k == 0 { 7 } else { e.capacity })
+                .unwrap();
+        }
+        h
+    };
+    let resp = serve::apply_deltas(
+        &mut conn,
+        id,
+        &[GraphDelta::SetCapacity {
+            edge: 0,
+            capacity: 7,
+        }],
+    )
+    .expect("capacity delta");
+    assert!(
+        (resp.value - fresh(&live)).abs() < 1e-9,
+        "capacity delta {} vs fresh {}",
+        resp.value,
+        fresh(&live)
+    );
+    assert!(!resp.replanned, "capacity updates stay value-only");
+
+    let removed = {
+        let mut h = FlowNetwork::new(live.vertex_count(), live.source(), live.sink()).unwrap();
+        for (k, e) in live.edges().iter().enumerate() {
+            if k != 1 {
+                h.add_edge(e.from, e.to, e.capacity).unwrap();
+            }
+        }
+        h
+    };
+    let resp = serve::apply_deltas(&mut conn, id, &[GraphDelta::RemoveEdge { edge: 1 }])
+        .expect("remove delta");
+    assert!(
+        (resp.value - fresh(&removed)).abs() < 1e-9,
+        "removal {} vs fresh {}",
+        resp.value,
+        fresh(&removed)
+    );
+    assert_eq!(resp.edge_flows[1], 0.0, "removed edge reports zero flow");
+
+    let inserted = {
+        let mut h =
+            FlowNetwork::new(removed.vertex_count(), removed.source(), removed.sink()).unwrap();
+        for e in removed.edges() {
+            h.add_edge(e.from, e.to, e.capacity).unwrap();
+        }
+        h.add_edge(1, 3, 4).unwrap();
+        h
+    };
+    let resp = serve::apply_deltas(
+        &mut conn,
+        id,
+        &[GraphDelta::InsertEdge {
+            from: 1,
+            to: 3,
+            capacity: 4,
+        }],
+    )
+    .expect("insert delta");
+    assert!(
+        (resp.value - fresh(&inserted)).abs() < 1e-9,
+        "insertion {} vs fresh {}",
+        resp.value,
+        fresh(&inserted)
+    );
+    assert_eq!(resp.new_edge_ids, vec![g.edge_count() as u64]);
+    assert!(resp.replanned, "novel structure re-keys");
+
+    // Invalid batches are rejected without killing the session.
+    let err = serve::apply_deltas(&mut conn, id, &[GraphDelta::RemoveEdge { edge: 999 }]);
+    assert!(err.is_err(), "invalid batch must be rejected");
+    let resp = serve::apply_deltas(&mut conn, id, &[]).expect("session survives rejection");
+    assert!((resp.value - fresh(&inserted)).abs() < 1e-9);
+
+    // Close, then the id is gone.
+    assert_eq!(serve::close_session(&mut conn, id), Ok(id));
+    let gone = serve::apply_deltas(&mut conn, id, &[]);
+    assert!(
+        gone.unwrap_err().contains("unknown or busy"),
+        "closed sessions must be unknown"
+    );
 
     drop(conn);
     server.shutdown();
