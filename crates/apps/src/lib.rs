@@ -3,5 +3,6 @@
 //! `ohmflow-serve` binary; see `Cargo.toml` for the target wiring.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod serve;

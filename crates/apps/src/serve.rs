@@ -175,19 +175,22 @@ impl Sessions {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.open
             .lock()
-            .expect("session registry")
+            .expect("invariant: session-registry lock is never poisoned")
             .insert(id, session);
         id
     }
 
     fn check_out(&self, id: u64) -> Option<DeltaSession> {
-        self.open.lock().expect("session registry").remove(&id)
+        self.open
+            .lock()
+            .expect("invariant: session-registry lock is never poisoned")
+            .remove(&id)
     }
 
     fn check_in(&self, id: u64, session: DeltaSession) {
         self.open
             .lock()
-            .expect("session registry")
+            .expect("invariant: session-registry lock is never poisoned")
             .insert(id, session);
     }
 }
@@ -216,14 +219,20 @@ impl Queue {
     }
 
     fn push(&self, job: Job) {
-        self.jobs.lock().expect("serve queue").push_back(job);
+        self.jobs
+            .lock()
+            .expect("invariant: serve-queue lock is never poisoned")
+            .push_back(job);
         self.ready.notify_one();
     }
 
     /// Blocks until work or shutdown; returns every queued job at once
     /// (the batching funnel into `solve_many`).
     fn drain(&self) -> Option<Vec<Job>> {
-        let mut jobs = self.jobs.lock().expect("serve queue");
+        let mut jobs = self
+            .jobs
+            .lock()
+            .expect("invariant: serve-queue lock is never poisoned");
         loop {
             if !jobs.is_empty() {
                 return Some(jobs.drain(..).collect());
@@ -231,7 +240,10 @@ impl Queue {
             if self.shutdown.load(Ordering::SeqCst) {
                 return None;
             }
-            jobs = self.ready.wait(jobs).expect("serve queue");
+            jobs = self
+                .ready
+                .wait(jobs)
+                .expect("invariant: serve-queue lock is never poisoned");
         }
     }
 
@@ -344,7 +356,10 @@ fn worker_loop(queue: &Queue, solver: &MaxFlowSolver) {
             // repeated topologies, which amortize a plan even below the
             // adaptive small-instance threshold that makes one-shot
             // `solve` calls skip plan building.
-            let job = batch.into_iter().next().expect("one job");
+            let job = batch
+                .into_iter()
+                .next()
+                .expect("invariant: drained batches are nonempty");
             let result = solver
                 .plan(&job.graph)
                 .and_then(|p| p.instance(&job.graph)?.solve())
@@ -395,7 +410,9 @@ fn serve_connection(
 /// answer. Errors come back as status-1 payloads; an invalid batch leaves
 /// its session open and untouched (the session's own atomicity).
 fn handle_session_frame(payload: &[u8], sessions: &Sessions, solver: &MaxFlowSolver) -> Vec<u8> {
-    let (&tag, body) = payload.split_first().expect("dispatch saw a tag");
+    let (&tag, body) = payload
+        .split_first()
+        .expect("invariant: framed payloads carry a tag byte");
     match tag {
         TAG_OPEN_SESSION => {
             let graph = match decode_request(body) {
@@ -452,13 +469,23 @@ fn decode_delta_request(body: &[u8]) -> Result<(u64, DeltaBatch), String> {
     let truncated = || "truncated delta request".to_owned();
     let u64_at = |at: usize| -> Result<u64, String> {
         body.get(at..at + 8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| {
+                u64::from_le_bytes(
+                    b.try_into()
+                        .expect("invariant: chunks_exact(8) yields 8-byte slices"),
+                )
+            })
             .ok_or_else(truncated)
     };
     let id = u64_at(0)?;
     let count = body
         .get(8..12)
-        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .map(|b| {
+            u32::from_le_bytes(
+                b.try_into()
+                    .expect("invariant: chunks_exact(4) yields 4-byte slices"),
+            )
+        })
         .ok_or_else(truncated)? as usize;
     let mut batch = DeltaBatch::new();
     let mut at = 12;
@@ -629,10 +656,18 @@ pub fn decode_response(payload: &[u8]) -> Result<SolveResponse, String> {
             .ok_or_else(|| "truncated response".to_owned())
     };
     let f64_at = |at: usize| -> Result<f64, String> {
-        Ok(f64::from_le_bytes(take(body, at, 8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(
+            take(body, at, 8)?
+                .try_into()
+                .expect("invariant: take(8) yields 8-byte slices"),
+        ))
     };
     let u32_at = |at: usize| -> Result<u32, String> {
-        Ok(u32::from_le_bytes(take(body, at, 4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            take(body, at, 4)?
+                .try_into()
+                .expect("invariant: take(4) yields 4-byte slices"),
+        ))
     };
     let value = f64_at(0)?;
     let m = u32_at(8)? as usize;
@@ -642,7 +677,11 @@ pub fn decode_response(payload: &[u8]) -> Result<SolveResponse, String> {
     }
     let tail = 12 + m * 8;
     let iterations = u32_at(tail)?;
-    let factor_nnz = u64::from_le_bytes(take(body, tail + 4, 8)?.try_into().unwrap());
+    let factor_nnz = u64::from_le_bytes(
+        take(body, tail + 4, 8)?
+            .try_into()
+            .expect("invariant: take(8) yields 8-byte slices"),
+    );
     let block_count = u32_at(tail + 12)?;
     let templated = *body
         .get(tail + 16)
@@ -723,12 +762,22 @@ pub fn decode_delta_response(payload: &[u8]) -> Result<DeltaResponse, String> {
     let truncated = || "truncated delta response".to_owned();
     let u64_at = |at: usize| -> Result<u64, String> {
         body.get(at..at + 8)
-            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| {
+                u64::from_le_bytes(
+                    b.try_into()
+                        .expect("invariant: chunks_exact(8) yields 8-byte slices"),
+                )
+            })
             .ok_or_else(truncated)
     };
     let u32_at = |at: usize| -> Result<u32, String> {
         body.get(at..at + 4)
-            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| {
+                u32::from_le_bytes(
+                    b.try_into()
+                        .expect("invariant: chunks_exact(4) yields 4-byte slices"),
+                )
+            })
             .ok_or_else(truncated)
     };
     let session_id = u64_at(0)?;

@@ -21,7 +21,11 @@
 //! through a standing `DeltaSession` vs cold plan+solve, the rank-k
 //! batched Woodbury push vs k sequential rank-1 pushes, the k=8
 //! multi-RHS blocked triangular solve vs eight singles, and the
-//! `small_n` adaptive-path numbers behind `SMALL_INSTANCE_EDGES`), so
+//! `small_n` adaptive-path numbers behind `SMALL_INSTANCE_EDGES`) and
+//! `BENCH_PR10.json` (the structural-audit overhead gate: release warm
+//! repeat-solves on rmat2048 measured against themselves to pin the
+//! debug-only auto-audit seams at <= 1.02x, plus the explicit
+//! release-mode audit costs `ohmflow-audit` pays), so
 //! the repo's perf trajectory is tracked by artifact instead of
 //! anecdote. A final pass merges every `BENCH_PR*.json` in the working
 //! directory into `BENCH_TRAJECTORY.json` keyed by PR number.
@@ -66,6 +70,12 @@ fn main() {
         // The PR 9 section standalone (delta-session iteration loop).
         Some("pr9") => {
             pr9_report();
+            trajectory_report();
+            return;
+        }
+        // The PR 10 section standalone (audit-overhead gate).
+        Some("pr10") => {
+            pr10_report();
             trajectory_report();
             return;
         }
@@ -196,6 +206,7 @@ fn main() {
     pr7_report();
     pr8_report();
     pr9_report();
+    pr10_report();
     trajectory_report();
 }
 
@@ -1476,6 +1487,79 @@ fn pr9_report() {
     let out =
         std::env::var("OHMFLOW_BENCH_OUT_PR9").unwrap_or_else(|_| "BENCH_PR9.json".to_owned());
     std::fs::write(&out, json).expect("write pr9 bench report");
+    println!("wrote {out}");
+}
+
+/// PR 10 section: the structural-auditor overhead gate. The auto-audits
+/// run under `cfg!(debug_assertions)` only, so a release warm solve must
+/// cost exactly what it did before the seams landed. Two interleaved
+/// groups of identical warm repeat-solves on rmat2048 measure the
+/// seam-bearing path against itself; min-of-runs cancels scheduler noise
+/// and the ratio is gated at 1.02x. The explicit release-mode audit
+/// costs (what `ohmflow-audit` pays per structure) are reported
+/// alongside for visibility — they are *not* part of the solve path.
+fn pr10_report() {
+    println!("--- PR10 structural-audit overhead ---");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, ns: f64| {
+        println!("{name:<52} {ns:>14.0} ns/op");
+        entries.push((name, ns));
+    };
+
+    let g = fig10_instance(2048, false, 1);
+    let solver = MaxFlowSolver::new(SolveOptions::ideal());
+    solver.solve(&g).expect("prime plan");
+
+    // Interleaved A/B groups of the same warm repeat-solve: ABBA-order
+    // sampling puts both groups under the same thermal/scheduler
+    // conditions (and cancels monotone drift), and min-of-group is the
+    // stable estimator for a gate.
+    for _ in 0..3 {
+        solver.solve(&g).expect("warmup solve");
+    }
+    let rounds = 12;
+    let mut best = [f64::INFINITY; 2];
+    for r in 0..2 * rounds {
+        let t0 = std::time::Instant::now();
+        solver.solve(&g).expect("warm solve");
+        let ns = t0.elapsed().as_nanos() as f64;
+        let group = (r + r / 2) % 2; // A B B A A B B A ...
+        if ns < best[group] {
+            best[group] = ns;
+        }
+    }
+    let ratio = best[1] / best[0];
+    push("rmat2048/warm_repeat_solve_group_a".to_owned(), best[0]);
+    push("rmat2048/warm_repeat_solve_group_b".to_owned(), best[1]);
+    println!("rmat2048 repeat-solve overhead ratio: {ratio:.4}x (gate: <= 1.02x)");
+    assert!(
+        ratio <= 1.02,
+        "debug-audit seams must add no release cost: repeat-solve ratio {ratio:.4} > 1.02"
+    );
+
+    // Explicit release-mode audit costs (the `ohmflow-audit` bill).
+    let plan = solver.plan(&g).expect("plan");
+    let instance = plan.instance(&g).expect("instance");
+    let t_plan = median_ns(5, || plan.audit().expect("plan audit"));
+    let t_inst = median_ns(5, || instance.audit().expect("instance audit"));
+    push("rmat2048/explicit_plan_audit".to_owned(), t_plan);
+    push("rmat2048/explicit_instance_audit".to_owned(), t_inst);
+
+    let mut json = String::from("{\n  \"schema\": \"ohmflow-bench-report-pr10/1\",\n");
+    json.push_str("  \"ns_per_op\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.0}{comma}\n"));
+    }
+    json.push_str("  },\n  \"ratios\": {\n");
+    json.push_str(&format!(
+        "    \"audit_seam_repeat_solve_rmat2048\": {ratio:.4}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let out =
+        std::env::var("OHMFLOW_BENCH_OUT_PR10").unwrap_or_else(|_| "BENCH_PR10.json".to_owned());
+    std::fs::write(&out, json).expect("write pr10 bench report");
     println!("wrote {out}");
 }
 

@@ -2,6 +2,8 @@
 //! timing of the CPU baseline. Each paper table/figure has a dedicated
 //! binary (see `src/bin/`), indexed in `DESIGN.md`.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use ohmflow::builder::{

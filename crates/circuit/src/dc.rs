@@ -708,7 +708,10 @@ pub fn solve_frozen_dc(
             lu,
         });
     }
-    let lu = &cache.as_ref().expect("cache populated").lu;
+    let lu = &cache
+        .as_ref()
+        .expect("invariant: factor cache is populated before reuse")
+        .lu;
     let b = mna::stamp_rhs(ckt, &st, &states, time, StampMode::Dc, None, false);
     let x = lu.solve(&b)?;
     Ok(DcSolution {

@@ -198,7 +198,9 @@ pub(crate) fn stamp_matrix(
                 conductance_stamp(&mut m, *a, *b, 1.0 / resistance);
             }
             Element::Memristor { a, b, .. } => {
-                let r = e.memristance().expect("memristor has memristance");
+                let r = e
+                    .memristance()
+                    .expect("invariant: memristor elements carry a memristance");
                 conductance_stamp(&mut m, *a, *b, 1.0 / r);
             }
             Element::Capacitor { a, b, capacitance } => match mode {
@@ -215,7 +217,7 @@ pub(crate) fn stamp_matrix(
                 }
             },
             Element::VoltageSource { pos, neg, .. } => {
-                let ib = ib.expect("vsource has branch");
+                let ib = ib.expect("invariant: vsource rows were assigned a branch");
                 add(&mut m, pos.unknown(), Some(ib), 1.0);
                 add(&mut m, neg.unknown(), Some(ib), -1.0);
                 add(&mut m, Some(ib), pos.unknown(), 1.0);
@@ -231,7 +233,7 @@ pub(crate) fn stamp_matrix(
                 ctrl_neg,
                 gain,
             } => {
-                let ib = ib.expect("vcvs has branch");
+                let ib = ib.expect("invariant: vcvs rows were assigned a branch");
                 add(&mut m, out_pos.unknown(), Some(ib), 1.0);
                 add(&mut m, out_neg.unknown(), Some(ib), -1.0);
                 add(&mut m, Some(ib), out_pos.unknown(), 1.0);
@@ -251,7 +253,7 @@ pub(crate) fn stamp_matrix(
                 conductance_stamp(&mut m, *anode, *cathode, g);
             }
             Element::NegativeResistorDyn { a, magnitude, tau } => {
-                let ib = ib.expect("dyn neg resistor has branch");
+                let ib = ib.expect("invariant: dynamic negative resistors were assigned a branch");
                 // KCL: branch current leaves node a.
                 add(&mut m, a.unknown(), Some(ib), 1.0);
                 // Branch equation: DC  i + V/Rm = 0;
@@ -279,7 +281,7 @@ pub(crate) fn stamp_matrix(
                 out,
                 model,
             } => {
-                let ib = ib.expect("opamp has branch");
+                let ib = ib.expect("invariant: opamp rows were assigned a branch");
                 // Output behaves as a grounded voltage source carrying ib.
                 add(&mut m, out.unknown(), Some(ib), 1.0);
                 match states[idx] {
@@ -357,7 +359,7 @@ pub(crate) fn stamp_rhs_into(
                 } else {
                     value.value_at(time)
                 };
-                b[ib.expect("vsource branch")] += v;
+                b[ib.expect("invariant: vsource rows were assigned a branch")] += v;
             }
             Element::CurrentSource { pos, neg, value } => {
                 let j = if dc_pre_step {
@@ -417,7 +419,8 @@ pub(crate) fn stamp_rhs_into(
             }
             Element::NegativeResistorDyn { a, magnitude, tau } => {
                 if let Some(hist) = history {
-                    let row = ib.expect("dyn neg resistor branch");
+                    let row =
+                        ib.expect("invariant: dynamic negative resistors were assigned a branch");
                     let i_prev = hist.solution[row];
                     let v_prev = match a.unknown() {
                         Some(u) => hist.solution[u],
@@ -440,7 +443,7 @@ pub(crate) fn stamp_rhs_into(
                 out,
                 model,
             } => {
-                let row = ib.expect("opamp branch");
+                let row = ib.expect("invariant: opamp rows were assigned a branch");
                 match states[idx] {
                     DeviceState::SatHigh => b[row] += model.rails.1,
                     DeviceState::SatLow => b[row] += model.rails.0,
@@ -672,7 +675,9 @@ pub(crate) fn solve_pwl(
             };
             *factor_cache = Some((states.clone(), lu, m));
         }
-        let (_, lu, m) = factor_cache.as_ref().expect("cache populated");
+        let (_, lu, m) = factor_cache
+            .as_ref()
+            .expect("invariant: factor cache is populated before reuse");
         stamp_rhs_into(&mut b, ckt, st, states, time, mode, history, dc_pre_step);
         lu.solve_into(&b, &mut work, &mut x)?;
         if lu.symbolic().precision() == ohmflow_linalg::Precision::F32Refined {

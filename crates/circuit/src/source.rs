@@ -96,7 +96,10 @@ impl SourceValue {
                         return va + (vb - va) * (t - ta) / (tb - ta);
                     }
                 }
-                points.last().expect("nonempty").1
+                points
+                    .last()
+                    .expect("invariant: piecewise sources have at least one point")
+                    .1
             }
         }
     }

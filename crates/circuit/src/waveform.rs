@@ -50,7 +50,10 @@ impl<'a> Waveform<'a> {
     ///
     /// Panics on an empty waveform.
     pub fn last_value(&self) -> f64 {
-        *self.values.last().expect("waveform is empty")
+        *self
+            .values
+            .last()
+            .expect("invariant: waveforms hold at least one sample")
     }
 
     /// Linearly interpolated value at time `t`, clamped to the recorded
@@ -64,7 +67,11 @@ impl<'a> Waveform<'a> {
         if t <= self.times[0] {
             return self.values[0];
         }
-        if t >= *self.times.last().expect("nonempty") {
+        if t >= *self
+            .times
+            .last()
+            .expect("invariant: waveforms hold at least one sample")
+        {
             return self.last_value();
         }
         // Binary search for the bracketing interval.

@@ -540,7 +540,7 @@ pub(crate) fn build_with_layout(
             .zip(&edge_v_coupling)
             .map(|((anchor, u), v)| {
                 anchor.map(|anchor| EdgeSurgery {
-                    u_coupling: u.expect("non-circulation edge has a tail coupling"),
+                    u_coupling: u.expect("invariant: non-circulation edges carry a tail coupling"),
                     v_coupling: *v,
                     anchor,
                 })

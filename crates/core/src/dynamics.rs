@@ -31,7 +31,9 @@ impl Trajectory {
     /// The final flow value (net out of the source is not tracked here;
     /// this is simply the last sampled per-edge assignment).
     pub fn final_flows(&self) -> &[f64] {
-        self.flows.last().expect("trajectory has samples")
+        self.flows
+            .last()
+            .expect("invariant: trajectories record at least one sample")
     }
 
     /// `true` if every sampled point is strictly feasible (capacity +

@@ -53,6 +53,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod builder;
 pub mod clustered;

@@ -83,7 +83,8 @@ impl VariationModel {
             let mismatch = 1.0 + rng.gen_range(-self.matching_tolerance..=self.matching_tolerance);
             // Parasitic series resistance always *adds* magnitude.
             let r_new = sign * (r0 * global * mismatch + self.parasitic_series);
-            ckt.set_resistance(id, r_new).expect("resistor id");
+            ckt.set_resistance(id, r_new)
+                .expect("invariant: retune targets an id recorded at build time");
             changed += 1;
         }
         changed

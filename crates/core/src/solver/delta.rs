@@ -411,6 +411,14 @@ impl DeltaSession {
             false
         };
 
+        // Delta-apply seam auto-audit: surgery just rewired handles, so a
+        // metadata desync would first become visible here.
+        if cfg!(debug_assertions) {
+            if let Err(err) = self.audit_metadata() {
+                panic!("{err}");
+            }
+        }
+
         Ok(DeltaReport {
             value: self.flow_value(),
             edge_flows: self.edge_flows(),
@@ -419,6 +427,58 @@ impl DeltaSession {
             consolidated,
             state_iterations,
         })
+    }
+
+    /// Audits the session's structural invariants: the shared
+    /// factorization behind the universe substrate (see
+    /// [`ohmflow_linalg::SparseLu::audit`]), the plan-cache shards, and
+    /// the universe circuit's delta-surgery metadata checked against the
+    /// stamped edge set (element-id uniqueness, edge/star membership
+    /// closure). Debug builds also run the metadata audit automatically
+    /// after every [`DeltaSession::apply_deltas`] batch.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`ohmflow_linalg::AuditError`].
+    pub fn audit(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        self.tpl.dc_template().factor().audit()?;
+        self.engine.audit_plan_cache()?;
+        self.audit_metadata()
+    }
+
+    /// The delta-metadata half of [`DeltaSession::audit`]: reconstructs
+    /// the universe build graph (every stamped session edge, slot order)
+    /// and audits the universe circuit's surgery handles against it.
+    fn audit_metadata(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        let meta = self.dc.host().delta_meta();
+        let mut universe: Vec<Option<(usize, usize)>> = vec![None; meta.edges.len()];
+        for e in &self.edges {
+            if let Some(slot) = e.slot {
+                if slot >= universe.len() || universe[slot].is_some() {
+                    return Err(ohmflow_linalg::AuditError::new(
+                        "DeltaMetadata",
+                        "star-membership-closure",
+                        format!("session edge slot {slot} out of range or claimed twice"),
+                    ));
+                }
+                universe[slot] = Some((e.from, e.to));
+            }
+        }
+        let mut edges = Vec::with_capacity(universe.len());
+        for (slot, e) in universe.into_iter().enumerate() {
+            match e {
+                Some(pair) => edges.push(pair),
+                None => {
+                    return Err(ohmflow_linalg::AuditError::new(
+                        "DeltaMetadata",
+                        "star-membership-closure",
+                        format!("universe edge {slot} has no owning session edge"),
+                    ));
+                }
+            }
+        }
+        super::verify::audit_delta_metadata(meta, &edges, self.vertices, self.source, self.sink)
     }
 
     /// Flow value `|f|` (flow units) of the last applied batch.

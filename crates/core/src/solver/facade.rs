@@ -541,6 +541,23 @@ impl Plan {
         }
     }
 
+    /// Audits the plan's structural invariants end-to-end: the symbolic
+    /// elimination plan, the supernode plan and the numeric value arrays
+    /// of the shared factorization (see
+    /// [`ohmflow_linalg::SparseLu::audit`]), plus the solver's plan-cache
+    /// shards. The `ohmflow-audit` binary drives this across the bench
+    /// substrates; debug builds also run the factor audit automatically
+    /// at construction.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`ohmflow_linalg::AuditError`].
+    pub fn audit(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        self.tpl.dc_template().factor().audit()?;
+        self.engine.audit_plan_cache()
+    }
+
     /// Stage three: instantiates the plan for `g`'s capacity values (the
     /// plan's own capacity mapping) — value-only work, no structure
     /// derivation, no ordering, no symbolic analysis.
@@ -596,6 +613,25 @@ impl Instance {
     /// Mutable access to the instantiated substrate circuit.
     pub fn substrate_mut(&mut self) -> &mut SubstrateCircuit {
         &mut self.sc
+    }
+
+    /// Audits the instance's structures: the shared factorization (as
+    /// [`Plan::audit`]) plus the substrate's delta-surgery metadata
+    /// checked against the planned topology — element-id uniqueness and
+    /// the edge-handle/star-handle membership closure.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`ohmflow_linalg::AuditError`].
+    pub fn audit(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        self.tpl.dc_template().factor().audit()?;
+        let (vertices, source, sink, packed) = self.tpl.key().topology();
+        let edges: Vec<(usize, usize)> = packed
+            .iter()
+            .map(|&p| ((p >> 32) as usize, (p & 0xffff_ffff) as usize))
+            .collect();
+        super::verify::audit_delta_metadata(self.sc.delta_meta(), &edges, vertices, source, sink)
     }
 
     /// Solves the instance in the configured mode: one DC solve

@@ -35,6 +35,7 @@ use crate::AnalogError;
 pub mod delta;
 pub mod facade;
 mod plan_cache;
+pub(crate) mod verify;
 
 pub use delta::{DeltaBatch, DeltaReport, DeltaSession, GraphDelta};
 pub use plan_cache::PlanCacheStats;
@@ -275,6 +276,18 @@ impl AnalogMaxFlow {
         &self.config
     }
 
+    /// Audits the plan cache's shard invariants (LRU byte accounting,
+    /// fingerprint→shard placement). Cheap — takes each shard lock once;
+    /// safe to call from a serving health check.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`ohmflow_linalg::AuditError`].
+    pub fn audit_plan_cache(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        self.cache.audit()
+    }
+
     /// The factorization options every LU in this solver runs under: the
     /// facade's override when present, otherwise derived from the build
     /// options' ordering. One accessor so no path can pick a divergent
@@ -476,8 +489,11 @@ impl AnalogMaxFlow {
         // assignment may seed the complementarity iteration (see
         // `template::value_fingerprint`).
         let fingerprint = tpl.map(|_| template::value_fingerprint(sc));
-        let warm =
-            tpl.and_then(|t| t.warm_states_for(fingerprint.expect("fingerprint with template")));
+        let warm = tpl.and_then(|t| {
+            t.warm_states_for(
+                fingerprint.expect("invariant: cached templates always come with a fingerprint"),
+            )
+        });
         let (sol, report) = match (sc.dc_template(), warm) {
             (Some(dc), warm) => {
                 let plan = dcs.plan_from(Arc::clone(dc));
@@ -496,7 +512,7 @@ impl AnalogMaxFlow {
         let value = sc.flow_value(|n| sol.voltage(n));
         let i_flow = sol
             .source_current(sc.vflow_source())
-            .expect("v_flow has a branch current");
+            .expect("invariant: the flow-readout vsource has a branch current");
         Ok(AnalogSolution {
             value,
             value_from_current: sc.flow_value_from_current(i_flow, self.config.params.r_unit),
@@ -722,10 +738,12 @@ impl AnalogMaxFlow {
         let wf = Waveform::from_slices(&times, &flow_series);
         let settle = wf.settle_time(self.config.settle_fraction);
 
-        let value = *flow_series.last().expect("at least one sample");
+        let value = *flow_series
+            .last()
+            .expect("invariant: transient runs record at least one sample");
         let i_flow = eq
             .source_current(sc.vflow_source())
-            .expect("v_flow has a branch current");
+            .expect("invariant: the flow-readout vsource has a branch current");
         Ok(AnalogSolution {
             value,
             value_from_current: sc.flow_value_from_current(i_flow, self.config.params.r_unit),

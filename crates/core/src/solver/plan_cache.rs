@@ -88,9 +88,15 @@ impl Gate {
     }
 
     fn wait(&self) -> Option<Arc<SubstrateTemplate>> {
-        let mut st = self.state.lock().expect("plan-cache gate");
+        let mut st = self
+            .state
+            .lock()
+            .expect("invariant: gate lock is never poisoned");
         while matches!(*st, GateState::Building) {
-            st = self.cv.wait(st).expect("plan-cache gate");
+            st = self
+                .cv
+                .wait(st)
+                .expect("invariant: gate lock is never poisoned");
         }
         match &*st {
             GateState::Done(r) => r.clone(),
@@ -99,7 +105,10 @@ impl Gate {
     }
 
     fn complete(&self, r: Option<Arc<SubstrateTemplate>>) {
-        *self.state.lock().expect("plan-cache gate") = GateState::Done(r);
+        *self
+            .state
+            .lock()
+            .expect("invariant: gate lock is never poisoned") = GateState::Done(r);
         self.cv.notify_all();
     }
 }
@@ -163,7 +172,10 @@ impl Shard {
             let Some((_, fp, i, cost)) = victim else {
                 break;
             };
-            let bucket = self.buckets.get_mut(&fp).expect("victim bucket");
+            let bucket = self
+                .buckets
+                .get_mut(&fp)
+                .expect("invariant: the eviction victim bucket is resident");
             bucket.swap_remove(i);
             if bucket.is_empty() {
                 self.buckets.remove(&fp);
@@ -236,7 +248,10 @@ impl PlanCache {
         build: impl FnOnce() -> Result<Arc<SubstrateTemplate>, AnalogError>,
     ) -> Result<(Arc<SubstrateTemplate>, bool), AnalogError> {
         let probe = {
-            let mut shard = self.shard(fingerprint).lock().expect("plan-cache shard");
+            let mut shard = self
+                .shard(fingerprint)
+                .lock()
+                .expect("invariant: shard lock is never poisoned");
             shard.tick += 1;
             let tick = shard.tick;
             let bucket = shard.buckets.entry(fingerprint).or_default();
@@ -287,8 +302,10 @@ impl PlanCache {
                     Ok(tpl) => {
                         let cost = plan_cost(&tpl);
                         {
-                            let mut shard =
-                                self.shard(fingerprint).lock().expect("plan-cache shard");
+                            let mut shard = self
+                                .shard(fingerprint)
+                                .lock()
+                                .expect("invariant: shard lock is never poisoned");
                             shard.tick += 1;
                             let tick = shard.tick;
                             if let Some(entry) = shard
@@ -311,8 +328,10 @@ impl PlanCache {
                     }
                     Err(e) => {
                         {
-                            let mut shard =
-                                self.shard(fingerprint).lock().expect("plan-cache shard");
+                            let mut shard = self
+                                .shard(fingerprint)
+                                .lock()
+                                .expect("invariant: shard lock is never poisoned");
                             if let Some(bucket) = shard.buckets.get_mut(&fingerprint) {
                                 bucket.retain(|e| !e.is_building(&gate));
                                 if bucket.is_empty() {
@@ -341,7 +360,10 @@ impl PlanCache {
         ordering: ohmflow_circuit::ColumnOrdering,
         precision: ohmflow_circuit::Precision,
     ) -> Option<Arc<SubstrateTemplate>> {
-        let mut shard = self.shard(fingerprint).lock().expect("plan-cache shard");
+        let mut shard = self
+            .shard(fingerprint)
+            .lock()
+            .expect("invariant: shard lock is never poisoned");
         shard.tick += 1;
         let tick = shard.tick;
         let hit = shard.buckets.get_mut(&fingerprint).and_then(|bucket| {
@@ -367,7 +389,9 @@ impl PlanCache {
         let mut resident_bytes = 0;
         let mut resident_plans = 0;
         for shard in self.shards.iter() {
-            let shard = shard.lock().expect("plan-cache shard");
+            let shard = shard
+                .lock()
+                .expect("invariant: shard lock is never poisoned");
             resident_bytes += shard.bytes;
             resident_plans += shard.ready_count();
         }
@@ -378,6 +402,54 @@ impl PlanCache {
             resident_bytes,
             resident_plans,
         }
+    }
+
+    /// Audits the shard invariants:
+    ///
+    /// * `byte-accounting` — each shard's resident byte counter equals
+    ///   the sum of its `Ready` entries' costs (a desync either thrashes
+    ///   the LRU or lets the cache grow without bound);
+    /// * `fingerprint-shard` — every bucket key's fingerprint selects the
+    ///   shard holding it (a misplaced bucket is unreachable by probes:
+    ///   a permanently resident leak).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`ohmflow_linalg::AuditError`].
+    pub(crate) fn audit(&self) -> Result<(), ohmflow_linalg::AuditError> {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let shard = shard
+                .lock()
+                .expect("invariant: shard lock is never poisoned");
+            let mut ready_bytes = 0usize;
+            for (&fp, bucket) in &shard.buckets {
+                let home = (fp >> 60) as usize & (SHARD_COUNT - 1);
+                if home != idx {
+                    return Err(ohmflow_linalg::AuditError::new(
+                        "PlanCache",
+                        "fingerprint-shard",
+                        format!("fingerprint {fp:#018x} lives in shard {idx}, selects {home}"),
+                    ));
+                }
+                for e in bucket {
+                    if let Slot::Ready { cost, .. } = e.slot {
+                        ready_bytes += cost;
+                    }
+                }
+            }
+            if ready_bytes != shard.bytes {
+                return Err(ohmflow_linalg::AuditError::new(
+                    "PlanCache",
+                    "byte-accounting",
+                    format!(
+                        "shard {idx}: accounted {} bytes, resident plans cost {ready_bytes}",
+                        shard.bytes
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Resident plan count (test observability).
@@ -433,6 +505,50 @@ mod tests {
         let (ordering, precision) = lu_identity();
         let fp = TemplateKey::fingerprint(g, ordering, precision);
         cache.get_or_build(fp, g, ordering, precision, || build_template(g))
+    }
+
+    /// Mutation-kill: desync a shard's resident-byte counter and assert
+    /// the audit blames `byte-accounting`.
+    #[test]
+    fn mutation_byte_accounting_desync_is_caught() {
+        let cache = PlanCache::new(DEFAULT_CAPACITY_BYTES);
+        let g = path_graph(6);
+        lookup(&cache, &g).expect("plan");
+        cache.audit().expect("pristine cache audits clean");
+
+        let (ordering, precision) = lu_identity();
+        let fp = TemplateKey::fingerprint(&g, ordering, precision);
+        cache.shard(fp).lock().expect("shard").bytes += 1;
+        let err = cache.audit().expect_err("desync must be caught");
+        assert_eq!(err.invariant, "byte-accounting");
+    }
+
+    /// Mutation-kill: move a bucket (and its accounted bytes) into a
+    /// shard its fingerprint does not select and assert the audit blames
+    /// `fingerprint-shard`.
+    #[test]
+    fn mutation_misplaced_bucket_is_caught() {
+        let cache = PlanCache::new(DEFAULT_CAPACITY_BYTES);
+        let g = path_graph(6);
+        lookup(&cache, &g).expect("plan");
+
+        let (ordering, precision) = lu_identity();
+        let fp = TemplateKey::fingerprint(&g, ordering, precision);
+        let home = (fp >> 60) as usize & (SHARD_COUNT - 1);
+        let wrong = (home + 1) % SHARD_COUNT;
+        let (bucket, bytes) = {
+            let mut shard = cache.shards[home].lock().expect("shard");
+            let bucket = shard.buckets.remove(&fp).expect("resident bucket");
+            let bytes = std::mem::take(&mut shard.bytes);
+            (bucket, bytes)
+        };
+        {
+            let mut shard = cache.shards[wrong].lock().expect("shard");
+            shard.buckets.insert(fp, bucket);
+            shard.bytes += bytes;
+        }
+        let err = cache.audit().expect_err("misplaced bucket must be caught");
+        assert_eq!(err.invariant, "fingerprint-shard");
     }
 
     /// M concurrent requesters of one brand-new topology run the symbolic

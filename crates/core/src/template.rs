@@ -262,6 +262,12 @@ impl TemplateKey {
         self.edges.len()
     }
 
+    /// The keyed topology for the structural audits: vertex count, source,
+    /// sink, and the id-ordered packed edge list (`(from << 32) | to`).
+    pub(crate) fn topology(&self) -> (usize, usize, usize, &[u64]) {
+        (self.vertices, self.source, self.sink, &self.edges)
+    }
+
     /// Allocation-free check that `g` has exactly this key's topology:
     /// vertex count, source, sink and the full id-ordered edge list. This
     /// is the verification step behind every fingerprint-probed cache hit
@@ -505,7 +511,7 @@ impl SubstrateTemplate {
             if let Some(id) = src {
                 sc.circuit_mut()
                     .set_source_value(*id, SourceValue::dc(clamp_volts[k] - v_on))
-                    .expect("level source id");
+                    .expect("invariant: per-level source ids are recorded at build time");
             }
         }
         sc.set_capacity_values(clamp_volts, self.params.v_dd / c_max);
@@ -518,7 +524,7 @@ impl SubstrateTemplate {
     pub(crate) fn warm_states_for(&self, fingerprint: u64) -> Option<Vec<DeviceState>> {
         self.warm
             .lock()
-            .expect("warm-state lock")
+            .expect("invariant: warm-state lock is never poisoned")
             .as_ref()
             .filter(|(fp, _)| *fp == fingerprint)
             .map(|(_, s)| s.clone())
@@ -527,7 +533,11 @@ impl SubstrateTemplate {
     /// Records converged device states as the warm start for future solves
     /// of the same value assignment.
     pub(crate) fn store_warm_states(&self, fingerprint: u64, states: &[DeviceState]) {
-        *self.warm.lock().expect("warm-state lock") = Some((fingerprint, states.to_vec()));
+        *self
+            .warm
+            .lock()
+            .expect("invariant: warm-state lock is never poisoned") =
+            Some((fingerprint, states.to_vec()));
     }
 }
 

@@ -90,7 +90,7 @@ impl TuningCircuit {
     fn measure_xneg(&mut self, vx: f64) -> Result<f64, AnalogError> {
         self.ckt
             .set_source_value(self.src, SourceValue::dc(vx))
-            .expect("source id");
+            .expect("invariant: tuner ids are recorded at build time");
         let sol = match &self.plan {
             Some(plan) => plan.solve(&self.ckt),
             None => DcSolver::new().solve(&self.ckt),
@@ -119,7 +119,7 @@ impl TuningCircuit {
             self.r3 = 1.0 / (1.0 / self.r1 + 1.0 / self.r2);
             self.ckt
                 .set_resistance(self.r3_id, -self.r3)
-                .expect("r3 id");
+                .expect("invariant: tuner ids are recorded at build time");
 
             // Step 2: V(x) = 1 V; scale r1 (keeping r2) until V(x⁻) = −1.
             // V(x⁻) is monotone in the r2/r1 ratio; bisection on r1.
@@ -127,7 +127,9 @@ impl TuningCircuit {
             let mut hi = self.r1 * 4.0;
             for _ in 0..60 {
                 let mid = 0.5 * (lo + hi);
-                self.ckt.set_resistance(self.r1_id, mid).expect("r1 id");
+                self.ckt
+                    .set_resistance(self.r1_id, mid)
+                    .expect("invariant: tuner ids are recorded at build time");
                 self.r1 = mid;
                 let v = self.measure_xneg(1.0)?;
                 // Larger r1 ⇒ weaker pull from x ⇒ |V(x⁻)| smaller.

@@ -43,7 +43,7 @@ fn read_u64(buf: &[u8], offset: usize) -> Result<u64, GraphError> {
         .get(offset..offset + 8)
         .ok_or_else(|| parse_err(offset, "truncated u64"))?
         .try_into()
-        .expect("8-byte slice");
+        .expect("invariant: fixed-width header fields are 8 bytes");
     Ok(u64::from_le_bytes(bytes))
 }
 
@@ -52,7 +52,7 @@ fn read_u32(buf: &[u8], offset: usize) -> Result<u32, GraphError> {
         .get(offset..offset + 4)
         .ok_or_else(|| parse_err(offset, "truncated u32"))?
         .try_into()
-        .expect("4-byte slice");
+        .expect("invariant: fixed-width header fields are 4 bytes");
     Ok(u32::from_le_bytes(bytes))
 }
 

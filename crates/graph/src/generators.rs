@@ -24,12 +24,18 @@ use crate::{FlowNetwork, GraphError};
 /// assert_eq!(g.max_capacity(), 3);
 /// ```
 pub fn fig5a() -> FlowNetwork {
-    let mut g = FlowNetwork::new(5, 0, 4).expect("static example");
-    g.add_edge(0, 1, 3).expect("x1"); // s  → n1
-    g.add_edge(1, 2, 2).expect("x2"); // n1 → n2
-    g.add_edge(1, 3, 1).expect("x3"); // n1 → n3
-    g.add_edge(2, 4, 1).expect("x4"); // n2 → t
-    g.add_edge(3, 4, 2).expect("x5"); // n3 → t
+    let mut g =
+        FlowNetwork::new(5, 0, 4).expect("invariant: the static example graph is well-formed");
+    g.add_edge(0, 1, 3)
+        .expect("invariant: the static example graph is well-formed"); // s  → n1
+    g.add_edge(1, 2, 2)
+        .expect("invariant: the static example graph is well-formed"); // n1 → n2
+    g.add_edge(1, 3, 1)
+        .expect("invariant: the static example graph is well-formed"); // n1 → n3
+    g.add_edge(2, 4, 1)
+        .expect("invariant: the static example graph is well-formed"); // n2 → t
+    g.add_edge(3, 4, 2)
+        .expect("invariant: the static example graph is well-formed"); // n3 → t
     g
 }
 
@@ -43,12 +49,18 @@ pub fn fig5a() -> FlowNetwork {
 /// To match Eq. (8) exactly (`max x1` s.t. `x1 = x2 + x3`, `x1 ≤ 4`,
 /// `x2 ≤ 1`, `x3 ≤ 4`) the two sink edges are given capacity `big`.
 pub fn fig15a(big: i64) -> FlowNetwork {
-    let mut g = FlowNetwork::new(5, 0, 4).expect("static example");
-    g.add_edge(0, 1, 4).expect("x1"); // s  → n1, capacity 4
-    g.add_edge(1, 2, 1).expect("x2"); // n1 → n2, capacity 1
-    g.add_edge(1, 3, 4).expect("x3"); // n1 → n3, capacity 4
-    g.add_edge(2, 4, big).expect("inf edge");
-    g.add_edge(3, 4, big).expect("inf edge");
+    let mut g =
+        FlowNetwork::new(5, 0, 4).expect("invariant: the static example graph is well-formed");
+    g.add_edge(0, 1, 4)
+        .expect("invariant: the static example graph is well-formed"); // s  → n1, capacity 4
+    g.add_edge(1, 2, 1)
+        .expect("invariant: the static example graph is well-formed"); // n1 → n2, capacity 1
+    g.add_edge(1, 3, 4)
+        .expect("invariant: the static example graph is well-formed"); // n1 → n3, capacity 4
+    g.add_edge(2, 4, big)
+        .expect("invariant: the static example graph is well-formed");
+    g.add_edge(3, 4, big)
+        .expect("invariant: the static example graph is well-formed");
     g
 }
 

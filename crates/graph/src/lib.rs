@@ -36,6 +36,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod binfmt;
 pub mod dimacs;

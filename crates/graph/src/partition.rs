@@ -141,7 +141,9 @@ pub fn partition_bfs(g: &FlowNetwork, k: usize) -> Partition {
     // the currently smallest part.
     for slot in assignment.iter_mut() {
         if *slot == usize::MAX {
-            let p = (0..k).min_by_key(|&p| sizes_grow[p]).expect("k >= 1");
+            let p = (0..k)
+                .min_by_key(|&p| sizes_grow[p])
+                .expect("invariant: partitioning is called with k >= 1");
             *slot = p;
             sizes_grow[p] += 1;
         }

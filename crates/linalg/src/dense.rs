@@ -347,6 +347,12 @@ pub struct DenseLu {
 }
 
 impl DenseLu {
+    /// Dimension of the factored system (the auditor checks it against
+    /// the rank of the owning low-rank update).
+    pub(crate) fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
     /// Factors `a` as `P A = L U` with partial pivoting.
     ///
     /// # Errors

@@ -57,6 +57,7 @@
 //! [`ohmflow-circuit`]: https://example.com/ohmflow
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod dense;
 mod error;
@@ -66,6 +67,7 @@ mod sparse;
 mod sparse_lu;
 mod supernode;
 pub mod vecops;
+pub mod verify;
 
 pub use dense::{DenseLu, DenseMatrix, LuScalar};
 pub use error::LinalgError;
@@ -81,3 +83,4 @@ pub use sparse_lu::{
     SparseSolveWorkspace, SymbolicLu,
 };
 pub use supernode::SupernodeStats;
+pub use verify::AuditError;

@@ -60,16 +60,16 @@ pub type RankOneTermRef<'a> = (&'a [(usize, f64)], &'a [(usize, f64)]);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LowRankUpdate {
-    n: usize,
+    pub(crate) n: usize,
     /// Sparse `uᵢ` vectors (kept so `ΔA·x` products stay cheap).
-    us: Vec<Vec<(usize, f64)>>,
+    pub(crate) us: Vec<Vec<(usize, f64)>>,
     /// Sparse `vᵢ` vectors.
-    vs: Vec<Vec<(usize, f64)>>,
+    pub(crate) vs: Vec<Vec<(usize, f64)>>,
     /// Dense `zᵢ = A⁻¹ uᵢ`, materialized at push through the sparse
     /// forward half + dense backward completion.
-    zs: Vec<Vec<f64>>,
+    pub(crate) zs: Vec<Vec<f64>>,
     /// Factored capacitance matrix `C = I + Vᵀ Z`, rebuilt on every push.
-    cap: Option<DenseLu>,
+    pub(crate) cap: Option<DenseLu>,
     /// Scratch for `Vᵀ x` and `C⁻¹ (Vᵀ x)` (length `k`), reused across
     /// solves so the per-time-step hot loop stays allocation-free.
     wbuf: Vec<f64>,
@@ -174,17 +174,19 @@ impl LowRankUpdate {
         self.vs.push(v.to_vec());
         self.zs.push(z);
 
-        match self.refresh_capacitance() {
+        let res = match self.refresh_capacitance() {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.us.pop();
                 self.vs.pop();
                 self.zs.pop();
                 self.refresh_capacitance()
-                    .expect("previous capacitance factored before");
+                    .expect("invariant: capacitance-shape — previous capacitance factored before");
                 Err(e)
             }
-        }
+        };
+        crate::verify::debug_auto_audit!(self.audit());
+        res
     }
 
     /// Appends `k = terms.len()` rank-1 terms `uᵢ vᵢᵀ` in one batch.
@@ -237,17 +239,19 @@ impl LowRankUpdate {
             self.us.push(u.to_vec());
             self.vs.push(v.to_vec());
         }
-        match self.refresh_capacitance() {
+        let res = match self.refresh_capacitance() {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.us.truncate(k0);
                 self.vs.truncate(k0);
                 self.zs.truncate(k0);
                 self.refresh_capacitance()
-                    .expect("previous capacitance factored before");
+                    .expect("invariant: capacitance-shape — previous capacitance factored before");
                 Err(e)
             }
-        }
+        };
+        crate::verify::debug_auto_audit!(self.audit());
+        res
     }
 
     /// Batch half of [`LowRankUpdate::push_batch`]: appends one

@@ -110,7 +110,9 @@ pub fn maximum_transversal(a: &CscMatrix) -> (Vec<usize>, usize) {
             // Descend: probe matched rows, recursing into their columns.
             let mut child = NONE;
             {
-                let (_, ptr) = stack.last_mut().expect("stack nonempty");
+                let (_, ptr) = stack
+                    .last_mut()
+                    .expect("invariant: the DFS stack is nonempty inside the walk");
                 while *ptr < col_ptr[c + 1] {
                     let r = row_idx[*ptr];
                     *ptr += 1;
@@ -232,7 +234,9 @@ pub fn block_triangular_form(a: &CscMatrix) -> Option<BtfStructure> {
                 if low[c] == index[c] {
                     // Pop one complete SCC = one diagonal block.
                     loop {
-                        let w = scc_stack.pop().expect("SCC member");
+                        let w = scc_stack
+                            .pop()
+                            .expect("invariant: every SCC root has members on the stack");
                         on_stack[w] = false;
                         col_order.push(w);
                         if w == c {

@@ -69,7 +69,9 @@ pub fn min_degree_ordering(a: &CscMatrix) -> Vec<usize> {
         while buckets[min_deg].is_empty() {
             min_deg += 1;
         }
-        let p = *buckets[min_deg].first().expect("bucket nonempty");
+        let p = *buckets[min_deg]
+            .first()
+            .expect("invariant: the minimum-degree bucket is nonempty");
         buckets[min_deg].remove(&p);
         eliminated[p] = true;
         perm.push(p);

@@ -150,7 +150,8 @@ fn compress(
         let mut last: Option<usize> = None;
         for &(i, v) in seg.iter() {
             if last == Some(i) {
-                *val.last_mut().expect("entry exists") += v;
+                *val.last_mut()
+                    .expect("invariant: a duplicate entry was just pushed") += v;
             } else {
                 idx.push(i);
                 val.push(v);

@@ -31,7 +31,7 @@ use crate::ordering::{
 use crate::supernode::{SupernodePlan, SupernodeStats, SymbolicView, MAX_SN_WIDTH, NO_SLOT};
 use crate::{CscMatrix, LinalgError};
 
-const NO_PIVOT: usize = usize::MAX;
+pub(crate) const NO_PIVOT: usize = usize::MAX;
 
 /// Numeric precision of a factorization's stored values.
 ///
@@ -157,26 +157,17 @@ struct FactorValuePtrs<S> {
     panels: *mut S,
 }
 
-unsafe impl<S> Sync for FactorValuePtrs<S> {}
+// SAFETY: `*mut S` is not `Sync` by default because unsynchronized shared
+// writes through aliasing pointers are UB. Sharing `&FactorValuePtrs`
+// across refactor workers is nevertheless sound because the accesses never
+// alias or race (see the struct docs above): the level schedule partitions
+// writes and the barriers order cross-level reads. The `S: Send` bound is
+// required — workers write `S` values into arrays owned (and later read)
+// by the coordinating thread, which is exactly a cross-thread transfer of
+// `S`. No `&S` is ever shared between threads through these pointers, so
+// `S: Sync` is not needed (in practice `S` is `f32`/`f64` and has both).
+unsafe impl<S: Send> Sync for FactorValuePtrs<S> {}
 
-/// Replays the numeric elimination of pivot step `k` against the values of
-/// `a`: scatters `a`'s column into the workspace (in-pattern rows) and the
-/// step's off-diagonal slots (rows pivoted in earlier blocks), applies the
-/// updates of every off-diagonal step in `U(:, k)` in ascending
-/// (topological) order, checks the frozen pivot and writes this step's `U`
-/// and `L` value segments. The arithmetic is identical for every
-/// scheduling, which is why the serial and parallel refactorizations agree
-/// bit-for-bit.
-///
-/// # Safety
-///
-/// `ptrs` must point to value arrays of `sym.l_rows.len()` /
-/// `sym.u_rows.len()` / `sym.off_rows.len()` elements. The caller must
-/// guarantee that (a) no other thread concurrently accesses step `k`'s
-/// `L`/`U`/off value ranges, and (b) the `L` values of every dependency
-/// step in `U(:, k)` were fully written before this call, with a
-/// happens-before edge (program order serially, a level barrier in
-/// parallel) making those writes visible.
 /// Shared prologue of the scalar and blocked replay steps: zeroes the
 /// workspace over step `k`'s factorized pattern (and its off-diagonal
 /// slots) and scatters `a`'s column into it.
@@ -199,6 +190,13 @@ unsafe fn scatter_step_column<S: LuScalar>(
     let col = sym.q[k];
     let (ulo, uhi) = (sym.u_ptr[k], sym.u_ptr[k + 1]);
     let (llo, lhi) = (sym.l_ptr[k], sym.l_ptr[k + 1]);
+    // Precondition spot-checks of the raw-pointer contract: the step's
+    // value ranges must lie inside the arrays `ptrs` points to.
+    debug_assert!(ulo < uhi && uhi <= sym.u_rows.len());
+    debug_assert!(llo <= lhi && lhi <= sym.l_rows.len());
+    debug_assert!(sym.off_ptr[k + 1] <= sym.off_rows.len());
+    debug_assert!(x.len() == sym.n && stamp.len() == sym.n);
+    debug_assert!(off_stamp.len() == sym.n && off_slot.len() == sym.n);
 
     // Zero the workspace over the column's factorized pattern.
     for idx in ulo..uhi - 1 {
@@ -278,6 +276,24 @@ unsafe fn finish_step_column<S: LuScalar>(
     Ok(())
 }
 
+/// Replays the numeric elimination of pivot step `k` against the values of
+/// `a`: scatters `a`'s column into the workspace (in-pattern rows) and the
+/// step's off-diagonal slots (rows pivoted in earlier blocks), applies the
+/// updates of every off-diagonal step in `U(:, k)` in ascending
+/// (topological) order, checks the frozen pivot and writes this step's `U`
+/// and `L` value segments. The arithmetic is identical for every
+/// scheduling, which is why the serial and parallel refactorizations agree
+/// bit-for-bit.
+///
+/// # Safety
+///
+/// `ptrs` must point to value arrays of `sym.l_rows.len()` /
+/// `sym.u_rows.len()` / `sym.off_rows.len()` elements. The caller must
+/// guarantee that (a) no other thread concurrently accesses step `k`'s
+/// `L`/`U`/off value ranges, and (b) the `L` values of every dependency
+/// step in `U(:, k)` were fully written before this call, with a
+/// happens-before edge (program order serially, a level barrier in
+/// parallel) making those writes visible.
 #[allow(clippy::too_many_arguments)]
 unsafe fn refactor_step<S: LuScalar>(
     sym: &SymbolicLu,
@@ -300,12 +316,18 @@ unsafe fn refactor_step<S: LuScalar>(
     // is final when step `s` is applied.
     for idx in ulo..uhi - 1 {
         let s = sym.u_rows[idx];
+        // Stamp-generation freshness: the dependency's pivot row was
+        // stamped for *this* step by the scatter prologue — a stale stamp
+        // means the stored closure is not closed under the updates and
+        // the subtraction below would corrupt a neighbouring column.
+        debug_assert_eq!(stamp[sym.row_perm[s]], k);
         let xval = x[sym.row_perm[s]];
         // SAFETY: `idx` lies in this step's exclusive U range (caller
         // contract a); dependency L values are final (contract b).
         unsafe { *u_vals.add(idx) = xval };
         if xval != S::ZERO {
             for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
+                debug_assert_eq!(stamp[sym.l_rows[j]], k);
                 // SAFETY: see above — `j` indexes a completed dependency.
                 x[sym.l_rows[j]] -= xval * unsafe { *l_vals.add(j) };
             }
@@ -375,12 +397,14 @@ unsafe fn refactor_step_blocked<S: LuScalar>(
             // Scalar path: singleton source, or an earlier member of this
             // column's own supernode (its L column is already final — the
             // members replay in order within one work unit).
+            debug_assert_eq!(stamp[sym.row_perm[s]], k);
             let xval = x[sym.row_perm[s]];
             // SAFETY: exclusive U range (contract a); dependency L final
             // (contract b / member order).
             unsafe { *u_vals.add(idx) = xval };
             if xval != S::ZERO {
                 for j in sym.l_ptr[s]..sym.l_ptr[s + 1] {
+                    debug_assert_eq!(stamp[sym.l_rows[j]], k);
                     // SAFETY: see above.
                     x[sym.l_rows[j]] -= xval * unsafe { *l_vals.add(j) };
                 }
@@ -430,12 +454,14 @@ unsafe fn refactor_step_blocked<S: LuScalar>(
     for i in sym.l_ptr[k]..sym.l_ptr[k + 1] {
         let slot = plan.l_slot[i];
         debug_assert_ne!(slot, NO_SLOT);
+        debug_assert!(slot < plan.panel_len);
         // SAFETY: own panel region, exclusive (extended contract a).
         unsafe { *ptrs.panels.add(slot) = *l_vals.add(i) };
     }
     for i in ulo..uhi {
         let slot = plan.u_slot[i];
         if slot != NO_SLOT {
+            debug_assert!(slot < plan.panel_len);
             // SAFETY: own panel region, exclusive (extended contract a).
             unsafe { *ptrs.panels.add(slot) = *u_vals.add(i) };
         }
@@ -597,7 +623,9 @@ fn refactor_parallel_vals<S: WsScalar>(
         rayon::broadcast(threads, |tid| {
             // Uncontended by construction: slot `tid` belongs to this
             // worker alone.
-            let mut scratch = workers[tid].lock().expect("worker scratch");
+            let mut scratch = workers[tid]
+                .lock()
+                .expect("invariant: worker-scratch lock is never poisoned");
             let (x, stamp, off_stamp, off_slot) = S::worker_parts(&mut scratch);
             x.clear();
             x.resize(n, S::ZERO);
@@ -626,7 +654,7 @@ fn refactor_parallel_vals<S: WsScalar>(
                         if let Err(e) = res {
                             first_err
                                 .lock()
-                                .expect("refactor error slot")
+                                .expect("invariant: refactor error-slot lock is never poisoned")
                                 .get_or_insert(e);
                             failed.store(true, Ordering::Release);
                             break;
@@ -639,7 +667,10 @@ fn refactor_parallel_vals<S: WsScalar>(
                 barrier.wait();
             }
         });
-        if let Some(e) = first_err.into_inner().expect("refactor error slot") {
+        if let Some(e) = first_err
+            .into_inner()
+            .expect("invariant: refactor error-slot lock is never poisoned")
+        {
             return Err(e);
         }
     }
@@ -690,7 +721,9 @@ fn refactor_sn_parallel<S: WsScalar>(
         let first_err: Mutex<Option<LinalgError>> = Mutex::new(None);
         let (ptrs_ref, workers) = (&ptrs, &ws.workers);
         rayon::broadcast(threads, |tid| {
-            let mut scratch = workers[tid].lock().expect("worker scratch");
+            let mut scratch = workers[tid]
+                .lock()
+                .expect("invariant: worker-scratch lock is never poisoned");
             let (x, stamp, off_stamp, off_slot) = S::worker_parts(&mut scratch);
             x.clear();
             x.resize(n, S::ZERO);
@@ -723,7 +756,7 @@ fn refactor_sn_parallel<S: WsScalar>(
                         if let Err(e) = res {
                             first_err
                                 .lock()
-                                .expect("refactor error slot")
+                                .expect("invariant: refactor error-slot lock is never poisoned")
                                 .get_or_insert(e);
                             failed.store(true, Ordering::Release);
                             break;
@@ -733,7 +766,10 @@ fn refactor_sn_parallel<S: WsScalar>(
                 barrier.wait();
             }
         });
-        if let Some(e) = first_err.into_inner().expect("refactor error slot") {
+        if let Some(e) = first_err
+            .into_inner()
+            .expect("invariant: refactor error-slot lock is never poisoned")
+        {
             return Err(e);
         }
     }
@@ -1046,22 +1082,22 @@ impl SparseSolveWorkspace {
 /// values ([`SymbolicLu::numeric`]).
 #[derive(Debug)]
 pub struct SymbolicLu {
-    n: usize,
+    pub(crate) n: usize,
     /// Column ordering: column `q[k]` of `A` is eliminated at step `k`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
     /// `row_perm[k]` = original row chosen as pivot at step `k`.
-    row_perm: Vec<usize>,
+    pub(crate) row_perm: Vec<usize>,
     /// Inverse pivot permutation: `pinv[row_perm[k]] == k` for every step.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     /// L stored by columns (unit diagonal implicit); row indices are
     /// *original* row ids.
-    l_ptr: Vec<usize>,
-    l_rows: Vec<usize>,
+    pub(crate) l_ptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
     /// U stored by columns; row indices are pivot *steps* (`0..k`), sorted
     /// ascending within each column segment with the diagonal (pivot)
     /// stored last.
-    u_ptr: Vec<usize>,
-    u_rows: Vec<usize>,
+    pub(crate) u_ptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
     /// Diagonal-block boundaries in pivot-step space: block `t` owns steps
     /// `block_ptr[t]..block_ptr[t + 1]`. Under the BTF orderings
     /// ([`ColumnOrdering::AmdBtf`] / [`ColumnOrdering::AmdBtfNd`]) these
@@ -1071,7 +1107,7 @@ pub struct SymbolicLu {
     /// block factors **independently** — neither `L` nor `U` crosses a
     /// boundary; the cross-block entries of the permuted matrix live in
     /// `off_ptr`/`off_rows` instead.
-    block_ptr: Vec<usize>,
+    pub(crate) block_ptr: Vec<usize>,
     /// Cross-block (off-diagonal-block) entries of the permuted matrix,
     /// KLU-style: raw `A` positions applied during substitution rather
     /// than factored into `U` as their `L⁻¹`-closure. Per pivot step `k`,
@@ -1079,39 +1115,39 @@ pub struct SymbolicLu {
     /// indices (always pivoted in an earlier block) of column `q[k]`'s
     /// entries above its own diagonal block. Empty for single-block
     /// factorizations.
-    off_ptr: Vec<usize>,
-    off_rows: Vec<usize>,
+    pub(crate) off_ptr: Vec<usize>,
+    pub(crate) off_rows: Vec<usize>,
     /// Scheduling/reach structures derived from the pattern, built lazily
     /// on first use (parallel refactorization or sparse-RHS solves) so a
     /// plain factor + serial-refactor + dense-solve workflow pays nothing
     /// for them.
-    extras: std::sync::OnceLock<SymbolicExtras>,
+    pub(crate) extras: std::sync::OnceLock<SymbolicExtras>,
     /// Pivot zero-tolerance carried from the factorization options so every
     /// numeric replay applies the same singularity test.
-    zero_tol: f64,
+    pub(crate) zero_tol: f64,
     /// Numeric precision every factor over this plan stores its values in
     /// (carried from the factorization options; part of the plan because
     /// sibling factors built via [`SymbolicLu::numeric`] must match).
-    precision: Precision,
+    pub(crate) precision: Precision,
     /// Whether supernode detection is enabled (carried from the options).
-    supernodal: bool,
+    pub(crate) supernodal: bool,
     /// Relaxed-amalgamation knob (carried from the options).
-    relax: usize,
+    pub(crate) relax: usize,
     /// Supernode partition + panel layout, built lazily on first numeric
     /// construction (the panels' value storage is sized from it).
-    sn_plan: std::sync::OnceLock<Option<SupernodePlan>>,
+    pub(crate) sn_plan: std::sync::OnceLock<Option<SupernodePlan>>,
 }
 
 /// Derived symbolic structures for the parallel and sparse-RHS paths; see
 /// [`SymbolicLu::extras`].
 #[derive(Debug)]
-struct SymbolicExtras {
+pub(crate) struct SymbolicExtras {
     /// Inverse column ordering: `qinv[q[k]] == k` for every step.
-    qinv: Vec<usize>,
+    pub(crate) qinv: Vec<usize>,
     /// `l_rows` mapped through `pinv` (pivot-step space): the sparse-RHS
     /// solves walk the L graph step-to-step, and pre-applying the
     /// permutation removes one indirection per traversed entry.
-    l_steps: Vec<usize>,
+    pub(crate) l_steps: Vec<usize>,
     /// Transposed off-diagonal `U` structure ("rows of `U`"): step `s`'s
     /// dependents — the later steps whose column replay reads `s` — are
     /// `ut_steps[ut_ptr[s]..ut_ptr[s + 1]]`, with `ut_vals_idx` giving the
@@ -1119,22 +1155,22 @@ struct SymbolicExtras {
     /// ([`SparseLu::transposed_backward_sparse_into`]) walks this in
     /// scatter form, touching exactly the within-reach edges — a gather
     /// over the (huge, mostly off-reach) late U columns would not.
-    ut_ptr: Vec<usize>,
-    ut_steps: Vec<usize>,
-    ut_vals_idx: Vec<usize>,
+    pub(crate) ut_ptr: Vec<usize>,
+    pub(crate) ut_steps: Vec<usize>,
+    pub(crate) ut_vals_idx: Vec<usize>,
     /// Elimination-tree parent per pivot step (`NO_PIVOT` for roots):
     /// `etree[s]` is the *first* later step whose column update reads step
     /// `s`'s `L` column, i.e. `min { k > s : U(s, k) ≠ 0 structurally }`.
-    etree: Vec<usize>,
+    pub(crate) etree: Vec<usize>,
     /// Dependency level of each step: `0` for columns with no off-diagonal
     /// `U` entries (elimination-tree leaves), otherwise one more than the
     /// deepest step the column's replay reads. Steps of equal level are
     /// mutually independent, which is what the parallel refactorization
     /// schedules on.
-    level_ptr: Vec<usize>,
+    pub(crate) level_ptr: Vec<usize>,
     /// Steps grouped by level (ascending step order within each level):
     /// level `l` is `level_cols[level_ptr[l]..level_ptr[l + 1]]`.
-    level_cols: Vec<usize>,
+    pub(crate) level_cols: Vec<usize>,
 }
 
 impl SymbolicLu {
@@ -1266,7 +1302,7 @@ impl SymbolicLu {
 
     /// The supernode plan when detection is enabled, regardless of whether
     /// any multi-column supernodes exist.
-    fn supernode_plan_raw(&self) -> Option<&SupernodePlan> {
+    pub(crate) fn supernode_plan_raw(&self) -> Option<&SupernodePlan> {
         if !self.supernodal {
             return None;
         }
@@ -1293,14 +1329,14 @@ impl SymbolicLu {
     /// detection is enabled *and* the pattern actually amalgamates (a plan
     /// of pure singletons would route every column through the scalar path
     /// anyway, so callers skip the supernodal machinery entirely).
-    fn blocked_plan(&self) -> Option<&SupernodePlan> {
+    pub(crate) fn blocked_plan(&self) -> Option<&SupernodePlan> {
         self.supernode_plan_raw().filter(|p| p.stats.multi > 0)
     }
 
     /// The lazily-built scheduling/reach structures. Thread-safe: the
     /// symbolic plan is shared behind an `Arc` and the first caller (from
     /// any thread) builds, everyone else reuses.
-    fn extras(&self) -> &SymbolicExtras {
+    pub(crate) fn extras(&self) -> &SymbolicExtras {
         self.extras.get_or_init(|| {
             let n = self.n;
             let (etree, level_ptr, level_cols) = Self::build_schedule(n, &self.u_ptr, &self.u_rows);
@@ -1690,10 +1726,14 @@ impl SparseLu {
                             }
                         }
                         if !descended && {
-                            let (s2, p2) = *dfs.last().expect("stack nonempty");
+                            let (s2, p2) = *dfs
+                                .last()
+                                .expect("invariant: the DFS stack is nonempty inside the walk");
                             p2 >= l_ptr[s2 + 1]
                         } {
-                            let (s2, _) = dfs.pop().expect("stack nonempty");
+                            let (s2, _) = dfs
+                                .pop()
+                                .expect("invariant: the DFS stack is nonempty inside the walk");
                             topo.push(s2);
                         }
                     }
@@ -1835,7 +1875,9 @@ impl SparseLu {
                 panels_valid: va.panels_valid,
             }),
         };
-        Ok(SparseLu { sym, vals })
+        let lu = SparseLu { sym, vals };
+        crate::verify::debug_auto_audit!(lu.audit());
+        Ok(lu)
     }
 
     /// The shared symbolic half (ordering, pattern, pivot plan). Clone the
@@ -1843,6 +1885,62 @@ impl SparseLu {
     /// [`SymbolicLu::numeric`] to build sibling factors.
     pub fn symbolic(&self) -> &Arc<SymbolicLu> {
         &self.sym
+    }
+
+    /// Audits the full factorization: the shared symbolic plan (see
+    /// [`SymbolicLu::audit`]), the supernode plan if one is active, and
+    /// the numeric value arrays ([`SparseLu::audit_values`]). Runs
+    /// automatically at construction in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`crate::AuditError`].
+    pub fn audit(&self) -> Result<(), crate::AuditError> {
+        self.sym.audit()?;
+        self.sym.audit_supernodes()?;
+        self.audit_values()
+    }
+
+    /// The cheap numeric half of [`SparseLu::audit`]: every value array
+    /// must mirror its symbolic pattern length, and valid supernode
+    /// panels must match the active plan's layout. Runs automatically
+    /// after every refactorization in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured
+    /// [`crate::AuditError`].
+    pub fn audit_values(&self) -> Result<(), crate::AuditError> {
+        let sym = &self.sym;
+        let (l_len, u_len, off_len, panels_len, panels_valid) = with_vals!(self, va => (
+            va.l.len(),
+            va.u.len(),
+            va.off.len(),
+            va.panels.len(),
+            va.panels_valid,
+        ));
+        if l_len != sym.l_rows.len() || u_len != sym.u_rows.len() || off_len != sym.off_rows.len() {
+            return Err(crate::AuditError::new(
+                "SparseLu",
+                "value-shape",
+                format!(
+                    "values {l_len}/{u_len}/{off_len} vs pattern {}/{}/{}",
+                    sym.l_rows.len(),
+                    sym.u_rows.len(),
+                    sym.off_rows.len()
+                ),
+            ));
+        }
+        let plan_len = sym.blocked_plan().map_or(0, |p| p.panel_len);
+        if panels_valid && panels_len != plan_len {
+            return Err(crate::AuditError::new(
+                "SparseLu",
+                "panels-coherent",
+                format!("valid panels hold {panels_len} cells, plan expects {plan_len}"),
+            ));
+        }
+        Ok(())
     }
 
     /// Recomputes the numeric factorization for a matrix with the **same**
@@ -1934,7 +2032,9 @@ impl SparseLu {
             }
         };
         let sym = Arc::clone(&self.sym);
-        with_vals_mut!(self, va => refactor_dispatch(&sym, va, a, ws, threads))
+        with_vals_mut!(self, va => refactor_dispatch(&sym, va, a, ws, threads))?;
+        crate::verify::debug_auto_audit!(self.audit_values());
+        Ok(())
     }
 
     /// Solves `A x = b`.
@@ -3635,6 +3735,65 @@ mod tests {
             // Identical per-column arithmetic => bit-identical factors.
             assert_eq!(x_par, x_serial, "threads {threads}");
         }
+    }
+
+    /// The aliasing argument behind `unsafe impl Sync for FactorValuePtrs`:
+    /// two OS threads refactor *sibling* numeric factors over one shared
+    /// `Arc<SymbolicLu>`, each internally level-parallel — so two worker
+    /// pools traverse the same symbolic arrays while writing disjoint
+    /// value arrays through raw pointers, concurrently. Under
+    /// Miri-visible aliasing (a write crossing factor boundaries, or a
+    /// read of another thread's in-progress level) the bit-exact match
+    /// against the serial oracle would fail.
+    #[test]
+    fn concurrent_sibling_refactors_share_one_symbolic_plan() {
+        let side = 12;
+        let a1 = grid_laplacian(side).to_csc();
+        let base = SparseLu::factor(&a1).unwrap();
+        let shifted = |bump: f64| {
+            let mut t = grid_laplacian(side);
+            for i in 0..side * side {
+                t.push(i, i, bump + (i % 5) as f64 * 0.0625);
+            }
+            t.to_csc()
+        };
+        let mats: Vec<CscMatrix> = vec![shifted(0.25), shifted(0.75)];
+        let b: Vec<f64> = (0..a1.cols()).map(|i| (i as f64 * 0.29).cos()).collect();
+
+        // Serial oracles, one per value set.
+        let oracles: Vec<Vec<f64>> = mats
+            .iter()
+            .map(|a| {
+                let mut lu = base.clone();
+                let mut ws = LuWorkspace::new();
+                lu.refactor_with_strategy(a, &mut ws, RefactorStrategy::Serial)
+                    .unwrap();
+                lu.solve(&b).unwrap()
+            })
+            .collect();
+
+        let results: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = mats
+                .iter()
+                .map(|a| {
+                    let mut lu = base.clone();
+                    let b = &b;
+                    scope.spawn(move || {
+                        let mut ws = LuWorkspace::new();
+                        lu.refactor_with_strategy(
+                            a,
+                            &mut ws,
+                            RefactorStrategy::Parallel { threads: 2 },
+                        )
+                        .unwrap();
+                        lu.audit().unwrap();
+                        lu.solve(b).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(results, oracles);
     }
 
     #[test]

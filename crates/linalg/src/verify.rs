@@ -1,0 +1,921 @@
+//! Structural invariant auditor for the factorization stack.
+//!
+//! Nine PRs of ordering, supernode, and low-rank machinery have stacked up
+//! implicit structural invariants — block confinement of `L`/`U`, level
+//! schedule completeness, panel slot-map bijectivity — that, until this
+//! module, were only enforced indirectly by end-to-end proptests. KLU-style
+//! sparse-LU practice treats factor-structure validation as a first-class
+//! debugging tool: ordering and refactorization bugs corrupt *silently*
+//! and surface as slow convergence or subtly wrong flows, not crashes.
+//!
+//! Every audit returns a structured [`AuditError`] naming the violated
+//! invariant, the structure it belongs to and where in the structure it
+//! was observed. Audits run in three modes:
+//!
+//! 1. **Auto-audit** under `debug_assertions` at the construction /
+//!    refactor / push seams (`SparseLu::factor_with`, `SparseLu::refactor*`,
+//!    `LowRankUpdate::push*`) — compiled out of release builds entirely.
+//! 2. **Public API**: [`SymbolicLu::audit`](crate::SymbolicLu::audit),
+//!    [`SparseLu::audit`](crate::SparseLu::audit) and
+//!    [`LowRankUpdate::audit`](crate::LowRankUpdate::audit) for callers
+//!    (e.g. the serving tier) that want an explicit check.
+//! 3. The `ohmflow-audit` CLI binary, which builds plans for the bench
+//!    substrates and audits every structure end-to-end.
+//!
+//! The mutation-kill tests at the bottom of this module seed deliberate
+//! corruptions — swapped permutation entries, an `L` row moved across a
+//! block boundary, a dropped level-schedule step, a broken supernode slot
+//! map — and assert each is caught under the *right* invariant name. An
+//! auditor that passes corrupt structures is worse than none.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lowrank::LowRankUpdate;
+use crate::sparse_lu::{SymbolicLu, NO_PIVOT};
+use crate::supernode::{SupernodePlan, MAX_SN_WIDTH, NO_SLOT};
+
+/// A violated structural invariant: which structure, which named
+/// invariant, and where inside the structure it was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// The audited structure (`"SymbolicLu"`, `"SupernodePlan"`,
+    /// `"LowRankUpdate"`, `"SparseLu"`, `"PlanCache"`, `"DeltaMetadata"`).
+    pub structure: &'static str,
+    /// Stable name of the violated invariant (e.g.
+    /// `"l-block-confinement"`); the mutation-kill suite pins these.
+    pub invariant: &'static str,
+    /// Human-readable location of the violation (step / index / shard).
+    pub location: String,
+}
+
+impl AuditError {
+    /// Constructs an audit failure (exposed so sibling crates can report
+    /// their own structures through the same type).
+    pub fn new(structure: &'static str, invariant: &'static str, location: String) -> Self {
+        AuditError {
+            structure,
+            invariant,
+            location,
+        }
+    }
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit failed: {} invariant `{}` violated at {}",
+            self.structure, self.invariant, self.location
+        )
+    }
+}
+
+impl Error for AuditError {}
+
+/// Runs `$e` (an expression returning `Result<(), AuditError>`) in debug
+/// builds and panics with the structured error on violation; compiled to
+/// nothing in release builds. The seam hook of auto-audit mode.
+macro_rules! debug_auto_audit {
+    ($e:expr) => {
+        if cfg!(debug_assertions) {
+            if let Err(err) = $e {
+                panic!("{err}");
+            }
+        }
+    };
+}
+pub(crate) use debug_auto_audit;
+
+fn fail(structure: &'static str, invariant: &'static str, location: String) -> AuditError {
+    AuditError::new(structure, invariant, location)
+}
+
+/// `true` iff `xs` is a permutation of `0..n` (uses a scratch seen-vector).
+fn is_permutation(xs: &[usize], n: usize) -> Result<(), usize> {
+    if xs.len() != n {
+        return Err(xs.len().min(n));
+    }
+    let mut seen = vec![false; n];
+    for (i, &x) in xs.iter().enumerate() {
+        if x >= n || seen[x] {
+            return Err(i);
+        }
+        seen[x] = true;
+    }
+    Ok(())
+}
+
+/// `ptr` must start at 0, be monotone non-decreasing, and end at `len`.
+fn check_csr_ptr(
+    structure: &'static str,
+    ptr: &[usize],
+    len: usize,
+    name: &str,
+) -> Result<(), AuditError> {
+    if ptr.first() != Some(&0) || ptr.last() != Some(&len) {
+        return Err(fail(
+            structure,
+            "csr-monotone",
+            format!(
+                "{name}: bounds {:?}..{:?} vs len {len}",
+                ptr.first(),
+                ptr.last()
+            ),
+        ));
+    }
+    for w in ptr.windows(2) {
+        if w[0] > w[1] {
+            return Err(fail(
+                structure,
+                "csr-monotone",
+                format!("{name}: decreasing offsets {} > {}", w[0], w[1]),
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl SymbolicLu {
+    /// Audits every structural invariant of the elimination plan: the
+    /// permutations, the CSR layout, BTF block confinement of `L`/`U`,
+    /// cross-block entries reaching only earlier blocks, elimination-tree
+    /// parent ordering, level-schedule completeness, and transposed-U
+    /// agreement. Forces the lazy scheduling structures.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured [`AuditError`].
+    pub fn audit(&self) -> Result<(), AuditError> {
+        const S: &str = "SymbolicLu";
+        let n = self.n;
+
+        // Permutation bijectivity — column order, pivot rows, and the
+        // stored inverse must agree.
+        if let Err(i) = is_permutation(&self.q, n) {
+            return Err(fail(S, "col-perm-bijective", format!("q[{i}]")));
+        }
+        if let Err(i) = is_permutation(&self.row_perm, n) {
+            return Err(fail(S, "row-perm-bijective", format!("row_perm[{i}]")));
+        }
+        for (k, &r) in self.row_perm.iter().enumerate() {
+            if self.pinv.get(r) != Some(&k) {
+                return Err(fail(S, "pinv-inverse", format!("step {k} row {r}")));
+            }
+        }
+
+        // Block pointers: a strictly increasing partition of step space.
+        if self.block_ptr.first() != Some(&0)
+            || self.block_ptr.last() != Some(&n)
+            || self.block_ptr.windows(2).any(|w| w[0] >= w[1]) && n > 0
+        {
+            return Err(fail(
+                S,
+                "block-ptr-monotone",
+                format!("block_ptr {:?}", &self.block_ptr),
+            ));
+        }
+
+        // CSR offset arrays.
+        check_csr_ptr(S, &self.l_ptr, self.l_rows.len(), "l_ptr")?;
+        check_csr_ptr(S, &self.u_ptr, self.u_rows.len(), "u_ptr")?;
+        check_csr_ptr(S, &self.off_ptr, self.off_rows.len(), "off_ptr")?;
+        if self.l_ptr.len() != n + 1 || self.u_ptr.len() != n + 1 || self.off_ptr.len() != n + 1 {
+            return Err(fail(S, "csr-monotone", "ptr length != n + 1".to_owned()));
+        }
+
+        let mut block_idx = 0usize;
+        for k in 0..n {
+            while k >= self.block_ptr[block_idx + 1] {
+                block_idx += 1;
+            }
+            let (blk_lo, blk_hi) = (self.block_ptr[block_idx], self.block_ptr[block_idx + 1]);
+
+            // U column: off-diagonal steps strictly ascending, all inside
+            // this block and strictly before k, pivot entry stored last
+            // and equal to k itself.
+            let (ulo, uhi) = (self.u_ptr[k], self.u_ptr[k + 1]);
+            if uhi <= ulo || self.u_rows[uhi - 1] != k {
+                return Err(fail(S, "u-column-sorted", format!("step {k}: pivot slot")));
+            }
+            let mut prev = None;
+            for &s in &self.u_rows[ulo..uhi - 1] {
+                if prev.is_some_and(|p| p >= s) {
+                    return Err(fail(S, "u-column-sorted", format!("step {k}: U step {s}")));
+                }
+                prev = Some(s);
+                if s >= k || s < blk_lo {
+                    return Err(fail(
+                        S,
+                        "u-block-confinement",
+                        format!("step {k}: U reaches step {s} outside block {blk_lo}..{blk_hi}"),
+                    ));
+                }
+            }
+
+            // L column: every row pivoted strictly later than k, inside
+            // the same diagonal block.
+            for &r in &self.l_rows[self.l_ptr[k]..self.l_ptr[k + 1]] {
+                if r >= n {
+                    return Err(fail(S, "l-block-confinement", format!("step {k}: row {r}")));
+                }
+                let s = self.pinv[r];
+                if s <= k || s >= blk_hi {
+                    return Err(fail(
+                        S,
+                        "l-block-confinement",
+                        format!("step {k}: L row {r} pivots at step {s}, block {blk_lo}..{blk_hi}"),
+                    ));
+                }
+            }
+
+            // Cross-block entries: original rows pivoted in a strictly
+            // earlier diagonal block.
+            for &r in &self.off_rows[self.off_ptr[k]..self.off_ptr[k + 1]] {
+                if r >= n || self.pinv[r] >= blk_lo {
+                    return Err(fail(
+                        S,
+                        "off-earlier-block",
+                        format!("step {k}: off row {r} not pivoted before block {blk_lo}"),
+                    ));
+                }
+            }
+        }
+
+        self.audit_schedule()?;
+        Ok(())
+    }
+
+    /// The scheduling-structure half of [`SymbolicLu::audit`]: elimination
+    /// tree, level schedule and transposed-U agreement (forces the lazy
+    /// extras).
+    fn audit_schedule(&self) -> Result<(), AuditError> {
+        const S: &str = "SymbolicLu";
+        let n = self.n;
+        let ex = self.extras();
+
+        // Elimination-tree parents are strictly later than their children
+        // and really are dependents (the child appears in the parent's U
+        // column).
+        for s in 0..n {
+            match ex.etree[s] {
+                NO_PIVOT => {}
+                p if p <= s || p >= n => {
+                    return Err(fail(S, "etree-parent-later", format!("etree[{s}] = {p}")));
+                }
+                p => {
+                    let deps = &self.u_rows[self.u_ptr[p]..self.u_ptr[p + 1] - 1];
+                    if deps.binary_search(&s).is_err() {
+                        return Err(fail(
+                            S,
+                            "etree-parent-later",
+                            format!("etree[{s}] = {p} is not a dependent"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Level schedule: every step exactly once, and each step's level
+        // is exactly one past its deepest dependency.
+        check_csr_ptr(S, &ex.level_ptr, ex.level_cols.len(), "level_ptr")?;
+        if is_permutation(&ex.level_cols, n).is_err() {
+            return Err(fail(
+                S,
+                "level-schedule-coverage",
+                format!("level_cols covers {} of {n} steps", ex.level_cols.len()),
+            ));
+        }
+        let mut level_of = vec![0usize; n];
+        for lev in 0..ex.level_ptr.len() - 1 {
+            for &k in &ex.level_cols[ex.level_ptr[lev]..ex.level_ptr[lev + 1]] {
+                level_of[k] = lev;
+            }
+        }
+        for k in 0..n {
+            let want = self.u_rows[self.u_ptr[k]..self.u_ptr[k + 1] - 1]
+                .iter()
+                .map(|&s| level_of[s] + 1)
+                .max()
+                .unwrap_or(0);
+            if level_of[k] != want {
+                return Err(fail(
+                    S,
+                    "level-schedule-coverage",
+                    format!(
+                        "step {k}: level {} != 1 + deepest dependency {want}",
+                        level_of[k]
+                    ),
+                ));
+            }
+        }
+
+        // Transposed-U agreement: the scatter-form structure must encode
+        // exactly the stored U, entry for entry.
+        let mut cursor = ex.ut_ptr.to_vec();
+        if ex.ut_ptr.len() != n + 1 || ex.ut_steps.len() != ex.ut_vals_idx.len() {
+            return Err(fail(S, "ut-agreement", "shape mismatch".to_owned()));
+        }
+        for k in 0..n {
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] - 1 {
+                let s = self.u_rows[idx];
+                let c = cursor[s];
+                if c >= ex.ut_ptr[s + 1]
+                    || ex.ut_steps.get(c) != Some(&k)
+                    || ex.ut_vals_idx.get(c) != Some(&idx)
+                {
+                    return Err(fail(
+                        S,
+                        "ut-agreement",
+                        format!("U({s}, {k}) at vals index {idx} missing from transposed U"),
+                    ));
+                }
+                cursor[s] += 1;
+            }
+        }
+        for (s, (&c, &end)) in cursor.iter().zip(&ex.ut_ptr[1..]).enumerate() {
+            if c != end {
+                return Err(fail(
+                    S,
+                    "ut-agreement",
+                    format!("transposed-U row {s} has surplus entries"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Audits the supernode plan (when detection is enabled): partition
+    /// integrity, width cap, block confinement, panel layout, slot-map
+    /// bijectivity, contained-pattern property and level-schedule
+    /// acyclicity. A no-op when supernode detection is disabled.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured [`AuditError`].
+    pub fn audit_supernodes(&self) -> Result<(), AuditError> {
+        match self.supernode_plan_raw() {
+            Some(plan) => audit_supernode_plan(self, plan),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The [`SupernodePlan`] half of the audit; see
+/// [`SymbolicLu::audit_supernodes`].
+pub(crate) fn audit_supernode_plan(
+    sym: &SymbolicLu,
+    plan: &SupernodePlan,
+) -> Result<(), AuditError> {
+    const S: &str = "SupernodePlan";
+    let n = sym.n;
+    let count = plan.sn_ptr.len().saturating_sub(1);
+
+    // Partition of step space, agreeing with the inverse map.
+    if plan.sn_ptr.first() != Some(&0)
+        || plan.sn_ptr.last() != Some(&n)
+        || plan.sn_ptr.windows(2).any(|w| w[0] >= w[1])
+        || plan.sn_of_step.len() != n
+    {
+        return Err(fail(
+            S,
+            "sn-partition",
+            format!("sn_ptr {:?}", &plan.sn_ptr),
+        ));
+    }
+    for s in 0..count {
+        for k in plan.sn_ptr[s]..plan.sn_ptr[s + 1] {
+            if plan.sn_of_step[k] != s {
+                return Err(fail(
+                    S,
+                    "sn-partition",
+                    format!("sn_of_step[{k}] = {} != {s}", plan.sn_of_step[k]),
+                ));
+            }
+        }
+    }
+
+    check_csr_ptr(S, &plan.row_ptr, plan.rows.len(), "row_ptr")?;
+    check_csr_ptr(S, &plan.panel_ptr, plan.panel_len, "panel_ptr")?;
+
+    // Body-row membership stamp, reused across supernodes.
+    let mut body_stamp = vec![usize::MAX; n];
+    for s in 0..count {
+        let (k0, k1) = (plan.sn_ptr[s], plan.sn_ptr[s + 1]);
+        let w = k1 - k0;
+        if w > MAX_SN_WIDTH {
+            return Err(fail(
+                S,
+                "sn-width-cap",
+                format!("supernode {s}: width {w} > {MAX_SN_WIDTH}"),
+            ));
+        }
+
+        // A supernode never straddles a BTF diagonal-block boundary.
+        let blk_of = |k: usize| sym.block_ptr.partition_point(|&b| b <= k) - 1;
+        if w > 1 && blk_of(k0) != blk_of(k1 - 1) {
+            return Err(fail(
+                S,
+                "sn-block-confinement",
+                format!("supernode {s}: steps {k0}..{k1} straddle a block boundary"),
+            ));
+        }
+
+        let r_cnt = plan.row_ptr[s + 1] - plan.row_ptr[s];
+        let psize = plan.panel_ptr[s + 1] - plan.panel_ptr[s];
+        if w == 1 {
+            if psize != 0 || r_cnt != 0 {
+                return Err(fail(
+                    S,
+                    "sn-panel-layout",
+                    format!("singleton supernode {s} owns a panel region"),
+                ));
+            }
+            continue;
+        }
+        if psize != r_cnt * w + 2 * w * w {
+            return Err(fail(
+                S,
+                "sn-panel-layout",
+                format!("supernode {s}: panel {psize} != {r_cnt}x{w} body + 2x{w}² triangles"),
+            ));
+        }
+
+        // Contained-pattern property: every member's L rows are either
+        // pivot rows of later members or body rows of the supernode.
+        for (i, &r) in plan.rows[plan.row_ptr[s]..plan.row_ptr[s + 1]]
+            .iter()
+            .enumerate()
+        {
+            if r >= n {
+                return Err(fail(S, "sn-contained-pattern", format!("body row {r}")));
+            }
+            body_stamp[r] = s * n + i; // unique per supernode
+        }
+        for k in k0..k1 {
+            for &r in sym.l_column_rows(k) {
+                let is_member_pivot = {
+                    let p = sym.pinv[r];
+                    p > k && p < k1
+                };
+                let is_body = body_stamp[r] != usize::MAX && body_stamp[r] / n == s;
+                if !is_member_pivot && !is_body {
+                    return Err(fail(
+                        S,
+                        "sn-contained-pattern",
+                        format!("supernode {s}: member {k} L row {r} outside the panel pattern"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Slot maps: every slot lands inside its owner's panel region, and no
+    // panel cell is claimed twice (bijectivity onto the claimed cells).
+    let mut owner = vec![usize::MAX; plan.panel_len];
+    let mut check_slot = |idx: usize, slot: usize, step: usize| -> Result<(), AuditError> {
+        if slot == NO_SLOT {
+            return Ok(());
+        }
+        let s = plan.sn_of_step[step];
+        if slot >= plan.panel_len || slot < plan.panel_ptr[s] || slot >= plan.panel_ptr[s + 1] {
+            return Err(fail(
+                S,
+                "sn-slot-bijective",
+                format!("index {idx}: slot {slot} outside supernode {s}'s panel region"),
+            ));
+        }
+        if owner[slot] != usize::MAX {
+            return Err(fail(
+                S,
+                "sn-slot-bijective",
+                format!("index {idx}: slot {slot} claimed twice"),
+            ));
+        }
+        owner[slot] = idx;
+        Ok(())
+    };
+    for k in 0..n {
+        let multi = {
+            let s = plan.sn_of_step[k];
+            plan.sn_ptr[s + 1] - plan.sn_ptr[s] > 1
+        };
+        for i in sym.l_ptr[k]..sym.l_ptr[k + 1] {
+            if multi && plan.l_slot[i] == NO_SLOT {
+                return Err(fail(
+                    S,
+                    "sn-slot-bijective",
+                    format!("L index {i} of multi-column supernode member {k} has no slot"),
+                ));
+            }
+            check_slot(i, plan.l_slot[i], k)?;
+        }
+        for i in sym.u_ptr[k]..sym.u_ptr[k + 1] {
+            check_slot(i, plan.u_slot[i], k)?;
+        }
+    }
+
+    // Supernode level schedule: complete and acyclic — every external
+    // dependency lives in a strictly earlier level.
+    check_csr_ptr(S, &plan.level_ptr, plan.level_sns.len(), "level_ptr")?;
+    if is_permutation(&plan.level_sns, count).is_err() {
+        return Err(fail(
+            S,
+            "sn-level-acyclic",
+            format!(
+                "level_sns covers {} of {count} supernodes",
+                plan.level_sns.len()
+            ),
+        ));
+    }
+    let mut level_of = vec![0usize; count];
+    for lev in 0..plan.level_ptr.len() - 1 {
+        for &s in &plan.level_sns[plan.level_ptr[lev]..plan.level_ptr[lev + 1]] {
+            level_of[s] = lev;
+        }
+    }
+    for s in 0..count {
+        for k in plan.sn_ptr[s]..plan.sn_ptr[s + 1] {
+            for &dep in sym.u_column_steps(k) {
+                let ds = plan.sn_of_step[dep];
+                if ds != s && level_of[ds] >= level_of[s] {
+                    return Err(fail(
+                        S,
+                        "sn-level-acyclic",
+                        format!(
+                            "supernode {s} (level {}) depends on {ds} (level {})",
+                            level_of[s], level_of[ds]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl LowRankUpdate {
+    /// Audits the accumulated update: term-count consistency across the
+    /// `u`/`v`/`z` arrays, index ranges, solve-image dimensions and the
+    /// capacitance matrix's shape/presence.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured [`AuditError`].
+    pub fn audit(&self) -> Result<(), AuditError> {
+        const S: &str = "LowRankUpdate";
+        let k = self.us.len();
+        if self.vs.len() != k || self.zs.len() != k {
+            return Err(fail(
+                S,
+                "rank-consistent",
+                format!(
+                    "{k} u terms vs {} v terms vs {} z images",
+                    self.vs.len(),
+                    self.zs.len()
+                ),
+            ));
+        }
+        for (i, z) in self.zs.iter().enumerate() {
+            if z.len() != self.n {
+                return Err(fail(
+                    S,
+                    "z-dimension",
+                    format!("term {i}: z has {} entries, system is {}", z.len(), self.n),
+                ));
+            }
+        }
+        for (i, term) in self.us.iter().chain(self.vs.iter()).enumerate() {
+            for &(idx, _) in term {
+                if idx >= self.n {
+                    return Err(fail(
+                        S,
+                        "term-index-range",
+                        format!("term {i}: index {idx} >= {}", self.n),
+                    ));
+                }
+            }
+        }
+        match (&self.cap, k) {
+            (None, 0) => Ok(()),
+            (Some(cap), k) if k > 0 && cap.dim() == k => Ok(()),
+            (cap, k) => Err(fail(
+                S,
+                "capacitance-shape",
+                format!(
+                    "rank {k} vs capacitance {:?}",
+                    cap.as_ref().map(|c| c.dim())
+                ),
+            )),
+        }
+    }
+}
+
+/// Mutation-kill suite: seed a deliberate corruption into an otherwise
+/// valid structure and assert the audit reports it under the *right*
+/// invariant name. Each test is one corruption; an audit that misses it,
+/// or blames a different invariant, fails the test.
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::sparse::{CscMatrix, TripletMatrix};
+    use crate::sparse_lu::SparseLu;
+
+    /// A dense SPD-ish matrix: full symbolic closure, so every column has
+    /// predictable L/U patterns and supernode detection amalgamates the
+    /// whole block.
+    fn dense_matrix(n: usize) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    n as f64 + 1.0
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+                t.push(i, j, v);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Factors `dense_matrix(n)`, hands the sole-owner symbolic plan to
+    /// `corrupt`, and returns the audit error the corruption must cause.
+    fn corrupted_sym(n: usize, corrupt: impl FnOnce(&mut SymbolicLu)) -> AuditError {
+        let lu = SparseLu::factor(&dense_matrix(n)).expect("factor");
+        let mut sym = lu.symbolic().clone();
+        drop(lu);
+        let sym_mut = Arc::get_mut(&mut sym).expect("sole owner after dropping the factor");
+        corrupt(sym_mut);
+        sym.audit().expect_err("corruption must be caught")
+    }
+
+    /// Same, but the corruption targets the supernode plan and the audit
+    /// is `audit_supernodes`.
+    fn corrupted_sn(n: usize, corrupt: impl FnOnce(&mut SymbolicLu)) -> AuditError {
+        let lu = SparseLu::factor(&dense_matrix(n)).expect("factor");
+        let mut sym = lu.symbolic().clone();
+        drop(lu);
+        assert!(
+            sym.supernode_stats().is_some_and(|s| s.multi > 0),
+            "dense matrix must amalgamate"
+        );
+        let sym_mut = Arc::get_mut(&mut sym).expect("sole owner after dropping the factor");
+        corrupt(sym_mut);
+        sym.audit_supernodes()
+            .expect_err("corruption must be caught")
+    }
+
+    #[test]
+    fn pristine_factor_audits_clean() {
+        let lu = SparseLu::factor(&dense_matrix(8)).expect("factor");
+        lu.audit().expect("valid factor audits clean");
+    }
+
+    #[test]
+    fn mutation_duplicate_column_order() {
+        let err = corrupted_sym(8, |sym| sym.q[0] = sym.q[1]);
+        assert_eq!(err.invariant, "col-perm-bijective");
+    }
+
+    #[test]
+    fn mutation_duplicate_pivot_row() {
+        let err = corrupted_sym(8, |sym| sym.row_perm[0] = sym.row_perm[1]);
+        assert_eq!(err.invariant, "row-perm-bijective");
+    }
+
+    #[test]
+    fn mutation_swapped_pivot_rows_desync_pinv() {
+        let err = corrupted_sym(8, |sym| sym.row_perm.swap(0, 1));
+        assert_eq!(err.invariant, "pinv-inverse");
+    }
+
+    #[test]
+    fn mutation_degenerate_block_boundary() {
+        let err = corrupted_sym(8, |sym| {
+            let last = *sym.block_ptr.last().expect("nonempty");
+            sym.block_ptr.insert(sym.block_ptr.len() - 1, last);
+        });
+        assert_eq!(err.invariant, "block-ptr-monotone");
+    }
+
+    #[test]
+    fn mutation_decreasing_column_offsets() {
+        let err = corrupted_sym(8, |sym| sym.l_ptr.swap(1, 2));
+        assert_eq!(err.invariant, "csr-monotone");
+    }
+
+    #[test]
+    fn mutation_unsorted_u_column() {
+        let err = corrupted_sym(8, |sym| {
+            let lo = sym.u_ptr[sym.n - 1];
+            sym.u_rows.swap(lo, lo + 1);
+        });
+        assert_eq!(err.invariant, "u-column-sorted");
+    }
+
+    #[test]
+    fn mutation_u_reaches_own_step() {
+        let err = corrupted_sym(8, |sym| {
+            let lo = sym.u_ptr[sym.n - 1];
+            sym.u_rows[lo] = sym.n - 1;
+        });
+        assert_eq!(err.invariant, "u-block-confinement");
+    }
+
+    #[test]
+    fn mutation_l_row_pivoted_earlier() {
+        let err = corrupted_sym(8, |sym| {
+            let early = sym.row_perm[0];
+            let lo = sym.l_ptr[1];
+            sym.l_rows[lo] = early;
+        });
+        assert_eq!(err.invariant, "l-block-confinement");
+    }
+
+    #[test]
+    fn mutation_off_entry_inside_own_block() {
+        let err = corrupted_sym(8, |sym| {
+            // Inject a cross-block entry whose row pivots inside the (one
+            // and only) diagonal block.
+            let n = sym.n;
+            sym.off_ptr[n] = 1;
+            sym.off_rows.push(sym.row_perm[0]);
+        });
+        assert_eq!(err.invariant, "off-earlier-block");
+    }
+
+    #[test]
+    fn mutation_etree_self_parent() {
+        let err = corrupted_sym(8, |sym| {
+            let _ = sym.extras();
+            sym.extras.get_mut().expect("extras forced").etree[0] = 0;
+        });
+        assert_eq!(err.invariant, "etree-parent-later");
+    }
+
+    #[test]
+    fn mutation_dropped_level_schedule_step() {
+        let err = corrupted_sym(8, |sym| {
+            let _ = sym.extras();
+            let ex = sym.extras.get_mut().expect("extras forced");
+            ex.level_cols.pop();
+            *ex.level_ptr.last_mut().expect("nonempty") -= 1;
+        });
+        assert_eq!(err.invariant, "level-schedule-coverage");
+    }
+
+    #[test]
+    fn mutation_transposed_u_desync() {
+        let err = corrupted_sym(8, |sym| {
+            let _ = sym.extras();
+            sym.extras
+                .get_mut()
+                .expect("extras forced")
+                .ut_steps
+                .swap(0, 1);
+        });
+        assert_eq!(err.invariant, "ut-agreement");
+    }
+
+    #[test]
+    fn mutation_supernode_inverse_map_desync() {
+        let err = corrupted_sn(8, |sym| {
+            let _ = sym.supernode_plan_raw();
+            let plan = sym
+                .sn_plan
+                .get_mut()
+                .expect("plan forced")
+                .as_mut()
+                .expect("enabled");
+            plan.sn_of_step[0] = 1;
+        });
+        assert_eq!(err.invariant, "sn-partition");
+    }
+
+    #[test]
+    fn mutation_supernode_over_width_cap() {
+        // 40 columns amalgamate into >1 supernode under the 32-wide cap;
+        // merging them all into one breaks the cap.
+        let err = corrupted_sn(40, |sym| {
+            let n = sym.n;
+            let _ = sym.supernode_plan_raw();
+            let plan = sym
+                .sn_plan
+                .get_mut()
+                .expect("plan forced")
+                .as_mut()
+                .expect("enabled");
+            plan.sn_ptr = vec![0, n];
+            plan.sn_of_step = vec![0; n];
+            plan.row_ptr = vec![0, plan.rows.len()];
+            plan.panel_ptr = vec![0, plan.panel_len];
+        });
+        assert_eq!(err.invariant, "sn-width-cap");
+    }
+
+    #[test]
+    fn mutation_supernode_panel_size_desync() {
+        let err = corrupted_sn(8, |sym| {
+            let _ = sym.supernode_plan_raw();
+            let plan = sym
+                .sn_plan
+                .get_mut()
+                .expect("plan forced")
+                .as_mut()
+                .expect("enabled");
+            plan.panel_len += 1;
+            *plan.panel_ptr.last_mut().expect("nonempty") += 1;
+        });
+        assert_eq!(err.invariant, "sn-panel-layout");
+    }
+
+    #[test]
+    fn mutation_member_row_outside_panel_pattern() {
+        let err = corrupted_sn(8, |sym| {
+            // Point a member's L row at the step-0 pivot row: pivoted
+            // before the member, and no supernode body row either.
+            let early = sym.row_perm[0];
+            let lo = sym.l_ptr[0];
+            sym.l_rows[lo] = early;
+        });
+        assert_eq!(err.invariant, "sn-contained-pattern");
+    }
+
+    #[test]
+    fn mutation_slot_map_dropped_slot() {
+        let err = corrupted_sn(8, |sym| {
+            let lo = sym.l_ptr[0];
+            let _ = sym.supernode_plan_raw();
+            let plan = sym
+                .sn_plan
+                .get_mut()
+                .expect("plan forced")
+                .as_mut()
+                .expect("enabled");
+            plan.l_slot[lo] = crate::supernode::NO_SLOT;
+        });
+        assert_eq!(err.invariant, "sn-slot-bijective");
+    }
+
+    #[test]
+    fn mutation_supernode_level_schedule_truncated() {
+        let err = corrupted_sn(8, |sym| {
+            let _ = sym.supernode_plan_raw();
+            let plan = sym
+                .sn_plan
+                .get_mut()
+                .expect("plan forced")
+                .as_mut()
+                .expect("enabled");
+            plan.level_sns.pop();
+            *plan.level_ptr.last_mut().expect("nonempty") -= 1;
+        });
+        assert_eq!(err.invariant, "sn-level-acyclic");
+    }
+
+    /// A base factor plus one accumulated rank-1 term, ready to corrupt.
+    fn pushed_update() -> LowRankUpdate {
+        let lu = SparseLu::factor(&dense_matrix(6)).expect("factor");
+        let mut up = LowRankUpdate::new(6);
+        up.push(&lu, &[(0, 1.0)], &[(1, 0.5)]).expect("push");
+        up.audit().expect("valid update audits clean");
+        up
+    }
+
+    #[test]
+    fn mutation_lowrank_term_arrays_desync() {
+        let mut up = pushed_update();
+        up.us.push(Vec::new());
+        assert_eq!(up.audit().expect_err("caught").invariant, "rank-consistent");
+    }
+
+    #[test]
+    fn mutation_lowrank_truncated_solve_image() {
+        let mut up = pushed_update();
+        up.zs[0].pop();
+        assert_eq!(up.audit().expect_err("caught").invariant, "z-dimension");
+    }
+
+    #[test]
+    fn mutation_lowrank_term_index_out_of_range() {
+        let mut up = pushed_update();
+        up.us[0][0].0 = up.n;
+        assert_eq!(
+            up.audit().expect_err("caught").invariant,
+            "term-index-range"
+        );
+    }
+
+    #[test]
+    fn mutation_lowrank_dropped_capacitance() {
+        let mut up = pushed_update();
+        up.cap = None;
+        assert_eq!(
+            up.audit().expect_err("caught").invariant,
+            "capacitance-shape"
+        );
+    }
+}

@@ -51,14 +51,16 @@ pub fn edmonds_karp(g: &FlowNetwork) -> FlowResult {
         let mut bottleneck = i64::MAX;
         let mut v = t;
         while v != s {
-            let a = pred[v].expect("path arc");
+            let a = pred[v]
+                .expect("invariant: augmenting-path predecessors are set for every path vertex");
             bottleneck = bottleneck.min(rg.residual(a));
             v = rg.head(ResidualGraph::reverse(a));
         }
         // Augment.
         let mut v = t;
         while v != s {
-            let a = pred[v].expect("path arc");
+            let a = pred[v]
+                .expect("invariant: augmenting-path predecessors are set for every path vertex");
             rg.push(a, bottleneck);
             v = rg.head(ResidualGraph::reverse(a));
         }

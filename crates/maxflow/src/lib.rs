@@ -29,6 +29,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod dinic_impl;
 mod ek;

@@ -273,7 +273,7 @@ fn return_stranded_excess(rg: &mut ResidualGraph, excess: &mut [i64]) {
                     .iter()
                     .copied()
                     .find(|&a| a % 2 == 1 && rg.residual(a) > 0)
-                    .expect("positive excess implies incoming flow");
+                    .expect("invariant: positive excess implies an incoming flow arc");
                 let nxt = rg.head(a);
                 if pos[nxt] != usize::MAX {
                     // Found a flow cycle nxt → … → cur → nxt: cancel it and
@@ -284,7 +284,7 @@ fn return_stranded_excess(rg: &mut ResidualGraph, excess: &mut [i64]) {
                         .iter()
                         .map(|&c| rg.residual(c))
                         .min()
-                        .expect("cycle nonempty");
+                        .expect("invariant: detected flow cycles are nonempty");
                     for &c in &cycle {
                         rg.push(c, delta);
                     }

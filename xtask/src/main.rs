@@ -1,0 +1,407 @@
+//! `cargo xtask` — repository automation tasks.
+//!
+//! The only task today is `lint`: a dependency-free, line-level source
+//! scanner enforcing the discipline rules the workspace adopted alongside
+//! the structural auditors:
+//!
+//! - **undocumented-unsafe** — every `unsafe` keyword in library code
+//!   must be preceded by a `// SAFETY:` (or `/// # Safety`) comment
+//!   within the few lines above it.
+//! - **unwrap** — no `.unwrap()` in non-test library code, and
+//!   `.expect(...)` only with a message that names the invariant it
+//!   relies on (prefix `invariant:`). Panicking is how a *violated*
+//!   invariant should surface — via the auditors — not how ordinary
+//!   error paths are written.
+//! - **instant-now** — no `Instant::now` outside the bench and apps
+//!   crates; timing belongs to drivers, not the solver stack.
+//! - **float-eq** — no `==`/`!=` against float literals outside the
+//!   numeric kernels that legitimately test exact zeros.
+//!
+//! Findings can be suppressed per (rule, file) via the checked-in
+//! allowlist `xtask/lint.allow`. The scanner exits non-zero on any
+//! unsuppressed finding, so CI fails until the code is fixed or the
+//! exemption is deliberately recorded in review.
+//!
+//! Test code (`#[cfg(test)]` items) is exempt from `unwrap`,
+//! `instant-now` and `float-eq` — tests are free to panic and compare —
+//! but **not** from `undocumented-unsafe`.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// How many lines above an `unsafe` token we search for a SAFETY comment.
+const SAFETY_LOOKBACK: usize = 12;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One lint hit: rule name, file, 1-based line, and the offending text.
+struct Finding {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    text: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let allow = match load_allowlist(&root.join("xtask/lint.allow")) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("xtask lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = fs::read_to_string(path) else {
+            eprintln!("xtask lint: unreadable file {rel}");
+            return ExitCode::FAILURE;
+        };
+        scan_file(&rel, &src, &mut findings);
+    }
+
+    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut shown = 0usize;
+    for f in &findings {
+        let key = (f.rule.to_string(), f.file.clone());
+        if allow.contains(&key) {
+            used.insert(key);
+        } else {
+            eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.text.trim());
+            shown += 1;
+        }
+    }
+    for entry in allow.difference(&used) {
+        eprintln!(
+            "note: stale allowlist entry `{} {}` (no findings there — consider removing it)",
+            entry.0, entry.1
+        );
+    }
+
+    if shown == 0 {
+        println!(
+            "xtask lint: clean ({} files scanned, {} allowlisted finding(s))",
+            files.len(),
+            findings.len() - shown
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {shown} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Locates the workspace root: the directory holding the top-level
+/// `Cargo.toml` with a `[workspace]` table, starting from CWD (cargo
+/// runs xtask from the workspace root, but be robust to subdirs).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("invariant: process has a working directory");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("invariant: process has a working directory");
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses `xtask/lint.allow`: one `rule path` pair per line, `#` comments.
+fn load_allowlist(path: &Path) -> Result<BTreeSet<(String, String)>, String> {
+    const RULES: [&str; 4] = ["undocumented-unsafe", "unwrap", "instant-now", "float-eq"];
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+    let mut set = BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(file), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("lint.allow:{}: expected `rule path`", i + 1));
+        };
+        if !RULES.contains(&rule) {
+            return Err(format!(
+                "lint.allow:{}: unknown rule `{rule}` (known: {})",
+                i + 1,
+                RULES.join(", ")
+            ));
+        }
+        set.insert((rule.to_string(), file.to_string()));
+    }
+    Ok(set)
+}
+
+/// Strips a trailing `//` comment, leaving string literals intact in the
+/// common case (a `//` inside a string is rare enough to accept).
+fn code_part(line: &str) -> &str {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") {
+        return "";
+    }
+    match line.find("//") {
+        Some(idx) if !line[..idx].contains('"') => &line[..idx],
+        _ => line,
+    }
+}
+
+/// Marks, per line, whether it sits inside a `#[cfg(test)]` item (the
+/// attribute line itself included) by brace-matching the following item.
+fn test_region_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim();
+        if t == "#[cfg(test)]" || t.starts_with("#[cfg(test)]") {
+            mask[i] = true;
+            // Skip forward to the item's first `{`, then brace-match.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i + 1;
+            while j < lines.len() {
+                mask[j] = true;
+                let code = code_part(lines[j]);
+                for ch in code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // Attribute-only items (e.g. `#[cfg(test)] use ...;`) end
+                // at the first `;` before any brace opens.
+                if !opened && code.contains(';') {
+                    break;
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True when `line[idx..]` starts a standalone `unsafe` keyword.
+fn is_unsafe_keyword(line: &str, idx: usize) -> bool {
+    let before_ok = idx == 0
+        || !line[..idx]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after = &line[idx + "unsafe".len()..];
+    let after_ok = !after
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+/// True when a `==`/`!=` at byte `idx` compares against a float literal
+/// on either side (e.g. `x == 0.0`, `1.5 != y`).
+fn float_cmp_at(code: &str, idx: usize) -> bool {
+    let rhs = code[idx + 2..].trim_start();
+    if starts_with_float_literal(rhs) {
+        return true;
+    }
+    let lhs = code[..idx].trim_end();
+    ends_with_float_literal(lhs)
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let digits = s.chars().take_while(|c| c.is_ascii_digit()).count();
+    digits > 0 && s[digits..].starts_with('.')
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    // Accept `1.0`, `0.`, and suffixed forms like `1.0f64`.
+    let s = s
+        .strip_suffix("f64")
+        .or_else(|| s.strip_suffix("f32"))
+        .unwrap_or(s);
+    let taken = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .count();
+    let trailing = &s[s.len() - taken..];
+    if !trailing.contains('.') || !trailing.chars().any(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    // `self.0`, `pair.1`, `w[0].0`: tuple-field access, not a literal.
+    !s[..s.len() - taken]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ')' || c == ']')
+}
+
+fn scan_file(rel: &str, src: &str, findings: &mut Vec<Finding>) {
+    let lines: Vec<&str> = src.lines().collect();
+    if rel.starts_with("vendor/") {
+        return;
+    }
+    // Integration tests and criterion benches are test code wholesale.
+    let all_test = rel.contains("/tests/") || rel.contains("/benches/");
+    let in_test = test_region_mask(&lines);
+    let timing_crate = rel.starts_with("crates/bench/") || rel.starts_with("crates/apps/");
+
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        // undocumented-unsafe: applies everywhere, tests included.
+        if let Some(idx) = code.find("unsafe") {
+            let is_attr =
+                code.trim_start().starts_with("#!") || code.trim_start().starts_with("#[");
+            if !is_attr && is_unsafe_keyword(code, idx) && !has_safety_comment(&lines, i) {
+                findings.push(Finding {
+                    rule: "undocumented-unsafe",
+                    file: rel.to_string(),
+                    line: i + 1,
+                    text: raw.to_string(),
+                });
+            }
+        }
+
+        if all_test || in_test[i] {
+            continue;
+        }
+
+        // unwrap / undocumented expect.
+        if code.contains(".unwrap()") {
+            findings.push(Finding {
+                rule: "unwrap",
+                file: rel.to_string(),
+                line: i + 1,
+                text: raw.to_string(),
+            });
+        }
+        if let Some(idx) = code.find(".expect(") {
+            let arg = &code[idx + ".expect(".len()..];
+            let documented = arg.starts_with("\"invariant:")
+                || (arg.trim().is_empty()
+                    && lines
+                        .get(i + 1)
+                        .is_some_and(|n| n.trim().starts_with("\"invariant:")));
+            if !documented {
+                findings.push(Finding {
+                    rule: "unwrap",
+                    file: rel.to_string(),
+                    line: i + 1,
+                    text: raw.to_string(),
+                });
+            }
+        }
+
+        // instant-now: timing belongs to bench/apps drivers.
+        if !timing_crate && code.contains("Instant::now") {
+            findings.push(Finding {
+                rule: "instant-now",
+                file: rel.to_string(),
+                line: i + 1,
+                text: raw.to_string(),
+            });
+        }
+
+        // float-eq: exact comparison against a float literal.
+        let bytes = code.as_bytes();
+        for idx in 0..bytes.len().saturating_sub(1) {
+            if (bytes[idx] == b'=' || bytes[idx] == b'!')
+                && bytes[idx + 1] == b'='
+                && bytes.get(idx + 2) != Some(&b'=')
+                && (idx == 0
+                    || bytes[idx - 1] != b'='
+                        && bytes[idx - 1] != b'!'
+                        && bytes[idx - 1] != b'<'
+                        && bytes[idx - 1] != b'>')
+                && float_cmp_at(code, idx)
+            {
+                findings.push(Finding {
+                    rule: "float-eq",
+                    file: rel.to_string(),
+                    line: i + 1,
+                    text: raw.to_string(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Looks upward from line `i` for a SAFETY marker: either a `// SAFETY:`
+/// comment or a `# Safety` doc-section within the lookback window,
+/// stopping at the first blank line beyond an attribute/comment run.
+fn has_safety_comment(lines: &[&str], i: usize) -> bool {
+    // Same-line trailing comment counts.
+    if lines[i].contains("SAFETY:") {
+        return true;
+    }
+    for back in 1..=SAFETY_LOOKBACK {
+        let Some(j) = i.checked_sub(back) else { break };
+        let t = lines[j].trim();
+        if t.contains("SAFETY:") || t.contains("# Safety") {
+            return true;
+        }
+        // Keep scanning through comments, attributes and signature
+        // continuation lines; a blank line ends the item's preamble.
+        if t.is_empty() {
+            break;
+        }
+    }
+    false
+}
